@@ -1,0 +1,55 @@
+//! Microbenchmarks of the carbon-trace query layer — the operations the
+//! scheduling policies hammer on every job arrival.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gaia_carbon::{synth::synthesize_region, Region};
+use gaia_time::{Minutes, SimTime};
+
+fn bench_carbon_queries(c: &mut Criterion) {
+    let trace = synthesize_region(Region::SouthAustralia, 42);
+    let start = SimTime::from_days(40);
+
+    c.bench_function("window_integral_24h", |b| {
+        b.iter(|| black_box(trace.window_integral(black_box(start), Minutes::from_hours(24))))
+    });
+
+    c.bench_function("window_avg_90min_unaligned", |b| {
+        b.iter(|| {
+            black_box(
+                trace.window_avg(black_box(start + Minutes::new(17)), Minutes::new(90)),
+            )
+        })
+    });
+
+    c.bench_function("min_window_start_24h_scan_10min", |b| {
+        b.iter(|| {
+            black_box(trace.min_window_start(
+                black_box(start),
+                Minutes::from_hours(24),
+                Minutes::from_hours(4),
+                Minutes::new(10),
+            ))
+        })
+    });
+
+    c.bench_function("greenest_slots_28h_horizon", |b| {
+        b.iter(|| {
+            black_box(trace.greenest_slots(
+                black_box(start),
+                Minutes::from_hours(28),
+                Minutes::from_hours(4),
+            ))
+        })
+    });
+
+    c.bench_function("quantile_30pct_24h", |b| {
+        b.iter(|| black_box(trace.window_quantile(black_box(start), Minutes::from_hours(24), 0.3)))
+    });
+
+    c.bench_function("synthesize_region_year", |b| {
+        b.iter(|| black_box(synthesize_region(Region::California, black_box(7))))
+    });
+}
+
+criterion_group!(benches, bench_carbon_queries);
+criterion_main!(benches);

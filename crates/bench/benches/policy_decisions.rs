@@ -1,0 +1,64 @@
+//! Microbenchmarks of per-job policy decision latency — the scheduler's
+//! critical path — including the slot-granularity ablation from
+//! DESIGN.md (scan step 1/10/60 minutes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gaia_carbon::{synth::synthesize_region, CarbonForecaster, ForecastView, PerfectForecaster};
+use gaia_core::{BatchPolicy, CarbonTime, Ecovisor, LowestSlot, LowestWindow, WaitAwhile};
+use gaia_sim::SchedulerContext;
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::{Job, JobId, QueueSet};
+
+fn ctx<'a>(forecaster: &'a dyn CarbonForecaster, now: SimTime) -> SchedulerContext<'a> {
+    SchedulerContext {
+        now,
+        forecast: ForecastView::new(forecaster, now),
+        reserved_free: 0,
+        reserved_capacity: 0,
+    }
+}
+
+fn bench_policy_decisions(c: &mut Criterion) {
+    let trace = synthesize_region(gaia_carbon::Region::SouthAustralia, 42);
+    let forecaster = PerfectForecaster::new(&trace);
+    let queues = QueueSet::paper_defaults();
+    let now = SimTime::from_days(40);
+    let long_job = Job::new(JobId(0), now, Minutes::from_hours(8), 2);
+    let short_job = Job::new(JobId(1), now, Minutes::new(90), 1);
+
+    let mut group = c.benchmark_group("decide_long_job");
+    group.bench_function("lowest_slot", |b| {
+        let mut policy = LowestSlot::new(queues);
+        b.iter(|| black_box(policy.decide(black_box(&long_job), &ctx(&forecaster, now))))
+    });
+    group.bench_function("lowest_window", |b| {
+        let mut policy = LowestWindow::new(queues);
+        b.iter(|| black_box(policy.decide(black_box(&long_job), &ctx(&forecaster, now))))
+    });
+    group.bench_function("carbon_time", |b| {
+        let mut policy = CarbonTime::new(queues);
+        b.iter(|| black_box(policy.decide(black_box(&long_job), &ctx(&forecaster, now))))
+    });
+    group.bench_function("wait_awhile", |b| {
+        let mut policy = WaitAwhile::new(queues);
+        b.iter(|| black_box(policy.decide(black_box(&long_job), &ctx(&forecaster, now))))
+    });
+    group.bench_function("ecovisor", |b| {
+        let mut policy = Ecovisor::new(queues);
+        b.iter(|| black_box(policy.decide(black_box(&long_job), &ctx(&forecaster, now))))
+    });
+    group.finish();
+
+    // Ablation: decision cost vs start-time scan granularity.
+    let mut group = c.benchmark_group("scan_step_ablation");
+    for step in [1u64, 10, 60] {
+        group.bench_function(format!("carbon_time_step_{step}min"), |b| {
+            let mut policy = CarbonTime::new(queues).with_scan_step(Minutes::new(step));
+            b.iter(|| black_box(policy.decide(black_box(&short_job), &ctx(&forecaster, now))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_decisions);
+criterion_main!(benches);

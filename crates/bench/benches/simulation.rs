@@ -1,0 +1,55 @@
+//! End-to-end simulation throughput: replaying the week-long 1k-job
+//! prototype trace under representative policies, and scaling behaviour
+//! with job count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaia_carbon::{synth::synthesize_region, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::runner;
+use gaia_sim::ClusterConfig;
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+
+fn bench_simulation(c: &mut Criterion) {
+    let carbon = synthesize_region(Region::SouthAustralia, 42);
+    let week = TraceFamily::AlibabaPai.week_long_1k(42);
+    let config = ClusterConfig::default()
+        .with_reserved(9)
+        .with_billing_horizon(Minutes::from_days(9));
+
+    let mut group = c.benchmark_group("week_1k");
+    group.sample_size(20);
+    for spec in [
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        PolicySpec::res_first(BasePolicyKind::CarbonTime),
+        PolicySpec::plain(BasePolicyKind::WaitAwhile),
+        PolicySpec::spot_res(BasePolicyKind::CarbonTime),
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| black_box(runner::run_spec(spec, black_box(&week), &carbon, config)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("year_scaling_carbon_time");
+    group.sample_size(10);
+    for jobs in [1_000usize, 5_000, 20_000] {
+        let trace = TraceFamily::AlibabaPai.year_long(jobs, 42);
+        let year_config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(368));
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &trace, |b, trace| {
+            b.iter(|| {
+                black_box(runner::run_spec(
+                    PolicySpec::plain(BasePolicyKind::CarbonTime),
+                    trace,
+                    &carbon,
+                    year_config,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

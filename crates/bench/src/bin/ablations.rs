@@ -1,0 +1,103 @@
+//! Ablation studies for the design choices called out in DESIGN.md §6:
+//!
+//! 1. start-time scan granularity (1 / 10 / 60 minutes);
+//! 2. job-length knowledge model (exact vs queue-average vs queue-max);
+//! 3. work-conserving early start in RES-First (on vs off);
+//! 4. forecast quality (perfect vs increasingly noisy).
+
+use bench::{banner, carbon, week_billing, week_trace};
+use gaia_carbon::{NoisyForecaster, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::{CarbonTime, GaiaScheduler, JobLengthKnowledge, LowestWindow};
+use gaia_metrics::table::TextTable;
+use gaia_metrics::{runner, Summary};
+use gaia_sim::{ClusterConfig, Simulation};
+use gaia_time::Minutes;
+
+fn main() {
+    banner("Ablations", "Design-choice studies (week-long Alibaba-PAI, SA-AU).");
+    let ci = carbon(Region::SouthAustralia);
+    let trace = week_trace();
+    let queues = runner::default_queues(&trace);
+    let config = ClusterConfig::default().with_billing_horizon(week_billing());
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        config,
+    );
+    let report = |name: &str, summary: &Summary, table: &mut TextTable| {
+        table.row(vec![
+            name.to_owned(),
+            format!("{:.3}", summary.carbon_g / nowait.carbon_g),
+            format!("{:.2}", summary.mean_wait_hours),
+        ]);
+    };
+
+    // 1. Scan granularity.
+    println!("(1) start-time scan granularity, Carbon-Time:");
+    let mut table = TextTable::new(vec!["scan step", "carbon/NoWait", "wait (h)"]);
+    for step in [1u64, 10, 60] {
+        let mut scheduler =
+            GaiaScheduler::new(CarbonTime::new(queues).with_scan_step(Minutes::new(step)));
+        let run = Simulation::new(config, &ci).run(&trace, &mut scheduler);
+        report(&format!("{step} min"), &Summary::of("", &run), &mut table);
+    }
+    println!("{table}");
+
+    // 2. Knowledge model.
+    println!("(2) job-length knowledge, Lowest-Window:");
+    let mut table = TextTable::new(vec!["knowledge", "carbon/NoWait", "wait (h)"]);
+    for (name, knowledge) in [
+        ("exact J", JobLengthKnowledge::Exact),
+        ("queue average", JobLengthKnowledge::QueueAverage),
+        ("queue max", JobLengthKnowledge::QueueMax),
+    ] {
+        let mut scheduler =
+            GaiaScheduler::new(LowestWindow::new(queues).with_knowledge(knowledge));
+        let run = Simulation::new(config, &ci).run(&trace, &mut scheduler);
+        report(name, &Summary::of("", &run), &mut table);
+    }
+    println!("{table}");
+
+    // 3. Work conservation.
+    println!("(3) work-conserving early start, Carbon-Time with 9 reserved:");
+    let reserved_config = config.with_reserved(9);
+    let mut table =
+        TextTable::new(vec!["variant", "carbon/NoWait", "wait (h)"]);
+    let plain = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        &trace,
+        &ci,
+        reserved_config,
+    );
+    let conserving = runner::run_spec(
+        PolicySpec::res_first(BasePolicyKind::CarbonTime),
+        &trace,
+        &ci,
+        reserved_config,
+    );
+    report("strict t_start", &plain, &mut table);
+    report("work-conserving (RES-First)", &conserving, &mut table);
+    println!("{table}");
+    println!(
+        "  cost: strict ${:.2} vs work-conserving ${:.2} (utilization {:.2} vs {:.2})\n",
+        plain.total_cost,
+        conserving.total_cost,
+        plain.reserved_utilization,
+        conserving.reserved_utilization
+    );
+
+    // 4. Forecast quality.
+    println!("(4) forecast quality, Carbon-Time (sd at 24 h lead):");
+    let mut table = TextTable::new(vec!["forecast", "carbon/NoWait", "wait (h)"]);
+    for (name, sd) in [("perfect", 0.0), ("sd 0.1", 0.1), ("sd 0.3", 0.3), ("sd 0.6", 0.6)] {
+        let forecaster = NoisyForecaster::new(&ci, sd, 7);
+        let mut scheduler = GaiaScheduler::new(CarbonTime::new(queues));
+        let run = Simulation::new(config, &ci)
+            .with_forecaster(&forecaster)
+            .run(&trace, &mut scheduler);
+        report(name, &Summary::of("", &run), &mut table);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,85 @@
+//! Extension: checkpoint/restart for spot instances (§4.2.4's deferred
+//! trade-off between checkpointing overhead, eviction rate, and
+//! recomputation). With checkpointing, long jobs become viable on spot
+//! even under real eviction rates.
+
+use bench::{banner, carbon, year_billing, year_trace};
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::SpotConfig;
+use gaia_metrics::table::TextTable;
+use gaia_metrics::runner;
+use gaia_sim::{CheckpointConfig, ClusterConfig, EvictionModel};
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+
+fn main() {
+    banner(
+        "Extension: spot checkpoint/restart",
+        "Figure 18 showed that without checkpointing, a 10% hourly eviction\n\
+         rate makes long spot jobs lose money and carbon to recomputation.\n\
+         Checkpointing bounds the loss to one interval. Sweep of checkpoint\n\
+         interval (5% overhead per checkpoint ~ 3 min/h) at J^max = 24 h,\n\
+         year-long Azure-VM, South Australia.",
+    );
+    let ci = carbon(Region::SouthAustralia);
+    let trace = year_trace(TraceFamily::AzureVm);
+    let base = ClusterConfig::default().with_billing_horizon(year_billing());
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        base,
+    );
+    let spec = PolicySpec {
+        base: BasePolicyKind::CarbonTime,
+        res_first: false,
+        spot: Some(SpotConfig { j_max: Minutes::from_hours(24) }),
+    };
+
+    for rate in [0.05, 0.10, 0.15] {
+        println!("hourly eviction rate {:.0}%:", rate * 100.0);
+        let mut table = TextTable::new(vec![
+            "checkpointing",
+            "cost/NoWait",
+            "carbon/NoWait",
+            "evictions",
+            "mean wait (h)",
+        ]);
+        let eviction = EvictionModel::hourly(rate);
+        let no_cp = runner::run_spec(
+            spec,
+            &trace,
+            &ci,
+            base.with_eviction(eviction).with_seed(7),
+        );
+        table.row(vec![
+            "none (paper)".into(),
+            format!("{:.3}", no_cp.total_cost / nowait.total_cost),
+            format!("{:.3}", no_cp.carbon_g / nowait.carbon_g),
+            no_cp.evictions.to_string(),
+            format!("{:.2}", no_cp.mean_wait_hours),
+        ]);
+        for interval_h in [1u64, 2, 4, 8] {
+            let cp = CheckpointConfig {
+                interval: Minutes::from_hours(interval_h),
+                overhead: Minutes::new(3 * interval_h), // ~5% of the interval
+                max_retries: 16,
+            };
+            let run = runner::run_spec(
+                spec,
+                &trace,
+                &ci,
+                base.with_eviction(eviction).with_checkpointing(cp).with_seed(7),
+            );
+            table.row(vec![
+                format!("every {interval_h} h"),
+                format!("{:.3}", run.total_cost / nowait.total_cost),
+                format!("{:.3}", run.carbon_g / nowait.carbon_g),
+                run.evictions.to_string(),
+                format!("{:.2}", run.mean_wait_hours),
+            ]);
+        }
+        println!("{table}");
+    }
+}

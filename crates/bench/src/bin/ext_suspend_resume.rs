@@ -1,0 +1,71 @@
+//! Extension: suspend-resume Carbon-Time (the paper's §4.1 future work).
+//! Compares Carbon-Time-SR against the uninterruptible Carbon-Time and
+//! the two suspend-resume baselines.
+
+use bench::{banner, carbon, week_billing, week_trace};
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::{CarbonTimeSuspend, GaiaScheduler};
+use gaia_metrics::table::TextTable;
+use gaia_metrics::{runner, Summary};
+use gaia_sim::{ClusterConfig, Simulation};
+
+fn main() {
+    banner(
+        "Extension: suspend-resume Carbon-Time",
+        "The paper predicts suspend-resume \"can further increase carbon\n\
+         savings ... albeit at the expense of increasing completion times\"\n\
+         (§4.1). Carbon-Time-SR keeps the CST objective while allowing\n\
+         interruption, landing between Carbon-Time and Wait Awhile.\n\
+         (Week-long Alibaba-PAI, South Australia.)",
+    );
+    let ci = carbon(Region::SouthAustralia);
+    let trace = week_trace();
+    let queues = runner::default_queues(&trace);
+    let config = ClusterConfig::default().with_billing_horizon(week_billing());
+
+    let mut rows: Vec<Summary> = runner::run_specs(
+        &[
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+            PolicySpec::plain(BasePolicyKind::Ecovisor),
+            PolicySpec::plain(BasePolicyKind::WaitAwhile),
+        ],
+        &trace,
+        &ci,
+        config,
+    );
+    let mut sr = GaiaScheduler::new(CarbonTimeSuspend::new(queues));
+    let sr_report = Simulation::new(config, &ci).run(&trace, &mut sr);
+    rows.insert(2, Summary::of("Carbon-Time-SR", &sr_report));
+
+    let nowait_carbon = rows[0].carbon_g;
+    let mut table = TextTable::new(vec![
+        "policy",
+        "carbon/NoWait",
+        "mean wait (h)",
+        "mean completion (h)",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.name.clone(),
+            format!("{:.3}", row.carbon_g / nowait_carbon),
+            format!("{:.2}", row.mean_wait_hours),
+            format!("{:.2}", row.mean_completion_hours),
+        ]);
+    }
+    println!("{table}");
+    let ct = rows.iter().find(|r| r.name == "Carbon-Time").expect("present");
+    let sr = rows.iter().find(|r| r.name == "Carbon-Time-SR").expect("present");
+    let wa = rows.iter().find(|r| r.name == "Wait Awhile").expect("present");
+    println!(
+        "Carbon-Time-SR saves {:.1}% more carbon than Carbon-Time for {:+.1} h extra waiting;",
+        (ct.carbon_g - sr.carbon_g) / nowait_carbon * 100.0,
+        sr.mean_wait_hours - ct.mean_wait_hours
+    );
+    println!(
+        "it reaches {:.0}% of Wait Awhile's savings at {:.0}% of its waiting time.",
+        (nowait_carbon - sr.carbon_g) / (nowait_carbon - wa.carbon_g) * 100.0,
+        sr.mean_wait_hours / wa.mean_wait_hours * 100.0
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 2: the Section 3 motivating example. A three-day synthetic
+//! workload (Poisson inter-arrivals, exponential 4-hour lengths, one CPU
+//! per job, five reserved instances) scheduled FCFS vs Wait Awhile in
+//! US California (February), plus the Sweden contrast.
+
+use bench::{banner, carbon};
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::table::TextTable;
+use gaia_metrics::{relative_to, runner, Summary};
+use gaia_sim::{ClusterConfig, SimReport};
+use gaia_time::Minutes;
+use gaia_workload::synth::section3_workload;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "Carbon-aware scheduling vs cost metrics on the Section 3 example\n\
+         (3-day workload, mean demand 5 CPUs, 5 reserved instances, CA-US Feb).\n\
+         Paper: Wait Awhile saves 36% carbon but costs +68% with +5.3% completion;\n\
+         in Sweden it saves only 4% carbon for +76% cost and 4.9x completion.",
+    );
+    let trace = section3_workload(bench::WORKLOAD_SEED);
+    let config = ClusterConfig::default()
+        .with_reserved(5)
+        .with_billing_horizon(Minutes::from_days(4));
+
+    for region in [Region::California, Region::Sweden] {
+        let ci = carbon(region).rotate(31 * 24); // February
+        let nowait_report = runner::run_spec_report(
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            &trace,
+            &ci,
+            config,
+        );
+        let wa_report = runner::run_spec_report(
+            PolicySpec::plain(BasePolicyKind::WaitAwhile),
+            &trace,
+            &ci,
+            config,
+        );
+        let nowait = Summary::of("NoWait (original)", &nowait_report);
+        let wa = Summary::of("Wait Awhile", &wa_report);
+        let rel = relative_to(&wa, &nowait);
+
+        println!("--- {} ({}) ---", region.name(), region);
+        let mut table =
+            TextTable::new(vec!["metric", "original", "wait-awhile", "relative"]);
+        table.row(vec![
+            "carbon (kg)".into(),
+            format!("{:.1}", nowait.carbon_kg()),
+            format!("{:.1}", wa.carbon_kg()),
+            format!("{:.2}x", rel.carbon),
+        ]);
+        table.row(vec![
+            "cost ($)".into(),
+            format!("{:.2}", nowait.total_cost),
+            format!("{:.2}", wa.total_cost),
+            format!("{:.2}x", rel.cost),
+        ]);
+        table.row(vec![
+            "completion (h)".into(),
+            format!("{:.2}", nowait.mean_completion_hours),
+            format!("{:.2}", wa.mean_completion_hours),
+            format!("{:.2}x", wa.mean_completion_hours / nowait.mean_completion_hours),
+        ]);
+        println!("{table}");
+
+        if region == Region::California {
+            println!("(a) resource demand by purchase option, 6-hour buckets:");
+            print_demand(&nowait_report, &wa_report);
+        }
+        println!();
+    }
+}
+
+fn print_demand(original: &SimReport, carbon_aware: &SimReport) {
+    let mut table = TextTable::new(vec![
+        "hour-bucket",
+        "orig reserved",
+        "orig on-demand",
+        "wa reserved",
+        "wa on-demand",
+    ]);
+    let hours = original.timeline.hours().max(carbon_aware.timeline.hours());
+    let bucket = 6;
+    for start in (0..hours).step_by(bucket) {
+        let avg = |lane: &[f64]| {
+            let slice: Vec<f64> =
+                (start..(start + bucket).min(hours)).map(|h| *lane.get(h).unwrap_or(&0.0)).collect();
+            slice.iter().sum::<f64>() / slice.len().max(1) as f64
+        };
+        table.row(vec![
+            format!("{start:>3}-{:<3}", start + bucket),
+            format!("{:.1}", avg(&original.timeline.reserved)),
+            format!("{:.1}", avg(&original.timeline.on_demand)),
+            format!("{:.1}", avg(&carbon_aware.timeline.reserved)),
+            format!("{:.1}", avg(&carbon_aware.timeline.on_demand)),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,69 @@
+//! Figure 4: the carbon-cost trade-off regimes induced by reserved
+//! capacity. The paper draws this conceptually; we quantify it with a
+//! fine-grained reserved sweep and label the three regimes:
+//! ① below base demand (carbon stays near-optimal, cost falls),
+//! ② between base and mean demand (carbon-cost trade-off),
+//! ③ above the cost-break-even point (both get worse).
+
+use bench::{banner, carbon, week_billing, week_trace};
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::table::TextTable;
+use gaia_metrics::runner;
+use gaia_sim::ClusterConfig;
+
+fn main() {
+    banner(
+        "Figure 4",
+        "Operating regimes of the carbon-cost trade-off as reserved capacity\n\
+         grows (RES-First-Carbon-Time, week-long Alibaba trace, SA-AU).",
+    );
+    let ci = carbon(Region::SouthAustralia);
+    let trace = week_trace();
+    let curve = trace.demand_curve();
+    let base_demand = curve.quantile(0.10);
+    let mean_demand = trace.mean_demand();
+    println!(
+        "base (p10) demand ≈ {base_demand:.1} CPUs, mean demand ≈ {mean_demand:.1} CPUs\n"
+    );
+
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        ClusterConfig::default().with_billing_horizon(week_billing()),
+    );
+
+    let mut table = TextTable::new(vec!["reserved", "cost/NoWait", "carbon/NoWait", "regime"]);
+    let mut min_cost = f64::INFINITY;
+    let mut results = Vec::new();
+    for reserved in (0..=36).step_by(2) {
+        let run = runner::run_spec(
+            PolicySpec::res_first(BasePolicyKind::CarbonTime),
+            &trace,
+            &ci,
+            ClusterConfig::default()
+                .with_reserved(reserved)
+                .with_billing_horizon(week_billing()),
+        );
+        let cost = run.total_cost / nowait.total_cost;
+        min_cost = min_cost.min(cost);
+        results.push((reserved, cost, run.carbon_g / nowait.carbon_g));
+    }
+    for &(reserved, cost, carbon_ratio) in &results {
+        let regime = if (reserved as f64) <= base_demand {
+            "1: carbon-optimal, cost falling"
+        } else if cost <= min_cost * 1.02 || (reserved as f64) <= mean_demand * 1.2 {
+            "2: carbon-cost trade-off"
+        } else {
+            "3: over-provisioned (avoid)"
+        };
+        table.row(vec![
+            reserved.to_string(),
+            format!("{cost:.3}"),
+            format!("{carbon_ratio:.3}"),
+            regime.into(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,92 @@
+//! Figure 5: job-length and CPU-demand distributions of the original
+//! Alibaba-PAI trace versus the year-long (100k) and week-long (1k)
+//! samples produced by the paper's pipeline.
+
+use bench::{banner, year_jobs};
+use gaia_metrics::table::TextTable;
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::WorkloadTrace;
+
+fn length_cdf(trace: &WorkloadTrace, grid: &[(&str, Minutes)]) -> Vec<f64> {
+    grid.iter()
+        .map(|&(_, bound)| {
+            trace.iter().filter(|j| j.length <= bound).count() as f64 / trace.len() as f64
+        })
+        .collect()
+}
+
+fn cpu_cdf(trace: &WorkloadTrace, grid: &[u32]) -> Vec<f64> {
+    grid.iter()
+        .map(|&bound| trace.iter().filter(|j| j.cpus <= bound).count() as f64 / trace.len() as f64)
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Figure 5",
+        "Job-length (a) and CPU-demand (b) CDFs: original Alibaba-PAI-like\n\
+         trace vs the sampled year-long and week-long traces. Sampling must\n\
+         preserve the length distribution; the week-long demand distribution\n\
+         shifts because of its 4-CPU cap (§6.1).",
+    );
+    let original =
+        TraceFamily::AlibabaPai.generate_raw(120_000, Minutes::from_days(60), bench::WORKLOAD_SEED);
+    let year = TraceFamily::AlibabaPai.year_long(year_jobs(), bench::WORKLOAD_SEED);
+    let week = TraceFamily::AlibabaPai.week_long_1k(bench::WORKLOAD_SEED);
+
+    let grid: Vec<(&str, Minutes)> = vec![
+        ("5min", Minutes::new(5)),
+        ("10min", Minutes::new(10)),
+        ("30min", Minutes::new(30)),
+        ("1h", Minutes::from_hours(1)),
+        ("3h", Minutes::from_hours(3)),
+        ("12h", Minutes::from_hours(12)),
+        ("1d", Minutes::from_days(1)),
+        ("3d", Minutes::from_days(3)),
+        ("4d", Minutes::from_days(4)),
+    ];
+    let mut table = TextTable::new(vec!["length <=", "original", "year-100k", "week-1k"]);
+    let orig = length_cdf(&original, &grid);
+    let yr = length_cdf(&year, &grid);
+    let wk = length_cdf(&week, &grid);
+    for (i, &(label, _)) in grid.iter().enumerate() {
+        table.row(vec![
+            label.into(),
+            format!("{:.3}", orig[i]),
+            format!("{:.3}", yr[i]),
+            format!("{:.3}", wk[i]),
+        ]);
+    }
+    println!("(a) job-length CDF:");
+    println!("{table}");
+
+    let cpu_grid = [1u32, 2, 4, 8, 16, 32, 64, 100];
+    let mut table = TextTable::new(vec!["cpus <=", "original", "year-100k", "week-1k"]);
+    let orig = cpu_cdf(&original, &cpu_grid);
+    let yr = cpu_cdf(&year, &cpu_grid);
+    let wk = cpu_cdf(&week, &cpu_grid);
+    for (i, &bound) in cpu_grid.iter().enumerate() {
+        table.row(vec![
+            bound.to_string(),
+            format!("{:.3}", orig[i]),
+            format!("{:.3}", yr[i]),
+            format!("{:.3}", wk[i]),
+        ]);
+    }
+    println!("(b) CPU-demand CDF:");
+    println!("{table}");
+
+    let tiny = original.iter().filter(|j| j.length < Minutes::new(5)).count() as f64
+        / original.len() as f64;
+    let tiny_compute: u64 = original
+        .iter()
+        .filter(|j| j.length < Minutes::new(5))
+        .map(|j| j.cpu_minutes())
+        .sum();
+    println!(
+        "original trace: {:.0}% of jobs are <5min (paper: 38%), contributing {:.2}% of compute (paper: 0.36%)",
+        tiny * 100.0,
+        tiny_compute as f64 / original.total_cpu_minutes() as f64 * 100.0
+    );
+}

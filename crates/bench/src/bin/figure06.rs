@@ -1,0 +1,33 @@
+//! Figure 6: carbon intensity across the six studied cloud regions with
+//! their Low/Medium/High × Stable/Variable taxonomy.
+
+use bench::{banner, carbon};
+use gaia_carbon::stats::TraceStats;
+use gaia_carbon::Region;
+use gaia_metrics::table::TextTable;
+
+fn main() {
+    banner(
+        "Figure 6",
+        "Carbon intensity across diverse cloud regions (year 2022-like\n\
+         synthetic traces). Paper taxonomy: SE low/stable, ON-CA low/variable,\n\
+         SA-AU & CA-US & NL medium/variable, KY-US high/stable.",
+    );
+    let mut table = TextTable::new(vec![
+        "region", "mean", "min", "max", "cov", "level", "variability",
+    ]);
+    for region in Region::ALL {
+        let stats = TraceStats::of(&carbon(region));
+        table.row(vec![
+            region.code().into(),
+            format!("{:.0}", stats.mean),
+            format!("{:.0}", stats.min),
+            format!("{:.0}", stats.max),
+            format!("{:.2}", stats.cov),
+            format!("{:?}", region.level()),
+            format!("{:?}", region.variability()),
+        ]);
+    }
+    println!("{table}");
+    println!("(units: g·CO2eq/kWh; cov = std-dev / mean over the year)");
+}

@@ -1,0 +1,33 @@
+//! Figure 7: mean carbon intensity per month in California, US and South
+//! Australia, showing the seasonal variation (SA-AU nearly doubles
+//! between July and December).
+
+use bench::{banner, carbon};
+use gaia_carbon::stats::monthly_means;
+use gaia_carbon::Region;
+use gaia_metrics::table::TextTable;
+use gaia_time::Month;
+
+fn main() {
+    banner(
+        "Figure 7",
+        "Mean carbon intensity per month, CA-US vs SA-AU.\n\
+         Paper: South Australia's mean nearly doubles July -> December;\n\
+         California peaks in winter.",
+    );
+    let ca = monthly_means(&carbon(Region::California));
+    let sa = monthly_means(&carbon(Region::SouthAustralia));
+    let mut table = TextTable::new(vec!["month", "CA-US", "SA-AU"]);
+    for month in Month::ALL {
+        let i = month.index();
+        table.row(vec![
+            month.to_string(),
+            format!("{:.0}", ca[i].expect("full year")),
+            format!("{:.0}", sa[i].expect("full year")),
+        ]);
+    }
+    println!("{table}");
+    let july = sa[6].expect("july");
+    let december = sa[11].expect("december");
+    println!("SA-AU December/July ratio: {:.2}x (paper: ~2x)", december / july);
+}

@@ -1,0 +1,84 @@
+//! Seed-sensitivity study: the headline Figure 8/10 comparisons
+//! replicated across independent workload and carbon seeds, reported as
+//! mean ± standard deviation. The paper reports single trace replays;
+//! this binary checks that none of its qualitative conclusions ride on a
+//! particular random draw.
+
+use bench::{banner, week_billing};
+use gaia_carbon::synth::synthesize_region;
+use gaia_carbon::Region;
+use gaia_core::catalog::{figure10_policies, PolicySpec};
+use gaia_metrics::table::TextTable;
+use gaia_metrics::{across_seeds, pareto_front, runner, Summary, TradeOffPoint};
+use gaia_sim::ClusterConfig;
+use gaia_workload::synth::TraceFamily;
+
+fn main() {
+    banner(
+        "Sensitivity: replication across seeds",
+        "The Figure 10 hybrid-cluster comparison replicated over five\n\
+         independent (workload, carbon) seed pairs. Reported as mean ± std;\n\
+         the policy orderings should be stable.",
+    );
+    let seeds = [11u64, 22, 33, 44, 55];
+    let specs = figure10_policies();
+    let mut replicates: Vec<Vec<Summary>> = vec![Vec::new(); specs.len()];
+    for &seed in &seeds {
+        let ci = synthesize_region(Region::SouthAustralia, seed);
+        let trace = TraceFamily::AlibabaPai.week_long_1k(seed);
+        let config = ClusterConfig::default()
+            .with_reserved(9)
+            .with_billing_horizon(week_billing())
+            .with_seed(seed);
+        for (spec_idx, &spec) in specs.iter().enumerate() {
+            replicates[spec_idx].push(runner::run_spec(spec, &trace, &ci, config));
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "policy",
+        "carbon (kg)",
+        "cost ($)",
+        "wait (h)",
+        "carbon CoV",
+    ]);
+    let mut points = Vec::new();
+    for runs in &replicates {
+        let agg = across_seeds(runs);
+        points.push(TradeOffPoint {
+            carbon: agg.carbon_g.mean,
+            cost: agg.total_cost.mean,
+            waiting: agg.mean_wait_hours.mean,
+        });
+        table.row(vec![
+            agg.name.clone(),
+            format!("{}", scale_kg(&agg.carbon_g)),
+            agg.total_cost.display(2),
+            agg.mean_wait_hours.display(2),
+            format!("{:.3}", agg.carbon_g.cov()),
+        ]);
+    }
+    println!("{table}");
+
+    let front = pareto_front(&points);
+    let names: Vec<&str> = front.iter().map(|&i| specs[i].name_static()).collect();
+    println!(
+        "Pareto-optimal (carbon, cost, waiting) policies across seeds: {}",
+        names.join(", ")
+    );
+}
+
+fn scale_kg(stats: &gaia_metrics::SeedStats) -> String {
+    format!("{:.1} ± {:.1}", stats.mean / 1000.0, stats.std_dev / 1000.0)
+}
+
+trait NameStatic {
+    fn name_static(&self) -> &'static str;
+}
+
+impl NameStatic for PolicySpec {
+    fn name_static(&self) -> &'static str {
+        // Leak the composed name: a handful of short strings per process.
+        Box::leak(self.name().into_boxed_str())
+    }
+}

@@ -1,0 +1,27 @@
+//! Table 1: summary of scheduling policies and their assumptions.
+
+use bench::banner;
+use gaia_core::catalog::BasePolicyKind;
+use gaia_metrics::table::TextTable;
+
+fn main() {
+    banner("Table 1", "Summary of scheduling policies (capability matrix).");
+    let mut table = TextTable::new(vec![
+        "policy",
+        "job length",
+        "carbon-aware",
+        "performance-aware",
+        "suspend-resume",
+    ]);
+    for kind in BasePolicyKind::ALL {
+        let mark = |b: bool| if b { "yes" } else { "-" }.to_owned();
+        table.row(vec![
+            kind.name().into(),
+            kind.job_length_knowledge().into(),
+            mark(kind.carbon_aware()),
+            mark(kind.performance_aware()),
+            mark(kind.suspend_resume()),
+        ]);
+    }
+    println!("{table}");
+}

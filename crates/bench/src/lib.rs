@@ -1,0 +1,104 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (`figure01` … `figure20`, `table1`) that regenerates its
+//! rows/series in text form. This library centralizes the experimental
+//! setup so every figure uses the same traces, seeds, and billing
+//! conventions:
+//!
+//! * carbon traces: [`carbon`] — one deterministic year per region;
+//! * workloads: [`week_trace`] (the 1k-job prototype trace) and
+//!   [`year_trace`] (the 100k-job large-scale traces, reducible via the
+//!   `GAIA_JOBS` environment variable for quick runs);
+//! * billing: [`week_billing`] / [`year_billing`] — identical
+//!   reserved-contract periods across the policies being compared.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gaia_carbon::{synth::synthesize_region, CarbonTrace, Region};
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::WorkloadTrace;
+
+/// Seed for all carbon-trace synthesis in the harness.
+pub const CARBON_SEED: u64 = 42;
+
+/// Seed for all workload synthesis in the harness.
+pub const WORKLOAD_SEED: u64 = 42;
+
+/// The canonical year-long carbon trace for a region.
+pub fn carbon(region: Region) -> CarbonTrace {
+    synthesize_region(region, CARBON_SEED)
+}
+
+/// The week-long 1k-job Alibaba-PAI trace used by Figures 8–12.
+pub fn week_trace() -> WorkloadTrace {
+    TraceFamily::AlibabaPai.week_long_1k(WORKLOAD_SEED)
+}
+
+/// Number of jobs for the year-long traces: 100k by default (the paper's
+/// scale), overridable with the `GAIA_JOBS` environment variable for
+/// quicker runs.
+pub fn year_jobs() -> usize {
+    std::env::var("GAIA_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000)
+}
+
+/// The year-long trace for a workload family at [`year_jobs`] scale.
+pub fn year_trace(family: TraceFamily) -> WorkloadTrace {
+    family.year_long(year_jobs(), WORKLOAD_SEED)
+}
+
+/// Billing horizon for week-long experiments: the workload week plus two
+/// days of slack so delayed tails stay inside the contract.
+pub fn week_billing() -> Minutes {
+    Minutes::from_days(9)
+}
+
+/// Billing horizon for year-long experiments.
+pub fn year_billing() -> Minutes {
+    Minutes::from_days(368)
+}
+
+/// Reserved capacity matched to a trace's mean demand, the paper's
+/// cost-efficient sizing rule (§6.4.4: "R is selected as the trace's
+/// mean demand").
+pub fn reserved_at_mean_demand(trace: &WorkloadTrace) -> u32 {
+    trace.mean_demand().round() as u32
+}
+
+/// Prints the standard figure banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("=== {id} ===");
+    println!("{caption}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn week_trace_is_cached_shape() {
+        let t = week_trace();
+        assert_eq!(t.len(), 1000);
+        assert!(t.max_cpus() <= 4);
+    }
+
+    #[test]
+    fn reserved_at_mean_demand_rounds() {
+        let t = week_trace();
+        let r = reserved_at_mean_demand(&t);
+        assert!((r as f64 - t.mean_demand()).abs() <= 0.5);
+    }
+
+    #[test]
+    fn year_jobs_default() {
+        // Do not set GAIA_JOBS here (tests run in parallel; environment
+        // is process-global): just check the parse fallback path.
+        assert!(year_jobs() >= 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the carbon substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or parsing carbon traces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CarbonError {
+    /// A trace must contain at least one hourly sample.
+    EmptyTrace,
+    /// A carbon-intensity sample was negative or non-finite.
+    InvalidIntensity {
+        /// Hour index of the offending sample.
+        hour: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A CSV row could not be parsed.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CarbonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CarbonError::EmptyTrace => write!(f, "carbon trace contains no samples"),
+            CarbonError::InvalidIntensity { hour, value } => {
+                write!(f, "invalid carbon intensity {value} at hour {hour}")
+            }
+            CarbonError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CarbonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CarbonError::EmptyTrace.to_string(), "carbon trace contains no samples");
+        let e = CarbonError::InvalidIntensity { hour: 3, value: -1.0 };
+        assert!(e.to_string().contains("hour 3"));
+        let p = CarbonError::Parse { line: 7, reason: "bad float".into() };
+        assert!(p.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CarbonError>();
+    }
+}

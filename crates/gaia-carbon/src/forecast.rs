@@ -1,0 +1,414 @@
+//! The Carbon Information Service (CIS) forecasting interface.
+//!
+//! GAIA's scheduling policies consume carbon intensity exclusively through
+//! a [`CarbonForecaster`], mirroring the paper's CIS component (§4.1):
+//! third-party services such as ElectricityMaps provide "real-time
+//! per-region carbon intensity information and forecasts".
+//!
+//! The paper assumes perfect forecasts (§6.1, citing CarbonCast's
+//! accuracy); [`PerfectForecaster`] implements that assumption.
+//! [`NoisyForecaster`] is provided as an extension for sensitivity
+//! studies: it perturbs forecasts with horizon-proportional noise while
+//! keeping the *current* intensity exact.
+
+use gaia_time::{Minutes, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::synth::standard_normal;
+use crate::{CarbonTrace, GramsPerKwh};
+
+/// A source of carbon-intensity observations and forecasts.
+///
+/// All scheduling decisions in GAIA flow through this trait, so swapping
+/// forecast quality is a one-line change in experiment configuration.
+///
+/// Implementors must be deterministic: repeated calls with the same
+/// arguments must return the same values, otherwise scheduling runs are
+/// not reproducible.
+pub trait CarbonForecaster {
+    /// The carbon intensity observed *now*, at instant `t`.
+    fn current(&self, t: SimTime) -> GramsPerKwh;
+
+    /// The forecast carbon intensity for instant `at`, issued at `now`.
+    ///
+    /// `at` must not precede `now`.
+    fn forecast(&self, now: SimTime, at: SimTime) -> GramsPerKwh;
+
+    /// The forecast *integral* of carbon intensity over
+    /// `[start, start + len)` as seen from `now`, in (g/kWh)·hours.
+    ///
+    /// The default implementation sums hourly forecasts; implementors with
+    /// cheaper exact integrals (e.g. the perfect forecaster) override it.
+    fn forecast_integral(&self, now: SimTime, start: SimTime, len: Minutes) -> f64 {
+        gaia_time::HourlySlots::spanning(start, len)
+            .map(|s| self.forecast(now, s.start) * s.fraction())
+            .sum()
+    }
+}
+
+/// A read-only view pairing a forecaster with a decision instant.
+///
+/// Policies receive a `ForecastView` so they cannot accidentally peek at a
+/// different "now" than the scheduler intended.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_carbon::{CarbonTrace, ForecastView, PerfectForecaster};
+/// use gaia_time::{Minutes, SimTime};
+///
+/// let trace = CarbonTrace::from_hourly(vec![100.0, 50.0, 200.0])?;
+/// let cis = PerfectForecaster::new(&trace);
+/// let view = ForecastView::new(&cis, SimTime::ORIGIN);
+/// assert_eq!(view.at(SimTime::from_hours(1)), 50.0);
+/// # Ok::<(), gaia_carbon::CarbonError>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct ForecastView<'a> {
+    forecaster: &'a dyn CarbonForecaster,
+    now: SimTime,
+}
+
+impl std::fmt::Debug for ForecastView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForecastView").field("now", &self.now).finish_non_exhaustive()
+    }
+}
+
+impl<'a> ForecastView<'a> {
+    /// Creates a view of `forecaster` anchored at decision instant `now`.
+    pub fn new(forecaster: &'a dyn CarbonForecaster, now: SimTime) -> Self {
+        ForecastView { forecaster, now }
+    }
+
+    /// The decision instant this view is anchored at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Carbon intensity observed at the decision instant.
+    pub fn current(&self) -> GramsPerKwh {
+        self.forecaster.current(self.now)
+    }
+
+    /// Forecast intensity at a future instant.
+    pub fn at(&self, at: SimTime) -> GramsPerKwh {
+        self.forecaster.forecast(self.now, at)
+    }
+
+    /// Forecast CI integral over `[start, start + len)`, in (g/kWh)·hours.
+    pub fn integral(&self, start: SimTime, len: Minutes) -> f64 {
+        self.forecaster.forecast_integral(self.now, start, len)
+    }
+
+    /// Forecast time-average CI over `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn average(&self, start: SimTime, len: Minutes) -> GramsPerKwh {
+        assert!(!len.is_zero(), "average over empty window");
+        self.integral(start, len) / len.as_hours_f64()
+    }
+
+    /// The `q`-quantile of forecast hourly CI over `[now, now + horizon)`.
+    pub fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
+        let mut samples: Vec<f64> = gaia_time::HourlySlots::spanning(self.now, horizon)
+            .map(|s| self.at(s.start))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("forecasts are finite"));
+        let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        samples[idx]
+    }
+}
+
+/// The paper's perfect-forecast assumption: forecasts equal the trace.
+#[derive(Debug, Clone)]
+pub struct PerfectForecaster<'t> {
+    trace: &'t CarbonTrace,
+}
+
+impl<'t> PerfectForecaster<'t> {
+    /// Creates a perfect forecaster backed by `trace`.
+    pub fn new(trace: &'t CarbonTrace) -> Self {
+        PerfectForecaster { trace }
+    }
+
+    /// The backing trace.
+    pub fn trace(&self) -> &'t CarbonTrace {
+        self.trace
+    }
+}
+
+impl CarbonForecaster for PerfectForecaster<'_> {
+    fn current(&self, t: SimTime) -> GramsPerKwh {
+        self.trace.intensity_at(t)
+    }
+
+    fn forecast(&self, _now: SimTime, at: SimTime) -> GramsPerKwh {
+        self.trace.intensity_at(at)
+    }
+
+    fn forecast_integral(&self, _now: SimTime, start: SimTime, len: Minutes) -> f64 {
+        self.trace.window_integral(start, len)
+    }
+}
+
+/// A forecaster with horizon-proportional multiplicative error.
+///
+/// The error for hour `h` of the forecast horizon is a deterministic
+/// pseudo-random factor `exp(sd_per_day * sqrt(h/24) * z(h))`, where `z`
+/// is a standard normal deviate seeded by `(seed, target hour)` — so the
+/// *same* future hour always receives the same error regardless of when
+/// it is forecast, and the current hour is always exact. This mimics how
+/// real CI forecasts degrade with lead time while staying reproducible.
+#[derive(Debug, Clone)]
+pub struct NoisyForecaster<'t> {
+    trace: &'t CarbonTrace,
+    sd_per_day: f64,
+    seed: u64,
+}
+
+impl<'t> NoisyForecaster<'t> {
+    /// Creates a noisy forecaster with `sd_per_day` log-error at a
+    /// 24-hour lead time.
+    pub fn new(trace: &'t CarbonTrace, sd_per_day: f64, seed: u64) -> Self {
+        NoisyForecaster { trace, sd_per_day, seed }
+    }
+
+    fn error_factor(&self, now: SimTime, at: SimTime) -> f64 {
+        let lead_hours = at.saturating_since(now).as_hours_f64();
+        if lead_hours < 1.0 {
+            return 1.0;
+        }
+        let hour = at.as_hours_floor();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ hour.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let z = standard_normal(&mut rng);
+        (self.sd_per_day * (lead_hours / 24.0).sqrt() * z).exp()
+    }
+}
+
+impl CarbonForecaster for NoisyForecaster<'_> {
+    fn current(&self, t: SimTime) -> GramsPerKwh {
+        self.trace.intensity_at(t)
+    }
+
+    fn forecast(&self, now: SimTime, at: SimTime) -> GramsPerKwh {
+        self.trace.intensity_at(at) * self.error_factor(now, at)
+    }
+}
+
+/// The classic diurnal-persistence baseline: the forecast for a future
+/// instant is the observed intensity at the same time of day on the most
+/// recent fully-observed day.
+///
+/// Real CIS providers publish model-based forecasts that beat
+/// persistence (the paper cites CarbonCast's accuracy to justify the
+/// perfect-forecast assumption); persistence bounds how badly a
+/// *forecast-free* deployment of GAIA would do.
+#[derive(Debug, Clone)]
+pub struct PersistenceForecaster<'t> {
+    trace: &'t CarbonTrace,
+}
+
+impl<'t> PersistenceForecaster<'t> {
+    /// Creates a persistence forecaster backed by `trace`.
+    pub fn new(trace: &'t CarbonTrace) -> Self {
+        PersistenceForecaster { trace }
+    }
+}
+
+impl CarbonForecaster for PersistenceForecaster<'_> {
+    fn current(&self, t: SimTime) -> GramsPerKwh {
+        self.trace.intensity_at(t)
+    }
+
+    fn forecast(&self, now: SimTime, at: SimTime) -> GramsPerKwh {
+        if at <= now {
+            return self.trace.intensity_at(at);
+        }
+        // Step back whole days until the reference lies in the observed
+        // past (clamping to the trace origin for the first day).
+        let lead = at - now;
+        let days_back = lead.as_minutes().div_ceil(gaia_time::MINUTES_PER_DAY);
+        let shift = Minutes::from_days(days_back);
+        let reference = if at.as_minutes() >= shift.as_minutes() {
+            at - shift
+        } else {
+            SimTime::from_minutes(at.as_minutes() % gaia_time::MINUTES_PER_DAY)
+        };
+        self.trace.intensity_at(reference)
+    }
+}
+
+/// Mean absolute percentage error of `forecaster` against `truth` for a
+/// fixed lead time, sampled hourly over one trace period.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than the lead time plus one hour.
+pub fn forecast_mape(
+    forecaster: &dyn CarbonForecaster,
+    truth: &CarbonTrace,
+    lead: Minutes,
+) -> f64 {
+    let lead_hours = lead.as_hours_ceil();
+    let total_hours = truth.len_hours() as u64;
+    assert!(total_hours > lead_hours, "trace shorter than the lead time");
+    let mut acc = 0.0;
+    let mut n = 0u64;
+    for h in 0..total_hours - lead_hours {
+        let now = SimTime::from_hours(h);
+        let at = now + lead;
+        let predicted = forecaster.forecast(now, at);
+        let actual = truth.intensity_at(at);
+        if actual > 0.0 {
+            acc += ((predicted - actual) / actual).abs();
+            n += 1;
+        }
+    }
+    acc / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::from_hourly(vec![100.0, 50.0, 200.0, 75.0]).expect("valid")
+    }
+
+    #[test]
+    fn perfect_forecaster_equals_trace() {
+        let t = trace();
+        let f = PerfectForecaster::new(&t);
+        for h in 0..8 {
+            let at = SimTime::from_hours(h);
+            assert_eq!(f.forecast(SimTime::ORIGIN, at), t.intensity_at(at));
+            assert_eq!(f.current(at), t.intensity_at(at));
+        }
+        let integral = f.forecast_integral(SimTime::ORIGIN, SimTime::ORIGIN, Minutes::from_hours(4));
+        assert!((integral - 425.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_average_and_quantile() {
+        let t = trace();
+        let f = PerfectForecaster::new(&t);
+        let view = ForecastView::new(&f, SimTime::ORIGIN);
+        assert!((view.average(SimTime::ORIGIN, Minutes::from_hours(4)) - 106.25).abs() < 1e-9);
+        assert_eq!(view.quantile(Minutes::from_hours(4), 0.0), 50.0);
+        assert_eq!(view.quantile(Minutes::from_hours(4), 1.0), 200.0);
+        assert_eq!(view.current(), 100.0);
+        assert_eq!(view.now(), SimTime::ORIGIN);
+    }
+
+    #[test]
+    fn default_integral_matches_exact_for_perfect() {
+        // Route through the trait's default implementation.
+        struct Wrap<'a>(&'a CarbonTrace);
+        impl CarbonForecaster for Wrap<'_> {
+            fn current(&self, t: SimTime) -> f64 {
+                self.0.intensity_at(t)
+            }
+            fn forecast(&self, _now: SimTime, at: SimTime) -> f64 {
+                self.0.intensity_at(at)
+            }
+        }
+        let t = trace();
+        let w = Wrap(&t);
+        for (start, len) in [(0u64, 60u64), (30, 90), (45, 240), (119, 61)] {
+            let start = SimTime::from_minutes(start);
+            let len = Minutes::new(len);
+            let default_integral = w.forecast_integral(SimTime::ORIGIN, start, len);
+            let exact = t.window_integral(start, len);
+            assert!(
+                (default_integral - exact).abs() < 1e-9,
+                "start={start} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_current_is_exact() {
+        let t = trace();
+        let f = NoisyForecaster::new(&t, 0.2, 7);
+        let now = SimTime::from_hours(1);
+        assert_eq!(f.current(now), 50.0);
+        assert_eq!(f.forecast(now, now), 50.0);
+    }
+
+    #[test]
+    fn noisy_forecast_is_deterministic_and_consistent() {
+        let t = trace();
+        let f = NoisyForecaster::new(&t, 0.2, 7);
+        let at = SimTime::from_hours(30);
+        let a = f.forecast(SimTime::ORIGIN, at);
+        let b = f.forecast(SimTime::ORIGIN, at);
+        assert_eq!(a, b);
+        // Error grows with lead time, so near-term forecasts are closer to
+        // truth on average; just verify positivity and inequality here.
+        assert!(a > 0.0);
+        let near = f.forecast(SimTime::from_hours(29), at);
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn noisy_with_zero_sd_is_perfect() {
+        let t = trace();
+        let f = NoisyForecaster::new(&t, 0.0, 7);
+        for h in 0..48 {
+            let at = SimTime::from_hours(h);
+            assert_eq!(f.forecast(SimTime::ORIGIN, at), t.intensity_at(at));
+        }
+    }
+
+    #[test]
+    fn persistence_repeats_yesterday() {
+        // Two distinct days.
+        let mut hourly = vec![100.0; 48];
+        for (h, v) in hourly.iter_mut().enumerate().take(24) {
+            *v = 100.0 + h as f64;
+        }
+        for (h, v) in hourly.iter_mut().enumerate().skip(24) {
+            *v = 500.0 + h as f64;
+        }
+        let t = CarbonTrace::from_hourly(hourly).expect("valid");
+        let f = PersistenceForecaster::new(&t);
+        let now = SimTime::from_hours(25);
+        // Forecasting hour 30 from hour 25: persistence answers hour 6.
+        assert_eq!(f.forecast(now, SimTime::from_hours(30)), 106.0);
+        // Past and present lookups are exact.
+        assert_eq!(f.forecast(now, SimTime::from_hours(20)), 120.0);
+        assert_eq!(f.current(now), 525.0);
+        // A two-day lead steps back two days.
+        let later = f.forecast(SimTime::from_hours(1), SimTime::from_hours(40));
+        assert_eq!(later, 116.0); // clamped to day 0's hour 16
+    }
+
+    #[test]
+    fn mape_orders_forecasters() {
+        let t = crate::synth::synthesize_region(crate::Region::California, 5);
+        let lead = Minutes::from_hours(12);
+        let perfect = forecast_mape(&PerfectForecaster::new(&t), &t, lead);
+        let persistence = forecast_mape(&PersistenceForecaster::new(&t), &t, lead);
+        let mildly_noisy = forecast_mape(&NoisyForecaster::new(&t, 0.05, 7), &t, lead);
+        let very_noisy = forecast_mape(&NoisyForecaster::new(&t, 0.5, 7), &t, lead);
+        assert_eq!(perfect, 0.0);
+        assert!(persistence > 0.01, "persistence errs: {persistence}");
+        assert!(mildly_noisy < very_noisy);
+        assert!(mildly_noisy > 0.0);
+        // A mild model forecast beats raw persistence on a noisy grid.
+        assert!(mildly_noisy < persistence, "{mildly_noisy} vs {persistence}");
+    }
+
+    #[test]
+    fn view_debug_includes_now() {
+        let t = trace();
+        let f = PerfectForecaster::new(&t);
+        let view = ForecastView::new(&f, SimTime::from_hours(3));
+        let dbg = format!("{view:?}");
+        assert!(dbg.contains("now"));
+    }
+}

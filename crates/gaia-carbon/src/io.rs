@@ -1,0 +1,296 @@
+//! CSV import/export for carbon traces.
+//!
+//! The format matches the paper artifact's carbon trace files: one hourly
+//! sample per line, `hour,carbon_intensity`, with an optional header line.
+
+use std::io::{BufRead, Write};
+
+use crate::{CarbonError, CarbonTrace};
+
+/// Writes `trace` as `hour,carbon_intensity` CSV rows with a header.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_carbon::{CarbonTrace, io::{read_trace_csv, write_trace_csv}};
+///
+/// let trace = CarbonTrace::from_hourly(vec![100.0, 250.5])?;
+/// let mut buf = Vec::new();
+/// write_trace_csv(&mut buf, &trace)?;
+/// let back = read_trace_csv(&buf[..])?;
+/// assert_eq!(back, trace);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_trace_csv<W: Write>(mut writer: W, trace: &CarbonTrace) -> std::io::Result<()> {
+    writeln!(writer, "hour,carbon_intensity")?;
+    for (hour, value) in trace.hourly_values().iter().enumerate() {
+        writeln!(writer, "{hour},{value}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace_csv`] (header optional).
+///
+/// Rows must be in hour order; the hour column is validated against the
+/// row index to catch truncated or shuffled files.
+///
+/// # Errors
+///
+/// Returns [`CarbonError::Parse`] for malformed rows, out-of-order hours,
+/// or I/O failures, and the usual construction errors for invalid values.
+pub fn read_trace_csv<R: BufRead>(reader: R) -> Result<CarbonTrace, CarbonError> {
+    let mut values = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| CarbonError::Parse {
+            line: idx + 1,
+            reason: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if idx == 0 && trimmed.starts_with("hour") {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let hour_str = parts.next().unwrap_or_default();
+        let value_str = parts.next().ok_or_else(|| CarbonError::Parse {
+            line: idx + 1,
+            reason: "expected two comma-separated fields".into(),
+        })?;
+        let hour: usize = hour_str.trim().parse().map_err(|_| CarbonError::Parse {
+            line: idx + 1,
+            reason: format!("invalid hour {hour_str:?}"),
+        })?;
+        if hour != values.len() {
+            return Err(CarbonError::Parse {
+                line: idx + 1,
+                reason: format!("expected hour {}, found {hour}", values.len()),
+            });
+        }
+        let value: f64 = value_str.trim().parse().map_err(|_| CarbonError::Parse {
+            line: idx + 1,
+            reason: format!("invalid intensity {value_str:?}"),
+        })?;
+        values.push(value);
+    }
+    CarbonTrace::from_hourly(values)
+}
+
+/// Reads an ElectricityMaps-style export: rows of
+/// `datetime,carbon_intensity` with ISO-8601 hourly timestamps, e.g.
+/// `2022-01-01T05:00:00Z,312.4` (a `T` or space separator and an
+/// optional trailing `Z`/offset are accepted). A header line containing
+/// `datetime` is skipped.
+///
+/// Rows must be hourly and contiguous; the first row becomes trace hour
+/// zero, so a trace starting mid-year can be aligned with
+/// [`CarbonTrace::rotate`] if needed.
+///
+/// # Errors
+///
+/// Returns [`CarbonError::Parse`] for malformed rows, non-hourly or
+/// non-contiguous timestamps, and the usual construction errors.
+pub fn read_electricitymaps_csv<R: BufRead>(reader: R) -> Result<CarbonTrace, CarbonError> {
+    let mut values = Vec::new();
+    let mut prev_stamp: Option<i64> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| CarbonError::Parse {
+            line: idx + 1,
+            reason: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.to_ascii_lowercase().contains("datetime") {
+            continue;
+        }
+        let (stamp_str, value_str) = trimmed.split_once(',').ok_or_else(|| CarbonError::Parse {
+            line: idx + 1,
+            reason: "expected datetime,carbon_intensity".into(),
+        })?;
+        let stamp = parse_hour_stamp(stamp_str.trim()).ok_or_else(|| CarbonError::Parse {
+            line: idx + 1,
+            reason: format!("invalid timestamp {stamp_str:?}"),
+        })?;
+        if let Some(prev) = prev_stamp {
+            if stamp != prev + 1 {
+                return Err(CarbonError::Parse {
+                    line: idx + 1,
+                    reason: format!(
+                        "timestamps must be contiguous hourly (gap of {} h)",
+                        stamp - prev
+                    ),
+                });
+            }
+        }
+        prev_stamp = Some(stamp);
+        let value: f64 = value_str.trim().parse().map_err(|_| CarbonError::Parse {
+            line: idx + 1,
+            reason: format!("invalid intensity {value_str:?}"),
+        })?;
+        values.push(value);
+    }
+    CarbonTrace::from_hourly(values)
+}
+
+/// Parses an ISO-8601-ish hourly timestamp into an absolute hour count
+/// (days since a proleptic epoch × 24 + hour). Minutes/seconds beyond
+/// the hour must be zero. Returns `None` on malformed input.
+fn parse_hour_stamp(s: &str) -> Option<i64> {
+    // Strip a trailing timezone marker: Z, +HH:MM, -HH:MM (we treat all
+    // stamps as the same zone; only differences matter).
+    let s = s.trim_end_matches('Z');
+    // An explicit offset starts at or after index 11 (inside the time
+    // portion), so it can never be confused with the date's dashes.
+    let body = match s.char_indices().find(|&(i, c)| i >= 11 && (c == '+' || c == '-')) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    };
+    let (date, time) = if let Some((d, t)) = body.split_once('T') {
+        (d, t)
+    } else {
+        body.split_once(' ')?
+    };
+    let mut date_parts = date.split('-');
+    let year: i64 = date_parts.next()?.parse().ok()?;
+    let month: u32 = date_parts.next()?.parse().ok()?;
+    let day: u32 = date_parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let mut time_parts = time.split(':');
+    let hour: u32 = time_parts.next()?.parse().ok()?;
+    if hour >= 24 {
+        return None;
+    }
+    for rest in time_parts {
+        if rest.parse::<u32>().ok()? != 0 {
+            return None; // sub-hour samples are not hourly data
+        }
+    }
+    // Days since 1970-01-01 via the civil-from-days inverse (Howard
+    // Hinnant's algorithm), good for any Gregorian date.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146_097 + doe - 719_468;
+    Some(days * 24 + hour as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electricitymaps_format_parses() {
+        let csv = "datetime,carbon_intensity\n\
+                   2022-01-01T00:00:00Z,300.5\n\
+                   2022-01-01T01:00:00Z,280.0\n\
+                   2022-01-01T02:00:00Z,260.25\n";
+        let trace = read_electricitymaps_csv(csv.as_bytes()).expect("parse");
+        assert_eq!(trace.hourly_values(), &[300.5, 280.0, 260.25]);
+    }
+
+    #[test]
+    fn electricitymaps_space_separator_and_no_seconds() {
+        let csv = "2022-06-30 23:00,100\n2022-07-01 00:00,200\n";
+        let trace = read_electricitymaps_csv(csv.as_bytes()).expect("parse");
+        assert_eq!(trace.hourly_values(), &[100.0, 200.0]);
+    }
+
+    #[test]
+    fn electricitymaps_rejects_gaps_and_garbage() {
+        let gap = "2022-01-01T00:00:00Z,1\n2022-01-01T02:00:00Z,2\n";
+        let err = read_electricitymaps_csv(gap.as_bytes()).expect_err("gap");
+        assert!(err.to_string().contains("contiguous"));
+        assert!(read_electricitymaps_csv("not-a-date,5\n".as_bytes()).is_err());
+        assert!(read_electricitymaps_csv("2022-01-01T00:30:00Z,5\n".as_bytes()).is_err());
+        assert!(read_electricitymaps_csv("2022-13-01T00:00:00Z,5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hour_stamps_cross_month_and_year_boundaries() {
+        let a = parse_hour_stamp("2022-12-31T23:00:00Z").expect("valid");
+        let b = parse_hour_stamp("2023-01-01T00:00:00Z").expect("valid");
+        assert_eq!(b - a, 1);
+        let c = parse_hour_stamp("2022-02-28T23:00:00").expect("valid");
+        let d = parse_hour_stamp("2022-03-01T00:00:00").expect("valid");
+        assert_eq!(d - c, 1, "2022 is not a leap year");
+        let e = parse_hour_stamp("2020-02-28T23:00:00").expect("valid");
+        let f = parse_hour_stamp("2020-02-29T00:00:00").expect("valid");
+        assert_eq!(f - e, 1, "2020 is a leap year");
+    }
+
+    #[test]
+    fn hour_stamps_strip_explicit_offsets() {
+        // Offsets are stripped, not applied: all rows share a zone.
+        let plus = parse_hour_stamp("2022-01-01T05:00:00+02:00").expect("valid");
+        let minus = parse_hour_stamp("2022-01-01T05:00:00-05:00").expect("valid");
+        let zulu = parse_hour_stamp("2022-01-01T05:00:00Z").expect("valid");
+        assert_eq!(plus, zulu);
+        assert_eq!(minus, zulu);
+    }
+
+    #[test]
+    fn round_trip() {
+        let trace = CarbonTrace::from_hourly(vec![1.5, 2.25, 300.0]).expect("valid");
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &trace).expect("write");
+        let back = read_trace_csv(&buf[..]).expect("read");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let csv = "0,10.0\n1,20.0\n";
+        let trace = read_trace_csv(csv.as_bytes()).expect("read");
+        assert_eq!(trace.hourly_values(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "hour,carbon_intensity\n0,10.0\n\n1,20.0\n";
+        let trace = read_trace_csv(csv.as_bytes()).expect("read");
+        assert_eq!(trace.len_hours(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_order_hours() {
+        let csv = "0,10.0\n2,20.0\n";
+        let err = read_trace_csv(csv.as_bytes()).expect_err("must fail");
+        assert!(matches!(err, CarbonError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(matches!(
+            read_trace_csv("0\n".as_bytes()),
+            Err(CarbonError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_trace_csv("0,abc\n".as_bytes()),
+            Err(CarbonError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_trace_csv("x,1.0\n".as_bytes()),
+            Err(CarbonError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_is_empty_trace_error() {
+        assert!(matches!(read_trace_csv("".as_bytes()), Err(CarbonError::EmptyTrace)));
+    }
+
+    #[test]
+    fn rejects_negative_intensity_via_constructor() {
+        let err = read_trace_csv("0,-5.0\n".as_bytes()).expect_err("must fail");
+        assert!(matches!(err, CarbonError::InvalidIntensity { .. }));
+    }
+}

@@ -1,0 +1,189 @@
+//! The cloud regions evaluated by the paper and their carbon taxonomy.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Average carbon-intensity level of a region (paper Figure 6 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IntensityLevel {
+    /// Mostly low-carbon generation (hydro/nuclear/wind), e.g. Sweden.
+    Low,
+    /// A mix of renewables and fossil generation.
+    Medium,
+    /// Mostly fossil generation, e.g. coal-heavy Kentucky.
+    High,
+}
+
+/// Temporal variability of a region's carbon intensity (Figure 6 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Variability {
+    /// Little diurnal structure; shifting jobs in time saves little carbon.
+    Stable,
+    /// Strong diurnal swings (e.g. solar duck curves); shifting pays off.
+    Variable,
+}
+
+/// The six cloud regions whose 2022 carbon-intensity profiles the paper
+/// evaluates (Figures 1, 6, 7, 15, 16).
+///
+/// Each region carries the qualitative taxonomy the paper assigns it; the
+/// synthetic trace generator ([`crate::synth`]) turns that taxonomy into an
+/// hourly time series.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_carbon::{IntensityLevel, Region, Variability};
+///
+/// assert_eq!(Region::Sweden.level(), IntensityLevel::Low);
+/// assert_eq!(Region::Sweden.variability(), Variability::Stable);
+/// assert_eq!("SA-AU".parse::<Region>()?, Region::SouthAustralia);
+/// # Ok::<(), gaia_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Sweden (SE) — low and stable; hydro/nuclear dominated.
+    Sweden,
+    /// Ontario, Canada (ON-CA) — low with moderate variability.
+    Ontario,
+    /// South Australia (SA-AU) — medium average with the highest
+    /// variability of the studied regions (rooftop-solar duck curve).
+    SouthAustralia,
+    /// California, US (CA-US) — medium and variable (solar duck curve).
+    California,
+    /// Netherlands (NL) — medium-high and variable.
+    Netherlands,
+    /// Kentucky, US (KY-US) — high and stable; coal dominated.
+    Kentucky,
+}
+
+impl Region {
+    /// All six regions, ordered as in paper Figure 6's x-axis.
+    pub const ALL: [Region; 6] = [
+        Region::Sweden,
+        Region::Ontario,
+        Region::SouthAustralia,
+        Region::California,
+        Region::Netherlands,
+        Region::Kentucky,
+    ];
+
+    /// Short code used in the paper's figures (e.g. `"SA-AU"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Region::Sweden => "SE",
+            Region::Ontario => "ON-CA",
+            Region::SouthAustralia => "SA-AU",
+            Region::California => "CA-US",
+            Region::Netherlands => "NL",
+            Region::Kentucky => "KY-US",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Sweden => "Sweden",
+            Region::Ontario => "Ontario, Canada",
+            Region::SouthAustralia => "South Australia",
+            Region::California => "California, US",
+            Region::Netherlands => "Netherlands",
+            Region::Kentucky => "Kentucky, US",
+        }
+    }
+
+    /// The paper's average-intensity classification (Figure 6).
+    pub fn level(self) -> IntensityLevel {
+        match self {
+            Region::Sweden | Region::Ontario => IntensityLevel::Low,
+            Region::SouthAustralia | Region::California => IntensityLevel::Medium,
+            Region::Netherlands => IntensityLevel::Medium,
+            Region::Kentucky => IntensityLevel::High,
+        }
+    }
+
+    /// The paper's variability classification (Figure 6).
+    pub fn variability(self) -> Variability {
+        match self {
+            Region::Sweden | Region::Kentucky => Variability::Stable,
+            Region::Ontario | Region::SouthAustralia | Region::California | Region::Netherlands => {
+                Variability::Variable
+            }
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for Region {
+    type Err = crate::CarbonError;
+
+    /// Parses a region from its short code or name, case-insensitively
+    /// (`"SA-AU"`, `"sa-au"`, `"SouthAustralia"`, `"south-australia"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let region = match norm.as_str() {
+            "se" | "sweden" => Region::Sweden,
+            "onca" | "ontario" | "ontariocanada" => Region::Ontario,
+            "saau" | "southaustralia" => Region::SouthAustralia,
+            "caus" | "california" | "californiaus" => Region::California,
+            "nl" | "netherlands" => Region::Netherlands,
+            "kyus" | "kentucky" | "kentuckyus" => Region::Kentucky,
+            _ => {
+                return Err(crate::CarbonError::Parse {
+                    line: 0,
+                    reason: format!("unknown region {s:?}"),
+                })
+            }
+        };
+        Ok(region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_matches_figure6() {
+        assert_eq!(Region::Sweden.level(), IntensityLevel::Low);
+        assert_eq!(Region::Sweden.variability(), Variability::Stable);
+        assert_eq!(Region::Kentucky.level(), IntensityLevel::High);
+        assert_eq!(Region::Kentucky.variability(), Variability::Stable);
+        assert_eq!(Region::SouthAustralia.variability(), Variability::Variable);
+        assert_eq!(Region::California.level(), IntensityLevel::Medium);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for region in Region::ALL {
+            assert_eq!(region.code().parse::<Region>().expect("code parses"), region);
+            assert_eq!(region.to_string(), region.code());
+        }
+    }
+
+    #[test]
+    fn parse_is_lenient() {
+        assert_eq!("south-australia".parse::<Region>().unwrap(), Region::SouthAustralia);
+        assert_eq!("CA_US".parse::<Region>().unwrap(), Region::California);
+        assert!("atlantis".parse::<Region>().is_err());
+    }
+
+    #[test]
+    fn all_contains_each_region_once() {
+        let mut sorted = Region::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+}

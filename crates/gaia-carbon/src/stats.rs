@@ -1,0 +1,259 @@
+//! Descriptive statistics over carbon traces, as reported in the paper's
+//! background figures (Figures 1, 6, 7).
+
+use gaia_time::Month;
+use serde::{Deserialize, Serialize};
+
+use crate::{CarbonTrace, GramsPerKwh, IntensityLevel, Variability};
+
+/// Summary statistics of a carbon trace.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_carbon::{CarbonTrace, stats::TraceStats};
+///
+/// let trace = CarbonTrace::from_hourly(vec![100.0, 200.0, 300.0, 200.0])?;
+/// let stats = TraceStats::of(&trace);
+/// assert_eq!(stats.mean, 200.0);
+/// assert_eq!(stats.peak_to_trough, 3.0);
+/// # Ok::<(), gaia_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Time-average intensity (g·CO₂eq/kWh).
+    pub mean: GramsPerKwh,
+    /// Minimum hourly intensity.
+    pub min: GramsPerKwh,
+    /// Maximum hourly intensity.
+    pub max: GramsPerKwh,
+    /// Standard deviation of hourly intensity.
+    pub std_dev: f64,
+    /// Coefficient of variation (std_dev / mean).
+    pub cov: f64,
+    /// Ratio of max to min hourly intensity ("temporal variation").
+    pub peak_to_trough: f64,
+}
+
+impl TraceStats {
+    /// Computes summary statistics over one period of `trace`.
+    pub fn of(trace: &CarbonTrace) -> TraceStats {
+        let mean = trace.mean();
+        let values = trace.hourly_values();
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let std_dev = var.sqrt();
+        let min = trace.min();
+        let max = trace.max();
+        TraceStats {
+            mean,
+            min,
+            max,
+            std_dev,
+            cov: if mean > 0.0 { std_dev / mean } else { 0.0 },
+            peak_to_trough: if min > 0.0 { max / min } else { f64::INFINITY },
+        }
+    }
+}
+
+/// Classification thresholds implementing the paper's Figure 6 taxonomy
+/// from raw trace statistics.
+///
+/// * average intensity: `Low` below 100 g/kWh, `High` above 600 g/kWh,
+///   `Medium` in between (the figure's axis spans ~0–1200 with Sweden
+///   near zero and Kentucky near the top);
+/// * variability: `Variable` when the coefficient of variation exceeds
+///   0.15 (stable hydro/nuclear/coal grids sit well below, duck-curve
+///   grids well above).
+pub fn classify(trace: &CarbonTrace) -> (IntensityLevel, Variability) {
+    let stats = TraceStats::of(trace);
+    let level = if stats.mean < 100.0 {
+        IntensityLevel::Low
+    } else if stats.mean > 600.0 {
+        IntensityLevel::High
+    } else {
+        IntensityLevel::Medium
+    };
+    let variability = if stats.cov > 0.15 {
+        Variability::Variable
+    } else {
+        Variability::Stable
+    };
+    (level, variability)
+}
+
+/// Lag-`k`-hours autocorrelation of the hourly intensity series.
+///
+/// The 24-hour autocorrelation quantifies how diurnal a grid is — the
+/// property temporal shifting exploits. Returns 0 for constant traces.
+pub fn autocorrelation(trace: &CarbonTrace, lag_hours: usize) -> f64 {
+    let values = trace.hourly_values();
+    if values.len() <= lag_hours {
+        return 0.0;
+    }
+    let mean = trace.mean();
+    let var: f64 =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    if var <= f64::EPSILON {
+        return 0.0;
+    }
+    let n = values.len() - lag_hours;
+    let cov: f64 = (0..n)
+        .map(|i| (values[i] - mean) * (values[i + lag_hours] - mean))
+        .sum::<f64>()
+        / n as f64;
+    cov / var
+}
+
+/// Mean carbon intensity of each calendar month (paper Figure 7).
+///
+/// Months beyond the trace length (for traces shorter than a year) report
+/// `None`. Multi-year traces fold all years into the same 12 buckets.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_carbon::{Region, stats::monthly_means, synth::synthesize_region};
+///
+/// let trace = synthesize_region(Region::SouthAustralia, 1);
+/// let means = monthly_means(&trace);
+/// let july = means[6].expect("year-long trace covers July");
+/// let december = means[11].expect("year-long trace covers December");
+/// assert!(december / july > 1.5); // Figure 7's seasonal doubling
+/// ```
+pub fn monthly_means(trace: &CarbonTrace) -> [Option<GramsPerKwh>; 12] {
+    let mut sums = [0.0f64; 12];
+    let mut counts = [0u64; 12];
+    for (hour, &v) in trace.hourly_values().iter().enumerate() {
+        let t = gaia_time::SimTime::from_hours(hour as u64);
+        let m = Month::from_day_of_year(t.day_of_year()).index();
+        sums[m] += v;
+        counts[m] += 1;
+    }
+    let mut out = [None; 12];
+    for m in 0..12 {
+        if counts[m] > 0 {
+            out[m] = Some(sums[m] / counts[m] as f64);
+        }
+    }
+    out
+}
+
+/// Mean intensity for each hour-of-day in `0..24` (the diurnal profile
+/// behind Figure 1).
+pub fn diurnal_profile(trace: &CarbonTrace) -> [GramsPerKwh; 24] {
+    let mut sums = [0.0f64; 24];
+    let mut counts = [0u64; 24];
+    for (hour, &v) in trace.hourly_values().iter().enumerate() {
+        let h = hour % 24;
+        sums[h] += v;
+        counts[h] += 1;
+    }
+    let mut out = [0.0; 24];
+    for h in 0..24 {
+        if counts[h] > 0 {
+            out[h] = sums[h] / counts[h] as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize_region;
+    use crate::Region;
+
+    #[test]
+    fn stats_of_constant_trace() {
+        let t = CarbonTrace::constant(150.0, 48).expect("valid");
+        let s = TraceStats::of(&t);
+        assert_eq!(s.mean, 150.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cov, 0.0);
+        assert_eq!(s.peak_to_trough, 1.0);
+    }
+
+    #[test]
+    fn stats_of_known_values() {
+        let t = CarbonTrace::from_hourly(vec![100.0, 300.0]).expect("valid");
+        let s = TraceStats::of(&t);
+        assert_eq!(s.mean, 200.0);
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.max, 300.0);
+        assert_eq!(s.std_dev, 100.0);
+        assert_eq!(s.peak_to_trough, 3.0);
+    }
+
+    #[test]
+    fn monthly_means_cover_full_year() {
+        let t = synthesize_region(Region::California, 5);
+        let means = monthly_means(&t);
+        assert!(means.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn monthly_means_partial_year() {
+        // 40 days: January and part of February only.
+        let t = CarbonTrace::constant(100.0, 40 * 24).expect("valid");
+        let means = monthly_means(&t);
+        assert_eq!(means[0], Some(100.0));
+        assert_eq!(means[1], Some(100.0));
+        assert!(means[2..].iter().all(|m| m.is_none()));
+    }
+
+    #[test]
+    fn diurnal_profile_shows_duck_curve() {
+        let t = synthesize_region(Region::California, 5);
+        let profile = diurnal_profile(&t);
+        // Midday (13h) below early morning (4h); evening (19h) above midday.
+        assert!(profile[13] < profile[4]);
+        assert!(profile[19] > profile[13]);
+    }
+
+    #[test]
+    fn diurnal_profile_flat_for_constant() {
+        let t = CarbonTrace::constant(80.0, 72).expect("valid");
+        let profile = diurnal_profile(&t);
+        assert!(profile.iter().all(|&v| (v - 80.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn classification_recovers_the_figure6_taxonomy() {
+        // The synthetic generators must classify back to the taxonomy the
+        // paper assigns each region.
+        for region in Region::ALL {
+            let trace = synthesize_region(region, 42);
+            let (level, variability) = classify(&trace);
+            assert_eq!(level, region.level(), "{region} level");
+            assert_eq!(variability, region.variability(), "{region} variability");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_detects_diurnality() {
+        // Duck-curve regions repeat daily: high 24 h autocorrelation.
+        let ca = synthesize_region(Region::California, 7);
+        let r24 = autocorrelation(&ca, 24);
+        assert!(r24 > 0.4, "California 24h autocorrelation {r24}");
+        // A constant trace has no structure.
+        let flat = CarbonTrace::constant(100.0, 100).expect("valid");
+        assert_eq!(autocorrelation(&flat, 24), 0.0);
+        // Half-day lag anti-correlates for a sinusoidal day.
+        let sine: Vec<f64> = (0..24 * 30)
+            .map(|h| 200.0 + 100.0 * (h as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let sine_trace = CarbonTrace::from_hourly(sine).expect("valid");
+        assert!(autocorrelation(&sine_trace, 12) < -0.9);
+        assert!(autocorrelation(&sine_trace, 24) > 0.9);
+        // Degenerate lag handling.
+        assert_eq!(autocorrelation(&flat, 1000), 0.0);
+    }
+
+    #[test]
+    fn variable_regions_have_higher_cov_than_stable() {
+        let stable = TraceStats::of(&synthesize_region(Region::Kentucky, 2)).cov;
+        let variable = TraceStats::of(&synthesize_region(Region::SouthAustralia, 2)).cov;
+        assert!(variable > 2.0 * stable);
+    }
+}

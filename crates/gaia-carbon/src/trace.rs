@@ -1,0 +1,534 @@
+//! The [`CarbonTrace`] hourly carbon-intensity time series.
+
+use std::fmt;
+
+use gaia_time::{HourlySlots, Minutes, SimTime, MINUTES_PER_HOUR};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CarbonError;
+
+/// Carbon intensity of grid energy, in grams of CO₂-equivalent per kWh.
+pub type GramsPerKwh = f64;
+
+/// An absolute mass of CO₂-equivalent emissions, in grams.
+pub type GramsCo2 = f64;
+
+/// An hourly carbon-intensity time series.
+///
+/// The trace is piecewise-constant: `values[h]` is the carbon intensity
+/// (g·CO₂eq/kWh) throughout hour `h` after the trace origin. A prefix-sum
+/// array makes arbitrary window integrals O(1), which the scheduling
+/// policies rely on when scanning thousands of candidate start times.
+///
+/// Queries past the end of the trace wrap around to the beginning, which
+/// matches the paper's practice of replaying year-long traces; wrapping is
+/// deliberate so that a week-long simulation near the trace end does not
+/// fall off a cliff. Use [`CarbonTrace::len_hours`] to size simulations
+/// within one period when wrapping is undesirable.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_carbon::CarbonTrace;
+/// use gaia_time::{Minutes, SimTime};
+///
+/// let trace = CarbonTrace::from_hourly(vec![100.0, 300.0, 200.0])?;
+/// assert_eq!(trace.intensity_at(SimTime::from_minutes(61)), 300.0);
+/// // 90 minutes starting at 00:30: half an hour at 100, one hour at 300.
+/// let avg = trace.window_avg(SimTime::from_minutes(30), Minutes::new(90));
+/// assert!((avg - (0.5 * 100.0 + 1.0 * 300.0) / 1.5).abs() < 1e-9);
+/// # Ok::<(), gaia_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarbonTrace {
+    values: Vec<GramsPerKwh>,
+    /// prefix[h] = sum of values[0..h]; prefix.len() == values.len() + 1.
+    prefix: Vec<f64>,
+}
+
+impl CarbonTrace {
+    /// Creates a trace from hourly carbon-intensity values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::EmptyTrace`] if `values` is empty and
+    /// [`CarbonError::InvalidIntensity`] if any value is negative or
+    /// non-finite.
+    pub fn from_hourly(values: Vec<GramsPerKwh>) -> Result<Self, CarbonError> {
+        if values.is_empty() {
+            return Err(CarbonError::EmptyTrace);
+        }
+        if let Some((hour, &value)) = values
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite() || **v < 0.0)
+        {
+            return Err(CarbonError::InvalidIntensity { hour, value });
+        }
+        let mut prefix = Vec::with_capacity(values.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &v in &values {
+            acc += v;
+            prefix.push(acc);
+        }
+        Ok(CarbonTrace { values, prefix })
+    }
+
+    /// Creates a trace that holds `value` constant for `hours` hours.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CarbonTrace::from_hourly`].
+    pub fn constant(value: GramsPerKwh, hours: usize) -> Result<Self, CarbonError> {
+        Self::from_hourly(vec![value; hours])
+    }
+
+    /// Number of hourly samples in one period of the trace.
+    pub fn len_hours(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns a copy of the trace rotated left by `hours`, so that the
+    /// sample at `hours` becomes the new origin. This implements the
+    /// paper artifact's "carbon index" knob (§A.7), used to start an
+    /// experiment in a particular season — e.g. February for the
+    /// Section 3 example.
+    pub fn rotate(&self, hours: u64) -> CarbonTrace {
+        let n = self.values.len();
+        let offset = (hours % n as u64) as usize;
+        let mut values = Vec::with_capacity(n);
+        values.extend_from_slice(&self.values[offset..]);
+        values.extend_from_slice(&self.values[..offset]);
+        CarbonTrace::from_hourly(values).expect("rotation preserves validity")
+    }
+
+    /// Total simulated span of one period of the trace.
+    pub fn span(&self) -> Minutes {
+        Minutes::from_hours(self.values.len() as u64)
+    }
+
+    /// The hourly values of one period.
+    pub fn hourly_values(&self) -> &[GramsPerKwh] {
+        &self.values
+    }
+
+    /// Carbon intensity during hour `hour` (wrapping past the end).
+    pub fn intensity_at_hour(&self, hour: u64) -> GramsPerKwh {
+        self.values[(hour % self.values.len() as u64) as usize]
+    }
+
+    /// Carbon intensity at instant `t` (piecewise-constant per hour).
+    pub fn intensity_at(&self, t: SimTime) -> GramsPerKwh {
+        self.intensity_at_hour(t.as_hours_floor())
+    }
+
+    /// Integral of carbon intensity over `[start, start + len)`, in
+    /// (g·CO₂eq/kWh)·hours. Multiplying by a power draw in kW gives grams
+    /// of CO₂eq.
+    ///
+    /// Partial hours are prorated; the window may wrap past the trace end.
+    pub fn window_integral(&self, start: SimTime, len: Minutes) -> f64 {
+        if len.is_zero() {
+            return 0.0;
+        }
+        let n = self.values.len() as u64;
+        let start_hour = start.as_hours_floor();
+        let end = start + len;
+        let end_hour_floor = end.as_hours_floor();
+
+        // Fast path: fully inside one hour.
+        if start_hour == end_hour_floor {
+            return self.intensity_at_hour(start_hour) * len.as_minutes() as f64
+                / MINUTES_PER_HOUR as f64;
+        }
+
+        let mut total = 0.0;
+        // Leading partial hour.
+        let lead_end = start.ceil_hour();
+        if lead_end > start {
+            total += self.intensity_at_hour(start_hour) * (lead_end - start).as_minutes() as f64
+                / MINUTES_PER_HOUR as f64;
+        }
+        // Trailing partial hour.
+        let tail_start = end.floor_hour();
+        if end > tail_start {
+            total += self.intensity_at_hour(end_hour_floor) * (end - tail_start).as_minutes()
+                as f64
+                / MINUTES_PER_HOUR as f64;
+        }
+        // Whole hours in between, using the prefix sums (wrap-aware).
+        let first_full = lead_end.as_hours_floor();
+        let last_full = tail_start.as_hours_floor(); // exclusive
+        if last_full > first_full {
+            total += self.full_hours_sum(first_full % n, last_full - first_full);
+        }
+        total
+    }
+
+    /// Sum of `count` consecutive hourly values starting at `start_hour`
+    /// (which must already be reduced modulo the trace length), wrapping.
+    fn full_hours_sum(&self, start_hour: u64, count: u64) -> f64 {
+        let n = self.values.len() as u64;
+        let total_period = self.prefix[self.values.len()];
+        let whole_periods = count / n;
+        let rem = count % n;
+        let mut sum = whole_periods as f64 * total_period;
+        let s = start_hour as usize;
+        let e = start_hour + rem;
+        if e <= n {
+            sum += self.prefix[e as usize] - self.prefix[s];
+        } else {
+            sum += (self.prefix[self.values.len()] - self.prefix[s])
+                + self.prefix[(e - n) as usize];
+        }
+        sum
+    }
+
+    /// Time-average carbon intensity over `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn window_avg(&self, start: SimTime, len: Minutes) -> GramsPerKwh {
+        assert!(!len.is_zero(), "window_avg over an empty window");
+        self.window_integral(start, len) / len.as_hours_f64()
+    }
+
+    /// Mean carbon intensity over one full period of the trace.
+    pub fn mean(&self) -> GramsPerKwh {
+        self.prefix[self.values.len()] / self.values.len() as f64
+    }
+
+    /// Minimum hourly carbon intensity over one full period.
+    pub fn min(&self) -> GramsPerKwh {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum hourly carbon intensity over one full period.
+    pub fn max(&self) -> GramsPerKwh {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Finds, among candidate start times `start + k·step` (for
+    /// `k = 0, 1, ...` while the candidate is `< start + horizon`), the one
+    /// minimizing the average CI over a window of `window` minutes, and
+    /// returns `(best_start, best_avg)`.
+    ///
+    /// Ties favor the earliest candidate, which keeps waiting times low
+    /// when several windows are equally green (the paper's motivation for
+    /// performance-aware policies, §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` or `window` is zero, or `horizon` is zero.
+    pub fn min_window_start(
+        &self,
+        start: SimTime,
+        horizon: Minutes,
+        window: Minutes,
+        step: Minutes,
+    ) -> (SimTime, GramsPerKwh) {
+        assert!(!step.is_zero(), "step must be positive");
+        assert!(!window.is_zero(), "window must be positive");
+        assert!(!horizon.is_zero(), "horizon must be positive");
+        let mut best_t = start;
+        let mut best_avg = f64::INFINITY;
+        let mut t = start;
+        while t < start + horizon {
+            let avg = self.window_avg(t, window);
+            if avg < best_avg - 1e-12 {
+                best_avg = avg;
+                best_t = t;
+            }
+            t += step;
+        }
+        (best_t, best_avg)
+    }
+
+    /// Minimum average CI over any `window`-long window starting in
+    /// `[start, start + horizon)`, scanning at hourly steps.
+    pub fn min_window_avg(&self, start: SimTime, horizon: Minutes, window: Minutes) -> f64 {
+        self.min_window_start(start, horizon, window, Minutes::from_hours(1)).1
+    }
+
+    /// Maximum average CI over any `window`-long window starting in
+    /// `[start, start + horizon)`, scanning at hourly steps.
+    pub fn max_window_avg(&self, start: SimTime, horizon: Minutes, window: Minutes) -> f64 {
+        let mut worst = 0.0f64;
+        let mut t = start;
+        while t < start + horizon {
+            worst = worst.max(self.window_avg(t, window));
+            t += Minutes::from_hours(1);
+        }
+        worst
+    }
+
+    /// Returns the `q`-quantile (`0.0..=1.0`) of the hourly CI values over
+    /// `[start, start + horizon)`, using nearest-rank interpolation.
+    ///
+    /// Used by the Ecovisor policy, which runs jobs only when the current
+    /// CI is below the 30th percentile of the next 24 hours (§6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or `horizon` is zero.
+    pub fn window_quantile(&self, start: SimTime, horizon: Minutes, q: f64) -> GramsPerKwh {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(!horizon.is_zero(), "quantile over an empty window");
+        let mut samples: Vec<f64> = HourlySlots::spanning(start, horizon)
+            .map(|s| self.intensity_at_hour(s.hour))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("CI values are finite"));
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx]
+    }
+
+    /// Greedily selects the cheapest (lowest-CI) hourly slots within
+    /// `[start, start + horizon)` summing to at least `need` minutes of
+    /// execution, and returns them as a sorted list of `(slot_start,
+    /// run_len)` segments. This is the Wait Awhile suspend-resume plan:
+    /// run in the greenest slots, pause elsewhere.
+    ///
+    /// The final (most expensive) selected slot is trimmed so the total
+    /// equals `need` exactly; trimming keeps the *earlier* portion of that
+    /// slot so the job finishes as soon as possible among equal-carbon
+    /// plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `need` is zero or exceeds `horizon`.
+    pub fn greenest_slots(
+        &self,
+        start: SimTime,
+        horizon: Minutes,
+        need: Minutes,
+    ) -> Vec<(SimTime, Minutes)> {
+        assert!(!need.is_zero(), "need must be positive");
+        assert!(need <= horizon, "cannot fit {need} of work into {horizon}");
+        let mut slots: Vec<SlotChoice> = HourlySlots::spanning(start, horizon)
+            .map(|s| SlotChoice {
+                start: s.start,
+                avail: s.overlap,
+                ci: self.intensity_at_hour(s.hour),
+            })
+            .collect();
+        // Cheapest CI first; ties broken by earliest start for fast finish.
+        slots.sort_by(|a, b| {
+            a.ci.partial_cmp(&b.ci)
+                .expect("CI values are finite")
+                .then(a.start.cmp(&b.start))
+        });
+        let mut remaining = need;
+        let mut chosen: Vec<(SimTime, Minutes)> = Vec::new();
+        for slot in slots {
+            if remaining.is_zero() {
+                break;
+            }
+            let take = slot.avail.min(remaining);
+            chosen.push((slot.start, take));
+            remaining -= take;
+        }
+        debug_assert!(remaining.is_zero(), "horizon >= need guarantees coverage");
+        chosen.sort_by_key(|(s, _)| *s);
+        // Merge adjacent segments for a tidy plan.
+        let mut merged: Vec<(SimTime, Minutes)> = Vec::with_capacity(chosen.len());
+        for (s, l) in chosen {
+            match merged.last_mut() {
+                Some((ms, ml)) if *ms + *ml == s => *ml += l,
+                _ => merged.push((s, l)),
+            }
+        }
+        merged
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotChoice {
+    start: SimTime,
+    avail: Minutes,
+    ci: f64,
+}
+
+impl fmt::Display for CarbonTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CarbonTrace({} h, mean {:.1} g/kWh, range {:.1}..{:.1})",
+            self.len_hours(),
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(values: &[f64]) -> CarbonTrace {
+        CarbonTrace::from_hourly(values.to_vec()).expect("valid test trace")
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            CarbonTrace::from_hourly(vec![]),
+            Err(CarbonError::EmptyTrace)
+        ));
+        assert!(matches!(
+            CarbonTrace::from_hourly(vec![1.0, -2.0]),
+            Err(CarbonError::InvalidIntensity { hour: 1, .. })
+        ));
+        assert!(matches!(
+            CarbonTrace::from_hourly(vec![f64::NAN]),
+            Err(CarbonError::InvalidIntensity { hour: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn point_lookups_wrap() {
+        let t = trace(&[100.0, 200.0, 300.0]);
+        assert_eq!(t.intensity_at(SimTime::from_hours(0)), 100.0);
+        assert_eq!(t.intensity_at(SimTime::from_minutes(119)), 200.0);
+        assert_eq!(t.intensity_at(SimTime::from_hours(3)), 100.0); // wrapped
+        assert_eq!(t.intensity_at_hour(7), 200.0);
+    }
+
+    #[test]
+    fn window_integral_matches_naive() {
+        let t = trace(&[100.0, 200.0, 50.0, 400.0, 10.0]);
+        for start_min in [0u64, 7, 59, 60, 61, 200, 299] {
+            for len_min in [1u64, 30, 60, 61, 120, 299, 600, 1000] {
+                let start = SimTime::from_minutes(start_min);
+                let len = Minutes::new(len_min);
+                let fast = t.window_integral(start, len);
+                // Naive: minute-by-minute accumulation.
+                let mut naive = 0.0;
+                for m in start_min..start_min + len_min {
+                    naive += t.intensity_at(SimTime::from_minutes(m)) / 60.0;
+                }
+                assert!(
+                    (fast - naive).abs() < 1e-6,
+                    "start={start_min} len={len_min}: fast={fast} naive={naive}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_window_integral_is_zero() {
+        let t = trace(&[100.0, 200.0]);
+        assert_eq!(t.window_integral(SimTime::from_minutes(30), Minutes::ZERO), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let t = trace(&[100.0, 200.0, 300.0]);
+        assert!((t.mean() - 200.0).abs() < 1e-12);
+        assert_eq!(t.min(), 100.0);
+        assert_eq!(t.max(), 300.0);
+        assert_eq!(t.span(), Minutes::from_hours(3));
+    }
+
+    #[test]
+    fn min_window_start_finds_valley() {
+        // Valley at hours 3-4.
+        let t = trace(&[300.0, 280.0, 250.0, 100.0, 110.0, 290.0]);
+        let (best, avg) = t.min_window_start(
+            SimTime::ORIGIN,
+            Minutes::from_hours(6),
+            Minutes::from_hours(2),
+            Minutes::from_hours(1),
+        );
+        assert_eq!(best, SimTime::from_hours(3));
+        assert!((avg - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_window_ties_prefer_earliest() {
+        let t = trace(&[100.0, 100.0, 100.0, 100.0]);
+        let (best, _) = t.min_window_start(
+            SimTime::ORIGIN,
+            Minutes::from_hours(4),
+            Minutes::from_hours(1),
+            Minutes::from_hours(1),
+        );
+        assert_eq!(best, SimTime::ORIGIN);
+    }
+
+    #[test]
+    fn quantile_30th_percentile() {
+        let t = trace(&[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+        let q30 = t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 0.3);
+        // nearest-rank over 10 samples: index round(9 * 0.3) = 3 -> 40.
+        assert_eq!(q30, 40.0);
+        assert_eq!(t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 0.0), 10.0);
+        assert_eq!(t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 1.0), 100.0);
+    }
+
+    #[test]
+    fn greenest_slots_pick_valley_and_sum_to_need() {
+        let t = trace(&[300.0, 100.0, 120.0, 400.0, 90.0, 500.0]);
+        let plan = t.greenest_slots(
+            SimTime::ORIGIN,
+            Minutes::from_hours(6),
+            Minutes::from_hours(3),
+        );
+        let total: Minutes = plan.iter().map(|(_, l)| *l).sum();
+        assert_eq!(total, Minutes::from_hours(3));
+        // Must contain hours 4 (90), 1 (100), 2 (120) — the three cheapest.
+        let starts: Vec<u64> = plan.iter().map(|(s, _)| s.as_hours_floor()).collect();
+        assert!(starts.contains(&4));
+        assert!(starts.contains(&1)); // hours 1 and 2 merge into one segment
+        // Sorted and non-overlapping.
+        for w in plan.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn greenest_slots_partial_hour_trim() {
+        let t = trace(&[300.0, 100.0, 200.0]);
+        let plan = t.greenest_slots(
+            SimTime::ORIGIN,
+            Minutes::from_hours(3),
+            Minutes::new(90),
+        );
+        let total: Minutes = plan.iter().map(|(_, l)| *l).sum();
+        assert_eq!(total, Minutes::new(90));
+        // The full hour 1 plus 30 minutes of hour 2 (the second-cheapest).
+        assert_eq!(plan[0], (SimTime::from_hours(1), Minutes::new(90)));
+    }
+
+    #[test]
+    fn greenest_slots_whole_horizon_when_need_equals_horizon() {
+        let t = trace(&[5.0, 4.0, 3.0]);
+        let plan = t.greenest_slots(
+            SimTime::ORIGIN,
+            Minutes::from_hours(3),
+            Minutes::from_hours(3),
+        );
+        assert_eq!(plan, vec![(SimTime::ORIGIN, Minutes::from_hours(3))]);
+    }
+
+    #[test]
+    fn rotation_shifts_origin_and_wraps() {
+        let t = trace(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.rotate(1);
+        assert_eq!(r.hourly_values(), &[2.0, 3.0, 4.0, 1.0]);
+        assert_eq!(t.rotate(0), t);
+        assert_eq!(t.rotate(4), t);
+        assert_eq!(t.rotate(5), t.rotate(1));
+        assert!((r.mean() - t.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = trace(&[100.0, 300.0]);
+        let s = t.to_string();
+        assert!(s.contains("2 h"));
+        assert!(s.contains("200.0"));
+    }
+}

@@ -1,0 +1,412 @@
+//! Hand-rolled argument parsing for the `gaia` binary (keeps the CLI
+//! dependency-free; the flag set mirrors the paper artifact's `run.py`).
+
+use gaia_carbon::Region;
+use gaia_core::catalog::BasePolicyKind;
+use gaia_time::Minutes;
+
+/// Help text printed for `--help`.
+pub const HELP: &str = "\
+gaia — carbon-, performance-, and cost-aware batch scheduling simulator
+
+USAGE:
+    gaia [OPTIONS]
+
+POLICY:
+    --policy <NAME>        nowait | allwait | waitawhile | ecovisor |
+                           lowest-slot | lowest-window | carbon-time |
+                           carbon-time-sr | carbon-tax
+                           (default: carbon-time)
+    --res-first            work-conserving use of reserved instances
+    --spot [JMAX_HOURS]    run jobs up to JMAX_HOURS (default 2) on spot
+    -w SHORTxLONG          max waiting times in hours (default: 6x24)
+    --tax <RATE>           carbon tax in $/kg CO2eq (carbon-tax policy;
+                           default 0.5)
+    --delay-value <RATE>   monetized delay in $/hour (carbon-tax policy;
+                           default 0.05)
+
+ENVIRONMENT:
+    --region <CODE>        SE | ON-CA | SA-AU | CA-US | NL | KY-US
+                           (default: SA-AU)
+    --trace <FAMILY>       alibaba | azure | mustang | section3
+                           (default: alibaba)
+    --scale <week|year>    week-long 1k-job or year-long trace (default week)
+    --jobs <N>             job count for year-long traces (default 100000)
+    --reserved <N>         reserved CPU instances (default 0)
+    --eviction <RATE>      hourly spot eviction rate in [0,1] (default 0)
+    --checkpoint IxO       spot checkpointing: interval I hours, overhead
+                           O minutes per checkpoint (default: off)
+    --overheads SxT        instance boot S and wind-down T minutes
+                           (default: 0x0, the paper-simulator behaviour)
+    --seed <N>             seed for traces and evictions (default 42)
+    --carbon-csv <PATH>    hourly carbon trace CSV instead of synthesis
+    --workload-csv <PATH>  workload CSV instead of synthesis
+
+OUTPUT:
+    --baseline             also run NoWait and report relative metrics
+    --details <PATH>       write the per-job details CSV (artifact A.6)
+    --aggregate <PATH>     write the aggregate totals CSV (artifact A.6)
+    --runtime <PATH>       write the hourly allocation CSV (artifact A.6)
+    --csv                  print the summary as CSV
+    --help                 show this message
+";
+
+/// Which policy drives the run: one of the paper's base policies or an
+/// extension policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyChoice {
+    /// One of Table 1's policies.
+    Base(BasePolicyKind),
+    /// The suspend-resume Carbon-Time extension.
+    CarbonTimeSr,
+    /// The carbon-tax extension.
+    CarbonTax,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    pub help: bool,
+    pub policy: PolicyChoice,
+    pub tax_per_kg: f64,
+    pub delay_value_per_hour: f64,
+    pub checkpoint: Option<(u64, u64)>,
+    pub overheads: (u64, u64),
+    pub res_first: bool,
+    pub spot_j_max: Option<Minutes>,
+    pub wait_short: Minutes,
+    pub wait_long: Minutes,
+    pub region: Region,
+    pub trace: TraceChoice,
+    pub scale: Scale,
+    pub jobs: usize,
+    pub reserved: u32,
+    pub eviction: f64,
+    pub seed: u64,
+    pub carbon_csv: Option<String>,
+    pub workload_csv: Option<String>,
+    pub baseline: bool,
+    pub details: Option<String>,
+    pub aggregate: Option<String>,
+    pub runtime: Option<String>,
+    pub csv: bool,
+}
+
+/// Which workload to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceChoice {
+    Alibaba,
+    Azure,
+    Mustang,
+    Section3,
+}
+
+/// Week-long prototype scale or year-long simulator scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Week,
+    Year,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            help: false,
+            policy: PolicyChoice::Base(BasePolicyKind::CarbonTime),
+            tax_per_kg: 0.5,
+            delay_value_per_hour: 0.05,
+            checkpoint: None,
+            overheads: (0, 0),
+            res_first: false,
+            spot_j_max: None,
+            wait_short: Minutes::from_hours(6),
+            wait_long: Minutes::from_hours(24),
+            region: Region::SouthAustralia,
+            trace: TraceChoice::Alibaba,
+            scale: Scale::Week,
+            jobs: 100_000,
+            reserved: 0,
+            eviction: 0.0,
+            seed: 42,
+            carbon_csv: None,
+            workload_csv: None,
+            baseline: false,
+            details: None,
+            aggregate: None,
+            runtime: None,
+            csv: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses command-line arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut options = Options::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => options.help = true,
+                "--policy" | "--carbon-policy" => {
+                    let name = value("--policy")?;
+                    let norm: String = name
+                        .chars()
+                        .filter(|c| c.is_ascii_alphanumeric())
+                        .map(|c| c.to_ascii_lowercase())
+                        .collect();
+                    options.policy = match norm.as_str() {
+                        "carbontimesr" | "carbontimesuspend" => PolicyChoice::CarbonTimeSr,
+                        "carbontax" => PolicyChoice::CarbonTax,
+                        _ => PolicyChoice::Base(
+                            BasePolicyKind::parse(name)
+                                .ok_or_else(|| format!("unknown policy {name:?}"))?,
+                        ),
+                    };
+                }
+                "--tax" => {
+                    let rate: f64 =
+                        value("--tax")?.parse().map_err(|_| "invalid --tax rate".to_owned())?;
+                    if rate < 0.0 || !rate.is_finite() {
+                        return Err("--tax must be non-negative".into());
+                    }
+                    options.tax_per_kg = rate;
+                }
+                "--delay-value" => {
+                    let rate: f64 = value("--delay-value")?
+                        .parse()
+                        .map_err(|_| "invalid --delay-value rate".to_owned())?;
+                    if rate < 0.0 || !rate.is_finite() {
+                        return Err("--delay-value must be non-negative".into());
+                    }
+                    options.delay_value_per_hour = rate;
+                }
+                "--checkpoint" => {
+                    let spec = value("--checkpoint")?;
+                    let (interval, overhead) = spec
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("--checkpoint expects IxO, got {spec:?}"))?;
+                    let interval: u64 = interval
+                        .trim()
+                        .parse()
+                        .map_err(|_| "invalid checkpoint interval".to_owned())?;
+                    let overhead: u64 = overhead
+                        .trim()
+                        .parse()
+                        .map_err(|_| "invalid checkpoint overhead".to_owned())?;
+                    if interval == 0 {
+                        return Err("checkpoint interval must be positive".into());
+                    }
+                    options.checkpoint = Some((interval, overhead));
+                }
+                "--overheads" => {
+                    let spec = value("--overheads")?;
+                    let (startup, teardown) = spec
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("--overheads expects SxT, got {spec:?}"))?;
+                    options.overheads = (
+                        startup.trim().parse().map_err(|_| "invalid startup minutes".to_owned())?,
+                        teardown
+                            .trim()
+                            .parse()
+                            .map_err(|_| "invalid teardown minutes".to_owned())?,
+                    );
+                }
+                "--res-first" => options.res_first = true,
+                "--spot" => {
+                    // Optional numeric value.
+                    let hours = match iter.peek() {
+                        Some(next) if !next.starts_with('-') => {
+                            let parsed = next
+                                .parse::<u64>()
+                                .map_err(|_| format!("invalid --spot hours {next:?}"))?;
+                            iter.next();
+                            parsed
+                        }
+                        _ => 2,
+                    };
+                    options.spot_j_max = Some(Minutes::from_hours(hours));
+                }
+                "-w" | "--waiting" => {
+                    let spec = value("-w")?;
+                    let (short, long) = spec
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("-w expects SHORTxLONG, got {spec:?}"))?;
+                    let parse_wait = |s: &str| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("invalid waiting hours {s:?}"))
+                    };
+                    // The artifact allows 0x0 (no waiting); map 0 to one
+                    // minute so windows stay non-empty.
+                    let short_h = parse_wait(short)?;
+                    let long_h = parse_wait(long)?;
+                    options.wait_short =
+                        if short_h == 0 { Minutes::new(1) } else { Minutes::from_hours(short_h) };
+                    options.wait_long =
+                        if long_h == 0 { Minutes::new(1) } else { Minutes::from_hours(long_h) };
+                }
+                "--region" => {
+                    let code = value("--region")?;
+                    options.region =
+                        code.parse().map_err(|_| format!("unknown region {code:?}"))?;
+                }
+                "--trace" => {
+                    options.trace = match value("--trace")?.to_ascii_lowercase().as_str() {
+                        "alibaba" | "alibaba-pai" | "pai" => TraceChoice::Alibaba,
+                        "azure" | "azure-vm" => TraceChoice::Azure,
+                        "mustang" | "mustang-hpc" | "lanl" => TraceChoice::Mustang,
+                        "section3" | "synthetic" => TraceChoice::Section3,
+                        other => return Err(format!("unknown trace {other:?}")),
+                    };
+                }
+                "--scale" => {
+                    options.scale = match value("--scale")?.to_ascii_lowercase().as_str() {
+                        "week" => Scale::Week,
+                        "year" => Scale::Year,
+                        other => return Err(format!("unknown scale {other:?}")),
+                    };
+                }
+                "--jobs" => {
+                    options.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "invalid --jobs count".to_owned())?;
+                }
+                "--reserved" => {
+                    options.reserved = value("--reserved")?
+                        .parse()
+                        .map_err(|_| "invalid --reserved count".to_owned())?;
+                }
+                "--eviction" => {
+                    let rate: f64 = value("--eviction")?
+                        .parse()
+                        .map_err(|_| "invalid --eviction rate".to_owned())?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err("--eviction rate must be in [0, 1]".into());
+                    }
+                    options.eviction = rate;
+                }
+                "--seed" => {
+                    options.seed =
+                        value("--seed")?.parse().map_err(|_| "invalid --seed".to_owned())?;
+                }
+                "--carbon-csv" => options.carbon_csv = Some(value("--carbon-csv")?.to_owned()),
+                "--workload-csv" => {
+                    options.workload_csv = Some(value("--workload-csv")?.to_owned());
+                }
+                "--baseline" => options.baseline = true,
+                "--details" => options.details = Some(value("--details")?.to_owned()),
+                "--aggregate" => options.aggregate = Some(value("--aggregate")?.to_owned()),
+                "--runtime" => options.runtime = Some(value("--runtime")?.to_owned()),
+                "--csv" => options.csv = true,
+                // Artifact compatibility: `--scheduling-policy cost|carbon`.
+                "--scheduling-policy" => {
+                    match value("--scheduling-policy")?.to_ascii_lowercase().as_str() {
+                        "cost" => options.policy = PolicyChoice::Base(BasePolicyKind::NoWait),
+                        "carbon" => {
+                            options.policy = PolicyChoice::Base(BasePolicyKind::LowestWindow)
+                        }
+                        other => return Err(format!("unknown scheduling policy {other:?}")),
+                    }
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).expect("empty args");
+        assert_eq!(o.policy, PolicyChoice::Base(BasePolicyKind::CarbonTime));
+        assert_eq!(o.region, Region::SouthAustralia);
+        assert_eq!(o.wait_short, Minutes::from_hours(6));
+        assert_eq!(o.wait_long, Minutes::from_hours(24));
+        assert!(!o.res_first);
+        assert!(o.spot_j_max.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--policy", "lowest-window",
+            "--res-first",
+            "--spot", "6",
+            "-w", "3x12",
+            "--region", "ca-us",
+            "--trace", "azure",
+            "--scale", "year",
+            "--jobs", "5000",
+            "--reserved", "10",
+            "--eviction", "0.1",
+            "--seed", "7",
+            "--baseline",
+            "--csv",
+        ])
+        .expect("valid");
+        assert_eq!(o.policy, PolicyChoice::Base(BasePolicyKind::LowestWindow));
+        assert!(o.res_first);
+        assert_eq!(o.spot_j_max, Some(Minutes::from_hours(6)));
+        assert_eq!(o.wait_short, Minutes::from_hours(3));
+        assert_eq!(o.wait_long, Minutes::from_hours(12));
+        assert_eq!(o.region, Region::California);
+        assert_eq!(o.trace, TraceChoice::Azure);
+        assert_eq!(o.scale, Scale::Year);
+        assert_eq!(o.jobs, 5000);
+        assert_eq!(o.reserved, 10);
+        assert!((o.eviction - 0.1).abs() < 1e-12);
+        assert_eq!(o.seed, 7);
+        assert!(o.baseline);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn spot_without_value_defaults_to_two_hours() {
+        let o = parse(&["--spot", "--baseline"]).expect("valid");
+        assert_eq!(o.spot_j_max, Some(Minutes::from_hours(2)));
+        assert!(o.baseline);
+    }
+
+    #[test]
+    fn zero_waits_map_to_one_minute() {
+        let o = parse(&["-w", "0x0"]).expect("valid");
+        assert_eq!(o.wait_short, Minutes::new(1));
+        assert_eq!(o.wait_long, Minutes::new(1));
+    }
+
+    #[test]
+    fn artifact_compat_scheduling_policy() {
+        let o = parse(&["--scheduling-policy", "cost"]).expect("valid");
+        assert_eq!(o.policy, PolicyChoice::Base(BasePolicyKind::NoWait));
+        let o = parse(&["--scheduling-policy", "carbon"]).expect("valid");
+        assert_eq!(o.policy, PolicyChoice::Base(BasePolicyKind::LowestWindow));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--policy", "magic"]).is_err());
+        assert!(parse(&["--policy"]).is_err());
+        assert!(parse(&["-w", "6"]).is_err());
+        assert!(parse(&["--eviction", "2.0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--region", "atlantis"]).is_err());
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(parse(&["--help"]).expect("valid").help);
+        assert!(parse(&["-h"]).expect("valid").help);
+        assert!(HELP.contains("--policy"));
+    }
+}

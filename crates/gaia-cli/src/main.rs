@@ -1,0 +1,32 @@
+//! `gaia` — command-line experiment runner, mirroring the paper
+//! artifact's `run.py` interface (§A.5):
+//!
+//! ```text
+//! gaia --scheduling-policy carbon --carbon-policy waiting -w 6x24
+//! ```
+//!
+//! Run `gaia --help` for the full flag reference.
+
+use std::process::ExitCode;
+
+mod args;
+mod run;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args::Options::parse(&args) {
+        Ok(options) => {
+            if options.help {
+                print!("{}", args::HELP);
+                ExitCode::SUCCESS
+            } else {
+                run::execute(&options)
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `gaia --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Experiment execution for the `gaia` CLI.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use gaia_carbon::synth::synthesize_region;
+use gaia_carbon::CarbonTrace;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::{BatchPolicy, CarbonTax, CarbonTimeSuspend, GaiaScheduler, SpotConfig};
+use gaia_metrics::table::TextTable;
+use gaia_metrics::{relative_to, Summary};
+use gaia_sim::{
+    CheckpointConfig, ClusterConfig, EvictionModel, InstanceOverheads, SimReport, Simulation,
+};
+use gaia_time::Minutes;
+use gaia_workload::synth::{section3_workload, TraceFamily};
+use gaia_workload::{QueueSet, WorkloadTrace};
+
+use crate::args::{Options, PolicyChoice, Scale, TraceChoice};
+
+/// Runs the experiment described by `options`.
+pub fn execute(options: &Options) -> ExitCode {
+    match try_execute(options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_execute(options: &Options) -> Result<(), String> {
+    let carbon = load_carbon(options)?;
+    let workload = load_workload(options)?;
+    let queues = QueueSet::paper_defaults()
+        .with_waits(options.wait_short, options.wait_long)
+        .with_averages_from(workload.jobs());
+
+    let billing = billing_horizon(&workload);
+    let mut config = ClusterConfig::default()
+        .with_reserved(options.reserved)
+        .with_eviction(EvictionModel::hourly(options.eviction))
+        .with_seed(options.seed)
+        .with_billing_horizon(billing)
+        .with_overheads(InstanceOverheads {
+            startup: Minutes::new(options.overheads.0),
+            teardown: Minutes::new(options.overheads.1),
+        });
+    if let Some((interval_h, overhead_min)) = options.checkpoint {
+        config = config.with_checkpointing(CheckpointConfig::every_hours(interval_h, overhead_min));
+    }
+
+    let report = run_choice(options, &workload, &carbon, config, queues);
+    let summary = Summary::of(policy_name(options), &report);
+
+    if let Some(path) = &options.details {
+        write_csv(path, |w| gaia_sim::output::write_details_csv(w, &report))?;
+    }
+    if let Some(path) = &options.aggregate {
+        write_csv(path, |w| gaia_sim::output::write_aggregate_csv(w, &report))?;
+    }
+    if let Some(path) = &options.runtime {
+        write_csv(path, |w| gaia_sim::output::write_runtime_csv(w, &report, &carbon))?;
+    }
+
+    let mut table = TextTable::new(vec![
+        "policy",
+        "carbon (kg)",
+        "cost ($)",
+        "mean wait (h)",
+        "mean completion (h)",
+        "reserved util",
+        "evictions",
+    ]);
+    push_summary_row(&mut table, &summary);
+
+    if options.baseline && summary.name != "NoWait" {
+        let baseline_spec = PolicySpec::plain(BasePolicyKind::NoWait);
+        let baseline_report = run(baseline_spec, &workload, &carbon, config, queues);
+        let baseline = Summary::of("NoWait", &baseline_report);
+        push_summary_row(&mut table, &baseline);
+        print_table(options, &table);
+        let rel = relative_to(&summary, &baseline);
+        println!(
+            "relative to NoWait: carbon {:.3}  cost {:.3}  ({:+.1}% carbon, {:+.1}% cost)",
+            rel.carbon,
+            rel.cost,
+            (rel.carbon - 1.0) * 100.0,
+            (rel.cost - 1.0) * 100.0,
+        );
+    } else {
+        print_table(options, &table);
+    }
+    Ok(())
+}
+
+fn print_table(options: &Options, table: &TextTable) {
+    if options.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{table}");
+    }
+}
+
+fn push_summary_row(table: &mut TextTable, summary: &Summary) {
+    table.row(vec![
+        summary.name.clone(),
+        format!("{:.1}", summary.carbon_kg()),
+        format!("{:.2}", summary.total_cost),
+        format!("{:.2}", summary.mean_wait_hours),
+        format!("{:.2}", summary.mean_completion_hours),
+        format!("{:.2}", summary.reserved_utilization),
+        summary.evictions.to_string(),
+    ]);
+}
+
+fn run(
+    spec: PolicySpec,
+    workload: &WorkloadTrace,
+    carbon: &CarbonTrace,
+    config: ClusterConfig,
+    queues: QueueSet,
+) -> SimReport {
+    let mut scheduler = spec.build(queues);
+    Simulation::new(config, carbon).run(workload, &mut scheduler)
+}
+
+/// Builds and runs the selected policy, including the extension policies
+/// that live outside the paper's Table 1 catalog.
+fn run_choice(
+    options: &Options,
+    workload: &WorkloadTrace,
+    carbon: &CarbonTrace,
+    config: ClusterConfig,
+    queues: QueueSet,
+) -> SimReport {
+    let base: Box<dyn BatchPolicy> = match options.policy {
+        PolicyChoice::Base(kind) => {
+            let spec = PolicySpec {
+                base: kind,
+                res_first: options.res_first,
+                spot: options.spot_j_max.map(|j_max| SpotConfig { j_max }),
+            };
+            return run(spec, workload, carbon, config, queues);
+        }
+        PolicyChoice::CarbonTimeSr => Box::new(CarbonTimeSuspend::new(queues)),
+        PolicyChoice::CarbonTax => Box::new(CarbonTax::new(
+            queues,
+            options.tax_per_kg,
+            options.delay_value_per_hour,
+        )),
+    };
+    let mut scheduler = GaiaScheduler::new(base);
+    if options.res_first {
+        scheduler = scheduler.res_first();
+    }
+    if let Some(j_max) = options.spot_j_max {
+        scheduler = scheduler.spot_first(SpotConfig { j_max });
+    }
+    Simulation::new(config, carbon).run(workload, &mut scheduler)
+}
+
+/// The display name for the selected policy configuration.
+fn policy_name(options: &Options) -> String {
+    let base = match options.policy {
+        PolicyChoice::Base(kind) => {
+            return PolicySpec {
+                base: kind,
+                res_first: options.res_first,
+                spot: options.spot_j_max.map(|j_max| SpotConfig { j_max }),
+            }
+            .name()
+        }
+        PolicyChoice::CarbonTimeSr => "Carbon-Time-SR",
+        PolicyChoice::CarbonTax => "Carbon-Tax",
+    };
+    match (options.res_first, options.spot_j_max.is_some()) {
+        (false, false) => base.to_owned(),
+        (true, false) => format!("RES-First-{base}"),
+        (false, true) => format!("Spot-First-{base}"),
+        (true, true) => format!("Spot-RES-{base}"),
+    }
+}
+
+fn load_carbon(options: &Options) -> Result<CarbonTrace, String> {
+    if let Some(path) = &options.carbon_csv {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return gaia_carbon::io::read_trace_csv(BufReader::new(file))
+            .map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    Ok(synthesize_region(options.region, options.seed))
+}
+
+fn load_workload(options: &Options) -> Result<WorkloadTrace, String> {
+    if let Some(path) = &options.workload_csv {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return gaia_workload::io::read_trace_csv(BufReader::new(file))
+            .map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    let trace = match (options.trace, options.scale) {
+        (TraceChoice::Section3, _) => section3_workload(options.seed),
+        (choice, Scale::Week) => family(choice).week_long_1k(options.seed),
+        (choice, Scale::Year) => family(choice).year_long(options.jobs, options.seed),
+    };
+    Ok(trace)
+}
+
+fn family(choice: TraceChoice) -> TraceFamily {
+    match choice {
+        TraceChoice::Alibaba => TraceFamily::AlibabaPai,
+        TraceChoice::Azure => TraceFamily::AzureVm,
+        TraceChoice::Mustang => TraceFamily::MustangHpc,
+        TraceChoice::Section3 => unreachable!("handled by the caller"),
+    }
+}
+
+fn billing_horizon(workload: &WorkloadTrace) -> Minutes {
+    // Contract period: the workload span rounded up to whole days, plus
+    // two days of slack for delayed tails (identical across policies).
+    let span_days = workload.nominal_makespan().as_minutes().div_ceil(gaia_time::MINUTES_PER_DAY);
+    Minutes::from_days(span_days + 2)
+}
+
+fn write_csv(
+    path: &str,
+    write: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
+) -> Result<(), String> {
+    let mut writer = BufWriter::new(
+        File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+    );
+    write(&mut writer).map_err(|e| format!("cannot write {path}: {e}"))?;
+    writer.flush().map_err(|e| format!("cannot flush {path}: {e}"))
+}

@@ -1,0 +1,165 @@
+//! End-to-end tests of the `gaia` binary.
+
+use std::process::Command;
+
+fn gaia() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gaia"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = gaia().args(args).output().expect("binary runs");
+    assert!(
+        output.status.success(),
+        "gaia {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(&["--help"]);
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("--policy"));
+    assert!(out.contains("--res-first"));
+}
+
+#[test]
+fn default_run_prints_summary_table() {
+    let out = run_ok(&["--trace", "section3", "--seed", "1"]);
+    assert!(out.contains("Carbon-Time"));
+    assert!(out.contains("carbon (kg)"));
+    assert!(out.contains("cost ($)"));
+}
+
+#[test]
+fn baseline_flag_adds_relative_metrics() {
+    let out = run_ok(&["--trace", "section3", "--baseline", "--seed", "1"]);
+    assert!(out.contains("NoWait"));
+    assert!(out.contains("relative to NoWait"));
+}
+
+#[test]
+fn artifact_examples_from_appendix_a5() {
+    // Example 1: carbon- and cost-agnostic.
+    let out = run_ok(&[
+        "--trace", "section3", "--scheduling-policy", "cost", "-w", "0x0",
+    ]);
+    assert!(out.contains("NoWait"));
+    // Example 2: lowest carbon window with 6x24 waits.
+    let out = run_ok(&[
+        "--trace", "section3", "--scheduling-policy", "carbon", "-w", "6x24",
+    ]);
+    assert!(out.contains("Lowest-Window"));
+}
+
+#[test]
+fn composed_policy_names_appear() {
+    let out = run_ok(&[
+        "--trace", "section3", "--policy", "carbon-time", "--res-first", "--spot", "2",
+        "--reserved", "3", "--seed", "1",
+    ]);
+    assert!(out.contains("Spot-RES-Carbon-Time"));
+}
+
+#[test]
+fn csv_output_and_details_file() {
+    let details = std::env::temp_dir().join("gaia_cli_test_details.csv");
+    let details_path = details.to_str().expect("utf-8 temp path");
+    let out = run_ok(&[
+        "--trace", "section3", "--csv", "--details", details_path, "--seed", "1",
+    ]);
+    assert!(out.starts_with("policy,"));
+    let contents = std::fs::read_to_string(&details).expect("details written");
+    assert!(contents.starts_with("job_id,arrival_min"));
+    assert!(contents.lines().count() > 10);
+    std::fs::remove_file(&details).ok();
+}
+
+#[test]
+fn extension_policies_run() {
+    let out = run_ok(&["--trace", "section3", "--policy", "carbon-time-sr", "--baseline"]);
+    assert!(out.contains("Carbon-Time-SR"));
+    let out = run_ok(&[
+        "--trace", "section3", "--policy", "carbon-tax", "--tax", "2.0",
+        "--delay-value", "0.1", "--baseline",
+    ]);
+    assert!(out.contains("Carbon-Tax"));
+}
+
+#[test]
+fn checkpoint_and_overhead_flags_run() {
+    let out = run_ok(&[
+        "--trace", "section3", "--policy", "lowest-window", "--spot", "24",
+        "--eviction", "0.2", "--checkpoint", "1x5", "--overheads", "2x1",
+        "--baseline", "--seed", "1",
+    ]);
+    assert!(out.contains("Spot-First-Lowest-Window"));
+    // With a 20% hourly eviction rate and 4-hour mean jobs on spot, some
+    // evictions are near-certain in this trace.
+    let evictions: u64 = out
+        .lines()
+        .find(|l| l.starts_with("Spot-First"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("evictions column");
+    assert!(evictions > 0, "expected evictions in output:\n{out}");
+}
+
+#[test]
+fn artifact_output_files_are_written() {
+    let dir = std::env::temp_dir();
+    let agg = dir.join("gaia_cli_test_aggregate.csv");
+    let runtime = dir.join("gaia_cli_test_runtime.csv");
+    run_ok(&[
+        "--trace", "section3", "--seed", "1",
+        "--aggregate", agg.to_str().expect("utf-8"),
+        "--runtime", runtime.to_str().expect("utf-8"),
+    ]);
+    let agg_text = std::fs::read_to_string(&agg).expect("aggregate written");
+    assert!(agg_text.starts_with("jobs,carbon_g"));
+    assert_eq!(agg_text.lines().count(), 2);
+    let runtime_text = std::fs::read_to_string(&runtime).expect("runtime written");
+    assert!(runtime_text.starts_with("hour,reserved_cpus"));
+    assert!(runtime_text.lines().count() > 24);
+    std::fs::remove_file(&agg).ok();
+    std::fs::remove_file(&runtime).ok();
+}
+
+#[test]
+fn rejects_unknown_flags_with_failure_exit() {
+    let output = gaia().arg("--frobnicate").output().expect("binary runs");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown flag"));
+}
+
+#[test]
+fn csv_traces_round_trip_through_the_cli() {
+    use gaia_carbon::CarbonTrace;
+    let dir = std::env::temp_dir();
+    let carbon_path = dir.join("gaia_cli_test_carbon.csv");
+    let workload_path = dir.join("gaia_cli_test_workload.csv");
+
+    let carbon = CarbonTrace::from_hourly((0..200).map(|h| 100.0 + (h % 24) as f64 * 20.0).collect())
+        .expect("valid trace");
+    let mut buf = Vec::new();
+    gaia_carbon::io::write_trace_csv(&mut buf, &carbon).expect("serialize");
+    std::fs::write(&carbon_path, buf).expect("write carbon csv");
+
+    let workload = gaia_workload::synth::section3_workload(5);
+    let mut buf = Vec::new();
+    gaia_workload::io::write_trace_csv(&mut buf, &workload).expect("serialize");
+    std::fs::write(&workload_path, buf).expect("write workload csv");
+
+    let out = run_ok(&[
+        "--carbon-csv",
+        carbon_path.to_str().expect("utf-8"),
+        "--workload-csv",
+        workload_path.to_str().expect("utf-8"),
+        "--baseline",
+    ]);
+    assert!(out.contains("relative to NoWait"));
+    std::fs::remove_file(&carbon_path).ok();
+    std::fs::remove_file(&workload_path).ok();
+}

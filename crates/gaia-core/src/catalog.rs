@@ -1,0 +1,291 @@
+//! Named constructors for every policy configuration the paper
+//! evaluates, plus the Table 1 capability matrix.
+
+use gaia_workload::QueueSet;
+use serde::{Deserialize, Serialize};
+
+use crate::policies::{
+    AllWaitThreshold, BatchPolicy, CarbonTime, Ecovisor, LowestSlot, LowestWindow, NoWait,
+    WaitAwhile,
+};
+use crate::scheduler::{GaiaScheduler, SpotConfig};
+
+/// A [`GaiaScheduler`] over a type-erased base policy — the uniform type
+/// the experiment harness iterates over.
+pub type DynScheduler = GaiaScheduler<Box<dyn BatchPolicy>>;
+
+/// The base policies of Table 1, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BasePolicyKind {
+    /// Carbon- and cost-agnostic FCFS.
+    NoWait,
+    /// Cost-aware waiting for reserved capacity.
+    AllWaitThreshold,
+    /// Suspend-resume over the greenest slots; knows exact job lengths.
+    WaitAwhile,
+    /// Greedy carbon-threshold suspend-resume.
+    Ecovisor,
+    /// Start at the greenest single slot.
+    LowestSlot,
+    /// Start at the greenest `J_avg`-long window.
+    LowestWindow,
+    /// Maximize carbon saving per completion time (the paper's proposal).
+    CarbonTime,
+}
+
+impl BasePolicyKind {
+    /// All base policies, in Table 1 order.
+    pub const ALL: [BasePolicyKind; 7] = [
+        BasePolicyKind::NoWait,
+        BasePolicyKind::AllWaitThreshold,
+        BasePolicyKind::WaitAwhile,
+        BasePolicyKind::Ecovisor,
+        BasePolicyKind::LowestSlot,
+        BasePolicyKind::LowestWindow,
+        BasePolicyKind::CarbonTime,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BasePolicyKind::NoWait => "NoWait",
+            BasePolicyKind::AllWaitThreshold => "AllWait-Threshold",
+            BasePolicyKind::WaitAwhile => "Wait Awhile",
+            BasePolicyKind::Ecovisor => "Ecovisor",
+            BasePolicyKind::LowestSlot => "Lowest-Slot",
+            BasePolicyKind::LowestWindow => "Lowest-Window",
+            BasePolicyKind::CarbonTime => "Carbon-Time",
+        }
+    }
+
+    /// Parses a policy from its display name or a CLI-friendly slug
+    /// (`"carbon-time"`, `"waitawhile"`, ...).
+    pub fn parse(s: &str) -> Option<BasePolicyKind> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        Some(match norm.as_str() {
+            "nowait" => BasePolicyKind::NoWait,
+            "allwait" | "allwaitthreshold" => BasePolicyKind::AllWaitThreshold,
+            "waitawhile" => BasePolicyKind::WaitAwhile,
+            "ecovisor" => BasePolicyKind::Ecovisor,
+            "lowestslot" => BasePolicyKind::LowestSlot,
+            "lowestwindow" => BasePolicyKind::LowestWindow,
+            "carbontime" => BasePolicyKind::CarbonTime,
+            _ => return None,
+        })
+    }
+
+    /// Table 1: the job-length knowledge the policy assumes.
+    pub fn job_length_knowledge(self) -> &'static str {
+        match self {
+            BasePolicyKind::WaitAwhile => "exact J",
+            BasePolicyKind::LowestWindow | BasePolicyKind::CarbonTime => "J_avg",
+            _ => "-",
+        }
+    }
+
+    /// Table 1: whether the policy is carbon-aware.
+    pub fn carbon_aware(self) -> bool {
+        !matches!(
+            self,
+            BasePolicyKind::NoWait | BasePolicyKind::AllWaitThreshold
+        )
+    }
+
+    /// Table 1: whether the policy is performance-aware.
+    pub fn performance_aware(self) -> bool {
+        matches!(self, BasePolicyKind::CarbonTime)
+    }
+
+    /// Whether the policy executes jobs in suspend-resume fashion.
+    pub fn suspend_resume(self) -> bool {
+        matches!(self, BasePolicyKind::WaitAwhile | BasePolicyKind::Ecovisor)
+    }
+
+    /// Builds the boxed base policy.
+    pub fn build(self, queues: QueueSet) -> Box<dyn BatchPolicy> {
+        match self {
+            BasePolicyKind::NoWait => Box::new(NoWait::new()),
+            BasePolicyKind::AllWaitThreshold => Box::new(AllWaitThreshold::new(queues)),
+            BasePolicyKind::WaitAwhile => Box::new(WaitAwhile::new(queues)),
+            BasePolicyKind::Ecovisor => Box::new(Ecovisor::new(queues)),
+            BasePolicyKind::LowestSlot => Box::new(LowestSlot::new(queues)),
+            BasePolicyKind::LowestWindow => Box::new(LowestWindow::new(queues)),
+            BasePolicyKind::CarbonTime => Box::new(CarbonTime::new(queues)),
+        }
+    }
+}
+
+impl std::fmt::Display for BasePolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A full policy configuration: base policy plus purchase-option
+/// wrappers. This is the unit the figure harnesses sweep over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// The base policy.
+    pub base: BasePolicyKind,
+    /// Apply the work-conserving RES-First wrapper.
+    pub res_first: bool,
+    /// Apply the Spot-First wrapper with this configuration.
+    pub spot: Option<SpotConfig>,
+}
+
+impl PolicySpec {
+    /// A plain base policy.
+    pub fn plain(base: BasePolicyKind) -> Self {
+        PolicySpec { base, res_first: false, spot: None }
+    }
+
+    /// The RES-First variant.
+    pub fn res_first(base: BasePolicyKind) -> Self {
+        PolicySpec { base, res_first: true, spot: None }
+    }
+
+    /// The Spot-First variant with the paper's default `J^max`.
+    pub fn spot_first(base: BasePolicyKind) -> Self {
+        PolicySpec { base, res_first: false, spot: Some(SpotConfig::default()) }
+    }
+
+    /// The combined Spot-RES variant with the paper's default `J^max`.
+    pub fn spot_res(base: BasePolicyKind) -> Self {
+        PolicySpec { base, res_first: true, spot: Some(SpotConfig::default()) }
+    }
+
+    /// Builds the runnable scheduler for a cluster with the given queues.
+    pub fn build(self, queues: QueueSet) -> DynScheduler {
+        let mut scheduler = GaiaScheduler::new(self.base.build(queues));
+        if self.res_first {
+            scheduler = scheduler.res_first();
+        }
+        if let Some(spot) = self.spot {
+            scheduler = scheduler.spot_first(spot);
+        }
+        scheduler
+    }
+
+    /// The composed display name (e.g. `"Spot-RES-Carbon-Time"`).
+    pub fn name(self) -> String {
+        let base = self.base.name();
+        match (self.res_first, self.spot.is_some()) {
+            (false, false) => base.to_owned(),
+            (true, false) => format!("RES-First-{base}"),
+            (false, true) => format!("Spot-First-{base}"),
+            (true, true) => format!("Spot-RES-{base}"),
+        }
+    }
+}
+
+impl BatchPolicy for Box<dyn BatchPolicy> {
+    fn decide(
+        &mut self,
+        job: &gaia_workload::Job,
+        ctx: &gaia_sim::SchedulerContext<'_>,
+    ) -> gaia_sim::Decision {
+        (**self).decide(job, ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The six policies of Figure 8, in the figure's x-axis order.
+pub fn figure8_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        PolicySpec::plain(BasePolicyKind::LowestSlot),
+        PolicySpec::plain(BasePolicyKind::LowestWindow),
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        PolicySpec::plain(BasePolicyKind::Ecovisor),
+        PolicySpec::plain(BasePolicyKind::WaitAwhile),
+    ]
+}
+
+/// The six policies of Figure 10, in the figure's x-axis order.
+pub fn figure10_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        PolicySpec::plain(BasePolicyKind::AllWaitThreshold),
+        PolicySpec::plain(BasePolicyKind::WaitAwhile),
+        PolicySpec::plain(BasePolicyKind::Ecovisor),
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        PolicySpec::res_first(BasePolicyKind::CarbonTime),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_capability_matrix() {
+        use BasePolicyKind as K;
+        assert_eq!(K::NoWait.job_length_knowledge(), "-");
+        assert!(!K::NoWait.carbon_aware());
+        assert!(!K::NoWait.performance_aware());
+        assert_eq!(K::WaitAwhile.job_length_knowledge(), "exact J");
+        assert!(K::WaitAwhile.carbon_aware());
+        assert!(K::WaitAwhile.suspend_resume());
+        assert_eq!(K::LowestWindow.job_length_knowledge(), "J_avg");
+        assert!(K::CarbonTime.carbon_aware());
+        assert!(K::CarbonTime.performance_aware());
+        assert!(!K::CarbonTime.suspend_resume());
+        assert!(K::Ecovisor.carbon_aware());
+        assert!(!K::Ecovisor.performance_aware());
+        assert!(!K::AllWaitThreshold.carbon_aware());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in BasePolicyKind::ALL {
+            assert_eq!(BasePolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BasePolicyKind::parse("carbon-time"), Some(BasePolicyKind::CarbonTime));
+        assert_eq!(BasePolicyKind::parse("ALLWAIT"), Some(BasePolicyKind::AllWaitThreshold));
+        assert_eq!(BasePolicyKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn spec_names() {
+        assert_eq!(PolicySpec::plain(BasePolicyKind::CarbonTime).name(), "Carbon-Time");
+        assert_eq!(
+            PolicySpec::res_first(BasePolicyKind::CarbonTime).name(),
+            "RES-First-Carbon-Time"
+        );
+        assert_eq!(
+            PolicySpec::spot_first(BasePolicyKind::Ecovisor).name(),
+            "Spot-First-Ecovisor"
+        );
+        assert_eq!(
+            PolicySpec::spot_res(BasePolicyKind::CarbonTime).name(),
+            "Spot-RES-Carbon-Time"
+        );
+    }
+
+    #[test]
+    fn built_scheduler_names_agree_with_spec() {
+        let queues = QueueSet::paper_defaults();
+        for spec in [
+            PolicySpec::plain(BasePolicyKind::LowestWindow),
+            PolicySpec::res_first(BasePolicyKind::CarbonTime),
+            PolicySpec::spot_first(BasePolicyKind::CarbonTime),
+            PolicySpec::spot_res(BasePolicyKind::CarbonTime),
+        ] {
+            assert_eq!(spec.build(queues).name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn figure_policy_lists() {
+        assert_eq!(figure8_policies().len(), 6);
+        assert_eq!(figure10_policies().len(), 6);
+        assert_eq!(figure10_policies()[5].name(), "RES-First-Carbon-Time");
+    }
+}

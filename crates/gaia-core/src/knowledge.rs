@@ -1,0 +1,79 @@
+//! The job-length knowledge model (§4.2.1, Table 1).
+
+use gaia_time::Minutes;
+use gaia_workload::{Job, QueueSet};
+use serde::{Deserialize, Serialize};
+
+/// How much a policy is allowed to know about a job's length.
+///
+/// The paper stresses that production schedulers often know only a coarse
+/// bound: "a batch scheduler may not know the job length J prior to
+/// execution and may only know a coarse upper bound based on the queue"
+/// (§4.2.1). Its proposed policies therefore use the *historical
+/// queue-wide average*; knowing the exact length is the privileged
+/// assumption of the Wait Awhile baseline. Exposing the model as a
+/// parameter enables the paper's sensitivity discussion (§6.4.1) and our
+/// ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum JobLengthKnowledge {
+    /// Use the historical queue-wide average `J_avg` (the paper's
+    /// realistic default for its proposed policies).
+    #[default]
+    QueueAverage,
+    /// Use the queue's maximum length `J_max` (most conservative).
+    QueueMax,
+    /// Use the exact length (Wait Awhile's assumption).
+    Exact,
+}
+
+impl JobLengthKnowledge {
+    /// The length estimate a policy operating under this model uses for
+    /// `job`.
+    pub fn estimate(self, job: &Job, queues: &QueueSet) -> Minutes {
+        match self {
+            JobLengthKnowledge::QueueAverage => queues.avg_length(queues.classify(job)),
+            JobLengthKnowledge::QueueMax => queues.max_length_for(job),
+            JobLengthKnowledge::Exact => job.length,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_time::SimTime;
+    use gaia_workload::JobId;
+
+    #[test]
+    fn estimates_per_model() {
+        let jobs = vec![
+            Job::new(JobId(0), SimTime::ORIGIN, Minutes::new(60), 1),
+            Job::new(JobId(0), SimTime::ORIGIN, Minutes::new(100), 1),
+            Job::new(JobId(0), SimTime::ORIGIN, Minutes::new(600), 1),
+        ];
+        let queues = QueueSet::paper_defaults().with_averages_from(&jobs);
+        let short_job = &jobs[0];
+        assert_eq!(
+            JobLengthKnowledge::Exact.estimate(short_job, &queues),
+            Minutes::new(60)
+        );
+        assert_eq!(
+            JobLengthKnowledge::QueueAverage.estimate(short_job, &queues),
+            Minutes::new(80)
+        );
+        assert_eq!(
+            JobLengthKnowledge::QueueMax.estimate(short_job, &queues),
+            Minutes::from_hours(2)
+        );
+        let long_job = &jobs[2];
+        assert_eq!(
+            JobLengthKnowledge::QueueAverage.estimate(long_job, &queues),
+            Minutes::new(600)
+        );
+    }
+
+    #[test]
+    fn default_is_queue_average() {
+        assert_eq!(JobLengthKnowledge::default(), JobLengthKnowledge::QueueAverage);
+    }
+}

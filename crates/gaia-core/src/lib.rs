@@ -1,0 +1,64 @@
+//! # GAIA: carbon-, performance-, and cost-aware batch scheduling
+//!
+//! This crate implements the scheduling policies of *"Going Green for
+//! Less Green: Optimizing the Cost of Reducing Cloud Carbon Emissions"*
+//! (ASPLOS 2024): the paper's proposed policies, its baselines, and the
+//! purchase-option wrappers that navigate the three-way trade-off between
+//! carbon emissions, completion time, and dollar cost.
+//!
+//! ## Policy landscape (paper Table 1)
+//!
+//! | Policy | Knows job length | Carbon-aware | Performance-aware |
+//! |---|---|---|---|
+//! | [`NoWait`] | – | – | – |
+//! | [`AllWaitThreshold`] | – | – | cost-aware |
+//! | [`WaitAwhile`] | exact | ✓ | – |
+//! | [`Ecovisor`] | – | ✓ | – |
+//! | [`LowestSlot`] | – | ✓ | – |
+//! | [`LowestWindow`] | queue average | ✓ | – |
+//! | [`CarbonTime`] | queue average | ✓ | ✓ |
+//!
+//! The wrappers compose with any base policy through [`GaiaScheduler`]:
+//! **RES-First** (work-conserving use of reserved instances, §4.2.3),
+//! **Spot-First** (short jobs on discounted spot instances, §4.2.4), and
+//! their combination **Spot-RES**.
+//!
+//! Two extension policies implement directions the paper sketches but
+//! defers: [`CarbonTimeSuspend`] (suspend-resume Carbon-Time, §4.1
+//! future work) and [`CarbonTax`] (monetizing carbon to collapse the
+//! trade-off to cost-performance, §7).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gaia_carbon::{Region, synth::synthesize_region};
+//! use gaia_core::{CarbonTime, GaiaScheduler};
+//! use gaia_sim::{ClusterConfig, Simulation};
+//! use gaia_workload::{QueueSet, synth::TraceFamily};
+//!
+//! let carbon = synthesize_region(Region::SouthAustralia, 42);
+//! let trace = TraceFamily::AlibabaPai.week_long_1k(42);
+//! let queues = QueueSet::paper_defaults().with_averages_from(trace.jobs());
+//!
+//! // The paper's RES-First-Carbon-Time on 9 reserved instances.
+//! let mut scheduler =
+//!     GaiaScheduler::new(CarbonTime::new(queues)).res_first();
+//! let report = Simulation::new(ClusterConfig::default().with_reserved(9), &carbon)
+//!     .run(&trace, &mut scheduler);
+//! assert!(report.totals.carbon_g > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod knowledge;
+mod policies;
+mod scheduler;
+
+pub use knowledge::JobLengthKnowledge;
+pub use policies::{
+    AllWaitThreshold, BatchPolicy, CarbonTax, CarbonTime, CarbonTimeSuspend, Ecovisor,
+    LowestSlot, LowestWindow, NoWait, PriceAware, TieredCarbonTime, WaitAwhile,
+};
+pub use scheduler::{GaiaScheduler, SpotConfig};

@@ -1,0 +1,91 @@
+//! The cost-aware AllWait-Threshold baseline.
+
+use gaia_sim::{Decision, SchedulerContext};
+use gaia_workload::{Job, QueueSet};
+
+use super::BatchPolicy;
+
+/// Delays each job until a reserved instance frees up, or until the
+/// queue's maximum waiting time elapses — whichever comes first (§6.1
+/// baseline 2, from the "Waiting Game" line of work).
+///
+/// The policy is cost-aware but entirely carbon-agnostic: by spreading
+/// demand across time it keeps prepaid reserved instances busy and
+/// minimizes on-demand spill, at the price of the highest waiting times.
+///
+/// Implementation: jobs that find an idle reserved instance start
+/// immediately; everyone else is scheduled at `arrival + W` with the
+/// engine's opportunistic early-start (work conservation) picking them up
+/// the moment reserved capacity frees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllWaitThreshold {
+    queues: QueueSet,
+}
+
+impl AllWaitThreshold {
+    /// Creates the policy with the given queue configuration.
+    pub fn new(queues: QueueSet) -> Self {
+        AllWaitThreshold { queues }
+    }
+}
+
+impl BatchPolicy for AllWaitThreshold {
+    fn decide(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision {
+        if ctx.reserved_free >= job.cpus {
+            return Decision::run_at(ctx.now);
+        }
+        Decision::run_at(ctx.now + self.queues.max_wait_for(job)).opportunistic()
+    }
+
+    fn name(&self) -> &'static str {
+        "AllWait-Threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{job, CtxFactory};
+    use super::*;
+    use gaia_time::{Minutes, SimTime};
+
+    fn queues() -> QueueSet {
+        QueueSet::paper_defaults()
+    }
+
+    #[test]
+    fn starts_immediately_when_reserved_free() {
+        let factory = CtxFactory::new(&[100.0; 48]);
+        let mut policy = AllWaitThreshold::new(queues());
+        let j = job(0, 60, 2);
+        let d = factory.with_ctx(SimTime::ORIGIN, 3, 5, |ctx| policy.decide(&j, ctx));
+        assert_eq!(d.planned_start(), SimTime::ORIGIN);
+        assert!(!d.is_opportunistic());
+    }
+
+    #[test]
+    fn waits_max_wait_when_reserved_busy() {
+        let factory = CtxFactory::new(&[100.0; 48]);
+        let mut policy = AllWaitThreshold::new(queues());
+        // Short job (60 min): W_short = 6 h.
+        let short = job(0, 60, 2);
+        let d = factory.with_ctx(SimTime::ORIGIN, 1, 5, |ctx| policy.decide(&short, ctx));
+        assert_eq!(d.planned_start(), SimTime::from_hours(6));
+        assert!(d.is_opportunistic());
+        // Long job (10 h): W_long = 24 h.
+        let long = job(0, 600, 2);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 5, |ctx| policy.decide(&long, ctx));
+        assert_eq!(d.planned_start(), SimTime::from_hours(24));
+    }
+
+    #[test]
+    fn wait_is_relative_to_arrival() {
+        let factory = CtxFactory::new(&[100.0; 72]);
+        let mut policy = AllWaitThreshold::new(queues());
+        let j = job(600, 60, 1);
+        let d = factory.with_ctx(SimTime::from_minutes(600), 0, 1, |ctx| policy.decide(&j, ctx));
+        assert_eq!(
+            d.planned_start(),
+            SimTime::from_minutes(600) + Minutes::from_hours(6)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Suspend-resume Carbon-Time — the extension the paper defers to future
+//! work (§4.1: "Adding suspend-resume capability to the scheduler is
+//! part of future work. Such a capability can further increase carbon
+//! savings ... albeit at the expense of increasing completion times").
+
+use gaia_sim::{Decision, SchedulerContext, SegmentPlan};
+use gaia_time::Minutes;
+use gaia_workload::{Job, QueueSet};
+
+use super::{greenest_slots, BatchPolicy};
+
+/// Carbon-Time generalized to suspend-resume execution.
+///
+/// Wait Awhile always uses its full deadline `t + J + W`, even when the
+/// marginal slot it unlocks is barely greener; Carbon-Time refuses to
+/// suspend at all. This policy interpolates: for each candidate deadline
+/// `D ∈ [J, J + W]` (hourly steps) it builds the greenest suspend-resume
+/// plan within `[t, t + D)` and picks the deadline maximizing the CST
+/// ratio
+///
+/// ```text
+/// CST(D) = (C(t) − C_plan(D)) / completion(D)
+/// ```
+///
+/// where `completion(D)` is when the plan actually finishes (its last
+/// slot's end, not `D` itself). Like Wait Awhile — and unlike the
+/// uninterruptible Carbon-Time — it requires exact job lengths, since a
+/// segment plan must cover the job precisely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonTimeSuspend {
+    queues: QueueSet,
+}
+
+impl CarbonTimeSuspend {
+    /// Creates the policy with the given queue configuration.
+    pub fn new(queues: QueueSet) -> Self {
+        CarbonTimeSuspend { queues }
+    }
+}
+
+impl BatchPolicy for CarbonTimeSuspend {
+    fn decide(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision {
+        let wait = self.queues.max_wait_for(job);
+        let immediate = ctx.forecast.integral(ctx.now, job.length);
+        let mut best: Option<(f64, SegmentPlan)> = None;
+        let mut deadline = job.length;
+        while deadline <= job.length + wait {
+            let segments = greenest_slots(ctx, deadline, job.length);
+            let plan = SegmentPlan::new(segments);
+            let footprint: f64 =
+                plan.segments.iter().map(|&(start, len)| ctx.forecast.integral(start, len)).sum();
+            let completion_hours = (plan.finish() - ctx.now).as_hours_f64();
+            let cst = (immediate - footprint) / completion_hours;
+            // Strictly-better keeps the earliest (shortest) deadline on
+            // ties, bounding completion time.
+            if best.as_ref().is_none_or(|(best_cst, _)| cst > best_cst + 1e-12) {
+                best = Some((cst, plan));
+            }
+            deadline += Minutes::from_hours(1);
+        }
+        let (_, plan) = best.expect("deadline J is always evaluated");
+        Decision::run_segments(plan)
+    }
+
+    fn name(&self) -> &'static str {
+        "Carbon-Time-SR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{job, CtxFactory};
+    use super::*;
+    use gaia_time::SimTime;
+
+    #[test]
+    fn flat_trace_runs_immediately_without_suspension() {
+        let factory = CtxFactory::new(&[200.0; 48]);
+        let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
+        let j = job(30, 90, 1);
+        let d = factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(plan.segments, vec![(SimTime::from_minutes(30), Minutes::new(90))]);
+    }
+
+    #[test]
+    fn splits_around_a_peak_when_saving_justifies_it() {
+        // Cheap hours 0 and 2 around an enormous hour-1 peak: suspending
+        // one hour halves the footprint for a modest completion increase.
+        let factory = CtxFactory::new(&[100.0, 5000.0, 100.0, 5000.0, 5000.0, 5000.0, 5000.0, 5000.0]);
+        let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
+        let j = job(0, 120, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(
+            plan.segments,
+            vec![
+                (SimTime::ORIGIN, Minutes::from_hours(1)),
+                (SimTime::from_hours(2), Minutes::from_hours(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn refuses_marginal_savings_far_away() {
+        // A slightly cheaper hour far in the future: Wait Awhile would
+        // chase it; CST says the wait is not worth it.
+        let mut hourly = vec![100.0; 12];
+        hourly[7] = 98.0;
+        let factory = CtxFactory::new(&hourly);
+        let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
+        let j = job(0, 60, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(plan.segments, vec![(SimTime::ORIGIN, Minutes::from_hours(1))]);
+    }
+
+    #[test]
+    fn saves_at_least_as_much_as_uninterruptible_carbon_time() {
+        use crate::policies::CarbonTime;
+        use crate::JobLengthKnowledge;
+        // A jagged trace where interruption helps.
+        let hourly = [300.0, 80.0, 400.0, 90.0, 500.0, 70.0, 600.0, 310.0, 320.0];
+        let factory = CtxFactory::new(&hourly);
+        let j = job(0, 180, 1);
+        let footprint = |segments: &[(SimTime, Minutes)]| -> f64 {
+            segments
+                .iter()
+                .map(|&(s, l)| factory.trace().window_integral(s, l))
+                .sum()
+        };
+        let sr_plan = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| {
+            CarbonTimeSuspend::new(QueueSet::paper_defaults()).decide(&j, ctx)
+        });
+        let ct_start = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| {
+            CarbonTime::new(QueueSet::paper_defaults())
+                .with_knowledge(JobLengthKnowledge::Exact)
+                .decide(&j, ctx)
+        });
+        let sr_carbon = footprint(&sr_plan.segments().expect("plan").segments);
+        let ct_carbon = footprint(&[(ct_start.planned_start(), j.length)]);
+        assert!(
+            sr_carbon <= ct_carbon + 1e-9,
+            "suspend-resume {sr_carbon} must not exceed uninterruptible {ct_carbon}"
+        );
+    }
+
+    #[test]
+    fn plan_always_covers_exact_length() {
+        let factory = CtxFactory::new(&[300.0, 100.0, 200.0, 50.0, 400.0, 120.0, 80.0, 90.0, 500.0]);
+        let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
+        for len in [25u64, 60, 95, 240] {
+            let j = job(10, len, 1);
+            let d = factory.with_ctx(SimTime::from_minutes(10), 0, 0, |ctx| policy.decide(&j, ctx));
+            assert_eq!(d.segments().expect("plan").total(), Minutes::new(len));
+        }
+    }
+}

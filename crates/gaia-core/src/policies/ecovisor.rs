@@ -1,0 +1,182 @@
+//! The Ecovisor greedy-threshold baseline (Souza et al., ASPLOS'23;
+//! §6.1 baseline 4).
+
+use gaia_sim::{Decision, SchedulerContext, SegmentPlan};
+use gaia_time::{Minutes, SimTime, MINUTES_PER_HOUR};
+use gaia_workload::{Job, QueueSet};
+
+use super::BatchPolicy;
+
+/// Suspend-resume execution driven by a carbon threshold: the job runs
+/// whenever the current carbon intensity is below the **30th percentile
+/// of the next 24 hours** (computed at arrival) and pauses otherwise.
+/// "To ensure compliance with our waiting limits, the job is executed to
+/// completion after waiting for the allowed time" (§6.1) — once the job
+/// has spent its queue's maximum waiting time `W` paused, it runs
+/// continuously to completion regardless of carbon.
+///
+/// Ecovisor needs no job-length knowledge: it reacts slot by slot. (The
+/// plan is materialized up front here, which is behaviourally identical
+/// under the paper's perfect-forecast assumption.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ecovisor {
+    queues: QueueSet,
+    quantile: f64,
+}
+
+impl Ecovisor {
+    /// The paper's threshold quantile.
+    pub const DEFAULT_QUANTILE: f64 = 0.30;
+
+    /// Creates the policy with the paper's 30th-percentile threshold.
+    pub fn new(queues: QueueSet) -> Self {
+        Ecovisor { queues, quantile: Self::DEFAULT_QUANTILE }
+    }
+
+    /// Overrides the threshold quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `quantile` is in `[0, 1]`.
+    pub fn with_quantile(mut self, quantile: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+        self.quantile = quantile;
+        self
+    }
+}
+
+impl BatchPolicy for Ecovisor {
+    fn decide(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision {
+        let threshold = ctx.forecast.quantile(Minutes::from_hours(24), self.quantile);
+        let pause_budget = self.queues.max_wait_for(job);
+        let mut segments: Vec<(SimTime, Minutes)> = Vec::new();
+        let mut remaining = job.length;
+        let mut paused = Minutes::ZERO;
+        let mut cursor = ctx.now;
+        while !remaining.is_zero() {
+            // Once the pause budget is exhausted, run to completion.
+            let must_run = paused >= pause_budget;
+            let run_here = must_run || ctx.forecast.at(cursor) <= threshold;
+            // Advance to the next hour boundary (or less, if the job
+            // finishes or the pause budget expires first).
+            let to_boundary = Minutes::new(
+                MINUTES_PER_HOUR - (cursor.as_minutes() % MINUTES_PER_HOUR),
+            );
+            if run_here {
+                let run = to_boundary.min(remaining);
+                match segments.last_mut() {
+                    Some((s, l)) if *s + *l == cursor => *l += run,
+                    _ => segments.push((cursor, run)),
+                }
+                remaining -= run;
+                cursor += run;
+            } else {
+                // Pause, but never beyond the remaining budget.
+                let pause = to_boundary.min(pause_budget - paused);
+                paused += pause;
+                cursor += pause;
+            }
+        }
+        Decision::run_segments(SegmentPlan::new(segments))
+    }
+
+    fn name(&self) -> &'static str {
+        "Ecovisor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{job, CtxFactory};
+    use super::*;
+
+    /// 24-hour trace whose 30th percentile sits at 130: hours valued 100
+    /// and 120 are "green", the rest are not.
+    fn duck_trace() -> Vec<f64> {
+        let mut hourly = vec![500.0; 24];
+        for h in [2usize, 3, 4, 10, 11, 12, 13] {
+            hourly[h] = 100.0;
+        }
+        hourly[5] = 120.0;
+        hourly
+    }
+
+    #[test]
+    fn runs_only_in_sub_threshold_slots() {
+        let factory = CtxFactory::new(&duck_trace());
+        let mut policy = Ecovisor::new(QueueSet::paper_defaults());
+        let j = job(0, 120, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        // First green slots are hours 2 and 3.
+        assert_eq!(plan.segments, vec![(SimTime::from_hours(2), Minutes::from_hours(2))]);
+    }
+
+    #[test]
+    fn forced_run_after_pause_budget() {
+        // One hour (20) is far cheaper than everything else, and the
+        // quantile-0 threshold equals it, so no slot a *short* job can
+        // reach qualifies: the job pauses through its whole 6-hour budget
+        // and is then forced to run.
+        let mut hourly = vec![500.0; 48];
+        hourly[20] = 1.0;
+        let factory = CtxFactory::new(&hourly);
+        let mut policy = Ecovisor::new(QueueSet::paper_defaults()).with_quantile(0.0);
+        let j = job(0, 60, 1); // short: pause budget 6 h
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        // Pauses 6 h (budget), then forced to run to completion.
+        assert_eq!(plan.segments, vec![(SimTime::from_hours(6), Minutes::from_hours(1))]);
+    }
+
+    #[test]
+    fn constant_trace_runs_immediately() {
+        // Threshold equals the constant, so every slot qualifies.
+        let factory = CtxFactory::new(&[200.0; 48]);
+        let mut policy = Ecovisor::new(QueueSet::paper_defaults());
+        let j = job(15, 90, 1);
+        let d =
+            factory.with_ctx(SimTime::from_minutes(15), 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(plan.segments, vec![(SimTime::from_minutes(15), Minutes::new(90))]);
+    }
+
+    #[test]
+    fn plan_total_always_equals_length() {
+        let factory = CtxFactory::new(&duck_trace());
+        let mut policy = Ecovisor::new(QueueSet::paper_defaults());
+        for len in [25u64, 60, 95, 240, 600] {
+            let j = job(7, len, 1);
+            let d =
+                factory.with_ctx(SimTime::from_minutes(7), 0, 0, |ctx| policy.decide(&j, ctx));
+            assert_eq!(d.segments().expect("plan").total(), Minutes::new(len));
+        }
+    }
+
+    #[test]
+    fn long_jobs_get_the_long_pause_budget() {
+        // A long job (24 h pause budget) can wait for the hour-20 valley,
+        // run its single green hour there, then pauses again until the
+        // budget runs dry at hour 25 and is forced to finish.
+        let mut hourly = vec![500.0; 72];
+        hourly[20] = 1.0;
+        let factory = CtxFactory::new(&hourly);
+        let mut policy = Ecovisor::new(QueueSet::paper_defaults()).with_quantile(0.0);
+        let j = job(0, 240, 1); // long job: pause budget 24 h
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(
+            plan.segments,
+            vec![
+                (SimTime::from_hours(20), Minutes::from_hours(1)),
+                (SimTime::from_hours(25), Minutes::from_hours(3)),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        let _ = Ecovisor::new(QueueSet::paper_defaults()).with_quantile(1.5);
+    }
+}

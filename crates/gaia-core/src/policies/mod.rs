@@ -1,0 +1,215 @@
+//! The base scheduling policies (§4.2 and the paper's baselines).
+
+mod allwait;
+mod carbon_tax;
+mod carbon_time;
+mod carbon_time_sr;
+mod ecovisor;
+mod lowest_slot;
+mod lowest_window;
+mod nowait;
+mod price_aware;
+mod tiered;
+mod waitawhile;
+
+pub use allwait::AllWaitThreshold;
+pub use carbon_tax::CarbonTax;
+pub use carbon_time::CarbonTime;
+pub use carbon_time_sr::CarbonTimeSuspend;
+pub use ecovisor::Ecovisor;
+pub use lowest_slot::LowestSlot;
+pub use lowest_window::LowestWindow;
+pub use nowait::NoWait;
+pub use price_aware::PriceAware;
+pub use tiered::TieredCarbonTime;
+pub use waitawhile::WaitAwhile;
+
+use gaia_sim::{Decision, SchedulerContext};
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::Job;
+
+/// A base scheduling policy: decides *when* a job runs.
+///
+/// Base policies are deliberately ignorant of purchase options — the
+/// RES-First / Spot-First wrappers in [`GaiaScheduler`] layer cost
+/// awareness on top, mirroring the paper's composition (§4.2.3–4.2.4).
+///
+/// [`GaiaScheduler`]: crate::GaiaScheduler
+pub trait BatchPolicy: Send {
+    /// Chooses the execution plan for `job` given the CIS forecasts in
+    /// `ctx`.
+    fn decide(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision;
+
+    /// The paper's display name for the policy (e.g. `"Carbon-Time"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Scans candidate start times `now + k·step` within `[now, now + wait]`
+/// (inclusive of the last candidate at or before `now + wait`) and
+/// returns the candidate maximizing `score`, breaking ties toward the
+/// earliest candidate. `score` must return finite values.
+///
+/// The default scan step is [`DEFAULT_SCAN_STEP`]; policies expose it as
+/// a knob so the slot-granularity ablation can vary it.
+pub(crate) fn best_start_by(
+    now: SimTime,
+    wait: Minutes,
+    step: Minutes,
+    mut score: impl FnMut(SimTime) -> f64,
+) -> SimTime {
+    debug_assert!(!step.is_zero(), "scan step must be positive");
+    let mut best_t = now;
+    let mut best_score = score(now);
+    let mut t = now + step;
+    while t <= now + wait {
+        let s = score(t);
+        if s > best_score + 1e-12 {
+            best_score = s;
+            best_t = t;
+        }
+        t += step;
+    }
+    best_t
+}
+
+/// Default scan granularity for carbon-aware start-time searches.
+///
+/// Carbon intensity is hourly, but the optimum start of a window that
+/// ends mid-hour need not be hour-aligned, so policies scan at sub-hour
+/// resolution.
+pub const DEFAULT_SCAN_STEP: Minutes = Minutes::new(10);
+
+/// Greedily selects the `need` lowest-forecast-CI minutes (at hourly slot
+/// granularity) within `[now, now + horizon)` and returns them merged
+/// into ordered, non-overlapping segments summing to exactly `need`.
+///
+/// Shared by the Wait Awhile baseline and the suspend-resume Carbon-Time
+/// extension.
+pub(crate) fn greenest_slots(
+    ctx: &SchedulerContext<'_>,
+    horizon: Minutes,
+    need: Minutes,
+) -> Vec<(SimTime, Minutes)> {
+    debug_assert!(need <= horizon, "cannot fit {need} of work into {horizon}");
+    let mut slots: Vec<(SimTime, Minutes, f64)> =
+        gaia_time::HourlySlots::spanning(ctx.now, horizon)
+            .map(|s| (s.start, s.overlap, ctx.forecast.at(s.start)))
+            .collect();
+    slots.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite CI").then(a.0.cmp(&b.0)));
+    let mut remaining = need;
+    let mut chosen = Vec::new();
+    for (start, avail, _) in slots {
+        if remaining.is_zero() {
+            break;
+        }
+        let take = avail.min(remaining);
+        chosen.push((start, take));
+        remaining -= take;
+    }
+    debug_assert!(remaining.is_zero(), "horizon >= need guarantees coverage");
+    chosen.sort_by_key(|(s, _)| *s);
+    let mut merged: Vec<(SimTime, Minutes)> = Vec::new();
+    for (s, l) in chosen {
+        match merged.last_mut() {
+            Some((ms, ml)) if *ms + *ml == s => *ml += l,
+            _ => merged.push((s, l)),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for policy unit tests.
+
+    use gaia_carbon::{CarbonForecaster, CarbonTrace, ForecastView, PerfectForecaster};
+    use gaia_sim::SchedulerContext;
+    use gaia_time::{Minutes, SimTime};
+    use gaia_workload::{Job, JobId};
+
+    /// Owns a trace + forecaster so tests can mint contexts.
+    pub struct CtxFactory {
+        trace: CarbonTrace,
+    }
+
+    impl CtxFactory {
+        pub fn new(hourly: &[f64]) -> Self {
+            CtxFactory { trace: CarbonTrace::from_hourly(hourly.to_vec()).expect("valid") }
+        }
+
+        #[allow(dead_code)]
+        pub fn trace(&self) -> &CarbonTrace {
+            &self.trace
+        }
+
+        pub fn with_ctx<R>(
+            &self,
+            now: SimTime,
+            reserved_free: u32,
+            reserved_capacity: u32,
+            f: impl FnOnce(&SchedulerContext<'_>) -> R,
+        ) -> R {
+            let forecaster = PerfectForecaster::new(&self.trace);
+            let ctx = SchedulerContext {
+                now,
+                forecast: ForecastView::new(&forecaster as &dyn CarbonForecaster, now),
+                reserved_free,
+                reserved_capacity,
+            };
+            f(&ctx)
+        }
+    }
+
+    pub fn job(arrival_min: u64, len_min: u64, cpus: u32) -> Job {
+        Job::new(
+            JobId(0),
+            SimTime::from_minutes(arrival_min),
+            Minutes::new(len_min),
+            cpus,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_start_prefers_highest_score() {
+        let best = best_start_by(
+            SimTime::ORIGIN,
+            Minutes::from_hours(4),
+            Minutes::from_hours(1),
+            |t| -((t.as_hours_floor() as f64 - 3.0).abs()),
+        );
+        assert_eq!(best, SimTime::from_hours(3));
+    }
+
+    #[test]
+    fn best_start_ties_go_earliest() {
+        let best = best_start_by(
+            SimTime::from_hours(1),
+            Minutes::from_hours(5),
+            Minutes::from_hours(1),
+            |_| 7.0,
+        );
+        assert_eq!(best, SimTime::from_hours(1));
+    }
+
+    #[test]
+    fn best_start_includes_window_end() {
+        let best = best_start_by(
+            SimTime::ORIGIN,
+            Minutes::from_hours(2),
+            Minutes::from_hours(1),
+            |t| t.as_minutes() as f64,
+        );
+        assert_eq!(best, SimTime::from_hours(2));
+    }
+
+    #[test]
+    fn zero_wait_returns_now() {
+        let best = best_start_by(SimTime::from_hours(5), Minutes::ZERO, Minutes::new(10), |_| 1.0);
+        assert_eq!(best, SimTime::from_hours(5));
+    }
+}

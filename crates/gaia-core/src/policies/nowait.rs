@@ -1,0 +1,66 @@
+//! The carbon- and cost-agnostic NoWait baseline.
+
+use gaia_sim::{Decision, SchedulerContext};
+use gaia_workload::Job;
+
+use super::BatchPolicy;
+
+/// Runs every job the moment it arrives (§6.1 baseline 1).
+///
+/// NoWait is the carbon- and cost-agnostic FCFS baseline all of the
+/// paper's normalized metrics are computed against: highest carbon, zero
+/// queueing delay.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_core::{GaiaScheduler, NoWait};
+///
+/// let scheduler = GaiaScheduler::new(NoWait::new());
+/// assert_eq!(scheduler.name(), "NoWait");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoWait(());
+
+impl NoWait {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        NoWait(())
+    }
+}
+
+impl BatchPolicy for NoWait {
+    fn decide(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+        Decision::run_at(job.arrival)
+    }
+
+    fn name(&self) -> &'static str {
+        "NoWait"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{job, CtxFactory};
+    use super::*;
+    use gaia_time::SimTime;
+
+    #[test]
+    fn always_starts_at_arrival() {
+        let factory = CtxFactory::new(&[500.0, 1.0, 1.0]);
+        let mut policy = NoWait::new();
+        let j = job(30, 60, 1);
+        let decision =
+            factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| policy.decide(&j, ctx));
+        // Even though hour 1 is far greener, NoWait starts immediately.
+        assert_eq!(decision.planned_start(), SimTime::from_minutes(30));
+        assert!(!decision.is_opportunistic());
+        assert!(!decision.uses_spot());
+        assert!(decision.segments().is_none());
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(NoWait::new().name(), "NoWait");
+    }
+}

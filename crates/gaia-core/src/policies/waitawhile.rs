@@ -1,0 +1,125 @@
+//! The Wait Awhile suspend-resume baseline (Wiesner et al.,
+//! Middleware'21; §6.1 baseline 3).
+
+use gaia_sim::{Decision, SchedulerContext, SegmentPlan};
+use gaia_workload::{Job, QueueSet};
+
+use super::BatchPolicy;
+
+/// The strongest carbon-aware baseline: knows each job's **exact** length
+/// `J`, and executes it in suspend-resume fashion across the `J` lowest
+/// carbon-intensity slots within the deadline `t + J + W` (§6.1: "The
+/// policy schedules the workload by selecting time slots summing to J
+/// with the lowest carbon intensity within this deadline, which we set as
+/// J + W").
+///
+/// Wait Awhile achieves the lowest carbon emissions of all policies in
+/// the paper, at the price of the longest completion times (Figure 8) and
+/// — in hybrid clusters — the highest costs, because its fragmented
+/// demand ruins reserved-instance utilization (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitAwhile {
+    queues: QueueSet,
+}
+
+impl WaitAwhile {
+    /// Creates the policy with the given queue configuration.
+    pub fn new(queues: QueueSet) -> Self {
+        WaitAwhile { queues }
+    }
+}
+
+impl BatchPolicy for WaitAwhile {
+    fn decide(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision {
+        let wait = self.queues.max_wait_for(job);
+        let horizon = job.length + wait;
+        // Greedily pick the greenest slots summing to exactly J. The
+        // trace-backed view guarantees the slots cover the job.
+        let slots = super::greenest_slots(ctx, horizon, job.length);
+        Decision::run_segments(SegmentPlan::new(slots))
+    }
+
+    fn name(&self) -> &'static str {
+        "Wait Awhile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{job, CtxFactory};
+    use super::*;
+    use gaia_time::{Minutes, SimTime};
+
+    #[test]
+    fn picks_exactly_the_cheapest_slots() {
+        // 2-hour job, W_short = 6 h: deadline spans 8 h. The two cheapest
+        // hours are 2 and 5.
+        let factory =
+            CtxFactory::new(&[300.0, 250.0, 40.0, 400.0, 500.0, 50.0, 600.0, 700.0, 800.0]);
+        let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
+        let j = job(0, 120, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("suspend-resume plan");
+        assert_eq!(
+            plan.segments,
+            vec![
+                (SimTime::from_hours(2), Minutes::from_hours(1)),
+                (SimTime::from_hours(5), Minutes::from_hours(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn contiguous_valley_yields_single_segment() {
+        // Short job (W = 6 h, horizon 8 h) with a two-hour valley: the
+        // two picks merge into one contiguous segment.
+        let factory = CtxFactory::new(&[500.0, 10.0, 20.0, 400.0, 500.0, 500.0, 500.0, 500.0, 500.0]);
+        let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
+        let j = job(0, 120, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(plan.segments, vec![(SimTime::from_hours(1), Minutes::from_hours(2))]);
+    }
+
+    #[test]
+    fn plan_total_equals_exact_length() {
+        let factory = CtxFactory::new(&[300.0, 100.0, 200.0, 50.0, 400.0, 120.0, 80.0, 90.0, 500.0]);
+        let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
+        let j = job(0, 95, 1); // non-hour-aligned length
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        assert_eq!(d.segments().expect("plan").total(), Minutes::new(95));
+    }
+
+    #[test]
+    fn deadline_is_length_plus_wait() {
+        // The cheapest hours sit just past J + W; they must be ignored.
+        let mut hourly = vec![500.0; 24];
+        hourly[1] = 400.0; // best in-window hour
+        hourly[8] = 1.0; // J + W = 1 + 6 = 7 h -> hour 8 is out of reach
+        let factory = CtxFactory::new(&hourly);
+        let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
+        let j = job(0, 60, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(plan.segments, vec![(SimTime::from_hours(1), Minutes::from_hours(1))]);
+    }
+
+    #[test]
+    fn mid_hour_arrival_uses_partial_first_slot() {
+        // Arrive at 00:30 with a flat-cheap hour 0: the leading partial
+        // slot (30 min) is usable.
+        let factory = CtxFactory::new(&[10.0, 500.0, 500.0, 500.0, 500.0, 500.0, 20.0, 500.0]);
+        let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
+        let j = job(30, 90, 1);
+        let d =
+            factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| policy.decide(&j, ctx));
+        let plan = d.segments().expect("plan");
+        assert_eq!(
+            plan.segments,
+            vec![
+                (SimTime::from_minutes(30), Minutes::new(30)),
+                (SimTime::from_hours(6), Minutes::from_hours(1)),
+            ]
+        );
+    }
+}

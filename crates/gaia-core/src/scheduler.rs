@@ -1,0 +1,268 @@
+//! [`GaiaScheduler`]: purchase-option composition over base policies.
+
+use gaia_sim::{Decision, Scheduler, SchedulerContext};
+use gaia_time::Minutes;
+use gaia_workload::Job;
+use serde::{Deserialize, Serialize};
+
+use crate::policies::BatchPolicy;
+
+/// Configuration of the Spot-First behaviour (§4.2.4).
+///
+/// Jobs whose length does not exceed `j_max` run on spot instances at
+/// their carbon-aware start time; if evicted, the engine restarts them on
+/// reserved/on-demand capacity with all progress lost. The paper defaults
+/// `j_max` to the short-queue bound (2 h) and sweeps it up to 24 h in
+/// Figures 18 and 19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpotConfig {
+    /// Maximum job length admitted to spot execution (`J^max`).
+    pub j_max: Minutes,
+}
+
+impl Default for SpotConfig {
+    /// The paper's default: only short-queue jobs (≤ 2 h) use spot.
+    fn default() -> Self {
+        SpotConfig { j_max: Minutes::from_hours(2) }
+    }
+}
+
+/// The GAIA scheduler: a base (carbon/performance) policy plus the
+/// purchase-option wrappers of §4.2.3–§4.2.4.
+///
+/// * plain — the base policy on whatever capacity the resource manager
+///   picks at start time (reserved if idle, else on-demand);
+/// * [`res_first`](GaiaScheduler::res_first) — **RES-First**: jobs
+///   arriving while reserved capacity is idle start immediately
+///   (work conservation); others wait for their carbon-aware start but
+///   are picked up early if reserved capacity frees;
+/// * [`spot_first`](GaiaScheduler::spot_first) — **Spot-First**: jobs no
+///   longer than `J^max` run on spot at their carbon-aware start;
+/// * both — **Spot-RES**: short jobs follow Spot-First, long jobs follow
+///   RES-First.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_core::{CarbonTime, GaiaScheduler, SpotConfig};
+/// use gaia_workload::QueueSet;
+///
+/// let queues = QueueSet::paper_defaults();
+/// let spot_res = GaiaScheduler::new(CarbonTime::new(queues))
+///     .res_first()
+///     .spot_first(SpotConfig::default());
+/// assert_eq!(spot_res.name(), "Spot-RES-Carbon-Time");
+/// ```
+pub struct GaiaScheduler<P> {
+    base: P,
+    res_first: bool,
+    spot: Option<SpotConfig>,
+    name: String,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for GaiaScheduler<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaiaScheduler")
+            .field("base", &self.base)
+            .field("res_first", &self.res_first)
+            .field("spot", &self.spot)
+            .finish()
+    }
+}
+
+impl<P: BatchPolicy> GaiaScheduler<P> {
+    /// Wraps a base policy with no purchase-option awareness.
+    pub fn new(base: P) -> Self {
+        let name = base.name().to_owned();
+        GaiaScheduler { base, res_first: false, spot: None, name }
+    }
+
+    /// Enables the work-conserving RES-First wrapper (§4.2.3).
+    pub fn res_first(mut self) -> Self {
+        self.res_first = true;
+        self.rename();
+        self
+    }
+
+    /// Enables the Spot-First wrapper (§4.2.4).
+    pub fn spot_first(mut self, config: SpotConfig) -> Self {
+        self.spot = Some(config);
+        self.rename();
+        self
+    }
+
+    /// The composed policy name in the paper's nomenclature, e.g.
+    /// `"RES-First-Carbon-Time"` or `"Spot-RES-Carbon-Time"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped base policy.
+    pub fn base(&self) -> &P {
+        &self.base
+    }
+
+    fn rename(&mut self) {
+        let base = self.base.name();
+        self.name = match (self.res_first, self.spot.is_some()) {
+            (false, false) => base.to_owned(),
+            (true, false) => format!("RES-First-{base}"),
+            (false, true) => format!("Spot-First-{base}"),
+            (true, true) => format!("Spot-RES-{base}"),
+        };
+    }
+}
+
+impl<P: BatchPolicy> Scheduler for GaiaScheduler<P> {
+    fn on_arrival(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision {
+        // Spot-First path: short-enough jobs run on spot at their
+        // carbon-aware start time regardless of reserved state.
+        if let Some(spot) = self.spot {
+            if job.length <= spot.j_max {
+                return self.base.decide(job, ctx).on_spot();
+            }
+        }
+        if self.res_first {
+            // Work conservation: idle prepaid capacity is never left idle
+            // while work is available (§4.2.3).
+            if ctx.reserved_free >= job.cpus {
+                return Decision::run_at(ctx.now);
+            }
+            let decision = self.base.decide(job, ctx);
+            // Suspend-resume plans cannot start early; leave them as-is.
+            if decision.segments().is_some() {
+                return decision;
+            }
+            return decision.opportunistic();
+        }
+        self.base.decide(job, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{job, CtxFactory};
+    use crate::policies::{CarbonTime, Ecovisor, LowestWindow, NoWait};
+    use crate::JobLengthKnowledge;
+    use gaia_time::SimTime;
+    use gaia_workload::QueueSet;
+
+    fn valley_factory() -> CtxFactory {
+        // Deep valley at hour 2.
+        CtxFactory::new(&[500.0, 400.0, 10.0, 450.0, 500.0, 500.0, 500.0, 500.0])
+    }
+
+    fn exact_carbon_time() -> CarbonTime {
+        CarbonTime::new(QueueSet::paper_defaults()).with_knowledge(JobLengthKnowledge::Exact)
+    }
+
+    #[test]
+    fn names_follow_paper_nomenclature() {
+        let q = QueueSet::paper_defaults;
+        assert_eq!(GaiaScheduler::new(NoWait::new()).name(), "NoWait");
+        assert_eq!(
+            GaiaScheduler::new(CarbonTime::new(q())).res_first().name(),
+            "RES-First-Carbon-Time"
+        );
+        assert_eq!(
+            GaiaScheduler::new(Ecovisor::new(q()))
+                .spot_first(SpotConfig::default())
+                .name(),
+            "Spot-First-Ecovisor"
+        );
+        assert_eq!(
+            GaiaScheduler::new(LowestWindow::new(q()))
+                .res_first()
+                .spot_first(SpotConfig::default())
+                .name(),
+            "Spot-RES-Lowest-Window"
+        );
+    }
+
+    #[test]
+    fn res_first_starts_immediately_on_idle_reserved() {
+        let factory = valley_factory();
+        let mut sched = GaiaScheduler::new(exact_carbon_time()).res_first();
+        let j = job(0, 60, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 2, 2, |ctx| sched.on_arrival(&j, ctx));
+        // Despite the hour-2 valley, idle reserved capacity wins.
+        assert_eq!(d.planned_start(), SimTime::ORIGIN);
+    }
+
+    #[test]
+    fn res_first_defers_carbon_aware_when_reserved_busy() {
+        let factory = valley_factory();
+        let mut sched = GaiaScheduler::new(exact_carbon_time()).res_first();
+        let j = job(0, 60, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 2, |ctx| sched.on_arrival(&j, ctx));
+        assert_eq!(d.planned_start(), SimTime::from_hours(2));
+        assert!(d.is_opportunistic(), "must start early if reserved frees");
+    }
+
+    #[test]
+    fn plain_policy_is_not_opportunistic() {
+        let factory = valley_factory();
+        let mut sched = GaiaScheduler::new(exact_carbon_time());
+        let j = job(0, 60, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 2, |ctx| sched.on_arrival(&j, ctx));
+        assert_eq!(d.planned_start(), SimTime::from_hours(2));
+        assert!(!d.is_opportunistic());
+    }
+
+    #[test]
+    fn spot_first_routes_short_jobs_to_spot() {
+        let factory = valley_factory();
+        let mut sched =
+            GaiaScheduler::new(exact_carbon_time()).spot_first(SpotConfig::default());
+        let short = job(0, 60, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| sched.on_arrival(&short, ctx));
+        assert!(d.uses_spot());
+        assert_eq!(d.planned_start(), SimTime::from_hours(2), "still carbon-aware");
+        // Long jobs stay off spot.
+        let long = job(0, 300, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| sched.on_arrival(&long, ctx));
+        assert!(!d.uses_spot());
+    }
+
+    #[test]
+    fn spot_res_combines_both() {
+        let factory = valley_factory();
+        let mut sched = GaiaScheduler::new(exact_carbon_time())
+            .res_first()
+            .spot_first(SpotConfig::default());
+        // Short job: spot, even though reserved is idle.
+        let short = job(0, 90, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 2, 2, |ctx| sched.on_arrival(&short, ctx));
+        assert!(d.uses_spot());
+        // Long job with idle reserved: immediate start, no spot.
+        let long = job(0, 300, 1);
+        let d = factory.with_ctx(SimTime::ORIGIN, 2, 2, |ctx| sched.on_arrival(&long, ctx));
+        assert!(!d.uses_spot());
+        assert_eq!(d.planned_start(), SimTime::ORIGIN);
+        // Long job with busy reserved: carbon-aware opportunistic wait.
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 2, |ctx| sched.on_arrival(&long, ctx));
+        assert!(d.is_opportunistic());
+    }
+
+    #[test]
+    fn j_max_bounds_spot_eligibility() {
+        let factory = valley_factory();
+        let mut sched = GaiaScheduler::new(exact_carbon_time())
+            .spot_first(SpotConfig { j_max: Minutes::from_hours(6) });
+        let medium = job(0, 300, 1); // 5 h <= 6 h
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| sched.on_arrival(&medium, ctx));
+        assert!(d.uses_spot());
+    }
+
+    #[test]
+    fn res_first_leaves_segment_plans_untouched() {
+        let factory = valley_factory();
+        let mut sched = GaiaScheduler::new(Ecovisor::new(QueueSet::paper_defaults())).res_first();
+        let j = job(0, 60, 1);
+        // Reserved busy: Ecovisor's segment plan passes through.
+        let d = factory.with_ctx(SimTime::ORIGIN, 0, 2, |ctx| sched.on_arrival(&j, ctx));
+        assert!(d.segments().is_some());
+        assert!(!d.is_opportunistic());
+    }
+}

@@ -1,0 +1,234 @@
+//! Derived analyses: the Figure 9 CDF, Figure 14's savings-per-wait, and
+//! the paper's headline savings-per-cost metric.
+
+use gaia_sim::SimReport;
+use gaia_time::Minutes;
+use serde::{Deserialize, Serialize};
+
+use crate::Summary;
+
+/// One point of the Figure 9 CDF: the cumulative share of total carbon
+/// reduction contributed by jobs up to a given length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Job-length upper bound of this point.
+    pub length: Minutes,
+    /// Cumulative share of the total carbon reduction in `[0, 1]`.
+    pub cumulative_share: f64,
+}
+
+/// Computes the CDF of total carbon reduction by job length (Figure 9):
+/// jobs are sorted by length, each contributes
+/// `carbon_baseline − carbon_policy`, and the running sum is normalized
+/// by the total reduction.
+///
+/// Both reports must come from the same trace (same job ids).
+///
+/// # Panics
+///
+/// Panics if the reports have different job counts.
+pub fn carbon_reduction_cdf_by_length(baseline: &SimReport, run: &SimReport) -> Vec<CdfPoint> {
+    assert_eq!(
+        baseline.jobs.len(),
+        run.jobs.len(),
+        "reports must replay the same trace"
+    );
+    let mut reductions: Vec<(Minutes, f64)> = baseline
+        .jobs
+        .iter()
+        .zip(&run.jobs)
+        .map(|(b, r)| {
+            debug_assert_eq!(b.job.id, r.job.id);
+            (b.job.length, b.carbon_g - r.carbon_g)
+        })
+        .collect();
+    reductions.sort_by_key(|(len, _)| *len);
+    let total: f64 = reductions.iter().map(|(_, d)| d).sum();
+    let mut acc = 0.0;
+    reductions
+        .into_iter()
+        .map(|(length, delta)| {
+            acc += delta;
+            CdfPoint {
+                length,
+                cumulative_share: if total.abs() > f64::EPSILON { acc / total } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// The share of total carbon reduction contributed by jobs with lengths
+/// in `(lo, hi]` — the numbers quoted in §6.2.2 ("50% of the carbon
+/// savings come from jobs between 3 and 12 hrs").
+pub fn reduction_share_in_length_band(
+    baseline: &SimReport,
+    run: &SimReport,
+    lo: Minutes,
+    hi: Minutes,
+) -> f64 {
+    let mut band = 0.0;
+    let mut total = 0.0;
+    for (b, r) in baseline.jobs.iter().zip(&run.jobs) {
+        let delta = b.carbon_g - r.carbon_g;
+        total += delta;
+        if b.job.length > lo && b.job.length <= hi {
+            band += delta;
+        }
+    }
+    if total.abs() > f64::EPSILON {
+        band / total
+    } else {
+        0.0
+    }
+}
+
+/// Figure 14's y-axis: percentage carbon saving per hour of mean waiting
+/// time. Returns 0 when the run waited no time at all.
+pub fn savings_per_wait_hour(baseline: &Summary, run: &Summary) -> f64 {
+    if run.mean_wait_hours <= 0.0 || baseline.carbon_g <= 0.0 {
+        return 0.0;
+    }
+    let saving_pct = (1.0 - run.carbon_g / baseline.carbon_g) * 100.0;
+    saving_pct / run.mean_wait_hours
+}
+
+/// The paper's headline metric: percentage-points of carbon saved per
+/// percentage-point of cost increase, both relative to `baseline`.
+/// Returns `f64::INFINITY` when the run saves carbon at no extra cost,
+/// and 0 when it saves no carbon.
+pub fn savings_per_cost_point(baseline: &Summary, run: &Summary) -> f64 {
+    if baseline.carbon_g <= 0.0 || baseline.total_cost <= 0.0 {
+        return 0.0;
+    }
+    let saving_pct = (1.0 - run.carbon_g / baseline.carbon_g) * 100.0;
+    let cost_pct = (run.total_cost / baseline.total_cost - 1.0) * 100.0;
+    if saving_pct <= 0.0 {
+        0.0
+    } else if cost_pct <= 0.0 {
+        f64::INFINITY
+    } else {
+        saving_pct / cost_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_sim::{ClusterConfig, ClusterTotals, JobOutcome};
+    use gaia_time::SimTime;
+    use gaia_workload::{Job, JobId};
+
+    fn report(lengths_and_carbon: &[(u64, f64)]) -> SimReport {
+        let jobs: Vec<JobOutcome> = lengths_and_carbon
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, carbon))| {
+                let job = Job::new(JobId(i as u64), SimTime::ORIGIN, Minutes::new(len), 1);
+                JobOutcome {
+                    job,
+                    first_start: SimTime::ORIGIN,
+                    finish: SimTime::from_minutes(len),
+                    waiting: Minutes::ZERO,
+                    completion: Minutes::new(len),
+                    carbon_g: carbon,
+                    cost: 0.0,
+                    segments: vec![],
+                    evictions: 0,
+                }
+            })
+            .collect();
+        let totals =
+            ClusterTotals::aggregate(&jobs, &ClusterConfig::default(), Minutes::from_days(1));
+        SimReport {
+            jobs,
+            totals,
+            timeline: gaia_sim::AllocationTimeline::default(),
+        }
+    }
+
+    #[test]
+    fn cdf_orders_by_length_and_reaches_one() {
+        let baseline = report(&[(600, 100.0), (60, 50.0), (1200, 80.0)]);
+        let run = report(&[(600, 60.0), (60, 45.0), (1200, 75.0)]);
+        let cdf = carbon_reduction_cdf_by_length(&baseline, &run);
+        // Sorted by length: 60 (Δ5), 600 (Δ40), 1200 (Δ5); total 50.
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].length, Minutes::new(60));
+        assert!((cdf[0].cumulative_share - 0.1).abs() < 1e-12);
+        assert!((cdf[1].cumulative_share - 0.9).abs() < 1e-12);
+        assert!((cdf[2].cumulative_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_of_identical_reports_is_zero() {
+        let baseline = report(&[(60, 50.0), (600, 100.0)]);
+        let cdf = carbon_reduction_cdf_by_length(&baseline, &baseline);
+        assert!(cdf.iter().all(|p| p.cumulative_share == 0.0));
+    }
+
+    #[test]
+    fn band_share() {
+        let baseline = report(&[(60, 100.0), (400, 100.0), (1000, 100.0)]);
+        let run = report(&[(60, 90.0), (400, 60.0), (1000, 100.0)]);
+        // Reductions: 10, 40, 0; total 50. Band (3h, 12h]: the 400-min job.
+        let share = reduction_share_in_length_band(
+            &baseline,
+            &run,
+            Minutes::from_hours(3),
+            Minutes::from_hours(12),
+        );
+        assert!((share - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_per_wait() {
+        let baseline = Summary {
+            name: "NoWait".into(),
+            carbon_g: 100.0,
+            total_cost: 10.0,
+            mean_wait_hours: 0.0,
+            mean_completion_hours: 1.0,
+            reserved_utilization: 0.0,
+            evictions: 0,
+            jobs: 1,
+        };
+        let mut run = baseline.clone();
+        run.carbon_g = 80.0;
+        run.mean_wait_hours = 4.0;
+        // 20% saving over 4 hours of waiting: 5 %/h.
+        assert!((savings_per_wait_hour(&baseline, &run) - 5.0).abs() < 1e-12);
+        // No waiting -> zero by convention.
+        run.mean_wait_hours = 0.0;
+        assert_eq!(savings_per_wait_hour(&baseline, &run), 0.0);
+    }
+
+    #[test]
+    fn savings_per_cost() {
+        let baseline = Summary {
+            name: "NoWait".into(),
+            carbon_g: 100.0,
+            total_cost: 100.0,
+            mean_wait_hours: 0.0,
+            mean_completion_hours: 1.0,
+            reserved_utilization: 0.0,
+            evictions: 0,
+            jobs: 1,
+        };
+        let mut run = baseline.clone();
+        run.carbon_g = 70.0; // 30% saving
+        run.total_cost = 115.0; // 15% cost increase
+        assert!((savings_per_cost_point(&baseline, &run) - 2.0).abs() < 1e-12);
+        run.total_cost = 90.0; // saving carbon *and* money
+        assert_eq!(savings_per_cost_point(&baseline, &run), f64::INFINITY);
+        run.carbon_g = 120.0; // no saving at all
+        assert_eq!(savings_per_cost_point(&baseline, &run), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same trace")]
+    fn cdf_rejects_mismatched_reports() {
+        let a = report(&[(60, 1.0)]);
+        let b = report(&[(60, 1.0), (70, 2.0)]);
+        let _ = carbon_reduction_cdf_by_length(&a, &b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Pareto-frontier extraction over the carbon-cost(-waiting) trade-off
+//! space — the "good points" the paper's trade-off analysis highlights
+//! (§1: "'good' points in the trade-off where significantly improving
+//! one metric has little impact on the others").
+
+use serde::{Deserialize, Serialize};
+
+/// A point in a minimize-everything objective space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeOffPoint {
+    /// Carbon (grams or normalized — any consistent unit).
+    pub carbon: f64,
+    /// Dollar cost.
+    pub cost: f64,
+    /// Mean waiting, hours.
+    pub waiting: f64,
+}
+
+impl TradeOffPoint {
+    /// Whether `self` dominates `other`: no worse on every objective and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &TradeOffPoint) -> bool {
+        let no_worse = self.carbon <= other.carbon
+            && self.cost <= other.cost
+            && self.waiting <= other.waiting;
+        let strictly_better = self.carbon < other.carbon
+            || self.cost < other.cost
+            || self.waiting < other.waiting;
+        no_worse && strictly_better
+    }
+}
+
+/// Returns the indices of the Pareto-optimal points (minimizing all three
+/// objectives), in input order. Duplicate points are all retained.
+pub fn pareto_front(points: &[TradeOffPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&points[i])))
+        .collect()
+}
+
+/// The knee of a two-objective frontier: the point with the largest
+/// perpendicular distance to the segment joining the frontier's extreme
+/// points — the paper's "waiting for 12 hrs balances carbon and
+/// performance" style recommendation (§7). Returns the index into
+/// `points`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn knee_point(points: &[(f64, f64)]) -> usize {
+    assert!(!points.is_empty(), "knee of an empty frontier");
+    if points.len() <= 2 {
+        return 0;
+    }
+    // Normalize both axes so the knee is scale-invariant.
+    let (min_x, max_x) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+    let (min_y, max_y) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+    let sx = (max_x - min_x).max(f64::EPSILON);
+    let sy = (max_y - min_y).max(f64::EPSILON);
+    let norm: Vec<(f64, f64)> =
+        points.iter().map(|p| ((p.0 - min_x) / sx, (p.1 - min_y) / sy)).collect();
+    let first = norm[0];
+    let last = *norm.last().expect("non-empty");
+    let (dx, dy) = (last.0 - first.0, last.1 - first.1);
+    let len = (dx * dx + dy * dy).sqrt().max(f64::EPSILON);
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, p) in norm.iter().enumerate() {
+        let dist = ((p.0 - first.0) * dy - (p.1 - first.1) * dx).abs() / len;
+        if dist > best.1 {
+            best = (i, dist);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(carbon: f64, cost: f64, waiting: f64) -> TradeOffPoint {
+        TradeOffPoint { carbon, cost, waiting }
+    }
+
+    #[test]
+    fn domination_semantics() {
+        assert!(p(1.0, 1.0, 1.0).dominates(&p(2.0, 1.0, 1.0)));
+        assert!(!p(1.0, 1.0, 1.0).dominates(&p(1.0, 1.0, 1.0)), "equal points do not dominate");
+        assert!(!p(1.0, 2.0, 1.0).dominates(&p(2.0, 1.0, 1.0)), "trade-offs do not dominate");
+    }
+
+    #[test]
+    fn front_filters_dominated_points() {
+        let points = vec![
+            p(1.0, 3.0, 0.0), // frontier
+            p(3.0, 1.0, 0.0), // frontier
+            p(2.0, 2.0, 0.0), // frontier (trade-off between the two)
+            p(3.0, 3.0, 0.0), // dominated by all of the above
+        ];
+        assert_eq!(pareto_front(&points), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn front_of_single_point() {
+        assert_eq!(pareto_front(&[p(1.0, 1.0, 1.0)]), vec![0]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let points = vec![p(1.0, 1.0, 1.0), p(1.0, 1.0, 1.0)];
+        assert_eq!(pareto_front(&points), vec![0, 1]);
+    }
+
+    #[test]
+    fn knee_of_an_l_shaped_curve() {
+        // Diminishing returns: steep drop then flat tail; the knee is at
+        // the bend (index 2).
+        let points = vec![(0.0, 100.0), (1.0, 55.0), (2.0, 20.0), (12.0, 15.0), (24.0, 13.0)];
+        assert_eq!(knee_point(&points), 2);
+    }
+
+    #[test]
+    fn knee_degenerate_cases() {
+        assert_eq!(knee_point(&[(1.0, 1.0)]), 0);
+        assert_eq!(knee_point(&[(1.0, 1.0), (2.0, 2.0)]), 0);
+    }
+}

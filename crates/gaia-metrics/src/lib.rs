@@ -1,0 +1,37 @@
+//! Result aggregation and figure formatting for GAIA experiments.
+//!
+//! The paper's evaluation reports three families of quantities, all
+//! provided here:
+//!
+//! * [`Summary`] — one row per (policy, configuration) run: total carbon,
+//!   total cost (prepaid + usage), mean waiting and completion times,
+//!   reserved utilization;
+//! * normalization helpers ([`normalize_to_max`], [`relative_to`]) —
+//!   the paper's figures plot metrics normalized either to the highest
+//!   value among policies (Figures 8, 10, 13, 17) or relative to the
+//!   NoWait baseline (Figures 11, 15, 16, 18, 19);
+//! * analysis helpers — the carbon-reduction CDF by job length
+//!   (Figure 9), carbon savings per waiting hour (Figure 14), and the
+//!   headline *carbon savings per percentage cost increase* metric.
+//!
+//! [`runner`] executes a [`PolicySpec`](gaia_core::catalog::PolicySpec)
+//! against a workload and carbon trace, and [`table::TextTable`] renders
+//! aligned text tables that the figure binaries print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod frontier;
+mod multiseed;
+pub mod runner;
+mod summary;
+pub mod table;
+
+pub use analysis::{
+    carbon_reduction_cdf_by_length, reduction_share_in_length_band, savings_per_cost_point,
+    savings_per_wait_hour, CdfPoint,
+};
+pub use frontier::{knee_point, pareto_front, TradeOffPoint};
+pub use multiseed::{across_seeds, MultiSeedSummary, SeedStats};
+pub use summary::{normalize_to_max, relative_to, NormalizedSummary, Summary};

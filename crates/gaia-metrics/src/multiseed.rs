@@ -1,0 +1,161 @@
+//! Aggregation across random seeds: the paper reports single runs on
+//! fixed traces; replicating each experiment across workload seeds lets
+//! us attach dispersion to every headline number.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Summary;
+
+/// Mean/dispersion of one metric across seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeedStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n = 1).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of seeds.
+    pub n: usize,
+}
+
+impl SeedStats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> SeedStats {
+        assert!(!samples.is_empty(), "seed statistics need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        SeedStats {
+            mean,
+            std_dev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+
+    /// Coefficient of variation, `std_dev / mean` (0 when the mean is 0).
+    pub fn cov(&self) -> f64 {
+        if self.mean.abs() > f64::EPSILON {
+            self.std_dev / self.mean
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders as `mean ± std`.
+    pub fn display(&self, decimals: usize) -> String {
+        format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.std_dev)
+    }
+}
+
+/// Per-metric seed statistics for one policy configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSeedSummary {
+    /// Policy name (taken from the first replicate).
+    pub name: String,
+    /// Total carbon, grams.
+    pub carbon_g: SeedStats,
+    /// Total cost, dollars.
+    pub total_cost: SeedStats,
+    /// Mean waiting time, hours.
+    pub mean_wait_hours: SeedStats,
+}
+
+/// Aggregates replicate runs (one [`Summary`] per seed) of the same
+/// policy configuration.
+///
+/// # Panics
+///
+/// Panics if `replicates` is empty or mixes policy names.
+pub fn across_seeds(replicates: &[Summary]) -> MultiSeedSummary {
+    assert!(!replicates.is_empty(), "need at least one replicate");
+    let name = replicates[0].name.clone();
+    assert!(
+        replicates.iter().all(|r| r.name == name),
+        "replicates must come from the same policy"
+    );
+    let collect = |f: fn(&Summary) -> f64| {
+        SeedStats::of(&replicates.iter().map(f).collect::<Vec<_>>())
+    };
+    MultiSeedSummary {
+        name,
+        carbon_g: collect(|r| r.carbon_g),
+        total_cost: collect(|r| r.total_cost),
+        mean_wait_hours: collect(|r| r.mean_wait_hours),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(name: &str, carbon: f64) -> Summary {
+        Summary {
+            name: name.into(),
+            carbon_g: carbon,
+            total_cost: carbon / 10.0,
+            mean_wait_hours: 1.0,
+            mean_completion_hours: 2.0,
+            reserved_utilization: 0.5,
+            evictions: 0,
+            jobs: 10,
+        }
+    }
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = SeedStats::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.n, 3);
+        assert!((s.cov() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = SeedStats::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = SeedStats::of(&[1.0, 2.0]);
+        assert_eq!(s.display(2), "1.50 ± 0.71");
+    }
+
+    #[test]
+    fn across_seeds_aggregates_each_metric() {
+        let agg = across_seeds(&[summary("CT", 100.0), summary("CT", 120.0)]);
+        assert_eq!(agg.name, "CT");
+        assert_eq!(agg.carbon_g.mean, 110.0);
+        assert_eq!(agg.total_cost.mean, 11.0);
+        assert_eq!(agg.mean_wait_hours.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same policy")]
+    fn rejects_mixed_policies() {
+        let _ = across_seeds(&[summary("A", 1.0), summary("B", 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = across_seeds(&[]);
+    }
+}

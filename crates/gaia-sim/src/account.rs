@@ -1,0 +1,341 @@
+//! Per-job and cluster-wide accounting (§4.1's Accounting component).
+
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::Job;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ClusterConfig, EnergyModel, Pricing};
+use crate::plan::PurchaseOption;
+
+/// One contiguous stretch of execution on one purchase option.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRecord {
+    /// When the segment began.
+    pub start: SimTime,
+    /// When the segment ended (eviction or completion).
+    pub end: SimTime,
+    /// Where it ran.
+    pub option: PurchaseOption,
+    /// `false` if the work was lost to an eviction and recomputed.
+    pub useful: bool,
+}
+
+impl SegmentRecord {
+    /// Length of the segment.
+    pub fn len(&self) -> Minutes {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (never true for engine output).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Everything GAIA accounts for one finished job: carbon footprint,
+/// marginal dollar cost, waiting, and the execution history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job as submitted.
+    pub job: Job,
+    /// First instant the job began executing.
+    pub first_start: SimTime,
+    /// Instant the job finished for good.
+    pub finish: SimTime,
+    /// Completion minus execution length: queue delay plus suspensions
+    /// plus recomputation (the paper's completion = waiting + length).
+    pub waiting: Minutes,
+    /// `finish - arrival`.
+    pub completion: Minutes,
+    /// Carbon footprint in grams CO₂eq, including lost (evicted) work.
+    pub carbon_g: f64,
+    /// Marginal cost in dollars: on-demand plus spot usage. Reserved
+    /// usage is prepaid at the cluster level and costs nothing here.
+    pub cost: f64,
+    /// Execution history.
+    pub segments: Vec<SegmentRecord>,
+    /// Number of spot evictions suffered.
+    pub evictions: u32,
+}
+
+impl JobOutcome {
+    /// CPU-hours executed on the given purchase option (including lost
+    /// work).
+    pub fn cpu_hours_on(&self, option: PurchaseOption) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.option == option)
+            .map(|s| s.len().as_hours_f64() * self.job.cpus as f64)
+            .sum()
+    }
+
+    /// Total executed time including lost work.
+    pub fn executed(&self) -> Minutes {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Cluster-wide totals across one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTotals {
+    /// Total carbon, grams CO₂eq.
+    pub carbon_g: f64,
+    /// Prepaid reserved cost over the billing horizon.
+    pub cost_reserved_prepaid: f64,
+    /// Pay-as-you-go on-demand cost.
+    pub cost_on_demand: f64,
+    /// Spot usage cost (including lost work).
+    pub cost_spot: f64,
+    /// Sum of per-job waiting times.
+    pub total_waiting: Minutes,
+    /// Sum of per-job completion times.
+    pub total_completion: Minutes,
+    /// CPU-hours executed on reserved capacity.
+    pub reserved_cpu_hours: f64,
+    /// CPU-hours executed on on-demand capacity.
+    pub on_demand_cpu_hours: f64,
+    /// CPU-hours executed on spot capacity.
+    pub spot_cpu_hours: f64,
+    /// Total spot evictions.
+    pub evictions: u64,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Billing horizon used for the reserved prepayment.
+    pub billing_horizon: Minutes,
+    /// Reserved capacity (CPUs) the prepayment covers.
+    pub reserved_capacity: u32,
+}
+
+impl ClusterTotals {
+    /// Aggregates job outcomes under the given configuration.
+    pub fn aggregate(
+        outcomes: &[JobOutcome],
+        config: &ClusterConfig,
+        billing_horizon: Minutes,
+    ) -> ClusterTotals {
+        let mut totals = ClusterTotals {
+            carbon_g: 0.0,
+            cost_reserved_prepaid: config
+                .pricing
+                .reserved_prepaid(config.reserved_cpus, billing_horizon),
+            cost_on_demand: 0.0,
+            cost_spot: 0.0,
+            total_waiting: Minutes::ZERO,
+            total_completion: Minutes::ZERO,
+            reserved_cpu_hours: 0.0,
+            on_demand_cpu_hours: 0.0,
+            spot_cpu_hours: 0.0,
+            evictions: 0,
+            jobs: outcomes.len(),
+            billing_horizon,
+            reserved_capacity: config.reserved_cpus,
+        };
+        for outcome in outcomes {
+            totals.carbon_g += outcome.carbon_g;
+            totals.cost_on_demand +=
+                config.pricing.on_demand_cost(outcome.cpu_hours_on(PurchaseOption::OnDemand));
+            totals.cost_spot +=
+                config.pricing.spot_cost(outcome.cpu_hours_on(PurchaseOption::Spot));
+            totals.total_waiting += outcome.waiting;
+            totals.total_completion += outcome.completion;
+            totals.reserved_cpu_hours += outcome.cpu_hours_on(PurchaseOption::Reserved);
+            totals.on_demand_cpu_hours += outcome.cpu_hours_on(PurchaseOption::OnDemand);
+            totals.spot_cpu_hours += outcome.cpu_hours_on(PurchaseOption::Spot);
+            totals.evictions += outcome.evictions as u64;
+        }
+        totals
+    }
+
+    /// Total dollar cost: prepaid reserved + on-demand + spot.
+    pub fn total_cost(&self) -> f64 {
+        self.cost_reserved_prepaid + self.cost_on_demand + self.cost_spot
+    }
+
+    /// Total carbon in kilograms CO₂eq.
+    pub fn carbon_kg(&self) -> f64 {
+        self.carbon_g / 1000.0
+    }
+
+    /// Mean waiting time per job.
+    pub fn mean_waiting(&self) -> Minutes {
+        if self.jobs == 0 {
+            return Minutes::ZERO;
+        }
+        Minutes::new(self.total_waiting.as_minutes() / self.jobs as u64)
+    }
+
+    /// Mean completion time per job.
+    pub fn mean_completion(&self) -> Minutes {
+        if self.jobs == 0 {
+            return Minutes::ZERO;
+        }
+        Minutes::new(self.total_completion.as_minutes() / self.jobs as u64)
+    }
+
+    /// Utilization of the reserved capacity over the billing horizon, in
+    /// `[0, 1]` (0 when no capacity is reserved).
+    pub fn reserved_utilization(&self) -> f64 {
+        let available = self.reserved_capacity as f64 * self.billing_horizon.as_hours_f64();
+        if available == 0.0 {
+            return 0.0;
+        }
+        self.reserved_cpu_hours / available
+    }
+
+    /// The *effective* price per reserved CPU-hour actually used — the
+    /// quantity the paper argues rises when carbon-aware scheduling idles
+    /// reserved capacity (§1, §3). `None` if no reserved hour was used.
+    pub fn effective_reserved_price(&self) -> Option<f64> {
+        (self.reserved_cpu_hours > 0.0).then(|| self.cost_reserved_prepaid / self.reserved_cpu_hours)
+    }
+}
+
+/// Computes the carbon (grams) and per-option usage of one segment.
+pub(crate) fn segment_carbon(
+    carbon: &gaia_carbon::CarbonTrace,
+    energy: &EnergyModel,
+    cpus: u32,
+    start: SimTime,
+    end: SimTime,
+) -> f64 {
+    // (g/kWh · h) × kW = g; scaled by number of CPUs.
+    carbon.window_integral(start, end - start) * energy.kw_per_cpu * cpus as f64
+}
+
+/// Computes the marginal dollar cost of one segment.
+pub(crate) fn segment_cost(
+    pricing: &Pricing,
+    option: PurchaseOption,
+    cpus: u32,
+    start: SimTime,
+    end: SimTime,
+) -> f64 {
+    let cpu_hours = (end - start).as_hours_f64() * cpus as f64;
+    match option {
+        PurchaseOption::Reserved => 0.0,
+        PurchaseOption::OnDemand => pricing.on_demand_cost(cpu_hours),
+        PurchaseOption::Spot => pricing.spot_cost(cpu_hours),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_carbon::CarbonTrace;
+    use gaia_workload::JobId;
+
+    fn outcome(cpus: u32, option: PurchaseOption, hours: u64, waiting_h: u64) -> JobOutcome {
+        let job = Job::new(JobId(0), SimTime::ORIGIN, Minutes::from_hours(hours), cpus);
+        let start = SimTime::from_hours(waiting_h);
+        let end = start + Minutes::from_hours(hours);
+        JobOutcome {
+            job,
+            first_start: start,
+            finish: end,
+            waiting: Minutes::from_hours(waiting_h),
+            completion: Minutes::from_hours(waiting_h + hours),
+            carbon_g: 100.0,
+            cost: 0.0,
+            segments: vec![SegmentRecord { start, end, option, useful: true }],
+            evictions: 0,
+        }
+    }
+
+    fn config() -> ClusterConfig {
+        ClusterConfig {
+            reserved_cpus: 2,
+            pricing: Pricing {
+                on_demand_per_cpu_hour: 1.0,
+                reserved_fraction: 0.4,
+                spot_fraction: 0.2,
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_costs_by_option() {
+        let outcomes = vec![
+            outcome(1, PurchaseOption::OnDemand, 2, 0), // $2
+            outcome(2, PurchaseOption::Spot, 3, 1),     // 6 cpu-h * 0.2 = $1.2
+            outcome(1, PurchaseOption::Reserved, 4, 0), // marginal $0
+        ];
+        let totals = ClusterTotals::aggregate(&outcomes, &config(), Minutes::from_hours(10));
+        assert!((totals.cost_on_demand - 2.0).abs() < 1e-12);
+        assert!((totals.cost_spot - 1.2).abs() < 1e-12);
+        // Prepaid: 2 cpus * 0.4 * 10 h = 8.
+        assert!((totals.cost_reserved_prepaid - 8.0).abs() < 1e-12);
+        assert!((totals.total_cost() - 11.2).abs() < 1e-12);
+        assert!((totals.carbon_g - 300.0).abs() < 1e-12);
+        assert!((totals.carbon_kg() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_effective_price() {
+        let outcomes = vec![outcome(1, PurchaseOption::Reserved, 4, 0)];
+        let totals = ClusterTotals::aggregate(&outcomes, &config(), Minutes::from_hours(10));
+        // 4 busy cpu-hours out of 2*10 available.
+        assert!((totals.reserved_utilization() - 0.2).abs() < 1e-12);
+        // Effective price: $8 prepaid / 4 cpu-hours = $2/cpu-hour, i.e.
+        // *worse* than on-demand at this utilization.
+        assert!((totals.effective_reserved_price().expect("used") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_price_none_when_unused() {
+        let totals = ClusterTotals::aggregate(&[], &config(), Minutes::from_hours(10));
+        assert_eq!(totals.effective_reserved_price(), None);
+        assert_eq!(totals.reserved_utilization(), 0.0);
+        assert_eq!(totals.mean_waiting(), Minutes::ZERO);
+        assert_eq!(totals.mean_completion(), Minutes::ZERO);
+    }
+
+    #[test]
+    fn mean_waiting_and_completion() {
+        let outcomes = vec![
+            outcome(1, PurchaseOption::OnDemand, 2, 0),
+            outcome(1, PurchaseOption::OnDemand, 2, 4),
+        ];
+        let totals = ClusterTotals::aggregate(&outcomes, &config(), Minutes::from_hours(10));
+        assert_eq!(totals.mean_waiting(), Minutes::from_hours(2));
+        assert_eq!(totals.mean_completion(), Minutes::from_hours(4));
+    }
+
+    #[test]
+    fn segment_carbon_uses_trace_integral() {
+        let trace = CarbonTrace::from_hourly(vec![100.0, 200.0]).expect("valid");
+        let g = segment_carbon(
+            &trace,
+            &EnergyModel::default(),
+            2,
+            SimTime::ORIGIN,
+            SimTime::from_hours(2),
+        );
+        // (100 + 200) g/kWh·h × 1 kW × 2 cpus = 600 g.
+        assert!((g - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_cost_by_option() {
+        let pricing = Pricing {
+            on_demand_per_cpu_hour: 1.0,
+            reserved_fraction: 0.4,
+            spot_fraction: 0.2,
+        };
+        let start = SimTime::ORIGIN;
+        let end = SimTime::from_hours(2);
+        assert_eq!(segment_cost(&pricing, PurchaseOption::Reserved, 3, start, end), 0.0);
+        assert!((segment_cost(&pricing, PurchaseOption::OnDemand, 3, start, end) - 6.0).abs() < 1e-12);
+        assert!((segment_cost(&pricing, PurchaseOption::Spot, 3, start, end) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let o = outcome(2, PurchaseOption::Spot, 3, 1);
+        assert!((o.cpu_hours_on(PurchaseOption::Spot) - 6.0).abs() < 1e-12);
+        assert_eq!(o.cpu_hours_on(PurchaseOption::Reserved), 0.0);
+        assert_eq!(o.executed(), Minutes::from_hours(3));
+        assert!(!o.segments[0].is_empty());
+        assert_eq!(o.segments[0].len(), Minutes::from_hours(3));
+    }
+}

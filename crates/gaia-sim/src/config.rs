@@ -1,0 +1,430 @@
+//! Cluster, pricing, and energy configuration.
+
+use gaia_time::Minutes;
+use serde::{Deserialize, Serialize};
+
+use crate::eviction::EvictionModel;
+
+/// Checkpoint/restart support for spot execution — the extension the
+/// paper sketches in §4.2.4: "in scenarios where checkpoint/restart
+/// functionality is available, an additional tradeoff exists between the
+/// checkpointing overhead, eviction rate, and the amount of
+/// recomputation required on each eviction".
+///
+/// With checkpointing enabled, a spot job writes a checkpoint after
+/// every `interval` of useful work, paying `overhead` of extra execution
+/// time per checkpoint. An eviction then loses only the work since the
+/// last completed checkpoint, and the job *resumes on spot* (rather than
+/// restarting from scratch on on-demand) until [`max_retries`] evictions
+/// have hit it, after which it falls back to on-demand.
+///
+/// [`max_retries`]: CheckpointConfig::max_retries
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Useful work between consecutive checkpoints.
+    pub interval: Minutes,
+    /// Extra execution time consumed by writing one checkpoint.
+    pub overhead: Minutes,
+    /// Spot evictions tolerated before falling back to on-demand.
+    pub max_retries: u32,
+}
+
+impl CheckpointConfig {
+    /// A checkpoint every `interval_hours` hours costing
+    /// `overhead_minutes` each, with the default retry budget of 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_hours` is zero.
+    pub fn every_hours(interval_hours: u64, overhead_minutes: u64) -> Self {
+        assert!(interval_hours > 0, "checkpoint interval must be positive");
+        CheckpointConfig {
+            interval: Minutes::from_hours(interval_hours),
+            overhead: Minutes::new(overhead_minutes),
+            max_retries: 16,
+        }
+    }
+
+    /// Total execution span needed to complete `work`, including the
+    /// checkpoints written strictly inside it (no checkpoint after the
+    /// final chunk).
+    pub fn span_for(&self, work: Minutes) -> Minutes {
+        let checkpoints = (work.as_minutes().saturating_sub(1)) / self.interval.as_minutes();
+        work + self.overhead * checkpoints
+    }
+
+    /// Work safely banked after `elapsed` of wall execution: the last
+    /// completed checkpoint's position, capped at `work`.
+    pub fn banked_work(&self, elapsed: Minutes, work: Minutes) -> Minutes {
+        let cycle = self.interval + self.overhead;
+        let completed = elapsed.as_minutes() / cycle.as_minutes();
+        (self.interval * completed).min(work)
+    }
+}
+
+/// Prices of the three cloud purchase options.
+///
+/// The paper uses a normalized scheme (§3, §6.1): reserved instances cost
+/// **40%** and spot instances **20%** of the on-demand price. Reserved
+/// capacity is prepaid for the whole billing horizon whether used or not;
+/// on-demand and spot bill per CPU-hour actually used.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pricing {
+    /// On-demand price per CPU-hour (the paper's c7gn.medium: $0.0624).
+    pub on_demand_per_cpu_hour: f64,
+    /// Reserved price as a fraction of on-demand (paper: 0.4 for 3-year).
+    pub reserved_fraction: f64,
+    /// Spot price as a fraction of on-demand (paper: 0.2).
+    pub spot_fraction: f64,
+}
+
+impl Default for Pricing {
+    fn default() -> Self {
+        Pricing {
+            on_demand_per_cpu_hour: 0.0624,
+            reserved_fraction: 0.4,
+            spot_fraction: 0.2,
+        }
+    }
+}
+
+impl Pricing {
+    /// Prepaid cost of `capacity` reserved CPUs over `horizon`.
+    pub fn reserved_prepaid(&self, capacity: u32, horizon: Minutes) -> f64 {
+        capacity as f64
+            * self.on_demand_per_cpu_hour
+            * self.reserved_fraction
+            * horizon.as_hours_f64()
+    }
+
+    /// Cost of `cpu_hours` of on-demand usage.
+    pub fn on_demand_cost(&self, cpu_hours: f64) -> f64 {
+        self.on_demand_per_cpu_hour * cpu_hours
+    }
+
+    /// Cost of `cpu_hours` of spot usage.
+    pub fn spot_cost(&self, cpu_hours: f64) -> f64 {
+        self.on_demand_per_cpu_hour * self.spot_fraction * cpu_hours
+    }
+}
+
+/// Energy model: how much electrical power one busy CPU unit draws.
+///
+/// The paper's metrics are normalized, so the default of 1 kW per CPU
+/// makes "carbon" equal to the CI integral over busy CPU-hours — the same
+/// normalization the paper's simulator uses. Idle reserved instances are
+/// powered off and draw nothing (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Power drawn by one busy CPU unit, in kW.
+    pub kw_per_cpu: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel { kw_per_cpu: 1.0 }
+    }
+}
+
+impl EnergyModel {
+    /// Energy (kWh) consumed by `cpus` busy CPUs over `minutes`.
+    pub fn energy_kwh(&self, cpus: u32, minutes: Minutes) -> f64 {
+        self.kw_per_cpu * cpus as f64 * minutes.as_hours_f64()
+    }
+}
+
+/// Instance initiation and termination overheads.
+///
+/// The paper's AWS prototype "considers the entire instance time,
+/// including initiation and termination times, for carbon and cost
+/// accounting" (§5), while its simulator neglects them and argues the
+/// normalized results are unaffected. Setting these to non-zero values
+/// reproduces the prototype's accounting: every **on-demand or spot**
+/// acquisition boots for `startup` before execution begins (delaying the
+/// job) and bills `teardown` after it ends; both phases consume energy
+/// and money. Reserved instances are pre-provisioned and pay neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InstanceOverheads {
+    /// Boot time before execution starts.
+    pub startup: Minutes,
+    /// Wind-down time billed after execution ends.
+    pub teardown: Minutes,
+}
+
+impl InstanceOverheads {
+    /// No overheads — the paper-simulator behaviour.
+    pub fn none() -> Self {
+        InstanceOverheads::default()
+    }
+
+    /// Symmetric startup/teardown of `minutes` each.
+    pub fn symmetric(minutes: u64) -> Self {
+        InstanceOverheads {
+            startup: Minutes::new(minutes),
+            teardown: Minutes::new(minutes),
+        }
+    }
+
+    /// Whether any overhead is configured.
+    pub fn is_none(&self) -> bool {
+        self.startup.is_zero() && self.teardown.is_zero()
+    }
+}
+
+/// A cluster-wide cap on *elastic* (on-demand + spot) capacity — the
+/// demand-regulation mechanism family the paper contrasts with in §8
+/// (CarbonExplorer, Carbon Responder, variable-capacity scheduling):
+/// instead of per-job carbon-aware start times, the operator throttles
+/// how much rented capacity may be busy, optionally tightening the cap
+/// when grid carbon intensity is high. Reserved capacity is prepaid and
+/// never capped.
+///
+/// Jobs blocked by the cap queue FIFO and start as capacity frees or the
+/// cap relaxes (re-evaluated hourly). A job wider than the cap itself is
+/// allowed to run once no other elastic work is active, so caps can
+/// never deadlock the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CapacityCap {
+    /// No cap: the paper's GAIA setting.
+    #[default]
+    None,
+    /// A fixed cap on concurrent elastic CPUs.
+    Static(u32),
+    /// Carbon-responsive cap: `high_carbon_cap` applies whenever the
+    /// current carbon intensity is at or above `ci_threshold` (g/kWh),
+    /// `normal_cap` otherwise.
+    CarbonResponsive {
+        /// Cap during low-carbon periods.
+        normal_cap: u32,
+        /// Cap during high-carbon periods (typically smaller).
+        high_carbon_cap: u32,
+        /// Carbon intensity at which the tighter cap engages.
+        ci_threshold: f64,
+    },
+}
+
+impl CapacityCap {
+    /// The cap in force at carbon intensity `ci`, or `None` if uncapped.
+    pub fn cap_at(&self, ci: f64) -> Option<u32> {
+        match *self {
+            CapacityCap::None => None,
+            CapacityCap::Static(cap) => Some(cap),
+            CapacityCap::CarbonResponsive { normal_cap, high_carbon_cap, ci_threshold } => {
+                Some(if ci >= ci_threshold { high_carbon_cap } else { normal_cap })
+            }
+        }
+    }
+
+    /// Whether the cap can change as carbon intensity changes.
+    pub fn is_carbon_responsive(&self) -> bool {
+        matches!(self, CapacityCap::CarbonResponsive { .. })
+    }
+}
+
+/// Full configuration of a simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_sim::ClusterConfig;
+///
+/// let config = ClusterConfig::default().with_reserved(9);
+/// assert_eq!(config.reserved_cpus, 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of prepaid reserved CPU units.
+    pub reserved_cpus: u32,
+    /// Purchase-option pricing.
+    pub pricing: Pricing,
+    /// Energy draw of busy CPUs.
+    pub energy: EnergyModel,
+    /// Spot-instance eviction behaviour.
+    pub eviction: EvictionModel,
+    /// Checkpoint/restart support for spot jobs (`None` reproduces the
+    /// paper's all-progress-lost assumption).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Instance boot/wind-down overheads (zero reproduces the paper's
+    /// simulator; non-zero reproduces the prototype's accounting).
+    pub overheads: InstanceOverheads,
+    /// Cluster-wide elastic-capacity cap (§8's demand-regulation
+    /// mechanism; `None` reproduces the paper's uncapped setting).
+    pub capacity_cap: CapacityCap,
+    /// Seed for the simulator's stochastic components (evictions).
+    pub seed: u64,
+    /// Billing horizon for the reserved prepayment. `None` derives it
+    /// from the simulation makespan (rounded up to a whole day); set it
+    /// explicitly when comparing policies so all pay for the same
+    /// contract period.
+    pub billing_horizon: Option<Minutes>,
+}
+
+impl Default for ClusterConfig {
+    /// An on-demand-only cluster with the paper's pricing and no
+    /// evictions.
+    fn default() -> Self {
+        ClusterConfig {
+            reserved_cpus: 0,
+            pricing: Pricing::default(),
+            energy: EnergyModel::default(),
+            eviction: EvictionModel::never(),
+            checkpoint: None,
+            overheads: InstanceOverheads::none(),
+            capacity_cap: CapacityCap::None,
+            seed: 0,
+            billing_horizon: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Returns a copy with `reserved_cpus` reserved CPU units.
+    pub fn with_reserved(mut self, reserved_cpus: u32) -> Self {
+        self.reserved_cpus = reserved_cpus;
+        self
+    }
+
+    /// Returns a copy with the given eviction model.
+    pub fn with_eviction(mut self, eviction: EvictionModel) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Returns a copy with checkpoint/restart enabled for spot jobs.
+    pub fn with_checkpointing(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Returns a copy with instance boot/wind-down overheads.
+    pub fn with_overheads(mut self, overheads: InstanceOverheads) -> Self {
+        self.overheads = overheads;
+        self
+    }
+
+    /// Returns a copy with a cluster-wide elastic-capacity cap.
+    pub fn with_capacity_cap(mut self, cap: CapacityCap) -> Self {
+        self.capacity_cap = cap;
+        self
+    }
+
+    /// Returns a copy with the given simulator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with an explicit billing horizon.
+    pub fn with_billing_horizon(mut self, horizon: Minutes) -> Self {
+        self.billing_horizon = Some(horizon);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pricing_matches_paper() {
+        let p = Pricing::default();
+        assert!((p.on_demand_per_cpu_hour - 0.0624).abs() < 1e-12);
+        assert!((p.reserved_fraction - 0.4).abs() < 1e-12);
+        assert!((p.spot_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserved_prepaid_is_capacity_times_discounted_rate() {
+        let p = Pricing {
+            on_demand_per_cpu_hour: 1.0,
+            reserved_fraction: 0.4,
+            spot_fraction: 0.2,
+        };
+        // 5 CPUs for 10 hours at 0.4: 5 * 0.4 * 10 = 20.
+        assert!((p.reserved_prepaid(5, Minutes::from_hours(10)) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_costs() {
+        let p = Pricing {
+            on_demand_per_cpu_hour: 2.0,
+            reserved_fraction: 0.4,
+            spot_fraction: 0.2,
+        };
+        assert!((p.on_demand_cost(3.0) - 6.0).abs() < 1e-12);
+        assert!((p.spot_cost(3.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_model() {
+        let e = EnergyModel { kw_per_cpu: 0.5 };
+        assert!((e.energy_kwh(4, Minutes::from_hours(2)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_cap_levels() {
+        assert_eq!(CapacityCap::None.cap_at(500.0), None);
+        assert_eq!(CapacityCap::Static(10).cap_at(500.0), Some(10));
+        let cap = CapacityCap::CarbonResponsive {
+            normal_cap: 20,
+            high_carbon_cap: 5,
+            ci_threshold: 300.0,
+        };
+        assert_eq!(cap.cap_at(299.9), Some(20));
+        assert_eq!(cap.cap_at(300.0), Some(5));
+        assert!(cap.is_carbon_responsive());
+        assert!(!CapacityCap::Static(10).is_carbon_responsive());
+        assert_eq!(CapacityCap::default(), CapacityCap::None);
+    }
+
+    #[test]
+    fn overheads_constructors() {
+        assert!(InstanceOverheads::none().is_none());
+        let o = InstanceOverheads::symmetric(2);
+        assert_eq!(o.startup, Minutes::new(2));
+        assert_eq!(o.teardown, Minutes::new(2));
+        assert!(!o.is_none());
+        assert_eq!(InstanceOverheads::default(), InstanceOverheads::none());
+    }
+
+    #[test]
+    fn checkpoint_span_accounting() {
+        let cp = CheckpointConfig::every_hours(2, 10);
+        // 5 h of work: checkpoints after hours 2 and 4 -> two overheads.
+        assert_eq!(cp.span_for(Minutes::from_hours(5)), Minutes::new(320));
+        // Exactly one interval: no checkpoint needed.
+        assert_eq!(cp.span_for(Minutes::from_hours(2)), Minutes::from_hours(2));
+        // Tiny job: no checkpoint.
+        assert_eq!(cp.span_for(Minutes::new(30)), Minutes::new(30));
+    }
+
+    #[test]
+    fn checkpoint_banked_work() {
+        let cp = CheckpointConfig::every_hours(2, 10);
+        let work = Minutes::from_hours(6);
+        // Before the first checkpoint completes (cycle = 130 min): nothing.
+        assert_eq!(cp.banked_work(Minutes::new(129), work), Minutes::ZERO);
+        // After one full cycle: one interval banked.
+        assert_eq!(cp.banked_work(Minutes::new(130), work), Minutes::from_hours(2));
+        assert_eq!(cp.banked_work(Minutes::new(260), work), Minutes::from_hours(4));
+        // Never banks more than the total work.
+        assert_eq!(cp.banked_work(Minutes::from_days(2), work), work);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn checkpoint_rejects_zero_interval() {
+        let _ = CheckpointConfig::every_hours(0, 5);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = ClusterConfig::default()
+            .with_reserved(7)
+            .with_seed(9)
+            .with_billing_horizon(Minutes::from_days(8));
+        assert_eq!(c.reserved_cpus, 7);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.billing_horizon, Some(Minutes::from_days(8)));
+    }
+}

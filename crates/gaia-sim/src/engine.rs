@@ -1,0 +1,712 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine replays a workload trace against a scheduling policy. For
+//! each arriving job the policy returns a [`Decision`]; the engine then
+//! handles everything the paper's resource manager does (§4.1):
+//!
+//! * starting jobs at their planned times, preferring idle reserved
+//!   capacity and falling back to on-demand;
+//! * **work conservation** — starting opportunistic waiters early the
+//!   moment reserved capacity frees up (RES-First, §4.2.3);
+//! * spot execution with stochastic evictions, full progress loss, and
+//!   restart on reserved/on-demand capacity (Spot-First, §4.2.4);
+//! * suspend-resume segment plans for the interruptible baselines; and
+//! * carbon, cost, and waiting-time accounting for every segment.
+//!
+//! Event ordering is deterministic: at equal timestamps, resource
+//! releases are processed before arrivals, and arrivals before planned
+//! starts, so freed reserved capacity is always visible to decisions made
+//! at the same instant. Ties beyond that are FIFO.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use gaia_carbon::{CarbonForecaster, CarbonTrace, ForecastView, PerfectForecaster};
+use gaia_time::{Minutes, SimTime, MINUTES_PER_DAY};
+use gaia_workload::{Job, WorkloadTrace};
+
+use crate::account::{segment_carbon, segment_cost, ClusterTotals, JobOutcome, SegmentRecord};
+use crate::config::ClusterConfig;
+use crate::plan::{Decision, PurchaseOption};
+use crate::pool::ReservedPool;
+use crate::report::{AllocationTimeline, SimReport};
+
+/// A scheduling policy, as seen by the engine.
+///
+/// Implementations live in `gaia-core`; the engine only requires a
+/// decision per arriving job.
+pub trait Scheduler {
+    /// Decides when and where `job` should run. Called exactly once per
+    /// job, at its arrival instant.
+    fn on_arrival(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision;
+}
+
+/// Everything a policy may consult when deciding (§4.1's CIS and
+/// resource-manager state).
+#[derive(Debug)]
+pub struct SchedulerContext<'a> {
+    /// The decision instant (the job's arrival).
+    pub now: SimTime,
+    /// Carbon-intensity observations and forecasts anchored at `now`.
+    pub forecast: ForecastView<'a>,
+    /// Idle reserved CPU units right now.
+    pub reserved_free: u32,
+    /// Total reserved CPU units in the cluster.
+    pub reserved_capacity: u32,
+}
+
+/// A configured simulation, ready to replay workload traces.
+///
+/// See the [crate-level docs](crate) for a complete example.
+pub struct Simulation<'a> {
+    config: ClusterConfig,
+    carbon: &'a CarbonTrace,
+    forecaster: Option<&'a dyn CarbonForecaster>,
+}
+
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("config", &self.config)
+            .field("carbon", &self.carbon)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation over the given cluster and carbon trace.
+    ///
+    /// Policies see a *perfect* forecaster backed by the same trace (the
+    /// paper's assumption, §6.1) unless overridden with
+    /// [`Simulation::with_forecaster`].
+    pub fn new(config: ClusterConfig, carbon: &'a CarbonTrace) -> Self {
+        Simulation { config, carbon, forecaster: None }
+    }
+
+    /// Replaces the forecaster policies consult (accounting still uses
+    /// the true trace).
+    pub fn with_forecaster(mut self, forecaster: &'a dyn CarbonForecaster) -> Self {
+        self.forecaster = Some(forecaster);
+        self
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Replays `trace` under `scheduler` and returns the full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns an invalid decision: a planned start
+    /// before the job's arrival, or a segment plan whose total differs
+    /// from the job's length. These are policy bugs, not runtime
+    /// conditions.
+    pub fn run(&self, trace: &WorkloadTrace, scheduler: &mut dyn Scheduler) -> SimReport {
+        let perfect;
+        let forecaster: &dyn CarbonForecaster = match self.forecaster {
+            Some(f) => f,
+            None => {
+                perfect = PerfectForecaster::new(self.carbon);
+                &perfect
+            }
+        };
+        let mut engine = Engine {
+            config: &self.config,
+            carbon: self.carbon,
+            forecaster,
+            jobs: trace.jobs(),
+            pool: ReservedPool::new(self.config.reserved_cpus),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            states: vec![JobState::Unarrived; trace.len()],
+            accum: trace
+                .jobs()
+                .iter()
+                .map(|job| JobAccum { remaining: job.length, ..JobAccum::default() })
+                .collect(),
+            waiters: BTreeSet::new(),
+            plan_decisions: vec![None; trace.len()],
+            elastic_busy: 0,
+            cap_queue: std::collections::VecDeque::new(),
+            tick_scheduled: false,
+        };
+        engine.run(scheduler);
+        engine.into_report(trace)
+    }
+}
+
+/// Event priorities at equal timestamps: releases < cap re-evaluations <
+/// arrivals < starts, so freed or newly-permitted capacity is always
+/// visible to decisions made at the same instant.
+const PRIO_RELEASE: u8 = 0;
+const PRIO_TICK: u8 = 1;
+const PRIO_ARRIVAL: u8 = 2;
+const PRIO_START: u8 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival,
+    PlannedStart,
+    SegmentStart(usize),
+    FinishOnce,
+    FinishSegment(usize),
+    Eviction,
+    /// Hourly re-evaluation of a carbon-responsive capacity cap.
+    CapTick,
+}
+
+impl EventKind {
+    fn priority(self) -> u8 {
+        match self {
+            EventKind::FinishOnce | EventKind::FinishSegment(_) | EventKind::Eviction => {
+                PRIO_RELEASE
+            }
+            EventKind::CapTick => PRIO_TICK,
+            EventKind::Arrival => PRIO_ARRIVAL,
+            EventKind::PlannedStart | EventKind::SegmentStart(_) => PRIO_START,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    prio: u8,
+    seq: u64,
+    job: u32,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest event pops first.
+        (other.time, other.prio, other.seq).cmp(&(self.time, self.prio, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JobState {
+    Unarrived,
+    /// Waiting for its planned start (uninterruptible decision).
+    Waiting { decision: Decision },
+    /// Running an uninterruptible stretch of the given wall span
+    /// (work remaining plus checkpoint overheads, if any).
+    RunningOnce { option: PurchaseOption, start: SimTime, span: Minutes },
+    /// Waiting between / running segments of a suspend-resume plan. The
+    /// running tuple is `(segment index, option, start, execution end)`;
+    /// the execution end includes any instance boot time.
+    InPlan { running: Option<(usize, PurchaseOption, SimTime, SimTime)> },
+    Done,
+}
+
+#[derive(Debug, Clone, Default)]
+struct JobAccum {
+    first_start: Option<SimTime>,
+    finish: SimTime,
+    segments: Vec<SegmentRecord>,
+    carbon_g: f64,
+    cost: f64,
+    evictions: u32,
+    /// Useful work still to be done; shrinks below the job length only
+    /// when checkpointing banks partial progress across evictions.
+    remaining: Minutes,
+}
+
+struct Engine<'e> {
+    config: &'e ClusterConfig,
+    carbon: &'e CarbonTrace,
+    forecaster: &'e dyn CarbonForecaster,
+    jobs: &'e [Job],
+    pool: ReservedPool,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    states: Vec<JobState>,
+    accum: Vec<JobAccum>,
+    /// Opportunistic waiters ordered by (planned_start, job index):
+    /// "the job with this t_start is started on this reserved server".
+    waiters: BTreeSet<(SimTime, u32)>,
+    /// Per-job segment-plan decisions, consulted at each segment start.
+    plan_decisions: Vec<Option<Decision>>,
+    /// Elastic (on-demand + spot) CPUs currently busy, for capacity caps.
+    elastic_busy: u32,
+    /// FIFO of work blocked by the capacity cap.
+    cap_queue: std::collections::VecDeque<CapBlocked>,
+    /// Whether a CapTick event is already pending.
+    tick_scheduled: bool,
+}
+
+/// A unit of work blocked by the capacity cap, retried FIFO as capacity
+/// frees or the cap relaxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CapBlocked {
+    /// An uninterruptible start (`allow_spot` as at the original attempt).
+    Once { idx: usize, allow_spot: bool },
+    /// A suspend-resume segment start.
+    Segment { idx: usize, seg_idx: usize },
+}
+
+impl Engine<'_> {
+    fn push(&mut self, time: SimTime, job: u32, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event { time, prio: kind.priority(), seq: self.seq, job, kind });
+    }
+
+    fn run(&mut self, scheduler: &mut dyn Scheduler) {
+        for job in self.jobs {
+            self.push(job.arrival, job.id.0 as u32, EventKind::Arrival);
+        }
+        while let Some(event) = self.heap.pop() {
+            self.dispatch(event, scheduler);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event, scheduler: &mut dyn Scheduler) {
+        let idx = event.job as usize;
+        match event.kind {
+            EventKind::Arrival => self.on_arrival(idx, event.time, scheduler),
+            EventKind::PlannedStart => self.on_planned_start(idx, event.time),
+            EventKind::SegmentStart(seg) => self.on_segment_start(idx, seg, event.time),
+            EventKind::FinishOnce => self.on_finish_once(idx, event.time),
+            EventKind::FinishSegment(seg) => self.on_finish_segment(idx, seg, event.time),
+            EventKind::Eviction => self.on_eviction(idx, event.time),
+            EventKind::CapTick => self.on_cap_tick(event.time),
+        }
+    }
+
+    /// Whether the capacity cap admits `cpus` more elastic CPUs at `now`.
+    /// A job wider than the cap is admitted once nothing elastic runs, so
+    /// caps cannot deadlock.
+    fn cap_allows(&self, cpus: u32, now: SimTime) -> bool {
+        match self.config.capacity_cap.cap_at(self.carbon.intensity_at(now)) {
+            None => true,
+            Some(cap) => self.elastic_busy + cpus <= cap || self.elastic_busy == 0,
+        }
+    }
+
+    /// Blocks a unit of work on the capacity cap and arranges for it to
+    /// be retried.
+    fn block_on_cap(&mut self, blocked: CapBlocked, now: SimTime) {
+        self.cap_queue.push_back(blocked);
+        self.maybe_schedule_tick(now);
+    }
+
+    /// Schedules the next hourly cap re-evaluation if the cap is
+    /// carbon-responsive and no tick is pending.
+    fn maybe_schedule_tick(&mut self, now: SimTime) {
+        if self.tick_scheduled || !self.config.capacity_cap.is_carbon_responsive() {
+            return;
+        }
+        let mut next = now.ceil_hour();
+        if next == now {
+            next += Minutes::from_hours(1);
+        }
+        self.tick_scheduled = true;
+        self.push(next, 0, EventKind::CapTick);
+    }
+
+    fn on_cap_tick(&mut self, now: SimTime) {
+        self.tick_scheduled = false;
+        self.drain_cap_queue(now);
+        if !self.cap_queue.is_empty() {
+            self.maybe_schedule_tick(now);
+        }
+    }
+
+    /// Starts blocked work FIFO while the cap admits it.
+    fn drain_cap_queue(&mut self, now: SimTime) {
+        while let Some(&head) = self.cap_queue.front() {
+            let cpus = match head {
+                CapBlocked::Once { idx, .. } | CapBlocked::Segment { idx, .. } => {
+                    self.jobs[idx].cpus
+                }
+            };
+            if !self.cap_allows(cpus, now) {
+                break;
+            }
+            self.cap_queue.pop_front();
+            match head {
+                CapBlocked::Once { idx, allow_spot } => {
+                    if matches!(self.states[idx], JobState::Waiting { .. }) {
+                        self.start_once(idx, now, allow_spot);
+                    }
+                }
+                CapBlocked::Segment { idx, seg_idx } => {
+                    self.on_segment_start(idx, seg_idx, now);
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, idx: usize, now: SimTime, scheduler: &mut dyn Scheduler) {
+        let job = self.jobs[idx];
+        let ctx = SchedulerContext {
+            now,
+            forecast: ForecastView::new(self.forecaster, now),
+            reserved_free: self.pool.free(),
+            reserved_capacity: self.pool.capacity(),
+        };
+        let decision = scheduler.on_arrival(&job, &ctx);
+        assert!(
+            decision.planned_start() >= job.arrival,
+            "policy scheduled {} before its arrival",
+            job.id
+        );
+        if let Some(plan) = decision.segments() {
+            assert_eq!(
+                plan.total(),
+                job.length,
+                "segment plan for {} does not cover the job length",
+                job.id
+            );
+            for (seg_idx, (start, _)) in plan.segments.iter().enumerate() {
+                self.push(*start, idx as u32, EventKind::SegmentStart(seg_idx));
+            }
+            self.states[idx] = JobState::InPlan { running: None };
+            // Stash the decision for spot lookups during segment starts.
+            self.plan_decisions[idx] = Some(decision);
+            return;
+        }
+        let planned = decision.planned_start();
+        let opportunistic = decision.is_opportunistic();
+        self.states[idx] = JobState::Waiting { decision };
+        if planned <= now {
+            self.start_once(idx, now, true);
+        } else {
+            if opportunistic {
+                self.waiters.insert((planned, idx as u32));
+            }
+            self.push(planned, idx as u32, EventKind::PlannedStart);
+        }
+    }
+
+    fn on_planned_start(&mut self, idx: usize, now: SimTime) {
+        // Stale if the job already started opportunistically.
+        if matches!(self.states[idx], JobState::Waiting { .. }) {
+            self.waiters.remove(&(now, idx as u32));
+            self.start_once(idx, now, true);
+        }
+    }
+
+    /// Starts an uninterruptible run. `allow_spot` is false on restarts
+    /// after eviction (§4.2.4: restart on on-demand / reserved).
+    fn start_once(&mut self, idx: usize, now: SimTime, allow_spot: bool) {
+        let job = self.jobs[idx];
+        let use_spot = allow_spot
+            && match &self.states[idx] {
+                JobState::Waiting { decision } => decision.uses_spot(),
+                _ => false,
+            };
+        let option = if use_spot {
+            PurchaseOption::Spot
+        } else if self.pool.try_acquire(job.cpus) {
+            PurchaseOption::Reserved
+        } else {
+            PurchaseOption::OnDemand
+        };
+        if option != PurchaseOption::Reserved && !self.cap_allows(job.cpus, now) {
+            self.block_on_cap(CapBlocked::Once { idx, allow_spot: use_spot }, now);
+            return;
+        }
+        self.begin_run(idx, now, option);
+    }
+
+    /// Boot time paid before execution on the given purchase option
+    /// (reserved instances are pre-provisioned).
+    fn boot_for(&self, option: PurchaseOption) -> Minutes {
+        match option {
+            PurchaseOption::Reserved => Minutes::ZERO,
+            _ => self.config.overheads.startup,
+        }
+    }
+
+    /// Wind-down time billed after execution on the given purchase option.
+    fn teardown_for(&self, option: PurchaseOption) -> Minutes {
+        match option {
+            PurchaseOption::Reserved => Minutes::ZERO,
+            _ => self.config.overheads.teardown,
+        }
+    }
+
+    fn begin_run(&mut self, idx: usize, now: SimTime, option: PurchaseOption) {
+        let job = self.jobs[idx];
+        self.accum[idx].first_start.get_or_insert(now);
+        let work = self.accum[idx].remaining;
+        // Checkpointing stretches a spot run by the checkpoint overheads;
+        // elastic instances additionally boot before executing.
+        let span = self.boot_for(option)
+            + match (option, self.config.checkpoint) {
+                (PurchaseOption::Spot, Some(cp)) => cp.span_for(work),
+                _ => work,
+            };
+        self.states[idx] = JobState::RunningOnce { option, start: now, span };
+        if option != PurchaseOption::Reserved {
+            self.elastic_busy += job.cpus;
+        }
+        if option == PurchaseOption::Spot {
+            if let Some(offset) = self.config.eviction.sample_eviction(
+                span,
+                self.config.seed,
+                // Distinct stream per attempt so restarts resample.
+                job.id.0.wrapping_add((self.accum[idx].evictions as u64) << 40),
+            ) {
+                self.push(now + offset, idx as u32, EventKind::Eviction);
+                return;
+            }
+        }
+        self.push(now + span, idx as u32, EventKind::FinishOnce);
+    }
+
+    fn on_finish_once(&mut self, idx: usize, now: SimTime) {
+        let JobState::RunningOnce { option, start, span } = self.states[idx] else {
+            // Stale finish after an eviction rescheduled the job.
+            return;
+        };
+        if now != start + span {
+            return; // stale event from a pre-eviction schedule
+        }
+        // Elastic instances bill their wind-down after execution ends.
+        self.record_segment(idx, start, now + self.teardown_for(option), option, true);
+        self.states[idx] = JobState::Done;
+        self.accum[idx].finish = now;
+        self.accum[idx].remaining = Minutes::ZERO;
+        if option == PurchaseOption::Reserved {
+            self.pool.release(self.jobs[idx].cpus);
+            self.wake_waiters(now);
+        } else {
+            self.elastic_busy -= self.jobs[idx].cpus;
+            self.drain_cap_queue(now);
+        }
+    }
+
+    fn on_eviction(&mut self, idx: usize, now: SimTime) {
+        match self.states[idx].clone() {
+            JobState::RunningOnce { option, start, .. } => {
+                debug_assert_eq!(option, PurchaseOption::Spot, "only spot runs are evicted");
+                // With checkpointing, completed checkpoints survive the
+                // eviction; without it, all progress is lost (§4.2.4).
+                // Time spent booting banks nothing.
+                let worked = (now - start).saturating_sub(self.boot_for(option));
+                let banked = self
+                    .config
+                    .checkpoint
+                    .map(|cp| cp.banked_work(worked, self.accum[idx].remaining))
+                    .unwrap_or(Minutes::ZERO);
+                self.record_segment(idx, start, now, option, !banked.is_zero());
+                self.elastic_busy -= self.jobs[idx].cpus;
+                self.accum[idx].remaining -= banked;
+                self.accum[idx].evictions += 1;
+                // Checkpointed jobs keep retrying spot (losing only the
+                // uncheckpointed tail) until the retry budget runs out.
+                if let Some(cp) = self.config.checkpoint {
+                    if self.accum[idx].evictions < cp.max_retries {
+                        if self.cap_allows(self.jobs[idx].cpus, now) {
+                            self.begin_run(idx, now, PurchaseOption::Spot);
+                        } else {
+                            self.states[idx] = JobState::Waiting {
+                                decision: Decision::run_at(now).on_spot(),
+                            };
+                            self.block_on_cap(
+                                CapBlocked::Once { idx, allow_spot: true },
+                                now,
+                            );
+                        }
+                        return;
+                    }
+                }
+            }
+            JobState::InPlan { running } => {
+                // Abandon the plan: all prior progress is lost (§4.2.4;
+                // checkpointing is modelled for uninterruptible spot runs
+                // only).
+                if let Some((_, option, start, _)) = running {
+                    self.record_segment(idx, start, now, option, false);
+                    if option == PurchaseOption::Reserved {
+                        self.pool.release(self.jobs[idx].cpus);
+                    } else {
+                        self.elastic_busy -= self.jobs[idx].cpus;
+                    }
+                }
+                for segment in &mut self.accum[idx].segments {
+                    segment.useful = false;
+                }
+                self.accum[idx].evictions += 1;
+            }
+            _ => return, // stale
+        }
+        // Restart/resume off spot: prefer reserved, else on-demand.
+        self.states[idx] = JobState::Waiting {
+            decision: Decision::run_at(now),
+        };
+        self.start_once(idx, now, false);
+        self.drain_cap_queue(now);
+    }
+
+    fn on_segment_start(&mut self, idx: usize, seg_idx: usize, now: SimTime) {
+        let JobState::InPlan { running } = &self.states[idx] else {
+            return; // plan abandoned after an eviction
+        };
+        // Instance boot times can push the previous segment's execution
+        // past this segment's planned start; in that case the segment is
+        // deferred until the running one finishes. (Plans themselves are
+        // validated non-overlapping, so without overheads this is
+        // unreachable.)
+        if let Some((_, _, _, exec_end)) = *running {
+            self.push(exec_end, idx as u32, EventKind::SegmentStart(seg_idx));
+            return;
+        }
+        let job = self.jobs[idx];
+        let decision = self.plan_decisions[idx].as_ref().expect("plan decision stored");
+        let plan = decision.segments().expect("InPlan implies a segment plan");
+        let (_, seg_len) = plan.segments[seg_idx];
+        let use_spot = decision.uses_spot();
+        let option = if use_spot {
+            PurchaseOption::Spot
+        } else if self.pool.try_acquire(job.cpus) {
+            PurchaseOption::Reserved
+        } else {
+            PurchaseOption::OnDemand
+        };
+        if option != PurchaseOption::Reserved && !self.cap_allows(job.cpus, now) {
+            self.block_on_cap(CapBlocked::Segment { idx, seg_idx }, now);
+            return;
+        }
+        self.accum[idx].first_start.get_or_insert(now);
+        if option != PurchaseOption::Reserved {
+            self.elastic_busy += job.cpus;
+        }
+        let exec_end = now + self.boot_for(option) + seg_len;
+        self.states[idx] =
+            JobState::InPlan { running: Some((seg_idx, option, now, exec_end)) };
+        if option == PurchaseOption::Spot {
+            if let Some(offset) = self.config.eviction.sample_eviction(
+                exec_end - now,
+                self.config.seed,
+                job.id.0.wrapping_add((self.accum[idx].evictions as u64) << 40).wrapping_add(
+                    (seg_idx as u64) << 52,
+                ),
+            ) {
+                self.push(now + offset, idx as u32, EventKind::Eviction);
+                return;
+            }
+        }
+        self.push(exec_end, idx as u32, EventKind::FinishSegment(seg_idx));
+    }
+
+    fn on_finish_segment(&mut self, idx: usize, seg_idx: usize, now: SimTime) {
+        let JobState::InPlan { running: Some((running_idx, option, start, exec_end)) } =
+            self.states[idx]
+        else {
+            return; // stale
+        };
+        if running_idx != seg_idx || now != exec_end {
+            return; // stale
+        }
+        self.record_segment(idx, start, now + self.teardown_for(option), option, true);
+        if option == PurchaseOption::Reserved {
+            self.pool.release(self.jobs[idx].cpus);
+        } else {
+            self.elastic_busy -= self.jobs[idx].cpus;
+        }
+        let plan_len = self.plan_decisions[idx]
+            .as_ref()
+            .and_then(|d| d.segments())
+            .map(|p| p.segments.len())
+            .expect("plan decision stored");
+        if seg_idx + 1 == plan_len {
+            self.states[idx] = JobState::Done;
+            self.accum[idx].finish = now;
+        } else {
+            self.states[idx] = JobState::InPlan { running: None };
+        }
+        if option == PurchaseOption::Reserved {
+            self.wake_waiters(now);
+        } else {
+            self.drain_cap_queue(now);
+        }
+    }
+
+    /// Work conservation: on freed reserved capacity, start opportunistic
+    /// waiters in planned-start order. Jobs too wide for the remaining
+    /// capacity are skipped rather than blocking narrower jobs behind
+    /// them.
+    fn wake_waiters(&mut self, now: SimTime) {
+        if self.pool.free() == 0 {
+            return;
+        }
+        let candidates: Vec<(SimTime, u32)> = self.waiters.iter().copied().collect();
+        for (planned, job_idx) in candidates {
+            if self.pool.free() == 0 {
+                break;
+            }
+            let idx = job_idx as usize;
+            if !matches!(self.states[idx], JobState::Waiting { .. }) {
+                self.waiters.remove(&(planned, job_idx));
+                continue;
+            }
+            if self.pool.try_acquire(self.jobs[idx].cpus) {
+                self.waiters.remove(&(planned, job_idx));
+                self.begin_run(idx, now, PurchaseOption::Reserved);
+            }
+        }
+    }
+
+    fn record_segment(
+        &mut self,
+        idx: usize,
+        start: SimTime,
+        end: SimTime,
+        option: PurchaseOption,
+        useful: bool,
+    ) {
+        if end <= start {
+            return;
+        }
+        let job = self.jobs[idx];
+        let carbon = segment_carbon(self.carbon, &self.config.energy, job.cpus, start, end);
+        let cost = segment_cost(&self.config.pricing, option, job.cpus, start, end);
+        let accum = &mut self.accum[idx];
+        accum.carbon_g += carbon;
+        accum.cost += cost;
+        accum.segments.push(SegmentRecord { start, end, option, useful });
+    }
+
+    fn into_report(mut self, trace: &WorkloadTrace) -> SimReport {
+        let outcomes: Vec<JobOutcome> = self
+            .jobs
+            .iter()
+            .zip(self.accum.drain(..))
+            .map(|(job, accum)| {
+                let first_start = accum.first_start.unwrap_or(job.arrival);
+                let completion = accum.finish.saturating_since(job.arrival);
+                JobOutcome {
+                    job: *job,
+                    first_start,
+                    finish: accum.finish,
+                    waiting: completion.saturating_sub(job.length),
+                    completion,
+                    carbon_g: accum.carbon_g,
+                    cost: accum.cost,
+                    segments: accum.segments,
+                    evictions: accum.evictions,
+                }
+            })
+            .collect();
+        let makespan = outcomes.iter().map(|o| o.finish).max().unwrap_or(SimTime::ORIGIN);
+        let billing_horizon = self.config.billing_horizon.unwrap_or_else(|| {
+            let span = makespan.max(trace.nominal_makespan());
+            // Round up to a whole day: contracts do not end mid-afternoon.
+            Minutes::new(span.as_minutes().div_ceil(MINUTES_PER_DAY) * MINUTES_PER_DAY)
+        });
+        let totals = ClusterTotals::aggregate(&outcomes, self.config, billing_horizon);
+        let timeline = AllocationTimeline::from_outcomes(&outcomes, billing_horizon);
+        SimReport { jobs: outcomes, totals, timeline }
+    }
+}

@@ -1,0 +1,158 @@
+//! Spot-instance eviction model.
+//!
+//! The paper models spot behaviour with an hourly *eviction rate* — "the
+//! percent of evicted customers in a time slot, e.g., an hour" (§4.2.4) —
+//! sweeping 0–15% in Figures 18 and 19 and assuming all job progress is
+//! lost on eviction.
+
+use gaia_time::{Minutes, MINUTES_PER_HOUR};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Memoryless hourly eviction process for spot instances.
+///
+/// Each full hour a spot instance survives is an independent Bernoulli
+/// trial with probability `hourly_rate` of eviction during that hour
+/// (uniformly placed within it).
+///
+/// # Examples
+///
+/// ```
+/// use gaia_sim::EvictionModel;
+/// use gaia_time::Minutes;
+///
+/// let never = EvictionModel::never();
+/// assert_eq!(never.sample_eviction(Minutes::from_hours(100), 1, 2), None);
+///
+/// let always = EvictionModel::hourly(1.0);
+/// assert!(always.sample_eviction(Minutes::from_hours(2), 1, 2).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictionModel {
+    hourly_rate: f64,
+}
+
+impl EvictionModel {
+    /// No evictions ever (the prototype experiments' observed behaviour).
+    pub fn never() -> Self {
+        EvictionModel { hourly_rate: 0.0 }
+    }
+
+    /// Evict with probability `rate` per hour of spot execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    pub fn hourly(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "eviction rate must be in [0, 1]");
+        EvictionModel { hourly_rate: rate }
+    }
+
+    /// The hourly eviction probability.
+    pub fn hourly_rate(&self) -> f64 {
+        self.hourly_rate
+    }
+
+    /// Samples the eviction instant for a spot run of length `duration`,
+    /// returning the offset from the run's start, or `None` if the run
+    /// survives. Deterministic in `(seed, stream)`; the engine passes the
+    /// job id as `stream` so runs are reproducible and independent.
+    pub fn sample_eviction(&self, duration: Minutes, seed: u64, stream: u64) -> Option<Minutes> {
+        if self.hourly_rate <= 0.0 {
+            return None;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE71C);
+        if self.hourly_rate >= 1.0 {
+            // Evicted somewhere within the first hour of execution.
+            let offset = Minutes::new(rng.random_range(0..MINUTES_PER_HOUR).max(1));
+            return (offset < duration).then_some(offset);
+        }
+        // Geometric: index of the first failed hourly trial.
+        let u: f64 = rng.random();
+        let hours_survived = (u.max(f64::MIN_POSITIVE).ln() / (1.0 - self.hourly_rate).ln())
+            .floor() as u64;
+        let within = rng.random_range(0..MINUTES_PER_HOUR);
+        let offset = Minutes::new(hours_survived * MINUTES_PER_HOUR + within.max(1));
+        (offset < duration).then_some(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_evicts() {
+        let m = EvictionModel::never();
+        for stream in 0..100 {
+            assert_eq!(m.sample_eviction(Minutes::from_days(30), 1, stream), None);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let m = EvictionModel::hourly(0.3);
+        let d = Minutes::from_hours(24);
+        assert_eq!(m.sample_eviction(d, 5, 7), m.sample_eviction(d, 5, 7));
+        // Different streams generally differ (check a few).
+        let distinct: std::collections::HashSet<_> =
+            (0..20).map(|s| m.sample_eviction(d, 5, s)).collect();
+        assert!(distinct.len() > 3);
+    }
+
+    #[test]
+    fn eviction_frequency_matches_rate() {
+        // P(evicted within 1 hour) == hourly rate (memoryless model).
+        let m = EvictionModel::hourly(0.10);
+        let n = 50_000;
+        let evicted = (0..n)
+            .filter(|&s| m.sample_eviction(Minutes::from_hours(1), 42, s).is_some())
+            .count();
+        let frac = evicted as f64 / n as f64;
+        assert!((frac - 0.10).abs() < 0.01, "1-hour eviction frequency {frac}");
+    }
+
+    #[test]
+    fn longer_runs_evict_more() {
+        let m = EvictionModel::hourly(0.10);
+        let n = 20_000;
+        let frac = |hours: u64| {
+            (0..n)
+                .filter(|&s| m.sample_eviction(Minutes::from_hours(hours), 42, s).is_some())
+                .count() as f64
+                / n as f64
+        };
+        let short = frac(2);
+        let long = frac(12);
+        assert!(long > short + 0.2, "12-hour {long} vs 2-hour {short}");
+        // P(evicted within 12h) = 1 - 0.9^12 ≈ 0.72.
+        assert!((long - 0.72).abs() < 0.03, "12-hour eviction frequency {long}");
+    }
+
+    #[test]
+    fn eviction_offsets_within_duration() {
+        let m = EvictionModel::hourly(0.5);
+        for stream in 0..1000 {
+            if let Some(offset) = m.sample_eviction(Minutes::from_hours(3), 1, stream) {
+                assert!(offset < Minutes::from_hours(3));
+                assert!(!offset.is_zero(), "eviction at offset zero would be a free restart");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_one_always_evicts_long_runs() {
+        let m = EvictionModel::hourly(1.0);
+        for stream in 0..100 {
+            assert!(m.sample_eviction(Minutes::from_hours(2), 1, stream).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eviction rate")]
+    fn rejects_out_of_range_rate() {
+        let _ = EvictionModel::hourly(1.5);
+    }
+}

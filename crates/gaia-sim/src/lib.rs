@@ -1,0 +1,64 @@
+//! Discrete-event cloud cluster simulator for GAIA.
+//!
+//! This crate is the Rust equivalent of the paper's **GAIA-Simulator**
+//! (§5): a trace-driven cloud cluster that emulates the cost model and
+//! behaviour of AWS purchase options — prepaid **reserved** instances,
+//! pay-as-you-go **on-demand** instances, and discounted but evictable
+//! **spot** instances — together with carbon, cost, and waiting-time
+//! accounting.
+//!
+//! The simulator knows nothing about scheduling policies. Policies live
+//! in `gaia-core` and communicate through the [`Scheduler`] trait: at
+//! each job arrival the policy returns a [`Decision`] (a planned start
+//! time and purchase preferences, or a suspend-resume segment plan), and
+//! the engine executes it, handling reserved-capacity bookkeeping,
+//! work-conserving early starts, spot evictions and restarts, and the
+//! final accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use gaia_carbon::CarbonTrace;
+//! use gaia_sim::{ClusterConfig, Decision, SchedulerContext, Scheduler, Simulation};
+//! use gaia_workload::{Job, JobId, WorkloadTrace};
+//! use gaia_time::{Minutes, SimTime};
+//!
+//! /// Runs everything immediately: the paper's NoWait baseline.
+//! struct RunNow;
+//! impl Scheduler for RunNow {
+//!     fn on_arrival(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+//!         Decision::run_at(job.arrival)
+//!     }
+//! }
+//!
+//! let trace = WorkloadTrace::from_jobs(vec![
+//!     Job::new(JobId(0), SimTime::ORIGIN, Minutes::from_hours(2), 1),
+//! ]);
+//! let carbon = CarbonTrace::constant(100.0, 24)?;
+//! let report = Simulation::new(ClusterConfig::default(), &carbon)
+//!     .run(&trace, &mut RunNow);
+//! assert_eq!(report.jobs[0].waiting, Minutes::ZERO);
+//! # Ok::<(), gaia_carbon::CarbonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod config;
+mod engine;
+mod eviction;
+pub mod output;
+mod plan;
+mod pool;
+mod report;
+
+pub use account::{ClusterTotals, JobOutcome, SegmentRecord};
+pub use config::{
+    CapacityCap, CheckpointConfig, ClusterConfig, EnergyModel, InstanceOverheads, Pricing,
+};
+pub use engine::{Scheduler, SchedulerContext, Simulation};
+pub use eviction::EvictionModel;
+pub use plan::{Decision, PurchaseOption, SegmentPlan};
+pub use pool::ReservedPool;
+pub use report::{AllocationTimeline, SimReport};

@@ -1,0 +1,170 @@
+//! CSV writers matching the paper artifact's three output files (§A.6):
+//! "an aggregate file that contains the total consumption, a details
+//! file that contains the consumption of each job, and a run time file
+//! that contains the allocation and carbon consumption during the
+//! execution time".
+
+use std::io::Write;
+
+use gaia_carbon::CarbonTrace;
+use gaia_time::SimTime;
+
+use crate::report::SimReport;
+
+/// Writes the aggregate file: one row of cluster-wide totals.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_aggregate_csv<W: Write>(mut writer: W, report: &SimReport) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "jobs,carbon_g,cost_total,cost_reserved_prepaid,cost_on_demand,cost_spot,\
+         total_waiting_min,total_completion_min,reserved_cpu_hours,on_demand_cpu_hours,\
+         spot_cpu_hours,reserved_utilization,evictions"
+    )?;
+    let t = &report.totals;
+    writeln!(
+        writer,
+        "{},{:.3},{:.5},{:.5},{:.5},{:.5},{},{},{:.3},{:.3},{:.3},{:.4},{}",
+        t.jobs,
+        t.carbon_g,
+        t.total_cost(),
+        t.cost_reserved_prepaid,
+        t.cost_on_demand,
+        t.cost_spot,
+        t.total_waiting.as_minutes(),
+        t.total_completion.as_minutes(),
+        t.reserved_cpu_hours,
+        t.on_demand_cpu_hours,
+        t.spot_cpu_hours,
+        t.reserved_utilization(),
+        t.evictions,
+    )
+}
+
+/// Writes the details file: one row per job.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_details_csv<W: Write>(mut writer: W, report: &SimReport) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "job_id,arrival_min,length_min,cpus,first_start_min,finish_min,waiting_min,\
+         completion_min,carbon_g,marginal_cost,evictions,segments"
+    )?;
+    for outcome in &report.jobs {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{:.3},{:.5},{},{}",
+            outcome.job.id.0,
+            outcome.job.arrival.as_minutes(),
+            outcome.job.length.as_minutes(),
+            outcome.job.cpus,
+            outcome.first_start.as_minutes(),
+            outcome.finish.as_minutes(),
+            outcome.waiting.as_minutes(),
+            outcome.completion.as_minutes(),
+            outcome.carbon_g,
+            outcome.cost,
+            outcome.evictions,
+            outcome.segments.len(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the run-time file: hourly allocation per purchase option plus
+/// the carbon consumed during that hour (all running jobs weighted by
+/// the hour's carbon intensity).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_runtime_csv<W: Write>(
+    mut writer: W,
+    report: &SimReport,
+    carbon: &CarbonTrace,
+) -> std::io::Result<()> {
+    writeln!(writer, "hour,reserved_cpus,on_demand_cpus,spot_cpus,carbon_intensity,carbon_g")?;
+    for hour in 0..report.timeline.hours() {
+        let busy = report.timeline.total_at(hour);
+        let ci = carbon.intensity_at(SimTime::from_hours(hour as u64));
+        writeln!(
+            writer,
+            "{},{:.3},{:.3},{:.3},{:.1},{:.3}",
+            hour,
+            report.timeline.reserved[hour],
+            report.timeline.on_demand[hour],
+            report.timeline.spot[hour],
+            ci,
+            busy * ci,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, Decision, Scheduler, SchedulerContext, Simulation};
+    use gaia_time::Minutes;
+    use gaia_workload::{Job, JobId, WorkloadTrace};
+
+    struct RunNow;
+    impl Scheduler for RunNow {
+        fn on_arrival(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+            Decision::run_at(job.arrival)
+        }
+    }
+
+    fn small_report() -> (SimReport, CarbonTrace) {
+        let carbon = CarbonTrace::from_hourly(vec![100.0, 200.0, 50.0, 75.0]).expect("valid");
+        let trace = WorkloadTrace::from_jobs(vec![
+            Job::new(JobId(0), SimTime::ORIGIN, Minutes::new(90), 2),
+            Job::new(JobId(0), SimTime::from_hours(1), Minutes::new(30), 1),
+        ]);
+        let report = Simulation::new(ClusterConfig::default().with_reserved(1), &carbon)
+            .run(&trace, &mut RunNow);
+        (report, carbon)
+    }
+
+    #[test]
+    fn aggregate_csv_has_one_data_row() {
+        let (report, _) = small_report();
+        let mut buf = Vec::new();
+        write_aggregate_csv(&mut buf, &report).expect("write");
+        let text = String::from_utf8(buf).expect("utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("jobs,carbon_g"));
+        assert!(lines[1].starts_with("2,"));
+        // Column count matches the header.
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn details_csv_has_one_row_per_job() {
+        let (report, _) = small_report();
+        let mut buf = Vec::new();
+        write_details_csv(&mut buf, &report).expect("write");
+        let text = String::from_utf8(buf).expect("utf-8");
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().nth(1).expect("row").starts_with("0,0,90,2,"));
+    }
+
+    #[test]
+    fn runtime_csv_covers_billing_horizon() {
+        let (report, carbon) = small_report();
+        let mut buf = Vec::new();
+        write_runtime_csv(&mut buf, &report, &carbon).expect("write");
+        let text = String::from_utf8(buf).expect("utf-8");
+        // Header + one row per timeline hour.
+        assert_eq!(text.lines().count(), 1 + report.timeline.hours());
+        // Hour 0: 2 cpus busy at CI 100 -> 200 g.
+        let hour0 = text.lines().nth(1).expect("row");
+        assert!(hour0.starts_with("0,"), "{hour0}");
+        assert!(hour0.ends_with("200.000"), "{hour0}");
+    }
+}

@@ -1,0 +1,260 @@
+//! The [`Decision`] vocabulary policies use to answer "when and where
+//! should this job run?".
+
+use std::fmt;
+
+use gaia_time::{Minutes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which cloud purchase option a segment of execution ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PurchaseOption {
+    /// Prepaid reserved capacity (zero marginal cost).
+    Reserved,
+    /// Pay-as-you-go on-demand capacity.
+    OnDemand,
+    /// Discounted, evictable spot capacity.
+    Spot,
+}
+
+impl fmt::Display for PurchaseOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PurchaseOption::Reserved => f.write_str("reserved"),
+            PurchaseOption::OnDemand => f.write_str("on-demand"),
+            PurchaseOption::Spot => f.write_str("spot"),
+        }
+    }
+}
+
+/// A suspend-resume execution plan: ordered, non-overlapping segments
+/// whose lengths sum to the job's full length.
+///
+/// Produced by the interruptible baselines (Wait Awhile, Ecovisor). The
+/// engine validates the plan against the job at submission time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentPlan {
+    /// `(start, run_length)` pairs, in increasing start order.
+    pub segments: Vec<(SimTime, Minutes)>,
+}
+
+impl SegmentPlan {
+    /// Creates a plan from `(start, run_length)` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, contains a zero-length segment,
+    /// is unordered, or overlaps.
+    pub fn new(segments: Vec<(SimTime, Minutes)>) -> Self {
+        assert!(!segments.is_empty(), "segment plan cannot be empty");
+        for (start, len) in &segments {
+            assert!(!len.is_zero(), "zero-length segment at {start}");
+        }
+        for pair in segments.windows(2) {
+            let (s0, l0) = pair[0];
+            let (s1, _) = pair[1];
+            assert!(s0 + l0 <= s1, "segments overlap or are unordered at {s1}");
+        }
+        SegmentPlan { segments }
+    }
+
+    /// Total planned execution time.
+    pub fn total(&self) -> Minutes {
+        self.segments.iter().map(|(_, l)| *l).sum()
+    }
+
+    /// Start of the first segment.
+    pub fn first_start(&self) -> SimTime {
+        self.segments[0].0
+    }
+
+    /// End of the last segment.
+    pub fn finish(&self) -> SimTime {
+        let (start, len) = *self.segments.last().expect("non-empty");
+        start + len
+    }
+}
+
+/// A policy's scheduling decision for one job.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_sim::Decision;
+/// use gaia_time::SimTime;
+///
+/// // Run uninterruptibly at hour 6, starting earlier if a reserved
+/// // instance frees up (the paper's work-conserving RES-First behaviour).
+/// let d = Decision::run_at(SimTime::from_hours(6)).opportunistic();
+/// assert!(d.is_opportunistic());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    kind: DecisionKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum DecisionKind {
+    Once {
+        planned_start: SimTime,
+        opportunistic_reserved: bool,
+        use_spot: bool,
+    },
+    Segments {
+        plan: SegmentPlan,
+        use_spot: bool,
+    },
+}
+
+impl Decision {
+    /// Run the job uninterruptibly, starting at `planned_start`. At that
+    /// instant the resource manager prefers an idle reserved instance and
+    /// falls back to on-demand (§4.1).
+    pub fn run_at(planned_start: SimTime) -> Decision {
+        Decision {
+            kind: DecisionKind::Once {
+                planned_start,
+                opportunistic_reserved: false,
+                use_spot: false,
+            },
+        }
+    }
+
+    /// Run the job according to a suspend-resume plan. Each segment
+    /// independently prefers reserved capacity and falls back to
+    /// on-demand.
+    pub fn run_segments(plan: SegmentPlan) -> Decision {
+        Decision {
+            kind: DecisionKind::Segments { plan, use_spot: false },
+        }
+    }
+
+    /// Enable work conservation: if reserved capacity frees up before the
+    /// planned start, begin immediately on it (RES-First, §4.2.3).
+    ///
+    /// Only meaningful for uninterruptible decisions; segment plans
+    /// ignore it.
+    pub fn opportunistic(mut self) -> Decision {
+        if let DecisionKind::Once { opportunistic_reserved, .. } = &mut self.kind {
+            *opportunistic_reserved = true;
+        }
+        self
+    }
+
+    /// Execute on a spot instance (Spot-First, §4.2.4). For
+    /// uninterruptible decisions the initial run uses spot; if evicted,
+    /// the job restarts from scratch preferring reserved, then on-demand.
+    /// For segment plans each segment runs on spot, and an eviction
+    /// abandons the plan and restarts the whole job uninterruptibly.
+    pub fn on_spot(mut self) -> Decision {
+        match &mut self.kind {
+            DecisionKind::Once { use_spot, .. } => *use_spot = true,
+            DecisionKind::Segments { use_spot, .. } => *use_spot = true,
+        }
+        self
+    }
+
+    /// The planned (latest) start for uninterruptible decisions, or the
+    /// first segment start for plans.
+    pub fn planned_start(&self) -> SimTime {
+        match &self.kind {
+            DecisionKind::Once { planned_start, .. } => *planned_start,
+            DecisionKind::Segments { plan, .. } => plan.first_start(),
+        }
+    }
+
+    /// Whether the decision allows an early start on freed reserved
+    /// capacity.
+    pub fn is_opportunistic(&self) -> bool {
+        matches!(
+            self.kind,
+            DecisionKind::Once { opportunistic_reserved: true, .. }
+        )
+    }
+
+    /// Whether the decision requests spot execution.
+    pub fn uses_spot(&self) -> bool {
+        match &self.kind {
+            DecisionKind::Once { use_spot, .. } => *use_spot,
+            DecisionKind::Segments { use_spot, .. } => *use_spot,
+        }
+    }
+
+    /// The segment plan, if this is a suspend-resume decision.
+    pub fn segments(&self) -> Option<&SegmentPlan> {
+        match &self.kind {
+            DecisionKind::Once { .. } => None,
+            DecisionKind::Segments { plan, .. } => Some(plan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_decision_accessors() {
+        let d = Decision::run_at(SimTime::from_hours(3));
+        assert_eq!(d.planned_start(), SimTime::from_hours(3));
+        assert!(!d.is_opportunistic());
+        assert!(!d.uses_spot());
+        assert!(d.segments().is_none());
+        let d = d.opportunistic().on_spot();
+        assert!(d.is_opportunistic());
+        assert!(d.uses_spot());
+    }
+
+    #[test]
+    fn segment_plan_accessors() {
+        let plan = SegmentPlan::new(vec![
+            (SimTime::from_hours(1), Minutes::new(30)),
+            (SimTime::from_hours(3), Minutes::new(60)),
+        ]);
+        assert_eq!(plan.total(), Minutes::new(90));
+        assert_eq!(plan.first_start(), SimTime::from_hours(1));
+        assert_eq!(plan.finish(), SimTime::from_hours(4));
+        let d = Decision::run_segments(plan.clone());
+        assert_eq!(d.planned_start(), SimTime::from_hours(1));
+        assert_eq!(d.segments(), Some(&plan));
+        // opportunistic() is a no-op for plans.
+        assert!(!d.opportunistic().is_opportunistic());
+    }
+
+    #[test]
+    fn adjacent_segments_allowed() {
+        let plan = SegmentPlan::new(vec![
+            (SimTime::from_hours(1), Minutes::new(60)),
+            (SimTime::from_hours(2), Minutes::new(60)),
+        ]);
+        assert_eq!(plan.total(), Minutes::new(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn rejects_overlapping_segments() {
+        let _ = SegmentPlan::new(vec![
+            (SimTime::from_hours(1), Minutes::new(90)),
+            (SimTime::from_hours(2), Minutes::new(60)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn rejects_empty_plan() {
+        let _ = SegmentPlan::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn rejects_zero_length_segment() {
+        let _ = SegmentPlan::new(vec![(SimTime::ORIGIN, Minutes::ZERO)]);
+    }
+
+    #[test]
+    fn purchase_option_display() {
+        assert_eq!(PurchaseOption::Reserved.to_string(), "reserved");
+        assert_eq!(PurchaseOption::OnDemand.to_string(), "on-demand");
+        assert_eq!(PurchaseOption::Spot.to_string(), "spot");
+    }
+}

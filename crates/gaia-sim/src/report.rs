@@ -1,0 +1,172 @@
+//! Simulation output: per-job outcomes, cluster totals, and the hourly
+//! allocation timeline (the paper's "run time file", §A.6).
+
+use gaia_time::{HourlySlots, Minutes, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::account::{ClusterTotals, JobOutcome};
+use crate::plan::PurchaseOption;
+
+/// Hourly average CPU occupancy broken down by purchase option — the data
+/// behind paper Figure 2a's demand curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AllocationTimeline {
+    /// Average reserved CPUs busy during each hour.
+    pub reserved: Vec<f64>,
+    /// Average on-demand CPUs busy during each hour.
+    pub on_demand: Vec<f64>,
+    /// Average spot CPUs busy during each hour.
+    pub spot: Vec<f64>,
+}
+
+impl AllocationTimeline {
+    /// Builds the timeline from job outcomes, sized to `horizon`.
+    pub fn from_outcomes(outcomes: &[JobOutcome], horizon: Minutes) -> Self {
+        let hours = horizon.as_hours_ceil() as usize;
+        let mut timeline = AllocationTimeline {
+            reserved: vec![0.0; hours],
+            on_demand: vec![0.0; hours],
+            spot: vec![0.0; hours],
+        };
+        for outcome in outcomes {
+            for segment in &outcome.segments {
+                let lane = match segment.option {
+                    PurchaseOption::Reserved => &mut timeline.reserved,
+                    PurchaseOption::OnDemand => &mut timeline.on_demand,
+                    PurchaseOption::Spot => &mut timeline.spot,
+                };
+                for span in HourlySlots::new(segment.start, segment.end) {
+                    let h = span.hour as usize;
+                    if h < lane.len() {
+                        lane[h] += span.fraction() * outcome.job.cpus as f64;
+                    }
+                }
+            }
+        }
+        timeline
+    }
+
+    /// Total average CPUs busy during hour `h`.
+    pub fn total_at(&self, h: usize) -> f64 {
+        self.reserved.get(h).unwrap_or(&0.0)
+            + self.on_demand.get(h).unwrap_or(&0.0)
+            + self.spot.get(h).unwrap_or(&0.0)
+    }
+
+    /// Number of hours covered.
+    pub fn hours(&self) -> usize {
+        self.reserved.len()
+    }
+}
+
+/// The full result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-job outcomes, in job-id order.
+    pub jobs: Vec<JobOutcome>,
+    /// Cluster-wide totals.
+    pub totals: ClusterTotals,
+    /// Hourly allocation breakdown.
+    pub timeline: AllocationTimeline,
+}
+
+impl SimReport {
+    /// Instant the last job finished.
+    pub fn makespan(&self) -> SimTime {
+        self.jobs.iter().map(|j| j.finish).max().unwrap_or(SimTime::ORIGIN)
+    }
+
+    /// Mean waiting time.
+    pub fn mean_waiting(&self) -> Minutes {
+        self.totals.mean_waiting()
+    }
+
+    /// Total carbon, grams.
+    pub fn carbon_g(&self) -> f64 {
+        self.totals.carbon_g
+    }
+
+    /// Total dollar cost (prepaid reserved + usage).
+    pub fn total_cost(&self) -> f64 {
+        self.totals.total_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::SegmentRecord;
+    use gaia_workload::{Job, JobId};
+
+    fn outcome_with_segments(cpus: u32, segments: Vec<SegmentRecord>) -> JobOutcome {
+        let executed: Minutes = segments.iter().map(|s| s.len()).sum();
+        let first = segments.first().expect("segments").start;
+        let last = segments.last().expect("segments").end;
+        JobOutcome {
+            job: Job::new(JobId(0), SimTime::ORIGIN, executed, cpus),
+            first_start: first,
+            finish: last,
+            waiting: Minutes::ZERO,
+            completion: last - SimTime::ORIGIN,
+            carbon_g: 0.0,
+            cost: 0.0,
+            segments,
+            evictions: 0,
+        }
+    }
+
+    #[test]
+    fn timeline_accumulates_by_option() {
+        let outcomes = vec![
+            outcome_with_segments(
+                2,
+                vec![SegmentRecord {
+                    start: SimTime::ORIGIN,
+                    end: SimTime::from_minutes(90),
+                    option: PurchaseOption::Reserved,
+                    useful: true,
+                }],
+            ),
+            outcome_with_segments(
+                1,
+                vec![SegmentRecord {
+                    start: SimTime::from_minutes(30),
+                    end: SimTime::from_minutes(60),
+                    option: PurchaseOption::OnDemand,
+                    useful: true,
+                }],
+            ),
+        ];
+        let t = AllocationTimeline::from_outcomes(&outcomes, Minutes::from_hours(2));
+        assert_eq!(t.hours(), 2);
+        assert!((t.reserved[0] - 2.0).abs() < 1e-12);
+        assert!((t.reserved[1] - 1.0).abs() < 1e-12); // half the hour at 2 cpus
+        assert!((t.on_demand[0] - 0.5).abs() < 1e-12);
+        assert_eq!(t.spot[0], 0.0);
+        assert!((t.total_at(0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_ignores_segments_past_horizon() {
+        let outcomes = vec![outcome_with_segments(
+            1,
+            vec![SegmentRecord {
+                start: SimTime::from_hours(5),
+                end: SimTime::from_hours(6),
+                option: PurchaseOption::Spot,
+                useful: true,
+            }],
+        )];
+        let t = AllocationTimeline::from_outcomes(&outcomes, Minutes::from_hours(2));
+        assert_eq!(t.hours(), 2);
+        assert_eq!(t.total_at(0), 0.0);
+        assert_eq!(t.total_at(5), 0.0); // out of range reads as zero
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = AllocationTimeline::from_outcomes(&[], Minutes::ZERO);
+        assert_eq!(t.hours(), 0);
+        assert_eq!(t.total_at(0), 0.0);
+    }
+}

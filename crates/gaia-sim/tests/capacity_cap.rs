@@ -1,0 +1,137 @@
+//! Behavioural tests of the capacity-cap mechanism (§8's
+//! demand-regulation alternative to carbon-aware start times).
+
+use gaia_carbon::CarbonTrace;
+use gaia_sim::{
+    CapacityCap, ClusterConfig, Decision, PurchaseOption, Scheduler, SchedulerContext, Simulation,
+};
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::{Job, JobId, WorkloadTrace};
+
+struct RunNow;
+impl Scheduler for RunNow {
+    fn on_arrival(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+        Decision::run_at(job.arrival)
+    }
+}
+
+fn job(id: u64, arrival_min: u64, len_min: u64, cpus: u32) -> Job {
+    Job::new(JobId(id), SimTime::from_minutes(arrival_min), Minutes::new(len_min), cpus)
+}
+
+#[test]
+fn static_cap_serializes_elastic_work() {
+    let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
+    // Three 1-hour jobs arriving together, cap of 1 elastic CPU: they
+    // must run back to back in arrival order.
+    let trace = WorkloadTrace::from_jobs(vec![
+        job(0, 0, 60, 1),
+        job(1, 0, 60, 1),
+        job(2, 0, 60, 1),
+    ]);
+    let config = ClusterConfig::default().with_capacity_cap(CapacityCap::Static(1));
+    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let starts: Vec<u64> = report.jobs.iter().map(|j| j.first_start.as_minutes()).collect();
+    assert_eq!(starts, vec![0, 60, 120]);
+    assert_eq!(report.jobs[2].waiting, Minutes::from_hours(2));
+}
+
+#[test]
+fn reserved_capacity_is_never_capped() {
+    let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 2), job(1, 0, 60, 1)]);
+    // Cap of zero elastic CPUs, but two reserved CPUs: job 0 runs on
+    // reserved immediately; job 1 (elastic, oversize escape) also runs.
+    let config = ClusterConfig::default()
+        .with_reserved(2)
+        .with_capacity_cap(CapacityCap::Static(0));
+    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    assert_eq!(report.jobs[0].segments[0].option, PurchaseOption::Reserved);
+    assert_eq!(report.jobs[0].waiting, Minutes::ZERO);
+    // Job 1 runs alone under the oversize escape (cap 0 < 1 cpu).
+    assert_eq!(report.jobs[1].first_start, SimTime::ORIGIN);
+}
+
+#[test]
+fn oversize_jobs_run_alone_rather_than_deadlock() {
+    let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 5), job(1, 0, 60, 5)]);
+    let config = ClusterConfig::default().with_capacity_cap(CapacityCap::Static(2));
+    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    // Each 5-cpu job exceeds the cap; they serialize instead of hanging.
+    assert_eq!(report.jobs[0].first_start, SimTime::ORIGIN);
+    assert_eq!(report.jobs[1].first_start, SimTime::from_hours(1));
+}
+
+#[test]
+fn carbon_responsive_cap_releases_when_carbon_falls() {
+    // High carbon for hours 0-3, low from hour 4.
+    let mut hourly = vec![500.0; 48];
+    for v in hourly.iter_mut().skip(4) {
+        *v = 100.0;
+    }
+    let carbon = CarbonTrace::from_hourly(hourly).expect("valid");
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 0, 60, 1)]);
+    let config = ClusterConfig::default().with_capacity_cap(CapacityCap::CarbonResponsive {
+        normal_cap: 10,
+        high_carbon_cap: 1,
+        ci_threshold: 300.0,
+    });
+    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    // Job 0 takes the single high-carbon slot; job 1 is throttled. The
+    // slot frees at hour 1 (still high carbon, cap 1): job 1 runs then.
+    assert_eq!(report.jobs[0].first_start, SimTime::ORIGIN);
+    assert_eq!(report.jobs[1].first_start, SimTime::from_hours(1));
+
+    // Now make job 0 long enough to hold the slot past the carbon drop:
+    // job 1 should start exactly when the cap relaxes at hour 4.
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 600, 1), job(1, 0, 60, 1)]);
+    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    assert_eq!(report.jobs[1].first_start, SimTime::from_hours(4));
+    assert_eq!(report.jobs[1].waiting, Minutes::from_hours(4));
+}
+
+#[test]
+fn cap_throttling_reduces_high_carbon_execution() {
+    // Diurnal trace: 12 expensive hours then 12 cheap hours, repeated.
+    let hourly: Vec<f64> =
+        (0..24 * 10).map(|h| if h % 24 < 12 { 600.0 } else { 100.0 }).collect();
+    let carbon = CarbonTrace::from_hourly(hourly).expect("valid");
+    // Steady stream of overlapping 2-hour jobs (concurrency ~4).
+    let jobs: Vec<Job> = (0..60).map(|i| job(i, i * 30, 120, 1)).collect();
+    let trace = WorkloadTrace::from_jobs(jobs);
+    let uncapped = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut RunNow);
+    let capped = Simulation::new(
+        ClusterConfig::default().with_capacity_cap(CapacityCap::CarbonResponsive {
+            normal_cap: 100,
+            high_carbon_cap: 1,
+            ci_threshold: 300.0,
+        }),
+        &carbon,
+    )
+    .run(&trace, &mut RunNow);
+    assert!(
+        capped.totals.carbon_g < uncapped.totals.carbon_g * 0.95,
+        "throttling must shift work to cheap hours: {} vs {}",
+        capped.totals.carbon_g,
+        uncapped.totals.carbon_g
+    );
+    assert!(capped.totals.mean_waiting() > uncapped.totals.mean_waiting());
+    // Every job still completes exactly its length.
+    for outcome in &capped.jobs {
+        assert_eq!(outcome.executed(), outcome.job.length);
+    }
+}
+
+#[test]
+fn uncapped_config_is_unchanged_behaviour() {
+    let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 3), job(1, 10, 120, 2)]);
+    let a = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut RunNow);
+    let b = Simulation::new(
+        ClusterConfig::default().with_capacity_cap(CapacityCap::None),
+        &carbon,
+    )
+    .run(&trace, &mut RunNow);
+    assert_eq!(a, b);
+}

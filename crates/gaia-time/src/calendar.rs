@@ -1,0 +1,144 @@
+//! Calendar helpers for the simulated (non-leap) year.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Hours in one simulated day.
+pub const HOURS_PER_DAY: u64 = 24;
+/// Days in the simulated (non-leap) year.
+pub const DAYS_PER_YEAR: u64 = 365;
+/// Hours in the simulated year.
+pub const HOURS_PER_YEAR: u64 = DAYS_PER_YEAR * HOURS_PER_DAY;
+
+/// Cumulative days at the start of each month in a non-leap year.
+const MONTH_STARTS: [u32; 13] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365];
+
+/// A calendar month of the simulated year.
+///
+/// Used by the carbon-intensity synthesizer for seasonal envelopes and by
+/// the reporting code for monthly aggregates (paper Figure 7).
+///
+/// # Examples
+///
+/// ```
+/// use gaia_time::Month;
+///
+/// assert_eq!(Month::from_day_of_year(0), Month::January);
+/// assert_eq!(Month::July.index(), 6);
+/// assert_eq!(Month::July.to_string(), "Jul");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Month {
+    January,
+    February,
+    March,
+    April,
+    May,
+    June,
+    July,
+    August,
+    September,
+    October,
+    November,
+    December,
+}
+
+impl Month {
+    /// All twelve months, in calendar order.
+    pub const ALL: [Month; 12] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+        Month::August,
+        Month::September,
+        Month::October,
+        Month::November,
+        Month::December,
+    ];
+
+    /// Returns the month containing the given day-of-year.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day_of_year >= 365`.
+    pub fn from_day_of_year(day_of_year: u32) -> Month {
+        assert!(day_of_year < DAYS_PER_YEAR as u32, "day_of_year out of range");
+        let idx = MONTH_STARTS
+            .iter()
+            .rposition(|&start| start <= day_of_year)
+            .expect("MONTH_STARTS[0] == 0 always matches");
+        Month::ALL[idx]
+    }
+
+    /// Returns the zero-based month index (January = 0).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the day-of-year of the first day of this month.
+    pub fn first_day_of_year(self) -> u32 {
+        MONTH_STARTS[self.index()]
+    }
+
+    /// Returns the number of days in this month (non-leap year).
+    pub fn days(self) -> u32 {
+        MONTH_STARTS[self.index() + 1] - MONTH_STARTS[self.index()]
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const ABBR: [&str; 12] = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        f.write_str(ABBR[self.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_boundaries() {
+        assert_eq!(Month::from_day_of_year(0), Month::January);
+        assert_eq!(Month::from_day_of_year(30), Month::January);
+        assert_eq!(Month::from_day_of_year(31), Month::February);
+        assert_eq!(Month::from_day_of_year(58), Month::February);
+        assert_eq!(Month::from_day_of_year(59), Month::March);
+        assert_eq!(Month::from_day_of_year(364), Month::December);
+    }
+
+    #[test]
+    #[should_panic(expected = "day_of_year out of range")]
+    fn rejects_out_of_range_day() {
+        let _ = Month::from_day_of_year(365);
+    }
+
+    #[test]
+    fn month_lengths_sum_to_year() {
+        let total: u32 = Month::ALL.iter().map(|m| m.days()).sum();
+        assert_eq!(total, DAYS_PER_YEAR as u32);
+        assert_eq!(Month::February.days(), 28);
+        assert_eq!(Month::December.days(), 31);
+    }
+
+    #[test]
+    fn first_days_are_consistent() {
+        for m in Month::ALL {
+            assert_eq!(Month::from_day_of_year(m.first_day_of_year()), m);
+        }
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(Month::January.to_string(), "Jan");
+        assert_eq!(Month::September.to_string(), "Sep");
+    }
+}

@@ -1,0 +1,218 @@
+//! The [`Minutes`] span type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MINUTES_PER_DAY, MINUTES_PER_HOUR};
+
+/// A span of simulated time, measured in whole minutes.
+///
+/// `Minutes` is the only duration type used throughout GAIA; job lengths,
+/// waiting limits, and scheduling windows are all expressed with it.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_time::Minutes;
+///
+/// let short_job = Minutes::from_hours(2);
+/// assert_eq!(short_job.as_minutes(), 120);
+/// assert!(short_job < Minutes::from_days(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Minutes(u64);
+
+impl Minutes {
+    /// A zero-length span.
+    pub const ZERO: Minutes = Minutes(0);
+
+    /// Creates a span of `minutes` whole minutes.
+    pub const fn new(minutes: u64) -> Self {
+        Minutes(minutes)
+    }
+
+    /// Creates a span of `hours` whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        Minutes(hours * MINUTES_PER_HOUR)
+    }
+
+    /// Creates a span of `days` whole days.
+    pub const fn from_days(days: u64) -> Self {
+        Minutes(days * MINUTES_PER_DAY)
+    }
+
+    /// Returns the span in whole minutes.
+    pub const fn as_minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in (possibly fractional) hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MINUTES_PER_HOUR as f64
+    }
+
+    /// Returns the span in whole hours, rounding down.
+    pub const fn as_hours_floor(self) -> u64 {
+        self.0 / MINUTES_PER_HOUR
+    }
+
+    /// Returns the span in whole hours, rounding up.
+    pub const fn as_hours_ceil(self) -> u64 {
+        self.0.div_ceil(MINUTES_PER_HOUR)
+    }
+
+    /// Returns `true` if the span is zero minutes long.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the smaller of two spans.
+    pub fn min(self, other: Minutes) -> Minutes {
+        Minutes(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: Minutes) -> Minutes {
+        Minutes(self.0.max(other.0))
+    }
+
+    /// Subtracts `other`, saturating at zero instead of underflowing.
+    pub const fn saturating_sub(self, other: Minutes) -> Minutes {
+        Minutes(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Minutes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0 / MINUTES_PER_DAY;
+        let hours = (self.0 % MINUTES_PER_DAY) / MINUTES_PER_HOUR;
+        let minutes = self.0 % MINUTES_PER_HOUR;
+        if days > 0 {
+            write!(f, "{days}d{hours:02}h{minutes:02}m")
+        } else if hours > 0 {
+            write!(f, "{hours}h{minutes:02}m")
+        } else {
+            write!(f, "{minutes}m")
+        }
+    }
+}
+
+impl From<u64> for Minutes {
+    fn from(minutes: u64) -> Self {
+        Minutes(minutes)
+    }
+}
+
+impl Add for Minutes {
+    type Output = Minutes;
+    fn add(self, rhs: Minutes) -> Minutes {
+        Minutes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Minutes {
+    fn add_assign(&mut self, rhs: Minutes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Minutes {
+    type Output = Minutes;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is longer than `self`; use
+    /// [`Minutes::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: Minutes) -> Minutes {
+        Minutes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Minutes {
+    fn sub_assign(&mut self, rhs: Minutes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Minutes {
+    type Output = Minutes;
+    fn mul(self, rhs: u64) -> Minutes {
+        Minutes(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Minutes {
+    type Output = Minutes;
+    fn div(self, rhs: u64) -> Minutes {
+        Minutes(self.0 / rhs)
+    }
+}
+
+impl Sum for Minutes {
+    fn sum<I: Iterator<Item = Minutes>>(iter: I) -> Minutes {
+        Minutes(iter.map(|m| m.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Minutes::from_hours(2), Minutes::new(120));
+        assert_eq!(Minutes::from_days(1), Minutes::from_hours(24));
+        assert_eq!(Minutes::from(45u64), Minutes::new(45));
+    }
+
+    #[test]
+    fn hour_conversions() {
+        let m = Minutes::new(150);
+        assert_eq!(m.as_hours_floor(), 2);
+        assert_eq!(m.as_hours_ceil(), 3);
+        assert!((m.as_hours_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Minutes::new(90);
+        let b = Minutes::new(30);
+        assert_eq!(a + b, Minutes::new(120));
+        assert_eq!(a - b, Minutes::new(60));
+        assert_eq!(a * 2, Minutes::new(180));
+        assert_eq!(a / 3, Minutes::new(30));
+        assert_eq!(b.saturating_sub(a), Minutes::ZERO);
+        let mut c = a;
+        c += b;
+        c -= Minutes::new(20);
+        assert_eq!(c, Minutes::new(100));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Minutes::new(5).to_string(), "5m");
+        assert_eq!(Minutes::new(125).to_string(), "2h05m");
+        assert_eq!(Minutes::from_days(2).to_string(), "2d00h00m");
+        assert_eq!((Minutes::from_days(1) + Minutes::new(61)).to_string(), "1d01h01m");
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let total: Minutes = [Minutes::new(10), Minutes::new(20)].into_iter().sum();
+        assert_eq!(total, Minutes::new(30));
+        assert_eq!(Minutes::new(10).min(Minutes::new(20)), Minutes::new(10));
+        assert_eq!(Minutes::new(10).max(Minutes::new(20)), Minutes::new(20));
+    }
+
+    #[test]
+    fn zero_properties() {
+        assert!(Minutes::ZERO.is_zero());
+        assert!(!Minutes::new(1).is_zero());
+        assert_eq!(Minutes::default(), Minutes::ZERO);
+    }
+}

@@ -1,0 +1,246 @@
+//! The [`SimTime`] instant type.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::Month;
+use crate::{MINUTES_PER_DAY, MINUTES_PER_HOUR, MINUTES_PER_YEAR};
+
+/// An absolute instant on the simulated clock, in minutes since the trace
+/// origin (midnight, January 1st of a non-leap year).
+///
+/// `SimTime` supports the usual instant/duration algebra with
+/// [`Minutes`](crate::Minutes) and exposes calendar accessors used by the
+/// carbon-intensity synthesizers (hour of day, day of year, month).
+///
+/// # Examples
+///
+/// ```
+/// use gaia_time::{Minutes, SimTime};
+///
+/// let t = SimTime::from_days(31); // midnight, Feb 1
+/// assert_eq!(t.month(), gaia_time::Month::February);
+/// assert_eq!((t + Minutes::from_hours(13)).hour_of_day(), 13);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The trace origin: midnight, January 1st.
+    pub const ORIGIN: SimTime = SimTime(0);
+
+    /// Creates an instant `minutes` minutes after the origin.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimTime(minutes)
+    }
+
+    /// Creates an instant `hours` hours after the origin.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * MINUTES_PER_HOUR)
+    }
+
+    /// Creates an instant `days` days after the origin.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * MINUTES_PER_DAY)
+    }
+
+    /// Returns minutes elapsed since the origin.
+    pub const fn as_minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns whole hours elapsed since the origin, rounding down.
+    pub const fn as_hours_floor(self) -> u64 {
+        self.0 / MINUTES_PER_HOUR
+    }
+
+    /// Returns the hour-of-day in `0..24`.
+    pub const fn hour_of_day(self) -> u32 {
+        ((self.0 % MINUTES_PER_DAY) / MINUTES_PER_HOUR) as u32
+    }
+
+    /// Returns the minute-of-hour in `0..60`.
+    pub const fn minute_of_hour(self) -> u32 {
+        (self.0 % MINUTES_PER_HOUR) as u32
+    }
+
+    /// Returns the fractional hour-of-day in `[0, 24)`, e.g. `13.5` for
+    /// half past one in the afternoon.
+    pub fn hour_of_day_f64(self) -> f64 {
+        (self.0 % MINUTES_PER_DAY) as f64 / MINUTES_PER_HOUR as f64
+    }
+
+    /// Returns days elapsed since the origin, rounding down.
+    pub const fn day_index(self) -> u64 {
+        self.0 / MINUTES_PER_DAY
+    }
+
+    /// Returns the day-of-year in `0..365` (wrapping for multi-year runs).
+    pub const fn day_of_year(self) -> u32 {
+        ((self.0 % MINUTES_PER_YEAR) / MINUTES_PER_DAY) as u32
+    }
+
+    /// Returns the fraction of the (non-leap) year elapsed, in `[0, 1)`.
+    pub fn year_fraction(self) -> f64 {
+        (self.0 % MINUTES_PER_YEAR) as f64 / MINUTES_PER_YEAR as f64
+    }
+
+    /// Returns the calendar month containing this instant.
+    pub fn month(self) -> Month {
+        Month::from_day_of_year(self.day_of_year())
+    }
+
+    /// Returns the day-of-week index in `0..7`, with day 0 (Jan 1) mapped
+    /// to index 0. The simulated year is calendar-agnostic, so index 5 and
+    /// 6 are treated as the weekend by convention.
+    pub const fn day_of_week(self) -> u32 {
+        (self.day_index() % 7) as u32
+    }
+
+    /// Truncates the instant down to the start of its hour.
+    pub const fn floor_hour(self) -> SimTime {
+        SimTime(self.0 - self.0 % MINUTES_PER_HOUR)
+    }
+
+    /// Rounds the instant up to the next hour boundary (identity if already
+    /// on a boundary).
+    pub const fn ceil_hour(self) -> SimTime {
+        SimTime(self.0.div_ceil(MINUTES_PER_HOUR) * MINUTES_PER_HOUR)
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the span from `earlier` to `self`, saturating at zero if
+    /// `earlier` is actually later.
+    pub const fn saturating_since(self, earlier: SimTime) -> crate::Minutes {
+        crate::Minutes::new(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}+{:02}:{:02}",
+            self.day_index(),
+            self.hour_of_day(),
+            self.minute_of_hour()
+        )
+    }
+}
+
+impl Add<crate::Minutes> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: crate::Minutes) -> SimTime {
+        SimTime(self.0 + rhs.as_minutes())
+    }
+}
+
+impl AddAssign<crate::Minutes> for SimTime {
+    fn add_assign(&mut self, rhs: crate::Minutes) {
+        self.0 += rhs.as_minutes();
+    }
+}
+
+impl Sub<crate::Minutes> for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics if the result would precede the trace origin.
+    fn sub(self, rhs: crate::Minutes) -> SimTime {
+        SimTime(self.0 - rhs.as_minutes())
+    }
+}
+
+impl SubAssign<crate::Minutes> for SimTime {
+    fn sub_assign(&mut self, rhs: crate::Minutes) {
+        self.0 -= rhs.as_minutes();
+    }
+}
+
+impl Sub for SimTime {
+    type Output = crate::Minutes;
+    /// Returns the span from `rhs` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> crate::Minutes {
+        crate::Minutes::new(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Minutes;
+
+    #[test]
+    fn calendar_accessors() {
+        let t = SimTime::from_days(40) + Minutes::from_hours(13) + Minutes::new(30);
+        assert_eq!(t.day_index(), 40);
+        assert_eq!(t.day_of_year(), 40);
+        assert_eq!(t.hour_of_day(), 13);
+        assert_eq!(t.minute_of_hour(), 30);
+        assert!((t.hour_of_day_f64() - 13.5).abs() < 1e-12);
+        assert_eq!(t.month(), Month::February);
+    }
+
+    #[test]
+    fn year_wraps() {
+        let t = SimTime::from_days(365 + 3);
+        assert_eq!(t.day_of_year(), 3);
+        assert_eq!(t.month(), Month::January);
+        assert!(t.year_fraction() < 0.02);
+    }
+
+    #[test]
+    fn hour_rounding() {
+        let t = SimTime::from_minutes(125);
+        assert_eq!(t.floor_hour(), SimTime::from_minutes(120));
+        assert_eq!(t.ceil_hour(), SimTime::from_minutes(180));
+        let on_boundary = SimTime::from_hours(4);
+        assert_eq!(on_boundary.ceil_hour(), on_boundary);
+        assert_eq!(on_boundary.floor_hour(), on_boundary);
+    }
+
+    #[test]
+    fn instant_algebra() {
+        let a = SimTime::from_hours(10);
+        let b = a + Minutes::from_hours(5);
+        assert_eq!(b - a, Minutes::from_hours(5));
+        assert_eq!(b - Minutes::from_hours(5), a);
+        assert_eq!(a.saturating_since(b), Minutes::ZERO);
+        assert_eq!(b.saturating_since(a), Minutes::from_hours(5));
+        let mut c = a;
+        c += Minutes::new(30);
+        c -= Minutes::new(10);
+        assert_eq!(c, SimTime::from_minutes(620));
+    }
+
+    #[test]
+    fn display_form() {
+        let t = SimTime::from_days(2) + Minutes::from_hours(3) + Minutes::new(7);
+        assert_eq!(t.to_string(), "d2+03:07");
+    }
+
+    #[test]
+    fn weekday_convention() {
+        assert_eq!(SimTime::ORIGIN.day_of_week(), 0);
+        assert_eq!(SimTime::from_days(6).day_of_week(), 6);
+        assert_eq!(SimTime::from_days(7).day_of_week(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulation time and calendar primitives shared by all GAIA crates.
+//!
+//! GAIA simulations run on a discrete, minute-granular virtual clock. Two
+//! newtypes carry all temporal quantities through the system:
+//!
+//! * [`SimTime`] — an absolute instant, measured in minutes since the start
+//!   of the simulated trace (which is defined to begin at midnight,
+//!   January 1st of a non-leap year).
+//! * [`Minutes`] — a span of simulated time.
+//!
+//! Keeping instants and spans as distinct types prevents the classic
+//! "added two timestamps" bug and lets the scheduler APIs say precisely
+//! what they mean (`C-NEWTYPE`).
+//!
+//! # Examples
+//!
+//! ```
+//! use gaia_time::{Minutes, SimTime};
+//!
+//! let arrival = SimTime::from_hours(30); // 6am on Jan 2
+//! let wait = Minutes::from_hours(4);
+//! let start = arrival + wait;
+//! assert_eq!(start.hour_of_day(), 10);
+//! assert_eq!(start - arrival, wait);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod duration;
+mod instant;
+mod slots;
+
+pub use calendar::{Month, DAYS_PER_YEAR, HOURS_PER_DAY, HOURS_PER_YEAR};
+pub use duration::Minutes;
+pub use instant::SimTime;
+pub use slots::{HourlySlots, SlotSpan};
+
+/// Number of minutes in one hour.
+pub const MINUTES_PER_HOUR: u64 = 60;
+/// Number of minutes in one day.
+pub const MINUTES_PER_DAY: u64 = 24 * MINUTES_PER_HOUR;
+/// Number of minutes in one (non-leap) year.
+pub const MINUTES_PER_YEAR: u64 = 365 * MINUTES_PER_DAY;

@@ -1,0 +1,84 @@
+//! Property-based tests of the time foundation — every other crate's
+//! correctness rests on these identities.
+
+use gaia_time::{HourlySlots, Minutes, Month, SimTime, MINUTES_PER_DAY, MINUTES_PER_YEAR};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hourly slots tile any interval exactly: contiguous, ordered,
+    /// inside the interval, summing to its length.
+    #[test]
+    fn slots_tile_intervals_exactly(start in 0u64..2_000_000, len in 0u64..10_000) {
+        let start = SimTime::from_minutes(start);
+        let len = Minutes::new(len);
+        let spans: Vec<_> = HourlySlots::spanning(start, len).collect();
+        let total: Minutes = spans.iter().map(|s| s.overlap).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = start;
+        for span in &spans {
+            prop_assert_eq!(span.start, cursor);
+            prop_assert_eq!(span.hour, span.start.as_hours_floor());
+            prop_assert!(span.overlap.as_minutes() >= 1 && span.overlap.as_minutes() <= 60);
+            // A span never crosses an hour boundary.
+            prop_assert_eq!(
+                span.start.as_hours_floor(),
+                (span.start + span.overlap - Minutes::new(1)).as_hours_floor()
+            );
+            cursor = cursor + span.overlap;
+        }
+        prop_assert_eq!(cursor, start + len);
+    }
+
+    /// Instant/duration algebra: (t + d) − d == t and (t + d) − t == d.
+    #[test]
+    fn instant_duration_algebra(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_minutes(t);
+        let d = Minutes::new(d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), Minutes::ZERO);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    /// Hour rounding brackets the instant and is idempotent.
+    #[test]
+    fn hour_rounding_brackets(minutes in 0u64..10_000_000) {
+        let t = SimTime::from_minutes(minutes);
+        prop_assert!(t.floor_hour() <= t);
+        prop_assert!(t.ceil_hour() >= t);
+        prop_assert!((t - t.floor_hour()).as_minutes() < 60);
+        prop_assert!((t.ceil_hour() - t).as_minutes() < 60);
+        prop_assert_eq!(t.floor_hour().floor_hour(), t.floor_hour());
+        prop_assert_eq!(t.ceil_hour().ceil_hour(), t.ceil_hour());
+    }
+
+    /// Calendar accessors are consistent with raw minute arithmetic.
+    #[test]
+    fn calendar_consistency(minutes in 0u64..3 * MINUTES_PER_YEAR) {
+        let t = SimTime::from_minutes(minutes);
+        prop_assert_eq!(t.day_index(), minutes / MINUTES_PER_DAY);
+        prop_assert_eq!(t.hour_of_day() as u64, (minutes % MINUTES_PER_DAY) / 60);
+        prop_assert_eq!(t.minute_of_hour() as u64, minutes % 60);
+        prop_assert!(t.day_of_year() < 365);
+        prop_assert!(t.year_fraction() >= 0.0 && t.year_fraction() < 1.0);
+        // The month agrees with the day-of-year mapping.
+        prop_assert_eq!(t.month(), Month::from_day_of_year(t.day_of_year()));
+        let first = t.month().first_day_of_year();
+        prop_assert!(first <= t.day_of_year());
+        prop_assert!(t.day_of_year() < first + t.month().days());
+    }
+
+    /// Duration saturating subtraction never panics and is consistent.
+    #[test]
+    fn duration_saturation(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let a = Minutes::new(a);
+        let b = Minutes::new(b);
+        let diff = a.saturating_sub(b);
+        if a >= b {
+            prop_assert_eq!(diff + b, a);
+        } else {
+            prop_assert_eq!(diff, Minutes::ZERO);
+        }
+        prop_assert_eq!(a.min(b) + (a.max(b) - a.min(b)), a.max(b));
+    }
+}

@@ -1,0 +1,367 @@
+//! Seedable distribution samplers used by the workload synthesizers.
+//!
+//! Implemented by hand (inverse-CDF and Box–Muller) so the crate's only
+//! randomness dependency is `rand` itself; every sampler is deterministic
+//! given the caller's RNG state and is unit-tested against its analytic
+//! moments.
+
+use std::f64::consts::TAU;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A continuous distribution that can be sampled with any [`Rng`].
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Exponential distribution with the given mean (inverse-CDF sampling).
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::dist::{Exponential, Sample};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = Exponential::with_mean(240.0);
+/// assert!(d.sample(&mut rng) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -mean * ln(1 - u); 1-u in (0,1] avoids ln(0).
+        let u: f64 = rng.random();
+        -self.mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+/// Lognormal distribution parameterized by the median and the log-space
+/// standard deviation `sigma` (Box–Muller sampling).
+///
+/// The median parameterization is far more intuitive for workload
+/// modelling than `(mu, sigma)`: half the jobs are shorter than the
+/// median, and `sigma` dials tail heaviness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with the given median and log-space sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is not positive or `sigma` is negative.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median.is_finite() && median > 0.0, "median must be positive");
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu: median.ln(), sigma }
+    }
+
+    /// Analytic mean: `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The distribution median.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Used for heavy-tailed parallel-job widths (MPI node counts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min.is_finite() && x_min > 0.0, "x_min must be positive");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        self.x_min / (1.0 - u).max(f64::MIN_POSITIVE).powf(1.0 / self.alpha)
+    }
+}
+
+/// A distribution clamped into `[lo, hi]` by resampling (up to a bounded
+/// number of attempts, then clamping), preserving the interior shape
+/// without the mass spikes plain clamping creates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Truncated<D> {
+    inner: D,
+    lo: f64,
+    hi: f64,
+}
+
+impl<D: Sample> Truncated<D> {
+    /// Restricts `inner` to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(inner: D, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "truncation bounds inverted");
+        Truncated { inner, lo, hi }
+    }
+}
+
+impl<D: Sample> Sample for Truncated<D> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        for _ in 0..64 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        // Pathological configuration (bounds deep in the tail): clamp.
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// A discrete distribution over weighted alternatives, sampled by
+/// cumulative-weight inversion.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::dist::Discrete;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let cpus = Discrete::new(vec![(1u32, 0.6), (2, 0.3), (4, 0.1)]);
+/// let v = cpus.sample(&mut rng);
+/// assert!([1, 2, 4].contains(&v));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discrete<T> {
+    items: Vec<(T, f64)>,
+    total: f64,
+}
+
+impl<T: Clone> Discrete<T> {
+    /// Creates a discrete distribution from `(value, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, any weight is negative or non-finite,
+    /// or all weights are zero.
+    pub fn new(items: Vec<(T, f64)>) -> Self {
+        assert!(!items.is_empty(), "discrete distribution needs alternatives");
+        assert!(
+            items.iter().all(|(_, w)| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative"
+        );
+        let total: f64 = items.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        Discrete { items, total }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let mut target = rng.random::<f64>() * self.total;
+        for (value, weight) in &self.items {
+            if target < *weight {
+                return value.clone();
+            }
+            target -= weight;
+        }
+        // Floating-point slack: return the last alternative.
+        self.items.last().expect("non-empty").0.clone()
+    }
+
+    /// Expected value when `T` converts to f64 via the provided mapper.
+    pub fn mean_by(&self, f: impl Fn(&T) -> f64) -> f64 {
+        self.items.iter().map(|(v, w)| f(v) * w).sum::<f64>() / self.total
+    }
+}
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Exponential::with_mean(100.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+        assert!((var.sqrt() - 100.0).abs() < 3.0, "sd {}", var.sqrt());
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = LogNormal::with_median(60.0, 1.2);
+        assert_eq!(d.median(), 60.0f64.ln().exp());
+        let mut samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let empirical_median = samples[samples.len() / 2];
+        assert!((empirical_median / 60.0 - 1.0).abs() < 0.05, "median {empirical_median}");
+        let empirical_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((empirical_mean / d.mean() - 1.0).abs() < 0.05, "mean {empirical_mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Pareto::new(2.0, 1.5);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        // Mean of Pareto(2, 1.5) = alpha*xmin/(alpha-1) = 6.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 6.0).abs() < 0.7, "mean {mean}");
+    }
+
+    #[test]
+    fn truncation_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Truncated::new(LogNormal::with_median(60.0, 2.0), 5.0, 4320.0);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((5.0..=4320.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn truncation_pathological_falls_back_to_clamp() {
+        // Bounds far in the tail: resampling fails, clamp must kick in.
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Truncated::new(Exponential::with_mean(1.0), 1000.0, 1001.0);
+        let x = d.sample(&mut rng);
+        assert!((1000.0..=1001.0).contains(&x));
+    }
+
+    #[test]
+    fn discrete_frequencies() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Discrete::new(vec![("a", 0.7), ("b", 0.2), ("c", 0.1)]);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(d.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        assert!((counts["a"] as f64 / 100_000.0 - 0.7).abs() < 0.01);
+        assert!((counts["b"] as f64 / 100_000.0 - 0.2).abs() < 0.01);
+        assert!((counts["c"] as f64 / 100_000.0 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn discrete_mean_by() {
+        let d = Discrete::new(vec![(1u32, 1.0), (3, 1.0)]);
+        assert!((d.mean_by(|v| *v as f64) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_zero_weight_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Discrete::new(vec![("never", 0.0), ("always", 1.0)]);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut rng), "always");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs alternatives")]
+    fn discrete_rejects_empty() {
+        let _ = Discrete::<u32>::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn discrete_rejects_all_zero_weights() {
+        let _ = Discrete::new(vec![(1u32, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_nonpositive_mean() {
+        let _ = Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn truncated_rejects_inverted_bounds() {
+        let _ = Truncated::new(Exponential::with_mean(1.0), 2.0, 1.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let d = LogNormal::with_median(60.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

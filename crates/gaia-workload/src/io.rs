@@ -1,0 +1,149 @@
+//! CSV import/export for workload traces.
+//!
+//! Format: `arrival_minute,length_minutes,cpus` per job, optional header,
+//! matching the paper artifact's workload CSV layout.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use gaia_time::{Minutes, SimTime};
+
+use crate::{Job, JobId, WorkloadTrace};
+
+/// Errors produced when parsing workload CSV files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Writes `trace` as `arrival_minute,length_minutes,cpus` rows.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace_csv<W: Write>(mut writer: W, trace: &WorkloadTrace) -> std::io::Result<()> {
+    writeln!(writer, "arrival_minute,length_minutes,cpus")?;
+    for job in trace {
+        writeln!(
+            writer,
+            "{},{},{}",
+            job.arrival.as_minutes(),
+            job.length.as_minutes(),
+            job.cpus
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace_csv`] (header optional).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for unreadable or malformed rows.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::io::{read_trace_csv, write_trace_csv};
+/// use gaia_workload::synth::section3_workload;
+///
+/// let trace = section3_workload(1);
+/// let mut buf = Vec::new();
+/// write_trace_csv(&mut buf, &trace)?;
+/// assert_eq!(read_trace_csv(&buf[..])?, trace);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn read_trace_csv<R: BufRead>(reader: R) -> Result<WorkloadTrace, ParseTraceError> {
+    let mut jobs = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseTraceError {
+            line: idx + 1,
+            reason: format!("io error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (idx == 0 && trimmed.starts_with("arrival")) {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(ParseTraceError {
+                line: idx + 1,
+                reason: format!("expected 3 fields, found {}", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|_| ParseTraceError {
+                line: idx + 1,
+                reason: format!("invalid {what} {s:?}"),
+            })
+        };
+        let arrival = parse_u64(fields[0], "arrival")?;
+        let length = parse_u64(fields[1], "length")?;
+        let cpus = parse_u64(fields[2], "cpus")?;
+        if length == 0 || cpus == 0 {
+            return Err(ParseTraceError {
+                line: idx + 1,
+                reason: "length and cpus must be positive".into(),
+            });
+        }
+        jobs.push(Job::new(
+            JobId(0),
+            SimTime::from_minutes(arrival),
+            Minutes::new(length),
+            cpus as u32,
+        ));
+    }
+    Ok(WorkloadTrace::from_jobs(jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let trace = WorkloadTrace::from_jobs(vec![
+            Job::new(JobId(0), SimTime::from_minutes(3), Minutes::new(30), 2),
+            Job::new(JobId(0), SimTime::from_minutes(10), Minutes::new(600), 1),
+        ]);
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &trace).expect("write");
+        assert_eq!(read_trace_csv(&buf[..]).expect("read"), trace);
+    }
+
+    #[test]
+    fn header_optional_blank_lines_skipped() {
+        let csv = "10,60,1\n\n20,30,2\n";
+        let trace = read_trace_csv(csv.as_bytes()).expect("read");
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_trace_csv("1,2\n".as_bytes()).is_err());
+        assert!(read_trace_csv("a,2,3\n".as_bytes()).is_err());
+        assert!(read_trace_csv("1,0,3\n".as_bytes()).is_err());
+        assert!(read_trace_csv("1,2,0\n".as_bytes()).is_err());
+        let err = read_trace_csv("1,2,3,4\n".as_bytes()).expect_err("fail");
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let trace = read_trace_csv("".as_bytes()).expect("read");
+        assert!(trace.is_empty());
+    }
+}

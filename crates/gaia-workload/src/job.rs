@@ -1,0 +1,143 @@
+//! The [`Job`] type and its identifier.
+
+use std::fmt;
+
+use gaia_time::{Minutes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a job within one workload trace.
+///
+/// Identifiers are dense indices assigned in arrival order, which lets
+/// per-job accounting use plain vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// A batch job: the unit of work GAIA schedules.
+///
+/// Matches the paper's job model (§4.1): users submit jobs with resource
+/// requirements to a length-bounded queue; the *exact* length is known to
+/// the simulator (to execute the job) but, depending on the policy's
+/// knowledge model, may be hidden from the scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::{Job, JobId};
+/// use gaia_time::{Minutes, SimTime};
+///
+/// let job = Job::new(JobId(0), SimTime::from_hours(1), Minutes::from_hours(4), 2);
+/// assert_eq!(job.cpu_minutes(), 480);
+/// assert_eq!(job.end_if_started_at(job.arrival), SimTime::from_hours(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense identifier within the trace.
+    pub id: JobId,
+    /// Submission instant.
+    pub arrival: SimTime,
+    /// Actual execution length (exclusive of any waiting).
+    pub length: Minutes,
+    /// Number of CPU units the job occupies while running.
+    pub cpus: u32,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero or `cpus` is zero — zero-size jobs have
+    /// no meaningful schedule and always indicate a generator bug.
+    pub fn new(id: JobId, arrival: SimTime, length: Minutes, cpus: u32) -> Self {
+        assert!(!length.is_zero(), "job length must be positive");
+        assert!(cpus > 0, "job must require at least one CPU");
+        Job { id, arrival, length, cpus }
+    }
+
+    /// Total compute demand, in CPU-minutes.
+    pub fn cpu_minutes(&self) -> u64 {
+        self.length.as_minutes() * self.cpus as u64
+    }
+
+    /// Total compute demand, in CPU-hours.
+    pub fn cpu_hours(&self) -> f64 {
+        self.cpu_minutes() as f64 / 60.0
+    }
+
+    /// The instant the job finishes if it runs uninterrupted from `start`.
+    pub fn end_if_started_at(&self, start: SimTime) -> SimTime {
+        start + self.length
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (arr {}, len {}, {} cpu)",
+            self.id, self.arrival, self.length, self.cpus
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_demand() {
+        let job = Job::new(JobId(1), SimTime::ORIGIN, Minutes::from_hours(2), 3);
+        assert_eq!(job.cpu_minutes(), 360);
+        assert!((job.cpu_hours() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_time() {
+        let job = Job::new(JobId(1), SimTime::from_hours(1), Minutes::new(30), 1);
+        assert_eq!(
+            job.end_if_started_at(SimTime::from_hours(2)),
+            SimTime::from_minutes(150)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn rejects_zero_length() {
+        let _ = Job::new(JobId(0), SimTime::ORIGIN, Minutes::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn rejects_zero_cpus() {
+        let _ = Job::new(JobId(0), SimTime::ORIGIN, Minutes::new(10), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let job = Job::new(JobId(7), SimTime::ORIGIN, Minutes::new(90), 2);
+        assert_eq!(JobId(7).to_string(), "job#7");
+        assert!(job.to_string().contains("job#7"));
+        assert!(job.to_string().contains("2 cpu"));
+    }
+
+    #[test]
+    fn id_indexing() {
+        assert_eq!(JobId(12).index(), 12);
+    }
+}

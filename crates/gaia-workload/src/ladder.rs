@@ -1,0 +1,244 @@
+//! N-queue generalization of the short/long queue model.
+//!
+//! §4.2 describes GAIA's policies with two queues "for ease of
+//! exposition. However, our policies can be extended to an arbitrary
+//! number of queues." [`QueueLadder`] realizes that: an ordered ladder of
+//! queue rungs, each with a length cap and a maximum waiting time, plus
+//! historical per-rung average lengths for the coarse-knowledge policies.
+
+use gaia_time::Minutes;
+use serde::{Deserialize, Serialize};
+
+use crate::{Job, QueueSet, WorkloadTrace};
+
+/// One rung of the queue ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueRung {
+    /// Maximum admitted job length (`J_max` for this rung).
+    pub max_length: Minutes,
+    /// Maximum waiting time (`W` for this rung).
+    pub max_wait: Minutes,
+}
+
+/// An ordered ladder of job queues (shortest cap first).
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::ladder::{QueueLadder, QueueRung};
+/// use gaia_time::Minutes;
+///
+/// // Short / medium / long — finer than the paper's two queues.
+/// let ladder = QueueLadder::new(vec![
+///     QueueRung { max_length: Minutes::from_hours(2), max_wait: Minutes::from_hours(6) },
+///     QueueRung { max_length: Minutes::from_hours(12), max_wait: Minutes::from_hours(12) },
+///     QueueRung { max_length: Minutes::from_days(3), max_wait: Minutes::from_hours(24) },
+/// ]);
+/// assert_eq!(ladder.classify_length(Minutes::from_hours(5)), 1);
+/// assert_eq!(ladder.max_wait(1), Minutes::from_hours(12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueLadder {
+    rungs: Vec<QueueRung>,
+    avg_lengths: Vec<Minutes>,
+}
+
+impl QueueLadder {
+    /// Creates a ladder from rungs ordered by strictly increasing length
+    /// cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rungs` is empty, caps are not strictly increasing, or
+    /// any bound is zero.
+    pub fn new(rungs: Vec<QueueRung>) -> Self {
+        assert!(!rungs.is_empty(), "a queue ladder needs at least one rung");
+        for rung in &rungs {
+            assert!(!rung.max_length.is_zero(), "length caps must be positive");
+            assert!(!rung.max_wait.is_zero(), "waiting bounds must be positive");
+        }
+        for pair in rungs.windows(2) {
+            assert!(
+                pair[0].max_length < pair[1].max_length,
+                "length caps must be strictly increasing"
+            );
+        }
+        let avg_lengths = rungs.iter().map(|r| r.max_length / 2).collect();
+        QueueLadder { rungs, avg_lengths }
+    }
+
+    /// The paper's §7 recommendation as a three-rung ladder: short (≤2 h,
+    /// W 6 h), medium (≤12 h, W 12 h — "waiting for 12hrs balances carbon
+    /// and performance"), long (≤3 d, W 24 h).
+    pub fn paper_three_tier() -> Self {
+        QueueLadder::new(vec![
+            QueueRung {
+                max_length: Minutes::from_hours(2),
+                max_wait: Minutes::from_hours(6),
+            },
+            QueueRung {
+                max_length: Minutes::from_hours(12),
+                max_wait: Minutes::from_hours(12),
+            },
+            QueueRung {
+                max_length: Minutes::from_days(3),
+                max_wait: Minutes::from_hours(24),
+            },
+        ])
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Whether the ladder has no rungs (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The rung a job of the given length is submitted to: the first rung
+    /// whose cap admits it (jobs beyond every cap land on the last rung,
+    /// as batch schedulers do with their catch-all queue).
+    pub fn classify_length(&self, length: Minutes) -> usize {
+        self.rungs
+            .iter()
+            .position(|r| length <= r.max_length)
+            .unwrap_or(self.rungs.len() - 1)
+    }
+
+    /// The rung a job belongs to.
+    pub fn classify(&self, job: &Job) -> usize {
+        self.classify_length(job.length)
+    }
+
+    /// Maximum waiting time of rung `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn max_wait(&self, idx: usize) -> Minutes {
+        self.rungs[idx].max_wait
+    }
+
+    /// Historical average length of rung `idx` (`J_avg`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn avg_length(&self, idx: usize) -> Minutes {
+        self.avg_lengths[idx]
+    }
+
+    /// Returns a copy whose per-rung averages are learned from `trace`
+    /// (rungs with no matching jobs keep cap/2).
+    pub fn with_averages_from(mut self, trace: &WorkloadTrace) -> Self {
+        let mut sums = vec![0u64; self.rungs.len()];
+        let mut counts = vec![0u64; self.rungs.len()];
+        for job in trace {
+            let idx = self.classify(job);
+            sums[idx] += job.length.as_minutes();
+            counts[idx] += 1;
+        }
+        for idx in 0..self.rungs.len() {
+            if let Some(avg) = sums[idx].checked_div(counts[idx]) {
+                self.avg_lengths[idx] = Minutes::new(avg);
+            }
+        }
+        self
+    }
+}
+
+impl From<QueueSet> for QueueLadder {
+    /// Converts the paper's two-queue configuration into a two-rung
+    /// ladder, preserving the learned averages.
+    fn from(set: QueueSet) -> Self {
+        use crate::QueueKind;
+        let mut ladder = QueueLadder::new(vec![
+            QueueRung {
+                max_length: set.config(QueueKind::Short).max_length,
+                max_wait: set.config(QueueKind::Short).max_wait,
+            },
+            QueueRung {
+                max_length: set.config(QueueKind::Long).max_length,
+                max_wait: set.config(QueueKind::Long).max_wait,
+            },
+        ]);
+        ladder.avg_lengths =
+            vec![set.avg_length(QueueKind::Short), set.avg_length(QueueKind::Long)];
+        ladder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobId, QueueKind};
+    use gaia_time::SimTime;
+
+    fn job(len_min: u64) -> Job {
+        Job::new(JobId(0), SimTime::ORIGIN, Minutes::new(len_min), 1)
+    }
+
+    #[test]
+    fn three_tier_classification() {
+        let ladder = QueueLadder::paper_three_tier();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder.classify(&job(60)), 0);
+        assert_eq!(ladder.classify(&job(121)), 1);
+        assert_eq!(ladder.classify(&job(720)), 1);
+        assert_eq!(ladder.classify(&job(721)), 2);
+        // Jobs beyond the last cap land on the catch-all last rung.
+        assert_eq!(ladder.classify_length(Minutes::from_days(10)), 2);
+    }
+
+    #[test]
+    fn averages_learned_per_rung() {
+        let ladder = QueueLadder::paper_three_tier();
+        let trace = WorkloadTrace::from_jobs(vec![
+            job(60),
+            job(100),          // short rung: avg 80
+            job(300),
+            job(500),          // medium rung: avg 400
+            job(2000),         // long rung: avg 2000
+        ]);
+        let learned = ladder.with_averages_from(&trace);
+        assert_eq!(learned.avg_length(0), Minutes::new(80));
+        assert_eq!(learned.avg_length(1), Minutes::new(400));
+        assert_eq!(learned.avg_length(2), Minutes::new(2000));
+    }
+
+    #[test]
+    fn empty_rungs_keep_default_average() {
+        let ladder = QueueLadder::paper_three_tier();
+        let trace = WorkloadTrace::from_jobs(vec![job(30)]);
+        let learned = ladder.with_averages_from(&trace);
+        assert_eq!(learned.avg_length(0), Minutes::new(30));
+        assert_eq!(learned.avg_length(1), Minutes::from_hours(6)); // cap/2
+    }
+
+    #[test]
+    fn from_queueset_preserves_structure() {
+        let set = QueueSet::paper_defaults().with_averages_from(&[job(60), job(600)]);
+        let ladder = QueueLadder::from(set);
+        assert_eq!(ladder.len(), 2);
+        assert_eq!(ladder.max_wait(0), set.config(QueueKind::Short).max_wait);
+        assert_eq!(ladder.avg_length(0), Minutes::new(60));
+        assert_eq!(ladder.avg_length(1), Minutes::new(600));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_rungs() {
+        let _ = QueueLadder::new(vec![
+            QueueRung { max_length: Minutes::from_hours(5), max_wait: Minutes::from_hours(1) },
+            QueueRung { max_length: Minutes::from_hours(2), max_wait: Minutes::from_hours(1) },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rung")]
+    fn rejects_empty_ladder() {
+        let _ = QueueLadder::new(vec![]);
+    }
+}

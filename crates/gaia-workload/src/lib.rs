@@ -1,0 +1,53 @@
+//! Workload substrate for the GAIA carbon-aware batch scheduler.
+//!
+//! The paper evaluates GAIA on three production cluster traces — a
+//! two-month **Alibaba-PAI** trace, a month-long **Azure-VM** trace, and
+//! the five-year **LANL Mustang** HPC trace — resampled into year-long
+//! (100k-job) and week-long (1k-job) synthetic traces (§6.1). The raw
+//! traces cannot ship with this repository, so this crate synthesizes
+//! statistically equivalent workloads from the distributional facts the
+//! paper publishes, and implements the paper's own sampling pipeline on
+//! top (length filtering, trace replication, demand normalization).
+//!
+//! Main types:
+//!
+//! * [`Job`], [`JobId`] — the unit of scheduling work.
+//! * [`QueueKind`], [`QueueConfig`] — the short/long queue model that
+//!   bounds job lengths and waiting times (§4.2).
+//! * [`WorkloadTrace`] — an arrival-ordered collection of jobs with
+//!   demand statistics.
+//! * [`dist`] — hand-rolled, seedable samplers (exponential, lognormal,
+//!   Pareto, discrete empirical) so the only random dependency is `rand`.
+//! * [`synth::TraceFamily`] — generators for the three paper workloads
+//!   plus the Section 3 motivating example.
+//! * [`sample`] — the paper's filter-and-sample pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use gaia_workload::synth::TraceFamily;
+//! use gaia_time::Minutes;
+//!
+//! // The week-long, 1k-job Alibaba-PAI sample used by the prototype
+//! // experiments (Figures 8-12).
+//! let trace = TraceFamily::AlibabaPai.week_long_1k(42);
+//! assert_eq!(trace.len(), 1000);
+//! assert!(trace.max_cpus() <= 4); // capped for testbed tractability
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod io;
+pub mod ladder;
+mod job;
+mod queue;
+pub mod resample;
+pub mod sample;
+pub mod synth;
+mod trace;
+
+pub use job::{Job, JobId};
+pub use queue::{QueueConfig, QueueKind, QueueSet};
+pub use trace::{DemandCurve, TraceStats, WorkloadTrace};

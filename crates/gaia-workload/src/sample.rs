@@ -1,0 +1,172 @@
+//! The paper's trace filter-and-sample pipeline (§6.1).
+//!
+//! Starting from an "original" trace, the paper constructs its evaluation
+//! workloads by:
+//!
+//! 1. **Filtering** — dropping jobs shorter than five minutes (they
+//!    "may not tolerate long delays ... and may not contribute to carbon
+//!    consumption") and longer than three days (diurnal carbon-intensity
+//!    cycles make shifting them pointless);
+//! 2. **Sampling** — uniformly sampling the filtered jobs down to the
+//!    target count (100k for year-long runs, 1k for the week-long
+//!    prototype runs);
+//! 3. **Capping** — for the prototype trace only, restricting to jobs of
+//!    at most four CPUs "for budgetary reasons".
+
+use gaia_time::Minutes;
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::WorkloadTrace;
+
+/// Configuration of the filter-and-sample pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::sample::SamplePipeline;
+/// use gaia_workload::synth::TraceFamily;
+/// use gaia_time::Minutes;
+///
+/// let raw = TraceFamily::AlibabaPai.generate_raw(3000, Minutes::from_days(7), 1);
+/// let trace = SamplePipeline::paper_defaults(500).apply(&raw, 1);
+/// assert_eq!(trace.len(), 500);
+/// assert!(trace.iter().all(|j| j.length >= Minutes::new(5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplePipeline {
+    /// Minimum admitted job length (inclusive).
+    pub min_length: Minutes,
+    /// Maximum admitted job length (inclusive).
+    pub max_length: Minutes,
+    /// Optional cap on per-job CPUs (the prototype's 4-CPU cap).
+    pub max_cpus: Option<u32>,
+    /// Target number of jobs after sampling.
+    pub target_jobs: usize,
+}
+
+impl SamplePipeline {
+    /// The paper's defaults: drop jobs under 5 minutes or over 3 days,
+    /// then sample down to `target_jobs`.
+    pub fn paper_defaults(target_jobs: usize) -> Self {
+        SamplePipeline {
+            min_length: Minutes::new(5),
+            max_length: Minutes::from_days(3),
+            max_cpus: None,
+            target_jobs,
+        }
+    }
+
+    /// Adds the prototype's per-job CPU cap.
+    pub fn with_max_cpus(mut self, max_cpus: u32) -> Self {
+        self.max_cpus = Some(max_cpus);
+        self
+    }
+
+    /// Applies the pipeline to `raw`, sampling uniformly without
+    /// replacement and deterministically from `seed`.
+    ///
+    /// If fewer jobs survive filtering than `target_jobs`, all survivors
+    /// are returned — callers generating synthetic input should
+    /// over-generate, as the paper does by replicating its traces.
+    pub fn apply(&self, raw: &WorkloadTrace, seed: u64) -> WorkloadTrace {
+        let filtered: Vec<_> = raw
+            .iter()
+            .filter(|j| j.length >= self.min_length && j.length <= self.max_length)
+            .filter(|j| self.max_cpus.is_none_or(|cap| j.cpus <= cap))
+            .copied()
+            .collect();
+        if filtered.len() <= self.target_jobs {
+            return WorkloadTrace::from_jobs(filtered);
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3B_1E00);
+        let chosen = index_sample(&mut rng, filtered.len(), self.target_jobs);
+        WorkloadTrace::from_jobs(chosen.into_iter().map(|i| filtered[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Job, JobId};
+    use gaia_time::SimTime;
+
+    fn raw_trace() -> WorkloadTrace {
+        let mut jobs = Vec::new();
+        for i in 0..100u64 {
+            // Lengths 1..=100 minutes, cpus cycling 1..=8.
+            jobs.push(Job::new(
+                JobId(0),
+                SimTime::from_minutes(i * 10),
+                Minutes::new(i + 1),
+                (i % 8 + 1) as u32,
+            ));
+        }
+        // A three-day-plus job that must be filtered out.
+        jobs.push(Job::new(
+            JobId(0),
+            SimTime::from_minutes(5),
+            Minutes::from_days(4),
+            1,
+        ));
+        WorkloadTrace::from_jobs(jobs)
+    }
+
+    #[test]
+    fn filters_length_bounds() {
+        let out = SamplePipeline::paper_defaults(1000).apply(&raw_trace(), 1);
+        assert!(out.iter().all(|j| j.length >= Minutes::new(5)));
+        assert!(out.iter().all(|j| j.length <= Minutes::from_days(3)));
+        // Jobs of lengths 1..=4 min (4 jobs) and the 4-day job are gone.
+        assert_eq!(out.len(), 96);
+    }
+
+    #[test]
+    fn samples_down_to_target() {
+        let out = SamplePipeline::paper_defaults(30).apply(&raw_trace(), 1);
+        assert_eq!(out.len(), 30);
+        // Arrival-ordered with dense ids after sampling.
+        for (idx, job) in out.iter().enumerate() {
+            assert_eq!(job.id.index(), idx);
+        }
+        for pair in out.jobs().windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = SamplePipeline::paper_defaults(30).apply(&raw_trace(), 9);
+        let b = SamplePipeline::paper_defaults(30).apply(&raw_trace(), 9);
+        let c = SamplePipeline::paper_defaults(30).apply(&raw_trace(), 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cpu_cap_applies() {
+        let out = SamplePipeline::paper_defaults(1000).with_max_cpus(4).apply(&raw_trace(), 1);
+        assert!(out.iter().all(|j| j.cpus <= 4));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn returns_all_when_fewer_than_target() {
+        let out = SamplePipeline::paper_defaults(10_000).apply(&raw_trace(), 1);
+        assert_eq!(out.len(), 96);
+    }
+
+    #[test]
+    fn sampling_preserves_distribution_shape() {
+        // The sampled length mean should approximate the filtered mean.
+        let raw = raw_trace();
+        let filtered = SamplePipeline::paper_defaults(usize::MAX).apply(&raw, 1);
+        let sampled = SamplePipeline::paper_defaults(48).apply(&raw, 1);
+        let mean = |t: &WorkloadTrace| {
+            t.iter().map(|j| j.length.as_minutes() as f64).sum::<f64>() / t.len() as f64
+        };
+        assert!((mean(&filtered) - mean(&sampled)).abs() < 15.0);
+    }
+}

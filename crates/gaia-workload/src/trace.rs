@@ -1,0 +1,378 @@
+//! The [`WorkloadTrace`] container and its demand statistics.
+
+use std::fmt;
+
+use gaia_time::{Minutes, SimTime, MINUTES_PER_HOUR};
+use serde::{Deserialize, Serialize};
+
+use crate::{Job, JobId};
+
+/// An arrival-ordered collection of jobs replayed by the simulator.
+///
+/// Construction validates arrival ordering and re-assigns dense
+/// [`JobId`]s so that per-job accounting can index plain vectors.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::{Job, JobId, WorkloadTrace};
+/// use gaia_time::{Minutes, SimTime};
+///
+/// let trace = WorkloadTrace::from_jobs(vec![
+///     Job::new(JobId(0), SimTime::ORIGIN, Minutes::from_hours(1), 1),
+///     Job::new(JobId(0), SimTime::from_hours(2), Minutes::from_hours(4), 2),
+/// ]);
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.jobs()[1].id, JobId(1)); // ids re-densified
+/// assert_eq!(trace.total_cpu_minutes(), 60 + 480);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    jobs: Vec<Job>,
+}
+
+impl WorkloadTrace {
+    /// Builds a trace from jobs, sorting by arrival (stable, so equal
+    /// arrivals keep their submission order) and re-assigning dense ids.
+    pub fn from_jobs(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by_key(|j| j.arrival);
+        for (idx, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(idx as u64);
+        }
+        WorkloadTrace { jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Iterates over the jobs in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Job> {
+        self.jobs.iter()
+    }
+
+    /// The arrival of the last job (None for an empty trace).
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.jobs.last().map(|j| j.arrival)
+    }
+
+    /// The latest completion instant if every job ran at arrival —
+    /// a lower bound on any simulation horizon.
+    pub fn nominal_makespan(&self) -> SimTime {
+        self.jobs
+            .iter()
+            .map(|j| j.end_if_started_at(j.arrival))
+            .max()
+            .unwrap_or(SimTime::ORIGIN)
+    }
+
+    /// Total compute demand, in CPU-minutes.
+    pub fn total_cpu_minutes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.cpu_minutes()).sum()
+    }
+
+    /// The largest single-job CPU requirement (0 for an empty trace).
+    pub fn max_cpus(&self) -> u32 {
+        self.jobs.iter().map(|j| j.cpus).max().unwrap_or(0)
+    }
+
+    /// Average concurrent CPU demand if jobs ran at arrival, over the
+    /// nominal makespan — the quantity the paper sets reserved capacity
+    /// to ("R is selected as the trace's mean demand", Figure 17).
+    pub fn mean_demand(&self) -> f64 {
+        let horizon = self.nominal_makespan().as_minutes();
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.total_cpu_minutes() as f64 / horizon as f64
+    }
+
+    /// Keeps only jobs satisfying `predicate` (ids re-densified).
+    pub fn filter(&self, predicate: impl FnMut(&&Job) -> bool) -> WorkloadTrace {
+        WorkloadTrace::from_jobs(self.jobs.iter().filter(predicate).copied().collect())
+    }
+
+    /// Computes the hourly concurrent-demand curve of the as-submitted
+    /// schedule (every job running `[arrival, arrival + length)`).
+    pub fn demand_curve(&self) -> DemandCurve {
+        DemandCurve::from_jobs(&self.jobs)
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+}
+
+impl fmt::Display for WorkloadTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WorkloadTrace({} jobs, {:.1} mean CPUs, span {})",
+            self.len(),
+            self.mean_demand(),
+            self.nominal_makespan()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a WorkloadTrace {
+    type Item = &'a Job;
+    type IntoIter = std::slice::Iter<'a, Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+/// The hourly concurrent CPU-demand curve of a set of job intervals.
+///
+/// Built with a sweep over interval endpoints; used to compute the demand
+/// coefficient of variation the paper reports (§6.4.4: Mustang 0.8,
+/// Azure 0.3) and to visualize allocations (Figure 2a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandCurve {
+    /// Average concurrent CPUs during each hour from the origin.
+    hourly: Vec<f64>,
+}
+
+impl DemandCurve {
+    /// Computes the curve for jobs running `[arrival, arrival+length)`.
+    pub fn from_jobs(jobs: &[Job]) -> DemandCurve {
+        Self::from_intervals(
+            jobs.iter().map(|j| (j.arrival, j.end_if_started_at(j.arrival), j.cpus)),
+        )
+    }
+
+    /// Computes the curve for arbitrary `(start, end, cpus)` intervals.
+    pub fn from_intervals(
+        intervals: impl IntoIterator<Item = (SimTime, SimTime, u32)>,
+    ) -> DemandCurve {
+        // Difference array over minutes is too big for year-long traces;
+        // accumulate per-hour overlap directly.
+        let mut hourly: Vec<f64> = Vec::new();
+        for (start, end, cpus) in intervals {
+            if end <= start {
+                continue;
+            }
+            let end_hour = end.as_minutes().div_ceil(MINUTES_PER_HOUR) as usize;
+            if hourly.len() < end_hour {
+                hourly.resize(end_hour, 0.0);
+            }
+            for span in gaia_time::HourlySlots::new(start, end) {
+                hourly[span.hour as usize] += span.fraction() * cpus as f64;
+            }
+        }
+        DemandCurve { hourly }
+    }
+
+    /// Average concurrent CPUs during each hour.
+    pub fn hourly(&self) -> &[f64] {
+        &self.hourly
+    }
+
+    /// Mean of the hourly curve.
+    pub fn mean(&self) -> f64 {
+        if self.hourly.is_empty() {
+            return 0.0;
+        }
+        self.hourly.iter().sum::<f64>() / self.hourly.len() as f64
+    }
+
+    /// Coefficient of variation (std-dev / mean) of the hourly curve.
+    pub fn cov(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self.hourly.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+            / self.hourly.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Peak hourly demand.
+    pub fn peak(&self) -> f64 {
+        self.hourly.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The `q`-quantile of hourly demand (`0.0..=1.0`), nearest-rank.
+    /// Returns 0 for an empty curve.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.hourly.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.hourly.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("demand is finite"));
+        sorted[((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize]
+    }
+}
+
+/// Summary statistics of a workload trace (paper Figure 5's axes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean job length.
+    pub mean_length: Minutes,
+    /// Median job length.
+    pub median_length: Minutes,
+    /// Longest job.
+    pub max_length: Minutes,
+    /// Fraction of jobs no longer than one hour.
+    pub frac_short_1h: f64,
+    /// Mean per-job CPU requirement.
+    pub mean_cpus: f64,
+    /// Mean concurrent demand (CPUs).
+    pub mean_demand: f64,
+    /// Coefficient of variation of the hourly demand curve.
+    pub demand_cov: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn of(trace: &WorkloadTrace) -> TraceStats {
+        let jobs = trace.jobs();
+        if jobs.is_empty() {
+            return TraceStats {
+                jobs: 0,
+                mean_length: Minutes::ZERO,
+                median_length: Minutes::ZERO,
+                max_length: Minutes::ZERO,
+                frac_short_1h: 0.0,
+                mean_cpus: 0.0,
+                mean_demand: 0.0,
+                demand_cov: 0.0,
+            };
+        }
+        let mut lengths: Vec<u64> = jobs.iter().map(|j| j.length.as_minutes()).collect();
+        lengths.sort_unstable();
+        let curve = trace.demand_curve();
+        TraceStats {
+            jobs: jobs.len(),
+            mean_length: Minutes::new(lengths.iter().sum::<u64>() / lengths.len() as u64),
+            median_length: Minutes::new(lengths[lengths.len() / 2]),
+            max_length: Minutes::new(*lengths.last().expect("non-empty")),
+            frac_short_1h: lengths.iter().filter(|&&l| l <= MINUTES_PER_HOUR).count() as f64
+                / lengths.len() as f64,
+            mean_cpus: jobs.iter().map(|j| j.cpus as f64).sum::<f64>() / jobs.len() as f64,
+            mean_demand: trace.mean_demand(),
+            demand_cov: curve.cov(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(arrival_h: u64, len_min: u64, cpus: u32) -> Job {
+        Job::new(JobId(0), SimTime::from_hours(arrival_h), Minutes::new(len_min), cpus)
+    }
+
+    #[test]
+    fn sorts_and_redensifies_ids() {
+        let trace = WorkloadTrace::from_jobs(vec![job(5, 10, 1), job(1, 10, 1), job(3, 10, 1)]);
+        let arrivals: Vec<u64> = trace.iter().map(|j| j.arrival.as_hours_floor()).collect();
+        assert_eq!(arrivals, vec![1, 3, 5]);
+        let ids: Vec<u64> = trace.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_trace_degenerates_gracefully() {
+        let trace = WorkloadTrace::from_jobs(vec![]);
+        assert!(trace.is_empty());
+        assert_eq!(trace.nominal_makespan(), SimTime::ORIGIN);
+        assert_eq!(trace.mean_demand(), 0.0);
+        assert_eq!(trace.max_cpus(), 0);
+        assert_eq!(trace.last_arrival(), None);
+        let stats = trace.stats();
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn mean_demand_of_back_to_back_jobs() {
+        // Two 1-cpu jobs, each 1 hour, back to back: mean demand 1.0.
+        let trace = WorkloadTrace::from_jobs(vec![job(0, 60, 1), job(1, 60, 1)]);
+        assert!((trace.mean_demand() - 1.0).abs() < 1e-12);
+        assert_eq!(trace.total_cpu_minutes(), 120);
+    }
+
+    #[test]
+    fn demand_curve_counts_overlap() {
+        // Job A: hours [0,2) at 2 cpus. Job B: hours [1,3) at 1 cpu.
+        let trace = WorkloadTrace::from_jobs(vec![job(0, 120, 2), job(1, 120, 1)]);
+        let curve = trace.demand_curve();
+        assert_eq!(curve.hourly().len(), 3);
+        assert!((curve.hourly()[0] - 2.0).abs() < 1e-12);
+        assert!((curve.hourly()[1] - 3.0).abs() < 1e-12);
+        assert!((curve.hourly()[2] - 1.0).abs() < 1e-12);
+        assert!((curve.peak() - 3.0).abs() < 1e-12);
+        assert!((curve.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_curve_partial_hours() {
+        // 30-minute 2-cpu job contributes 1.0 average cpu to its hour.
+        let trace = WorkloadTrace::from_jobs(vec![job(0, 30, 2)]);
+        let curve = trace.demand_curve();
+        assert!((curve.hourly()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_zero_for_constant_demand() {
+        let trace = WorkloadTrace::from_jobs(vec![job(0, 180, 2)]);
+        assert!(trace.demand_curve().cov() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_of_demand() {
+        let curve = DemandCurve::from_intervals(vec![
+            (SimTime::from_hours(0), SimTime::from_hours(1), 1),
+            (SimTime::from_hours(1), SimTime::from_hours(2), 3),
+        ]);
+        assert_eq!(curve.quantile(0.0), 1.0);
+        assert_eq!(curve.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn stats_of_known_trace() {
+        let trace = WorkloadTrace::from_jobs(vec![
+            job(0, 30, 1),   // short
+            job(1, 60, 2),   // short (== 1h)
+            job(2, 600, 4),  // long
+        ]);
+        let stats = trace.stats();
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.mean_length, Minutes::new(230));
+        assert_eq!(stats.median_length, Minutes::new(60));
+        assert_eq!(stats.max_length, Minutes::new(600));
+        assert!((stats.frac_short_1h - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.mean_cpus - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_preserves_order_and_redensifies() {
+        let trace = WorkloadTrace::from_jobs(vec![job(0, 30, 1), job(1, 600, 1), job(2, 45, 1)]);
+        let short = trace.filter(|j| j.length < Minutes::from_hours(1));
+        assert_eq!(short.len(), 2);
+        assert_eq!(short.jobs()[1].id, JobId(1));
+        assert_eq!(short.jobs()[1].length, Minutes::new(45));
+    }
+
+    #[test]
+    fn display_mentions_job_count() {
+        let trace = WorkloadTrace::from_jobs(vec![job(0, 30, 1)]);
+        assert!(trace.to_string().contains("1 jobs"));
+    }
+}

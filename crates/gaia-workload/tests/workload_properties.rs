@@ -1,0 +1,128 @@
+//! Property-based tests of the workload substrate.
+
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::dist::{Exponential, LogNormal, Pareto, Sample, Truncated};
+use gaia_workload::sample::SamplePipeline;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::{Job, JobId, WorkloadTrace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec((0u64..100_000, 1u64..5_000, 1u32..64), 0..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(arrival, len, cpus)| {
+                Job::new(JobId(0), SimTime::from_minutes(arrival), Minutes::new(len), cpus)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Trace construction sorts by arrival and assigns dense ids,
+    /// regardless of input order.
+    #[test]
+    fn trace_construction_sorts_and_densifies(jobs in jobs_strategy()) {
+        let trace = WorkloadTrace::from_jobs(jobs.clone());
+        prop_assert_eq!(trace.len(), jobs.len());
+        for (idx, job) in trace.iter().enumerate() {
+            prop_assert_eq!(job.id.index(), idx);
+        }
+        for pair in trace.jobs().windows(2) {
+            prop_assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        // Total demand is permutation-invariant.
+        let direct: u64 = jobs.iter().map(|j| j.cpu_minutes()).sum();
+        prop_assert_eq!(trace.total_cpu_minutes(), direct);
+    }
+
+    /// The hourly demand curve integrates to exactly the total
+    /// CPU-minutes of the trace.
+    #[test]
+    fn demand_curve_conserves_work(jobs in jobs_strategy()) {
+        let trace = WorkloadTrace::from_jobs(jobs);
+        let curve = trace.demand_curve();
+        let integral_cpu_minutes: f64 = curve.hourly().iter().sum::<f64>() * 60.0;
+        let expected = trace.total_cpu_minutes() as f64;
+        prop_assert!(
+            (integral_cpu_minutes - expected).abs() < 1e-6 * (1.0 + expected),
+            "{integral_cpu_minutes} vs {expected}"
+        );
+    }
+
+    /// The sampling pipeline enforces its bounds, hits its target count
+    /// when possible, and is deterministic.
+    #[test]
+    fn pipeline_bounds_and_determinism(
+        jobs in jobs_strategy(),
+        target in 1usize..100,
+        seed in 0u64..100,
+    ) {
+        let raw = WorkloadTrace::from_jobs(jobs);
+        let pipeline = SamplePipeline::paper_defaults(target).with_max_cpus(16);
+        let out = pipeline.apply(&raw, seed);
+        prop_assert!(out.iter().all(|j| j.length >= Minutes::new(5)));
+        prop_assert!(out.iter().all(|j| j.length <= Minutes::from_days(3)));
+        prop_assert!(out.iter().all(|j| j.cpus <= 16));
+        let eligible = raw
+            .iter()
+            .filter(|j| j.length >= Minutes::new(5)
+                && j.length <= Minutes::from_days(3)
+                && j.cpus <= 16)
+            .count();
+        prop_assert_eq!(out.len(), eligible.min(target));
+        prop_assert_eq!(out, pipeline.apply(&raw, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Distribution samplers honour their support for arbitrary
+    /// parameters and seeds.
+    #[test]
+    fn samplers_respect_support(
+        seed in 0u64..1_000,
+        mean in 0.1f64..10_000.0,
+        median in 0.1f64..10_000.0,
+        sigma in 0.0f64..3.0,
+        alpha in 0.2f64..5.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let e = Exponential::with_mean(mean).sample(&mut rng);
+            prop_assert!(e.is_finite() && e >= 0.0);
+            let l = LogNormal::with_median(median, sigma).sample(&mut rng);
+            prop_assert!(l.is_finite() && l > 0.0);
+            let p = Pareto::new(median, alpha).sample(&mut rng);
+            prop_assert!(p >= median);
+            let t = Truncated::new(LogNormal::with_median(median, sigma), 1.0, 100.0)
+                .sample(&mut rng);
+            prop_assert!((1.0..=100.0).contains(&t));
+        }
+    }
+
+    /// Family generators always satisfy their hard structural bounds.
+    #[test]
+    fn family_generators_respect_bounds(seed in 0u64..50) {
+        let horizon = Minutes::from_days(10);
+        for family in TraceFamily::ALL {
+            let raw = family.generate_raw(300, horizon, seed);
+            prop_assert_eq!(raw.len(), 300);
+            prop_assert!(raw.iter().all(|j| j.arrival < SimTime::from_days(10)));
+            prop_assert!(raw.iter().all(|j| j.cpus >= 1));
+            match family {
+                TraceFamily::MustangHpc => {
+                    prop_assert!(raw.iter().all(|j| j.length <= Minutes::from_hours(16)));
+                }
+                TraceFamily::AlibabaPai => {
+                    prop_assert!(raw.iter().all(|j| j.cpus <= 100));
+                }
+                TraceFamily::AzureVm => {
+                    prop_assert!(raw.iter().all(|j| j.length <= Minutes::from_days(7)));
+                }
+            }
+        }
+    }
+}

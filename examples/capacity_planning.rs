@@ -1,0 +1,87 @@
+//! Capacity planning: how many reserved instances should a cost-conscious
+//! but carbon-aware team buy?
+//!
+//! The paper's answer (§7, finding 4): reserve between the *base* and the
+//! *mean* demand. Below the base, carbon stays near-optimal while cost
+//! falls; between base and mean you trade carbon for cost; beyond the
+//! mean, cost stops improving and flexibility is gone. This example
+//! sweeps reserved capacity for an HPC-like workload, prints the
+//! frontier, and marks the paper's recommended operating band.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use gaia_carbon::{synth::synthesize_region, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::runner;
+use gaia_sim::ClusterConfig;
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+
+fn main() {
+    let carbon = synthesize_region(Region::California, 42);
+    let workload = TraceFamily::MustangHpc.year_long(10_000, 42);
+    let curve = workload.demand_curve();
+    let base = curve.quantile(0.10);
+    let mean = workload.mean_demand();
+    println!(
+        "Mustang-like HPC workload: {} jobs, base (p10) demand {:.0} CPUs, \
+         mean demand {:.0} CPUs, peak {:.0} CPUs\n",
+        workload.len(),
+        base,
+        mean,
+        curve.peak()
+    );
+
+    let billing = Minutes::from_days(368);
+    let baseline = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &workload,
+        &carbon,
+        ClusterConfig::default().with_billing_horizon(billing),
+    );
+
+    println!(
+        "{:>9} {:>12} {:>14} {:>10} {:>8}",
+        "reserved", "cost/NoWait", "carbon/NoWait", "wait (h)", "band"
+    );
+    let mut best: Option<(u32, f64)> = None;
+    let steps: Vec<u32> = (0..=12).map(|i| (mean * i as f64 / 8.0).round() as u32).collect();
+    for reserved in steps {
+        let run = runner::run_spec(
+            PolicySpec::res_first(BasePolicyKind::CarbonTime),
+            &workload,
+            &carbon,
+            ClusterConfig::default().with_reserved(reserved).with_billing_horizon(billing),
+        );
+        let cost = run.total_cost / baseline.total_cost;
+        let band = if (reserved as f64) < base {
+            "<- regime 1: free cost savings"
+        } else if (reserved as f64) <= mean {
+            "<- regime 2: carbon-cost trade-off"
+        } else {
+            "<- regime 3: avoid"
+        };
+        println!(
+            "{:>9} {:>12.3} {:>14.3} {:>10.2} {band}",
+            reserved,
+            cost,
+            run.carbon_g / baseline.carbon_g,
+            run.mean_wait_hours,
+        );
+        if best.is_none_or(|(_, c)| cost < c) {
+            best = Some((reserved, cost));
+        }
+    }
+    let (best_reserved, best_cost) = best.expect("non-empty sweep");
+    println!(
+        "\nCheapest point: {best_reserved} reserved CPUs at {:.0}% of the NoWait cost.",
+        best_cost * 100.0
+    );
+    println!(
+        "Recommendation per the paper: reserve between {:.0} (base) and {:.0} (mean) CPUs\n\
+         and pick the point whose carbon/cost balance matches your priorities.",
+        base, mean
+    );
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the extension experiments
+# into results/. Full scale (100k-job year traces) takes a few minutes in
+# release mode; set GAIA_JOBS=20000 for a quick pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+
+mkdir -p results
+targets=(
+  figure01 figure02 figure03 figure04 figure05 figure06 figure07 table1
+  figure08 figure09 figure10 figure11 figure12 figure13 figure14 figure15
+  figure16 figure17 figure18 figure19 figure20
+  ablations sensitivity
+  ext_suspend_resume ext_carbon_tax ext_checkpointing ext_overheads
+  ext_spatial ext_price ext_capacity_cap ext_multiqueue
+)
+for target in "${targets[@]}"; do
+  echo "== ${target}"
+  ./target/release/"${target}" > "results/${target}.txt"
+done
+echo "all outputs written to results/"

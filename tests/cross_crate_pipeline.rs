@@ -1,0 +1,107 @@
+//! Cross-crate integration: CSV round trips feeding simulations, custom
+//! forecasters plugged into the engine, and determinism across the whole
+//! pipeline.
+
+use gaia_carbon::{synth::synthesize_region, NoisyForecaster, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::runner;
+use gaia_sim::{ClusterConfig, Simulation};
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+
+#[test]
+fn csv_round_trip_preserves_simulation_results() {
+    let carbon = synthesize_region(Region::California, 1);
+    let trace = TraceFamily::AlibabaPai.week_long_1k(1);
+    let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(9));
+
+    // Serialize both traces to CSV and back.
+    let mut carbon_csv = Vec::new();
+    gaia_carbon::io::write_trace_csv(&mut carbon_csv, &carbon).expect("write carbon");
+    let carbon2 = gaia_carbon::io::read_trace_csv(&carbon_csv[..]).expect("read carbon");
+    let mut trace_csv = Vec::new();
+    gaia_workload::io::write_trace_csv(&mut trace_csv, &trace).expect("write workload");
+    let trace2 = gaia_workload::io::read_trace_csv(&trace_csv[..]).expect("read workload");
+
+    let spec = PolicySpec::plain(BasePolicyKind::CarbonTime);
+    let original = runner::run_spec_report(spec, &trace, &carbon, config);
+    let round_tripped = runner::run_spec_report(spec, &trace2, &carbon2, config);
+    assert_eq!(original, round_tripped);
+}
+
+#[test]
+fn noisy_forecasts_degrade_but_do_not_break_savings() {
+    let carbon = synthesize_region(Region::SouthAustralia, 1);
+    let trace = TraceFamily::AlibabaPai.week_long_1k(1);
+    let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(9));
+    let queues = runner::default_queues(&trace);
+
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &carbon,
+        config,
+    );
+
+    let run_with_noise = |sd: f64| {
+        let forecaster = NoisyForecaster::new(&carbon, sd, 7);
+        let mut scheduler = PolicySpec::plain(BasePolicyKind::CarbonTime).build(queues);
+        let report = Simulation::new(config, &carbon)
+            .with_forecaster(&forecaster)
+            .run(&trace, &mut scheduler);
+        report.totals.carbon_g
+    };
+
+    let perfect = run_with_noise(0.0);
+    let noisy = run_with_noise(0.4);
+    // Perfect forecasts match the default path exactly.
+    let default_run = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        &trace,
+        &carbon,
+        config,
+    );
+    assert!((perfect - default_run.carbon_g).abs() < 1e-6);
+    // Noise hurts (or at best matches) the savings but keeps them real.
+    assert!(noisy >= perfect * 0.99, "noise should not magically help much");
+    assert!(
+        noisy < nowait.carbon_g,
+        "even heavily noisy forecasts retain some savings"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run_once = || {
+        let carbon = synthesize_region(Region::Netherlands, 9);
+        let trace = TraceFamily::MustangHpc.year_long(2_000, 9);
+        let config = ClusterConfig::default()
+            .with_reserved(40)
+            .with_billing_horizon(Minutes::from_days(368));
+        runner::run_spec_report(
+            PolicySpec::res_first(BasePolicyKind::CarbonTime),
+            &trace,
+            &carbon,
+            config,
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn summaries_match_reports() {
+    let carbon = synthesize_region(Region::Ontario, 3);
+    let trace = TraceFamily::AzureVm.year_long(1_000, 3);
+    let config = ClusterConfig::default()
+        .with_reserved(10)
+        .with_billing_horizon(Minutes::from_days(368));
+    let spec = PolicySpec::plain(BasePolicyKind::LowestWindow);
+    let report = runner::run_spec_report(spec, &trace, &carbon, config);
+    let summary = runner::run_spec(spec, &trace, &carbon, config);
+    assert_eq!(summary.carbon_g, report.totals.carbon_g);
+    assert_eq!(summary.total_cost, report.totals.total_cost());
+    assert_eq!(summary.jobs, trace.len());
+    // Totals equal the per-job sums.
+    let job_carbon: f64 = report.jobs.iter().map(|j| j.carbon_g).sum();
+    assert!((job_carbon - report.totals.carbon_g).abs() < 1e-6);
+}

@@ -1,0 +1,256 @@
+//! Property-based tests (proptest) over the whole scheduling stack:
+//! random workloads, random carbon traces, random cluster shapes — the
+//! invariants must hold for every combination.
+
+use gaia_carbon::CarbonTrace;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::runner;
+use gaia_sim::{ClusterConfig, EvictionModel, PurchaseOption};
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::{Job, JobId, QueueSet, WorkloadTrace};
+use proptest::prelude::*;
+
+/// Random hourly carbon trace: 4-10 days, intensities 10..1000.
+fn carbon_strategy() -> impl Strategy<Value = CarbonTrace> {
+    proptest::collection::vec(10.0f64..1000.0, 96..240)
+        .prop_map(|values| CarbonTrace::from_hourly(values).expect("positive values"))
+}
+
+/// Random workload: up to 60 jobs over up to 3 days.
+fn workload_strategy() -> impl Strategy<Value = WorkloadTrace> {
+    proptest::collection::vec(
+        (0u64..4320, 5u64..2880, 1u32..6),
+        1..60,
+    )
+    .prop_map(|jobs| {
+        WorkloadTrace::from_jobs(
+            jobs.into_iter()
+                .map(|(arrival, length, cpus)| {
+                    Job::new(JobId(0), SimTime::from_minutes(arrival), Minutes::new(length), cpus)
+                })
+                .collect(),
+        )
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::plain(BasePolicyKind::NoWait)),
+        Just(PolicySpec::plain(BasePolicyKind::AllWaitThreshold)),
+        Just(PolicySpec::plain(BasePolicyKind::LowestSlot)),
+        Just(PolicySpec::plain(BasePolicyKind::LowestWindow)),
+        Just(PolicySpec::plain(BasePolicyKind::CarbonTime)),
+        Just(PolicySpec::plain(BasePolicyKind::WaitAwhile)),
+        Just(PolicySpec::plain(BasePolicyKind::Ecovisor)),
+        Just(PolicySpec::res_first(BasePolicyKind::CarbonTime)),
+        Just(PolicySpec::spot_first(BasePolicyKind::LowestWindow)),
+        Just(PolicySpec::spot_res(BasePolicyKind::CarbonTime)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every job finishes, executes at least its length (more only after
+    /// evictions), and waiting/completion satisfy the paper's identity
+    /// completion = waiting + length.
+    #[test]
+    fn jobs_complete_and_identities_hold(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        spec in policy_strategy(),
+        reserved in 0u32..8,
+        eviction in prop_oneof![Just(0.0f64), Just(0.1), Just(0.5)],
+    ) {
+        let config = ClusterConfig::default()
+            .with_reserved(reserved)
+            .with_eviction(EvictionModel::hourly(eviction))
+            .with_seed(1)
+            .with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        prop_assert_eq!(report.jobs.len(), trace.len());
+        for outcome in &report.jobs {
+            prop_assert!(outcome.finish > outcome.job.arrival);
+            prop_assert!(outcome.executed() >= outcome.job.length);
+            if outcome.evictions == 0 {
+                prop_assert_eq!(outcome.executed(), outcome.job.length);
+            }
+            prop_assert_eq!(
+                outcome.completion,
+                outcome.waiting + outcome.job.length
+            );
+            prop_assert!(outcome.first_start >= outcome.job.arrival);
+            prop_assert!(outcome.carbon_g >= 0.0);
+            prop_assert!(outcome.cost >= 0.0);
+            // Exactly the final segment chain is useful work.
+            let useful: Minutes = outcome
+                .segments
+                .iter()
+                .filter(|s| s.useful)
+                .map(|s| s.len())
+                .sum();
+            prop_assert_eq!(useful, outcome.job.length);
+        }
+    }
+
+    /// Reserved capacity is never oversubscribed: the timeline's hourly
+    /// average reserved occupancy never exceeds the capacity.
+    #[test]
+    fn reserved_capacity_never_oversubscribed(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        spec in policy_strategy(),
+        reserved in 0u32..8,
+    ) {
+        let config = ClusterConfig::default()
+            .with_reserved(reserved)
+            .with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        for (hour, &occupancy) in report.timeline.reserved.iter().enumerate() {
+            prop_assert!(
+                occupancy <= reserved as f64 + 1e-9,
+                "hour {} reserved occupancy {} exceeds capacity {}",
+                hour, occupancy, reserved
+            );
+        }
+    }
+
+    /// Cluster totals are exactly the sum of per-job outcomes plus the
+    /// reserved prepayment.
+    #[test]
+    fn totals_equal_sum_of_jobs(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        spec in policy_strategy(),
+        reserved in 0u32..8,
+    ) {
+        let config = ClusterConfig::default()
+            .with_reserved(reserved)
+            .with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        let carbon_sum: f64 = report.jobs.iter().map(|j| j.carbon_g).sum();
+        prop_assert!((report.totals.carbon_g - carbon_sum).abs() < 1e-6);
+        let usage_cost: f64 = report.jobs.iter().map(|j| j.cost).sum();
+        let total = report.totals.total_cost();
+        prop_assert!(
+            (total - report.totals.cost_reserved_prepaid - usage_cost).abs() < 1e-6,
+            "total {} != prepaid {} + usage {}",
+            total, report.totals.cost_reserved_prepaid, usage_cost
+        );
+    }
+
+    /// Per-job carbon equals the CI integral over its executed segments:
+    /// recomputing it from the trace gives the same number.
+    #[test]
+    fn job_carbon_matches_trace_integral(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        spec in policy_strategy(),
+    ) {
+        let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        for outcome in &report.jobs {
+            let expected: f64 = outcome
+                .segments
+                .iter()
+                .map(|s| carbon.window_integral(s.start, s.len()) * outcome.job.cpus as f64)
+                .sum();
+            prop_assert!(
+                (outcome.carbon_g - expected).abs() < 1e-6,
+                "{:?}: {} vs {}", outcome.job.id, outcome.carbon_g, expected
+            );
+        }
+    }
+
+    /// Uninterruptible policies respect the queue waiting bound on start
+    /// times for every random workload and trace.
+    #[test]
+    fn start_delay_bounded_by_queue_wait(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        kind in prop_oneof![
+            Just(BasePolicyKind::LowestSlot),
+            Just(BasePolicyKind::LowestWindow),
+            Just(BasePolicyKind::CarbonTime),
+        ],
+    ) {
+        let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(PolicySpec::plain(kind), &trace, &carbon, config);
+        let queues = QueueSet::paper_defaults();
+        for outcome in &report.jobs {
+            let bound = queues.max_wait_for(&outcome.job);
+            prop_assert!(
+                outcome.first_start.saturating_since(outcome.job.arrival) <= bound
+            );
+        }
+    }
+
+    /// With checkpointing and instance overheads enabled, every job still
+    /// completes, executes at least its length, and keeps the
+    /// completion = waiting + length identity.
+    #[test]
+    fn extensions_preserve_core_invariants(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        eviction in prop_oneof![Just(0.0f64), Just(0.2), Just(0.6)],
+        interval_h in 1u64..6,
+        overhead_min in 0u64..20,
+        boot_min in 0u64..15,
+    ) {
+        use gaia_sim::{CheckpointConfig, InstanceOverheads};
+        let config = ClusterConfig::default()
+            .with_eviction(EvictionModel::hourly(eviction))
+            .with_checkpointing(CheckpointConfig::every_hours(interval_h, overhead_min))
+            .with_overheads(InstanceOverheads {
+                startup: Minutes::new(boot_min),
+                teardown: Minutes::new(boot_min / 2),
+            })
+            .with_seed(5)
+            .with_billing_horizon(Minutes::from_days(30));
+        let spec = PolicySpec::spot_first(BasePolicyKind::CarbonTime);
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        prop_assert_eq!(report.jobs.len(), trace.len());
+        for outcome in &report.jobs {
+            prop_assert!(outcome.finish > outcome.job.arrival);
+            prop_assert!(outcome.executed() >= outcome.job.length);
+            prop_assert_eq!(outcome.completion, outcome.waiting + outcome.job.length);
+            prop_assert!(outcome.carbon_g >= 0.0 && outcome.cost >= 0.0);
+        }
+    }
+
+    /// A zero eviction rate is byte-identical to the eviction-free model,
+    /// and raising reserved capacity never increases NoWait's cost.
+    #[test]
+    fn zero_eviction_equals_never(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+    ) {
+        let spec = PolicySpec::spot_first(BasePolicyKind::CarbonTime);
+        let base = ClusterConfig::default().with_billing_horizon(Minutes::from_days(10));
+        let a = runner::run_spec_report(
+            spec, &trace, &carbon, base.with_eviction(EvictionModel::hourly(0.0)));
+        let b = runner::run_spec_report(
+            spec, &trace, &carbon, base.with_eviction(EvictionModel::never()));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Spot-First uses spot only for jobs within the cap, and those jobs'
+    /// initial segments really are spot.
+    #[test]
+    fn spot_first_routes_by_length(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+    ) {
+        let spec = PolicySpec::spot_first(BasePolicyKind::LowestWindow);
+        let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        for outcome in &report.jobs {
+            let first = outcome.segments.first().expect("job executed");
+            if outcome.job.length <= Minutes::from_hours(2) {
+                prop_assert_eq!(first.option, PurchaseOption::Spot);
+            } else {
+                prop_assert!(first.option != PurchaseOption::Spot);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests pinning the qualitative findings of the extension
+//! experiments (EXPERIMENTS.md §Extensions), at CI-friendly scale.
+
+use gaia_carbon::price::PriceModel;
+use gaia_carbon::{synth::synthesize_region, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::{
+    CarbonTax, CarbonTimeSuspend, GaiaScheduler, PriceAware, SpotConfig, TieredCarbonTime,
+};
+use gaia_metrics::{runner, savings_per_wait_hour, Summary};
+use gaia_sim::{CapacityCap, CheckpointConfig, ClusterConfig, EvictionModel, Simulation};
+use gaia_time::{HourlySlots, Minutes};
+use gaia_workload::ladder::QueueLadder;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::WorkloadTrace;
+
+fn setup() -> (WorkloadTrace, gaia_carbon::CarbonTrace, ClusterConfig) {
+    (
+        TraceFamily::AlibabaPai.week_long_1k(42),
+        synthesize_region(Region::SouthAustralia, 42),
+        ClusterConfig::default().with_billing_horizon(Minutes::from_days(9)),
+    )
+}
+
+/// Suspend-resume Carbon-Time sits between Carbon-Time and Wait Awhile
+/// on carbon, without waiting longer than the carbon-only baselines —
+/// the §4.1 future-work prediction.
+#[test]
+fn suspend_resume_carbon_time_dominates_ecovisor() {
+    let (trace, ci, config) = setup();
+    let queues = runner::default_queues(&trace);
+    let mut sr = GaiaScheduler::new(CarbonTimeSuspend::new(queues));
+    let sr_report = Simulation::new(config, &ci).run(&trace, &mut sr);
+    let sr_summary = Summary::of("Carbon-Time-SR", &sr_report);
+    let ct = runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
+    let wa = runner::run_spec(PolicySpec::plain(BasePolicyKind::WaitAwhile), &trace, &ci, config);
+    let eco = runner::run_spec(PolicySpec::plain(BasePolicyKind::Ecovisor), &trace, &ci, config);
+
+    assert!(sr_summary.carbon_g <= ct.carbon_g, "interruption can only help carbon");
+    assert!(sr_summary.carbon_g >= wa.carbon_g * 0.98, "Wait Awhile is the carbon floor");
+    // The headline: strictly better than Ecovisor on both axes.
+    assert!(sr_summary.carbon_g < eco.carbon_g);
+    assert!(sr_summary.mean_wait_hours < eco.mean_wait_hours);
+}
+
+/// The carbon tax interpolates monotonically: more tax, less carbon,
+/// more waiting (within small tolerances for scan-grid ties).
+#[test]
+fn carbon_tax_interpolates_monotonically() {
+    let (trace, ci, config) = setup();
+    let queues = runner::default_queues(&trace);
+    let mut prev_carbon = f64::INFINITY;
+    for tax in [0.0, 0.05, 0.2, 1.0, 10.0] {
+        let mut scheduler = GaiaScheduler::new(CarbonTax::new(queues, tax, 0.05));
+        let report = Simulation::new(config, &ci).run(&trace, &mut scheduler);
+        let carbon = report.totals.carbon_g;
+        assert!(
+            carbon <= prev_carbon * 1.005,
+            "carbon must not rise with the tax (tax {tax}: {carbon} vs {prev_carbon})"
+        );
+        prev_carbon = carbon;
+    }
+    // Zero tax is NoWait; high tax approaches Lowest-Window.
+    let nowait =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
+    let lw =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::LowestWindow), &trace, &ci, config);
+    let mut zero_tax = GaiaScheduler::new(CarbonTax::new(queues, 0.0, 0.05));
+    let zero = Simulation::new(config, &ci).run(&trace, &mut zero_tax);
+    assert!((zero.totals.carbon_g - nowait.carbon_g).abs() < 1e-6 * nowait.carbon_g);
+    assert!(prev_carbon < lw.carbon_g * 1.05, "high tax approaches Lowest-Window");
+}
+
+/// Checkpointing rescues long spot jobs from eviction losses: cheaper
+/// and no dirtier than the paper's lose-everything model.
+#[test]
+fn checkpointing_beats_lose_everything_under_evictions() {
+    let trace = TraceFamily::AzureVm.year_long(2_000, 42);
+    let ci = synthesize_region(Region::SouthAustralia, 42);
+    let spec = PolicySpec {
+        base: BasePolicyKind::CarbonTime,
+        res_first: false,
+        spot: Some(SpotConfig { j_max: Minutes::from_hours(24) }),
+    };
+    let base = ClusterConfig::default()
+        .with_billing_horizon(Minutes::from_days(368))
+        .with_eviction(EvictionModel::hourly(0.10))
+        .with_seed(7);
+    let without = runner::run_spec(spec, &trace, &ci, base);
+    let with = runner::run_spec(
+        spec,
+        &trace,
+        &ci,
+        base.with_checkpointing(CheckpointConfig::every_hours(1, 3)),
+    );
+    assert!(with.total_cost < without.total_cost, "checkpointing recovers the spot discount");
+    assert!(with.carbon_g < without.carbon_g * 1.02, "and does not burn more carbon");
+    assert!(with.evictions > 0, "evictions still happen; they just hurt less");
+}
+
+/// Carbon-responsive caps trade carbon for waiting, but GAIA's per-job
+/// scheduling dominates them at comparable waiting.
+#[test]
+fn capacity_caps_trade_but_gaia_dominates() {
+    let (trace, ci, config) = setup();
+    let nowait =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
+    let capped_config = config.with_capacity_cap(CapacityCap::CarbonResponsive {
+        normal_cap: 1000,
+        high_carbon_cap: 5,
+        ci_threshold: 250.0,
+    });
+    let capped =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, capped_config);
+    let gaia =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
+
+    assert!(capped.carbon_g < nowait.carbon_g, "caps save carbon");
+    assert!(capped.mean_wait_hours > 0.5, "caps cost waiting");
+    // GAIA saves more carbon without waiting much longer.
+    assert!(gaia.carbon_g < capped.carbon_g);
+    assert!(gaia.mean_wait_hours < capped.mean_wait_hours * 2.0);
+}
+
+/// The three-tier ladder is at least as wait-efficient as the two-queue
+/// configuration (§7's knee, encoded as queue policy).
+#[test]
+fn tiered_ladder_improves_wait_efficiency() {
+    let (trace, ci, config) = setup();
+    let nowait =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
+    let two_queue =
+        runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
+    let ladder = QueueLadder::paper_three_tier().with_averages_from(&trace);
+    let mut scheduler = GaiaScheduler::new(TieredCarbonTime::new(ladder));
+    let tiered =
+        Summary::of("tiered", &Simulation::new(config, &ci).run(&trace, &mut scheduler));
+    assert!(
+        savings_per_wait_hour(&nowait, &tiered)
+            >= savings_per_wait_hour(&nowait, &two_queue) * 0.98,
+        "tiered {} vs two-queue {}",
+        savings_per_wait_hour(&nowait, &tiered),
+        savings_per_wait_hour(&nowait, &two_queue)
+    );
+    assert!(tiered.mean_wait_hours < two_queue.mean_wait_hours);
+}
+
+/// Price-aware scheduling: the λ extremes optimize their own objective
+/// at the expense of the other (Figure 20's conflict).
+#[test]
+fn price_aware_extremes_conflict() {
+    let trace = TraceFamily::AlibabaPai.week_long_1k(42);
+    let ci = synthesize_region(Region::California, 42);
+    let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(9));
+    let price = PriceModel::default().synthesize(&ci, 42);
+    let queues = runner::default_queues(&trace);
+    let run = |weight: f64| {
+        let mut scheduler =
+            GaiaScheduler::new(PriceAware::new(queues, price.clone(), weight, ci.mean()));
+        Simulation::new(config, &ci).run(&trace, &mut scheduler)
+    };
+    let bill = |report: &gaia_sim::SimReport| -> f64 {
+        let price = &price;
+        report
+            .jobs
+            .iter()
+            .flat_map(|o| {
+                let cpus = o.job.cpus as f64;
+                o.segments.iter().map(move |s| {
+                    HourlySlots::new(s.start, s.end)
+                        .map(|span| price.price_at_hour(span.hour) * span.fraction())
+                        .sum::<f64>()
+                        * cpus
+                })
+            })
+            .sum()
+    };
+    let cost_optimal = run(0.0);
+    let carbon_optimal = run(1.0);
+    assert!(bill(&cost_optimal) < bill(&carbon_optimal), "λ=0 minimizes the bill");
+    assert!(
+        carbon_optimal.totals.carbon_g < cost_optimal.totals.carbon_g,
+        "λ=1 minimizes carbon"
+    );
+}

@@ -1,0 +1,247 @@
+//! Integration tests asserting the paper's *qualitative* claims end to
+//! end, at a scale small enough for CI (a few thousand jobs).
+//!
+//! These are the invariants the evaluation figures rest on; the figure
+//! binaries reproduce the quantitative versions.
+
+use gaia_carbon::{synth::synthesize_region, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::SpotConfig;
+use gaia_metrics::{runner, savings_per_cost_point, Summary};
+use gaia_sim::{ClusterConfig, EvictionModel};
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::WorkloadTrace;
+
+fn week_setup() -> (WorkloadTrace, gaia_carbon::CarbonTrace, ClusterConfig) {
+    let trace = TraceFamily::AlibabaPai.week_long_1k(42);
+    let carbon = synthesize_region(Region::SouthAustralia, 42);
+    let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(9));
+    (trace, carbon, config)
+}
+
+fn run(spec: PolicySpec, setup: &(WorkloadTrace, gaia_carbon::CarbonTrace, ClusterConfig)) -> Summary {
+    runner::run_spec(spec, &setup.0, &setup.1, setup.2)
+}
+
+/// Figure 8: carbon ordering — suspend-resume (WaitAwhile) < Lowest-Window
+/// <= Carbon-Time-ish < Lowest-Slot < NoWait; waiting ordering inverted.
+#[test]
+fn figure8_carbon_and_waiting_ordering() {
+    let setup = week_setup();
+    let nowait = run(PolicySpec::plain(BasePolicyKind::NoWait), &setup);
+    let slot = run(PolicySpec::plain(BasePolicyKind::LowestSlot), &setup);
+    let window = run(PolicySpec::plain(BasePolicyKind::LowestWindow), &setup);
+    let ct = run(PolicySpec::plain(BasePolicyKind::CarbonTime), &setup);
+    let wa = run(PolicySpec::plain(BasePolicyKind::WaitAwhile), &setup);
+    let eco = run(PolicySpec::plain(BasePolicyKind::Ecovisor), &setup);
+
+    assert!(wa.carbon_g < eco.carbon_g, "WaitAwhile beats Ecovisor on carbon");
+    assert!(eco.carbon_g < slot.carbon_g, "Ecovisor beats Lowest-Slot on carbon");
+    assert!(window.carbon_g < slot.carbon_g, "window beats single slot");
+    assert!(slot.carbon_g < nowait.carbon_g, "every carbon-aware policy beats NoWait");
+    assert!(ct.carbon_g < nowait.carbon_g);
+
+    assert_eq!(nowait.mean_wait_hours, 0.0);
+    assert!(
+        ct.mean_wait_hours < wa.mean_wait_hours,
+        "Carbon-Time waits less than Wait Awhile ({} vs {})",
+        ct.mean_wait_hours,
+        wa.mean_wait_hours
+    );
+    // Carbon-Time gives up only a bounded fraction of Lowest-Window's
+    // savings while waiting strictly less.
+    assert!(ct.mean_wait_hours < window.mean_wait_hours);
+    let window_saving = nowait.carbon_g - window.carbon_g;
+    let ct_saving = nowait.carbon_g - ct.carbon_g;
+    assert!(
+        ct_saving > 0.6 * window_saving,
+        "Carbon-Time keeps most of Lowest-Window's savings"
+    );
+}
+
+/// Figure 10: with reserved capacity, AllWait-Threshold is the cheapest
+/// and RES-First-Carbon-Time sits between AllWait's cost and Carbon-Time's
+/// carbon.
+#[test]
+fn figure10_hybrid_cluster_tension() {
+    let (trace, carbon, config) = week_setup();
+    let config = config.with_reserved(9);
+    let setup = (trace, carbon, config);
+    let nowait = run(PolicySpec::plain(BasePolicyKind::NoWait), &setup);
+    let allwait = run(PolicySpec::plain(BasePolicyKind::AllWaitThreshold), &setup);
+    let ct = run(PolicySpec::plain(BasePolicyKind::CarbonTime), &setup);
+    let res_ct = run(PolicySpec::res_first(BasePolicyKind::CarbonTime), &setup);
+    let wa = run(PolicySpec::plain(BasePolicyKind::WaitAwhile), &setup);
+
+    // Cost ordering: AllWait cheapest; carbon-aware suspend-resume most
+    // expensive; RES-First in between.
+    assert!(allwait.total_cost < nowait.total_cost);
+    assert!(allwait.total_cost < res_ct.total_cost);
+    assert!(res_ct.total_cost < ct.total_cost, "work conservation saves money");
+    assert!(wa.total_cost > allwait.total_cost, "fragmented demand is expensive");
+    // Carbon ordering: AllWait saves little carbon; RES-First retains a
+    // meaningful share of Carbon-Time's savings.
+    let ct_saving = nowait.carbon_g - ct.carbon_g;
+    let res_saving = nowait.carbon_g - res_ct.carbon_g;
+    assert!(res_saving > 0.25 * ct_saving);
+    assert!(res_ct.carbon_g < allwait.carbon_g);
+    // Work conservation also slashes waiting.
+    assert!(res_ct.mean_wait_hours < ct.mean_wait_hours);
+    // And keeps reserved instances busier.
+    assert!(res_ct.reserved_utilization > ct.reserved_utilization);
+}
+
+/// Figure 11: as reserved capacity grows under RES-First, waiting falls
+/// monotonically and carbon savings shrink.
+#[test]
+fn figure11_reserved_sweep_monotonicity() {
+    let (trace, carbon, base_config) = week_setup();
+    let mut prev_wait = f64::INFINITY;
+    let mut prev_carbon = 0.0;
+    for reserved in [0u32, 6, 12, 18, 24] {
+        let setup = (trace.clone(), carbon.clone(), base_config.with_reserved(reserved));
+        let run = run(PolicySpec::res_first(BasePolicyKind::CarbonTime), &setup);
+        assert!(
+            run.mean_wait_hours <= prev_wait + 0.02,
+            "waiting must fall with reserved capacity (R={reserved})"
+        );
+        assert!(
+            run.carbon_g >= prev_carbon - 1.0,
+            "carbon savings must shrink with reserved capacity (R={reserved})"
+        );
+        prev_wait = run.mean_wait_hours;
+        prev_carbon = run.carbon_g;
+    }
+}
+
+/// Figure 12 / headline: spot execution keeps the carbon-aware schedule
+/// at lower cost, and GAIA's composed policies dominate the prior
+/// carbon-aware baselines on savings-per-cost.
+#[test]
+fn figure12_spot_keeps_carbon_cuts_cost() {
+    let setup = week_setup();
+    let ct = run(PolicySpec::plain(BasePolicyKind::CarbonTime), &setup);
+    let spot_ct = run(PolicySpec::spot_first(BasePolicyKind::CarbonTime), &setup);
+    assert!(
+        (spot_ct.carbon_g - ct.carbon_g).abs() < 0.01 * ct.carbon_g,
+        "without evictions, spot does not change the schedule's carbon"
+    );
+    assert!(spot_ct.total_cost < 0.9 * ct.total_cost, "spot discount shows up in cost");
+}
+
+/// Headline claim: GAIA (Spot-RES/RES-First around Carbon-Time) at least
+/// doubles the carbon savings per percentage of cost increase relative to
+/// the prior carbon-aware policies (Wait Awhile, Ecovisor) on a hybrid
+/// cluster.
+#[test]
+fn headline_savings_per_cost_doubles() {
+    let (trace, carbon, config) = week_setup();
+    let config = config.with_reserved(9);
+    let setup = (trace, carbon, config);
+    let nowait = run(PolicySpec::plain(BasePolicyKind::NoWait), &setup);
+    let gaia = run(PolicySpec::spot_res(BasePolicyKind::CarbonTime), &setup);
+    let wa = run(PolicySpec::plain(BasePolicyKind::WaitAwhile), &setup);
+    let eco = run(PolicySpec::plain(BasePolicyKind::Ecovisor), &setup);
+
+    let gaia_ratio = savings_per_cost_point(&nowait, &gaia);
+    let wa_ratio = savings_per_cost_point(&nowait, &wa);
+    let eco_ratio = savings_per_cost_point(&nowait, &eco);
+    assert!(
+        gaia_ratio >= 2.0 * wa_ratio.max(eco_ratio),
+        "GAIA {gaia_ratio} vs WaitAwhile {wa_ratio} / Ecovisor {eco_ratio}"
+    );
+}
+
+/// Figure 15/16: regional variability governs savings — South Australia
+/// saves a large fraction, Kentucky almost nothing, and waiting time is
+/// essentially region-invariant.
+#[test]
+fn regional_variability_governs_savings() {
+    let trace = TraceFamily::AlibabaPai.year_long(3_000, 42);
+    let config = ClusterConfig::default().with_billing_horizon(Minutes::from_days(368));
+    let mut savings = Vec::new();
+    let mut waits = Vec::new();
+    for region in [Region::SouthAustralia, Region::Kentucky] {
+        let carbon = synthesize_region(region, 42);
+        let nowait = runner::run_spec(
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            &trace,
+            &carbon,
+            config,
+        );
+        let ct = runner::run_spec(
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+            &trace,
+            &carbon,
+            config,
+        );
+        savings.push(1.0 - ct.carbon_g / nowait.carbon_g);
+        waits.push(ct.mean_wait_hours);
+    }
+    let (sa, ky) = (savings[0], savings[1]);
+    assert!(sa > 0.15, "South Australia saves a lot ({sa})");
+    assert!(ky < 0.05, "Kentucky saves almost nothing ({ky})");
+    // Waiting similar across regions (within an hour).
+    assert!((waits[0] - waits[1]).abs() < 1.0, "waits {waits:?}");
+}
+
+/// Figure 18: with evictions, extending the spot cap to long jobs raises
+/// carbon (recomputation) relative to the eviction-free run.
+#[test]
+fn figure18_evictions_penalize_long_spot_jobs() {
+    let trace = TraceFamily::AzureVm.year_long(3_000, 42);
+    let carbon = synthesize_region(Region::SouthAustralia, 42);
+    let spec = PolicySpec {
+        base: BasePolicyKind::CarbonTime,
+        res_first: false,
+        spot: Some(SpotConfig { j_max: Minutes::from_hours(24) }),
+    };
+    let billing = ClusterConfig::default().with_billing_horizon(Minutes::from_days(368));
+    let clean = runner::run_spec(spec, &trace, &carbon, billing);
+    let evicted = runner::run_spec(
+        spec,
+        &trace,
+        &carbon,
+        billing.with_eviction(EvictionModel::hourly(0.15)).with_seed(7),
+    );
+    assert_eq!(clean.evictions, 0);
+    assert!(evicted.evictions > 100, "15%/h must evict many 24h-capped jobs");
+    assert!(
+        evicted.carbon_g > 1.02 * clean.carbon_g,
+        "lost progress burns extra carbon ({} vs {})",
+        evicted.carbon_g,
+        clean.carbon_g
+    );
+    assert!(evicted.total_cost > clean.total_cost, "recomputation costs money");
+}
+
+/// §6.1's sanity: every policy respects its queue's maximum waiting time
+/// for the *start* of execution (uninterruptible policies).
+#[test]
+fn waiting_limits_are_respected() {
+    let (trace, carbon, config) = week_setup();
+    for kind in [
+        BasePolicyKind::NoWait,
+        BasePolicyKind::LowestSlot,
+        BasePolicyKind::LowestWindow,
+        BasePolicyKind::CarbonTime,
+    ] {
+        let report =
+            runner::run_spec_report(PolicySpec::plain(kind), &trace, &carbon, config);
+        for outcome in &report.jobs {
+            let max_wait = if outcome.job.length <= Minutes::from_hours(2) {
+                Minutes::from_hours(6)
+            } else {
+                Minutes::from_hours(24)
+            };
+            let delay = outcome.first_start.saturating_since(outcome.job.arrival);
+            assert!(
+                delay <= max_wait,
+                "{}: {} delayed {delay} beyond {max_wait}",
+                kind.name(),
+                outcome.job.id
+            );
+        }
+    }
+}
