@@ -15,9 +15,7 @@ fn bench_carbon_queries(c: &mut Criterion) {
 
     c.bench_function("window_avg_90min_unaligned", |b| {
         b.iter(|| {
-            black_box(
-                trace.window_avg(black_box(start + Minutes::new(17)), Minutes::new(90)),
-            )
+            black_box(trace.window_avg(black_box(start + Minutes::new(17)), Minutes::new(90)))
         })
     });
 

@@ -4,6 +4,11 @@
 //! 2. job-length knowledge model (exact vs queue-average vs queue-max);
 //! 3. work-conserving early start in RES-First (on vs off);
 //! 4. forecast quality (perfect vs increasingly noisy).
+//!
+//! The ablation cells are not expressible as [`PolicySpec`] grid points
+//! (they tweak scheduler internals), so this binary drives the generic
+//! [`gaia_sweep::Executor`] directly: every cell runs as one worker-pool
+//! job and the results merge back in declaration order.
 
 use bench::{banner, carbon, week_billing, week_trace};
 use gaia_carbon::{NoisyForecaster, Region};
@@ -12,74 +17,124 @@ use gaia_core::{CarbonTime, GaiaScheduler, JobLengthKnowledge, LowestWindow};
 use gaia_metrics::table::TextTable;
 use gaia_metrics::{runner, Summary};
 use gaia_sim::{ClusterConfig, Simulation};
+use gaia_sweep::Executor;
 use gaia_time::Minutes;
 
+/// One ablation cell: which internal knob to turn.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// Carbon-Time with a start-time scan step in minutes.
+    ScanStep(u64),
+    /// Lowest-Window under a job-length knowledge model.
+    Knowledge(&'static str, JobLengthKnowledge),
+    /// Carbon-Time on a 9-reserved cluster, strict or work-conserving.
+    WorkConserving(bool),
+    /// Carbon-Time under forecast noise of this standard deviation.
+    ForecastNoise(&'static str, f64),
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        match *self {
+            Cell::ScanStep(step) => format!("{step} min"),
+            Cell::Knowledge(name, _) => name.to_owned(),
+            Cell::WorkConserving(false) => "strict t_start".to_owned(),
+            Cell::WorkConserving(true) => "work-conserving (RES-First)".to_owned(),
+            Cell::ForecastNoise(name, _) => name.to_owned(),
+        }
+    }
+}
+
 fn main() {
-    banner("Ablations", "Design-choice studies (week-long Alibaba-PAI, SA-AU).");
+    banner(
+        "Ablations",
+        "Design-choice studies (week-long Alibaba-PAI, SA-AU).",
+    );
     let ci = carbon(Region::SouthAustralia);
     let trace = week_trace();
     let queues = runner::default_queues(&trace);
     let config = ClusterConfig::default().with_billing_horizon(week_billing());
+
+    let cells = vec![
+        Cell::ScanStep(1),
+        Cell::ScanStep(10),
+        Cell::ScanStep(60),
+        Cell::Knowledge("exact J", JobLengthKnowledge::Exact),
+        Cell::Knowledge("queue average", JobLengthKnowledge::QueueAverage),
+        Cell::Knowledge("queue max", JobLengthKnowledge::QueueMax),
+        Cell::WorkConserving(false),
+        Cell::WorkConserving(true),
+        Cell::ForecastNoise("perfect", 0.0),
+        Cell::ForecastNoise("sd 0.1", 0.1),
+        Cell::ForecastNoise("sd 0.3", 0.3),
+        Cell::ForecastNoise("sd 0.6", 0.6),
+    ];
+
+    // The NoWait normalization baseline plus every ablation cell, all
+    // through the same worker pool.
     let nowait = runner::run_spec(
         PolicySpec::plain(BasePolicyKind::NoWait),
         &trace,
         &ci,
         config,
     );
-    let report = |name: &str, summary: &Summary, table: &mut TextTable| {
-        table.row(vec![
-            name.to_owned(),
-            format!("{:.3}", summary.carbon_g / nowait.carbon_g),
-            format!("{:.2}", summary.mean_wait_hours),
-        ]);
+    let executor = Executor::available().with_progress(false);
+    let summaries = executor.run("ablations", cells.clone(), |_, cell| match *cell {
+        Cell::ScanStep(step) => {
+            let mut scheduler =
+                GaiaScheduler::new(CarbonTime::new(queues).with_scan_step(Minutes::new(step)));
+            Summary::of(
+                "",
+                &Simulation::new(config, &ci).run(&trace, &mut scheduler),
+            )
+        }
+        Cell::Knowledge(_, knowledge) => {
+            let mut scheduler =
+                GaiaScheduler::new(LowestWindow::new(queues).with_knowledge(knowledge));
+            Summary::of(
+                "",
+                &Simulation::new(config, &ci).run(&trace, &mut scheduler),
+            )
+        }
+        Cell::WorkConserving(conserving) => {
+            let spec = if conserving {
+                PolicySpec::res_first(BasePolicyKind::CarbonTime)
+            } else {
+                PolicySpec::plain(BasePolicyKind::CarbonTime)
+            };
+            runner::run_spec(spec, &trace, &ci, config.with_reserved(9))
+        }
+        Cell::ForecastNoise(_, sd) => {
+            let forecaster = NoisyForecaster::new(&ci, sd, 7);
+            let mut scheduler = GaiaScheduler::new(CarbonTime::new(queues));
+            let run = Simulation::new(config, &ci)
+                .with_forecaster(&forecaster)
+                .run(&trace, &mut scheduler);
+            Summary::of("", &run)
+        }
+    });
+
+    let section = |title: &str, picks: std::ops::Range<usize>| {
+        println!("{title}");
+        let mut table = TextTable::new(vec!["variant", "carbon/NoWait", "wait (h)"]);
+        for index in picks {
+            table.row(vec![
+                cells[index].label(),
+                format!("{:.3}", summaries[index].carbon_g / nowait.carbon_g),
+                format!("{:.2}", summaries[index].mean_wait_hours),
+            ]);
+        }
+        println!("{table}");
     };
 
-    // 1. Scan granularity.
-    println!("(1) start-time scan granularity, Carbon-Time:");
-    let mut table = TextTable::new(vec!["scan step", "carbon/NoWait", "wait (h)"]);
-    for step in [1u64, 10, 60] {
-        let mut scheduler =
-            GaiaScheduler::new(CarbonTime::new(queues).with_scan_step(Minutes::new(step)));
-        let run = Simulation::new(config, &ci).run(&trace, &mut scheduler);
-        report(&format!("{step} min"), &Summary::of("", &run), &mut table);
-    }
-    println!("{table}");
-
-    // 2. Knowledge model.
-    println!("(2) job-length knowledge, Lowest-Window:");
-    let mut table = TextTable::new(vec!["knowledge", "carbon/NoWait", "wait (h)"]);
-    for (name, knowledge) in [
-        ("exact J", JobLengthKnowledge::Exact),
-        ("queue average", JobLengthKnowledge::QueueAverage),
-        ("queue max", JobLengthKnowledge::QueueMax),
-    ] {
-        let mut scheduler =
-            GaiaScheduler::new(LowestWindow::new(queues).with_knowledge(knowledge));
-        let run = Simulation::new(config, &ci).run(&trace, &mut scheduler);
-        report(name, &Summary::of("", &run), &mut table);
-    }
-    println!("{table}");
-
-    // 3. Work conservation.
-    println!("(3) work-conserving early start, Carbon-Time with 9 reserved:");
-    let reserved_config = config.with_reserved(9);
-    let mut table =
-        TextTable::new(vec!["variant", "carbon/NoWait", "wait (h)"]);
-    let plain = runner::run_spec(
-        PolicySpec::plain(BasePolicyKind::CarbonTime),
-        &trace,
-        &ci,
-        reserved_config,
+    section("(1) start-time scan granularity, Carbon-Time:", 0..3);
+    section("(2) job-length knowledge, Lowest-Window:", 3..6);
+    section(
+        "(3) work-conserving early start, Carbon-Time with 9 reserved:",
+        6..8,
     );
-    let conserving = runner::run_spec(
-        PolicySpec::res_first(BasePolicyKind::CarbonTime),
-        &trace,
-        &ci,
-        reserved_config,
-    );
-    report("strict t_start", &plain, &mut table);
-    report("work-conserving (RES-First)", &conserving, &mut table);
-    println!("{table}");
+    let plain = &summaries[6];
+    let conserving = &summaries[7];
     println!(
         "  cost: strict ${:.2} vs work-conserving ${:.2} (utilization {:.2} vs {:.2})\n",
         plain.total_cost,
@@ -87,17 +142,8 @@ fn main() {
         plain.reserved_utilization,
         conserving.reserved_utilization
     );
-
-    // 4. Forecast quality.
-    println!("(4) forecast quality, Carbon-Time (sd at 24 h lead):");
-    let mut table = TextTable::new(vec!["forecast", "carbon/NoWait", "wait (h)"]);
-    for (name, sd) in [("perfect", 0.0), ("sd 0.1", 0.1), ("sd 0.3", 0.3), ("sd 0.6", 0.6)] {
-        let forecaster = NoisyForecaster::new(&ci, sd, 7);
-        let mut scheduler = GaiaScheduler::new(CarbonTime::new(queues));
-        let run = Simulation::new(config, &ci)
-            .with_forecaster(&forecaster)
-            .run(&trace, &mut scheduler);
-        report(name, &Summary::of("", &run), &mut table);
-    }
-    println!("{table}");
+    section(
+        "(4) forecast quality, Carbon-Time (sd at 24 h lead):",
+        8..12,
+    );
 }

@@ -7,8 +7,8 @@ use bench::{banner, carbon, year_billing, year_trace};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_core::SpotConfig;
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::{CheckpointConfig, ClusterConfig, EvictionModel};
 use gaia_time::Minutes;
 use gaia_workload::synth::TraceFamily;
@@ -25,16 +25,13 @@ fn main() {
     let ci = carbon(Region::SouthAustralia);
     let trace = year_trace(TraceFamily::AzureVm);
     let base = ClusterConfig::default().with_billing_horizon(year_billing());
-    let nowait = runner::run_spec(
-        PolicySpec::plain(BasePolicyKind::NoWait),
-        &trace,
-        &ci,
-        base,
-    );
+    let nowait = runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, base);
     let spec = PolicySpec {
         base: BasePolicyKind::CarbonTime,
         res_first: false,
-        spot: Some(SpotConfig { j_max: Minutes::from_hours(24) }),
+        spot: Some(SpotConfig {
+            j_max: Minutes::from_hours(24),
+        }),
     };
 
     for rate in [0.05, 0.10, 0.15] {
@@ -47,12 +44,7 @@ fn main() {
             "mean wait (h)",
         ]);
         let eviction = EvictionModel::hourly(rate);
-        let no_cp = runner::run_spec(
-            spec,
-            &trace,
-            &ci,
-            base.with_eviction(eviction).with_seed(7),
-        );
+        let no_cp = runner::run_spec(spec, &trace, &ci, base.with_eviction(eviction).with_seed(7));
         table.row(vec![
             "none (paper)".into(),
             format!("{:.3}", no_cp.total_cost / nowait.total_cost),
@@ -70,7 +62,9 @@ fn main() {
                 spec,
                 &trace,
                 &ci,
-                base.with_eviction(eviction).with_checkpointing(cp).with_seed(7),
+                base.with_eviction(eviction)
+                    .with_checkpointing(cp)
+                    .with_seed(7),
             );
             table.row(vec![
                 format!("every {interval_h} h"),

@@ -27,14 +27,20 @@ fn main() {
     let trace = week_trace();
     let scenarios = [
         ("none (paper simulator)", InstanceOverheads::none()),
-        ("2 min boot + 1 min teardown", InstanceOverheads {
-            startup: gaia_time::Minutes::new(2),
-            teardown: gaia_time::Minutes::new(1),
-        }),
-        ("5 min boot + 2 min teardown", InstanceOverheads {
-            startup: gaia_time::Minutes::new(5),
-            teardown: gaia_time::Minutes::new(2),
-        }),
+        (
+            "2 min boot + 1 min teardown",
+            InstanceOverheads {
+                startup: gaia_time::Minutes::new(2),
+                teardown: gaia_time::Minutes::new(1),
+            },
+        ),
+        (
+            "5 min boot + 2 min teardown",
+            InstanceOverheads {
+                startup: gaia_time::Minutes::new(5),
+                teardown: gaia_time::Minutes::new(2),
+            },
+        ),
     ];
     for (label, overheads) in scenarios {
         println!("overheads: {label}");
@@ -44,8 +50,12 @@ fn main() {
             .with_overheads(overheads);
         let rows = runner::run_specs(&figure10_policies(), &trace, &ci, config);
         let normalized = normalize_to_max(&rows);
-        let mut table =
-            TextTable::new(vec!["policy", "carbon (norm)", "cost (norm)", "waiting (norm)"]);
+        let mut table = TextTable::new(vec![
+            "policy",
+            "carbon (norm)",
+            "cost (norm)",
+            "waiting (norm)",
+        ]);
         for (row, norm) in rows.iter().zip(&normalized) {
             table.row(vec![
                 row.name.clone(),

@@ -49,12 +49,8 @@ fn main() {
         "wait (h)",
     ]);
     for weight in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let mut scheduler = GaiaScheduler::new(PriceAware::new(
-            queues,
-            price.clone(),
-            weight,
-            ci.mean(),
-        ));
+        let mut scheduler =
+            GaiaScheduler::new(PriceAware::new(queues, price.clone(), weight, ci.mean()));
         let report = Simulation::new(config, &ci).run(&trace, &mut scheduler);
         let summary = Summary::of("Price-Aware", &report);
         table.row(vec![

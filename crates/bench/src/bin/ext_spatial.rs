@@ -6,8 +6,8 @@
 use bench::{banner, carbon, week_billing, week_trace};
 use gaia_carbon::{CarbonTrace, Region};
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::ClusterConfig;
 use gaia_time::Minutes;
 use gaia_workload::{QueueSet, WorkloadTrace};
@@ -34,8 +34,12 @@ fn main() {
     let queues = QueueSet::paper_defaults().with_averages_from(workload.jobs());
     let config = ClusterConfig::default().with_billing_horizon(week_billing());
 
-    let mut table =
-        TextTable::new(vec!["placement", "carbon (kg)", "carbon/best-single", "wait (h)"]);
+    let mut table = TextTable::new(vec![
+        "placement",
+        "carbon (kg)",
+        "carbon/best-single",
+        "wait (h)",
+    ]);
 
     // Single-region references.
     let mut single: Vec<(Region, f64, f64)> = Vec::new();
@@ -48,8 +52,10 @@ fn main() {
         );
         single.push((*region, summary.carbon_g, summary.mean_wait_hours));
     }
-    let best_single =
-        single.iter().map(|&(_, c, _)| c).fold(f64::INFINITY, f64::min);
+    let best_single = single
+        .iter()
+        .map(|&(_, c, _)| c)
+        .fold(f64::INFINITY, f64::min);
 
     // Greedy placement: region with the lowest best reachable window
     // average for this job's estimated length within its waiting budget.
@@ -110,7 +116,13 @@ fn main() {
     let shares: Vec<String> = regions
         .iter()
         .zip(&per_region)
-        .map(|(r, jobs)| format!("{}: {:.0}%", r.code(), jobs.len() as f64 * 100.0 / workload.len() as f64))
+        .map(|(r, jobs)| {
+            format!(
+                "{}: {:.0}%",
+                r.code(),
+                jobs.len() as f64 * 100.0 / workload.len() as f64
+            )
+        })
         .collect();
     println!("job placement: {}", shares.join(", "));
     println!(

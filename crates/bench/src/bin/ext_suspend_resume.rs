@@ -55,9 +55,18 @@ fn main() {
         ]);
     }
     println!("{table}");
-    let ct = rows.iter().find(|r| r.name == "Carbon-Time").expect("present");
-    let sr = rows.iter().find(|r| r.name == "Carbon-Time-SR").expect("present");
-    let wa = rows.iter().find(|r| r.name == "Wait Awhile").expect("present");
+    let ct = rows
+        .iter()
+        .find(|r| r.name == "Carbon-Time")
+        .expect("present");
+    let sr = rows
+        .iter()
+        .find(|r| r.name == "Carbon-Time-SR")
+        .expect("present");
+    let wa = rows
+        .iter()
+        .find(|r| r.name == "Wait Awhile")
+        .expect("present");
     println!(
         "Carbon-Time-SR saves {:.1}% more carbon than Carbon-Time for {:+.1} h extra waiting;",
         (ct.carbon_g - sr.carbon_g) / nowait_carbon * 100.0,

@@ -45,10 +45,14 @@ fn main() {
         }
         max_temporal = max_temporal.max(hi / lo);
         means.push(sum / window.as_hours_f64());
-        println!("{region:>6}: mean {:.0} range {lo:.0}..{hi:.0} (x{:.2} temporal)", sum / 72.0, hi / lo);
+        println!(
+            "{region:>6}: mean {:.0} range {lo:.0}..{hi:.0} (x{:.2} temporal)",
+            sum / 72.0,
+            hi / lo
+        );
     }
-    let spatial =
-        means.iter().cloned().fold(0.0, f64::max) / means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let spatial = means.iter().cloned().fold(0.0, f64::max)
+        / means.iter().cloned().fold(f64::INFINITY, f64::min);
     println!();
     println!("spatial variation across regions: x{spatial:.1} (paper: ~9x)");
     println!("max temporal variation within a day-window: x{max_temporal:.2} (paper: up to 3.37x)");

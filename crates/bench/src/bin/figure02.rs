@@ -44,8 +44,7 @@ fn main() {
         let rel = relative_to(&wa, &nowait);
 
         println!("--- {} ({}) ---", region.name(), region);
-        let mut table =
-            TextTable::new(vec!["metric", "original", "wait-awhile", "relative"]);
+        let mut table = TextTable::new(vec!["metric", "original", "wait-awhile", "relative"]);
         table.row(vec![
             "carbon (kg)".into(),
             format!("{:.1}", nowait.carbon_kg()),
@@ -62,7 +61,10 @@ fn main() {
             "completion (h)".into(),
             format!("{:.2}", nowait.mean_completion_hours),
             format!("{:.2}", wa.mean_completion_hours),
-            format!("{:.2}x", wa.mean_completion_hours / nowait.mean_completion_hours),
+            format!(
+                "{:.2}x",
+                wa.mean_completion_hours / nowait.mean_completion_hours
+            ),
         ]);
         println!("{table}");
 
@@ -86,8 +88,9 @@ fn print_demand(original: &SimReport, carbon_aware: &SimReport) {
     let bucket = 6;
     for start in (0..hours).step_by(bucket) {
         let avg = |lane: &[f64]| {
-            let slice: Vec<f64> =
-                (start..(start + bucket).min(hours)).map(|h| *lane.get(h).unwrap_or(&0.0)).collect();
+            let slice: Vec<f64> = (start..(start + bucket).min(hours))
+                .map(|h| *lane.get(h).unwrap_or(&0.0))
+                .collect();
             slice.iter().sum::<f64>() / slice.len().max(1) as f64
         };
         table.row(vec![

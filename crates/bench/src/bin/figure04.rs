@@ -8,8 +8,8 @@
 use bench::{banner, carbon, week_billing, week_trace};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::ClusterConfig;
 
 fn main() {
@@ -23,9 +23,7 @@ fn main() {
     let curve = trace.demand_curve();
     let base_demand = curve.quantile(0.10);
     let mean_demand = trace.mean_demand();
-    println!(
-        "base (p10) demand ≈ {base_demand:.1} CPUs, mean demand ≈ {mean_demand:.1} CPUs\n"
-    );
+    println!("base (p10) demand ≈ {base_demand:.1} CPUs, mean demand ≈ {mean_demand:.1} CPUs\n");
 
     let nowait = runner::run_spec(
         PolicySpec::plain(BasePolicyKind::NoWait),

@@ -77,7 +77,10 @@ fn main() {
     println!("(b) CPU-demand CDF:");
     println!("{table}");
 
-    let tiny = original.iter().filter(|j| j.length < Minutes::new(5)).count() as f64
+    let tiny = original
+        .iter()
+        .filter(|j| j.length < Minutes::new(5))
+        .count() as f64
         / original.len() as f64;
     let tiny_compute: u64 = original
         .iter()

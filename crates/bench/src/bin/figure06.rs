@@ -14,7 +14,13 @@ fn main() {
          SA-AU & CA-US & NL medium/variable, KY-US high/stable.",
     );
     let mut table = TextTable::new(vec![
-        "region", "mean", "min", "max", "cov", "level", "variability",
+        "region",
+        "mean",
+        "min",
+        "max",
+        "cov",
+        "level",
+        "variability",
     ]);
     for region in Region::ALL {
         let stats = TraceStats::of(&carbon(region));

@@ -29,5 +29,8 @@ fn main() {
     println!("{table}");
     let july = sa[6].expect("july");
     let december = sa[11].expect("december");
-    println!("SA-AU December/July ratio: {:.2}x (paper: ~2x)", december / july);
+    println!(
+        "SA-AU December/July ratio: {:.2}x (paper: ~2x)",
+        december / july
+    );
 }

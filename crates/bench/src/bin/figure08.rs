@@ -42,7 +42,11 @@ fn main() {
     }
     println!("{table}");
 
-    let by_name = |name: &str| rows.iter().find(|r| r.name == name).expect("policy present");
+    let by_name = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .expect("policy present")
+    };
     let lowest_window = by_name("Lowest-Window");
     let wait_awhile = by_name("Wait Awhile");
     let ecovisor = by_name("Ecovisor");

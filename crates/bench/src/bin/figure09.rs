@@ -48,7 +48,8 @@ fn main() {
     let mut table = TextTable::new(vec!["job length <=", "cumulative reduction share"]);
     for (label, bound) in grid {
         let share = cdf
-            .iter().rfind(|p| p.length.as_minutes() <= bound)
+            .iter()
+            .rfind(|p| p.length.as_minutes() <= bound)
             .map_or(0.0, |p| p.cumulative_share);
         table.row(vec![label.into(), format!("{:.3}", share)]);
     }
@@ -57,8 +58,14 @@ fn main() {
     let band = |lo, hi| {
         reduction_share_in_length_band(&baseline, &run, Minutes::new(lo), Minutes::new(hi))
     };
-    println!("share from jobs <=1h:   {:.1}% (paper ~10%)", band(0, 60) * 100.0);
-    println!("share from jobs 3-12h:  {:.1}% (paper ~50%)", band(180, 720) * 100.0);
+    println!(
+        "share from jobs <=1h:   {:.1}% (paper ~10%)",
+        band(0, 60) * 100.0
+    );
+    println!(
+        "share from jobs 3-12h:  {:.1}% (paper ~50%)",
+        band(180, 720) * 100.0
+    );
     println!(
         "share from jobs >24h:   {:.1}% (paper ~7.5%)",
         band(1440, u64::MAX / 2) * 100.0

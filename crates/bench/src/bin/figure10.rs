@@ -45,7 +45,11 @@ fn main() {
     }
     println!("{table}");
 
-    let by_name = |name: &str| rows.iter().find(|r| r.name == name).expect("policy present");
+    let by_name = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .expect("policy present")
+    };
     let ct = by_name("Carbon-Time");
     let res_ct = by_name("RES-First-Carbon-Time");
     let nowait = by_name("NoWait");

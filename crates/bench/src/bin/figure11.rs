@@ -5,8 +5,8 @@
 use bench::{banner, carbon, week_billing, week_trace};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::ClusterConfig;
 
 fn main() {

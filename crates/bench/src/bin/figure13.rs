@@ -1,14 +1,17 @@
 //! Figure 13: normalized carbon and waiting time across the three
 //! year-long workload traces for four carbon-aware policies, in US
 //! California.
+//!
+//! Runs through the gaia-sweep engine: one grid over (families ×
+//! policies), fanned across workers, merged in grid order so the output
+//! is identical to the former serial loop.
 
-use bench::{banner, carbon, year_billing, year_trace};
+use bench::{banner, year_jobs, CARBON_SEED};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::normalize_to_max;
 use gaia_metrics::table::TextTable;
-use gaia_metrics::{normalize_to_max, runner};
-use gaia_sim::ClusterConfig;
-use gaia_workload::synth::TraceFamily;
+use gaia_sweep::{Executor, SweepGrid, TraceFamily};
 
 fn main() {
     banner(
@@ -20,28 +23,32 @@ fn main() {
          lengths); Carbon-Time cuts waiting ~20% vs Lowest-Window at similar\n\
          carbon.",
     );
-    let ci = carbon(Region::California);
-    let specs = [
+    let policies = vec![
+        PolicySpec::plain(BasePolicyKind::NoWait),
         PolicySpec::plain(BasePolicyKind::LowestWindow),
         PolicySpec::plain(BasePolicyKind::CarbonTime),
         PolicySpec::plain(BasePolicyKind::Ecovisor),
         PolicySpec::plain(BasePolicyKind::WaitAwhile),
     ];
-    let config = ClusterConfig::default().with_billing_horizon(year_billing());
+    let grid = SweepGrid::year(year_jobs(), 368)
+        .policies(policies.clone())
+        .regions(vec![Region::California])
+        .families(TraceFamily::ALL.to_vec())
+        .seeds(vec![CARBON_SEED]);
+    let run = gaia_sweep::run_grid(&grid, &Executor::available());
 
-    for family in TraceFamily::ALL {
-        let trace = year_trace(family);
-        let mut rows = vec![runner::run_spec(
-            PolicySpec::plain(BasePolicyKind::NoWait),
-            &trace,
-            &ci,
-            config,
-        )];
-        rows.extend(runner::run_specs(&specs, &trace, &ci, config));
+    // Grid order is families-outer, policies-inner: one contiguous
+    // chunk of summaries per family, NoWait first.
+    for (chunk, family) in run.summaries().chunks(policies.len()).zip(TraceFamily::ALL) {
+        let rows = chunk.to_vec();
         let normalized = normalize_to_max(&rows);
-        println!("--- {} ({} jobs) ---", family.name(), trace.len());
-        let mut table =
-            TextTable::new(vec!["policy", "carbon (norm)", "waiting (norm)", "wait (h)"]);
+        println!("--- {} ({} jobs) ---", family.name(), rows[0].jobs);
+        let mut table = TextTable::new(vec![
+            "policy",
+            "carbon (norm)",
+            "waiting (norm)",
+            "wait (h)",
+        ]);
         for (row, norm) in rows.iter().zip(&normalized) {
             table.row(vec![
                 row.name.clone(),

@@ -40,8 +40,10 @@ fn main() {
             "CT carbon save%",
         ]);
         for &(ws, wl) in waits {
-            let queues = runner::default_queues(&trace)
-                .with_waits(Minutes::from_hours(ws.max(1)), Minutes::from_hours(wl.max(1)));
+            let queues = runner::default_queues(&trace).with_waits(
+                Minutes::from_hours(ws.max(1)),
+                Minutes::from_hours(wl.max(1)),
+            );
             let run = |kind| {
                 let report = runner::run_spec_report_with_queues(
                     PolicySpec::plain(kind),
@@ -66,10 +68,14 @@ fn main() {
         println!("{table}");
     };
 
-    let short_sweep: Vec<(u64, u64)> =
-        [1u64, 3, 6, 9, 12, 15, 18, 21, 24].iter().map(|&w| (w, 24)).collect();
+    let short_sweep: Vec<(u64, u64)> = [1u64, 3, 6, 9, 12, 15, 18, 21, 24]
+        .iter()
+        .map(|&w| (w, 24))
+        .collect();
     sweep("a: varying W_short, W_long = 24 h", &short_sweep);
-    let long_sweep: Vec<(u64, u64)> =
-        [1u64, 12, 24, 36, 48, 60, 72, 84].iter().map(|&w| (6, w)).collect();
+    let long_sweep: Vec<(u64, u64)> = [1u64, 12, 24, 36, 48, 60, 72, 84]
+        .iter()
+        .map(|&w| (6, w))
+        .collect();
     sweep("b: varying W_long, W_short = 6 h", &long_sweep);
 }

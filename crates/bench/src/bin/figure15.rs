@@ -1,13 +1,15 @@
 //! Figure 15: normalized carbon emissions across workloads and regions
 //! under the Carbon-Time policy.
+//!
+//! Runs through the gaia-sweep engine as one (regions × families ×
+//! {NoWait, Carbon-Time}) grid; the shared trace cache synthesizes each
+//! year-long workload once instead of once per region.
 
-use bench::{banner, carbon, year_billing, year_trace};
+use bench::{banner, year_jobs, CARBON_SEED};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_metrics::table::TextTable;
-use gaia_metrics::runner;
-use gaia_sim::ClusterConfig;
-use gaia_workload::synth::TraceFamily;
+use gaia_sweep::{Executor, SweepGrid, TraceFamily};
 
 fn main() {
     banner(
@@ -24,26 +26,32 @@ fn main() {
         Region::Netherlands,
         Region::Kentucky,
     ];
-    let config = ClusterConfig::default().with_billing_horizon(year_billing());
-    let mut table = TextTable::new(vec!["region", "Mustang", "Alibaba", "Azure", "wait (h, Alibaba)"]);
+    let grid = SweepGrid::year(year_jobs(), 368)
+        .policies(vec![
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+        ])
+        .regions(regions.to_vec())
+        .families(TraceFamily::ALL.to_vec())
+        .seeds(vec![CARBON_SEED]);
+    let run = gaia_sweep::run_grid(&grid, &Executor::available());
+
+    // Grid order: regions outer, families next, the (NoWait,
+    // Carbon-Time) pair inner — two summaries per (region, family).
+    let mut pairs = run.summaries().into_iter();
+    let mut table = TextTable::new(vec![
+        "region",
+        "Mustang",
+        "Alibaba",
+        "Azure",
+        "wait (h, Alibaba)",
+    ]);
     for region in regions {
-        let ci = carbon(region);
         let mut cells = vec![region.code().to_owned()];
         let mut alibaba_wait = 0.0;
         for family in TraceFamily::ALL {
-            let trace = year_trace(family);
-            let nowait = runner::run_spec(
-                PolicySpec::plain(BasePolicyKind::NoWait),
-                &trace,
-                &ci,
-                config,
-            );
-            let ct = runner::run_spec(
-                PolicySpec::plain(BasePolicyKind::CarbonTime),
-                &trace,
-                &ci,
-                config,
-            );
+            let nowait = pairs.next().expect("grid covers every (region, family)");
+            let ct = pairs.next().expect("grid covers every (region, family)");
             if family == TraceFamily::AlibabaPai {
                 alibaba_wait = ct.mean_wait_hours;
             }

@@ -5,8 +5,8 @@
 use bench::{banner, carbon, year_billing, year_trace};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::ClusterConfig;
 use gaia_workload::synth::TraceFamily;
 
@@ -35,10 +35,18 @@ fn main() {
     ]);
     for region in regions {
         let ci = carbon(region);
-        let nowait =
-            runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
-        let ct =
-            runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
+        let nowait = runner::run_spec(
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            &trace,
+            &ci,
+            config,
+        );
+        let ct = runner::run_spec(
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+            &trace,
+            &ci,
+            config,
+        );
         table.row(vec![
             region.code().into(),
             format!("{:.3}", ct.carbon_g / nowait.carbon_g),

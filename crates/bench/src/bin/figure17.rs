@@ -36,9 +36,16 @@ fn main() {
             .with_billing_horizon(year_billing());
         let rows = runner::run_specs(&specs, &trace, &ci, config);
         let normalized = normalize_to_max(&rows);
-        println!("--- {} (R = {reserved}, demand CoV {cov:.2}) ---", family.name());
-        let mut table =
-            TextTable::new(vec!["policy", "cost (norm)", "carbon (norm)", "reserved util"]);
+        println!(
+            "--- {} (R = {reserved}, demand CoV {cov:.2}) ---",
+            family.name()
+        );
+        let mut table = TextTable::new(vec![
+            "policy",
+            "cost (norm)",
+            "carbon (norm)",
+            "reserved util",
+        ]);
         for (row, norm) in rows.iter().zip(&normalized) {
             table.row(vec![
                 row.name.clone(),

@@ -6,8 +6,8 @@ use bench::{banner, carbon, year_billing, year_trace};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_core::SpotConfig;
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::{ClusterConfig, EvictionModel};
 use gaia_time::Minutes;
 use gaia_workload::synth::TraceFamily;
@@ -45,9 +45,13 @@ fn main() {
             let spec = PolicySpec {
                 base: BasePolicyKind::CarbonTime,
                 res_first: false,
-                spot: Some(SpotConfig { j_max: Minutes::from_hours(j_max) }),
+                spot: Some(SpotConfig {
+                    j_max: Minutes::from_hours(j_max),
+                }),
             };
-            let config = base_config.with_eviction(EvictionModel::hourly(rate)).with_seed(7);
+            let config = base_config
+                .with_eviction(EvictionModel::hourly(rate))
+                .with_seed(7);
             let run = runner::run_spec(spec, &trace, &ci, config);
             cost_cells.push(format!("{:.3}", run.total_cost / nowait.total_cost));
             carbon_cells.push(format!("{:.3}", run.carbon_g / nowait.carbon_g));

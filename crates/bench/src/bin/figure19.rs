@@ -6,8 +6,8 @@ use bench::{banner, carbon, reserved_at_mean_demand, year_billing, year_trace};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_core::SpotConfig;
-use gaia_metrics::table::TextTable;
 use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
 use gaia_sim::{ClusterConfig, EvictionModel};
 use gaia_time::Minutes;
 use gaia_workload::synth::TraceFamily;
@@ -52,7 +52,9 @@ fn main() {
             let spec = PolicySpec {
                 base: BasePolicyKind::CarbonTime,
                 res_first: true,
-                spot: j_max.map(|h| SpotConfig { j_max: Minutes::from_hours(h) }),
+                spot: j_max.map(|h| SpotConfig {
+                    j_max: Minutes::from_hours(h),
+                }),
             };
             let config = base_config
                 .with_reserved(reserved)

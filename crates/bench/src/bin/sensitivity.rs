@@ -3,15 +3,17 @@
 //! mean ± standard deviation. The paper reports single trace replays;
 //! this binary checks that none of its qualitative conclusions ride on a
 //! particular random draw.
+//!
+//! Runs through the gaia-sweep engine as one (seeds × policies) grid;
+//! [`gaia_sweep::across_seed_groups`] folds the replicates into the
+//! same per-policy statistics the former serial loop produced.
 
-use bench::{banner, week_billing};
-use gaia_carbon::synth::synthesize_region;
+use bench::banner;
 use gaia_carbon::Region;
 use gaia_core::catalog::{figure10_policies, PolicySpec};
 use gaia_metrics::table::TextTable;
-use gaia_metrics::{across_seeds, pareto_front, runner, Summary, TradeOffPoint};
-use gaia_sim::ClusterConfig;
-use gaia_workload::synth::TraceFamily;
+use gaia_metrics::{pareto_front, TradeOffPoint};
+use gaia_sweep::{ClusterSpec, Executor, SweepGrid};
 
 fn main() {
     banner(
@@ -20,20 +22,14 @@ fn main() {
          independent (workload, carbon) seed pairs. Reported as mean ± std;\n\
          the policy orderings should be stable.",
     );
-    let seeds = [11u64, 22, 33, 44, 55];
     let specs = figure10_policies();
-    let mut replicates: Vec<Vec<Summary>> = vec![Vec::new(); specs.len()];
-    for &seed in &seeds {
-        let ci = synthesize_region(Region::SouthAustralia, seed);
-        let trace = TraceFamily::AlibabaPai.week_long_1k(seed);
-        let config = ClusterConfig::default()
-            .with_reserved(9)
-            .with_billing_horizon(week_billing())
-            .with_seed(seed);
-        for (spec_idx, &spec) in specs.iter().enumerate() {
-            replicates[spec_idx].push(runner::run_spec(spec, &trace, &ci, config));
-        }
-    }
+    let grid = SweepGrid::week(9)
+        .policies(specs.clone())
+        .regions(vec![Region::SouthAustralia])
+        .seeds(vec![11, 22, 33, 44, 55])
+        .clusters(vec![ClusterSpec::on_demand(9).with_reserved(9)]);
+    let run = gaia_sweep::run_grid(&grid, &Executor::available());
+    let groups = gaia_sweep::across_seed_groups(&run);
 
     let mut table = TextTable::new(vec![
         "policy",
@@ -43,8 +39,8 @@ fn main() {
         "carbon CoV",
     ]);
     let mut points = Vec::new();
-    for runs in &replicates {
-        let agg = across_seeds(runs);
+    for group in &groups {
+        let agg = &group.stats;
         points.push(TradeOffPoint {
             carbon: agg.carbon_g.mean,
             cost: agg.total_cost.mean,

@@ -5,7 +5,10 @@ use gaia_core::catalog::BasePolicyKind;
 use gaia_metrics::table::TextTable;
 
 fn main() {
-    banner("Table 1", "Summary of scheduling policies (capability matrix).");
+    banner(
+        "Table 1",
+        "Summary of scheduling policies (capability matrix).",
+    );
     let mut table = TextTable::new(vec![
         "policy",
         "job length",

@@ -47,10 +47,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(CarbonError::EmptyTrace.to_string(), "carbon trace contains no samples");
-        let e = CarbonError::InvalidIntensity { hour: 3, value: -1.0 };
+        assert_eq!(
+            CarbonError::EmptyTrace.to_string(),
+            "carbon trace contains no samples"
+        );
+        let e = CarbonError::InvalidIntensity {
+            hour: 3,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("hour 3"));
-        let p = CarbonError::Parse { line: 7, reason: "bad float".into() };
+        let p = CarbonError::Parse {
+            line: 7,
+            reason: "bad float".into(),
+        };
         assert!(p.to_string().contains("line 7"));
     }
 

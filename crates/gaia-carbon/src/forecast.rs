@@ -72,7 +72,9 @@ pub struct ForecastView<'a> {
 
 impl std::fmt::Debug for ForecastView<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ForecastView").field("now", &self.now).finish_non_exhaustive()
+        f.debug_struct("ForecastView")
+            .field("now", &self.now)
+            .finish_non_exhaustive()
     }
 }
 
@@ -174,7 +176,11 @@ impl<'t> NoisyForecaster<'t> {
     /// Creates a noisy forecaster with `sd_per_day` log-error at a
     /// 24-hour lead time.
     pub fn new(trace: &'t CarbonTrace, sd_per_day: f64, seed: u64) -> Self {
-        NoisyForecaster { trace, sd_per_day, seed }
+        NoisyForecaster {
+            trace,
+            sd_per_day,
+            seed,
+        }
     }
 
     fn error_factor(&self, now: SimTime, at: SimTime) -> f64 {
@@ -248,11 +254,7 @@ impl CarbonForecaster for PersistenceForecaster<'_> {
 /// # Panics
 ///
 /// Panics if the trace is shorter than the lead time plus one hour.
-pub fn forecast_mape(
-    forecaster: &dyn CarbonForecaster,
-    truth: &CarbonTrace,
-    lead: Minutes,
-) -> f64 {
+pub fn forecast_mape(forecaster: &dyn CarbonForecaster, truth: &CarbonTrace, lead: Minutes) -> f64 {
     let lead_hours = lead.as_hours_ceil();
     let total_hours = truth.len_hours() as u64;
     assert!(total_hours > lead_hours, "trace shorter than the lead time");
@@ -288,7 +290,8 @@ mod tests {
             assert_eq!(f.forecast(SimTime::ORIGIN, at), t.intensity_at(at));
             assert_eq!(f.current(at), t.intensity_at(at));
         }
-        let integral = f.forecast_integral(SimTime::ORIGIN, SimTime::ORIGIN, Minutes::from_hours(4));
+        let integral =
+            f.forecast_integral(SimTime::ORIGIN, SimTime::ORIGIN, Minutes::from_hours(4));
         assert!((integral - 425.0).abs() < 1e-9);
     }
 
@@ -400,7 +403,10 @@ mod tests {
         assert!(mildly_noisy < very_noisy);
         assert!(mildly_noisy > 0.0);
         // A mild model forecast beats raw persistence on a noisy grid.
-        assert!(mildly_noisy < persistence, "{mildly_noisy} vs {persistence}");
+        assert!(
+            mildly_noisy < persistence,
+            "{mildly_noisy} vs {persistence}"
+        );
     }
 
     #[test]

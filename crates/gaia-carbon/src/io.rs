@@ -145,7 +145,10 @@ fn parse_hour_stamp(s: &str) -> Option<i64> {
     let s = s.trim_end_matches('Z');
     // An explicit offset starts at or after index 11 (inside the time
     // portion), so it can never be confused with the date's dashes.
-    let body = match s.char_indices().find(|&(i, c)| i >= 11 && (c == '+' || c == '-')) {
+    let body = match s
+        .char_indices()
+        .find(|&(i, c)| i >= 11 && (c == '+' || c == '-'))
+    {
         Some((i, _)) => &s[..i],
         None => s,
     };
@@ -285,7 +288,10 @@ mod tests {
 
     #[test]
     fn empty_file_is_empty_trace_error() {
-        assert!(matches!(read_trace_csv("".as_bytes()), Err(CarbonError::EmptyTrace)));
+        assert!(matches!(
+            read_trace_csv("".as_bytes()),
+            Err(CarbonError::EmptyTrace)
+        ));
     }
 
     #[test]

@@ -109,8 +109,8 @@ impl PriceModel {
                     + self.demand_amp
                         * (0.6 * bump(hour_of_day, 8.0, 2.0) + bump(hour_of_day, 18.0, 2.5));
                 let carbon_component = if ci_mean > 0.0 { ci / ci_mean } else { 1.0 };
-                let blended = self.carbon_weight * carbon_component
-                    + (1.0 - self.carbon_weight) * demand;
+                let blended =
+                    self.carbon_weight * carbon_component + (1.0 - self.carbon_weight) * demand;
                 let noise = (self.noise_sd * standard_normal(&mut rng)
                     - self.noise_sd * self.noise_sd / 2.0)
                     .exp();
@@ -140,7 +140,10 @@ fn bump(h: f64, center: f64, sigma: f64) -> f64 {
 ///
 /// Panics if either series is empty or constant.
 pub fn price_carbon_correlation(price: &PriceTrace, carbon: &CarbonTrace) -> f64 {
-    let n = price.hourly_values().len().min(carbon.hourly_values().len());
+    let n = price
+        .hourly_values()
+        .len()
+        .min(carbon.hourly_values().len());
     assert!(n > 1, "correlation needs at least two samples");
     let p = &price.hourly_values()[..n];
     let c = &carbon.hourly_values()[..n];
@@ -168,8 +171,14 @@ mod tests {
     fn deterministic_per_seed() {
         let carbon = synthesize_region(Region::California, 3);
         let m = PriceModel::default();
-        assert_eq!(m.synthesize(&carbon, 9).hourly_values(), m.synthesize(&carbon, 9).hourly_values());
-        assert_ne!(m.synthesize(&carbon, 9).hourly_values(), m.synthesize(&carbon, 10).hourly_values());
+        assert_eq!(
+            m.synthesize(&carbon, 9).hourly_values(),
+            m.synthesize(&carbon, 9).hourly_values()
+        );
+        assert_ne!(
+            m.synthesize(&carbon, 9).hourly_values(),
+            m.synthesize(&carbon, 10).hourly_values()
+        );
     }
 
     #[test]
@@ -193,11 +202,24 @@ mod tests {
     #[test]
     fn carbon_weight_controls_correlation() {
         let carbon = synthesize_region(Region::California, 3);
-        let low = PriceModel { carbon_weight: 0.0, noise_sd: 0.1, spike_prob: 0.0, ..PriceModel::default() };
-        let high = PriceModel { carbon_weight: 1.0, noise_sd: 0.1, spike_prob: 0.0, ..PriceModel::default() };
+        let low = PriceModel {
+            carbon_weight: 0.0,
+            noise_sd: 0.1,
+            spike_prob: 0.0,
+            ..PriceModel::default()
+        };
+        let high = PriceModel {
+            carbon_weight: 1.0,
+            noise_sd: 0.1,
+            spike_prob: 0.0,
+            ..PriceModel::default()
+        };
         let rho_low = price_carbon_correlation(&low.synthesize(&carbon, 1), &carbon);
         let rho_high = price_carbon_correlation(&high.synthesize(&carbon, 1), &carbon);
-        assert!(rho_high > 0.8, "pure carbon tracking should correlate strongly, got {rho_high}");
+        assert!(
+            rho_high > 0.8,
+            "pure carbon tracking should correlate strongly, got {rho_high}"
+        );
         assert!(rho_high > rho_low + 0.3);
     }
 

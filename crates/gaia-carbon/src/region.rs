@@ -167,14 +167,20 @@ mod tests {
     #[test]
     fn codes_round_trip() {
         for region in Region::ALL {
-            assert_eq!(region.code().parse::<Region>().expect("code parses"), region);
+            assert_eq!(
+                region.code().parse::<Region>().expect("code parses"),
+                region
+            );
             assert_eq!(region.to_string(), region.code());
         }
     }
 
     #[test]
     fn parse_is_lenient() {
-        assert_eq!("south-australia".parse::<Region>().unwrap(), Region::SouthAustralia);
+        assert_eq!(
+            "south-australia".parse::<Region>().unwrap(),
+            Region::SouthAustralia
+        );
         assert_eq!("CA_US".parse::<Region>().unwrap(), Region::California);
         assert!("atlantis".parse::<Region>().is_err());
     }

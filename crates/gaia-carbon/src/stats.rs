@@ -40,8 +40,7 @@ impl TraceStats {
     pub fn of(trace: &CarbonTrace) -> TraceStats {
         let mean = trace.mean();
         let values = trace.hourly_values();
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         let std_dev = var.sqrt();
         let min = trace.min();
         let max = trace.max();

@@ -204,8 +204,7 @@ impl RegionParams {
                     * self.seasonal_factor(t.day_of_year() as f64)
                     * self.diurnal_factor(t.hour_of_day_f64())
                     * self.weekend_factor(t.day_of_week());
-                log_noise =
-                    self.noise_rho * log_noise + self.noise_sd * standard_normal(&mut rng);
+                log_noise = self.noise_rho * log_noise + self.noise_sd * standard_normal(&mut rng);
                 let noisy = deterministic * (log_noise - stationary_var / 2.0).exp();
                 noisy.max(self.floor)
             })
@@ -303,7 +302,11 @@ mod tests {
         assert!(sa < nl && ca < nl, "medium below NL");
         assert!(nl < ky, "NL {nl} < KY {ky}");
         // Figure 1's ~9x spatial spread (NL vs ON, the figure's extremes).
-        assert!(nl / on > 5.0 && nl / on < 14.0, "NL/ON spatial ratio {}", nl / on);
+        assert!(
+            nl / on > 5.0 && nl / on < 14.0,
+            "NL/ON spatial ratio {}",
+            nl / on
+        );
     }
 
     #[test]
@@ -380,9 +383,10 @@ mod tests {
     fn diurnal_factor_has_unit_mean() {
         for region in Region::ALL {
             let params = RegionParams::for_region(region);
-            let mean: f64 =
-                (0..24 * 60).map(|m| params.diurnal_factor(m as f64 / 60.0)).sum::<f64>()
-                    / (24.0 * 60.0);
+            let mean: f64 = (0..24 * 60)
+                .map(|m| params.diurnal_factor(m as f64 / 60.0))
+                .sum::<f64>()
+                / (24.0 * 60.0);
             assert!((mean - 1.0).abs() < 0.02, "{region} diurnal mean {mean}");
         }
     }

@@ -153,8 +153,8 @@ impl CarbonTrace {
         // Trailing partial hour.
         let tail_start = end.floor_hour();
         if end > tail_start {
-            total += self.intensity_at_hour(end_hour_floor) * (end - tail_start).as_minutes()
-                as f64
+            total += self.intensity_at_hour(end_hour_floor)
+                * (end - tail_start).as_minutes() as f64
                 / MINUTES_PER_HOUR as f64;
         }
         // Whole hours in between, using the prefix sums (wrap-aware).
@@ -179,8 +179,8 @@ impl CarbonTrace {
         if e <= n {
             sum += self.prefix[e as usize] - self.prefix[s];
         } else {
-            sum += (self.prefix[self.values.len()] - self.prefix[s])
-                + self.prefix[(e - n) as usize];
+            sum +=
+                (self.prefix[self.values.len()] - self.prefix[s]) + self.prefix[(e - n) as usize];
         }
         sum
     }
@@ -249,7 +249,8 @@ impl CarbonTrace {
     /// Minimum average CI over any `window`-long window starting in
     /// `[start, start + horizon)`, scanning at hourly steps.
     pub fn min_window_avg(&self, start: SimTime, horizon: Minutes, window: Minutes) -> f64 {
-        self.min_window_start(start, horizon, window, Minutes::from_hours(1)).1
+        self.min_window_start(start, horizon, window, Minutes::from_hours(1))
+            .1
     }
 
     /// Maximum average CI over any `window`-long window starting in
@@ -420,7 +421,10 @@ mod tests {
     #[test]
     fn zero_window_integral_is_zero() {
         let t = trace(&[100.0, 200.0]);
-        assert_eq!(t.window_integral(SimTime::from_minutes(30), Minutes::ZERO), 0.0);
+        assert_eq!(
+            t.window_integral(SimTime::from_minutes(30), Minutes::ZERO),
+            0.0
+        );
     }
 
     #[test]
@@ -464,8 +468,14 @@ mod tests {
         let q30 = t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 0.3);
         // nearest-rank over 10 samples: index round(9 * 0.3) = 3 -> 40.
         assert_eq!(q30, 40.0);
-        assert_eq!(t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 0.0), 10.0);
-        assert_eq!(t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 1.0), 100.0);
+        assert_eq!(
+            t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 0.0),
+            10.0
+        );
+        assert_eq!(
+            t.window_quantile(SimTime::ORIGIN, Minutes::from_hours(10), 1.0),
+            100.0
+        );
     }
 
     #[test]
@@ -482,7 +492,7 @@ mod tests {
         let starts: Vec<u64> = plan.iter().map(|(s, _)| s.as_hours_floor()).collect();
         assert!(starts.contains(&4));
         assert!(starts.contains(&1)); // hours 1 and 2 merge into one segment
-        // Sorted and non-overlapping.
+                                      // Sorted and non-overlapping.
         for w in plan.windows(2) {
             assert!(w[0].0 + w[0].1 <= w[1].0);
         }
@@ -491,11 +501,7 @@ mod tests {
     #[test]
     fn greenest_slots_partial_hour_trim() {
         let t = trace(&[300.0, 100.0, 200.0]);
-        let plan = t.greenest_slots(
-            SimTime::ORIGIN,
-            Minutes::from_hours(3),
-            Minutes::new(90),
-        );
+        let plan = t.greenest_slots(SimTime::ORIGIN, Minutes::from_hours(3), Minutes::new(90));
         let total: Minutes = plan.iter().map(|(_, l)| *l).sum();
         assert_eq!(total, Minutes::new(90));
         // The full hour 1 plus 30 minutes of hour 2 (the second-cheapest).

@@ -146,7 +146,9 @@ impl Options {
         let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
             let mut value = |flag: &str| {
-                iter.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+                iter.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{flag} needs a value"))
             };
             match arg.as_str() {
                 "--help" | "-h" => options.help = true,
@@ -167,8 +169,9 @@ impl Options {
                     };
                 }
                 "--tax" => {
-                    let rate: f64 =
-                        value("--tax")?.parse().map_err(|_| "invalid --tax rate".to_owned())?;
+                    let rate: f64 = value("--tax")?
+                        .parse()
+                        .map_err(|_| "invalid --tax rate".to_owned())?;
                     if rate < 0.0 || !rate.is_finite() {
                         return Err("--tax must be non-negative".into());
                     }
@@ -207,7 +210,10 @@ impl Options {
                         .split_once(['x', 'X'])
                         .ok_or_else(|| format!("--overheads expects SxT, got {spec:?}"))?;
                     options.overheads = (
-                        startup.trim().parse().map_err(|_| "invalid startup minutes".to_owned())?,
+                        startup
+                            .trim()
+                            .parse()
+                            .map_err(|_| "invalid startup minutes".to_owned())?,
                         teardown
                             .trim()
                             .parse()
@@ -243,15 +249,22 @@ impl Options {
                     // minute so windows stay non-empty.
                     let short_h = parse_wait(short)?;
                     let long_h = parse_wait(long)?;
-                    options.wait_short =
-                        if short_h == 0 { Minutes::new(1) } else { Minutes::from_hours(short_h) };
-                    options.wait_long =
-                        if long_h == 0 { Minutes::new(1) } else { Minutes::from_hours(long_h) };
+                    options.wait_short = if short_h == 0 {
+                        Minutes::new(1)
+                    } else {
+                        Minutes::from_hours(short_h)
+                    };
+                    options.wait_long = if long_h == 0 {
+                        Minutes::new(1)
+                    } else {
+                        Minutes::from_hours(long_h)
+                    };
                 }
                 "--region" => {
                     let code = value("--region")?;
-                    options.region =
-                        code.parse().map_err(|_| format!("unknown region {code:?}"))?;
+                    options.region = code
+                        .parse()
+                        .map_err(|_| format!("unknown region {code:?}"))?;
                 }
                 "--trace" => {
                     options.trace = match value("--trace")?.to_ascii_lowercase().as_str() {
@@ -289,8 +302,9 @@ impl Options {
                     options.eviction = rate;
                 }
                 "--seed" => {
-                    options.seed =
-                        value("--seed")?.parse().map_err(|_| "invalid --seed".to_owned())?;
+                    options.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "invalid --seed".to_owned())?;
                 }
                 "--carbon-csv" => options.carbon_csv = Some(value("--carbon-csv")?.to_owned()),
                 "--workload-csv" => {
@@ -340,17 +354,27 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let o = parse(&[
-            "--policy", "lowest-window",
+            "--policy",
+            "lowest-window",
             "--res-first",
-            "--spot", "6",
-            "-w", "3x12",
-            "--region", "ca-us",
-            "--trace", "azure",
-            "--scale", "year",
-            "--jobs", "5000",
-            "--reserved", "10",
-            "--eviction", "0.1",
-            "--seed", "7",
+            "--spot",
+            "6",
+            "-w",
+            "3x12",
+            "--region",
+            "ca-us",
+            "--trace",
+            "azure",
+            "--scale",
+            "year",
+            "--jobs",
+            "5000",
+            "--reserved",
+            "10",
+            "--eviction",
+            "0.1",
+            "--seed",
+            "7",
             "--baseline",
             "--csv",
         ])

@@ -5,15 +5,39 @@
 //! gaia --scheduling-policy carbon --carbon-policy waiting -w 6x24
 //! ```
 //!
-//! Run `gaia --help` for the full flag reference.
+//! plus the `sweep` subcommand for parallel experiment grids:
+//!
+//! ```text
+//! gaia sweep --policies nowait,carbon-time --seeds 1,2,3 --workers 4
+//! ```
+//!
+//! Run `gaia --help` / `gaia sweep --help` for the full flag reference.
 
 use std::process::ExitCode;
 
 mod args;
 mod run;
+mod sweep;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return match sweep::SweepOptions::parse(&args[1..]) {
+            Ok(options) => {
+                if options.help {
+                    print!("{}", sweep::HELP);
+                    ExitCode::SUCCESS
+                } else {
+                    sweep::execute(&options)
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("run `gaia sweep --help` for usage");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match args::Options::parse(&args) {
         Ok(options) => {
             if options.help {

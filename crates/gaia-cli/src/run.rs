@@ -61,7 +61,9 @@ fn try_execute(options: &Options) -> Result<(), String> {
         write_csv(path, |w| gaia_sim::output::write_aggregate_csv(w, &report))?;
     }
     if let Some(path) = &options.runtime {
-        write_csv(path, |w| gaia_sim::output::write_runtime_csv(w, &report, &carbon))?;
+        write_csv(path, |w| {
+            gaia_sim::output::write_runtime_csv(w, &report, &carbon)
+        })?;
     }
 
     let mut table = TextTable::new(vec![
@@ -218,7 +220,10 @@ fn family(choice: TraceChoice) -> TraceFamily {
 fn billing_horizon(workload: &WorkloadTrace) -> Minutes {
     // Contract period: the workload span rounded up to whole days, plus
     // two days of slack for delayed tails (identical across policies).
-    let span_days = workload.nominal_makespan().as_minutes().div_ceil(gaia_time::MINUTES_PER_DAY);
+    let span_days = workload
+        .nominal_makespan()
+        .as_minutes()
+        .div_ceil(gaia_time::MINUTES_PER_DAY);
     Minutes::from_days(span_days + 2)
 }
 
@@ -226,9 +231,10 @@ fn write_csv(
     path: &str,
     write: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
 ) -> Result<(), String> {
-    let mut writer = BufWriter::new(
-        File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-    );
+    let mut writer =
+        BufWriter::new(File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?);
     write(&mut writer).map_err(|e| format!("cannot write {path}: {e}"))?;
-    writer.flush().map_err(|e| format!("cannot flush {path}: {e}"))
+    writer
+        .flush()
+        .map_err(|e| format!("cannot flush {path}: {e}"))
 }

@@ -1,0 +1,370 @@
+//! The `gaia sweep` subcommand: cartesian experiment grids on the
+//! gaia-sweep worker pool, with artifacts written to a result store.
+
+use std::process::ExitCode;
+
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::table::TextTable;
+use gaia_sweep::{
+    default_workers, ClusterSpec, Executor, QueueSpec, ResultStore, SweepGrid, TraceFamily,
+};
+
+/// Help text printed for `gaia sweep --help`.
+pub const HELP: &str = "\
+gaia sweep — run a cartesian experiment grid on the parallel sweep engine
+
+USAGE:
+    gaia sweep [OPTIONS]
+
+GRID (comma-separated lists; each defaults to one paper-default entry):
+    --policies <A,B,..>    policy names (default: nowait,lowest-slot,
+                           lowest-window,carbon-time)
+    --regions <A,B,..>     region codes (default: SA-AU)
+    --traces <A,B,..>      workload families: alibaba | azure | mustang
+                           (default: alibaba)
+    --seeds <A,B,..>       seeds (default: 42)
+    --scale <week|year>    workload scale (default: week)
+    --jobs <N>             job count for year-long traces (default 100000)
+    --reserved <N>         reserved CPU instances (default 0)
+    --eviction <RATE>      hourly spot eviction rate in [0,1] (default 0)
+    -w SHORTxLONG          max waiting times in hours (default: 6x24)
+
+EXECUTION:
+    --workers <N>          worker threads (default: available parallelism,
+                           or the GAIA_WORKERS environment variable)
+    --bench                also run the grid serially and record the
+                           serial-vs-parallel timing in the manifest
+    --no-progress          suppress the stderr progress meter
+
+OUTPUT:
+    --out <DIR>            results root directory (default: results)
+    --name <NAME>          run directory name (default: sweep)
+    --help                 show this message
+
+Artifacts written to <out>/<name>/: manifest.json, scenarios.csv,
+aggregate.csv, aggregate.json. The CSV/JSON results are byte-identical
+for any --workers value; only wall-clock changes.
+";
+
+/// Parsed `gaia sweep` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    pub help: bool,
+    pub policies: Vec<PolicySpec>,
+    pub regions: Vec<Region>,
+    pub families: Vec<TraceFamily>,
+    pub seeds: Vec<u64>,
+    pub year: bool,
+    pub jobs: usize,
+    pub reserved: u32,
+    pub eviction: f64,
+    pub queues: QueueSpec,
+    pub workers: usize,
+    pub bench: bool,
+    pub progress: bool,
+    pub out: String,
+    pub name: String,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            help: false,
+            policies: vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::LowestSlot),
+                PolicySpec::plain(BasePolicyKind::LowestWindow),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ],
+            regions: vec![Region::SouthAustralia],
+            families: vec![TraceFamily::AlibabaPai],
+            seeds: vec![42],
+            year: false,
+            jobs: 100_000,
+            reserved: 0,
+            eviction: 0.0,
+            queues: QueueSpec::default(),
+            workers: default_workers(),
+            bench: false,
+            progress: true,
+            out: "results".to_owned(),
+            name: "sweep".to_owned(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parses the arguments following `gaia sweep`.
+    pub fn parse(args: &[String]) -> Result<SweepOptions, String> {
+        let mut options = SweepOptions::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => options.help = true,
+                "--policies" => {
+                    options.policies = split(value("--policies")?)
+                        .map(|name| {
+                            BasePolicyKind::parse(name)
+                                .map(PolicySpec::plain)
+                                .ok_or_else(|| format!("unknown policy {name:?}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--regions" => {
+                    options.regions = split(value("--regions")?)
+                        .map(|code| code.parse().map_err(|_| format!("unknown region {code:?}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--traces" => {
+                    options.families = split(value("--traces")?)
+                        .map(parse_family)
+                        .collect::<Result<_, _>>()?;
+                }
+                "--seeds" => {
+                    options.seeds = split(value("--seeds")?)
+                        .map(|s| s.parse().map_err(|_| format!("invalid seed {s:?}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--scale" => {
+                    options.year = match value("--scale")?.to_ascii_lowercase().as_str() {
+                        "week" => false,
+                        "year" => true,
+                        other => return Err(format!("unknown scale {other:?}")),
+                    };
+                }
+                "--jobs" => {
+                    options.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "invalid --jobs count".to_owned())?;
+                }
+                "--reserved" => {
+                    options.reserved = value("--reserved")?
+                        .parse()
+                        .map_err(|_| "invalid --reserved count".to_owned())?;
+                }
+                "--eviction" => {
+                    let rate: f64 = value("--eviction")?
+                        .parse()
+                        .map_err(|_| "invalid --eviction rate".to_owned())?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err("--eviction rate must be in [0, 1]".into());
+                    }
+                    options.eviction = rate;
+                }
+                "-w" | "--waiting" => {
+                    let spec = value("-w")?;
+                    let (short, long) = spec
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("-w expects SHORTxLONG, got {spec:?}"))?;
+                    options.queues = QueueSpec {
+                        short_hours: short
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("invalid waiting hours {short:?}"))?,
+                        long_hours: long
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("invalid waiting hours {long:?}"))?,
+                    };
+                }
+                "--workers" => {
+                    let n: usize = value("--workers")?
+                        .parse()
+                        .map_err(|_| "invalid --workers count".to_owned())?;
+                    if n == 0 {
+                        return Err("--workers must be at least 1".into());
+                    }
+                    options.workers = n;
+                }
+                "--bench" => options.bench = true,
+                "--no-progress" => options.progress = false,
+                "--out" => options.out = value("--out")?.to_owned(),
+                "--name" => options.name = value("--name")?.to_owned(),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if options.policies.is_empty()
+            || options.regions.is_empty()
+            || options.families.is_empty()
+            || options.seeds.is_empty()
+        {
+            return Err("grid dimensions must not be empty".into());
+        }
+        Ok(options)
+    }
+
+    /// Expands the options into a sweep grid.
+    pub fn grid(&self) -> SweepGrid {
+        let base = if self.year {
+            // Year-long contracts: the paper's 368-day billing horizon.
+            SweepGrid::year(self.jobs, 368)
+        } else {
+            SweepGrid::week(9)
+        };
+        let cluster = ClusterSpec::on_demand(if self.year { 368 } else { 9 })
+            .with_reserved(self.reserved)
+            .with_eviction(self.eviction);
+        base.policies(self.policies.clone())
+            .regions(self.regions.clone())
+            .families(self.families.clone())
+            .seeds(self.seeds.clone())
+            .clusters(vec![cluster])
+            .queue_specs(vec![self.queues])
+    }
+}
+
+fn split(list: &str) -> impl Iterator<Item = &str> {
+    list.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn parse_family(name: &str) -> Result<TraceFamily, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "alibaba" | "alibaba-pai" | "pai" => Ok(TraceFamily::AlibabaPai),
+        "azure" | "azure-vm" => Ok(TraceFamily::AzureVm),
+        "mustang" | "mustang-hpc" | "lanl" => Ok(TraceFamily::MustangHpc),
+        other => Err(format!("unknown trace {other:?}")),
+    }
+}
+
+/// Runs the subcommand.
+pub fn execute(options: &SweepOptions) -> ExitCode {
+    let grid = options.grid();
+    eprintln!("sweep grid: {}", grid.describe());
+
+    let executor = Executor::new(options.workers).with_progress(options.progress);
+    let (run, timing) = if options.bench {
+        let (run, bench) = gaia_sweep::time_grid(&grid, options.workers);
+        eprintln!(
+            "bench: serial {:.2}s vs {} workers {:.2}s — speedup {:.2}x",
+            bench.serial_secs, bench.workers, bench.parallel_secs, bench.speedup
+        );
+        (run, Some(bench))
+    } else {
+        (gaia_sweep::run_grid(&grid, &executor), None)
+    };
+
+    let mut table = TextTable::new(vec!["scenario", "carbon (kg)", "cost ($)", "wait (h)"]);
+    for group in gaia_sweep::across_seed_groups(&run) {
+        table.row(vec![
+            group.key.clone(),
+            format!(
+                "{:.1} ± {:.1}",
+                group.stats.carbon_g.mean / 1000.0,
+                group.stats.carbon_g.std_dev / 1000.0
+            ),
+            group.stats.total_cost.display(2),
+            group.stats.mean_wait_hours.display(2),
+        ]);
+    }
+    println!("{table}");
+
+    match ResultStore::create(&options.out, &options.name)
+        .and_then(|store| store.write(&run, timing).map(|()| store))
+    {
+        Ok(store) => {
+            eprintln!("artifacts written to {}", store.dir().display());
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: writing results: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SweepOptions, String> {
+        SweepOptions::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_build_a_four_policy_grid() {
+        let o = parse(&[]).expect("empty args");
+        let grid = o.grid();
+        assert_eq!(grid.len(), 4);
+        assert!(o.workers >= 1);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--policies",
+            "nowait,carbon-time",
+            "--regions",
+            "sa-au,ca-us",
+            "--traces",
+            "alibaba,azure",
+            "--seeds",
+            "1,2,3",
+            "--scale",
+            "year",
+            "--jobs",
+            "500",
+            "--reserved",
+            "9",
+            "--eviction",
+            "0.05",
+            "-w",
+            "3x12",
+            "--workers",
+            "2",
+            "--bench",
+            "--out",
+            "/tmp/x",
+            "--name",
+            "demo",
+        ])
+        .expect("valid");
+        assert_eq!(o.policies.len(), 2);
+        assert_eq!(o.regions, vec![Region::SouthAustralia, Region::California]);
+        assert_eq!(
+            o.families,
+            vec![TraceFamily::AlibabaPai, TraceFamily::AzureVm]
+        );
+        assert_eq!(o.seeds, vec![1, 2, 3]);
+        assert!(o.year);
+        assert_eq!(o.jobs, 500);
+        assert_eq!(o.reserved, 9);
+        assert_eq!(
+            o.queues,
+            QueueSpec {
+                short_hours: 3,
+                long_hours: 12
+            }
+        );
+        assert_eq!(o.workers, 2);
+        assert!(o.bench);
+        let grid = o.grid();
+        assert_eq!(grid.len(), 2 * 2 * 2 * 3);
+        assert_eq!(grid.clusters[0].reserved, 9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--policies", "magic"]).is_err());
+        assert!(parse(&["--workers", "0"]).is_err());
+        assert!(parse(&["--seeds", "x"]).is_err());
+        assert!(parse(&["--traces", "borg"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        // Empty dimension lists must be a parse error, not a grid panic.
+        assert!(parse(&["--seeds", ""]).is_err());
+        assert!(parse(&["--policies", ""]).is_err());
+        assert!(parse(&["--traces", ""]).is_err());
+        assert!(parse(&["--regions", ""]).is_err());
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(parse(&["--help"]).expect("valid").help);
+        assert!(HELP.contains("--workers"));
+    }
+}

@@ -43,12 +43,22 @@ fn baseline_flag_adds_relative_metrics() {
 fn artifact_examples_from_appendix_a5() {
     // Example 1: carbon- and cost-agnostic.
     let out = run_ok(&[
-        "--trace", "section3", "--scheduling-policy", "cost", "-w", "0x0",
+        "--trace",
+        "section3",
+        "--scheduling-policy",
+        "cost",
+        "-w",
+        "0x0",
     ]);
     assert!(out.contains("NoWait"));
     // Example 2: lowest carbon window with 6x24 waits.
     let out = run_ok(&[
-        "--trace", "section3", "--scheduling-policy", "carbon", "-w", "6x24",
+        "--trace",
+        "section3",
+        "--scheduling-policy",
+        "carbon",
+        "-w",
+        "6x24",
     ]);
     assert!(out.contains("Lowest-Window"));
 }
@@ -56,8 +66,17 @@ fn artifact_examples_from_appendix_a5() {
 #[test]
 fn composed_policy_names_appear() {
     let out = run_ok(&[
-        "--trace", "section3", "--policy", "carbon-time", "--res-first", "--spot", "2",
-        "--reserved", "3", "--seed", "1",
+        "--trace",
+        "section3",
+        "--policy",
+        "carbon-time",
+        "--res-first",
+        "--spot",
+        "2",
+        "--reserved",
+        "3",
+        "--seed",
+        "1",
     ]);
     assert!(out.contains("Spot-RES-Carbon-Time"));
 }
@@ -67,7 +86,13 @@ fn csv_output_and_details_file() {
     let details = std::env::temp_dir().join("gaia_cli_test_details.csv");
     let details_path = details.to_str().expect("utf-8 temp path");
     let out = run_ok(&[
-        "--trace", "section3", "--csv", "--details", details_path, "--seed", "1",
+        "--trace",
+        "section3",
+        "--csv",
+        "--details",
+        details_path,
+        "--seed",
+        "1",
     ]);
     assert!(out.starts_with("policy,"));
     let contents = std::fs::read_to_string(&details).expect("details written");
@@ -78,11 +103,24 @@ fn csv_output_and_details_file() {
 
 #[test]
 fn extension_policies_run() {
-    let out = run_ok(&["--trace", "section3", "--policy", "carbon-time-sr", "--baseline"]);
+    let out = run_ok(&[
+        "--trace",
+        "section3",
+        "--policy",
+        "carbon-time-sr",
+        "--baseline",
+    ]);
     assert!(out.contains("Carbon-Time-SR"));
     let out = run_ok(&[
-        "--trace", "section3", "--policy", "carbon-tax", "--tax", "2.0",
-        "--delay-value", "0.1", "--baseline",
+        "--trace",
+        "section3",
+        "--policy",
+        "carbon-tax",
+        "--tax",
+        "2.0",
+        "--delay-value",
+        "0.1",
+        "--baseline",
     ]);
     assert!(out.contains("Carbon-Tax"));
 }
@@ -90,9 +128,21 @@ fn extension_policies_run() {
 #[test]
 fn checkpoint_and_overhead_flags_run() {
     let out = run_ok(&[
-        "--trace", "section3", "--policy", "lowest-window", "--spot", "24",
-        "--eviction", "0.2", "--checkpoint", "1x5", "--overheads", "2x1",
-        "--baseline", "--seed", "1",
+        "--trace",
+        "section3",
+        "--policy",
+        "lowest-window",
+        "--spot",
+        "24",
+        "--eviction",
+        "0.2",
+        "--checkpoint",
+        "1x5",
+        "--overheads",
+        "2x1",
+        "--baseline",
+        "--seed",
+        "1",
     ]);
     assert!(out.contains("Spot-First-Lowest-Window"));
     // With a 20% hourly eviction rate and 4-hour mean jobs on spot, some
@@ -112,9 +162,14 @@ fn artifact_output_files_are_written() {
     let agg = dir.join("gaia_cli_test_aggregate.csv");
     let runtime = dir.join("gaia_cli_test_runtime.csv");
     run_ok(&[
-        "--trace", "section3", "--seed", "1",
-        "--aggregate", agg.to_str().expect("utf-8"),
-        "--runtime", runtime.to_str().expect("utf-8"),
+        "--trace",
+        "section3",
+        "--seed",
+        "1",
+        "--aggregate",
+        agg.to_str().expect("utf-8"),
+        "--runtime",
+        runtime.to_str().expect("utf-8"),
     ]);
     let agg_text = std::fs::read_to_string(&agg).expect("aggregate written");
     assert!(agg_text.starts_with("jobs,carbon_g"));
@@ -141,8 +196,9 @@ fn csv_traces_round_trip_through_the_cli() {
     let carbon_path = dir.join("gaia_cli_test_carbon.csv");
     let workload_path = dir.join("gaia_cli_test_workload.csv");
 
-    let carbon = CarbonTrace::from_hourly((0..200).map(|h| 100.0 + (h % 24) as f64 * 20.0).collect())
-        .expect("valid trace");
+    let carbon =
+        CarbonTrace::from_hourly((0..200).map(|h| 100.0 + (h % 24) as f64 * 20.0).collect())
+            .expect("valid trace");
     let mut buf = Vec::new();
     gaia_carbon::io::write_trace_csv(&mut buf, &carbon).expect("serialize");
     std::fs::write(&carbon_path, buf).expect("write carbon csv");

@@ -140,22 +140,38 @@ pub struct PolicySpec {
 impl PolicySpec {
     /// A plain base policy.
     pub fn plain(base: BasePolicyKind) -> Self {
-        PolicySpec { base, res_first: false, spot: None }
+        PolicySpec {
+            base,
+            res_first: false,
+            spot: None,
+        }
     }
 
     /// The RES-First variant.
     pub fn res_first(base: BasePolicyKind) -> Self {
-        PolicySpec { base, res_first: true, spot: None }
+        PolicySpec {
+            base,
+            res_first: true,
+            spot: None,
+        }
     }
 
     /// The Spot-First variant with the paper's default `J^max`.
     pub fn spot_first(base: BasePolicyKind) -> Self {
-        PolicySpec { base, res_first: false, spot: Some(SpotConfig::default()) }
+        PolicySpec {
+            base,
+            res_first: false,
+            spot: Some(SpotConfig::default()),
+        }
     }
 
     /// The combined Spot-RES variant with the paper's default `J^max`.
     pub fn spot_res(base: BasePolicyKind) -> Self {
-        PolicySpec { base, res_first: true, spot: Some(SpotConfig::default()) }
+        PolicySpec {
+            base,
+            res_first: true,
+            spot: Some(SpotConfig::default()),
+        }
     }
 
     /// Builds the runnable scheduler for a cluster with the given queues.
@@ -247,14 +263,23 @@ mod tests {
         for kind in BasePolicyKind::ALL {
             assert_eq!(BasePolicyKind::parse(kind.name()), Some(kind));
         }
-        assert_eq!(BasePolicyKind::parse("carbon-time"), Some(BasePolicyKind::CarbonTime));
-        assert_eq!(BasePolicyKind::parse("ALLWAIT"), Some(BasePolicyKind::AllWaitThreshold));
+        assert_eq!(
+            BasePolicyKind::parse("carbon-time"),
+            Some(BasePolicyKind::CarbonTime)
+        );
+        assert_eq!(
+            BasePolicyKind::parse("ALLWAIT"),
+            Some(BasePolicyKind::AllWaitThreshold)
+        );
         assert_eq!(BasePolicyKind::parse("unknown"), None);
     }
 
     #[test]
     fn spec_names() {
-        assert_eq!(PolicySpec::plain(BasePolicyKind::CarbonTime).name(), "Carbon-Time");
+        assert_eq!(
+            PolicySpec::plain(BasePolicyKind::CarbonTime).name(),
+            "Carbon-Time"
+        );
         assert_eq!(
             PolicySpec::res_first(BasePolicyKind::CarbonTime).name(),
             "RES-First-Carbon-Time"

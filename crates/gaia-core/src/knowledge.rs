@@ -74,6 +74,9 @@ mod tests {
 
     #[test]
     fn default_is_queue_average() {
-        assert_eq!(JobLengthKnowledge::default(), JobLengthKnowledge::QueueAverage);
+        assert_eq!(
+            JobLengthKnowledge::default(),
+            JobLengthKnowledge::QueueAverage
+        );
     }
 }

@@ -58,7 +58,7 @@ mod scheduler;
 
 pub use knowledge::JobLengthKnowledge;
 pub use policies::{
-    AllWaitThreshold, BatchPolicy, CarbonTax, CarbonTime, CarbonTimeSuspend, Ecovisor,
-    LowestSlot, LowestWindow, NoWait, PriceAware, TieredCarbonTime, WaitAwhile,
+    AllWaitThreshold, BatchPolicy, CarbonTax, CarbonTime, CarbonTimeSuspend, Ecovisor, LowestSlot,
+    LowestWindow, NoWait, PriceAware, TieredCarbonTime, WaitAwhile,
 };
 pub use scheduler::{GaiaScheduler, SpotConfig};

@@ -82,7 +82,9 @@ mod tests {
         let factory = CtxFactory::new(&[100.0; 72]);
         let mut policy = AllWaitThreshold::new(queues());
         let j = job(600, 60, 1);
-        let d = factory.with_ctx(SimTime::from_minutes(600), 0, 1, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(600), 0, 1, |ctx| {
+            policy.decide(&j, ctx)
+        });
         assert_eq!(
             d.planned_start(),
             SimTime::from_minutes(600) + Minutes::from_hours(6)

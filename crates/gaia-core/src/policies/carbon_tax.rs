@@ -143,8 +143,8 @@ mod tests {
         let j = job(0, 90, 1);
         let mut taxed = CarbonTax::new(QueueSet::paper_defaults(), 1.0, 0.0)
             .with_knowledge(JobLengthKnowledge::Exact);
-        let mut lw = LowestWindow::new(QueueSet::paper_defaults())
-            .with_knowledge(JobLengthKnowledge::Exact);
+        let mut lw =
+            LowestWindow::new(QueueSet::paper_defaults()).with_knowledge(JobLengthKnowledge::Exact);
         let d_tax = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| taxed.decide(&j, ctx));
         let d_lw = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| lw.decide(&j, ctx));
         assert_eq!(d_tax.planned_start(), d_lw.planned_start());

@@ -125,8 +125,9 @@ mod tests {
         let factory = CtxFactory::new(&[250.0; 48]);
         let mut policy = exact(QueueSet::paper_defaults());
         let j = job(120, 90, 1);
-        let d =
-            factory.with_ctx(SimTime::from_minutes(120), 0, 0, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(120), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         assert_eq!(d.planned_start(), SimTime::from_minutes(120));
     }
 

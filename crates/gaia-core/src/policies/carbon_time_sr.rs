@@ -47,13 +47,19 @@ impl BatchPolicy for CarbonTimeSuspend {
         while deadline <= job.length + wait {
             let segments = greenest_slots(ctx, deadline, job.length);
             let plan = SegmentPlan::new(segments);
-            let footprint: f64 =
-                plan.segments.iter().map(|&(start, len)| ctx.forecast.integral(start, len)).sum();
+            let footprint: f64 = plan
+                .segments
+                .iter()
+                .map(|&(start, len)| ctx.forecast.integral(start, len))
+                .sum();
             let completion_hours = (plan.finish() - ctx.now).as_hours_f64();
             let cst = (immediate - footprint) / completion_hours;
             // Strictly-better keeps the earliest (shortest) deadline on
             // ties, bounding completion time.
-            if best.as_ref().is_none_or(|(best_cst, _)| cst > best_cst + 1e-12) {
+            if best
+                .as_ref()
+                .is_none_or(|(best_cst, _)| cst > best_cst + 1e-12)
+            {
                 best = Some((cst, plan));
             }
             deadline += Minutes::from_hours(1);
@@ -78,16 +84,22 @@ mod tests {
         let factory = CtxFactory::new(&[200.0; 48]);
         let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
         let j = job(30, 90, 1);
-        let d = factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         let plan = d.segments().expect("plan");
-        assert_eq!(plan.segments, vec![(SimTime::from_minutes(30), Minutes::new(90))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::from_minutes(30), Minutes::new(90))]
+        );
     }
 
     #[test]
     fn splits_around_a_peak_when_saving_justifies_it() {
         // Cheap hours 0 and 2 around an enormous hour-1 peak: suspending
         // one hour halves the footprint for a modest completion increase.
-        let factory = CtxFactory::new(&[100.0, 5000.0, 100.0, 5000.0, 5000.0, 5000.0, 5000.0, 5000.0]);
+        let factory =
+            CtxFactory::new(&[100.0, 5000.0, 100.0, 5000.0, 5000.0, 5000.0, 5000.0, 5000.0]);
         let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
         let j = job(0, 120, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
@@ -112,7 +124,10 @@ mod tests {
         let j = job(0, 60, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         let plan = d.segments().expect("plan");
-        assert_eq!(plan.segments, vec![(SimTime::ORIGIN, Minutes::from_hours(1))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::ORIGIN, Minutes::from_hours(1))]
+        );
     }
 
     #[test]
@@ -147,11 +162,14 @@ mod tests {
 
     #[test]
     fn plan_always_covers_exact_length() {
-        let factory = CtxFactory::new(&[300.0, 100.0, 200.0, 50.0, 400.0, 120.0, 80.0, 90.0, 500.0]);
+        let factory =
+            CtxFactory::new(&[300.0, 100.0, 200.0, 50.0, 400.0, 120.0, 80.0, 90.0, 500.0]);
         let mut policy = CarbonTimeSuspend::new(QueueSet::paper_defaults());
         for len in [25u64, 60, 95, 240] {
             let j = job(10, len, 1);
-            let d = factory.with_ctx(SimTime::from_minutes(10), 0, 0, |ctx| policy.decide(&j, ctx));
+            let d = factory.with_ctx(SimTime::from_minutes(10), 0, 0, |ctx| {
+                policy.decide(&j, ctx)
+            });
             assert_eq!(d.segments().expect("plan").total(), Minutes::new(len));
         }
     }

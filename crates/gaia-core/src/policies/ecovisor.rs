@@ -30,7 +30,10 @@ impl Ecovisor {
 
     /// Creates the policy with the paper's 30th-percentile threshold.
     pub fn new(queues: QueueSet) -> Self {
-        Ecovisor { queues, quantile: Self::DEFAULT_QUANTILE }
+        Ecovisor {
+            queues,
+            quantile: Self::DEFAULT_QUANTILE,
+        }
     }
 
     /// Overrides the threshold quantile.
@@ -39,7 +42,10 @@ impl Ecovisor {
     ///
     /// Panics unless `quantile` is in `[0, 1]`.
     pub fn with_quantile(mut self, quantile: f64) -> Self {
-        assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&quantile),
+            "quantile must be in [0, 1]"
+        );
         self.quantile = quantile;
         self
     }
@@ -47,7 +53,9 @@ impl Ecovisor {
 
 impl BatchPolicy for Ecovisor {
     fn decide(&mut self, job: &Job, ctx: &SchedulerContext<'_>) -> Decision {
-        let threshold = ctx.forecast.quantile(Minutes::from_hours(24), self.quantile);
+        let threshold = ctx
+            .forecast
+            .quantile(Minutes::from_hours(24), self.quantile);
         let pause_budget = self.queues.max_wait_for(job);
         let mut segments: Vec<(SimTime, Minutes)> = Vec::new();
         let mut remaining = job.length;
@@ -59,9 +67,8 @@ impl BatchPolicy for Ecovisor {
             let run_here = must_run || ctx.forecast.at(cursor) <= threshold;
             // Advance to the next hour boundary (or less, if the job
             // finishes or the pause budget expires first).
-            let to_boundary = Minutes::new(
-                MINUTES_PER_HOUR - (cursor.as_minutes() % MINUTES_PER_HOUR),
-            );
+            let to_boundary =
+                Minutes::new(MINUTES_PER_HOUR - (cursor.as_minutes() % MINUTES_PER_HOUR));
             if run_here {
                 let run = to_boundary.min(remaining);
                 match segments.last_mut() {
@@ -109,7 +116,10 @@ mod tests {
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         let plan = d.segments().expect("plan");
         // First green slots are hours 2 and 3.
-        assert_eq!(plan.segments, vec![(SimTime::from_hours(2), Minutes::from_hours(2))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::from_hours(2), Minutes::from_hours(2))]
+        );
     }
 
     #[test]
@@ -126,7 +136,10 @@ mod tests {
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         let plan = d.segments().expect("plan");
         // Pauses 6 h (budget), then forced to run to completion.
-        assert_eq!(plan.segments, vec![(SimTime::from_hours(6), Minutes::from_hours(1))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::from_hours(6), Minutes::from_hours(1))]
+        );
     }
 
     #[test]
@@ -135,10 +148,14 @@ mod tests {
         let factory = CtxFactory::new(&[200.0; 48]);
         let mut policy = Ecovisor::new(QueueSet::paper_defaults());
         let j = job(15, 90, 1);
-        let d =
-            factory.with_ctx(SimTime::from_minutes(15), 0, 0, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(15), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         let plan = d.segments().expect("plan");
-        assert_eq!(plan.segments, vec![(SimTime::from_minutes(15), Minutes::new(90))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::from_minutes(15), Minutes::new(90))]
+        );
     }
 
     #[test]
@@ -147,8 +164,7 @@ mod tests {
         let mut policy = Ecovisor::new(QueueSet::paper_defaults());
         for len in [25u64, 60, 95, 240, 600] {
             let j = job(7, len, 1);
-            let d =
-                factory.with_ctx(SimTime::from_minutes(7), 0, 0, |ctx| policy.decide(&j, ctx));
+            let d = factory.with_ctx(SimTime::from_minutes(7), 0, 0, |ctx| policy.decide(&j, ctx));
             assert_eq!(d.segments().expect("plan").total(), Minutes::new(len));
         }
     }

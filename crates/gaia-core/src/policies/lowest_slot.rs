@@ -22,7 +22,10 @@ pub struct LowestSlot {
 impl LowestSlot {
     /// Creates the policy with the paper's default scan granularity.
     pub fn new(queues: QueueSet) -> Self {
-        LowestSlot { queues, step: DEFAULT_SCAN_STEP }
+        LowestSlot {
+            queues,
+            step: DEFAULT_SCAN_STEP,
+        }
     }
 
     /// Overrides the start-time scan granularity (slot-size ablation).
@@ -70,8 +73,9 @@ mod tests {
     fn ignores_job_length_entirely() {
         // Hour 3 is the cheapest *slot*, even though a 5-hour job starting
         // there would run straight into the enormous hour-5 peak.
-        let factory =
-            CtxFactory::new(&[300.0, 250.0, 200.0, 50.0, 220.0, 9000.0, 9000.0, 9000.0, 100.0]);
+        let factory = CtxFactory::new(&[
+            300.0, 250.0, 200.0, 50.0, 220.0, 9000.0, 9000.0, 9000.0, 100.0,
+        ]);
         let mut policy = LowestSlot::new(QueueSet::paper_defaults());
         let long = job(0, 300, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&long, ctx));
@@ -97,8 +101,9 @@ mod tests {
         let factory = CtxFactory::new(&[100.0; 48]);
         let mut policy = LowestSlot::new(QueueSet::paper_defaults());
         let j = job(90, 60, 1);
-        let d =
-            factory.with_ctx(SimTime::from_minutes(90), 0, 0, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(90), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         assert_eq!(d.planned_start(), SimTime::from_minutes(90));
     }
 

@@ -83,8 +83,8 @@ mod tests {
         // must choose hour 5.
         let factory =
             CtxFactory::new(&[300.0, 280.0, 260.0, 50.0, 400.0, 90.0, 80.0, 500.0, 500.0]);
-        let mut policy = LowestWindow::new(QueueSet::paper_defaults())
-            .with_knowledge(JobLengthKnowledge::Exact);
+        let mut policy =
+            LowestWindow::new(QueueSet::paper_defaults()).with_knowledge(JobLengthKnowledge::Exact);
         let j = job(0, 120, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         assert_eq!(d.planned_start(), SimTime::from_hours(5));
@@ -96,8 +96,7 @@ mod tests {
         // 1-hour window is the hour-3 valley.
         let factory =
             CtxFactory::new(&[300.0, 280.0, 260.0, 50.0, 400.0, 90.0, 80.0, 500.0, 500.0]);
-        let jobs =
-            vec![job(0, 30, 1), job(0, 90, 1)]; // short-queue average: 60 min
+        let jobs = vec![job(0, 30, 1), job(0, 90, 1)]; // short-queue average: 60 min
         let queues = QueueSet::paper_defaults().with_averages_from(&jobs);
         let mut policy = LowestWindow::new(queues);
         let j = job(0, 120, 1); // actual length is irrelevant to the policy
@@ -110,8 +109,8 @@ mod tests {
         // A 90-minute job: starting at 2:30 covers the last half of the
         // cheap hour 2 and all of cheap hour 3, beating any aligned start.
         let factory = CtxFactory::new(&[500.0, 500.0, 100.0, 50.0, 500.0, 500.0, 500.0]);
-        let mut policy = LowestWindow::new(QueueSet::paper_defaults())
-            .with_knowledge(JobLengthKnowledge::Exact);
+        let mut policy =
+            LowestWindow::new(QueueSet::paper_defaults()).with_knowledge(JobLengthKnowledge::Exact);
         let j = job(0, 90, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         assert_eq!(d.planned_start(), SimTime::from_minutes(150));
@@ -126,8 +125,8 @@ mod tests {
         hourly[50] = 1.0;
         hourly[51] = 1.0;
         let factory = CtxFactory::new(&hourly);
-        let mut policy = LowestWindow::new(QueueSet::paper_defaults())
-            .with_knowledge(JobLengthKnowledge::Exact);
+        let mut policy =
+            LowestWindow::new(QueueSet::paper_defaults()).with_knowledge(JobLengthKnowledge::Exact);
         let j = job(0, 150, 1); // long queue (2.5 h)
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         // Cheapest reachable 2.5-hour window starts just before hour 20
@@ -141,8 +140,9 @@ mod tests {
         let factory = CtxFactory::new(&[77.0; 48]);
         let mut policy = LowestWindow::new(QueueSet::paper_defaults());
         let j = job(45, 60, 1);
-        let d =
-            factory.with_ctx(SimTime::from_minutes(45), 0, 0, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(45), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         assert_eq!(d.planned_start(), SimTime::from_minutes(45));
     }
 }

@@ -95,7 +95,11 @@ pub(crate) fn greenest_slots(
         gaia_time::HourlySlots::spanning(ctx.now, horizon)
             .map(|s| (s.start, s.overlap, ctx.forecast.at(s.start)))
             .collect();
-    slots.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite CI").then(a.0.cmp(&b.0)));
+    slots.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .expect("finite CI")
+            .then(a.0.cmp(&b.0))
+    });
     let mut remaining = need;
     let mut chosen = Vec::new();
     for (start, avail, _) in slots {
@@ -134,7 +138,9 @@ pub(crate) mod testutil {
 
     impl CtxFactory {
         pub fn new(hourly: &[f64]) -> Self {
-            CtxFactory { trace: CarbonTrace::from_hourly(hourly.to_vec()).expect("valid") }
+            CtxFactory {
+                trace: CarbonTrace::from_hourly(hourly.to_vec()).expect("valid"),
+            }
         }
 
         #[allow(dead_code)]
@@ -209,7 +215,12 @@ mod tests {
 
     #[test]
     fn zero_wait_returns_now() {
-        let best = best_start_by(SimTime::from_hours(5), Minutes::ZERO, Minutes::new(10), |_| 1.0);
+        let best = best_start_by(
+            SimTime::from_hours(5),
+            Minutes::ZERO,
+            Minutes::new(10),
+            |_| 1.0,
+        );
         assert_eq!(best, SimTime::from_hours(5));
     }
 }

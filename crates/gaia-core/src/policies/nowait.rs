@@ -50,8 +50,9 @@ mod tests {
         let factory = CtxFactory::new(&[500.0, 1.0, 1.0]);
         let mut policy = NoWait::new();
         let j = job(30, 60, 1);
-        let decision =
-            factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| policy.decide(&j, ctx));
+        let decision = factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         // Even though hour 1 is far greener, NoWait starts immediately.
         assert_eq!(decision.planned_start(), SimTime::from_minutes(30));
         assert!(!decision.is_opportunistic());

@@ -47,12 +47,7 @@ impl PriceAware {
     ///
     /// Panics if `carbon_weight` is outside `[0, 1]` or either mean
     /// normalizer would be non-positive.
-    pub fn new(
-        queues: QueueSet,
-        price: PriceTrace,
-        carbon_weight: f64,
-        mean_carbon: f64,
-    ) -> Self {
+    pub fn new(queues: QueueSet, price: PriceTrace, carbon_weight: f64, mean_carbon: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&carbon_weight),
             "carbon weight must be in [0, 1]"
@@ -110,10 +105,8 @@ mod tests {
 
     /// Price cheap at hour 2, carbon cheap at hour 5 — a conflicting day.
     fn conflicting_setup() -> (CtxFactory, PriceTrace) {
-        let carbon =
-            CtxFactory::new(&[400.0, 400.0, 390.0, 400.0, 400.0, 50.0, 400.0, 400.0]);
-        let price =
-            PriceTrace::from_hourly(vec![80.0, 80.0, 10.0, 80.0, 80.0, 78.0, 80.0, 80.0]);
+        let carbon = CtxFactory::new(&[400.0, 400.0, 390.0, 400.0, 400.0, 50.0, 400.0, 400.0]);
+        let price = PriceTrace::from_hourly(vec![80.0, 80.0, 10.0, 80.0, 80.0, 78.0, 80.0, 80.0]);
         (carbon, price)
     }
 
@@ -141,11 +134,11 @@ mod tests {
     fn aligned_valleys_need_no_trade_off() {
         // Figure 20's first day: both valleys at hour 3.
         let carbon = CtxFactory::new(&[400.0, 400.0, 400.0, 50.0, 400.0, 400.0, 400.0, 400.0]);
-        let price =
-            PriceTrace::from_hourly(vec![80.0, 80.0, 80.0, 10.0, 80.0, 80.0, 80.0, 80.0]);
+        let price = PriceTrace::from_hourly(vec![80.0, 80.0, 80.0, 10.0, 80.0, 80.0, 80.0, 80.0]);
         for weight in [0.0, 0.5, 1.0] {
-            let mut policy = PriceAware::new(QueueSet::paper_defaults(), price.clone(), weight, 350.0)
-                .with_knowledge(JobLengthKnowledge::Exact);
+            let mut policy =
+                PriceAware::new(QueueSet::paper_defaults(), price.clone(), weight, 350.0)
+                    .with_knowledge(JobLengthKnowledge::Exact);
             let j = job(0, 60, 1);
             let d = carbon.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
             assert_eq!(d.planned_start(), SimTime::from_hours(3), "weight {weight}");
@@ -164,7 +157,9 @@ mod tests {
             let mut policy =
                 PriceAware::new(QueueSet::paper_defaults(), price.clone(), weight, 350.0)
                     .with_knowledge(JobLengthKnowledge::Exact);
-            carbon.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx)).planned_start()
+            carbon
+                .with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx))
+                .planned_start()
         };
         assert_eq!(run(0.1), SimTime::from_hours(2), "mostly price-driven");
         assert_eq!(run(0.9), SimTime::from_hours(5), "mostly carbon-driven");

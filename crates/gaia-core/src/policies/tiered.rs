@@ -27,7 +27,10 @@ pub struct TieredCarbonTime {
 impl TieredCarbonTime {
     /// Creates the policy over the given queue ladder.
     pub fn new(ladder: QueueLadder) -> Self {
-        TieredCarbonTime { ladder, step: DEFAULT_SCAN_STEP }
+        TieredCarbonTime {
+            ladder,
+            step: DEFAULT_SCAN_STEP,
+        }
     }
 
     /// Overrides the start-time scan granularity.
@@ -75,8 +78,10 @@ mod tests {
 
     fn ladder_with_averages() -> QueueLadder {
         // Learn averages so the estimates are meaningful per rung.
-        let jobs: Vec<gaia_workload::Job> =
-            [60u64, 90, 300, 600, 1500, 2000].iter().map(|&len| job(0, len, 1)).collect();
+        let jobs: Vec<gaia_workload::Job> = [60u64, 90, 300, 600, 1500, 2000]
+            .iter()
+            .map(|&len| job(0, len, 1))
+            .collect();
         QueueLadder::paper_three_tier().with_averages_from(&WorkloadTrace::from_jobs(jobs))
     }
 
@@ -99,9 +104,15 @@ mod tests {
         // and its estimated execution window covers the valley.
         let start = d_medium.planned_start();
         let estimate = policy.ladder().avg_length(1);
-        assert!(start > SimTime::ORIGIN, "medium job must wait for the valley");
+        assert!(
+            start > SimTime::ORIGIN,
+            "medium job must wait for the valley"
+        );
         assert!(start <= SimTime::from_hours(10));
-        assert!(start + estimate > SimTime::from_hours(10), "window covers the valley");
+        assert!(
+            start + estimate > SimTime::from_hours(10),
+            "window covers the valley"
+        );
     }
 
     #[test]
@@ -110,8 +121,10 @@ mod tests {
         use gaia_workload::QueueSet;
         // A ladder converted from the paper's two queues must make the
         // same decisions as the two-queue CarbonTime.
-        let jobs: Vec<gaia_workload::Job> =
-            [60u64, 90, 300, 600].iter().map(|&len| job(0, len, 1)).collect();
+        let jobs: Vec<gaia_workload::Job> = [60u64, 90, 300, 600]
+            .iter()
+            .map(|&len| job(0, len, 1))
+            .collect();
         let set = QueueSet::paper_defaults().with_averages_from(&jobs);
         let factory =
             CtxFactory::new(&[500.0, 80.0, 450.0, 400.0, 40.0, 350.0, 300.0, 250.0, 200.0]);

@@ -73,17 +73,22 @@ mod tests {
     fn contiguous_valley_yields_single_segment() {
         // Short job (W = 6 h, horizon 8 h) with a two-hour valley: the
         // two picks merge into one contiguous segment.
-        let factory = CtxFactory::new(&[500.0, 10.0, 20.0, 400.0, 500.0, 500.0, 500.0, 500.0, 500.0]);
+        let factory =
+            CtxFactory::new(&[500.0, 10.0, 20.0, 400.0, 500.0, 500.0, 500.0, 500.0, 500.0]);
         let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
         let j = job(0, 120, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         let plan = d.segments().expect("plan");
-        assert_eq!(plan.segments, vec![(SimTime::from_hours(1), Minutes::from_hours(2))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::from_hours(1), Minutes::from_hours(2))]
+        );
     }
 
     #[test]
     fn plan_total_equals_exact_length() {
-        let factory = CtxFactory::new(&[300.0, 100.0, 200.0, 50.0, 400.0, 120.0, 80.0, 90.0, 500.0]);
+        let factory =
+            CtxFactory::new(&[300.0, 100.0, 200.0, 50.0, 400.0, 120.0, 80.0, 90.0, 500.0]);
         let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
         let j = job(0, 95, 1); // non-hour-aligned length
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
@@ -101,7 +106,10 @@ mod tests {
         let j = job(0, 60, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| policy.decide(&j, ctx));
         let plan = d.segments().expect("plan");
-        assert_eq!(plan.segments, vec![(SimTime::from_hours(1), Minutes::from_hours(1))]);
+        assert_eq!(
+            plan.segments,
+            vec![(SimTime::from_hours(1), Minutes::from_hours(1))]
+        );
     }
 
     #[test]
@@ -111,8 +119,9 @@ mod tests {
         let factory = CtxFactory::new(&[10.0, 500.0, 500.0, 500.0, 500.0, 500.0, 20.0, 500.0]);
         let mut policy = WaitAwhile::new(QueueSet::paper_defaults());
         let j = job(30, 90, 1);
-        let d =
-            factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| policy.decide(&j, ctx));
+        let d = factory.with_ctx(SimTime::from_minutes(30), 0, 0, |ctx| {
+            policy.decide(&j, ctx)
+        });
         let plan = d.segments().expect("plan");
         assert_eq!(
             plan.segments,

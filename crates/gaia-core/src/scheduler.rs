@@ -23,7 +23,9 @@ pub struct SpotConfig {
 impl Default for SpotConfig {
     /// The paper's default: only short-queue jobs (≤ 2 h) use spot.
     fn default() -> Self {
-        SpotConfig { j_max: Minutes::from_hours(2) }
+        SpotConfig {
+            j_max: Minutes::from_hours(2),
+        }
     }
 }
 
@@ -74,7 +76,12 @@ impl<P: BatchPolicy> GaiaScheduler<P> {
     /// Wraps a base policy with no purchase-option awareness.
     pub fn new(base: P) -> Self {
         let name = base.name().to_owned();
-        GaiaScheduler { base, res_first: false, spot: None, name }
+        GaiaScheduler {
+            base,
+            res_first: false,
+            spot: None,
+            name,
+        }
     }
 
     /// Enables the work-conserving RES-First wrapper (§4.2.3).
@@ -213,12 +220,15 @@ mod tests {
     #[test]
     fn spot_first_routes_short_jobs_to_spot() {
         let factory = valley_factory();
-        let mut sched =
-            GaiaScheduler::new(exact_carbon_time()).spot_first(SpotConfig::default());
+        let mut sched = GaiaScheduler::new(exact_carbon_time()).spot_first(SpotConfig::default());
         let short = job(0, 60, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| sched.on_arrival(&short, ctx));
         assert!(d.uses_spot());
-        assert_eq!(d.planned_start(), SimTime::from_hours(2), "still carbon-aware");
+        assert_eq!(
+            d.planned_start(),
+            SimTime::from_hours(2),
+            "still carbon-aware"
+        );
         // Long jobs stay off spot.
         let long = job(0, 300, 1);
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| sched.on_arrival(&long, ctx));
@@ -248,8 +258,9 @@ mod tests {
     #[test]
     fn j_max_bounds_spot_eligibility() {
         let factory = valley_factory();
-        let mut sched = GaiaScheduler::new(exact_carbon_time())
-            .spot_first(SpotConfig { j_max: Minutes::from_hours(6) });
+        let mut sched = GaiaScheduler::new(exact_carbon_time()).spot_first(SpotConfig {
+            j_max: Minutes::from_hours(6),
+        });
         let medium = job(0, 300, 1); // 5 h <= 6 h
         let d = factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| sched.on_arrival(&medium, ctx));
         assert!(d.uses_spot());

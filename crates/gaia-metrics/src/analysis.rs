@@ -51,7 +51,11 @@ pub fn carbon_reduction_cdf_by_length(baseline: &SimReport, run: &SimReport) -> 
             acc += delta;
             CdfPoint {
                 length,
-                cumulative_share: if total.abs() > f64::EPSILON { acc / total } else { 0.0 },
+                cumulative_share: if total.abs() > f64::EPSILON {
+                    acc / total
+                } else {
+                    0.0
+                },
             }
         })
         .collect()

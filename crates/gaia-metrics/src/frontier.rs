@@ -20,12 +20,10 @@ impl TradeOffPoint {
     /// Whether `self` dominates `other`: no worse on every objective and
     /// strictly better on at least one.
     pub fn dominates(&self, other: &TradeOffPoint) -> bool {
-        let no_worse = self.carbon <= other.carbon
-            && self.cost <= other.cost
-            && self.waiting <= other.waiting;
-        let strictly_better = self.carbon < other.carbon
-            || self.cost < other.cost
-            || self.waiting < other.waiting;
+        let no_worse =
+            self.carbon <= other.carbon && self.cost <= other.cost && self.waiting <= other.waiting;
+        let strictly_better =
+            self.carbon < other.carbon || self.cost < other.cost || self.waiting < other.waiting;
         no_worse && strictly_better
     }
 }
@@ -34,7 +32,12 @@ impl TradeOffPoint {
 /// objectives), in input order. Duplicate points are all retained.
 pub fn pareto_front(points: &[TradeOffPoint]) -> Vec<usize> {
     (0..points.len())
-        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&points[i])))
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && p.dominates(&points[i]))
+        })
         .collect()
 }
 
@@ -55,14 +58,20 @@ pub fn knee_point(points: &[(f64, f64)]) -> usize {
     // Normalize both axes so the knee is scale-invariant.
     let (min_x, max_x) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
     let (min_y, max_y) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
     let sx = (max_x - min_x).max(f64::EPSILON);
     let sy = (max_y - min_y).max(f64::EPSILON);
-    let norm: Vec<(f64, f64)> =
-        points.iter().map(|p| ((p.0 - min_x) / sx, (p.1 - min_y) / sy)).collect();
+    let norm: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| ((p.0 - min_x) / sx, (p.1 - min_y) / sy))
+        .collect();
     let first = norm[0];
     let last = *norm.last().expect("non-empty");
     let (dx, dy) = (last.0 - first.0, last.1 - first.1);
@@ -82,14 +91,24 @@ mod tests {
     use super::*;
 
     fn p(carbon: f64, cost: f64, waiting: f64) -> TradeOffPoint {
-        TradeOffPoint { carbon, cost, waiting }
+        TradeOffPoint {
+            carbon,
+            cost,
+            waiting,
+        }
     }
 
     #[test]
     fn domination_semantics() {
         assert!(p(1.0, 1.0, 1.0).dominates(&p(2.0, 1.0, 1.0)));
-        assert!(!p(1.0, 1.0, 1.0).dominates(&p(1.0, 1.0, 1.0)), "equal points do not dominate");
-        assert!(!p(1.0, 2.0, 1.0).dominates(&p(2.0, 1.0, 1.0)), "trade-offs do not dominate");
+        assert!(
+            !p(1.0, 1.0, 1.0).dominates(&p(1.0, 1.0, 1.0)),
+            "equal points do not dominate"
+        );
+        assert!(
+            !p(1.0, 2.0, 1.0).dominates(&p(2.0, 1.0, 1.0)),
+            "trade-offs do not dominate"
+        );
     }
 
     #[test]
@@ -119,7 +138,13 @@ mod tests {
     fn knee_of_an_l_shaped_curve() {
         // Diminishing returns: steep drop then flat tail; the knee is at
         // the bend (index 2).
-        let points = vec![(0.0, 100.0), (1.0, 55.0), (2.0, 20.0), (12.0, 15.0), (24.0, 13.0)];
+        let points = vec![
+            (0.0, 100.0),
+            (1.0, 55.0),
+            (2.0, 20.0),
+            (12.0, 15.0),
+            (24.0, 13.0),
+        ];
         assert_eq!(knee_point(&points), 2);
     }
 

@@ -28,7 +28,10 @@ impl SeedStats {
     ///
     /// Panics if `samples` is empty.
     pub fn of(samples: &[f64]) -> SeedStats {
-        assert!(!samples.is_empty(), "seed statistics need at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "seed statistics need at least one sample"
+        );
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -45,12 +48,18 @@ impl SeedStats {
         }
     }
 
-    /// Coefficient of variation, `std_dev / mean` (0 when the mean is 0).
+    /// Coefficient of variation, `std_dev / mean`.
+    ///
+    /// When the mean is (numerically) zero the ratio is undefined, and
+    /// returning 0 would falsely claim the samples have no dispersion.
+    /// Instead this returns `f64::INFINITY` — "relative dispersion is
+    /// unbounded" — so downstream consumers can detect and handle the
+    /// degenerate case explicitly. (JSON writers map it to `null`.)
     pub fn cov(&self) -> f64 {
         if self.mean.abs() > f64::EPSILON {
             self.std_dev / self.mean
         } else {
-            0.0
+            f64::INFINITY
         }
     }
 
@@ -86,9 +95,8 @@ pub fn across_seeds(replicates: &[Summary]) -> MultiSeedSummary {
         replicates.iter().all(|r| r.name == name),
         "replicates must come from the same policy"
     );
-    let collect = |f: fn(&Summary) -> f64| {
-        SeedStats::of(&replicates.iter().map(f).collect::<Vec<_>>())
-    };
+    let collect =
+        |f: fn(&Summary) -> f64| SeedStats::of(&replicates.iter().map(f).collect::<Vec<_>>());
     MultiSeedSummary {
         name,
         carbon_g: collect(|r| r.carbon_g),
@@ -130,6 +138,18 @@ mod tests {
         let s = SeedStats::of(&[7.0]);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn zero_mean_cov_is_infinite_not_zero() {
+        // Dispersion around a zero mean: claiming cov = 0 here would
+        // read as "perfectly stable", the opposite of the truth.
+        let spread = SeedStats::of(&[-1.0, 1.0]);
+        assert_eq!(spread.mean, 0.0);
+        assert!(spread.std_dev > 0.0);
+        assert_eq!(spread.cov(), f64::INFINITY);
+        // Degenerate all-zero samples land in the same branch.
+        assert_eq!(SeedStats::of(&[0.0, 0.0]).cov(), f64::INFINITY);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub fn run_specs(
     carbon: &CarbonTrace,
     config: ClusterConfig,
 ) -> Vec<Summary> {
-    specs.iter().map(|&spec| run_spec(spec, trace, carbon, config)).collect()
+    specs
+        .iter()
+        .map(|&spec| run_spec(spec, trace, carbon, config))
+        .collect()
 }
 
 /// The paper-default queue set with averages learned from `trace`.
@@ -94,7 +97,12 @@ mod tests {
     fn carbon_aware_policies_save_carbon_with_perfect_forecasts() {
         let (trace, carbon) = tiny_setup();
         let config = ClusterConfig::default();
-        let nowait = run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &carbon, config);
+        let nowait = run_spec(
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            &trace,
+            &carbon,
+            config,
+        );
         for kind in [
             BasePolicyKind::LowestSlot,
             BasePolicyKind::LowestWindow,

@@ -172,7 +172,7 @@ mod tests {
         assert!((rel.carbon - 0.75).abs() < 1e-12);
         assert!((rel.cost - 1.2).abs() < 1e-12);
         assert!(rel.waiting.is_infinite()); // baseline waiting is zero
-        // Equal zero metrics are 1.0.
+                                            // Equal zero metrics are 1.0.
         let same = relative_to(&baseline, &baseline);
         assert_eq!(same.waiting, 1.0);
     }

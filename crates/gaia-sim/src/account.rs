@@ -132,10 +132,12 @@ impl ClusterTotals {
         };
         for outcome in outcomes {
             totals.carbon_g += outcome.carbon_g;
-            totals.cost_on_demand +=
-                config.pricing.on_demand_cost(outcome.cpu_hours_on(PurchaseOption::OnDemand));
-            totals.cost_spot +=
-                config.pricing.spot_cost(outcome.cpu_hours_on(PurchaseOption::Spot));
+            totals.cost_on_demand += config
+                .pricing
+                .on_demand_cost(outcome.cpu_hours_on(PurchaseOption::OnDemand));
+            totals.cost_spot += config
+                .pricing
+                .spot_cost(outcome.cpu_hours_on(PurchaseOption::Spot));
             totals.total_waiting += outcome.waiting;
             totals.total_completion += outcome.completion;
             totals.reserved_cpu_hours += outcome.cpu_hours_on(PurchaseOption::Reserved);
@@ -186,7 +188,8 @@ impl ClusterTotals {
     /// quantity the paper argues rises when carbon-aware scheduling idles
     /// reserved capacity (§1, §3). `None` if no reserved hour was used.
     pub fn effective_reserved_price(&self) -> Option<f64> {
-        (self.reserved_cpu_hours > 0.0).then(|| self.cost_reserved_prepaid / self.reserved_cpu_hours)
+        (self.reserved_cpu_hours > 0.0)
+            .then(|| self.cost_reserved_prepaid / self.reserved_cpu_hours)
     }
 }
 
@@ -236,7 +239,12 @@ mod tests {
             completion: Minutes::from_hours(waiting_h + hours),
             carbon_g: 100.0,
             cost: 0.0,
-            segments: vec![SegmentRecord { start, end, option, useful: true }],
+            segments: vec![SegmentRecord {
+                start,
+                end,
+                option,
+                useful: true,
+            }],
             evictions: 0,
         }
     }
@@ -324,8 +332,13 @@ mod tests {
         };
         let start = SimTime::ORIGIN;
         let end = SimTime::from_hours(2);
-        assert_eq!(segment_cost(&pricing, PurchaseOption::Reserved, 3, start, end), 0.0);
-        assert!((segment_cost(&pricing, PurchaseOption::OnDemand, 3, start, end) - 6.0).abs() < 1e-12);
+        assert_eq!(
+            segment_cost(&pricing, PurchaseOption::Reserved, 3, start, end),
+            0.0
+        );
+        assert!(
+            (segment_cost(&pricing, PurchaseOption::OnDemand, 3, start, end) - 6.0).abs() < 1e-12
+        );
         assert!((segment_cost(&pricing, PurchaseOption::Spot, 3, start, end) - 1.2).abs() < 1e-12);
     }
 

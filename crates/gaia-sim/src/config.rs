@@ -209,9 +209,15 @@ impl CapacityCap {
         match *self {
             CapacityCap::None => None,
             CapacityCap::Static(cap) => Some(cap),
-            CapacityCap::CarbonResponsive { normal_cap, high_carbon_cap, ci_threshold } => {
-                Some(if ci >= ci_threshold { high_carbon_cap } else { normal_cap })
-            }
+            CapacityCap::CarbonResponsive {
+                normal_cap,
+                high_carbon_cap,
+                ci_threshold,
+            } => Some(if ci >= ci_threshold {
+                high_carbon_cap
+            } else {
+                normal_cap
+            }),
         }
     }
 
@@ -405,8 +411,14 @@ mod tests {
         // Before the first checkpoint completes (cycle = 130 min): nothing.
         assert_eq!(cp.banked_work(Minutes::new(129), work), Minutes::ZERO);
         // After one full cycle: one interval banked.
-        assert_eq!(cp.banked_work(Minutes::new(130), work), Minutes::from_hours(2));
-        assert_eq!(cp.banked_work(Minutes::new(260), work), Minutes::from_hours(4));
+        assert_eq!(
+            cp.banked_work(Minutes::new(130), work),
+            Minutes::from_hours(2)
+        );
+        assert_eq!(
+            cp.banked_work(Minutes::new(260), work),
+            Minutes::from_hours(4)
+        );
         // Never banks more than the total work.
         assert_eq!(cp.banked_work(Minutes::from_days(2), work), work);
     }

@@ -80,7 +80,11 @@ impl<'a> Simulation<'a> {
     /// paper's assumption, §6.1) unless overridden with
     /// [`Simulation::with_forecaster`].
     pub fn new(config: ClusterConfig, carbon: &'a CarbonTrace) -> Self {
-        Simulation { config, carbon, forecaster: None }
+        Simulation {
+            config,
+            carbon,
+            forecaster: None,
+        }
     }
 
     /// Replaces the forecaster policies consult (accounting still uses
@@ -124,7 +128,10 @@ impl<'a> Simulation<'a> {
             accum: trace
                 .jobs()
                 .iter()
-                .map(|job| JobAccum { remaining: job.length, ..JobAccum::default() })
+                .map(|job| JobAccum {
+                    remaining: job.length,
+                    ..JobAccum::default()
+                })
                 .collect(),
             waiters: BTreeSet::new(),
             plan_decisions: vec![None; trace.len()],
@@ -196,14 +203,22 @@ impl PartialOrd for Event {
 enum JobState {
     Unarrived,
     /// Waiting for its planned start (uninterruptible decision).
-    Waiting { decision: Decision },
+    Waiting {
+        decision: Decision,
+    },
     /// Running an uninterruptible stretch of the given wall span
     /// (work remaining plus checkpoint overheads, if any).
-    RunningOnce { option: PurchaseOption, start: SimTime, span: Minutes },
+    RunningOnce {
+        option: PurchaseOption,
+        start: SimTime,
+        span: Minutes,
+    },
     /// Waiting between / running segments of a suspend-resume plan. The
     /// running tuple is `(segment index, option, start, execution end)`;
     /// the execution end includes any instance boot time.
-    InPlan { running: Option<(usize, PurchaseOption, SimTime, SimTime)> },
+    InPlan {
+        running: Option<(usize, PurchaseOption, SimTime, SimTime)>,
+    },
     Done,
 }
 
@@ -256,7 +271,13 @@ enum CapBlocked {
 impl Engine<'_> {
     fn push(&mut self, time: SimTime, job: u32, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Event { time, prio: kind.priority(), seq: self.seq, job, kind });
+        self.heap.push(Event {
+            time,
+            prio: kind.priority(),
+            seq: self.seq,
+            job,
+            kind,
+        });
     }
 
     fn run(&mut self, scheduler: &mut dyn Scheduler) {
@@ -285,7 +306,11 @@ impl Engine<'_> {
     /// A job wider than the cap is admitted once nothing elastic runs, so
     /// caps cannot deadlock.
     fn cap_allows(&self, cpus: u32, now: SimTime) -> bool {
-        match self.config.capacity_cap.cap_at(self.carbon.intensity_at(now)) {
+        match self
+            .config
+            .capacity_cap
+            .cap_at(self.carbon.intensity_at(now))
+        {
             None => true,
             Some(cap) => self.elastic_busy + cpus <= cap || self.elastic_busy == 0,
         }
@@ -412,7 +437,13 @@ impl Engine<'_> {
             PurchaseOption::OnDemand
         };
         if option != PurchaseOption::Reserved && !self.cap_allows(job.cpus, now) {
-            self.block_on_cap(CapBlocked::Once { idx, allow_spot: use_spot }, now);
+            self.block_on_cap(
+                CapBlocked::Once {
+                    idx,
+                    allow_spot: use_spot,
+                },
+                now,
+            );
             return;
         }
         self.begin_run(idx, now, option);
@@ -446,7 +477,11 @@ impl Engine<'_> {
                 (PurchaseOption::Spot, Some(cp)) => cp.span_for(work),
                 _ => work,
             };
-        self.states[idx] = JobState::RunningOnce { option, start: now, span };
+        self.states[idx] = JobState::RunningOnce {
+            option,
+            start: now,
+            span,
+        };
         if option != PurchaseOption::Reserved {
             self.elastic_busy += job.cpus;
         }
@@ -455,7 +490,9 @@ impl Engine<'_> {
                 span,
                 self.config.seed,
                 // Distinct stream per attempt so restarts resample.
-                job.id.0.wrapping_add((self.accum[idx].evictions as u64) << 40),
+                job.id
+                    .0
+                    .wrapping_add((self.accum[idx].evictions as u64) << 40),
             ) {
                 self.push(now + offset, idx as u32, EventKind::Eviction);
                 return;
@@ -465,7 +502,12 @@ impl Engine<'_> {
     }
 
     fn on_finish_once(&mut self, idx: usize, now: SimTime) {
-        let JobState::RunningOnce { option, start, span } = self.states[idx] else {
+        let JobState::RunningOnce {
+            option,
+            start,
+            span,
+        } = self.states[idx]
+        else {
             // Stale finish after an eviction rescheduled the job.
             return;
         };
@@ -514,7 +556,10 @@ impl Engine<'_> {
                                 decision: Decision::run_at(now).on_spot(),
                             };
                             self.block_on_cap(
-                                CapBlocked::Once { idx, allow_spot: true },
+                                CapBlocked::Once {
+                                    idx,
+                                    allow_spot: true,
+                                },
                                 now,
                             );
                         }
@@ -563,7 +608,9 @@ impl Engine<'_> {
             return;
         }
         let job = self.jobs[idx];
-        let decision = self.plan_decisions[idx].as_ref().expect("plan decision stored");
+        let decision = self.plan_decisions[idx]
+            .as_ref()
+            .expect("plan decision stored");
         let plan = decision.segments().expect("InPlan implies a segment plan");
         let (_, seg_len) = plan.segments[seg_idx];
         let use_spot = decision.uses_spot();
@@ -583,15 +630,17 @@ impl Engine<'_> {
             self.elastic_busy += job.cpus;
         }
         let exec_end = now + self.boot_for(option) + seg_len;
-        self.states[idx] =
-            JobState::InPlan { running: Some((seg_idx, option, now, exec_end)) };
+        self.states[idx] = JobState::InPlan {
+            running: Some((seg_idx, option, now, exec_end)),
+        };
         if option == PurchaseOption::Spot {
             if let Some(offset) = self.config.eviction.sample_eviction(
                 exec_end - now,
                 self.config.seed,
-                job.id.0.wrapping_add((self.accum[idx].evictions as u64) << 40).wrapping_add(
-                    (seg_idx as u64) << 52,
-                ),
+                job.id
+                    .0
+                    .wrapping_add((self.accum[idx].evictions as u64) << 40)
+                    .wrapping_add((seg_idx as u64) << 52),
             ) {
                 self.push(now + offset, idx as u32, EventKind::Eviction);
                 return;
@@ -601,8 +650,9 @@ impl Engine<'_> {
     }
 
     fn on_finish_segment(&mut self, idx: usize, seg_idx: usize, now: SimTime) {
-        let JobState::InPlan { running: Some((running_idx, option, start, exec_end)) } =
-            self.states[idx]
+        let JobState::InPlan {
+            running: Some((running_idx, option, start, exec_end)),
+        } = self.states[idx]
         else {
             return; // stale
         };
@@ -675,7 +725,12 @@ impl Engine<'_> {
         let accum = &mut self.accum[idx];
         accum.carbon_g += carbon;
         accum.cost += cost;
-        accum.segments.push(SegmentRecord { start, end, option, useful });
+        accum.segments.push(SegmentRecord {
+            start,
+            end,
+            option,
+            useful,
+        });
     }
 
     fn into_report(mut self, trace: &WorkloadTrace) -> SimReport {
@@ -699,7 +754,11 @@ impl Engine<'_> {
                 }
             })
             .collect();
-        let makespan = outcomes.iter().map(|o| o.finish).max().unwrap_or(SimTime::ORIGIN);
+        let makespan = outcomes
+            .iter()
+            .map(|o| o.finish)
+            .max()
+            .unwrap_or(SimTime::ORIGIN);
         let billing_horizon = self.config.billing_horizon.unwrap_or_else(|| {
             let span = makespan.max(trace.nominal_makespan());
             // Round up to a whole day: contracts do not end mid-afternoon.
@@ -707,6 +766,10 @@ impl Engine<'_> {
         });
         let totals = ClusterTotals::aggregate(&outcomes, self.config, billing_horizon);
         let timeline = AllocationTimeline::from_outcomes(&outcomes, billing_horizon);
-        SimReport { jobs: outcomes, totals, timeline }
+        SimReport {
+            jobs: outcomes,
+            totals,
+            timeline,
+        }
     }
 }

@@ -45,7 +45,10 @@ impl EvictionModel {
     ///
     /// Panics unless `rate` is in `[0, 1]`.
     pub fn hourly(rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "eviction rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "eviction rate must be in [0, 1]"
+        );
         EvictionModel { hourly_rate: rate }
     }
 
@@ -71,8 +74,8 @@ impl EvictionModel {
         }
         // Geometric: index of the first failed hourly trial.
         let u: f64 = rng.random();
-        let hours_survived = (u.max(f64::MIN_POSITIVE).ln() / (1.0 - self.hourly_rate).ln())
-            .floor() as u64;
+        let hours_survived =
+            (u.max(f64::MIN_POSITIVE).ln() / (1.0 - self.hourly_rate).ln()).floor() as u64;
         let within = rng.random_range(0..MINUTES_PER_HOUR);
         let offset = Minutes::new(hours_survived * MINUTES_PER_HOUR + within.max(1));
         (offset < duration).then_some(offset)
@@ -111,7 +114,10 @@ mod tests {
             .filter(|&s| m.sample_eviction(Minutes::from_hours(1), 42, s).is_some())
             .count();
         let frac = evicted as f64 / n as f64;
-        assert!((frac - 0.10).abs() < 0.01, "1-hour eviction frequency {frac}");
+        assert!(
+            (frac - 0.10).abs() < 0.01,
+            "1-hour eviction frequency {frac}"
+        );
     }
 
     #[test]
@@ -120,7 +126,10 @@ mod tests {
         let n = 20_000;
         let frac = |hours: u64| {
             (0..n)
-                .filter(|&s| m.sample_eviction(Minutes::from_hours(hours), 42, s).is_some())
+                .filter(|&s| {
+                    m.sample_eviction(Minutes::from_hours(hours), 42, s)
+                        .is_some()
+                })
                 .count() as f64
                 / n as f64
         };
@@ -128,7 +137,10 @@ mod tests {
         let long = frac(12);
         assert!(long > short + 0.2, "12-hour {long} vs 2-hour {short}");
         // P(evicted within 12h) = 1 - 0.9^12 ≈ 0.72.
-        assert!((long - 0.72).abs() < 0.03, "12-hour eviction frequency {long}");
+        assert!(
+            (long - 0.72).abs() < 0.03,
+            "12-hour eviction frequency {long}"
+        );
     }
 
     #[test]
@@ -137,7 +149,10 @@ mod tests {
         for stream in 0..1000 {
             if let Some(offset) = m.sample_eviction(Minutes::from_hours(3), 1, stream) {
                 assert!(offset < Minutes::from_hours(3));
-                assert!(!offset.is_zero(), "eviction at offset zero would be a free restart");
+                assert!(
+                    !offset.is_zero(),
+                    "eviction at offset zero would be a free restart"
+                );
             }
         }
     }
@@ -146,7 +161,9 @@ mod tests {
     fn rate_one_always_evicts_long_runs() {
         let m = EvictionModel::hourly(1.0);
         for stream in 0..100 {
-            assert!(m.sample_eviction(Minutes::from_hours(2), 1, stream).is_some());
+            assert!(m
+                .sample_eviction(Minutes::from_hours(2), 1, stream)
+                .is_some());
         }
     }
 

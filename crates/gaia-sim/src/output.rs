@@ -87,7 +87,10 @@ pub fn write_runtime_csv<W: Write>(
     report: &SimReport,
     carbon: &CarbonTrace,
 ) -> std::io::Result<()> {
-    writeln!(writer, "hour,reserved_cpus,on_demand_cpus,spot_cpus,carbon_intensity,carbon_g")?;
+    writeln!(
+        writer,
+        "hour,reserved_cpus,on_demand_cpus,spot_cpus,carbon_intensity,carbon_g"
+    )?;
     for hour in 0..report.timeline.hours() {
         let busy = report.timeline.total_at(hour);
         let ci = carbon.intensity_at(SimTime::from_hours(hour as u64));

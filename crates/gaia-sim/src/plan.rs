@@ -125,7 +125,10 @@ impl Decision {
     /// on-demand.
     pub fn run_segments(plan: SegmentPlan) -> Decision {
         Decision {
-            kind: DecisionKind::Segments { plan, use_spot: false },
+            kind: DecisionKind::Segments {
+                plan,
+                use_spot: false,
+            },
         }
     }
 
@@ -135,7 +138,11 @@ impl Decision {
     /// Only meaningful for uninterruptible decisions; segment plans
     /// ignore it.
     pub fn opportunistic(mut self) -> Decision {
-        if let DecisionKind::Once { opportunistic_reserved, .. } = &mut self.kind {
+        if let DecisionKind::Once {
+            opportunistic_reserved,
+            ..
+        } = &mut self.kind
+        {
             *opportunistic_reserved = true;
         }
         self
@@ -168,7 +175,10 @@ impl Decision {
     pub fn is_opportunistic(&self) -> bool {
         matches!(
             self.kind,
-            DecisionKind::Once { opportunistic_reserved: true, .. }
+            DecisionKind::Once {
+                opportunistic_reserved: true,
+                ..
+            }
         )
     }
 

@@ -29,7 +29,10 @@ pub struct ReservedPool {
 impl ReservedPool {
     /// Creates a pool of `capacity` reserved CPU units, all idle.
     pub fn new(capacity: u32) -> Self {
-        ReservedPool { capacity, in_use: 0 }
+        ReservedPool {
+            capacity,
+            in_use: 0,
+        }
     }
 
     /// Total prepaid capacity.
@@ -64,7 +67,11 @@ impl ReservedPool {
     /// Panics if more units are released than are in use — always an
     /// engine bug.
     pub fn release(&mut self, cpus: u32) {
-        assert!(cpus <= self.in_use, "released {cpus} units but only {} busy", self.in_use);
+        assert!(
+            cpus <= self.in_use,
+            "released {cpus} units but only {} busy",
+            self.in_use
+        );
         self.in_use -= cpus;
     }
 }

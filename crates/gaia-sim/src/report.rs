@@ -73,7 +73,11 @@ pub struct SimReport {
 impl SimReport {
     /// Instant the last job finished.
     pub fn makespan(&self) -> SimTime {
-        self.jobs.iter().map(|j| j.finish).max().unwrap_or(SimTime::ORIGIN)
+        self.jobs
+            .iter()
+            .map(|j| j.finish)
+            .max()
+            .unwrap_or(SimTime::ORIGIN)
     }
 
     /// Mean waiting time.

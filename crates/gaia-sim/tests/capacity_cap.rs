@@ -16,7 +16,12 @@ impl Scheduler for RunNow {
 }
 
 fn job(id: u64, arrival_min: u64, len_min: u64, cpus: u32) -> Job {
-    Job::new(JobId(id), SimTime::from_minutes(arrival_min), Minutes::new(len_min), cpus)
+    Job::new(
+        JobId(id),
+        SimTime::from_minutes(arrival_min),
+        Minutes::new(len_min),
+        cpus,
+    )
 }
 
 #[test]
@@ -24,14 +29,15 @@ fn static_cap_serializes_elastic_work() {
     let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
     // Three 1-hour jobs arriving together, cap of 1 elastic CPU: they
     // must run back to back in arrival order.
-    let trace = WorkloadTrace::from_jobs(vec![
-        job(0, 0, 60, 1),
-        job(1, 0, 60, 1),
-        job(2, 0, 60, 1),
-    ]);
+    let trace =
+        WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 0, 60, 1), job(2, 0, 60, 1)]);
     let config = ClusterConfig::default().with_capacity_cap(CapacityCap::Static(1));
     let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
-    let starts: Vec<u64> = report.jobs.iter().map(|j| j.first_start.as_minutes()).collect();
+    let starts: Vec<u64> = report
+        .jobs
+        .iter()
+        .map(|j| j.first_start.as_minutes())
+        .collect();
     assert_eq!(starts, vec![0, 60, 120]);
     assert_eq!(report.jobs[2].waiting, Minutes::from_hours(2));
 }
@@ -94,8 +100,9 @@ fn carbon_responsive_cap_releases_when_carbon_falls() {
 #[test]
 fn cap_throttling_reduces_high_carbon_execution() {
     // Diurnal trace: 12 expensive hours then 12 cheap hours, repeated.
-    let hourly: Vec<f64> =
-        (0..24 * 10).map(|h| if h % 24 < 12 { 600.0 } else { 100.0 }).collect();
+    let hourly: Vec<f64> = (0..24 * 10)
+        .map(|h| if h % 24 < 12 { 600.0 } else { 100.0 })
+        .collect();
     let carbon = CarbonTrace::from_hourly(hourly).expect("valid");
     // Steady stream of overlapping 2-hour jobs (concurrency ~4).
     let jobs: Vec<Job> = (0..60).map(|i| job(i, i * 30, 120, 1)).collect();

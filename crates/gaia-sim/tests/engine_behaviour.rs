@@ -75,8 +75,7 @@ fn reserved_preferred_over_on_demand() {
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 0, 60, 1)]);
     let config = ClusterConfig::default().with_reserved(1);
     let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
-    let options: Vec<PurchaseOption> =
-        report.jobs.iter().map(|j| j.segments[0].option).collect();
+    let options: Vec<PurchaseOption> = report.jobs.iter().map(|j| j.segments[0].option).collect();
     assert_eq!(options[0], PurchaseOption::Reserved);
     assert_eq!(options[1], PurchaseOption::OnDemand);
     // Reserved frees at 60; a later job reuses it.
@@ -162,11 +161,8 @@ fn wide_waiter_does_not_block_narrow_one() {
     }
     // 2 reserved CPUs. Job 0 uses both for an hour. Job 1 needs 2 CPUs
     // (planned hour 5), job 2 needs 1 CPU (planned hour 6).
-    let trace = WorkloadTrace::from_jobs(vec![
-        job(0, 0, 60, 2),
-        job(1, 1, 600, 2),
-        job(2, 2, 60, 1),
-    ]);
+    let trace =
+        WorkloadTrace::from_jobs(vec![job(0, 0, 60, 2), job(1, 1, 600, 2), job(2, 2, 60, 1)]);
     // Job 0 finishes at hour 1 freeing 2 cpus: job 1 (earlier planned)
     // takes both; job 2 must wait for its own chance.
     let config = ClusterConfig::default().with_reserved(2);
@@ -202,7 +198,9 @@ fn spot_eviction_restarts_and_accounts_lost_work() {
     let carbon = flat_carbon(200);
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 240, 1)]);
     // Certain eviction within the first hour.
-    let config = ClusterConfig::default().with_eviction(EvictionModel::hourly(1.0)).with_seed(3);
+    let config = ClusterConfig::default()
+        .with_eviction(EvictionModel::hourly(1.0))
+        .with_seed(3);
     let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
     let outcome = &report.jobs[0];
     assert_eq!(outcome.evictions, 1);
@@ -252,8 +250,7 @@ fn segment_plan_executes_each_segment() {
         }
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 180, 1)]);
-    let report =
-        Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut Suspender);
+    let report = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut Suspender);
     let outcome = &report.jobs[0];
     assert_eq!(outcome.segments.len(), 3);
     assert!((outcome.carbon_g - 175.0).abs() < 1e-9);
@@ -286,7 +283,10 @@ fn segment_plan_uses_reserved_per_segment() {
     let report = Simulation::new(config, &carbon).run(&trace, &mut TwoPhase);
     let seg_options: Vec<PurchaseOption> =
         report.jobs[1].segments.iter().map(|s| s.option).collect();
-    assert_eq!(seg_options, vec![PurchaseOption::OnDemand, PurchaseOption::Reserved]);
+    assert_eq!(
+        seg_options,
+        vec![PurchaseOption::OnDemand, PurchaseOption::Reserved]
+    );
 }
 
 #[test]
@@ -406,7 +406,10 @@ fn checkpointing_banks_progress_across_evictions() {
             overhead: Minutes::ZERO,
             max_retries: 1000,
         })
-        .with_seed(3);
+        // Seed chosen so the eviction stream yields many evictions
+        // (13 under the vendored StdRng): the banked-progress path must
+        // actually be exercised, not skipped by a lucky survival.
+        .with_seed(4);
     let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
     let outcome = &report.jobs[0];
     // Evicted many times, but progress accumulates: the job finishes on

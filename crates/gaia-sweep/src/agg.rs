@@ -1,0 +1,101 @@
+//! Across-seed aggregation of sweep results.
+//!
+//! A sweep with a multi-entry seed dimension produces replicate runs of
+//! every (policy, region, family, cluster, queues) point. This module
+//! groups those replicates — in first-appearance grid order, so the
+//! grouping itself is deterministic — and folds each group through
+//! [`gaia_metrics::across_seeds`] into mean ± std statistics.
+
+use gaia_metrics::MultiSeedSummary;
+
+use crate::grid::Scenario;
+use crate::SweepRun;
+
+/// One seed-aggregated scenario group: every grid cell that differs
+/// only in its seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Stable group identifier: the scenario key with the seed segment
+    /// removed, e.g. `Carbon-Time/SA-AU/Alibaba/week/r0-ev0-b9d/q6x24`.
+    pub key: String,
+    /// A representative scenario of the group (the first in grid order;
+    /// its seed is arbitrary within the group).
+    pub exemplar: Scenario,
+    /// Mean/dispersion statistics across the group's seeds.
+    pub stats: MultiSeedSummary,
+}
+
+/// The group identifier of a scenario: its key minus the seed segment.
+pub fn group_key(scenario: &Scenario) -> String {
+    format!(
+        "{}/{}/{}/{}/{}/{}",
+        scenario.policy.name(),
+        scenario.region.code(),
+        scenario.family.name(),
+        scenario.scale.token(),
+        scenario.cluster.token(),
+        scenario.queues.token(),
+    )
+}
+
+/// Groups `run`'s results by everything except the seed and aggregates
+/// each group across its seeds. Groups appear in first-appearance grid
+/// order, so the output is deterministic.
+pub fn across_seed_groups(run: &SweepRun) -> Vec<GroupSummary> {
+    let mut order: Vec<String> = Vec::new();
+    let mut members: std::collections::HashMap<String, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (index, result) in run.results.iter().enumerate() {
+        let key = group_key(&result.scenario);
+        members
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(index);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let indices = &members[&key];
+            let replicates: Vec<_> = indices
+                .iter()
+                .map(|&i| run.results[i].summary.clone())
+                .collect();
+            GroupSummary {
+                key,
+                exemplar: run.results[indices[0]].scenario,
+                stats: gaia_metrics::across_seeds(&replicates),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Executor, SweepGrid, TraceCache};
+    use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+
+    #[test]
+    fn groups_collapse_seeds_and_keep_grid_order() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ])
+            .seeds(vec![1, 2, 3]);
+        let cache = TraceCache::new();
+        let run = crate::run_grid_with_cache(&grid, &Executor::new(1).with_progress(false), &cache);
+        let groups = across_seed_groups(&run);
+        assert_eq!(groups.len(), 2, "two policies, seeds folded");
+        assert_eq!(groups[0].stats.name, "NoWait");
+        assert_eq!(groups[1].stats.name, "Carbon-Time");
+        assert_eq!(groups[0].stats.carbon_g.n, 3);
+        assert!(
+            !groups[0].key.contains("/s1/"),
+            "seed removed from group key"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Memoizing trace cache shared read-only across sweep workers.
+//!
+//! Year-scale carbon and workload synthesis dominates sweep setup cost:
+//! a 100k-job trace takes orders of magnitude longer to generate than
+//! to hand out. Sweeps over policies × regions × seeds reuse the same
+//! (region, seed) carbon trace and (family, scale, seed) workload trace
+//! in many cells, so the cache generates each once — under a
+//! `parking_lot::RwLock`-guarded map — and shares it as an
+//! `Arc<CarbonTrace>` / `Arc<WorkloadTrace>` across worker threads.
+//!
+//! Generation happens inside the write lock, which serializes two
+//! workers racing to materialize the *same* trace (the second blocks
+//! and then reads the first's result instead of recomputing it).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gaia_carbon::synth::synthesize_region;
+use gaia_carbon::{CarbonTrace, Region};
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::WorkloadTrace;
+use parking_lot::RwLock;
+
+use crate::grid::ScaleSpec;
+
+/// Cache hit/miss counters, reported in the run manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that generated a new trace.
+    pub misses: usize,
+}
+
+/// Shared, thread-safe memoization of carbon and workload traces.
+#[derive(Default)]
+pub struct TraceCache {
+    carbon: RwLock<HashMap<(Region, u64), Arc<CarbonTrace>>>,
+    workload: RwLock<HashMap<(TraceFamily, ScaleSpec, u64), Arc<WorkloadTrace>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// The year-long carbon trace for `(region, seed)`, synthesized on
+    /// first use.
+    pub fn carbon(&self, region: Region, seed: u64) -> Arc<CarbonTrace> {
+        if let Some(trace) = self.carbon.read().get(&(region, seed)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(trace);
+        }
+        let mut map = self.carbon.write();
+        // Re-check: another worker may have filled the slot while we
+        // waited for the write lock.
+        if let Some(trace) = map.get(&(region, seed)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(trace);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(synthesize_region(region, seed));
+        map.insert((region, seed), Arc::clone(&trace));
+        trace
+    }
+
+    /// The workload trace for `(family, scale, seed)`, synthesized on
+    /// first use.
+    pub fn workload(&self, family: TraceFamily, scale: ScaleSpec, seed: u64) -> Arc<WorkloadTrace> {
+        if let Some(trace) = self.workload.read().get(&(family, scale, seed)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(trace);
+        }
+        let mut map = self.workload.write();
+        if let Some(trace) = map.get(&(family, scale, seed)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(trace);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(match scale {
+            ScaleSpec::Week => family.week_long_1k(seed),
+            ScaleSpec::Year { jobs } => family.year_long(jobs, seed),
+        });
+        map.insert((family, scale, seed), Arc::clone(&trace));
+        trace
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carbon_is_generated_once_and_shared() {
+        let cache = TraceCache::new();
+        let a = cache.carbon(Region::SouthAustralia, 1);
+        let b = cache.carbon(Region::SouthAustralia, 1);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the first trace");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_generate_distinct_traces() {
+        let cache = TraceCache::new();
+        let a = cache.carbon(Region::SouthAustralia, 1);
+        let b = cache.carbon(Region::SouthAustralia, 2);
+        let c = cache.carbon(Region::California, 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn workload_cache_keys_on_family_scale_seed() {
+        let cache = TraceCache::new();
+        let week = cache.workload(TraceFamily::AlibabaPai, ScaleSpec::Week, 42);
+        let again = cache.workload(TraceFamily::AlibabaPai, ScaleSpec::Week, 42);
+        let other_seed = cache.workload(TraceFamily::AlibabaPai, ScaleSpec::Week, 43);
+        assert!(Arc::ptr_eq(&week, &again));
+        assert!(!Arc::ptr_eq(&week, &other_seed));
+        assert_eq!(week.len(), 1000);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_generation() {
+        let cache = TraceCache::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| cache.carbon(Region::Ontario, 7)))
+                .collect();
+            let traces: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for t in &traces[1..] {
+                assert!(Arc::ptr_eq(&traces[0], t));
+            }
+        });
+        assert_eq!(cache.stats().misses, 1, "exactly one generation");
+    }
+}

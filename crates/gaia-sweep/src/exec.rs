@@ -1,0 +1,278 @@
+//! Deterministic worker-pool executor.
+//!
+//! Fans cells out across N OS threads through a `crossbeam` MPMC
+//! channel and merges results back **in grid order**: each cell travels
+//! with its grid index, workers send `(index, result)` pairs back, and
+//! the merger slots them into a pre-sized vector. Per-cell computation
+//! stays single-threaded and seed-deterministic, so the merged output
+//! is byte-identical for any worker count — parallelism changes only
+//! the wall-clock, never the results.
+//!
+//! Progress (completed/total, ETA) is reported to stderr while the
+//! sweep runs; stdout stays reserved for experiment output.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: usize,
+    progress: bool,
+}
+
+impl Executor {
+    /// Pool with `workers` threads (clamped to at least 1). Progress
+    /// reporting is on by default.
+    pub fn new(workers: usize) -> Executor {
+        Executor {
+            workers: workers.max(1),
+            progress: true,
+        }
+    }
+
+    /// Pool sized to the machine's available parallelism.
+    pub fn available() -> Executor {
+        Executor::new(default_workers())
+    }
+
+    /// Enables or disables stderr progress reporting.
+    pub fn with_progress(mut self, progress: bool) -> Executor {
+        self.progress = progress;
+        self
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every cell and returns the results in input
+    /// order, regardless of which worker finished first.
+    ///
+    /// `f` receives `(grid_index, &cell)` and must be deterministic in
+    /// its inputs for the sweep-determinism guarantee to hold (every
+    /// GAIA simulation is, by construction: all randomness flows from
+    /// explicit seeds).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic after draining the pool.
+    pub fn run<C, R, F>(&self, label: &str, cells: Vec<C>, f: F) -> Vec<R>
+    where
+        C: Send,
+        R: Send,
+        F: Fn(usize, &C) -> R + Sync,
+    {
+        let total = cells.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut meter = Progress::new(label, total, self.progress);
+        let workers = self.workers.min(total);
+        if workers == 1 {
+            // Serial fast path: same merge semantics, no thread setup.
+            let results = cells
+                .iter()
+                .enumerate()
+                .map(|(index, cell)| {
+                    let result = f(index, cell);
+                    meter.bump();
+                    result
+                })
+                .collect();
+            meter.finish();
+            return results;
+        }
+
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, C)>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+        for (index, cell) in cells.into_iter().enumerate() {
+            // Receivers outlive this loop, so a send can't fail here.
+            if job_tx.send((index, cell)).is_err() {
+                unreachable!("job channel closed while enqueueing");
+            }
+        }
+        // Close the job channel: workers drain it and exit on disconnect.
+        drop(job_tx);
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    while let Ok((index, cell)) = job_rx.recv() {
+                        let result = f(index, &cell);
+                        if result_tx.send((index, result)).is_err() {
+                            return; // merger gone; nothing left to do
+                        }
+                    }
+                });
+            }
+            // The merger owns no sender: disconnect <=> all workers done.
+            drop(result_tx);
+            while let Ok((index, result)) = result_rx.recv() {
+                debug_assert!(slots[index].is_none(), "duplicate result for cell {index}");
+                slots[index] = Some(result);
+                meter.bump();
+            }
+            // A missing slot here means a worker panicked mid-cell; the
+            // scope join below re-raises that panic.
+        });
+        meter.finish();
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("all cells completed"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::available()
+    }
+}
+
+/// The machine's available parallelism, overridable with the
+/// `GAIA_WORKERS` environment variable (used by scripts to compare
+/// serial and parallel sweeps).
+pub fn default_workers() -> usize {
+    std::env::var("GAIA_WORKERS")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Completed/total + ETA reporting on stderr, rate-limited so tight
+/// grids don't spam the terminal.
+struct Progress {
+    label: String,
+    total: usize,
+    completed: usize,
+    start: Instant,
+    last_print: Option<Instant>,
+    enabled: bool,
+}
+
+impl Progress {
+    fn new(label: &str, total: usize, enabled: bool) -> Progress {
+        Progress {
+            label: label.to_owned(),
+            total,
+            completed: 0,
+            start: Instant::now(),
+            last_print: None,
+            enabled,
+        }
+    }
+
+    fn bump(&mut self) {
+        self.completed += 1;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.last_print {
+            None => true,
+            Some(last) => now.duration_since(last) >= Duration::from_millis(200),
+        };
+        if due || self.completed == self.total {
+            self.last_print = Some(now);
+            let elapsed = self.start.elapsed().as_secs_f64();
+            let eta = if self.completed > 0 {
+                elapsed / self.completed as f64 * (self.total - self.completed) as f64
+            } else {
+                f64::NAN
+            };
+            eprint!(
+                "\rsweep[{}] {}/{} ({:.0}%) elapsed {:.1}s eta {:.1}s   ",
+                self.label,
+                self.completed,
+                self.total,
+                self.completed as f64 / self.total as f64 * 100.0,
+                elapsed,
+                eta,
+            );
+            let _ = std::io::stderr().flush();
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.enabled && self.total > 0 {
+            eprintln!(
+                "\rsweep[{}] {}/{} done in {:.2}s                      ",
+                self.label,
+                self.completed,
+                self.total,
+                self.start.elapsed().as_secs_f64(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let cells: Vec<u64> = (0..64).collect();
+        let exec = Executor::new(4).with_progress(false);
+        let out = exec.run("test", cells.clone(), |index, &cell| {
+            // Vary per-cell latency so completion order differs from
+            // input order under parallelism.
+            if cell % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (index, cell * cell)
+        });
+        for (i, (index, square)) in out.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*square, cells[i] * cells[i]);
+        }
+    }
+
+    #[test]
+    fn one_worker_equals_many_workers() {
+        let cells: Vec<u64> = (0..40).collect();
+        let serial = Executor::new(1)
+            .with_progress(false)
+            .run("s", cells.clone(), |_, &c| c * 3 + 1);
+        let parallel = Executor::new(8)
+            .with_progress(false)
+            .run("p", cells, |_, &c| c * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let exec = Executor::new(4).with_progress(false);
+        let out: Vec<u8> = exec.run("empty", Vec::<u8>::new(), |_, &c| c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_clamped_to_at_least_one() {
+        assert_eq!(Executor::new(0).workers(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let exec = Executor::new(2).with_progress(false);
+        let _ = exec.run("panic", vec![1u8, 2, 3], |_, &c| {
+            if c == 2 {
+                panic!("boom");
+            }
+            c
+        });
+    }
+}

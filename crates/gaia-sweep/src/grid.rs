@@ -1,0 +1,398 @@
+//! Scenario grids: the cartesian experiment spaces behind every figure.
+//!
+//! A [`SweepGrid`] describes a cartesian product over policies, regions,
+//! workload families, seeds, cluster shapes, and queue configurations.
+//! [`SweepGrid::scenarios`] expands it into a flat list of [`Scenario`]
+//! cells in a *stable nesting order* (regions → families → seeds →
+//! clusters → queues → policies), and every cell carries a stable
+//! human-readable [`Scenario::key`]. The executor relies on this
+//! ordering to merge parallel results byte-identically for any worker
+//! count.
+
+use gaia_carbon::Region;
+use gaia_core::catalog::PolicySpec;
+use gaia_sim::{ClusterConfig, EvictionModel};
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::QueueSet;
+use serde::{Deserialize, Serialize};
+
+/// Workload scale of a scenario: the week-long 1k-job prototype trace
+/// or a year-long trace with an explicit job count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScaleSpec {
+    /// The week-long 1k-job trace used by Figures 8–12.
+    Week,
+    /// A year-long trace with this many jobs (the paper runs 100k).
+    Year {
+        /// Number of jobs to synthesize.
+        jobs: usize,
+    },
+}
+
+impl ScaleSpec {
+    /// Short stable token used inside scenario keys.
+    pub fn token(self) -> String {
+        match self {
+            ScaleSpec::Week => "week".to_owned(),
+            ScaleSpec::Year { jobs } => format!("year{jobs}"),
+        }
+    }
+}
+
+/// Cluster shape of a scenario: reserved capacity, spot eviction rate,
+/// and the billing horizon shared by all policies under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of prepaid reserved CPU units.
+    pub reserved: u32,
+    /// Hourly spot eviction probability in `[0, 1]`.
+    pub eviction: f64,
+    /// Billing horizon in days for the reserved prepayment.
+    pub billing_days: u64,
+}
+
+impl ClusterSpec {
+    /// On-demand-only cluster billed over `days` days.
+    pub fn on_demand(days: u64) -> ClusterSpec {
+        ClusterSpec {
+            reserved: 0,
+            eviction: 0.0,
+            billing_days: days,
+        }
+    }
+
+    /// Same cluster with `reserved` prepaid CPUs.
+    pub fn with_reserved(mut self, reserved: u32) -> ClusterSpec {
+        self.reserved = reserved;
+        self
+    }
+
+    /// Same cluster with an hourly spot eviction rate.
+    pub fn with_eviction(mut self, eviction: f64) -> ClusterSpec {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Materializes the simulator configuration for one scenario seed.
+    pub fn build(&self, seed: u64) -> ClusterConfig {
+        ClusterConfig::default()
+            .with_reserved(self.reserved)
+            .with_eviction(EvictionModel::hourly(self.eviction))
+            .with_billing_horizon(Minutes::from_days(self.billing_days))
+            .with_seed(seed)
+    }
+
+    /// Short stable token used inside scenario keys.
+    pub fn token(&self) -> String {
+        format!(
+            "r{}-ev{}-b{}d",
+            self.reserved, self.eviction, self.billing_days
+        )
+    }
+}
+
+/// Queue configuration of a scenario: the short/long maximum waiting
+/// times (the paper's default is 6h × 24h).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueueSpec {
+    /// Maximum waiting time of the short queue, hours.
+    pub short_hours: u64,
+    /// Maximum waiting time of the long queue, hours.
+    pub long_hours: u64,
+}
+
+impl Default for QueueSpec {
+    fn default() -> QueueSpec {
+        QueueSpec {
+            short_hours: 6,
+            long_hours: 24,
+        }
+    }
+}
+
+impl QueueSpec {
+    /// Builds the queue set, learning per-queue average lengths from
+    /// the trace being replayed (§4.2.1's accounting database).
+    pub fn build(&self, trace: &gaia_workload::WorkloadTrace) -> QueueSet {
+        QueueSet::paper_defaults()
+            .with_waits(
+                Minutes::from_hours(self.short_hours),
+                Minutes::from_hours(self.long_hours),
+            )
+            .with_averages_from(trace.jobs())
+    }
+
+    /// Short stable token used inside scenario keys.
+    pub fn token(&self) -> String {
+        format!("q{}x{}", self.short_hours, self.long_hours)
+    }
+}
+
+/// One cell of a sweep: a fully specified (policy, environment, seed)
+/// simulation. Scenarios are self-contained and cheap to copy between
+/// threads; traces are materialized lazily through the
+/// [`TraceCache`](crate::TraceCache).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scheduling policy under test.
+    pub policy: PolicySpec,
+    /// Carbon region.
+    pub region: Region,
+    /// Workload family.
+    pub family: TraceFamily,
+    /// Workload scale.
+    pub scale: ScaleSpec,
+    /// Seed driving carbon synthesis, workload synthesis, and the
+    /// simulator's stochastic components.
+    pub seed: u64,
+    /// Cluster shape.
+    pub cluster: ClusterSpec,
+    /// Queue configuration.
+    pub queues: QueueSpec,
+}
+
+impl Scenario {
+    /// Stable, filesystem-safe identifier for this cell, e.g.
+    /// `Carbon-Time/SA-AU/Alibaba/week/s42/r9-ev0-b9d/q6x24`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/s{}/{}/{}",
+            self.policy.name(),
+            self.region.code(),
+            self.family.name(),
+            self.scale.token(),
+            self.seed,
+            self.cluster.token(),
+            self.queues.token(),
+        )
+    }
+}
+
+/// A cartesian grid of scenarios.
+///
+/// Every dimension defaults to a single paper-default entry, so a grid
+/// is built by overriding only the dimensions being swept:
+///
+/// ```
+/// use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+/// use gaia_carbon::Region;
+/// use gaia_sweep::SweepGrid;
+///
+/// let grid = SweepGrid::week(9)
+///     .policies(vec![
+///         PolicySpec::plain(BasePolicyKind::NoWait),
+///         PolicySpec::plain(BasePolicyKind::CarbonTime),
+///     ])
+///     .regions(vec![Region::SouthAustralia, Region::California])
+///     .seeds(vec![1, 2, 3]);
+/// assert_eq!(grid.len(), 12);
+/// assert_eq!(grid.scenarios().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Policies under comparison (innermost dimension).
+    pub policies: Vec<PolicySpec>,
+    /// Carbon regions (outermost dimension).
+    pub regions: Vec<Region>,
+    /// Workload families.
+    pub families: Vec<TraceFamily>,
+    /// Workload scale (shared by all cells).
+    pub scale: ScaleSpec,
+    /// Seeds (one replicate per seed).
+    pub seeds: Vec<u64>,
+    /// Cluster shapes.
+    pub clusters: Vec<ClusterSpec>,
+    /// Queue configurations.
+    pub queues: Vec<QueueSpec>,
+}
+
+impl SweepGrid {
+    /// A week-scale grid with paper defaults in every dimension:
+    /// Carbon-Time, SA-AU, Alibaba-PAI, seed 42, on-demand cluster
+    /// billed over `billing_days`, 6×24 queues.
+    pub fn week(billing_days: u64) -> SweepGrid {
+        SweepGrid {
+            policies: vec![PolicySpec::plain(
+                gaia_core::catalog::BasePolicyKind::CarbonTime,
+            )],
+            regions: vec![Region::SouthAustralia],
+            families: vec![TraceFamily::AlibabaPai],
+            scale: ScaleSpec::Week,
+            seeds: vec![42],
+            clusters: vec![ClusterSpec::on_demand(billing_days)],
+            queues: vec![QueueSpec::default()],
+        }
+    }
+
+    /// A year-scale grid (`jobs` jobs) with the same defaults.
+    pub fn year(jobs: usize, billing_days: u64) -> SweepGrid {
+        SweepGrid {
+            scale: ScaleSpec::Year { jobs },
+            ..SweepGrid::week(billing_days)
+        }
+    }
+
+    /// Replaces the policy dimension.
+    pub fn policies(mut self, policies: Vec<PolicySpec>) -> SweepGrid {
+        assert!(!policies.is_empty(), "grid needs at least one policy");
+        self.policies = policies;
+        self
+    }
+
+    /// Replaces the region dimension.
+    pub fn regions(mut self, regions: Vec<Region>) -> SweepGrid {
+        assert!(!regions.is_empty(), "grid needs at least one region");
+        self.regions = regions;
+        self
+    }
+
+    /// Replaces the workload-family dimension.
+    pub fn families(mut self, families: Vec<TraceFamily>) -> SweepGrid {
+        assert!(!families.is_empty(), "grid needs at least one family");
+        self.families = families;
+        self
+    }
+
+    /// Replaces the seed dimension.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> SweepGrid {
+        assert!(!seeds.is_empty(), "grid needs at least one seed");
+        self.seeds = seeds;
+        self
+    }
+
+    /// Replaces the cluster dimension.
+    pub fn clusters(mut self, clusters: Vec<ClusterSpec>) -> SweepGrid {
+        assert!(!clusters.is_empty(), "grid needs at least one cluster");
+        self.clusters = clusters;
+        self
+    }
+
+    /// Replaces the queue dimension.
+    pub fn queue_specs(mut self, queues: Vec<QueueSpec>) -> SweepGrid {
+        assert!(!queues.is_empty(), "grid needs at least one queue spec");
+        self.queues = queues;
+        self
+    }
+
+    /// Total number of scenario cells.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+            * self.regions.len()
+            * self.families.len()
+            * self.seeds.len()
+            * self.clusters.len()
+            * self.queues.len()
+    }
+
+    /// Whether the grid is empty (it never is once constructed through
+    /// the builders, which reject empty dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into scenario cells in the stable nesting order
+    /// regions → families → seeds → clusters → queues → policies.
+    ///
+    /// The index of a cell in this expansion is its *grid index*; the
+    /// executor merges parallel results back into this order, making
+    /// sweep output independent of worker count and scheduling.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &region in &self.regions {
+            for &family in &self.families {
+                for &seed in &self.seeds {
+                    for &cluster in &self.clusters {
+                        for &queues in &self.queues {
+                            for &policy in &self.policies {
+                                cells.push(Scenario {
+                                    policy,
+                                    region,
+                                    family,
+                                    scale: self.scale,
+                                    seed,
+                                    cluster,
+                                    queues,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// One-line human description for manifests and progress output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} policies x {} regions x {} families x {} seeds x {} clusters x {} queues = {} scenarios ({})",
+            self.policies.len(),
+            self.regions.len(),
+            self.families.len(),
+            self.seeds.len(),
+            self.clusters.len(),
+            self.queues.len(),
+            self.len(),
+            self.scale.token(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_core::catalog::BasePolicyKind;
+
+    #[test]
+    fn grid_expands_in_stable_order_with_policies_innermost() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ])
+            .seeds(vec![1, 2]);
+        let cells = grid.scenarios();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[0].policy.base, BasePolicyKind::NoWait);
+        assert_eq!(cells[1].seed, 1);
+        assert_eq!(cells[1].policy.base, BasePolicyKind::CarbonTime);
+        assert_eq!(cells[2].seed, 2);
+        assert_eq!(cells[2].policy.base, BasePolicyKind::NoWait);
+    }
+
+    #[test]
+    fn scenario_keys_are_stable_and_distinct() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ])
+            .regions(vec![Region::SouthAustralia, Region::California])
+            .seeds(vec![7, 8]);
+        let keys: Vec<String> = grid.scenarios().iter().map(Scenario::key).collect();
+        let mut unique = keys.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), keys.len(), "keys are distinct");
+        assert_eq!(keys[0], "NoWait/SA-AU/Alibaba/week/s7/r0-ev0-b9d/q6x24");
+    }
+
+    #[test]
+    fn cluster_spec_builds_config() {
+        let config = ClusterSpec::on_demand(9)
+            .with_reserved(5)
+            .with_eviction(0.25)
+            .build(13);
+        assert_eq!(config.reserved_cpus, 5);
+        assert_eq!(config.seed, 13);
+        assert_eq!(config.billing_horizon, Some(Minutes::from_days(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn rejects_empty_policy_dimension() {
+        let _ = SweepGrid::week(9).policies(Vec::new());
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic parallel experiment orchestration for GAIA.
+//!
+//! Every figure and sensitivity study in the paper is, structurally, the
+//! same computation: a cartesian grid of (policy, region, workload,
+//! seed, cluster, queue) cells, one independent simulation per cell, and
+//! an aggregation over the results. This crate factors that shape out of
+//! the individual binaries:
+//!
+//! * [`SweepGrid`] / [`Scenario`] — declarative grid specs with stable
+//!   per-cell keys and a stable expansion order ([`grid`]);
+//! * [`TraceCache`] — memoizes carbon and workload traces across cells
+//!   so each (region, seed) / (family, scale, seed) trace is synthesized
+//!   once and shared read-only between workers ([`cache`]);
+//! * [`Executor`] — a crossbeam worker pool that fans cells across N
+//!   threads and merges results back in grid order, making sweep output
+//!   **byte-identical for any worker count** ([`exec`]);
+//! * [`ResultStore`] — run manifests plus per-scenario and aggregate
+//!   CSV/JSON artifacts under `results/` ([`store`]);
+//! * [`across_seed_groups`] — deterministic across-seed aggregation
+//!   ([`agg`]).
+//!
+//! The determinism contract is load-bearing: per-cell simulation is
+//! single-threaded and fully seed-driven, so parallelism only changes
+//! wall-clock time, never results. `tests/determinism.rs` verifies this
+//! by byte-comparing the artifacts of 1-worker and multi-worker runs of
+//! the same grid.
+//!
+//! # Example
+//!
+//! ```
+//! use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+//! use gaia_sweep::{Executor, SweepGrid};
+//!
+//! let grid = SweepGrid::week(9)
+//!     .policies(vec![
+//!         PolicySpec::plain(BasePolicyKind::NoWait),
+//!         PolicySpec::plain(BasePolicyKind::CarbonTime),
+//!     ])
+//!     .seeds(vec![1, 2]);
+//! let run = gaia_sweep::run_grid(&grid, &Executor::new(2).with_progress(false));
+//! assert_eq!(run.results.len(), 4);
+//! assert!(run.results[1].summary.carbon_g <= run.results[0].summary.carbon_g * 1.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cache;
+pub mod exec;
+pub mod grid;
+pub mod store;
+
+use std::time::{Duration, Instant};
+
+pub use agg::{across_seed_groups, group_key, GroupSummary};
+pub use cache::{CacheStats, TraceCache};
+pub use exec::{default_workers, Executor};
+pub use grid::{ClusterSpec, QueueSpec, ScaleSpec, Scenario, SweepGrid};
+pub use store::{ResultStore, TimingBench};
+
+// Re-exported so downstream sweep code can name every grid-dimension
+// type through one crate.
+pub use gaia_carbon::Region;
+pub use gaia_core::catalog::PolicySpec;
+pub use gaia_workload::synth::TraceFamily;
+
+use gaia_metrics::{runner, Summary};
+
+/// The outcome of one scenario cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The cell that was simulated.
+    pub scenario: Scenario,
+    /// The cell's stable key ([`Scenario::key`]).
+    pub key: String,
+    /// Metrics of the simulation.
+    pub summary: Summary,
+}
+
+/// A completed sweep: the grid, its results in grid order, and
+/// execution metadata for the run manifest.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The grid that was swept.
+    pub grid: SweepGrid,
+    /// Worker threads used.
+    pub workers: usize,
+    /// One result per cell, in grid order.
+    pub results: Vec<ScenarioResult>,
+    /// Wall-clock duration of the sweep.
+    pub wall: Duration,
+    /// Trace-cache hit/miss counters accumulated during the sweep.
+    pub cache_stats: CacheStats,
+}
+
+impl SweepRun {
+    /// The summaries in grid order (convenience for figure code that
+    /// only needs metrics, not scenario metadata).
+    pub fn summaries(&self) -> Vec<Summary> {
+        self.results.iter().map(|r| r.summary.clone()).collect()
+    }
+}
+
+/// Runs one scenario cell: materializes its traces through `cache`,
+/// builds the queue set and cluster config, and simulates the policy.
+/// Fully deterministic in the scenario's seed.
+pub fn run_scenario(scenario: &Scenario, cache: &TraceCache) -> Summary {
+    let carbon = cache.carbon(scenario.region, scenario.seed);
+    let workload = cache.workload(scenario.family, scenario.scale, scenario.seed);
+    let queues = scenario.queues.build(&workload);
+    let config = scenario.cluster.build(scenario.seed);
+    let report =
+        runner::run_spec_report_with_queues(scenario.policy, &workload, &carbon, config, queues);
+    Summary::of(scenario.policy.name(), &report)
+}
+
+/// Sweeps `grid` on `executor` with a fresh trace cache.
+pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
+    run_grid_with_cache(grid, executor, &TraceCache::new())
+}
+
+/// Sweeps `grid` on `executor`, sharing `cache` (useful when several
+/// grids over the same traces run back to back).
+pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
+    let start_stats = cache.stats();
+    let start = Instant::now();
+    let cells = grid.scenarios();
+    let results = executor.run("grid", cells, |_, scenario| ScenarioResult {
+        scenario: *scenario,
+        key: scenario.key(),
+        summary: run_scenario(scenario, cache),
+    });
+    let end_stats = cache.stats();
+    SweepRun {
+        grid: grid.clone(),
+        workers: executor.workers(),
+        results,
+        wall: start.elapsed(),
+        cache_stats: CacheStats {
+            hits: end_stats.hits - start_stats.hits,
+            misses: end_stats.misses - start_stats.misses,
+        },
+    }
+}
+
+/// Runs `grid` twice — serially, then with `workers` threads — and
+/// reports the wall-clock comparison alongside the parallel run.
+///
+/// Each run gets a fresh trace cache so the timings are comparable
+/// (both pay their own synthesis cost). The results of the two runs are
+/// identical by the determinism contract, so only the parallel run is
+/// returned.
+pub fn time_grid(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
+    let serial = run_grid(grid, &Executor::new(1));
+    let parallel = run_grid(grid, &Executor::new(workers));
+    let serial_secs = serial.wall.as_secs_f64();
+    let parallel_secs = parallel.wall.as_secs_f64();
+    let bench = TimingBench {
+        serial_secs,
+        parallel_secs,
+        workers: parallel.workers,
+        speedup: serial_secs / parallel_secs,
+    };
+    (parallel, bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+
+    #[test]
+    fn run_scenario_matches_direct_runner_call() {
+        let grid = SweepGrid::week(9);
+        let scenario = grid.scenarios()[0];
+        let cache = TraceCache::new();
+        let sweep = run_scenario(&scenario, &cache);
+
+        let carbon = gaia_carbon::synth::synthesize_region(scenario.region, scenario.seed);
+        let workload = scenario.family.week_long_1k(scenario.seed);
+        let direct = gaia_metrics::runner::run_spec(
+            scenario.policy,
+            &workload,
+            &carbon,
+            scenario.cluster.build(scenario.seed),
+        );
+        assert_eq!(
+            sweep, direct,
+            "sweep path reproduces the direct runner path"
+        );
+    }
+
+    #[test]
+    fn run_grid_returns_results_in_grid_order_with_keys() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ])
+            .seeds(vec![5, 6]);
+        let run = run_grid(&grid, &Executor::new(2).with_progress(false));
+        let cells = grid.scenarios();
+        assert_eq!(run.results.len(), cells.len());
+        for (result, cell) in run.results.iter().zip(&cells) {
+            assert_eq!(result.key, cell.key());
+            assert_eq!(result.summary.name, cell.policy.name());
+        }
+    }
+
+    #[test]
+    fn shared_cache_is_hit_across_cells() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+                PolicySpec::plain(BasePolicyKind::LowestWindow),
+            ])
+            .seeds(vec![1]);
+        let run = run_grid(&grid, &Executor::new(1).with_progress(false));
+        // One carbon + one workload generation; the other 2×2 lookups hit.
+        assert_eq!(run.cache_stats.misses, 2);
+        assert_eq!(run.cache_stats.hits, 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! Result store: run manifests and CSV/JSON artifacts under `results/`.
+//!
+//! Each sweep run lands in its own directory:
+//!
+//! ```text
+//! results/<run-name>/
+//!   manifest.json    run metadata: grid spec, seeds, git describe,
+//!                    wall-clock, worker count, cache stats, timing
+//!                    bench (NOT byte-stable: contains timings)
+//!   scenarios.csv    one row per scenario cell, in grid order
+//!   aggregate.csv    across-seed mean ± std per scenario group
+//!   aggregate.json   the same aggregation as JSON
+//! ```
+//!
+//! `scenarios.csv`, `aggregate.csv`, and `aggregate.json` are pure
+//! functions of the grid and the seeds — byte-identical for any worker
+//! count (verified by the determinism property tests). `manifest.json`
+//! records wall-clock facts about one particular execution and is the
+//! only artifact allowed to differ between reruns.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::agg::GroupSummary;
+use crate::SweepRun;
+
+/// Serial-vs-parallel wall-clock comparison on the same grid, recorded
+/// in the run manifest by [`crate::time_grid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingBench {
+    /// Wall-clock of the 1-worker run, seconds.
+    pub serial_secs: f64,
+    /// Wall-clock of the N-worker run, seconds.
+    pub parallel_secs: f64,
+    /// Worker count of the parallel run.
+    pub workers: usize,
+    /// `serial_secs / parallel_secs`.
+    pub speedup: f64,
+}
+
+/// Writes sweep runs to a per-run directory under a results root.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Creates (or reuses) `<root>/<run_name>/`.
+    pub fn create(root: impl AsRef<Path>, run_name: &str) -> io::Result<ResultStore> {
+        let dir = root.as_ref().join(run_name);
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes all artifacts for `run`; `timing` lands in the manifest
+    /// when present.
+    pub fn write(&self, run: &SweepRun, timing: Option<TimingBench>) -> io::Result<()> {
+        fs::write(self.dir.join("scenarios.csv"), scenarios_csv(run))?;
+        let groups = crate::agg::across_seed_groups(run);
+        fs::write(self.dir.join("aggregate.csv"), aggregate_csv(&groups))?;
+        fs::write(self.dir.join("aggregate.json"), aggregate_json(&groups))?;
+        fs::write(self.dir.join("manifest.json"), manifest_json(run, timing))?;
+        Ok(())
+    }
+}
+
+/// One row per scenario, in grid order. Deterministic.
+pub fn scenarios_csv(run: &SweepRun) -> String {
+    let mut out = String::from(
+        "key,policy,region,family,scale,seed,reserved,eviction,billing_days,\
+         wait_short_h,wait_long_h,carbon_g,total_cost,mean_wait_hours,\
+         mean_completion_hours,reserved_utilization,evictions,jobs\n",
+    );
+    for result in &run.results {
+        let s = &result.scenario;
+        let m = &result.summary;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            result.key,
+            m.name,
+            s.region.code(),
+            s.family.name(),
+            s.scale.token(),
+            s.seed,
+            s.cluster.reserved,
+            s.cluster.eviction,
+            s.cluster.billing_days,
+            s.queues.short_hours,
+            s.queues.long_hours,
+            m.carbon_g,
+            m.total_cost,
+            m.mean_wait_hours,
+            m.mean_completion_hours,
+            m.reserved_utilization,
+            m.evictions,
+            m.jobs,
+        );
+    }
+    out
+}
+
+/// Across-seed aggregation, one row per scenario group. Deterministic.
+pub fn aggregate_csv(groups: &[GroupSummary]) -> String {
+    let mut out = String::from(
+        "group,policy,region,family,scale,reserved,eviction,billing_days,seeds,\
+         carbon_g_mean,carbon_g_std,carbon_g_cov,total_cost_mean,total_cost_std,\
+         mean_wait_hours_mean,mean_wait_hours_std\n",
+    );
+    for group in groups {
+        let s = &group.exemplar;
+        let a = &group.stats;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            group.key,
+            a.name,
+            s.region.code(),
+            s.family.name(),
+            s.scale.token(),
+            s.cluster.reserved,
+            s.cluster.eviction,
+            s.cluster.billing_days,
+            a.carbon_g.n,
+            a.carbon_g.mean,
+            a.carbon_g.std_dev,
+            a.carbon_g.cov(),
+            a.total_cost.mean,
+            a.total_cost.std_dev,
+            a.mean_wait_hours.mean,
+            a.mean_wait_hours.std_dev,
+        );
+    }
+    out
+}
+
+/// Across-seed aggregation as JSON. Deterministic.
+pub fn aggregate_json(groups: &[GroupSummary]) -> String {
+    let mut out = String::from("{\n  \"groups\": [\n");
+    for (i, group) in groups.iter().enumerate() {
+        let a = &group.stats;
+        let _ = write!(
+            out,
+            "    {{\"group\": {}, \"policy\": {}, \"seeds\": {}, \
+             \"carbon_g\": {}, \"total_cost\": {}, \"mean_wait_hours\": {}}}",
+            json_string(&group.key),
+            json_string(&a.name),
+            a.carbon_g.n,
+            stats_json(&a.carbon_g),
+            stats_json(&a.total_cost),
+            stats_json(&a.mean_wait_hours),
+        );
+        out.push_str(if i + 1 < groups.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn stats_json(stats: &gaia_metrics::SeedStats) -> String {
+    format!(
+        "{{\"mean\": {}, \"std\": {}, \"min\": {}, \"max\": {}}}",
+        json_f64(stats.mean),
+        json_f64(stats.std_dev),
+        json_f64(stats.min),
+        json_f64(stats.max),
+    )
+}
+
+/// Run metadata. NOT byte-stable across reruns (contains wall-clock).
+pub fn manifest_json(run: &SweepRun, timing: Option<TimingBench>) -> String {
+    let grid = &run.grid;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"grid\": {},", json_string(&grid.describe()));
+    let _ = writeln!(
+        out,
+        "  \"policies\": [{}],",
+        grid.policies
+            .iter()
+            .map(|p| json_string(&p.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"regions\": [{}],",
+        grid.regions
+            .iter()
+            .map(|r| json_string(r.code()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"families\": [{}],",
+        grid.families
+            .iter()
+            .map(|f| json_string(f.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  \"scale\": {},", json_string(&grid.scale.token()));
+    let _ = writeln!(
+        out,
+        "  \"seeds\": [{}],",
+        grid.seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  \"scenario_count\": {},", run.results.len());
+    let _ = writeln!(out, "  \"workers\": {},", run.workers);
+    let _ = writeln!(
+        out,
+        "  \"wall_clock_secs\": {},",
+        json_f64(run.wall.as_secs_f64())
+    );
+    let _ = writeln!(
+        out,
+        "  \"trace_cache\": {{\"hits\": {}, \"misses\": {}}},",
+        run.cache_stats.hits, run.cache_stats.misses
+    );
+    match timing {
+        Some(bench) => {
+            let _ = writeln!(
+                out,
+                "  \"timing_bench\": {{\"serial_secs\": {}, \"parallel_secs\": {}, \
+                 \"workers\": {}, \"speedup\": {}}},",
+                json_f64(bench.serial_secs),
+                json_f64(bench.parallel_secs),
+                bench.workers,
+                json_f64(bench.speedup),
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"timing_bench\": null,");
+        }
+    }
+    let _ = writeln!(out, "  \"git_describe\": {}", json_string(&git_describe()));
+    out.push_str("}\n");
+    out
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a checkout.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        // JSON has no Infinity/NaN literals.
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_maps_non_finite_to_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn git_describe_returns_something() {
+        assert!(!git_describe().is_empty());
+    }
+}

@@ -68,7 +68,10 @@ impl Month {
     ///
     /// Panics if `day_of_year >= 365`.
     pub fn from_day_of_year(day_of_year: u32) -> Month {
-        assert!(day_of_year < DAYS_PER_YEAR as u32, "day_of_year out of range");
+        assert!(
+            day_of_year < DAYS_PER_YEAR as u32,
+            "day_of_year out of range"
+        );
         let idx = MONTH_STARTS
             .iter()
             .rposition(|&start| start <= day_of_year)

@@ -198,7 +198,10 @@ mod tests {
         assert_eq!(Minutes::new(5).to_string(), "5m");
         assert_eq!(Minutes::new(125).to_string(), "2h05m");
         assert_eq!(Minutes::from_days(2).to_string(), "2d00h00m");
-        assert_eq!((Minutes::from_days(1) + Minutes::new(61)).to_string(), "1d01h01m");
+        assert_eq!(
+            (Minutes::from_days(1) + Minutes::new(61)).to_string(),
+            "1d01h01m"
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ mod tests {
         let spans: Vec<_> =
             HourlySlots::new(SimTime::from_hours(3), SimTime::from_hours(6)).collect();
         assert_eq!(spans.len(), 3);
-        assert_eq!(spans.iter().map(|s| s.hour).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(
+            spans.iter().map(|s| s.hour).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
         assert!(spans.iter().all(|s| s.overlap == Minutes::from_hours(1)));
         assert_eq!(total(&spans), Minutes::from_hours(3));
     }

@@ -24,7 +24,7 @@ proptest! {
                 span.start.as_hours_floor(),
                 (span.start + span.overlap - Minutes::new(1)).as_hours_floor()
             );
-            cursor = cursor + span.overlap;
+            cursor += span.overlap;
         }
         prop_assert_eq!(cursor, start + len);
     }

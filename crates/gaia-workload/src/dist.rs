@@ -77,9 +77,18 @@ impl LogNormal {
     ///
     /// Panics if `median` is not positive or `sigma` is negative.
     pub fn with_median(median: f64, sigma: f64) -> Self {
-        assert!(median.is_finite() && median > 0.0, "median must be positive");
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
-        LogNormal { mu: median.ln(), sigma }
+        assert!(
+            median.is_finite() && median > 0.0,
+            "median must be positive"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 
     /// Analytic mean: `exp(mu + sigma^2 / 2)`.
@@ -191,7 +200,10 @@ impl<T: Clone> Discrete<T> {
     /// Panics if `items` is empty, any weight is negative or non-finite,
     /// or all weights are zero.
     pub fn new(items: Vec<(T, f64)>) -> Self {
-        assert!(!items.is_empty(), "discrete distribution needs alternatives");
+        assert!(
+            !items.is_empty(),
+            "discrete distribution needs alternatives"
+        );
         assert!(
             items.iter().all(|(_, w)| w.is_finite() && *w >= 0.0),
             "weights must be non-negative"
@@ -264,9 +276,15 @@ mod tests {
         let mut samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let empirical_median = samples[samples.len() / 2];
-        assert!((empirical_median / 60.0 - 1.0).abs() < 0.05, "median {empirical_median}");
+        assert!(
+            (empirical_median / 60.0 - 1.0).abs() < 0.05,
+            "median {empirical_median}"
+        );
         let empirical_mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((empirical_mean / d.mean() - 1.0).abs() < 0.05, "mean {empirical_mean}");
+        assert!(
+            (empirical_mean / d.mean() - 1.0).abs() < 0.05,
+            "mean {empirical_mean}"
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "workload parse error on line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "workload parse error on line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 

@@ -67,7 +67,12 @@ impl Job {
     pub fn new(id: JobId, arrival: SimTime, length: Minutes, cpus: u32) -> Self {
         assert!(!length.is_zero(), "job length must be positive");
         assert!(cpus > 0, "job must require at least one CPU");
-        Job { id, arrival, length, cpus }
+        Job {
+            id,
+            arrival,
+            length,
+            cpus,
+        }
     }
 
     /// Total compute demand, in CPU-minutes.

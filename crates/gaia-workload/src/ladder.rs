@@ -164,8 +164,10 @@ impl From<QueueSet> for QueueLadder {
                 max_wait: set.config(QueueKind::Long).max_wait,
             },
         ]);
-        ladder.avg_lengths =
-            vec![set.avg_length(QueueKind::Short), set.avg_length(QueueKind::Long)];
+        ladder.avg_lengths = vec![
+            set.avg_length(QueueKind::Short),
+            set.avg_length(QueueKind::Long),
+        ];
         ladder
     }
 }
@@ -197,10 +199,10 @@ mod tests {
         let ladder = QueueLadder::paper_three_tier();
         let trace = WorkloadTrace::from_jobs(vec![
             job(60),
-            job(100),          // short rung: avg 80
+            job(100), // short rung: avg 80
             job(300),
-            job(500),          // medium rung: avg 400
-            job(2000),         // long rung: avg 2000
+            job(500),  // medium rung: avg 400
+            job(2000), // long rung: avg 2000
         ]);
         let learned = ladder.with_averages_from(&trace);
         assert_eq!(learned.avg_length(0), Minutes::new(80));
@@ -231,8 +233,14 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unordered_rungs() {
         let _ = QueueLadder::new(vec![
-            QueueRung { max_length: Minutes::from_hours(5), max_wait: Minutes::from_hours(1) },
-            QueueRung { max_length: Minutes::from_hours(2), max_wait: Minutes::from_hours(1) },
+            QueueRung {
+                max_length: Minutes::from_hours(5),
+                max_wait: Minutes::from_hours(1),
+            },
+            QueueRung {
+                max_length: Minutes::from_hours(2),
+                max_wait: Minutes::from_hours(1),
+            },
         ]);
     }
 

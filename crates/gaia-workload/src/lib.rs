@@ -40,8 +40,8 @@
 
 pub mod dist;
 pub mod io;
-pub mod ladder;
 mod job;
+pub mod ladder;
 mod queue;
 pub mod resample;
 pub mod sample;

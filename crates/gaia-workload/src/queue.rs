@@ -113,7 +113,10 @@ impl QueueSet {
     /// Returns a copy with per-queue maximum waits replaced — the knob the
     /// waiting-time sweeps of Figure 14 turn.
     pub fn with_waits(mut self, short_wait: Minutes, long_wait: Minutes) -> Self {
-        assert!(!short_wait.is_zero() && !long_wait.is_zero(), "waits must be positive");
+        assert!(
+            !short_wait.is_zero() && !long_wait.is_zero(),
+            "waits must be positive"
+        );
         self.short.max_wait = short_wait;
         self.long.max_wait = long_wait;
         self
@@ -200,7 +203,10 @@ mod tests {
     #[test]
     fn paper_defaults_match_section_6_1() {
         let q = QueueSet::paper_defaults();
-        assert_eq!(q.config(QueueKind::Short).max_length, Minutes::from_hours(2));
+        assert_eq!(
+            q.config(QueueKind::Short).max_length,
+            Minutes::from_hours(2)
+        );
         assert_eq!(q.config(QueueKind::Short).max_wait, Minutes::from_hours(6));
         assert_eq!(q.config(QueueKind::Long).max_wait, Minutes::from_hours(24));
         assert_eq!(q.config(QueueKind::Long).max_length, Minutes::from_days(3));
@@ -233,7 +239,8 @@ mod tests {
 
     #[test]
     fn with_waits_overrides() {
-        let q = QueueSet::paper_defaults().with_waits(Minutes::from_hours(3), Minutes::from_hours(12));
+        let q =
+            QueueSet::paper_defaults().with_waits(Minutes::from_hours(3), Minutes::from_hours(12));
         assert_eq!(q.max_wait_for(&job(30)), Minutes::from_hours(3));
         assert_eq!(q.max_wait_for(&job(300)), Minutes::from_hours(12));
     }
@@ -242,8 +249,14 @@ mod tests {
     #[should_panic(expected = "below long queue cap")]
     fn rejects_inverted_caps() {
         let _ = QueueSet::new(
-            QueueConfig { max_length: Minutes::from_hours(5), max_wait: Minutes::from_hours(1) },
-            QueueConfig { max_length: Minutes::from_hours(2), max_wait: Minutes::from_hours(1) },
+            QueueConfig {
+                max_length: Minutes::from_hours(5),
+                max_wait: Minutes::from_hours(1),
+            },
+            QueueConfig {
+                max_length: Minutes::from_hours(2),
+                max_wait: Minutes::from_hours(1),
+            },
         );
     }
 

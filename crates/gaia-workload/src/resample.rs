@@ -44,7 +44,10 @@ impl EmpiricalResampler {
     ///
     /// Panics if `observed` is empty — there is nothing to resample.
     pub fn fit(observed: &WorkloadTrace) -> EmpiricalResampler {
-        assert!(!observed.is_empty(), "cannot fit a resampler to an empty trace");
+        assert!(
+            !observed.is_empty(),
+            "cannot fit a resampler to an empty trace"
+        );
         let bodies = observed.iter().map(|j| (j.length, j.cpus)).collect();
         let gaps = observed
             .jobs()
@@ -115,7 +118,10 @@ mod tests {
         assert_eq!(replica.len(), 400);
         let last = replica.last_arrival().expect("non-empty");
         assert!(last < SimTime::from_days(14));
-        assert!(last > SimTime::from_days(7), "arrivals should span the horizon");
+        assert!(
+            last > SimTime::from_days(7),
+            "arrivals should span the horizon"
+        );
     }
 
     #[test]
@@ -126,14 +132,15 @@ mod tests {
         let mean_len = |t: &WorkloadTrace| {
             t.iter().map(|j| j.length.as_minutes() as f64).sum::<f64>() / t.len() as f64
         };
-        let mean_cpus = |t: &WorkloadTrace| {
-            t.iter().map(|j| j.cpus as f64).sum::<f64>() / t.len() as f64
-        };
+        let mean_cpus =
+            |t: &WorkloadTrace| t.iter().map(|j| j.cpus as f64).sum::<f64>() / t.len() as f64;
         assert!((mean_len(&replica) / mean_len(&source) - 1.0).abs() < 0.1);
         assert!((mean_cpus(&replica) / mean_cpus(&source) - 1.0).abs() < 0.1);
         // Every replica job is an observed (length, cpus) pair.
-        let observed_pairs: std::collections::HashSet<(u64, u32)> =
-            source.iter().map(|j| (j.length.as_minutes(), j.cpus)).collect();
+        let observed_pairs: std::collections::HashSet<(u64, u32)> = source
+            .iter()
+            .map(|j| (j.length.as_minutes(), j.cpus))
+            .collect();
         assert!(replica
             .iter()
             .all(|j| observed_pairs.contains(&(j.length.as_minutes(), j.cpus))));
@@ -160,7 +167,9 @@ mod tests {
         let model = EmpiricalResampler::fit(&source);
         let replica = model.resample(10, Minutes::from_days(1), 5);
         assert_eq!(replica.len(), 10);
-        assert!(replica.iter().all(|j| j.length == Minutes::new(90) && j.cpus == 2));
+        assert!(replica
+            .iter()
+            .all(|j| j.length == Minutes::new(90) && j.cpus == 2));
     }
 
     #[test]

@@ -147,7 +147,9 @@ mod tests {
 
     #[test]
     fn cpu_cap_applies() {
-        let out = SamplePipeline::paper_defaults(1000).with_max_cpus(4).apply(&raw_trace(), 1);
+        let out = SamplePipeline::paper_defaults(1000)
+            .with_max_cpus(4)
+            .apply(&raw_trace(), 1);
         assert!(out.iter().all(|j| j.cpus <= 4));
         assert!(!out.is_empty());
     }

@@ -44,8 +44,11 @@ pub enum TraceFamily {
 
 impl TraceFamily {
     /// All three families, in the paper's figure order.
-    pub const ALL: [TraceFamily; 3] =
-        [TraceFamily::MustangHpc, TraceFamily::AlibabaPai, TraceFamily::AzureVm];
+    pub const ALL: [TraceFamily; 3] = [
+        TraceFamily::MustangHpc,
+        TraceFamily::AlibabaPai,
+        TraceFamily::AzureVm,
+    ];
 
     /// Display name used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -97,7 +100,9 @@ impl TraceFamily {
     pub fn week_long_1k(self, seed: u64) -> WorkloadTrace {
         let horizon = Minutes::from_days(7);
         let raw = self.generate_raw(4_000, horizon, seed);
-        SamplePipeline::paper_defaults(1_000).with_max_cpus(4).apply(&raw, seed)
+        SamplePipeline::paper_defaults(1_000)
+            .with_max_cpus(4)
+            .apply(&raw, seed)
     }
 
     fn seed_salt(self) -> u64 {
@@ -356,15 +361,24 @@ mod tests {
     #[test]
     fn azure_has_multi_day_jobs() {
         let raw = TraceFamily::AzureVm.generate_raw(20_000, Minutes::from_days(60), 3);
-        let multi_day = raw.iter().filter(|j| j.length > Minutes::from_days(1)).count();
+        let multi_day = raw
+            .iter()
+            .filter(|j| j.length > Minutes::from_days(1))
+            .count();
         assert!(multi_day > 100, "multi-day jobs {multi_day}");
     }
 
     #[test]
     fn demand_cov_ordering_matches_section_6_4_4() {
         // §6.4.4: demand CoV — Mustang ≈ 0.8 (bursty), Azure ≈ 0.3 (smooth).
-        let mustang = TraceFamily::MustangHpc.year_long(12_000, 5).demand_curve().cov();
-        let azure = TraceFamily::AzureVm.year_long(12_000, 5).demand_curve().cov();
+        let mustang = TraceFamily::MustangHpc
+            .year_long(12_000, 5)
+            .demand_curve()
+            .cov();
+        let azure = TraceFamily::AzureVm
+            .year_long(12_000, 5)
+            .demand_curve()
+            .cov();
         assert!(
             mustang > azure + 0.2,
             "Mustang CoV {mustang} must clearly exceed Azure CoV {azure}"
@@ -406,9 +420,16 @@ mod tests {
     fn section3_trace_statistics() {
         let trace = section3_workload(1);
         // ~90 arrivals over three days.
-        assert!(trace.len() > 50 && trace.len() < 140, "jobs {}", trace.len());
+        assert!(
+            trace.len() > 50 && trace.len() < 140,
+            "jobs {}",
+            trace.len()
+        );
         assert!(trace.iter().all(|j| j.cpus == 1));
-        let mean_len: f64 = trace.iter().map(|j| j.length.as_minutes() as f64).sum::<f64>()
+        let mean_len: f64 = trace
+            .iter()
+            .map(|j| j.length.as_minutes() as f64)
+            .sum::<f64>()
             / trace.len() as f64;
         assert!(
             (mean_len - 240.0).abs() < 90.0,
@@ -424,7 +445,10 @@ mod tests {
         for family in TraceFamily::ALL {
             let trace = family.year_long(4_000, 9);
             let mean_h = trace.stats().mean_length.as_minutes() as f64 / MINUTES_PER_HOUR as f64;
-            assert!(mean_h > 1.0 && mean_h < 24.0, "{family:?} mean length {mean_h} h");
+            assert!(
+                mean_h > 1.0 && mean_h < 24.0,
+                "{family:?} mean length {mean_h} h"
+            );
         }
     }
 }

@@ -150,7 +150,8 @@ impl DemandCurve {
     /// Computes the curve for jobs running `[arrival, arrival+length)`.
     pub fn from_jobs(jobs: &[Job]) -> DemandCurve {
         Self::from_intervals(
-            jobs.iter().map(|j| (j.arrival, j.end_if_started_at(j.arrival), j.cpus)),
+            jobs.iter()
+                .map(|j| (j.arrival, j.end_if_started_at(j.arrival), j.cpus)),
         )
     }
 
@@ -195,7 +196,11 @@ impl DemandCurve {
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self.hourly.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+        let var = self
+            .hourly
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
             / self.hourly.len() as f64;
         var.sqrt() / mean
     }
@@ -276,7 +281,12 @@ mod tests {
     use super::*;
 
     fn job(arrival_h: u64, len_min: u64, cpus: u32) -> Job {
-        Job::new(JobId(0), SimTime::from_hours(arrival_h), Minutes::new(len_min), cpus)
+        Job::new(
+            JobId(0),
+            SimTime::from_hours(arrival_h),
+            Minutes::new(len_min),
+            cpus,
+        )
     }
 
     #[test]
@@ -348,9 +358,9 @@ mod tests {
     #[test]
     fn stats_of_known_trace() {
         let trace = WorkloadTrace::from_jobs(vec![
-            job(0, 30, 1),   // short
-            job(1, 60, 2),   // short (== 1h)
-            job(2, 600, 4),  // long
+            job(0, 30, 1),  // short
+            job(1, 60, 2),  // short (== 1h)
+            job(2, 600, 4), // long
         ]);
         let stats = trace.stats();
         assert_eq!(stats.jobs, 3);

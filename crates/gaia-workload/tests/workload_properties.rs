@@ -13,7 +13,12 @@ fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
     proptest::collection::vec((0u64..100_000, 1u64..5_000, 1u32..64), 0..200).prop_map(|raw| {
         raw.into_iter()
             .map(|(arrival, len, cpus)| {
-                Job::new(JobId(0), SimTime::from_minutes(arrival), Minutes::new(len), cpus)
+                Job::new(
+                    JobId(0),
+                    SimTime::from_minutes(arrival),
+                    Minutes::new(len),
+                    cpus,
+                )
             })
             .collect()
     })

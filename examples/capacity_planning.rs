@@ -47,13 +47,17 @@ fn main() {
         "reserved", "cost/NoWait", "carbon/NoWait", "wait (h)", "band"
     );
     let mut best: Option<(u32, f64)> = None;
-    let steps: Vec<u32> = (0..=12).map(|i| (mean * i as f64 / 8.0).round() as u32).collect();
+    let steps: Vec<u32> = (0..=12)
+        .map(|i| (mean * i as f64 / 8.0).round() as u32)
+        .collect();
     for reserved in steps {
         let run = runner::run_spec(
             PolicySpec::res_first(BasePolicyKind::CarbonTime),
             &workload,
             &carbon,
-            ClusterConfig::default().with_reserved(reserved).with_billing_horizon(billing),
+            ClusterConfig::default()
+                .with_reserved(reserved)
+                .with_billing_horizon(billing),
         );
         let cost = run.total_cost / baseline.total_cost;
         let band = if (reserved as f64) < base {

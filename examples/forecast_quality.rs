@@ -13,8 +13,8 @@
 //! ```
 
 use gaia_carbon::{
-    forecast_mape, synth::synthesize_region, CarbonForecaster, NoisyForecaster,
-    PerfectForecaster, PersistenceForecaster, Region,
+    forecast_mape, synth::synthesize_region, CarbonForecaster, NoisyForecaster, PerfectForecaster,
+    PersistenceForecaster, Region,
 };
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_core::{CarbonTime, GaiaScheduler};

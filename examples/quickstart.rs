@@ -47,7 +47,10 @@ fn main() {
 
     // 4. Compare.
     let rel = relative_to(&gaia, &baseline);
-    println!("\n{:<24} {:>12} {:>12} {:>12}", "policy", "carbon (kg)", "cost ($)", "wait (h)");
+    println!(
+        "\n{:<24} {:>12} {:>12} {:>12}",
+        "policy", "carbon (kg)", "cost ($)", "wait (h)"
+    );
     for s in [&baseline, &gaia] {
         println!(
             "{:<24} {:>12.1} {:>12.2} {:>12.2}",

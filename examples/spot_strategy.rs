@@ -48,7 +48,9 @@ fn main() {
             let spec = PolicySpec {
                 base: BasePolicyKind::CarbonTime,
                 res_first: false,
-                spot: Some(SpotConfig { j_max: Minutes::from_hours(j_max) }),
+                spot: Some(SpotConfig {
+                    j_max: Minutes::from_hours(j_max),
+                }),
             };
             let run = runner::run_spec(
                 spec,

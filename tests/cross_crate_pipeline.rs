@@ -63,7 +63,10 @@ fn noisy_forecasts_degrade_but_do_not_break_savings() {
     );
     assert!((perfect - default_run.carbon_g).abs() < 1e-6);
     // Noise hurts (or at best matches) the savings but keeps them real.
-    assert!(noisy >= perfect * 0.99, "noise should not magically help much");
+    assert!(
+        noisy >= perfect * 0.99,
+        "noise should not magically help much"
+    );
     assert!(
         noisy < nowait.carbon_g,
         "even heavily noisy forecasts retain some savings"

@@ -18,15 +18,16 @@ fn carbon_strategy() -> impl Strategy<Value = CarbonTrace> {
 
 /// Random workload: up to 60 jobs over up to 3 days.
 fn workload_strategy() -> impl Strategy<Value = WorkloadTrace> {
-    proptest::collection::vec(
-        (0u64..4320, 5u64..2880, 1u32..6),
-        1..60,
-    )
-    .prop_map(|jobs| {
+    proptest::collection::vec((0u64..4320, 5u64..2880, 1u32..6), 1..60).prop_map(|jobs| {
         WorkloadTrace::from_jobs(
             jobs.into_iter()
                 .map(|(arrival, length, cpus)| {
-                    Job::new(JobId(0), SimTime::from_minutes(arrival), Minutes::new(length), cpus)
+                    Job::new(
+                        JobId(0),
+                        SimTime::from_minutes(arrival),
+                        Minutes::new(length),
+                        cpus,
+                    )
                 })
                 .collect(),
         )

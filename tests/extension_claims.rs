@@ -32,12 +32,33 @@ fn suspend_resume_carbon_time_dominates_ecovisor() {
     let mut sr = GaiaScheduler::new(CarbonTimeSuspend::new(queues));
     let sr_report = Simulation::new(config, &ci).run(&trace, &mut sr);
     let sr_summary = Summary::of("Carbon-Time-SR", &sr_report);
-    let ct = runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
-    let wa = runner::run_spec(PolicySpec::plain(BasePolicyKind::WaitAwhile), &trace, &ci, config);
-    let eco = runner::run_spec(PolicySpec::plain(BasePolicyKind::Ecovisor), &trace, &ci, config);
+    let ct = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        &trace,
+        &ci,
+        config,
+    );
+    let wa = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::WaitAwhile),
+        &trace,
+        &ci,
+        config,
+    );
+    let eco = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::Ecovisor),
+        &trace,
+        &ci,
+        config,
+    );
 
-    assert!(sr_summary.carbon_g <= ct.carbon_g, "interruption can only help carbon");
-    assert!(sr_summary.carbon_g >= wa.carbon_g * 0.98, "Wait Awhile is the carbon floor");
+    assert!(
+        sr_summary.carbon_g <= ct.carbon_g,
+        "interruption can only help carbon"
+    );
+    assert!(
+        sr_summary.carbon_g >= wa.carbon_g * 0.98,
+        "Wait Awhile is the carbon floor"
+    );
     // The headline: strictly better than Ecovisor on both axes.
     assert!(sr_summary.carbon_g < eco.carbon_g);
     assert!(sr_summary.mean_wait_hours < eco.mean_wait_hours);
@@ -61,14 +82,25 @@ fn carbon_tax_interpolates_monotonically() {
         prev_carbon = carbon;
     }
     // Zero tax is NoWait; high tax approaches Lowest-Window.
-    let nowait =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
-    let lw =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::LowestWindow), &trace, &ci, config);
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        config,
+    );
+    let lw = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::LowestWindow),
+        &trace,
+        &ci,
+        config,
+    );
     let mut zero_tax = GaiaScheduler::new(CarbonTax::new(queues, 0.0, 0.05));
     let zero = Simulation::new(config, &ci).run(&trace, &mut zero_tax);
     assert!((zero.totals.carbon_g - nowait.carbon_g).abs() < 1e-6 * nowait.carbon_g);
-    assert!(prev_carbon < lw.carbon_g * 1.05, "high tax approaches Lowest-Window");
+    assert!(
+        prev_carbon < lw.carbon_g * 1.05,
+        "high tax approaches Lowest-Window"
+    );
 }
 
 /// Checkpointing rescues long spot jobs from eviction losses: cheaper
@@ -80,7 +112,9 @@ fn checkpointing_beats_lose_everything_under_evictions() {
     let spec = PolicySpec {
         base: BasePolicyKind::CarbonTime,
         res_first: false,
-        spot: Some(SpotConfig { j_max: Minutes::from_hours(24) }),
+        spot: Some(SpotConfig {
+            j_max: Minutes::from_hours(24),
+        }),
     };
     let base = ClusterConfig::default()
         .with_billing_horizon(Minutes::from_days(368))
@@ -93,9 +127,18 @@ fn checkpointing_beats_lose_everything_under_evictions() {
         &ci,
         base.with_checkpointing(CheckpointConfig::every_hours(1, 3)),
     );
-    assert!(with.total_cost < without.total_cost, "checkpointing recovers the spot discount");
-    assert!(with.carbon_g < without.carbon_g * 1.02, "and does not burn more carbon");
-    assert!(with.evictions > 0, "evictions still happen; they just hurt less");
+    assert!(
+        with.total_cost < without.total_cost,
+        "checkpointing recovers the spot discount"
+    );
+    assert!(
+        with.carbon_g < without.carbon_g * 1.02,
+        "and does not burn more carbon"
+    );
+    assert!(
+        with.evictions > 0,
+        "evictions still happen; they just hurt less"
+    );
 }
 
 /// Carbon-responsive caps trade carbon for waiting, but GAIA's per-job
@@ -103,17 +146,29 @@ fn checkpointing_beats_lose_everything_under_evictions() {
 #[test]
 fn capacity_caps_trade_but_gaia_dominates() {
     let (trace, ci, config) = setup();
-    let nowait =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        config,
+    );
     let capped_config = config.with_capacity_cap(CapacityCap::CarbonResponsive {
         normal_cap: 1000,
         high_carbon_cap: 5,
         ci_threshold: 250.0,
     });
-    let capped =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, capped_config);
-    let gaia =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
+    let capped = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        capped_config,
+    );
+    let gaia = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        &trace,
+        &ci,
+        config,
+    );
 
     assert!(capped.carbon_g < nowait.carbon_g, "caps save carbon");
     assert!(capped.mean_wait_hours > 0.5, "caps cost waiting");
@@ -127,14 +182,24 @@ fn capacity_caps_trade_but_gaia_dominates() {
 #[test]
 fn tiered_ladder_improves_wait_efficiency() {
     let (trace, ci, config) = setup();
-    let nowait =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::NoWait), &trace, &ci, config);
-    let two_queue =
-        runner::run_spec(PolicySpec::plain(BasePolicyKind::CarbonTime), &trace, &ci, config);
+    let nowait = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        &trace,
+        &ci,
+        config,
+    );
+    let two_queue = runner::run_spec(
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+        &trace,
+        &ci,
+        config,
+    );
     let ladder = QueueLadder::paper_three_tier().with_averages_from(&trace);
     let mut scheduler = GaiaScheduler::new(TieredCarbonTime::new(ladder));
-    let tiered =
-        Summary::of("tiered", &Simulation::new(config, &ci).run(&trace, &mut scheduler));
+    let tiered = Summary::of(
+        "tiered",
+        &Simulation::new(config, &ci).run(&trace, &mut scheduler),
+    );
     assert!(
         savings_per_wait_hour(&nowait, &tiered)
             >= savings_per_wait_hour(&nowait, &two_queue) * 0.98,
@@ -177,7 +242,10 @@ fn price_aware_extremes_conflict() {
     };
     let cost_optimal = run(0.0);
     let carbon_optimal = run(1.0);
-    assert!(bill(&cost_optimal) < bill(&carbon_optimal), "λ=0 minimizes the bill");
+    assert!(
+        bill(&cost_optimal) < bill(&carbon_optimal),
+        "λ=0 minimizes the bill"
+    );
     assert!(
         carbon_optimal.totals.carbon_g < cost_optimal.totals.carbon_g,
         "λ=1 minimizes carbon"

@@ -20,7 +20,10 @@ fn week_setup() -> (WorkloadTrace, gaia_carbon::CarbonTrace, ClusterConfig) {
     (trace, carbon, config)
 }
 
-fn run(spec: PolicySpec, setup: &(WorkloadTrace, gaia_carbon::CarbonTrace, ClusterConfig)) -> Summary {
+fn run(
+    spec: PolicySpec,
+    setup: &(WorkloadTrace, gaia_carbon::CarbonTrace, ClusterConfig),
+) -> Summary {
     runner::run_spec(spec, &setup.0, &setup.1, setup.2)
 }
 
@@ -36,10 +39,19 @@ fn figure8_carbon_and_waiting_ordering() {
     let wa = run(PolicySpec::plain(BasePolicyKind::WaitAwhile), &setup);
     let eco = run(PolicySpec::plain(BasePolicyKind::Ecovisor), &setup);
 
-    assert!(wa.carbon_g < eco.carbon_g, "WaitAwhile beats Ecovisor on carbon");
-    assert!(eco.carbon_g < slot.carbon_g, "Ecovisor beats Lowest-Slot on carbon");
+    assert!(
+        wa.carbon_g < eco.carbon_g,
+        "WaitAwhile beats Ecovisor on carbon"
+    );
+    assert!(
+        eco.carbon_g < slot.carbon_g,
+        "Ecovisor beats Lowest-Slot on carbon"
+    );
     assert!(window.carbon_g < slot.carbon_g, "window beats single slot");
-    assert!(slot.carbon_g < nowait.carbon_g, "every carbon-aware policy beats NoWait");
+    assert!(
+        slot.carbon_g < nowait.carbon_g,
+        "every carbon-aware policy beats NoWait"
+    );
     assert!(ct.carbon_g < nowait.carbon_g);
 
     assert_eq!(nowait.mean_wait_hours, 0.0);
@@ -78,8 +90,14 @@ fn figure10_hybrid_cluster_tension() {
     // expensive; RES-First in between.
     assert!(allwait.total_cost < nowait.total_cost);
     assert!(allwait.total_cost < res_ct.total_cost);
-    assert!(res_ct.total_cost < ct.total_cost, "work conservation saves money");
-    assert!(wa.total_cost > allwait.total_cost, "fragmented demand is expensive");
+    assert!(
+        res_ct.total_cost < ct.total_cost,
+        "work conservation saves money"
+    );
+    assert!(
+        wa.total_cost > allwait.total_cost,
+        "fragmented demand is expensive"
+    );
     // Carbon ordering: AllWait saves little carbon; RES-First retains a
     // meaningful share of Carbon-Time's savings.
     let ct_saving = nowait.carbon_g - ct.carbon_g;
@@ -100,7 +118,11 @@ fn figure11_reserved_sweep_monotonicity() {
     let mut prev_wait = f64::INFINITY;
     let mut prev_carbon = 0.0;
     for reserved in [0u32, 6, 12, 18, 24] {
-        let setup = (trace.clone(), carbon.clone(), base_config.with_reserved(reserved));
+        let setup = (
+            trace.clone(),
+            carbon.clone(),
+            base_config.with_reserved(reserved),
+        );
         let run = run(PolicySpec::res_first(BasePolicyKind::CarbonTime), &setup);
         assert!(
             run.mean_wait_hours <= prev_wait + 0.02,
@@ -127,7 +149,10 @@ fn figure12_spot_keeps_carbon_cuts_cost() {
         (spot_ct.carbon_g - ct.carbon_g).abs() < 0.01 * ct.carbon_g,
         "without evictions, spot does not change the schedule's carbon"
     );
-    assert!(spot_ct.total_cost < 0.9 * ct.total_cost, "spot discount shows up in cost");
+    assert!(
+        spot_ct.total_cost < 0.9 * ct.total_cost,
+        "spot discount shows up in cost"
+    );
 }
 
 /// Headline claim: GAIA (Spot-RES/RES-First around Carbon-Time) at least
@@ -195,7 +220,9 @@ fn figure18_evictions_penalize_long_spot_jobs() {
     let spec = PolicySpec {
         base: BasePolicyKind::CarbonTime,
         res_first: false,
-        spot: Some(SpotConfig { j_max: Minutes::from_hours(24) }),
+        spot: Some(SpotConfig {
+            j_max: Minutes::from_hours(24),
+        }),
     };
     let billing = ClusterConfig::default().with_billing_horizon(Minutes::from_days(368));
     let clean = runner::run_spec(spec, &trace, &carbon, billing);
@@ -203,17 +230,25 @@ fn figure18_evictions_penalize_long_spot_jobs() {
         spec,
         &trace,
         &carbon,
-        billing.with_eviction(EvictionModel::hourly(0.15)).with_seed(7),
+        billing
+            .with_eviction(EvictionModel::hourly(0.15))
+            .with_seed(7),
     );
     assert_eq!(clean.evictions, 0);
-    assert!(evicted.evictions > 100, "15%/h must evict many 24h-capped jobs");
+    assert!(
+        evicted.evictions > 100,
+        "15%/h must evict many 24h-capped jobs"
+    );
     assert!(
         evicted.carbon_g > 1.02 * clean.carbon_g,
         "lost progress burns extra carbon ({} vs {})",
         evicted.carbon_g,
         clean.carbon_g
     );
-    assert!(evicted.total_cost > clean.total_cost, "recomputation costs money");
+    assert!(
+        evicted.total_cost > clean.total_cost,
+        "recomputation costs money"
+    );
 }
 
 /// §6.1's sanity: every policy respects its queue's maximum waiting time
@@ -227,8 +262,7 @@ fn waiting_limits_are_respected() {
         BasePolicyKind::LowestWindow,
         BasePolicyKind::CarbonTime,
     ] {
-        let report =
-            runner::run_spec_report(PolicySpec::plain(kind), &trace, &carbon, config);
+        let report = runner::run_spec_report(PolicySpec::plain(kind), &trace, &carbon, config);
         for outcome in &report.jobs {
             let max_wait = if outcome.job.length <= Minutes::from_hours(2) {
                 Minutes::from_hours(6)

@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface GAIA's benches use
+//! (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `black_box`)
+//! but replaces the statistical engine with a simple
+//! warmup-then-median wall-clock measurement printed to stdout. Good
+//! enough to compare orders of magnitude offline; not a replacement
+//! for real criterion runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Configures the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, b.median);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configures the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.0), b.median);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.median);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter display.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Id from a parameter display alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Times closures passed to `iter`.
+pub struct Bencher {
+    sample_size: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warmup call, then `sample_size` timed
+    /// calls; records the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, median: Duration) {
+    println!("bench: {name:<50} median {median:>12.3?}");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

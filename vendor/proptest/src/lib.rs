@@ -1,0 +1,341 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API that GAIA's property tests
+//! use, backed by deterministic seeded sampling rather than shrinking
+//! test runners:
+//!
+//! * the [`proptest!`] macro over `fn name(arg in strategy, ...)`
+//!   items, with an optional `#![proptest_config(...)]` header;
+//! * [`strategy::Strategy`] with ranges, tuples, [`strategy::Just`],
+//!   [`prop_oneof!`], `.prop_map(..)` and [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Each generated test runs `Config::cases` deterministic cases seeded
+//! from the test's name, so failures are reproducible run-to-run. There
+//! is no shrinking: the failing inputs are printed as-is.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! Runner configuration, mirroring `proptest::test_runner`.
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of deterministic cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies, mirroring `proptest::strategy`.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy for heterogeneous composition.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the [`crate::prop_oneof!`]
+    /// backing type).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Vector of values from `element`, of length within `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy {
+            element,
+            min_len: len.start,
+            max_len: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.min_len..self.max_len);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Derives the per-test base seed from the test's name, so every
+/// property has a distinct but stable stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds the RNG for one case of a property.
+pub fn case_rng(base_seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base_seed ^ ((case as u64) << 32 | 0x5EED))
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skips the current case when an assumption fails. Without a shrinking
+/// runner this simply moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property-test entry point mirroring `proptest::proptest!`.
+///
+/// Supports the form used across GAIA's test suites: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies with `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $args:tt $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default());
+            $(#[$meta])* fn $name $args $body $($rest)*);
+    };
+    (@funcs ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident(
+            $($arg:ident in $strategy:expr),* $(,)?
+        ) $body:block
+    )*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let base_seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                #[allow(unused_variables)]
+                for case in 0..config.cases {
+                    let mut case_rng = $crate::case_rng(base_seed, case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut case_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides just enough of serde's surface for the workspace to
+//! compile: the `Serialize`/`Deserialize` trait names (with blanket
+//! marker impls, so bounds are always satisfiable) and the derive
+//! macros (no-ops from the sibling `serde_derive` stub). Actual
+//! serialization in GAIA is hand-rolled (CSV/JSON writers in
+//! `gaia-sim::output` and `gaia-sweep::store`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

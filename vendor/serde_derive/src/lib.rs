@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The GAIA workspace derives `Serialize`/`Deserialize` on its data
+//! types per the C-SERDE convention but never routes them through a
+//! serde `Serializer` (artifact CSV/JSON output is hand-rolled). This
+//! proc-macro accepts the same derive syntax — including `#[serde(...)]`
+//! attributes — and emits nothing; the sibling `serde` stub provides
+//! blanket marker impls so `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
