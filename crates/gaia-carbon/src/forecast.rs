@@ -115,11 +115,14 @@ impl<'a> ForecastView<'a> {
     }
 
     /// The `q`-quantile of forecast hourly CI over `[now, now + horizon)`.
+    ///
+    /// NaN forecasts sort above every real value ([`f64::total_cmp`]), so
+    /// a perturbed forecaster degrades the answer instead of panicking.
     pub fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
         let mut samples: Vec<f64> = gaia_time::HourlySlots::spanning(self.now, horizon)
             .map(|s| self.at(s.start))
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("forecasts are finite"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         samples[idx]
     }

@@ -48,7 +48,15 @@ OUTPUT:
     --aggregate <PATH>     write the aggregate totals CSV (artifact A.6)
     --runtime <PATH>       write the hourly allocation CSV (artifact A.6)
     --csv                  print the summary as CSV
+    --audit                validate the finished run against the engine's
+                           invariant audit (segment coverage, occupancy,
+                           accounting, work conservation, timing)
     --help                 show this message
+
+EXIT CODES:
+    0  success
+    1  usage, I/O, or simulation error
+    2  the invariant audit found violations (with --audit)
 ";
 
 /// Which policy drives the run: one of the paper's base policies or an
@@ -90,6 +98,7 @@ pub struct Options {
     pub aggregate: Option<String>,
     pub runtime: Option<String>,
     pub csv: bool,
+    pub audit: bool,
 }
 
 /// Which workload to synthesize.
@@ -135,6 +144,7 @@ impl Default for Options {
             aggregate: None,
             runtime: None,
             csv: false,
+            audit: false,
         }
     }
 }
@@ -315,6 +325,7 @@ impl Options {
                 "--aggregate" => options.aggregate = Some(value("--aggregate")?.to_owned()),
                 "--runtime" => options.runtime = Some(value("--runtime")?.to_owned()),
                 "--csv" => options.csv = true,
+                "--audit" => options.audit = true,
                 // Artifact compatibility: `--scheduling-policy cost|carbon`.
                 "--scheduling-policy" => {
                     match value("--scheduling-policy")?.to_ascii_lowercase().as_str() {
@@ -432,5 +443,13 @@ mod tests {
         assert!(parse(&["--help"]).expect("valid").help);
         assert!(parse(&["-h"]).expect("valid").help);
         assert!(HELP.contains("--policy"));
+        assert!(HELP.contains("--audit"));
+        assert!(HELP.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn audit_flag_is_opt_in() {
+        assert!(!parse(&[]).expect("valid").audit);
+        assert!(parse(&["--audit"]).expect("valid").audit);
     }
 }

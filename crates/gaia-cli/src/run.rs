@@ -20,9 +20,12 @@ use gaia_workload::{QueueSet, WorkloadTrace};
 use crate::args::{Options, PolicyChoice, Scale, TraceChoice};
 
 /// Runs the experiment described by `options`.
+///
+/// Exit codes: 0 on success, 1 on usage/I/O/simulation errors, 2 when
+/// `--audit` finds invariant violations in the finished run.
 pub fn execute(options: &Options) -> ExitCode {
     match try_execute(options) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -30,7 +33,7 @@ pub fn execute(options: &Options) -> ExitCode {
     }
 }
 
-fn try_execute(options: &Options) -> Result<(), String> {
+fn try_execute(options: &Options) -> Result<ExitCode, String> {
     let carbon = load_carbon(options)?;
     let workload = load_workload(options)?;
     let queues = QueueSet::paper_defaults()
@@ -51,7 +54,7 @@ fn try_execute(options: &Options) -> Result<(), String> {
         config = config.with_checkpointing(CheckpointConfig::every_hours(interval_h, overhead_min));
     }
 
-    let report = run_choice(options, &workload, &carbon, config, queues);
+    let report = run_choice(options, &workload, &carbon, config, queues)?;
     let summary = Summary::of(policy_name(options), &report);
 
     if let Some(path) = &options.details {
@@ -79,7 +82,7 @@ fn try_execute(options: &Options) -> Result<(), String> {
 
     if options.baseline && summary.name != "NoWait" {
         let baseline_spec = PolicySpec::plain(BasePolicyKind::NoWait);
-        let baseline_report = run(baseline_spec, &workload, &carbon, config, queues);
+        let baseline_report = run(baseline_spec, &workload, &carbon, config, queues)?;
         let baseline = Summary::of("NoWait", &baseline_report);
         push_summary_row(&mut table, &baseline);
         print_table(options, &table);
@@ -94,7 +97,24 @@ fn try_execute(options: &Options) -> Result<(), String> {
     } else {
         print_table(options, &table);
     }
-    Ok(())
+
+    if options.audit {
+        let audit = gaia_sim::audit_report(&report, &config, &carbon);
+        if audit.is_clean() {
+            eprintln!("audit: {} checks, no violations", audit.checks_run);
+        } else {
+            for violation in &audit.violations {
+                eprintln!("audit: {violation}");
+            }
+            eprintln!(
+                "audit: {} violation(s) across {} checks",
+                audit.violations.len(),
+                audit.checks_run
+            );
+            return Ok(ExitCode::from(2));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn print_table(options: &Options, table: &TextTable) {
@@ -123,20 +143,23 @@ fn run(
     carbon: &CarbonTrace,
     config: ClusterConfig,
     queues: QueueSet,
-) -> SimReport {
+) -> Result<SimReport, String> {
     let mut scheduler = spec.build(queues);
-    Simulation::new(config, carbon).run(workload, &mut scheduler)
+    Simulation::new(config, carbon)
+        .try_run(workload, &mut scheduler)
+        .map_err(|e| e.to_string())
 }
 
 /// Builds and runs the selected policy, including the extension policies
-/// that live outside the paper's Table 1 catalog.
+/// that live outside the paper's Table 1 catalog. Invalid policy
+/// decisions come back as an error (exit 1), not a process abort.
 fn run_choice(
     options: &Options,
     workload: &WorkloadTrace,
     carbon: &CarbonTrace,
     config: ClusterConfig,
     queues: QueueSet,
-) -> SimReport {
+) -> Result<SimReport, String> {
     let base: Box<dyn BatchPolicy> = match options.policy {
         PolicyChoice::Base(kind) => {
             let spec = PolicySpec {
@@ -160,7 +183,9 @@ fn run_choice(
     if let Some(j_max) = options.spot_j_max {
         scheduler = scheduler.spot_first(SpotConfig { j_max });
     }
-    Simulation::new(config, carbon).run(workload, &mut scheduler)
+    Simulation::new(config, carbon)
+        .try_run(workload, &mut scheduler)
+        .map_err(|e| e.to_string())
 }
 
 /// The display name for the selected policy configuration.

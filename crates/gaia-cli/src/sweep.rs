@@ -36,6 +36,9 @@ EXECUTION:
     --bench                also run the grid serially and record the
                            serial-vs-parallel timing in the manifest
     --no-progress          suppress the stderr progress meter
+    --audit                validate every completed cell against the
+                           engine's invariant audit (default: on)
+    --no-audit             skip the invariant audit
 
 OUTPUT:
     --out <DIR>            results root directory (default: results)
@@ -45,6 +48,12 @@ OUTPUT:
 Artifacts written to <out>/<name>/: manifest.json, scenarios.csv,
 aggregate.csv, aggregate.json. The CSV/JSON results are byte-identical
 for any --workers value; only wall-clock changes.
+
+EXIT CODES:
+    0  every cell completed and the audit found no violations
+    1  usage or I/O error
+    2  at least one cell failed with a typed simulation error, or the
+       audit found invariant violations
 ";
 
 /// Parsed `gaia sweep` options.
@@ -63,6 +72,7 @@ pub struct SweepOptions {
     pub workers: usize,
     pub bench: bool,
     pub progress: bool,
+    pub audit: bool,
     pub out: String,
     pub name: String,
 }
@@ -88,6 +98,7 @@ impl Default for SweepOptions {
             workers: default_workers(),
             bench: false,
             progress: true,
+            audit: true,
             out: "results".to_owned(),
             name: "sweep".to_owned(),
         }
@@ -184,6 +195,8 @@ impl SweepOptions {
                 }
                 "--bench" => options.bench = true,
                 "--no-progress" => options.progress = false,
+                "--audit" => options.audit = true,
+                "--no-audit" => options.audit = false,
                 "--out" => options.out = value("--out")?.to_owned(),
                 "--name" => options.name = value("--name")?.to_owned(),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -233,18 +246,31 @@ fn parse_family(name: &str) -> Result<TraceFamily, String> {
 }
 
 /// Runs the subcommand.
+///
+/// Exit codes: 0 for a clean sweep, 1 for usage/I/O errors, 2 when any
+/// cell failed with a typed simulation error or the audit found
+/// invariant violations.
 pub fn execute(options: &SweepOptions) -> ExitCode {
     let grid = options.grid();
     eprintln!("sweep grid: {}", grid.describe());
 
     let executor = Executor::new(options.workers).with_progress(options.progress);
     let (run, timing) = if options.bench {
-        let (run, bench) = gaia_sweep::time_grid(&grid, options.workers);
+        let (run, bench) = if options.audit {
+            gaia_sweep::time_grid_audited(&grid, options.workers)
+        } else {
+            gaia_sweep::time_grid(&grid, options.workers)
+        };
         eprintln!(
             "bench: serial {:.2}s vs {} workers {:.2}s — speedup {:.2}x",
             bench.serial_secs, bench.workers, bench.parallel_secs, bench.speedup
         );
         (run, Some(bench))
+    } else if options.audit {
+        (
+            gaia_sweep::run_grid_audited(&grid, &executor, &gaia_sweep::TraceCache::new()),
+            None,
+        )
     } else {
         (gaia_sweep::run_grid(&grid, &executor), None)
     };
@@ -269,12 +295,43 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
     {
         Ok(store) => {
             eprintln!("artifacts written to {}", store.dir().display());
-            ExitCode::SUCCESS
+            audit_exit_code(&run)
         }
         Err(error) => {
             eprintln!("error: writing results: {error}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Reports failed cells and audit violations to stderr and maps them to
+/// the exit-code contract: clean sweep → 0, any failure/violation → 2.
+fn audit_exit_code(run: &gaia_sweep::SweepRun) -> ExitCode {
+    let failed = run.failed_cells();
+    for cell in &failed {
+        eprintln!("cell {} failed: {}", cell.key, cell.error().unwrap_or("?"));
+    }
+    let mut violations = 0;
+    for result in &run.results {
+        if let Some(audit) = result.audit() {
+            for violation in &audit.violations {
+                eprintln!("audit: {}: {violation}", result.key);
+            }
+            violations += audit.violations.len();
+        }
+    }
+    if failed.is_empty() && violations == 0 {
+        if run.audited {
+            eprintln!("audit: all {} cells clean", run.results.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "audit: {} failed cell(s), {} violation(s)",
+            failed.len(),
+            violations
+        );
+        ExitCode::from(2)
     }
 }
 
@@ -366,5 +423,14 @@ mod tests {
     fn help_flag() {
         assert!(parse(&["--help"]).expect("valid").help);
         assert!(HELP.contains("--workers"));
+        assert!(HELP.contains("--no-audit"));
+        assert!(HELP.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn audit_defaults_on_and_can_be_disabled() {
+        assert!(parse(&[]).expect("valid").audit);
+        assert!(!parse(&["--no-audit"]).expect("valid").audit);
+        assert!(parse(&["--no-audit", "--audit"]).expect("valid").audit);
     }
 }

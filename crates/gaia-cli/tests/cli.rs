@@ -185,8 +185,112 @@ fn artifact_output_files_are_written() {
 fn rejects_unknown_flags_with_failure_exit() {
     let output = gaia().arg("--frobnicate").output().expect("binary runs");
     assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(1));
     let err = String::from_utf8_lossy(&output.stderr);
     assert!(err.contains("unknown flag"));
+}
+
+#[test]
+fn audit_flag_passes_on_a_clean_run() {
+    let output = gaia()
+        .args(["--trace", "section3", "--seed", "1", "--audit"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "clean run audits clean: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("no violations"), "stderr: {err}");
+}
+
+#[test]
+fn bad_plan_policy_exits_with_a_typed_error_not_an_abort() {
+    let output = gaia()
+        .args(["--trace", "section3", "--seed", "1", "--policy", "badplan"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "typed simulation errors exit 1, not a panic abort"
+    );
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("invalid policy decision"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+}
+
+#[test]
+fn sweep_with_bad_plan_cell_exits_two_and_keeps_healthy_cells() {
+    let dir = std::env::temp_dir().join("gaia_cli_test_sweep_badplan");
+    let output = gaia()
+        .args([
+            "sweep",
+            "--policies",
+            "badplan,nowait",
+            "--seeds",
+            "1",
+            "--workers",
+            "2",
+            "--no-progress",
+            "--out",
+            dir.to_str().expect("utf-8"),
+            "--name",
+            "badplan",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "a failed cell maps to exit 2: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("failed"), "stderr names the failure: {err}");
+    let csv = std::fs::read_to_string(dir.join("badplan/scenarios.csv")).expect("csv written");
+    assert!(csv.contains("ok"), "the healthy cell still completes");
+    assert!(csv.contains("failed: invalid policy decision"));
+    let manifest =
+        std::fs::read_to_string(dir.join("badplan/manifest.json")).expect("manifest written");
+    assert!(manifest.contains("\"failed_cells\": 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_audits_clean_by_default() {
+    let dir = std::env::temp_dir().join("gaia_cli_test_sweep_clean");
+    let output = gaia()
+        .args([
+            "sweep",
+            "--policies",
+            "nowait,carbon-time",
+            "--seeds",
+            "1",
+            "--workers",
+            "2",
+            "--no-progress",
+            "--out",
+            dir.to_str().expect("utf-8"),
+            "--name",
+            "clean",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "reference policies audit clean: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("cells clean"), "stderr: {err}");
+    let manifest =
+        std::fs::read_to_string(dir.join("clean/manifest.json")).expect("manifest written");
+    assert!(manifest.contains("\"audit\": {\"enabled\": true, \"violations\": 0"));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

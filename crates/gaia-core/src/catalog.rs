@@ -5,7 +5,7 @@ use gaia_workload::QueueSet;
 use serde::{Deserialize, Serialize};
 
 use crate::policies::{
-    AllWaitThreshold, BatchPolicy, CarbonTime, Ecovisor, LowestSlot, LowestWindow, NoWait,
+    AllWaitThreshold, BadPlan, BatchPolicy, CarbonTime, Ecovisor, LowestSlot, LowestWindow, NoWait,
     WaitAwhile,
 };
 use crate::scheduler::{GaiaScheduler, SpotConfig};
@@ -31,10 +31,18 @@ pub enum BasePolicyKind {
     LowestWindow,
     /// Maximize carbon saving per completion time (the paper's proposal).
     CarbonTime,
+    /// Fault injection: always returns an over-long segment plan the
+    /// engine must reject with a typed error. Not part of Table 1 and
+    /// excluded from [`BasePolicyKind::ALL`]; used to test the
+    /// audit/error path end to end.
+    BadPlan,
 }
 
 impl BasePolicyKind {
-    /// All base policies, in Table 1 order.
+    /// All *paper* base policies, in Table 1 order ([`BadPlan`] is
+    /// fault-injection tooling, not a policy, and is excluded).
+    ///
+    /// [`BadPlan`]: BasePolicyKind::BadPlan
     pub const ALL: [BasePolicyKind; 7] = [
         BasePolicyKind::NoWait,
         BasePolicyKind::AllWaitThreshold,
@@ -55,6 +63,7 @@ impl BasePolicyKind {
             BasePolicyKind::LowestSlot => "Lowest-Slot",
             BasePolicyKind::LowestWindow => "Lowest-Window",
             BasePolicyKind::CarbonTime => "Carbon-Time",
+            BasePolicyKind::BadPlan => "Bad-Plan",
         }
     }
 
@@ -74,6 +83,7 @@ impl BasePolicyKind {
             "lowestslot" => BasePolicyKind::LowestSlot,
             "lowestwindow" => BasePolicyKind::LowestWindow,
             "carbontime" => BasePolicyKind::CarbonTime,
+            "badplan" => BasePolicyKind::BadPlan,
             _ => return None,
         })
     }
@@ -91,7 +101,7 @@ impl BasePolicyKind {
     pub fn carbon_aware(self) -> bool {
         !matches!(
             self,
-            BasePolicyKind::NoWait | BasePolicyKind::AllWaitThreshold
+            BasePolicyKind::NoWait | BasePolicyKind::AllWaitThreshold | BasePolicyKind::BadPlan
         )
     }
 
@@ -115,6 +125,7 @@ impl BasePolicyKind {
             BasePolicyKind::LowestSlot => Box::new(LowestSlot::new(queues)),
             BasePolicyKind::LowestWindow => Box::new(LowestWindow::new(queues)),
             BasePolicyKind::CarbonTime => Box::new(CarbonTime::new(queues)),
+            BasePolicyKind::BadPlan => Box::new(BadPlan::new()),
         }
     }
 }

@@ -1,0 +1,62 @@
+//! Deliberately broken policy for fault-injection testing.
+
+use gaia_sim::{Decision, SchedulerContext, SegmentPlan};
+use gaia_time::Minutes;
+use gaia_workload::Job;
+
+use super::BatchPolicy;
+
+/// A policy that always returns an invalid decision: a single-segment
+/// plan one minute *longer* than the job.
+///
+/// It exists to exercise the failure path end to end — the engine must
+/// reject the plan with a typed [`PolicyError::PlanLengthMismatch`]
+/// (failing one sweep cell, not the process), and the audit/CLI layers
+/// must surface it with a nonzero exit code. It is deliberately excluded
+/// from [`BasePolicyKind::ALL`] so figure harnesses never run it by
+/// accident.
+///
+/// [`PolicyError::PlanLengthMismatch`]: gaia_sim::PolicyError::PlanLengthMismatch
+/// [`BasePolicyKind::ALL`]: crate::catalog::BasePolicyKind::ALL
+#[derive(Debug, Default)]
+pub struct BadPlan;
+
+impl BadPlan {
+    /// Creates the broken policy.
+    pub fn new() -> Self {
+        BadPlan
+    }
+}
+
+impl BatchPolicy for BadPlan {
+    fn decide(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+        Decision::run_segments(SegmentPlan::new(vec![(
+            job.arrival,
+            job.length + Minutes::new(1),
+        )]))
+    }
+
+    fn name(&self) -> &'static str {
+        "Bad-Plan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{job, CtxFactory};
+    use gaia_time::SimTime;
+
+    #[test]
+    fn plan_never_matches_the_job_length() {
+        let factory = CtxFactory::new(&[100.0; 24]);
+        factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| {
+            let job = job(0, 60, 1);
+            let mut policy = BadPlan::new();
+            let decision = policy.decide(&job, ctx);
+            let plan = decision.segments().expect("segment plan");
+            assert_eq!(plan.total(), Minutes::new(61));
+            assert_ne!(plan.total(), job.length);
+        });
+    }
+}

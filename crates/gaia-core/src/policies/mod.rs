@@ -1,6 +1,7 @@
 //! The base scheduling policies (§4.2 and the paper's baselines).
 
 mod allwait;
+mod badplan;
 mod carbon_tax;
 mod carbon_time;
 mod carbon_time_sr;
@@ -13,6 +14,7 @@ mod tiered;
 mod waitawhile;
 
 pub use allwait::AllWaitThreshold;
+pub use badplan::BadPlan;
 pub use carbon_tax::CarbonTax;
 pub use carbon_time::CarbonTime;
 pub use carbon_time_sr::CarbonTimeSuspend;
@@ -83,6 +85,15 @@ pub const DEFAULT_SCAN_STEP: Minutes = Minutes::new(10);
 /// granularity) within `[now, now + horizon)` and returns them merged
 /// into ordered, non-overlapping segments summing to exactly `need`.
 ///
+/// A horizon shorter than `need` is widened to `need` so the plan always
+/// covers the whole job — a `debug_assert!` used to be the only guard,
+/// which in release builds let such calls return silently truncated
+/// plans (under-counted carbon and length).
+///
+/// Slots are ordered with [`f64::total_cmp`], so NaN forecasts (possible
+/// with perturbed forecasters) degrade gracefully instead of panicking:
+/// NaN sorts after every real CI value and is picked last.
+///
 /// Shared by the Wait Awhile baseline and the suspend-resume Carbon-Time
 /// extension.
 pub(crate) fn greenest_slots(
@@ -90,16 +101,12 @@ pub(crate) fn greenest_slots(
     horizon: Minutes,
     need: Minutes,
 ) -> Vec<(SimTime, Minutes)> {
-    debug_assert!(need <= horizon, "cannot fit {need} of work into {horizon}");
+    let horizon = horizon.max(need);
     let mut slots: Vec<(SimTime, Minutes, f64)> =
         gaia_time::HourlySlots::spanning(ctx.now, horizon)
             .map(|s| (s.start, s.overlap, ctx.forecast.at(s.start)))
             .collect();
-    slots.sort_by(|a, b| {
-        a.2.partial_cmp(&b.2)
-            .expect("finite CI")
-            .then(a.0.cmp(&b.0))
-    });
+    slots.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
     let mut remaining = need;
     let mut chosen = Vec::new();
     for (start, avail, _) in slots {
@@ -110,7 +117,11 @@ pub(crate) fn greenest_slots(
         chosen.push((start, take));
         remaining -= take;
     }
-    debug_assert!(remaining.is_zero(), "horizon >= need guarantees coverage");
+    // The hourly slots tile [now, now + horizon) exactly and horizon >=
+    // need, so the greedy pass always finds enough minutes. Checked in
+    // all build profiles: a truncated plan here silently corrupts every
+    // downstream carbon/cost figure.
+    assert!(remaining.is_zero(), "horizon >= need guarantees coverage");
     chosen.sort_by_key(|(s, _)| *s);
     let mut merged: Vec<(SimTime, Minutes)> = Vec::new();
     for (s, l) in chosen {
@@ -222,5 +233,79 @@ mod tests {
             |_| 1.0,
         );
         assert_eq!(best, SimTime::from_hours(5));
+    }
+
+    /// Regression: `need > horizon` used to be guarded only by a
+    /// `debug_assert!`, so release builds returned a silently truncated
+    /// plan. The horizon is now widened to cover the need in every build
+    /// profile (this test runs under `cargo test --release` in CI too).
+    #[test]
+    fn greenest_slots_covers_need_beyond_horizon() {
+        let factory = testutil::CtxFactory::new(&[100.0, 50.0, 200.0, 75.0, 120.0, 90.0]);
+        factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| {
+            let need = Minutes::from_hours(4);
+            let slots = greenest_slots(ctx, Minutes::from_hours(1), need);
+            let total: Minutes = slots.iter().map(|(_, l)| *l).sum();
+            assert_eq!(total, need, "plan must cover the whole job");
+            for pair in slots.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].0 + pair[0].1,
+                    "segments must be ordered and non-overlapping"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn greenest_slots_picks_lowest_ci_hours() {
+        let factory = testutil::CtxFactory::new(&[100.0, 50.0, 200.0, 75.0]);
+        factory.with_ctx(SimTime::ORIGIN, 0, 0, |ctx| {
+            let slots = greenest_slots(ctx, Minutes::from_hours(4), Minutes::from_hours(2));
+            // Hours 1 (CI 50) and 3 (CI 75) win; they are disjoint.
+            assert_eq!(
+                slots,
+                vec![
+                    (SimTime::from_hours(1), Minutes::from_hours(1)),
+                    (SimTime::from_hours(3), Minutes::from_hours(1)),
+                ]
+            );
+        });
+    }
+
+    /// Regression: the slot sort used `partial_cmp(..).expect("finite
+    /// CI")`, so one NaN forecast panicked mid-run. With `total_cmp` NaN
+    /// slots sort last and a full-length plan still comes out.
+    #[test]
+    fn greenest_slots_tolerates_nan_forecasts() {
+        use gaia_carbon::{CarbonForecaster, ForecastView};
+        use gaia_sim::SchedulerContext;
+
+        /// NaN everywhere except the current instant.
+        struct NanForecaster;
+        impl CarbonForecaster for NanForecaster {
+            fn current(&self, _t: SimTime) -> f64 {
+                100.0
+            }
+            fn forecast(&self, now: SimTime, at: SimTime) -> f64 {
+                if at == now {
+                    100.0
+                } else {
+                    f64::NAN
+                }
+            }
+        }
+        let forecaster = NanForecaster;
+        let ctx = SchedulerContext {
+            now: SimTime::ORIGIN,
+            forecast: ForecastView::new(&forecaster, SimTime::ORIGIN),
+            reserved_free: 0,
+            reserved_capacity: 0,
+        };
+        let need = Minutes::from_hours(3);
+        let slots = greenest_slots(&ctx, Minutes::from_hours(6), need);
+        let total: Minutes = slots.iter().map(|(_, l)| *l).sum();
+        assert_eq!(total, need);
+        // The only non-NaN slot (now) must be preferred over NaN ones.
+        assert_eq!(slots[0].0, SimTime::ORIGIN);
     }
 }

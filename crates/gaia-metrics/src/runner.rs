@@ -3,7 +3,7 @@
 
 use gaia_carbon::CarbonTrace;
 use gaia_core::catalog::PolicySpec;
-use gaia_sim::{ClusterConfig, SimReport, Simulation};
+use gaia_sim::{ClusterConfig, SimError, SimReport, Simulation};
 use gaia_workload::{QueueSet, WorkloadTrace};
 
 use crate::Summary;
@@ -32,6 +32,31 @@ pub fn run_spec_report_with_queues(
 ) -> SimReport {
     let mut scheduler = spec.build(queues);
     Simulation::new(config, carbon).run(trace, &mut scheduler)
+}
+
+/// Like [`run_spec_report`] but returns invalid policy decisions as a
+/// typed [`SimError`] instead of panicking.
+pub fn try_run_spec_report(
+    spec: PolicySpec,
+    trace: &WorkloadTrace,
+    carbon: &CarbonTrace,
+    config: ClusterConfig,
+) -> Result<SimReport, SimError> {
+    try_run_spec_report_with_queues(spec, trace, carbon, config, default_queues(trace))
+}
+
+/// Like [`run_spec_report_with_queues`] but returns invalid policy
+/// decisions as a typed [`SimError`] instead of panicking — the variant
+/// sweeps use so one malformed cell fails alone.
+pub fn try_run_spec_report_with_queues(
+    spec: PolicySpec,
+    trace: &WorkloadTrace,
+    carbon: &CarbonTrace,
+    config: ClusterConfig,
+    queues: QueueSet,
+) -> Result<SimReport, SimError> {
+    let mut scheduler = spec.build(queues);
+    Simulation::new(config, carbon).try_run(trace, &mut scheduler)
 }
 
 /// Runs one policy spec and summarizes it.
@@ -118,6 +143,27 @@ mod tests {
                 nowait.carbon_g
             );
         }
+    }
+
+    #[test]
+    fn try_runner_surfaces_policy_errors() {
+        let (trace, carbon) = tiny_setup();
+        let err = try_run_spec_report(
+            PolicySpec::plain(BasePolicyKind::BadPlan),
+            &trace,
+            &carbon,
+            ClusterConfig::default(),
+        )
+        .expect_err("the fault-injection policy must fail");
+        assert!(matches!(err, SimError::Policy(_)), "{err}");
+        let report = try_run_spec_report(
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            &trace,
+            &carbon,
+            ClusterConfig::default(),
+        )
+        .expect("valid policy");
+        assert_eq!(report.jobs.len(), trace.len());
     }
 
     #[test]

@@ -1,0 +1,716 @@
+//! Post-run invariant audit (the correctness analogue of a sanitizer).
+//!
+//! [`audit_report`] replays the accounting identities the rest of the
+//! stack silently relies on — segment coverage, capacity occupancy,
+//! carbon/cost folds, work conservation, and timing consistency — against
+//! a completed [`SimReport`] and reports every violation it finds.
+//!
+//! Design rule: **the audit must never false-positive.** Every check is
+//! either valid for all configurations or explicitly gated on the
+//! configuration features (instance overheads, checkpointing, capacity
+//! caps) that relax it; where event ordering at a shared instant is
+//! ambiguous from the segment records alone, the check takes the lenient
+//! reading. A reported violation therefore always indicates a real bug in
+//! the engine or a policy, never an artifact of the audit itself.
+
+use gaia_carbon::CarbonTrace;
+use gaia_time::SimTime;
+use gaia_workload::JobId;
+
+use crate::account::{segment_carbon, segment_cost, ClusterTotals};
+use crate::config::{CapacityCap, ClusterConfig};
+use crate::plan::PurchaseOption;
+use crate::report::SimReport;
+
+/// The invariant families the audit enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditInvariant {
+    /// Each job's useful segments cover exactly its length, without
+    /// overlap.
+    SegmentCoverage,
+    /// Reserved / elastic occupancy never exceeds configured capacity.
+    Occupancy,
+    /// Per-job and cluster totals equal the fold of their segments.
+    Accounting,
+    /// No job runs on-demand while reserved capacity sits idle.
+    WorkConservation,
+    /// Waiting / completion / segment times are consistent.
+    Timing,
+}
+
+impl AuditInvariant {
+    /// Stable lowercase name, used in reports and manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuditInvariant::SegmentCoverage => "segment-coverage",
+            AuditInvariant::Occupancy => "occupancy",
+            AuditInvariant::Accounting => "accounting",
+            AuditInvariant::WorkConservation => "work-conservation",
+            AuditInvariant::Timing => "timing",
+        }
+    }
+}
+
+impl std::fmt::Display for AuditInvariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken invariant, localized to a job where possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// Which invariant family was broken.
+    pub invariant: AuditInvariant,
+    /// The job involved, if the violation is job-local.
+    pub job: Option<JobId>,
+    /// Human-readable description with the offending numbers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.job {
+            Some(job) => write!(f, "[{}] {job}: {}", self.invariant, self.detail),
+            None => write!(f, "[{}] {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// Outcome of auditing one completed run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Every invariant violation found, in deterministic order.
+    pub violations: Vec<AuditViolation>,
+    /// Number of elementary checks evaluated (for "audited N things"
+    /// reporting; zero checks would itself be suspicious).
+    pub checks_run: usize,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Absolute-plus-tiny-relative tolerance for accounting comparisons.
+/// Recomputed folds repeat the engine's own operation order, so equality
+/// is near-bitwise; 1e-6 absolute is the contract, the relative term
+/// guards year-scale magnitudes.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 + 1e-9 * b.abs()
+}
+
+struct Auditor<'a> {
+    report: &'a SimReport,
+    config: &'a ClusterConfig,
+    carbon: &'a CarbonTrace,
+    out: AuditReport,
+}
+
+/// Audits a completed run against `config` and the true carbon trace.
+///
+/// Checks (gating noted; defaults — no overheads, no checkpointing — run
+/// everything):
+///
+/// 1. **Segment coverage** — useful segments sum to exactly the job
+///    length and never overlap (strict form requires no instance
+///    overheads and no checkpointing, which legitimately stretch or
+///    re-credit segments; otherwise executed time must still be at least
+///    the length).
+/// 2. **Occupancy** — reserved occupancy never exceeds
+///    `config.reserved_cpus` (always valid: reserved instances have no
+///    boot/teardown), and elastic occupancy respects a
+///    [`CapacityCap::Static`] cap except for the documented single
+///    wider-than-cap job escape.
+/// 3. **Accounting** — per-job carbon/cost equal the fold of their
+///    segments through [the same integrals the engine uses], and
+///    [`ClusterTotals`] equals the re-aggregated outcomes, all within
+///    1e-6.
+/// 4. **Work conservation** — every on-demand segment starts at an
+///    instant when reserved capacity was exhausted (the engine always
+///    tries reserved first).
+/// 5. **Timing** — completion = finish − arrival, completion = waiting +
+///    length, completion ≥ length, and every segment is well-formed and
+///    starts at or after arrival.
+///
+/// [the same integrals the engine uses]: crate::account
+pub fn audit_report(
+    report: &SimReport,
+    config: &ClusterConfig,
+    carbon: &CarbonTrace,
+) -> AuditReport {
+    let mut auditor = Auditor {
+        report,
+        config,
+        carbon,
+        out: AuditReport::default(),
+    };
+    auditor.check_segment_coverage();
+    auditor.check_occupancy();
+    auditor.check_accounting();
+    auditor.check_work_conservation();
+    auditor.check_timing();
+    auditor.out
+}
+
+impl Auditor<'_> {
+    fn violation(&mut self, invariant: AuditInvariant, job: Option<JobId>, detail: String) {
+        self.out.violations.push(AuditViolation {
+            invariant,
+            job,
+            detail,
+        });
+    }
+
+    fn tally(&mut self) {
+        self.out.checks_run += 1;
+    }
+
+    /// Strict per-job segment accounting only holds in the paper's
+    /// default mode: boot/teardown stretch segments past the useful work,
+    /// and checkpointing re-credits partially-lost segments as useful.
+    fn strict_segments(&self) -> bool {
+        self.config.overheads.is_none() && self.config.checkpoint.is_none()
+    }
+
+    fn check_segment_coverage(&mut self) {
+        let strict = self.strict_segments();
+        for outcome in &self.report.jobs {
+            self.tally();
+            if strict {
+                let useful: gaia_time::Minutes = outcome
+                    .segments
+                    .iter()
+                    .filter(|s| s.useful)
+                    .map(|s| s.len())
+                    .sum();
+                if useful != outcome.job.length {
+                    self.violation(
+                        AuditInvariant::SegmentCoverage,
+                        Some(outcome.job.id),
+                        format!(
+                            "useful segments cover {useful}, job length is {}",
+                            outcome.job.length
+                        ),
+                    );
+                }
+                let mut spans: Vec<(SimTime, SimTime)> =
+                    outcome.segments.iter().map(|s| (s.start, s.end)).collect();
+                spans.sort();
+                for pair in spans.windows(2) {
+                    if pair[1].0 < pair[0].1 {
+                        self.violation(
+                            AuditInvariant::SegmentCoverage,
+                            Some(outcome.job.id),
+                            format!(
+                                "segment starting {} overlaps segment ending {}",
+                                pair[1].0, pair[0].1
+                            ),
+                        );
+                    }
+                }
+            } else if outcome.executed() < outcome.job.length {
+                self.violation(
+                    AuditInvariant::SegmentCoverage,
+                    Some(outcome.job.id),
+                    format!(
+                        "executed {} in total, less than the job length {}",
+                        outcome.executed(),
+                        outcome.job.length
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Sweeps segment boundaries and checks occupancy on every open
+    /// interval between events. Interval occupancy is exact (no same-
+    /// instant ordering ambiguity), so this cannot false-positive; it
+    /// checks the sustained occupancy the capacity contract is about.
+    fn check_occupancy(&mut self) {
+        self.tally();
+        self.sweep_reserved();
+        if self.config.overheads.is_none() {
+            if let CapacityCap::Static(cap) = self.config.capacity_cap {
+                self.tally();
+                self.sweep_elastic(cap);
+            }
+        }
+    }
+
+    fn sweep_reserved(&mut self) {
+        let capacity = self.config.reserved_cpus as i64;
+        // (time, delta) with releases sorted before acquisitions.
+        let mut events: Vec<(SimTime, i64)> = Vec::new();
+        for outcome in &self.report.jobs {
+            for segment in &outcome.segments {
+                if segment.option == PurchaseOption::Reserved {
+                    events.push((segment.start, outcome.job.cpus as i64));
+                    events.push((segment.end, -(outcome.job.cpus as i64)));
+                }
+            }
+        }
+        events.sort();
+        let mut busy = 0i64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                busy += events[i].1;
+                i += 1;
+            }
+            if busy > capacity {
+                self.violation(
+                    AuditInvariant::Occupancy,
+                    None,
+                    format!("{busy} reserved CPUs busy after {t}, capacity is {capacity}"),
+                );
+            }
+        }
+    }
+
+    fn sweep_elastic(&mut self, cap: u32) {
+        // (time, is_start, job index) — ends sort before starts at ties.
+        let mut events: Vec<(SimTime, bool, usize)> = Vec::new();
+        for (idx, outcome) in self.report.jobs.iter().enumerate() {
+            for segment in &outcome.segments {
+                if segment.option != PurchaseOption::Reserved {
+                    events.push((segment.start, true, idx));
+                    events.push((segment.end, false, idx));
+                }
+            }
+        }
+        events.sort_by_key(|&(t, is_start, idx)| (t, is_start, idx));
+        let mut active: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        let mut busy = 0u64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                let (_, is_start, idx) = events[i];
+                let cpus = self.report.jobs[idx].job.cpus;
+                if is_start {
+                    *active.entry(idx).or_insert(0) += 1;
+                    busy += cpus as u64;
+                } else {
+                    let count = active.get_mut(&idx).expect("balanced segment events");
+                    *count -= 1;
+                    if *count == 0 {
+                        active.remove(&idx);
+                    }
+                    busy -= cpus as u64;
+                }
+                i += 1;
+            }
+            // One job wider than the cap may run alone (the documented
+            // anti-deadlock escape); anything else must fit the cap.
+            if busy > cap as u64 && active.len() > 1 {
+                self.violation(
+                    AuditInvariant::Occupancy,
+                    None,
+                    format!(
+                        "{busy} elastic CPUs busy across {} jobs after {t}, cap is {cap}",
+                        active.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_accounting(&mut self) {
+        for outcome in &self.report.jobs {
+            self.tally();
+            let carbon: f64 = outcome
+                .segments
+                .iter()
+                .map(|s| {
+                    segment_carbon(
+                        self.carbon,
+                        &self.config.energy,
+                        outcome.job.cpus,
+                        s.start,
+                        s.end,
+                    )
+                })
+                .sum();
+            if !close(outcome.carbon_g, carbon) {
+                self.violation(
+                    AuditInvariant::Accounting,
+                    Some(outcome.job.id),
+                    format!(
+                        "carbon {} g differs from segment fold {carbon} g",
+                        outcome.carbon_g
+                    ),
+                );
+            }
+            let cost: f64 = outcome
+                .segments
+                .iter()
+                .map(|s| {
+                    segment_cost(
+                        &self.config.pricing,
+                        s.option,
+                        outcome.job.cpus,
+                        s.start,
+                        s.end,
+                    )
+                })
+                .sum();
+            if !close(outcome.cost, cost) {
+                self.violation(
+                    AuditInvariant::Accounting,
+                    Some(outcome.job.id),
+                    format!("cost ${} differs from segment fold ${cost}", outcome.cost),
+                );
+            }
+        }
+        self.tally();
+        let totals = &self.report.totals;
+        let expected =
+            ClusterTotals::aggregate(&self.report.jobs, self.config, totals.billing_horizon);
+        let fields = [
+            ("carbon_g", totals.carbon_g, expected.carbon_g),
+            (
+                "cost_reserved_prepaid",
+                totals.cost_reserved_prepaid,
+                expected.cost_reserved_prepaid,
+            ),
+            (
+                "cost_on_demand",
+                totals.cost_on_demand,
+                expected.cost_on_demand,
+            ),
+            ("cost_spot", totals.cost_spot, expected.cost_spot),
+            (
+                "reserved_cpu_hours",
+                totals.reserved_cpu_hours,
+                expected.reserved_cpu_hours,
+            ),
+            (
+                "on_demand_cpu_hours",
+                totals.on_demand_cpu_hours,
+                expected.on_demand_cpu_hours,
+            ),
+            (
+                "spot_cpu_hours",
+                totals.spot_cpu_hours,
+                expected.spot_cpu_hours,
+            ),
+        ];
+        for (name, actual, recomputed) in fields {
+            if !close(actual, recomputed) {
+                self.violation(
+                    AuditInvariant::Accounting,
+                    None,
+                    format!("totals.{name} = {actual} but re-aggregation gives {recomputed}"),
+                );
+            }
+        }
+        if totals.total_waiting != expected.total_waiting
+            || totals.total_completion != expected.total_completion
+            || totals.evictions != expected.evictions
+            || totals.jobs != expected.jobs
+        {
+            self.violation(
+                AuditInvariant::Accounting,
+                None,
+                format!(
+                    "totals counters (waiting {}, completion {}, evictions {}, jobs {}) \
+                     differ from re-aggregation (waiting {}, completion {}, evictions {}, jobs {})",
+                    totals.total_waiting,
+                    totals.total_completion,
+                    totals.evictions,
+                    totals.jobs,
+                    expected.total_waiting,
+                    expected.total_completion,
+                    expected.evictions,
+                    expected.jobs
+                ),
+            );
+        }
+    }
+
+    /// The engine always offers reserved capacity first, so an on-demand
+    /// segment can only start when the reserved pool cannot hold the job.
+    /// Occupancy at the start instant is read with closed ends (a
+    /// reserved segment ending exactly then still counts as busy): the
+    /// engine may legitimately start blocked work midway through a batch
+    /// of same-instant releases, and the lenient reading keeps those
+    /// legal interleavings out of the violation list.
+    fn check_work_conservation(&mut self) {
+        let capacity = self.report.totals.reserved_capacity as u64;
+        let mut reserved: Vec<(SimTime, SimTime, u32)> = Vec::new();
+        for outcome in &self.report.jobs {
+            for segment in &outcome.segments {
+                if segment.option == PurchaseOption::Reserved {
+                    reserved.push((segment.start, segment.end, outcome.job.cpus));
+                }
+            }
+        }
+        for outcome in &self.report.jobs {
+            for segment in &outcome.segments {
+                if segment.option != PurchaseOption::OnDemand {
+                    continue;
+                }
+                self.tally();
+                let t = segment.start;
+                let busy: u64 = reserved
+                    .iter()
+                    .filter(|&&(start, end, _)| start <= t && t <= end)
+                    .map(|&(_, _, cpus)| cpus as u64)
+                    .sum();
+                if busy + outcome.job.cpus as u64 <= capacity {
+                    self.violation(
+                        AuditInvariant::WorkConservation,
+                        Some(outcome.job.id),
+                        format!(
+                            "started on-demand at {t} although only {busy}/{capacity} \
+                             reserved CPUs were busy"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_timing(&mut self) {
+        for outcome in &self.report.jobs {
+            self.tally();
+            let job = &outcome.job;
+            let completion = outcome.finish.saturating_since(job.arrival);
+            if outcome.completion != completion {
+                self.violation(
+                    AuditInvariant::Timing,
+                    Some(job.id),
+                    format!(
+                        "completion {} but finish - arrival is {completion}",
+                        outcome.completion
+                    ),
+                );
+            }
+            if outcome.completion < job.length {
+                self.violation(
+                    AuditInvariant::Timing,
+                    Some(job.id),
+                    format!(
+                        "completion {} is shorter than the job length {}",
+                        outcome.completion, job.length
+                    ),
+                );
+            }
+            if outcome.waiting + job.length != outcome.completion {
+                self.violation(
+                    AuditInvariant::Timing,
+                    Some(job.id),
+                    format!(
+                        "waiting {} + length {} != completion {}",
+                        outcome.waiting, job.length, outcome.completion
+                    ),
+                );
+            }
+            if outcome.first_start < job.arrival {
+                self.violation(
+                    AuditInvariant::Timing,
+                    Some(job.id),
+                    format!(
+                        "first start {} precedes arrival {}",
+                        outcome.first_start, job.arrival
+                    ),
+                );
+            }
+            if outcome.finish < outcome.first_start {
+                self.violation(
+                    AuditInvariant::Timing,
+                    Some(job.id),
+                    format!(
+                        "finish {} precedes first start {}",
+                        outcome.finish, outcome.first_start
+                    ),
+                );
+            }
+            for segment in &outcome.segments {
+                if segment.is_empty() {
+                    self.violation(
+                        AuditInvariant::Timing,
+                        Some(job.id),
+                        format!(
+                            "empty segment [{}, {}] recorded",
+                            segment.start, segment.end
+                        ),
+                    );
+                }
+                if segment.start < job.arrival {
+                    self.violation(
+                        AuditInvariant::Timing,
+                        Some(job.id),
+                        format!(
+                            "segment starts {} before arrival {}",
+                            segment.start, job.arrival
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::SegmentRecord;
+    use crate::config::ClusterConfig;
+    use crate::Simulation;
+    use gaia_time::Minutes;
+    use gaia_workload::{Job, WorkloadTrace};
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::from_hourly((0..48).map(|h| 100.0 + h as f64).collect()).expect("valid")
+    }
+
+    fn run_default() -> (SimReport, ClusterConfig, CarbonTrace) {
+        let carbon = trace();
+        let config = ClusterConfig::default()
+            .with_reserved(2)
+            .with_billing_horizon(Minutes::from_days(2));
+        let jobs = WorkloadTrace::from_jobs(vec![
+            Job::new(JobId(0), SimTime::ORIGIN, Minutes::from_hours(2), 2),
+            Job::new(JobId(1), SimTime::from_hours(1), Minutes::from_hours(3), 1),
+            Job::new(JobId(2), SimTime::from_hours(1), Minutes::new(30), 1),
+        ]);
+        struct Asap;
+        impl crate::Scheduler for Asap {
+            fn on_arrival(
+                &mut self,
+                job: &Job,
+                _ctx: &crate::SchedulerContext<'_>,
+            ) -> crate::Decision {
+                crate::Decision::run_at(job.arrival)
+            }
+        }
+        let report = Simulation::new(config, &carbon).run(&jobs, &mut Asap);
+        (report, config, carbon)
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let (report, config, carbon) = run_default();
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        assert!(audit.checks_run > 0);
+    }
+
+    #[test]
+    fn corrupted_carbon_is_flagged() {
+        let (mut report, config, carbon) = run_default();
+        report.jobs[0].carbon_g += 1.0;
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(!audit.is_clean());
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Accounting && v.job == Some(JobId(0))));
+        // The stored totals no longer match a re-aggregation of the
+        // (corrupted) outcomes either.
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Accounting && v.job.is_none()));
+    }
+
+    #[test]
+    fn truncated_segments_are_flagged() {
+        let (mut report, config, carbon) = run_default();
+        let seg = report.jobs[1].segments[0];
+        report.jobs[1].segments[0] = SegmentRecord {
+            end: seg.end - Minutes::new(10),
+            ..seg
+        };
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::SegmentCoverage));
+    }
+
+    #[test]
+    fn overlapping_segments_are_flagged() {
+        let (mut report, config, carbon) = run_default();
+        let seg = report.jobs[1].segments[0];
+        report.jobs[1].segments.push(SegmentRecord {
+            start: seg.start,
+            end: seg.start + Minutes::new(5),
+            option: seg.option,
+            useful: false,
+        });
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit.violations.iter().any(
+            |v| v.invariant == AuditInvariant::SegmentCoverage && v.detail.contains("overlaps")
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_reserved_is_flagged() {
+        let (mut report, config, carbon) = run_default();
+        // Forge a third concurrent reserved segment: capacity is 2.
+        let forged = SegmentRecord {
+            start: SimTime::ORIGIN,
+            end: SimTime::from_hours(1),
+            option: PurchaseOption::Reserved,
+            useful: false,
+        };
+        report.jobs[2].segments.insert(0, forged);
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Occupancy));
+    }
+
+    #[test]
+    fn idle_reserved_on_demand_start_is_flagged() {
+        let (mut report, config, carbon) = run_default();
+        // Rewrite a reserved segment as on-demand: reserved was idle then.
+        let idx = report
+            .jobs
+            .iter()
+            .position(|o| o.segments[0].option == PurchaseOption::Reserved)
+            .expect("some job ran reserved");
+        report.jobs[idx].segments[0].option = PurchaseOption::OnDemand;
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::WorkConservation));
+    }
+
+    #[test]
+    fn inconsistent_timing_is_flagged() {
+        let (mut report, config, carbon) = run_default();
+        report.jobs[0].waiting += Minutes::new(7);
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Timing && v.job == Some(JobId(0))));
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let v = AuditViolation {
+            invariant: AuditInvariant::Accounting,
+            job: Some(JobId(4)),
+            detail: "off by one gram".into(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("accounting"), "{text}");
+        assert!(text.contains("off by one gram"), "{text}");
+        let global = AuditViolation {
+            invariant: AuditInvariant::Occupancy,
+            job: None,
+            detail: "too busy".into(),
+        };
+        assert!(global.to_string().starts_with("[occupancy]"));
+    }
+}

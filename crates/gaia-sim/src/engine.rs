@@ -27,6 +27,7 @@ use gaia_workload::{Job, WorkloadTrace};
 
 use crate::account::{segment_carbon, segment_cost, ClusterTotals, JobOutcome, SegmentRecord};
 use crate::config::ClusterConfig;
+use crate::error::{PolicyError, SimError};
 use crate::plan::{Decision, PurchaseOption};
 use crate::pool::ReservedPool;
 use crate::report::{AllocationTimeline, SimReport};
@@ -106,8 +107,22 @@ impl<'a> Simulation<'a> {
     /// Panics if the policy returns an invalid decision: a planned start
     /// before the job's arrival, or a segment plan whose total differs
     /// from the job's length. These are policy bugs, not runtime
-    /// conditions.
+    /// conditions. Use [`Simulation::try_run`] to get them as typed
+    /// errors instead.
     pub fn run(&self, trace: &WorkloadTrace, scheduler: &mut dyn Scheduler) -> SimReport {
+        self.try_run(trace, scheduler)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Replays `trace` under `scheduler`, surfacing invalid policy
+    /// decisions (and any broken engine invariant) as a typed
+    /// [`SimError`] instead of panicking — so one bad cell in a sweep
+    /// fails alone rather than aborting the whole process.
+    pub fn try_run(
+        &self,
+        trace: &WorkloadTrace,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimReport, SimError> {
         let perfect;
         let forecaster: &dyn CarbonForecaster = match self.forecaster {
             Some(f) => f,
@@ -139,8 +154,8 @@ impl<'a> Simulation<'a> {
             cap_queue: std::collections::VecDeque::new(),
             tick_scheduled: false,
         };
-        engine.run(scheduler);
-        engine.into_report(trace)
+        engine.run(scheduler)?;
+        Ok(engine.into_report(trace))
     }
 }
 
@@ -280,20 +295,24 @@ impl Engine<'_> {
         });
     }
 
-    fn run(&mut self, scheduler: &mut dyn Scheduler) {
+    fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<(), SimError> {
         for job in self.jobs {
             self.push(job.arrival, job.id.0 as u32, EventKind::Arrival);
         }
         while let Some(event) = self.heap.pop() {
-            self.dispatch(event, scheduler);
+            self.dispatch(event, scheduler)?;
         }
+        Ok(())
     }
 
-    fn dispatch(&mut self, event: Event, scheduler: &mut dyn Scheduler) {
+    fn dispatch(&mut self, event: Event, scheduler: &mut dyn Scheduler) -> Result<(), SimError> {
         let idx = event.job as usize;
         match event.kind {
             EventKind::Arrival => self.on_arrival(idx, event.time, scheduler),
-            EventKind::PlannedStart => self.on_planned_start(idx, event.time),
+            EventKind::PlannedStart => {
+                self.on_planned_start(idx, event.time);
+                Ok(())
+            }
             EventKind::SegmentStart(seg) => self.on_segment_start(idx, seg, event.time),
             EventKind::FinishOnce => self.on_finish_once(idx, event.time),
             EventKind::FinishSegment(seg) => self.on_finish_segment(idx, seg, event.time),
@@ -337,16 +356,17 @@ impl Engine<'_> {
         self.push(next, 0, EventKind::CapTick);
     }
 
-    fn on_cap_tick(&mut self, now: SimTime) {
+    fn on_cap_tick(&mut self, now: SimTime) -> Result<(), SimError> {
         self.tick_scheduled = false;
-        self.drain_cap_queue(now);
+        self.drain_cap_queue(now)?;
         if !self.cap_queue.is_empty() {
             self.maybe_schedule_tick(now);
         }
+        Ok(())
     }
 
     /// Starts blocked work FIFO while the cap admits it.
-    fn drain_cap_queue(&mut self, now: SimTime) {
+    fn drain_cap_queue(&mut self, now: SimTime) -> Result<(), SimError> {
         while let Some(&head) = self.cap_queue.front() {
             let cpus = match head {
                 CapBlocked::Once { idx, .. } | CapBlocked::Segment { idx, .. } => {
@@ -364,13 +384,19 @@ impl Engine<'_> {
                     }
                 }
                 CapBlocked::Segment { idx, seg_idx } => {
-                    self.on_segment_start(idx, seg_idx, now);
+                    self.on_segment_start(idx, seg_idx, now)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn on_arrival(&mut self, idx: usize, now: SimTime, scheduler: &mut dyn Scheduler) {
+    fn on_arrival(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<(), SimError> {
         let job = self.jobs[idx];
         let ctx = SchedulerContext {
             now,
@@ -379,25 +405,30 @@ impl Engine<'_> {
             reserved_capacity: self.pool.capacity(),
         };
         let decision = scheduler.on_arrival(&job, &ctx);
-        assert!(
-            decision.planned_start() >= job.arrival,
-            "policy scheduled {} before its arrival",
-            job.id
-        );
+        if decision.planned_start() < job.arrival {
+            return Err(PolicyError::StartBeforeArrival {
+                job: job.id,
+                arrival: job.arrival,
+                planned: decision.planned_start(),
+            }
+            .into());
+        }
         if let Some(plan) = decision.segments() {
-            assert_eq!(
-                plan.total(),
-                job.length,
-                "segment plan for {} does not cover the job length",
-                job.id
-            );
+            if plan.total() != job.length {
+                return Err(PolicyError::PlanLengthMismatch {
+                    job: job.id,
+                    planned: plan.total(),
+                    length: job.length,
+                }
+                .into());
+            }
             for (seg_idx, (start, _)) in plan.segments.iter().enumerate() {
                 self.push(*start, idx as u32, EventKind::SegmentStart(seg_idx));
             }
             self.states[idx] = JobState::InPlan { running: None };
             // Stash the decision for spot lookups during segment starts.
             self.plan_decisions[idx] = Some(decision);
-            return;
+            return Ok(());
         }
         let planned = decision.planned_start();
         let opportunistic = decision.is_opportunistic();
@@ -410,6 +441,7 @@ impl Engine<'_> {
             }
             self.push(planned, idx as u32, EventKind::PlannedStart);
         }
+        Ok(())
     }
 
     fn on_planned_start(&mut self, idx: usize, now: SimTime) {
@@ -501,7 +533,7 @@ impl Engine<'_> {
         self.push(now + span, idx as u32, EventKind::FinishOnce);
     }
 
-    fn on_finish_once(&mut self, idx: usize, now: SimTime) {
+    fn on_finish_once(&mut self, idx: usize, now: SimTime) -> Result<(), SimError> {
         let JobState::RunningOnce {
             option,
             start,
@@ -509,10 +541,10 @@ impl Engine<'_> {
         } = self.states[idx]
         else {
             // Stale finish after an eviction rescheduled the job.
-            return;
+            return Ok(());
         };
         if now != start + span {
-            return; // stale event from a pre-eviction schedule
+            return Ok(()); // stale event from a pre-eviction schedule
         }
         // Elastic instances bill their wind-down after execution ends.
         self.record_segment(idx, start, now + self.teardown_for(option), option, true);
@@ -522,13 +554,14 @@ impl Engine<'_> {
         if option == PurchaseOption::Reserved {
             self.pool.release(self.jobs[idx].cpus);
             self.wake_waiters(now);
+            Ok(())
         } else {
             self.elastic_busy -= self.jobs[idx].cpus;
-            self.drain_cap_queue(now);
+            self.drain_cap_queue(now)
         }
     }
 
-    fn on_eviction(&mut self, idx: usize, now: SimTime) {
+    fn on_eviction(&mut self, idx: usize, now: SimTime) -> Result<(), SimError> {
         match self.states[idx].clone() {
             JobState::RunningOnce { option, start, .. } => {
                 debug_assert_eq!(option, PurchaseOption::Spot, "only spot runs are evicted");
@@ -563,7 +596,7 @@ impl Engine<'_> {
                                 now,
                             );
                         }
-                        return;
+                        return Ok(());
                     }
                 }
             }
@@ -584,19 +617,24 @@ impl Engine<'_> {
                 }
                 self.accum[idx].evictions += 1;
             }
-            _ => return, // stale
+            _ => return Ok(()), // stale
         }
         // Restart/resume off spot: prefer reserved, else on-demand.
         self.states[idx] = JobState::Waiting {
             decision: Decision::run_at(now),
         };
         self.start_once(idx, now, false);
-        self.drain_cap_queue(now);
+        self.drain_cap_queue(now)
     }
 
-    fn on_segment_start(&mut self, idx: usize, seg_idx: usize, now: SimTime) {
+    fn on_segment_start(
+        &mut self,
+        idx: usize,
+        seg_idx: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let JobState::InPlan { running } = &self.states[idx] else {
-            return; // plan abandoned after an eviction
+            return Ok(()); // plan abandoned after an eviction
         };
         // Instance boot times can push the previous segment's execution
         // past this segment's planned start; in that case the segment is
@@ -605,14 +643,25 @@ impl Engine<'_> {
         // unreachable.)
         if let Some((_, _, _, exec_end)) = *running {
             self.push(exec_end, idx as u32, EventKind::SegmentStart(seg_idx));
-            return;
+            return Ok(());
         }
         let job = self.jobs[idx];
         let decision = self.plan_decisions[idx]
             .as_ref()
-            .expect("plan decision stored");
-        let plan = decision.segments().expect("InPlan implies a segment plan");
-        let (_, seg_len) = plan.segments[seg_idx];
+            .ok_or_else(|| SimError::internal(format!("no stored plan decision for {}", job.id)))?;
+        let plan = decision.segments().ok_or_else(|| {
+            SimError::internal(format!(
+                "InPlan state for {} without a segment plan",
+                job.id
+            ))
+        })?;
+        let &(_, seg_len) = plan.segments.get(seg_idx).ok_or_else(|| {
+            SimError::internal(format!(
+                "segment index {seg_idx} out of bounds for {} ({} segments)",
+                job.id,
+                plan.segments.len()
+            ))
+        })?;
         let use_spot = decision.uses_spot();
         let option = if use_spot {
             PurchaseOption::Spot
@@ -623,7 +672,7 @@ impl Engine<'_> {
         };
         if option != PurchaseOption::Reserved && !self.cap_allows(job.cpus, now) {
             self.block_on_cap(CapBlocked::Segment { idx, seg_idx }, now);
-            return;
+            return Ok(());
         }
         self.accum[idx].first_start.get_or_insert(now);
         if option != PurchaseOption::Reserved {
@@ -643,21 +692,27 @@ impl Engine<'_> {
                     .wrapping_add((seg_idx as u64) << 52),
             ) {
                 self.push(now + offset, idx as u32, EventKind::Eviction);
-                return;
+                return Ok(());
             }
         }
         self.push(exec_end, idx as u32, EventKind::FinishSegment(seg_idx));
+        Ok(())
     }
 
-    fn on_finish_segment(&mut self, idx: usize, seg_idx: usize, now: SimTime) {
+    fn on_finish_segment(
+        &mut self,
+        idx: usize,
+        seg_idx: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let JobState::InPlan {
             running: Some((running_idx, option, start, exec_end)),
         } = self.states[idx]
         else {
-            return; // stale
+            return Ok(()); // stale
         };
         if running_idx != seg_idx || now != exec_end {
-            return; // stale
+            return Ok(()); // stale
         }
         self.record_segment(idx, start, now + self.teardown_for(option), option, true);
         if option == PurchaseOption::Reserved {
@@ -669,7 +724,12 @@ impl Engine<'_> {
             .as_ref()
             .and_then(|d| d.segments())
             .map(|p| p.segments.len())
-            .expect("plan decision stored");
+            .ok_or_else(|| {
+                SimError::internal(format!(
+                    "no stored plan decision for {} at segment finish",
+                    self.jobs[idx].id
+                ))
+            })?;
         if seg_idx + 1 == plan_len {
             self.states[idx] = JobState::Done;
             self.accum[idx].finish = now;
@@ -678,8 +738,9 @@ impl Engine<'_> {
         }
         if option == PurchaseOption::Reserved {
             self.wake_waiters(now);
+            Ok(())
         } else {
-            self.drain_cap_queue(now);
+            self.drain_cap_queue(now)
         }
     }
 

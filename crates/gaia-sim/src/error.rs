@@ -1,0 +1,153 @@
+//! Typed simulation errors.
+//!
+//! The engine used to enforce its input contract with `assert!`s and
+//! `expect()`s, which abort the whole process — unacceptable inside a
+//! multi-thousand-cell sweep where one malformed policy decision should
+//! fail one cell, not the run. [`Simulation::try_run`] surfaces those
+//! conditions as [`SimError`] instead; [`Simulation::run`] keeps the
+//! panicking contract for callers that treat a bad decision as a bug.
+//!
+//! [`Simulation::try_run`]: crate::Simulation::try_run
+//! [`Simulation::run`]: crate::Simulation::run
+
+use std::fmt;
+
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::JobId;
+
+/// A scheduling policy returned a decision the engine cannot execute.
+///
+/// These are contract violations by the policy, not runtime conditions:
+/// a correct policy never produces them for any workload or trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// The decision's planned start precedes the job's arrival.
+    StartBeforeArrival {
+        /// The job the decision was for.
+        job: JobId,
+        /// The job's arrival instant.
+        arrival: SimTime,
+        /// The (invalid) planned start.
+        planned: SimTime,
+    },
+    /// A suspend-resume plan's segment lengths do not sum to the job
+    /// length (truncated or over-long plans both mis-account carbon).
+    PlanLengthMismatch {
+        /// The job the plan was for.
+        job: JobId,
+        /// Total planned execution time.
+        planned: Minutes,
+        /// The job's actual length.
+        length: Minutes,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::StartBeforeArrival {
+                job,
+                arrival,
+                planned,
+            } => write!(
+                f,
+                "policy scheduled {job} at {planned}, before its arrival at {arrival}"
+            ),
+            PolicyError::PlanLengthMismatch {
+                job,
+                planned,
+                length,
+            } => write!(
+                f,
+                "segment plan for {job} covers {planned} but the job is {length} long"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// An error produced while replaying a workload trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The policy violated the decision contract (see [`PolicyError`]).
+    Policy(PolicyError),
+    /// The engine's own bookkeeping broke an internal invariant — a
+    /// simulator bug, reported instead of unwinding so a sweep can
+    /// record which cell hit it.
+    Internal(String),
+}
+
+impl SimError {
+    /// An [`SimError::Internal`] with the given description.
+    pub(crate) fn internal(message: impl Into<String>) -> SimError {
+        SimError::Internal(message.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Policy(error) => write!(f, "invalid policy decision: {error}"),
+            SimError::Internal(message) => write!(f, "engine invariant broken: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Policy(error) => Some(error),
+            SimError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<PolicyError> for SimError {
+    fn from(error: PolicyError) -> SimError {
+        SimError::Policy(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_job_and_instants() {
+        let e = PolicyError::StartBeforeArrival {
+            job: JobId(7),
+            arrival: SimTime::from_hours(2),
+            planned: SimTime::from_hours(1),
+        };
+        let text = e.to_string();
+        assert!(text.contains("before its arrival"), "{text}");
+
+        let e = SimError::from(PolicyError::PlanLengthMismatch {
+            job: JobId(3),
+            planned: Minutes::new(30),
+            length: Minutes::new(60),
+        });
+        let text = e.to_string();
+        assert!(text.starts_with("invalid policy decision"), "{text}");
+        assert!(text.contains("30"), "{text}");
+    }
+
+    #[test]
+    fn internal_errors_carry_their_message() {
+        let e = SimError::internal("no stored plan decision");
+        assert_eq!(
+            e.to_string(),
+            "engine invariant broken: no stored plan decision"
+        );
+        use std::error::Error as _;
+        assert!(e.source().is_none());
+        let policy_err: SimError = PolicyError::StartBeforeArrival {
+            job: JobId(0),
+            arrival: SimTime::ORIGIN,
+            planned: SimTime::ORIGIN,
+        }
+        .into();
+        assert!(policy_err.source().is_some());
+    }
+}

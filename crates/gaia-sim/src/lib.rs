@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 mod account;
+mod audit;
 mod config;
 mod engine;
+mod error;
 mod eviction;
 pub mod output;
 mod plan;
@@ -54,10 +56,12 @@ mod pool;
 mod report;
 
 pub use account::{ClusterTotals, JobOutcome, SegmentRecord};
+pub use audit::{audit_report, AuditInvariant, AuditReport, AuditViolation};
 pub use config::{
     CapacityCap, CheckpointConfig, ClusterConfig, EnergyModel, InstanceOverheads, Pricing,
 };
 pub use engine::{Scheduler, SchedulerContext, Simulation};
+pub use error::{PolicyError, SimError};
 pub use eviction::EvictionModel;
 pub use plan::{Decision, PurchaseOption, SegmentPlan};
 pub use pool::ReservedPool;

@@ -375,7 +375,7 @@ fn rejects_start_before_arrival() {
 }
 
 #[test]
-#[should_panic(expected = "does not cover the job length")]
+#[should_panic(expected = "but the job is")]
 fn rejects_incomplete_segment_plan() {
     let carbon = flat_carbon(24);
     struct Bad;
@@ -389,6 +389,68 @@ fn rejects_incomplete_segment_plan() {
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1)]);
     Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut Bad);
+}
+
+#[test]
+fn try_run_reports_bad_decisions_as_typed_errors() {
+    use gaia_sim::{PolicyError, SimError};
+    let carbon = flat_carbon(24);
+
+    struct Early;
+    impl Scheduler for Early {
+        fn on_arrival(&mut self, _job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+            Decision::run_at(SimTime::ORIGIN)
+        }
+    }
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 60, 30, 1)]);
+    let err = Simulation::new(ClusterConfig::default(), &carbon)
+        .try_run(&trace, &mut Early)
+        .expect_err("start before arrival must fail");
+    assert!(matches!(
+        err,
+        SimError::Policy(PolicyError::StartBeforeArrival { .. })
+    ));
+
+    struct Short;
+    impl Scheduler for Short {
+        fn on_arrival(&mut self, _job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+            Decision::run_segments(SegmentPlan::new(vec![(
+                SimTime::from_hours(1),
+                Minutes::new(10),
+            )]))
+        }
+    }
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1)]);
+    let err = Simulation::new(ClusterConfig::default(), &carbon)
+        .try_run(&trace, &mut Short)
+        .expect_err("short plan must fail");
+    match err {
+        SimError::Policy(PolicyError::PlanLengthMismatch {
+            planned, length, ..
+        }) => {
+            assert_eq!(planned, Minutes::new(10));
+            assert_eq!(length, Minutes::new(60));
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+}
+
+#[test]
+fn try_run_matches_run_on_valid_policies() {
+    let carbon = flat_carbon(48);
+    struct Asap;
+    impl Scheduler for Asap {
+        fn on_arrival(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+            Decision::run_at(job.arrival)
+        }
+    }
+    let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 600, 2), job(1, 60, 30, 1)]);
+    let config = ClusterConfig::default().with_reserved(2);
+    let via_run = Simulation::new(config, &carbon).run(&trace, &mut Asap);
+    let via_try = Simulation::new(config, &carbon)
+        .try_run(&trace, &mut Asap)
+        .expect("valid policy");
+    assert_eq!(via_run, via_try);
 }
 
 #[test]

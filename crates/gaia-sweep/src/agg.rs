@@ -41,6 +41,9 @@ pub fn group_key(scenario: &Scenario) -> String {
 /// Groups `run`'s results by everything except the seed and aggregates
 /// each group across its seeds. Groups appear in first-appearance grid
 /// order, so the output is deterministic.
+///
+/// Failed cells contribute no replicate; a group whose cells all failed
+/// is dropped entirely rather than aggregated over nothing.
 pub fn across_seed_groups(run: &SweepRun) -> Vec<GroupSummary> {
     let mut order: Vec<String> = Vec::new();
     let mut members: std::collections::HashMap<String, Vec<usize>> =
@@ -57,17 +60,20 @@ pub fn across_seed_groups(run: &SweepRun) -> Vec<GroupSummary> {
     }
     order
         .into_iter()
-        .map(|key| {
+        .filter_map(|key| {
             let indices = &members[&key];
             let replicates: Vec<_> = indices
                 .iter()
-                .map(|&i| run.results[i].summary.clone())
+                .filter_map(|&i| run.results[i].summary().cloned())
                 .collect();
-            GroupSummary {
+            if replicates.is_empty() {
+                return None;
+            }
+            Some(GroupSummary {
                 key,
                 exemplar: run.results[indices[0]].scenario,
                 stats: gaia_metrics::across_seeds(&replicates),
-            }
+            })
         })
         .collect()
 }
@@ -97,5 +103,21 @@ mod tests {
             !groups[0].key.contains("/s1/"),
             "seed removed from group key"
         );
+    }
+
+    #[test]
+    fn failed_cells_are_excluded_from_aggregation() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::BadPlan),
+                PolicySpec::plain(BasePolicyKind::NoWait),
+            ])
+            .seeds(vec![1, 2]);
+        let cache = TraceCache::new();
+        let run = crate::run_grid_audited(&grid, &Executor::new(1).with_progress(false), &cache);
+        let groups = across_seed_groups(&run);
+        assert_eq!(groups.len(), 1, "the all-failed Bad-Plan group is dropped");
+        assert_eq!(groups[0].stats.name, "NoWait");
+        assert_eq!(groups[0].stats.carbon_g.n, 2);
     }
 }

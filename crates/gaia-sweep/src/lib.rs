@@ -39,7 +39,8 @@
 //!     .seeds(vec![1, 2]);
 //! let run = gaia_sweep::run_grid(&grid, &Executor::new(2).with_progress(false));
 //! assert_eq!(run.results.len(), 4);
-//! assert!(run.results[1].summary.carbon_g <= run.results[0].summary.carbon_g * 1.02);
+//! let (nowait, ct) = (run.results[0].expect_summary(), run.results[1].expect_summary());
+//! assert!(ct.carbon_g <= nowait.carbon_g * 1.02);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,6 +67,30 @@ pub use gaia_core::catalog::PolicySpec;
 pub use gaia_workload::synth::TraceFamily;
 
 use gaia_metrics::{runner, Summary};
+use gaia_sim::AuditReport;
+
+/// How one scenario cell ended.
+///
+/// Sweeps isolate failures: a policy returning an invalid decision (a
+/// typed [`gaia_sim::SimError`]) fails its own cell and the rest of the
+/// grid still completes. Failed cells are excluded from aggregation and
+/// reported through the run manifest and the CLI exit code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The simulation finished. `audit` carries the invariant-audit
+    /// report when auditing was enabled for the sweep.
+    Completed {
+        /// Metrics of the simulation.
+        summary: Summary,
+        /// Invariant-audit report (`None` when auditing was off).
+        audit: Option<AuditReport>,
+    },
+    /// The simulation was rejected with a typed error.
+    Failed {
+        /// Display rendering of the [`gaia_sim::SimError`].
+        error: String,
+    },
+}
 
 /// The outcome of one scenario cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,8 +99,49 @@ pub struct ScenarioResult {
     pub scenario: Scenario,
     /// The cell's stable key ([`Scenario::key`]).
     pub key: String,
-    /// Metrics of the simulation.
-    pub summary: Summary,
+    /// What happened when the cell ran.
+    pub outcome: CellOutcome,
+}
+
+impl ScenarioResult {
+    /// The cell's summary, if it completed.
+    pub fn summary(&self) -> Option<&Summary> {
+        match &self.outcome {
+            CellOutcome::Completed { summary, .. } => Some(summary),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The cell's audit report, if it completed under auditing.
+    pub fn audit(&self) -> Option<&AuditReport> {
+        match &self.outcome {
+            CellOutcome::Completed { audit, .. } => audit.as_ref(),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The cell's error message, if it failed.
+    pub fn error(&self) -> Option<&str> {
+        match &self.outcome {
+            CellOutcome::Completed { .. } => None,
+            CellOutcome::Failed { error } => Some(error),
+        }
+    }
+
+    /// The cell's summary; panics (naming the cell) if it failed.
+    pub fn expect_summary(&self) -> &Summary {
+        match &self.outcome {
+            CellOutcome::Completed { summary, .. } => summary,
+            CellOutcome::Failed { error } => {
+                panic!("scenario cell {} failed: {error}", self.key)
+            }
+        }
+    }
+
+    /// Audit violations found in this cell (0 when unaudited or failed).
+    pub fn audit_violations(&self) -> usize {
+        self.audit().map_or(0, |report| report.violations.len())
+    }
 }
 
 /// A completed sweep: the grid, its results in grid order, and
@@ -92,44 +158,118 @@ pub struct SweepRun {
     pub wall: Duration,
     /// Trace-cache hit/miss counters accumulated during the sweep.
     pub cache_stats: CacheStats,
+    /// Whether the invariant audit ran on each completed cell.
+    pub audited: bool,
 }
 
 impl SweepRun {
     /// The summaries in grid order (convenience for figure code that
     /// only needs metrics, not scenario metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the cell) if any cell failed; figure code that
+    /// calls this assumes an all-green sweep. Check [`failed_cells`]
+    /// first when failures are possible.
+    ///
+    /// [`failed_cells`]: SweepRun::failed_cells
     pub fn summaries(&self) -> Vec<Summary> {
-        self.results.iter().map(|r| r.summary.clone()).collect()
+        self.results
+            .iter()
+            .map(|r| r.expect_summary().clone())
+            .collect()
+    }
+
+    /// Total audit violations across all completed cells.
+    pub fn audit_violations(&self) -> usize {
+        self.results.iter().map(|r| r.audit_violations()).sum()
+    }
+
+    /// The cells that failed with a typed simulation error.
+    pub fn failed_cells(&self) -> Vec<&ScenarioResult> {
+        self.results
+            .iter()
+            .filter(|r| r.error().is_some())
+            .collect()
+    }
+
+    /// `true` when every cell completed and no audit violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.failed_cells().is_empty() && self.audit_violations() == 0
     }
 }
 
 /// Runs one scenario cell: materializes its traces through `cache`,
 /// builds the queue set and cluster config, and simulates the policy.
 /// Fully deterministic in the scenario's seed.
+///
+/// # Panics
+///
+/// Panics on an invalid policy decision; use [`run_cell`] for the
+/// failure-isolating variant the sweep drivers use.
 pub fn run_scenario(scenario: &Scenario, cache: &TraceCache) -> Summary {
+    match run_cell(scenario, cache, false) {
+        CellOutcome::Completed { summary, .. } => summary,
+        CellOutcome::Failed { error } => panic!("{error}"),
+    }
+}
+
+/// Runs one scenario cell, returning typed failure instead of panicking
+/// and — when `audit` is set — the invariant-audit report of the run.
+/// Fully deterministic in the scenario's seed.
+pub fn run_cell(scenario: &Scenario, cache: &TraceCache, audit: bool) -> CellOutcome {
     let carbon = cache.carbon(scenario.region, scenario.seed);
     let workload = cache.workload(scenario.family, scenario.scale, scenario.seed);
     let queues = scenario.queues.build(&workload);
     let config = scenario.cluster.build(scenario.seed);
-    let report =
-        runner::run_spec_report_with_queues(scenario.policy, &workload, &carbon, config, queues);
-    Summary::of(scenario.policy.name(), &report)
+    match runner::try_run_spec_report_with_queues(
+        scenario.policy,
+        &workload,
+        &carbon,
+        config,
+        queues,
+    ) {
+        Ok(report) => CellOutcome::Completed {
+            summary: Summary::of(scenario.policy.name(), &report),
+            audit: audit.then(|| gaia_sim::audit_report(&report, &config, &carbon)),
+        },
+        Err(error) => CellOutcome::Failed {
+            error: error.to_string(),
+        },
+    }
 }
 
-/// Sweeps `grid` on `executor` with a fresh trace cache.
+/// Sweeps `grid` on `executor` with a fresh trace cache (audit off).
 pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
     run_grid_with_cache(grid, executor, &TraceCache::new())
 }
 
 /// Sweeps `grid` on `executor`, sharing `cache` (useful when several
-/// grids over the same traces run back to back).
+/// grids over the same traces run back to back). Audit off.
 pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
+    run_grid_inner(grid, executor, cache, false)
+}
+
+/// Sweeps `grid` with the invariant audit enabled: every completed cell
+/// carries an [`AuditReport`] and failed cells are isolated instead of
+/// aborting the process. This is what `gaia sweep` runs by default.
+pub fn run_grid_audited(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
+    run_grid_inner(grid, executor, cache, true)
+}
+
+fn run_grid_inner(
+    grid: &SweepGrid,
+    executor: &Executor,
+    cache: &TraceCache,
+    audit: bool,
+) -> SweepRun {
     let start_stats = cache.stats();
     let start = Instant::now();
     let cells = grid.scenarios();
     let results = executor.run("grid", cells, |_, scenario| ScenarioResult {
         scenario: *scenario,
         key: scenario.key(),
-        summary: run_scenario(scenario, cache),
+        outcome: run_cell(scenario, cache, audit),
     });
     let end_stats = cache.stats();
     SweepRun {
@@ -141,6 +281,7 @@ pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceC
             hits: end_stats.hits - start_stats.hits,
             misses: end_stats.misses - start_stats.misses,
         },
+        audited: audit,
     }
 }
 
@@ -152,8 +293,18 @@ pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceC
 /// identical by the determinism contract, so only the parallel run is
 /// returned.
 pub fn time_grid(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
-    let serial = run_grid(grid, &Executor::new(1));
-    let parallel = run_grid(grid, &Executor::new(workers));
+    time_grid_inner(grid, workers, false)
+}
+
+/// [`time_grid`] with the invariant audit enabled on both runs (so the
+/// serial and parallel timings stay comparable).
+pub fn time_grid_audited(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
+    time_grid_inner(grid, workers, true)
+}
+
+fn time_grid_inner(grid: &SweepGrid, workers: usize, audit: bool) -> (SweepRun, TimingBench) {
+    let serial = run_grid_inner(grid, &Executor::new(1), &TraceCache::new(), audit);
+    let parallel = run_grid_inner(grid, &Executor::new(workers), &TraceCache::new(), audit);
     let serial_secs = serial.wall.as_secs_f64();
     let parallel_secs = parallel.wall.as_secs_f64();
     let bench = TimingBench {
@@ -204,8 +355,60 @@ mod tests {
         assert_eq!(run.results.len(), cells.len());
         for (result, cell) in run.results.iter().zip(&cells) {
             assert_eq!(result.key, cell.key());
-            assert_eq!(result.summary.name, cell.policy.name());
+            assert_eq!(result.expect_summary().name, cell.policy.name());
         }
+        assert!(!run.audited, "plain run_grid leaves the audit off");
+        assert!(run.is_clean());
+    }
+
+    #[test]
+    fn audited_grid_reports_clean_cells() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ])
+            .seeds(vec![7]);
+        let run = run_grid_audited(
+            &grid,
+            &Executor::new(2).with_progress(false),
+            &TraceCache::new(),
+        );
+        assert!(run.audited);
+        assert!(run.is_clean(), "reference policies must audit clean");
+        for result in &run.results {
+            let audit = result.audit().expect("audited cell carries a report");
+            assert!(audit.checks_run > 0);
+            assert!(audit.is_clean());
+        }
+    }
+
+    #[test]
+    fn bad_plan_cell_fails_alone_without_aborting_the_sweep() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::BadPlan),
+                PolicySpec::plain(BasePolicyKind::NoWait),
+            ])
+            .seeds(vec![1]);
+        let run = run_grid_audited(
+            &grid,
+            &Executor::new(2).with_progress(false),
+            &TraceCache::new(),
+        );
+        assert!(!run.is_clean());
+        let failed = run.failed_cells();
+        assert_eq!(failed.len(), 1, "only the injected cell fails");
+        assert!(failed[0].key.contains("Bad-Plan"));
+        assert!(
+            failed[0]
+                .error()
+                .unwrap()
+                .contains("invalid policy decision"),
+            "typed error surfaces: {:?}",
+            failed[0].error()
+        );
+        assert!(run.results[1].summary().is_some(), "healthy cell completes");
     }
 
     #[test]

@@ -71,38 +71,81 @@ impl ResultStore {
     }
 }
 
+/// Quotes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes with
+/// embedded quotes doubled; everything else passes through unchanged
+/// (keeping the existing artifacts byte-stable).
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
 /// One row per scenario, in grid order. Deterministic.
+///
+/// Failed cells keep their identity columns, leave the metric columns
+/// empty, and carry the error in the `status` column; completed cells
+/// have `status` = `ok` and, when the sweep was audited, their violation
+/// count in `audit_violations`.
 pub fn scenarios_csv(run: &SweepRun) -> String {
     let mut out = String::from(
         "key,policy,region,family,scale,seed,reserved,eviction,billing_days,\
          wait_short_h,wait_long_h,carbon_g,total_cost,mean_wait_hours,\
-         mean_completion_hours,reserved_utilization,evictions,jobs\n",
+         mean_completion_hours,reserved_utilization,evictions,jobs,\
+         status,audit_violations\n",
     );
     for result in &run.results {
         let s = &result.scenario;
-        let m = &result.summary;
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            result.key,
-            m.name,
-            s.region.code(),
-            s.family.name(),
-            s.scale.token(),
+            "{},{},{},{},{},{},{},{},{},{},{},",
+            csv_field(&result.key),
+            csv_field(&s.policy.name()),
+            csv_field(s.region.code()),
+            csv_field(s.family.name()),
+            csv_field(&s.scale.token()),
             s.seed,
             s.cluster.reserved,
             s.cluster.eviction,
             s.cluster.billing_days,
             s.queues.short_hours,
             s.queues.long_hours,
-            m.carbon_g,
-            m.total_cost,
-            m.mean_wait_hours,
-            m.mean_completion_hours,
-            m.reserved_utilization,
-            m.evictions,
-            m.jobs,
         );
+        match result.summary() {
+            Some(m) => {
+                let audit = match result.audit() {
+                    Some(report) => report.violations.len().to_string(),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},ok,{}",
+                    m.carbon_g,
+                    m.total_cost,
+                    m.mean_wait_hours,
+                    m.mean_completion_hours,
+                    m.reserved_utilization,
+                    m.evictions,
+                    m.jobs,
+                    audit,
+                );
+            }
+            None => {
+                let error = result.error().unwrap_or("failed");
+                let _ = writeln!(out, ",,,,,,,{},", csv_field(&format!("failed: {error}")));
+            }
+        }
     }
     out
 }
@@ -120,11 +163,11 @@ pub fn aggregate_csv(groups: &[GroupSummary]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            group.key,
-            a.name,
-            s.region.code(),
-            s.family.name(),
-            s.scale.token(),
+            csv_field(&group.key),
+            csv_field(&a.name),
+            csv_field(s.region.code()),
+            csv_field(s.family.name()),
+            csv_field(&s.scale.token()),
             s.cluster.reserved,
             s.cluster.eviction,
             s.cluster.billing_days,
@@ -227,6 +270,26 @@ pub fn manifest_json(run: &SweepRun, timing: Option<TimingBench>) -> String {
         "  \"trace_cache\": {{\"hits\": {}, \"misses\": {}}},",
         run.cache_stats.hits, run.cache_stats.misses
     );
+    let failures = run.failed_cells();
+    let _ = writeln!(
+        out,
+        "  \"audit\": {{\"enabled\": {}, \"violations\": {}, \"failed_cells\": {}, \
+         \"failures\": [{}]}},",
+        run.audited,
+        run.audit_violations(),
+        failures.len(),
+        failures
+            .iter()
+            .map(|cell| {
+                format!(
+                    "{{\"key\": {}, \"error\": {}}}",
+                    json_string(&cell.key),
+                    json_string(cell.error().unwrap_or("failed")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     match timing {
         Some(bench) => {
             let _ = writeln!(
@@ -293,6 +356,58 @@ fn json_f64(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal RFC-4180 line parser for the round-trip test: splits one
+    /// CSV record into fields, honoring quoting and doubled quotes.
+    fn parse_csv_record(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if field.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+        fields.push(field);
+        fields
+    }
+
+    #[test]
+    fn csv_field_round_trips_through_rfc4180_parsing() {
+        let tricky = [
+            "plain",
+            "with,comma",
+            "with \"quotes\"",
+            "both, \"at\" once",
+            "trailing\nnewline",
+            "",
+        ];
+        let line = tricky
+            .iter()
+            .map(|f| csv_field(f))
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(parse_csv_record(&line), tricky.to_vec());
+    }
+
+    #[test]
+    fn csv_field_leaves_plain_fields_untouched() {
+        assert_eq!(csv_field("NoWait/US-CA/Alibaba"), "NoWait/US-CA/Alibaba");
+        assert_eq!(csv_field("123.5"), "123.5");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
 
     #[test]
     fn json_string_escapes_specials() {

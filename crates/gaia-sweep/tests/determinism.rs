@@ -89,6 +89,36 @@ fn reference_grid_artifacts_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn reference_grid_audits_with_zero_violations() {
+    let grid = reference_grid();
+    let run = gaia_sweep::run_grid_audited(
+        &grid,
+        &Executor::new(4).with_progress(false),
+        &TraceCache::new(),
+    );
+    assert!(run.audited);
+    assert!(run.failed_cells().is_empty(), "every cell completes");
+    assert_eq!(
+        run.audit_violations(),
+        0,
+        "the reference grid must audit clean: {:?}",
+        run.results
+            .iter()
+            .filter(|r| r.audit_violations() > 0)
+            .map(|r| &r.key)
+            .collect::<Vec<_>>()
+    );
+    for result in &run.results {
+        let audit = result.audit().expect("audit report per cell");
+        assert!(
+            audit.checks_run > 0,
+            "checks actually ran for {}",
+            result.key
+        );
+    }
+}
+
+#[test]
 fn scenarios_csv_has_one_row_per_cell_in_grid_order() {
     let grid = reference_grid();
     let run = gaia_sweep::run_grid(&grid, &Executor::new(2).with_progress(false));

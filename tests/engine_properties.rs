@@ -254,4 +254,61 @@ proptest! {
             }
         }
     }
+
+    /// The invariant audit reports zero violations on every random
+    /// (carbon, workload, policy, cluster) combination — the audit layer
+    /// must never flag a healthy run.
+    #[test]
+    fn audit_is_clean_on_random_grids(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        spec in policy_strategy(),
+        reserved in 0u32..8,
+        eviction in prop_oneof![Just(0.0f64), Just(0.1), Just(0.5)],
+    ) {
+        let config = ClusterConfig::default()
+            .with_reserved(reserved)
+            .with_eviction(EvictionModel::hourly(eviction))
+            .with_seed(3)
+            .with_billing_horizon(Minutes::from_days(10));
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        let audit = gaia_sim::audit_report(&report, &config, &carbon);
+        prop_assert!(audit.checks_run > 0);
+        prop_assert!(
+            audit.is_clean(),
+            "audit violations on a healthy run: {:?}",
+            audit.violations
+        );
+    }
+
+    /// The audit's relaxed mode (checkpointing + instance overheads
+    /// enabled) also never flags a healthy run.
+    #[test]
+    fn audit_is_clean_under_extension_configs(
+        carbon in carbon_strategy(),
+        trace in workload_strategy(),
+        eviction in prop_oneof![Just(0.0f64), Just(0.2), Just(0.6)],
+        interval_h in 1u64..6,
+        overhead_min in 0u64..20,
+        boot_min in 0u64..15,
+    ) {
+        use gaia_sim::{CheckpointConfig, InstanceOverheads};
+        let config = ClusterConfig::default()
+            .with_eviction(EvictionModel::hourly(eviction))
+            .with_checkpointing(CheckpointConfig::every_hours(interval_h, overhead_min))
+            .with_overheads(InstanceOverheads {
+                startup: Minutes::new(boot_min),
+                teardown: Minutes::new(boot_min / 2),
+            })
+            .with_seed(5)
+            .with_billing_horizon(Minutes::from_days(30));
+        let spec = PolicySpec::spot_first(BasePolicyKind::CarbonTime);
+        let report = runner::run_spec_report(spec, &trace, &carbon, config);
+        let audit = gaia_sim::audit_report(&report, &config, &carbon);
+        prop_assert!(
+            audit.is_clean(),
+            "audit violations under extensions: {:?}",
+            audit.violations
+        );
+    }
 }
