@@ -1,0 +1,71 @@
+//! Tracing-overhead microbench: the same week-long 1k-job simulation
+//! through the untraced entry point, the traced entry point with
+//! [`NullSink`] (instrumentation statically compiled out — the
+//! zero-overhead claim), and with an in-memory [`JsonlSink`] (the real
+//! cost of recording, for context).
+//!
+//! The pass/fail gate on the NullSink delta lives in the
+//! `obs_overhead` binary (`scripts/bench_obs.sh`); this bench is for
+//! profiling the same comparison under Criterion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::runner;
+use gaia_sim::{ClusterConfig, JsonlSink, NullSink};
+use gaia_time::Minutes;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let carbon = bench::carbon(gaia_carbon::Region::SouthAustralia);
+    let week = bench::week_trace();
+    let config = ClusterConfig::default()
+        .with_reserved(9)
+        .with_billing_horizon(Minutes::from_days(9));
+    let spec = PolicySpec::plain(BasePolicyKind::CarbonTime);
+    let queues = runner::default_queues(&week);
+
+    let mut group = c.benchmark_group("obs_overhead_week_1k");
+    group.sample_size(20);
+    group.bench_function("untraced", |b| {
+        b.iter(|| {
+            black_box(runner::try_run_spec_report_with_queues(
+                spec,
+                black_box(&week),
+                &carbon,
+                config,
+                queues,
+            ))
+        })
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            black_box(runner::try_run_spec_report_traced_with_queues(
+                spec,
+                black_box(&week),
+                &carbon,
+                config,
+                queues,
+                &mut NullSink,
+                None,
+            ))
+        })
+    });
+    group.bench_function("jsonl_sink_in_memory", |b| {
+        b.iter(|| {
+            let mut sink = JsonlSink::new(Vec::new());
+            let report = runner::try_run_spec_report_traced_with_queues(
+                spec,
+                black_box(&week),
+                &carbon,
+                config,
+                queues,
+                &mut sink,
+                None,
+            );
+            black_box((report, sink.finish()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Tracing-overhead gate: proves the `NullSink` instrumentation path is
+//! within the zero-overhead budget of the untraced simulation.
+//!
+//! Runs the week-long 1k-job Carbon-Time scenario through the untraced
+//! entry point and the traced entry point with [`NullSink`], interleaved
+//! so drift hits both sides equally, and compares medians. An in-memory
+//! [`JsonlSink`] run is reported for context (the real cost of
+//! recording) but not gated.
+//!
+//! Exit code 0 when the NullSink overhead is within the budget (2%, or
+//! `GAIA_OBS_OVERHEAD_MAX` percent), 1 otherwise. Rounds default to 15
+//! (`GAIA_OBS_ROUNDS`). `scripts/bench_obs.sh` runs this in release mode
+//! and stores the report in `results/obs_overhead.txt`.
+
+use std::time::{Duration, Instant};
+
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::runner;
+use gaia_sim::{ClusterConfig, JsonlSink, NullSink, SimReport};
+use gaia_time::Minutes;
+use gaia_workload::QueueSet;
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() -> std::process::ExitCode {
+    let carbon = bench::carbon(gaia_carbon::Region::SouthAustralia);
+    let week = bench::week_trace();
+    let config = ClusterConfig::default()
+        .with_reserved(9)
+        .with_billing_horizon(Minutes::from_days(9));
+    let spec = PolicySpec::plain(BasePolicyKind::CarbonTime);
+    let queues = runner::default_queues(&week);
+
+    let untraced = |queues: QueueSet| -> SimReport {
+        runner::try_run_spec_report_with_queues(spec, &week, &carbon, config, queues)
+            .expect("reference policy runs clean")
+    };
+    let null_traced = |queues: QueueSet| -> SimReport {
+        runner::try_run_spec_report_traced_with_queues(
+            spec,
+            &week,
+            &carbon,
+            config,
+            queues,
+            &mut NullSink,
+            None,
+        )
+        .expect("reference policy runs clean")
+    };
+
+    // Warmup both paths (page in the traces, settle the allocator), and
+    // check the zero-overhead contract is also a no-behavior-change
+    // contract: identical reports with and without instrumentation.
+    let reference = untraced(queues);
+    assert_eq!(
+        reference.totals,
+        null_traced(queues).totals,
+        "NullSink must not change simulation results"
+    );
+
+    let rounds = env_or("GAIA_OBS_ROUNDS", 15.0) as usize;
+    let budget_pct = env_or("GAIA_OBS_OVERHEAD_MAX", 2.0);
+    let mut base = Vec::with_capacity(rounds);
+    let mut null = Vec::with_capacity(rounds);
+    let mut jsonl = Vec::with_capacity(rounds);
+    let mut events = 0u64;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        std::hint::black_box(untraced(queues));
+        base.push(start.elapsed());
+
+        let start = Instant::now();
+        std::hint::black_box(null_traced(queues));
+        null.push(start.elapsed());
+
+        let mut sink = JsonlSink::new(Vec::new());
+        let start = Instant::now();
+        let report = runner::try_run_spec_report_traced_with_queues(
+            spec, &week, &carbon, config, queues, &mut sink, None,
+        );
+        jsonl.push(start.elapsed());
+        std::hint::black_box(&report);
+        events = sink.written();
+    }
+
+    let base_ms = median(&mut base).as_secs_f64() * 1e3;
+    let null_ms = median(&mut null).as_secs_f64() * 1e3;
+    let jsonl_ms = median(&mut jsonl).as_secs_f64() * 1e3;
+    let null_pct = (null_ms - base_ms) / base_ms * 100.0;
+    let jsonl_pct = (jsonl_ms - base_ms) / base_ms * 100.0;
+    let verdict = if null_pct <= budget_pct {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+
+    println!("tracing overhead, week-long 1k-job Carbon-Time scenario");
+    println!("(median of {rounds} interleaved rounds; {events} events per traced run)");
+    println!();
+    println!("  variant               median (ms)    vs untraced");
+    println!("  untraced              {base_ms:>11.2}              -");
+    println!("  NullSink (disabled)   {null_ms:>11.2}    {null_pct:>+10.2}%");
+    println!("  JsonlSink (memory)    {jsonl_ms:>11.2}    {jsonl_pct:>+10.2}%");
+    println!();
+    println!("  NullSink budget: {budget_pct:.1}% -> {verdict}");
+
+    if null_pct <= budget_pct {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

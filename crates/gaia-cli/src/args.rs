@@ -10,7 +10,12 @@ pub const HELP: &str = "\
 gaia — carbon-, performance-, and cost-aware batch scheduling simulator
 
 USAGE:
-    gaia [OPTIONS]
+    gaia [OPTIONS]              run one experiment (legacy flag set)
+    gaia run [OPTIONS]          same, but --trace <PATH> writes a JSONL
+                                event trace and --workload <FAMILY>
+                                selects the workload family
+    gaia sweep [OPTIONS]        run a cartesian experiment grid
+    gaia trace summarize <F>    summarize a JSONL event trace
 
 POLICY:
     --policy <NAME>        nowait | allwait | waitawhile | ecovisor |
@@ -52,6 +57,17 @@ OUTPUT:
                            invariant audit (segment coverage, occupancy,
                            accounting, work conservation, timing)
     --help                 show this message
+
+OBSERVABILITY:
+    --trace-out <PATH>     write the primary run's lifecycle events as
+                           JSONL (one object per line; deterministic in
+                           the seed). Under `gaia run`, --trace <PATH>
+                           is the same flag.
+    --metrics              print a metrics snapshot (counters and
+                           histograms, JSON) after the summary table and
+                           report per-phase self-profiling on stderr
+    GAIA_LOG=<LEVEL>       stderr verbosity: error | warn | info | debug
+                           (default info)
 
 EXIT CODES:
     0  success
@@ -99,6 +115,8 @@ pub struct Options {
     pub runtime: Option<String>,
     pub csv: bool,
     pub audit: bool,
+    pub trace_out: Option<String>,
+    pub metrics: bool,
 }
 
 /// Which workload to synthesize.
@@ -145,13 +163,27 @@ impl Default for Options {
             runtime: None,
             csv: false,
             audit: false,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
 
 impl Options {
-    /// Parses command-line arguments (without the program name).
+    /// Parses command-line arguments (without the program name), legacy
+    /// interface: `--trace` selects the workload family.
     pub fn parse(args: &[String]) -> Result<Options, String> {
+        Options::parse_mode(args, false)
+    }
+
+    /// Parses arguments for the `gaia run` subcommand: `--trace <PATH>`
+    /// writes the JSONL event trace and the workload family is selected
+    /// with `--workload` instead.
+    pub fn parse_run(args: &[String]) -> Result<Options, String> {
+        Options::parse_mode(args, true)
+    }
+
+    fn parse_mode(args: &[String], run_mode: bool) -> Result<Options, String> {
         let mut options = Options::default();
         let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
@@ -276,7 +308,16 @@ impl Options {
                         .parse()
                         .map_err(|_| format!("unknown region {code:?}"))?;
                 }
-                "--trace" => {
+                // `gaia run` reads `--trace` as the event-trace output
+                // path; the legacy top-level interface keeps it as the
+                // workload family. `--workload`/`--trace-out` name the
+                // two meanings unambiguously in both modes.
+                "--trace" if run_mode => {
+                    options.trace_out = Some(value("--trace")?.to_owned());
+                }
+                "--trace-out" => options.trace_out = Some(value("--trace-out")?.to_owned()),
+                "--metrics" => options.metrics = true,
+                "--trace" | "--workload" => {
                     options.trace = match value("--trace")?.to_ascii_lowercase().as_str() {
                         "alibaba" | "alibaba-pai" | "pai" => TraceChoice::Alibaba,
                         "azure" | "azure-vm" => TraceChoice::Azure,
@@ -445,6 +486,34 @@ mod tests {
         assert!(HELP.contains("--policy"));
         assert!(HELP.contains("--audit"));
         assert!(HELP.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn trace_flag_is_family_in_legacy_mode_and_path_in_run_mode() {
+        let legacy = parse(&["--trace", "azure"]).expect("valid");
+        assert_eq!(legacy.trace, TraceChoice::Azure);
+        assert!(legacy.trace_out.is_none());
+
+        let args: Vec<String> = ["--trace", "events.jsonl", "--workload", "azure"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let run = Options::parse_run(&args).expect("valid");
+        assert_eq!(run.trace_out.as_deref(), Some("events.jsonl"));
+        assert_eq!(run.trace, TraceChoice::Azure);
+
+        // Both modes accept the unambiguous spellings.
+        let legacy = parse(&[
+            "--trace-out",
+            "t.jsonl",
+            "--workload",
+            "mustang",
+            "--metrics",
+        ])
+        .expect("valid");
+        assert_eq!(legacy.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(legacy.trace, TraceChoice::Mustang);
+        assert!(legacy.metrics);
     }
 
     #[test]

@@ -18,11 +18,12 @@ use std::process::ExitCode;
 mod args;
 mod run;
 mod sweep;
+mod trace;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("sweep") {
-        return match sweep::SweepOptions::parse(&args[1..]) {
+    match args.first().map(String::as_str) {
+        Some("sweep") => match sweep::SweepOptions::parse(&args[1..]) {
             Ok(options) => {
                 if options.help {
                     print!("{}", sweep::HELP);
@@ -32,25 +33,37 @@ fn main() -> ExitCode {
                 }
             }
             Err(message) => {
-                eprintln!("error: {message}");
-                eprintln!("run `gaia sweep --help` for usage");
+                gaia_obs::error!("{message}");
+                gaia_obs::error!("run `gaia sweep --help` for usage");
                 ExitCode::FAILURE
             }
-        };
-    }
-    match args::Options::parse(&args) {
-        Ok(options) => {
-            if options.help {
-                print!("{}", args::HELP);
-                ExitCode::SUCCESS
+        },
+        Some("trace") => trace::execute(&args[1..]),
+        // `gaia run` and the bare legacy interface share one flag set;
+        // only the meaning of `--trace` differs (events path vs family).
+        first => {
+            let run_mode = first == Some("run");
+            let rest = if run_mode { &args[1..] } else { &args[..] };
+            let parsed = if run_mode {
+                args::Options::parse_run(rest)
             } else {
-                run::execute(&options)
+                args::Options::parse(rest)
+            };
+            match parsed {
+                Ok(options) => {
+                    if options.help {
+                        print!("{}", args::HELP);
+                        ExitCode::SUCCESS
+                    } else {
+                        run::execute(&options)
+                    }
+                }
+                Err(message) => {
+                    gaia_obs::error!("{message}");
+                    gaia_obs::error!("run `gaia --help` for usage");
+                    ExitCode::FAILURE
+                }
             }
-        }
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("run `gaia --help` for usage");
-            ExitCode::FAILURE
         }
     }
 }

@@ -10,6 +10,7 @@ use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_core::{BatchPolicy, CarbonTax, CarbonTimeSuspend, GaiaScheduler, SpotConfig};
 use gaia_metrics::table::TextTable;
 use gaia_metrics::{relative_to, Summary};
+use gaia_obs::{JsonlSink, MetricsRegistry, NullSink, Profiler, Sink};
 use gaia_sim::{
     CheckpointConfig, ClusterConfig, EvictionModel, InstanceOverheads, SimReport, Simulation,
 };
@@ -27,15 +28,25 @@ pub fn execute(options: &Options) -> ExitCode {
     match try_execute(options) {
         Ok(code) => code,
         Err(message) => {
-            eprintln!("error: {message}");
+            gaia_obs::error!("{message}");
             ExitCode::FAILURE
         }
     }
 }
 
 fn try_execute(options: &Options) -> Result<ExitCode, String> {
-    let carbon = load_carbon(options)?;
-    let workload = load_workload(options)?;
+    // Self-profiling rides with --metrics; phases cover trace loading,
+    // the engine (plan + event loop), the audit, and artifact writes.
+    let profiler = options.metrics.then(Profiler::new);
+    let profiler = profiler.as_ref();
+    let carbon = {
+        let _t = profiler.map(|p| p.phase("load_carbon"));
+        load_carbon(options)?
+    };
+    let workload = {
+        let _t = profiler.map(|p| p.phase("load_workload"));
+        load_workload(options)?
+    };
     let queues = QueueSet::paper_defaults()
         .with_waits(options.wait_short, options.wait_long)
         .with_averages_from(workload.jobs());
@@ -54,19 +65,47 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
         config = config.with_checkpointing(CheckpointConfig::every_hours(interval_h, overhead_min));
     }
 
-    let report = run_choice(options, &workload, &carbon, config, queues)?;
+    // The event trace covers the primary policy run only; the --baseline
+    // comparison run stays untraced (NullSink: instrumentation compiles
+    // out, so traced and untraced runs produce identical reports).
+    let report = match &options.trace_out {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut sink = JsonlSink::new(BufWriter::new(file));
+            let report = run_choice(
+                options, &workload, &carbon, config, queues, &mut sink, profiler,
+            )?;
+            let events = sink.written();
+            sink.finish()
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            gaia_obs::info!("trace: {events} events written to {path}");
+            report
+        }
+        None => run_choice(
+            options,
+            &workload,
+            &carbon,
+            config,
+            queues,
+            &mut NullSink,
+            profiler,
+        )?,
+    };
     let summary = Summary::of(policy_name(options), &report);
 
-    if let Some(path) = &options.details {
-        write_csv(path, |w| gaia_sim::output::write_details_csv(w, &report))?;
-    }
-    if let Some(path) = &options.aggregate {
-        write_csv(path, |w| gaia_sim::output::write_aggregate_csv(w, &report))?;
-    }
-    if let Some(path) = &options.runtime {
-        write_csv(path, |w| {
-            gaia_sim::output::write_runtime_csv(w, &report, &carbon)
-        })?;
+    {
+        let _t = profiler.map(|p| p.phase("write"));
+        if let Some(path) = &options.details {
+            write_csv(path, |w| gaia_sim::output::write_details_csv(w, &report))?;
+        }
+        if let Some(path) = &options.aggregate {
+            write_csv(path, |w| gaia_sim::output::write_aggregate_csv(w, &report))?;
+        }
+        if let Some(path) = &options.runtime {
+            write_csv(path, |w| {
+                gaia_sim::output::write_runtime_csv(w, &report, &carbon)
+            })?;
+        }
     }
 
     let mut table = TextTable::new(vec![
@@ -82,7 +121,15 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
 
     if options.baseline && summary.name != "NoWait" {
         let baseline_spec = PolicySpec::plain(BasePolicyKind::NoWait);
-        let baseline_report = run(baseline_spec, &workload, &carbon, config, queues)?;
+        let baseline_report = run(
+            baseline_spec,
+            &workload,
+            &carbon,
+            config,
+            queues,
+            &mut NullSink,
+            profiler,
+        )?;
         let baseline = Summary::of("NoWait", &baseline_report);
         push_summary_row(&mut table, &baseline);
         print_table(options, &table);
@@ -98,23 +145,39 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
         print_table(options, &table);
     }
 
-    if options.audit {
-        let audit = gaia_sim::audit_report(&report, &config, &carbon);
+    if options.metrics {
+        let registry = MetricsRegistry::new();
+        gaia_metrics::observe::observe_report(&registry, &report);
+        println!("{}", registry.snapshot_json());
+    }
+
+    let audit_code = if options.audit {
+        let audit = {
+            let _t = profiler.map(|p| p.phase("audit"));
+            gaia_sim::audit_report(&report, &config, &carbon)
+        };
         if audit.is_clean() {
-            eprintln!("audit: {} checks, no violations", audit.checks_run);
+            gaia_obs::info!("audit: {} checks, no violations", audit.checks_run);
+            ExitCode::SUCCESS
         } else {
             for violation in &audit.violations {
-                eprintln!("audit: {violation}");
+                gaia_obs::error!("audit: {violation}");
             }
-            eprintln!(
+            gaia_obs::error!(
                 "audit: {} violation(s) across {} checks",
                 audit.violations.len(),
                 audit.checks_run
             );
-            return Ok(ExitCode::from(2));
+            ExitCode::from(2)
         }
+    } else {
+        ExitCode::SUCCESS
+    };
+
+    if let Some(p) = profiler {
+        gaia_obs::info!("phase timings\n{}", p.table());
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(audit_code)
 }
 
 fn print_table(options: &Options, table: &TextTable) {
@@ -137,28 +200,30 @@ fn push_summary_row(table: &mut TextTable, summary: &Summary) {
     ]);
 }
 
-fn run(
+fn run<S: Sink>(
     spec: PolicySpec,
     workload: &WorkloadTrace,
     carbon: &CarbonTrace,
     config: ClusterConfig,
     queues: QueueSet,
+    sink: &mut S,
+    profiler: Option<&Profiler>,
 ) -> Result<SimReport, String> {
     let mut scheduler = spec.build(queues);
-    Simulation::new(config, carbon)
-        .try_run(workload, &mut scheduler)
-        .map_err(|e| e.to_string())
+    simulate(config, carbon, workload, &mut scheduler, sink, profiler)
 }
 
 /// Builds and runs the selected policy, including the extension policies
 /// that live outside the paper's Table 1 catalog. Invalid policy
 /// decisions come back as an error (exit 1), not a process abort.
-fn run_choice(
+fn run_choice<S: Sink>(
     options: &Options,
     workload: &WorkloadTrace,
     carbon: &CarbonTrace,
     config: ClusterConfig,
     queues: QueueSet,
+    sink: &mut S,
+    profiler: Option<&Profiler>,
 ) -> Result<SimReport, String> {
     let base: Box<dyn BatchPolicy> = match options.policy {
         PolicyChoice::Base(kind) => {
@@ -167,7 +232,7 @@ fn run_choice(
                 res_first: options.res_first,
                 spot: options.spot_j_max.map(|j_max| SpotConfig { j_max }),
             };
-            return run(spec, workload, carbon, config, queues);
+            return run(spec, workload, carbon, config, queues, sink, profiler);
         }
         PolicyChoice::CarbonTimeSr => Box::new(CarbonTimeSuspend::new(queues)),
         PolicyChoice::CarbonTax => Box::new(CarbonTax::new(
@@ -183,8 +248,22 @@ fn run_choice(
     if let Some(j_max) = options.spot_j_max {
         scheduler = scheduler.spot_first(SpotConfig { j_max });
     }
-    Simulation::new(config, carbon)
-        .try_run(workload, &mut scheduler)
+    simulate(config, carbon, workload, &mut scheduler, sink, profiler)
+}
+
+fn simulate<S: Sink>(
+    config: ClusterConfig,
+    carbon: &CarbonTrace,
+    workload: &WorkloadTrace,
+    scheduler: &mut dyn gaia_sim::Scheduler,
+    sink: &mut S,
+    profiler: Option<&Profiler>,
+) -> Result<SimReport, String> {
+    let mut sim = Simulation::new(config, carbon);
+    if let Some(p) = profiler {
+        sim = sim.with_profiler(p);
+    }
+    sim.try_run_traced(workload, scheduler, sink)
         .map_err(|e| e.to_string())
 }
 

@@ -1,13 +1,17 @@
 //! The `gaia sweep` subcommand: cartesian experiment grids on the
 //! gaia-sweep worker pool, with artifacts written to a result store.
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_metrics::table::TextTable;
+use gaia_obs::{MetricsRegistry, Profiler};
 use gaia_sweep::{
-    default_workers, ClusterSpec, Executor, QueueSpec, ResultStore, SweepGrid, TraceFamily,
+    default_workers, ClusterSpec, Executor, ObsHooks, QueueSpec, ResultStore, SweepGrid,
+    TimingBench, TraceCache, TraceFamily,
 };
 
 /// Help text printed for `gaia sweep --help`.
@@ -45,9 +49,23 @@ OUTPUT:
     --name <NAME>          run directory name (default: sweep)
     --help                 show this message
 
+OBSERVABILITY:
+    --trace-dir <DIR>      write one JSONL event trace per cell into DIR
+                           (<cell key with / replaced by _>.jsonl); each
+                           file is deterministic in its scenario and
+                           byte-identical for any --workers value
+    --metrics              record counters/histograms across all cells
+                           and snapshot them to <out>/<name>/metrics.json
+                           (deterministic), plus a per-phase profile
+                           block in the manifest (wall-clock)
+    GAIA_LOG=<LEVEL>       stderr verbosity: error | warn | info | debug
+                           (default info; warn also silences the
+                           progress meter)
+
 Artifacts written to <out>/<name>/: manifest.json, scenarios.csv,
-aggregate.csv, aggregate.json. The CSV/JSON results are byte-identical
-for any --workers value; only wall-clock changes.
+aggregate.csv, aggregate.json, and metrics.json with --metrics. The
+CSV/JSON results (metrics.json included) are byte-identical for any
+--workers value; only wall-clock facts in manifest.json change.
 
 EXIT CODES:
     0  every cell completed and the audit found no violations
@@ -75,6 +93,8 @@ pub struct SweepOptions {
     pub audit: bool,
     pub out: String,
     pub name: String,
+    pub trace_dir: Option<String>,
+    pub metrics: bool,
 }
 
 impl Default for SweepOptions {
@@ -101,6 +121,8 @@ impl Default for SweepOptions {
             audit: true,
             out: "results".to_owned(),
             name: "sweep".to_owned(),
+            trace_dir: None,
+            metrics: false,
         }
     }
 }
@@ -199,6 +221,8 @@ impl SweepOptions {
                 "--no-audit" => options.audit = false,
                 "--out" => options.out = value("--out")?.to_owned(),
                 "--name" => options.name = value("--name")?.to_owned(),
+                "--trace-dir" => options.trace_dir = Some(value("--trace-dir")?.to_owned()),
+                "--metrics" => options.metrics = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -252,28 +276,76 @@ fn parse_family(name: &str) -> Result<TraceFamily, String> {
 /// invariant violations.
 pub fn execute(options: &SweepOptions) -> ExitCode {
     let grid = options.grid();
-    eprintln!("sweep grid: {}", grid.describe());
+    gaia_obs::info!("sweep grid: {}", grid.describe());
 
     let executor = Executor::new(options.workers).with_progress(options.progress);
-    let (run, timing) = if options.bench {
+    let observed = options.metrics || options.trace_dir.is_some();
+    // Observability state; consulted only on the observed path, but the
+    // store write below always receives the (possibly empty) snapshots.
+    let registry = MetricsRegistry::new();
+    let profiler = Arc::new(Profiler::new());
+
+    let (run, timing) = if observed {
+        // With --bench, the serial leg stays uninstrumented (fresh cache,
+        // one worker) so trace I/O cannot skew the timing comparison;
+        // only the parallel leg feeds metrics and per-cell traces.
+        let serial_secs = options.bench.then(|| {
+            let serial = if options.audit {
+                gaia_sweep::run_grid_audited(&grid, &Executor::new(1), &TraceCache::new())
+            } else {
+                gaia_sweep::run_grid(&grid, &Executor::new(1))
+            };
+            serial.wall.as_secs_f64()
+        });
+        let cache = TraceCache::new().with_profiler(Arc::clone(&profiler));
+        let hooks = ObsHooks {
+            metrics: options.metrics.then_some(&registry),
+            profiler: options.metrics.then_some(&*profiler),
+            trace_dir: options.trace_dir.as_deref().map(Path::new),
+            sweep_sink: None,
+        };
+        let run =
+            match gaia_sweep::run_grid_observed(&grid, &executor, &cache, options.audit, &hooks) {
+                Ok(run) => run,
+                Err(error) => {
+                    gaia_obs::error!("writing cell traces: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let timing = serial_secs.map(|serial_secs| {
+            let parallel_secs = run.wall.as_secs_f64();
+            TimingBench {
+                serial_secs,
+                parallel_secs,
+                workers: run.workers,
+                speedup: serial_secs / parallel_secs,
+            }
+        });
+        (run, timing)
+    } else if options.bench {
         let (run, bench) = if options.audit {
             gaia_sweep::time_grid_audited(&grid, options.workers)
         } else {
             gaia_sweep::time_grid(&grid, options.workers)
         };
-        eprintln!(
-            "bench: serial {:.2}s vs {} workers {:.2}s — speedup {:.2}x",
-            bench.serial_secs, bench.workers, bench.parallel_secs, bench.speedup
-        );
         (run, Some(bench))
     } else if options.audit {
         (
-            gaia_sweep::run_grid_audited(&grid, &executor, &gaia_sweep::TraceCache::new()),
+            gaia_sweep::run_grid_audited(&grid, &executor, &TraceCache::new()),
             None,
         )
     } else {
         (gaia_sweep::run_grid(&grid, &executor), None)
     };
+    if let Some(bench) = &timing {
+        gaia_obs::info!(
+            "bench: serial {:.2}s vs {} workers {:.2}s — speedup {:.2}x",
+            bench.serial_secs,
+            bench.workers,
+            bench.parallel_secs,
+            bench.speedup
+        );
+    }
 
     let mut table = TextTable::new(vec!["scenario", "carbon (kg)", "cost ($)", "wait (h)"]);
     for group in gaia_sweep::across_seed_groups(&run) {
@@ -290,15 +362,22 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
     }
     println!("{table}");
 
-    match ResultStore::create(&options.out, &options.name)
-        .and_then(|store| store.write(&run, timing).map(|()| store))
-    {
+    match ResultStore::create(&options.out, &options.name).and_then(|store| {
+        store
+            .write_observed(
+                &run,
+                timing,
+                options.metrics.then_some(&registry),
+                options.metrics.then_some(&*profiler),
+            )
+            .map(|()| store)
+    }) {
         Ok(store) => {
-            eprintln!("artifacts written to {}", store.dir().display());
+            gaia_obs::info!("artifacts written to {}", store.dir().display());
             audit_exit_code(&run)
         }
         Err(error) => {
-            eprintln!("error: writing results: {error}");
+            gaia_obs::error!("writing results: {error}");
             ExitCode::FAILURE
         }
     }
@@ -309,24 +388,24 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
 fn audit_exit_code(run: &gaia_sweep::SweepRun) -> ExitCode {
     let failed = run.failed_cells();
     for cell in &failed {
-        eprintln!("cell {} failed: {}", cell.key, cell.error().unwrap_or("?"));
+        gaia_obs::error!("cell {} failed: {}", cell.key, cell.error().unwrap_or("?"));
     }
     let mut violations = 0;
     for result in &run.results {
         if let Some(audit) = result.audit() {
             for violation in &audit.violations {
-                eprintln!("audit: {}: {violation}", result.key);
+                gaia_obs::error!("audit: {}: {violation}", result.key);
             }
             violations += audit.violations.len();
         }
     }
     if failed.is_empty() && violations == 0 {
         if run.audited {
-            eprintln!("audit: all {} cells clean", run.results.len());
+            gaia_obs::info!("audit: all {} cells clean", run.results.len());
         }
         ExitCode::SUCCESS
     } else {
-        eprintln!(
+        gaia_obs::error!(
             "audit: {} failed cell(s), {} violation(s)",
             failed.len(),
             violations

@@ -1,0 +1,74 @@
+//! The `gaia trace` subcommand: offline analysis of JSONL event traces
+//! written by `gaia run --trace` or `gaia sweep --trace-dir`.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use gaia_sim::TraceSummary;
+
+/// Help text printed for `gaia trace --help`.
+pub const HELP: &str = "\
+gaia trace — analyze JSONL event traces
+
+USAGE:
+    gaia trace summarize <events.jsonl>
+
+Reads a trace written by `gaia run --trace <PATH>` (or one per-cell file
+from `gaia sweep --trace-dir <DIR>`), validates the stream (monotone
+timestamps, balanced per-job segment start/finish pairs, no duplicate
+lifecycle events), and prints deterministic aggregate statistics: job,
+plan, segment, and eviction counts, waiting-time totals and breakdown,
+and per-pool segment usage.
+
+EXIT CODES:
+    0  trace parsed and every stream check passed
+    1  usage or I/O error, a malformed line, or a failed stream check
+";
+
+/// Runs the subcommand on the arguments following `gaia trace`.
+pub fn execute(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            if args.is_empty() {
+                gaia_obs::error!("missing trace subcommand");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("summarize") => summarize(&args[1..]),
+        Some(other) => {
+            gaia_obs::error!("unknown trace subcommand {other:?}");
+            gaia_obs::error!("run `gaia trace --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn summarize(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        gaia_obs::error!("usage: gaia trace summarize <events.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(error) => {
+            gaia_obs::error!("cannot open {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match TraceSummary::from_jsonl(BufReader::new(file)) {
+        Ok(summary) => summary,
+        Err(error) => {
+            gaia_obs::error!("cannot parse {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", summary.render());
+    if summary.issues.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -24,6 +24,7 @@
 mod analysis;
 mod frontier;
 mod multiseed;
+pub mod observe;
 pub mod runner;
 mod summary;
 pub mod table;

@@ -1,0 +1,97 @@
+//! Feeds simulation reports into the [`gaia_obs`] metrics registry.
+//!
+//! One call per completed run records the counters and fixed-bucket
+//! histograms the sweep pipeline snapshots into `metrics.json`. All
+//! bucket bounds are compile-time constants, so the snapshot layout is
+//! stable across runs and worker counts.
+
+use gaia_obs::MetricsRegistry;
+use gaia_sim::SimReport;
+
+/// Wait-time histogram bounds, hours.
+pub const WAIT_HOURS_BOUNDS: [f64; 5] = [1.0, 4.0, 12.0, 24.0, 48.0];
+
+/// Job-length histogram bounds, hours.
+pub const JOB_LENGTH_HOURS_BOUNDS: [f64; 5] = [0.5, 1.0, 2.0, 6.0, 24.0];
+
+/// Carbon-per-job histogram bounds, grams CO₂eq.
+pub const CARBON_PER_JOB_G_BOUNDS: [f64; 5] = [100.0, 500.0, 2000.0, 10000.0, 50000.0];
+
+/// Records one run's outcomes into `registry`.
+///
+/// Counters (`sim.jobs`, `sim.evictions`, `sim.segments`) accumulate
+/// across calls; the histograms observe one sample per job.
+pub fn observe_report(registry: &MetricsRegistry, report: &SimReport) {
+    registry.counter("sim.jobs").add(report.totals.jobs as u64);
+    registry
+        .counter("sim.evictions")
+        .add(report.totals.evictions);
+    let segments: u64 = report.jobs.iter().map(|j| j.segments.len() as u64).sum();
+    registry.counter("sim.segments").add(segments);
+
+    let wait = registry.histogram("sim.wait_hours", &WAIT_HOURS_BOUNDS);
+    let length = registry.histogram("sim.job_length_hours", &JOB_LENGTH_HOURS_BOUNDS);
+    let carbon = registry.histogram("sim.carbon_per_job_g", &CARBON_PER_JOB_G_BOUNDS);
+    for job in &report.jobs {
+        wait.observe(job.waiting.as_hours_f64());
+        length.observe(job.job.length.as_hours_f64());
+        carbon.observe(job.carbon_g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+    use gaia_sim::ClusterConfig;
+
+    #[test]
+    fn observes_jobs_waits_and_carbon() {
+        let trace = gaia_workload::synth::section3_workload(1);
+        let carbon = gaia_carbon::CarbonTrace::constant(150.0, 24 * 5).expect("valid");
+        let report = crate::runner::run_spec_report(
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+            &trace,
+            &carbon,
+            ClusterConfig::default(),
+        );
+        let registry = MetricsRegistry::new();
+        observe_report(&registry, &report);
+        assert_eq!(
+            registry.counter("sim.jobs").get(),
+            report.totals.jobs as u64
+        );
+        let wait = registry.histogram("sim.wait_hours", &WAIT_HOURS_BOUNDS);
+        assert_eq!(wait.count(), report.jobs.len() as u64);
+        let report_wait_hours: f64 = report.jobs.iter().map(|j| j.waiting.as_hours_f64()).sum();
+        // The histogram stores milli-unit fixed point; match to that
+        // resolution (per-observation rounding, so tolerance scales
+        // with the number of jobs).
+        assert!(
+            (wait.sum() - report_wait_hours).abs() < 0.001 * report.jobs.len() as f64,
+            "{} vs {report_wait_hours}",
+            wait.sum()
+        );
+    }
+
+    #[test]
+    fn accumulates_across_reports() {
+        let trace = gaia_workload::synth::section3_workload(2);
+        let carbon = gaia_carbon::CarbonTrace::constant(150.0, 24 * 5).expect("valid");
+        let report = crate::runner::run_spec_report(
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            &trace,
+            &carbon,
+            ClusterConfig::default(),
+        );
+        let registry = MetricsRegistry::new();
+        observe_report(&registry, &report);
+        observe_report(&registry, &report);
+        assert_eq!(
+            registry.counter("sim.jobs").get(),
+            2 * report.totals.jobs as u64
+        );
+        let length = registry.histogram("sim.job_length_hours", &JOB_LENGTH_HOURS_BOUNDS);
+        assert_eq!(length.count(), 2 * report.jobs.len() as u64);
+    }
+}

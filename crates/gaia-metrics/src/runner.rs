@@ -59,6 +59,26 @@ pub fn try_run_spec_report_with_queues(
     Simulation::new(config, carbon).try_run(trace, &mut scheduler)
 }
 
+/// Like [`try_run_spec_report_with_queues`] but emits lifecycle events
+/// into `sink` and, when given, phase timings into `profiler`. With
+/// [`gaia_sim::NullSink`] this is exactly the untraced variant.
+pub fn try_run_spec_report_traced_with_queues<S: gaia_sim::Sink>(
+    spec: PolicySpec,
+    trace: &WorkloadTrace,
+    carbon: &CarbonTrace,
+    config: ClusterConfig,
+    queues: QueueSet,
+    sink: &mut S,
+    profiler: Option<&gaia_sim::Profiler>,
+) -> Result<SimReport, SimError> {
+    let mut scheduler = spec.build(queues);
+    let mut sim = Simulation::new(config, carbon);
+    if let Some(profiler) = profiler {
+        sim = sim.with_profiler(profiler);
+    }
+    sim.try_run_traced(trace, &mut scheduler, sink)
+}
+
 /// Runs one policy spec and summarizes it.
 pub fn run_spec(
     spec: PolicySpec,

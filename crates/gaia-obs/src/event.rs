@@ -1,0 +1,696 @@
+//! Typed lifecycle events emitted by the simulator and the sweep pipeline.
+//!
+//! Every event is a plain-data record. Simulation events carry their
+//! timestamp `t` as integer **minutes on the simulated clock** (the raw
+//! value of `gaia_time::SimTime`), never wall time, so serialized streams
+//! are byte-stable across runs and machines. Sweep-level events
+//! ([`Event::CellStarted`], [`Event::CellFinished`]) carry wall-clock
+//! timings and are explicitly excluded from the determinism contract.
+//!
+//! The JSONL encoding ([`Event::to_json_line`]) writes one JSON object
+//! per event with a fixed field order, starting with `"ev"` (the event
+//! name) and then `"t"` for timestamped events. Floats are rendered with
+//! Rust's shortest round-trip formatting, so
+//! [`Event::from_json_line`]`(e.to_json_line())` reproduces `e` exactly.
+
+use std::fmt;
+
+use crate::json::{self, Value};
+
+/// Capacity pool a job segment executes in.
+///
+/// Mirrors the simulator's purchase options; the serialized names match
+/// the `Display` of `gaia_sim::PurchaseOption` ("reserved", "on-demand",
+/// "spot") so traces and reports agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Pre-paid reserved capacity.
+    Reserved,
+    /// On-demand capacity billed per use.
+    OnDemand,
+    /// Preemptible spot capacity.
+    Spot,
+}
+
+impl PoolKind {
+    /// Stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PoolKind::Reserved => "reserved",
+            PoolKind::OnDemand => "on-demand",
+            PoolKind::Spot => "spot",
+        }
+    }
+
+    /// Parse a serialized name produced by [`PoolKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reserved" => Some(PoolKind::Reserved),
+            "on-demand" => Some(PoolKind::OnDemand),
+            "spot" => Some(PoolKind::Spot),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PoolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shape of the execution plan a policy chose for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanMode {
+    /// The job runs in one contiguous stretch.
+    Once,
+    /// The job is split into suspend/resume segments.
+    Segments,
+}
+
+impl PlanMode {
+    /// Stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanMode::Once => "once",
+            PlanMode::Segments => "segments",
+        }
+    }
+
+    /// Parse a serialized name produced by [`PlanMode::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "once" => Some(PlanMode::Once),
+            "segments" => Some(PlanMode::Segments),
+            _ => None,
+        }
+    }
+}
+
+/// Which memoized artifact a `TraceCache` lookup touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// A carbon-intensity trace keyed by region and horizon.
+    Carbon,
+    /// A synthetic workload keyed by family and seed.
+    Workload,
+}
+
+impl CacheKind {
+    /// Stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheKind::Carbon => "carbon",
+            CacheKind::Workload => "workload",
+        }
+    }
+
+    /// Parse a serialized name produced by [`CacheKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "carbon" => Some(CacheKind::Carbon),
+            "workload" => Some(CacheKind::Workload),
+            _ => None,
+        }
+    }
+}
+
+/// A structured lifecycle event.
+///
+/// Simulation events (everything except the `Cell*`/`Cache*` variants)
+/// are emitted by `gaia-sim`'s engine in nondecreasing `t` order; sweep
+/// events are emitted by `gaia-sweep`'s orchestration layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job entered the system at its arrival time.
+    JobSubmitted {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index within the workload.
+        job: u64,
+        /// CPUs the job occupies while running.
+        cpus: u64,
+        /// Requested run length, minutes.
+        len: u64,
+    },
+    /// The scheduling policy committed to an execution plan for a job.
+    PlanChosen {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index.
+        job: u64,
+        /// Contiguous or segmented execution.
+        mode: PlanMode,
+        /// Planned start time, minutes.
+        start: u64,
+        /// Number of planned slots/segments (1 for [`PlanMode::Once`]).
+        segs: u32,
+        /// Whether the job may start early on leftover capacity.
+        opportunistic: bool,
+        /// Whether the plan targets the spot pool.
+        spot: bool,
+        /// Forecast carbon for the planned spans, grams CO2.
+        est_carbon_g: f64,
+        /// Estimated monetary cost for the planned spans, dollars.
+        est_cost: f64,
+    },
+    /// A job segment began executing.
+    SegmentStarted {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index.
+        job: u64,
+        /// Segment ordinal for this job (0-based, counts every start
+        /// including post-eviction retries).
+        seg: u32,
+        /// Capacity pool the segment runs in.
+        pool: PoolKind,
+    },
+    /// A job segment stopped executing (completed, plan boundary, or
+    /// eviction).
+    SegmentFinished {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index.
+        job: u64,
+        /// Segment ordinal matching the corresponding
+        /// [`Event::SegmentStarted`].
+        seg: u32,
+        /// Capacity pool the segment ran in.
+        pool: PoolKind,
+        /// Whether the work done in this segment counts toward the job
+        /// (as known *at finish time*: an eviction that abandons a plan
+        /// marks the aborted segment not useful, but cannot retract
+        /// already-emitted events for earlier segments).
+        useful: bool,
+    },
+    /// A job running on spot capacity was evicted.
+    SpotEvicted {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index.
+        job: u64,
+    },
+    /// A job finished all of its work.
+    JobCompleted {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index.
+        job: u64,
+        /// Minutes spent not running: completion − arrival − length.
+        wait: u64,
+        /// Slowdown factor: (finish − arrival) / length.
+        stretch: f64,
+    },
+    /// A sweep cell was handed to a worker. **Not deterministic.**
+    CellStarted {
+        /// Cell index in grid order.
+        idx: u64,
+        /// Stable scenario key.
+        key: String,
+    },
+    /// A sweep cell finished. **Not deterministic** (wall-clock fields).
+    CellFinished {
+        /// Cell index in grid order.
+        idx: u64,
+        /// Stable scenario key.
+        key: String,
+        /// `"completed"` or `"failed"`.
+        status: String,
+        /// Seconds the cell waited in the work queue.
+        queue_wait_s: f64,
+        /// Seconds the cell spent executing.
+        exec_s: f64,
+    },
+    /// A `TraceCache` lookup was served from memory.
+    CacheHit {
+        /// Which cache.
+        kind: CacheKind,
+        /// Human-readable cache key.
+        key: String,
+    },
+    /// A `TraceCache` lookup had to generate its artifact.
+    CacheMiss {
+        /// Which cache.
+        kind: CacheKind,
+        /// Human-readable cache key.
+        key: String,
+    },
+}
+
+impl Event {
+    /// Stable event name used as the JSONL `"ev"` discriminant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::JobSubmitted { .. } => "job_submitted",
+            Event::PlanChosen { .. } => "plan_chosen",
+            Event::SegmentStarted { .. } => "segment_started",
+            Event::SegmentFinished { .. } => "segment_finished",
+            Event::SpotEvicted { .. } => "spot_evicted",
+            Event::JobCompleted { .. } => "job_completed",
+            Event::CellStarted { .. } => "cell_started",
+            Event::CellFinished { .. } => "cell_finished",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+        }
+    }
+
+    /// Simulation timestamp in minutes, if this is a timestamped
+    /// simulation event (sweep/cache events have no sim clock).
+    pub fn timestamp(&self) -> Option<u64> {
+        match *self {
+            Event::JobSubmitted { t, .. }
+            | Event::PlanChosen { t, .. }
+            | Event::SegmentStarted { t, .. }
+            | Event::SegmentFinished { t, .. }
+            | Event::SpotEvicted { t, .. }
+            | Event::JobCompleted { t, .. } => Some(t),
+            Event::CellStarted { .. }
+            | Event::CellFinished { .. }
+            | Event::CacheHit { .. }
+            | Event::CacheMiss { .. } => None,
+        }
+    }
+
+    /// Job index, if this is a per-job event.
+    pub fn job(&self) -> Option<u64> {
+        match *self {
+            Event::JobSubmitted { job, .. }
+            | Event::PlanChosen { job, .. }
+            | Event::SegmentStarted { job, .. }
+            | Event::SegmentFinished { job, .. }
+            | Event::SpotEvicted { job, .. }
+            | Event::JobCompleted { job, .. } => Some(job),
+            _ => None,
+        }
+    }
+
+    /// Serialize to a single JSON object (no trailing newline) with a
+    /// fixed field order, e.g.
+    /// `{"ev":"segment_started","t":360,"job":0,"seg":0,"pool":"reserved"}`.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"ev\":\"");
+        s.push_str(self.name());
+        s.push('"');
+        match self {
+            Event::JobSubmitted { t, job, cpus, len } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "cpus", *cpus);
+                push_u64(&mut s, "len", *len);
+            }
+            Event::PlanChosen {
+                t,
+                job,
+                mode,
+                start,
+                segs,
+                opportunistic,
+                spot,
+                est_carbon_g,
+                est_cost,
+            } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_str(&mut s, "mode", mode.as_str());
+                push_u64(&mut s, "start", *start);
+                push_u64(&mut s, "segs", u64::from(*segs));
+                push_bool(&mut s, "opportunistic", *opportunistic);
+                push_bool(&mut s, "spot", *spot);
+                push_f64(&mut s, "est_carbon_g", *est_carbon_g);
+                push_f64(&mut s, "est_cost", *est_cost);
+            }
+            Event::SegmentStarted { t, job, seg, pool } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "seg", u64::from(*seg));
+                push_str(&mut s, "pool", pool.as_str());
+            }
+            Event::SegmentFinished {
+                t,
+                job,
+                seg,
+                pool,
+                useful,
+            } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "seg", u64::from(*seg));
+                push_str(&mut s, "pool", pool.as_str());
+                push_bool(&mut s, "useful", *useful);
+            }
+            Event::SpotEvicted { t, job } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+            }
+            Event::JobCompleted {
+                t,
+                job,
+                wait,
+                stretch,
+            } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "wait", *wait);
+                push_f64(&mut s, "stretch", *stretch);
+            }
+            Event::CellStarted { idx, key } => {
+                push_u64(&mut s, "idx", *idx);
+                push_str(&mut s, "key", key);
+            }
+            Event::CellFinished {
+                idx,
+                key,
+                status,
+                queue_wait_s,
+                exec_s,
+            } => {
+                push_u64(&mut s, "idx", *idx);
+                push_str(&mut s, "key", key);
+                push_str(&mut s, "status", status);
+                push_f64(&mut s, "queue_wait_s", *queue_wait_s);
+                push_f64(&mut s, "exec_s", *exec_s);
+            }
+            Event::CacheHit { kind, key } => {
+                push_str(&mut s, "kind", kind.as_str());
+                push_str(&mut s, "key", key);
+            }
+            Event::CacheMiss { kind, key } => {
+                push_str(&mut s, "kind", kind.as_str());
+                push_str(&mut s, "key", key);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line produced by [`Event::to_json_line`].
+    ///
+    /// Tolerates unknown field order (any valid JSON object with the
+    /// expected fields) but rejects unknown event names and missing or
+    /// mistyped fields.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let value = json::parse(line)?;
+        let ev = req_str(&value, "ev")?;
+        match ev.as_str() {
+            "job_submitted" => Ok(Event::JobSubmitted {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                cpus: req_u64(&value, "cpus")?,
+                len: req_u64(&value, "len")?,
+            }),
+            "plan_chosen" => Ok(Event::PlanChosen {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                mode: PlanMode::parse(&req_str(&value, "mode")?)
+                    .ok_or_else(|| format!("unknown plan mode in: {line}"))?,
+                start: req_u64(&value, "start")?,
+                segs: req_u32(&value, "segs")?,
+                opportunistic: req_bool(&value, "opportunistic")?,
+                spot: req_bool(&value, "spot")?,
+                est_carbon_g: req_f64(&value, "est_carbon_g")?,
+                est_cost: req_f64(&value, "est_cost")?,
+            }),
+            "segment_started" => Ok(Event::SegmentStarted {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                seg: req_u32(&value, "seg")?,
+                pool: PoolKind::parse(&req_str(&value, "pool")?)
+                    .ok_or_else(|| format!("unknown pool in: {line}"))?,
+            }),
+            "segment_finished" => Ok(Event::SegmentFinished {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                seg: req_u32(&value, "seg")?,
+                pool: PoolKind::parse(&req_str(&value, "pool")?)
+                    .ok_or_else(|| format!("unknown pool in: {line}"))?,
+                useful: req_bool(&value, "useful")?,
+            }),
+            "spot_evicted" => Ok(Event::SpotEvicted {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+            }),
+            "job_completed" => Ok(Event::JobCompleted {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                wait: req_u64(&value, "wait")?,
+                stretch: req_f64(&value, "stretch")?,
+            }),
+            "cell_started" => Ok(Event::CellStarted {
+                idx: req_u64(&value, "idx")?,
+                key: req_str(&value, "key")?,
+            }),
+            "cell_finished" => Ok(Event::CellFinished {
+                idx: req_u64(&value, "idx")?,
+                key: req_str(&value, "key")?,
+                status: req_str(&value, "status")?,
+                queue_wait_s: req_f64(&value, "queue_wait_s")?,
+                exec_s: req_f64(&value, "exec_s")?,
+            }),
+            "cache_hit" => Ok(Event::CacheHit {
+                kind: CacheKind::parse(&req_str(&value, "kind")?)
+                    .ok_or_else(|| format!("unknown cache kind in: {line}"))?,
+                key: req_str(&value, "key")?,
+            }),
+            "cache_miss" => Ok(Event::CacheMiss {
+                kind: CacheKind::parse(&req_str(&value, "kind")?)
+                    .ok_or_else(|| format!("unknown cache kind in: {line}"))?,
+                key: req_str(&value, "key")?,
+            }),
+            other => Err(format!("unknown event name {other:?}")),
+        }
+    }
+}
+
+fn push_key(s: &mut String, key: &str) {
+    s.push(',');
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+}
+
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    push_key(s, key);
+    s.push_str(&v.to_string());
+}
+
+fn push_bool(s: &mut String, key: &str, v: bool) {
+    push_key(s, key);
+    s.push_str(if v { "true" } else { "false" });
+}
+
+fn push_f64(s: &mut String, key: &str, v: f64) {
+    push_key(s, key);
+    if v.is_finite() {
+        // Shortest representation that round-trips through f64 parsing,
+        // so a parse-and-reserialize cycle is byte-stable.
+        s.push_str(&format!("{v}"));
+        // `format!` omits the ".0" for integral floats; that is fine for
+        // JSON (still a number) and stable, so leave it as-is.
+    } else {
+        s.push_str("null");
+    }
+}
+
+fn push_str(s: &mut String, key: &str, v: &str) {
+    push_key(s, key);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                s.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+fn field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn req_u64(value: &Value, key: &str) -> Result<u64, String> {
+    field(value, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+fn req_u32(value: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(req_u64(value, key)?).map_err(|_| format!("field {key:?} overflows u32"))
+}
+
+fn req_f64(value: &Value, key: &str) -> Result<f64, String> {
+    let v = field(value, key)?;
+    // Non-finite floats serialize as null; map them back to NaN so the
+    // round-trip stays total.
+    if matches!(v, Value::Null) {
+        return Ok(f64::NAN);
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn req_bool(value: &Value, key: &str) -> Result<bool, String> {
+    field(value, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} is not a bool"))
+}
+
+fn req_str(value: &Value, key: &str) -> Result<String, String> {
+    field(value, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("field {key:?} is not a string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::JobSubmitted {
+                t: 0,
+                job: 3,
+                cpus: 2,
+                len: 180,
+            },
+            Event::PlanChosen {
+                t: 0,
+                job: 3,
+                mode: PlanMode::Segments,
+                start: 120,
+                segs: 4,
+                opportunistic: true,
+                spot: false,
+                est_carbon_g: 1234.5678901234,
+                est_cost: 0.1,
+            },
+            Event::SegmentStarted {
+                t: 120,
+                job: 3,
+                seg: 0,
+                pool: PoolKind::Reserved,
+            },
+            Event::SegmentFinished {
+                t: 180,
+                job: 3,
+                seg: 0,
+                pool: PoolKind::Reserved,
+                useful: true,
+            },
+            Event::SpotEvicted { t: 200, job: 4 },
+            Event::JobCompleted {
+                t: 480,
+                job: 3,
+                wait: 300,
+                stretch: 2.6666666666666665,
+            },
+            Event::CellStarted {
+                idx: 7,
+                key: "Carbon-Time/SA-AU/Alibaba/week/s42".into(),
+            },
+            Event::CellFinished {
+                idx: 7,
+                key: "Carbon-Time/SA-AU/Alibaba/week/s42".into(),
+                status: "completed".into(),
+                queue_wait_s: 0.25,
+                exec_s: 1.5,
+            },
+            Event::CacheHit {
+                kind: CacheKind::Carbon,
+                key: "SA-AU/h10080".into(),
+            },
+            Event::CacheMiss {
+                kind: CacheKind::Workload,
+                key: "Alibaba/s42".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for ev in samples() {
+            let line = ev.to_json_line();
+            let back = Event::from_json_line(&line).expect(&line);
+            assert_eq!(back, ev, "line: {line}");
+            // Re-serialization is byte-stable.
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn field_order_is_fixed() {
+        let ev = Event::SegmentStarted {
+            t: 360,
+            job: 0,
+            seg: 0,
+            pool: PoolKind::Reserved,
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            r#"{"ev":"segment_started","t":360,"job":0,"seg":0,"pool":"reserved"}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = Event::CacheHit {
+            kind: CacheKind::Carbon,
+            key: "quote\" slash\\ tab\t".into(),
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains(r#"quote\" slash\\ tab\t"#), "{line}");
+        assert_eq!(Event::from_json_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let ev = Event::JobCompleted {
+            t: 10,
+            job: 1,
+            wait: 0,
+            stretch: f64::INFINITY,
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"stretch\":null"), "{line}");
+        match Event::from_json_line(&line).unwrap() {
+            Event::JobCompleted { stretch, .. } => assert!(stretch.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_event_name_is_rejected() {
+        let err = Event::from_json_line(r#"{"ev":"mystery"}"#).unwrap_err();
+        assert!(err.contains("unknown event name"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let err = Event::from_json_line(r#"{"ev":"spot_evicted","t":5}"#).unwrap_err();
+        assert!(err.contains("job"), "{err}");
+    }
+
+    #[test]
+    fn timestamps_and_names_are_consistent() {
+        for ev in samples() {
+            match &ev {
+                Event::CellStarted { .. }
+                | Event::CellFinished { .. }
+                | Event::CacheHit { .. }
+                | Event::CacheMiss { .. } => assert_eq!(ev.timestamp(), None),
+                _ => assert!(ev.timestamp().is_some(), "{}", ev.name()),
+            }
+        }
+    }
+}

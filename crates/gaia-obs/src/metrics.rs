@@ -1,0 +1,289 @@
+//! Named monotonic counters and fixed-bucket histograms.
+//!
+//! The registry is shared across sweep workers, so all state is atomic
+//! and all accumulation is commutative: counters are plain atomic adds,
+//! and histogram sums are stored in fixed-point (milli-units) so the
+//! total is independent of observation order. That makes
+//! [`MetricsRegistry::snapshot_json`] byte-identical for any worker
+//! count — the same property `tests/determinism.rs` already enforces
+//! for the sweep's CSV artifacts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fixed-point scale for histogram sums: 1/1000 of a unit.
+const SUM_SCALE: f64 = 1000.0;
+
+/// A named monotonic counter handle; cheap to clone and thread-safe.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram handle; cheap to clone and thread-safe.
+///
+/// Buckets are non-cumulative: bucket `i` counts observations `v` with
+/// `bounds[i-1] < v <= bounds[i]`, plus one overflow bucket above the
+/// last bound. The sum is kept in fixed-point milli-units so concurrent
+/// observation order cannot perturb it.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_milli: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Negative and non-finite values clamp to
+    /// zero (they indicate upstream bugs, but metrics must not panic).
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let milli = (v * SUM_SCALE).round() as u64;
+        self.sum_milli.fetch_add(milli, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, reconstructed from fixed-point storage.
+    pub fn sum(&self) -> f64 {
+        self.sum_milli.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    /// Per-bucket counts, one entry per bound plus the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+/// Registry of named counters and histograms.
+///
+/// Handles are created on first use and shared afterwards; snapshots
+/// iterate names in sorted (BTreeMap) order for deterministic output.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter with this name.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().expect("metrics registry lock");
+        let cell = counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Get or create the histogram with this name.
+    ///
+    /// # Panics
+    /// If the name already exists with different bounds — that would
+    /// silently merge incompatible distributions.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().expect("metrics registry lock");
+        let hist = histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)));
+        assert_eq!(
+            hist.bounds(),
+            bounds,
+            "histogram {name:?} registered twice with different bounds"
+        );
+        Arc::clone(hist)
+    }
+
+    /// Snapshot every metric as a deterministic JSON document.
+    ///
+    /// Counters come first, then histograms, each sorted by name;
+    /// histogram buckets carry `"le"` upper bounds with `null` for the
+    /// overflow bucket.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.counters.lock().expect("metrics registry lock");
+        for (i, (name, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value.load(Ordering::Relaxed).to_string());
+        }
+        drop(counters);
+        out.push_str("\n  },\n  \"histograms\": {");
+        let histograms = self.histograms.lock().expect("metrics registry lock");
+        for (i, (name, hist)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(name);
+            out.push_str("\": {\"count\": ");
+            out.push_str(&hist.count().to_string());
+            out.push_str(", \"sum\": ");
+            out.push_str(&format!("{}", hist.sum()));
+            out.push_str(", \"buckets\": [");
+            let counts = hist.bucket_counts();
+            for (j, count) in counts.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"le\": ");
+                match hist.bounds().get(j) {
+                    Some(bound) => out.push_str(&format!("{bound}")),
+                    None => out.push_str("null"),
+                }
+                out.push_str(", \"count\": ");
+                out.push_str(&count.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        drop(histograms);
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("sweep.cells");
+        let b = reg.counter("sweep.cells");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("sweep.cells").get(), 3);
+        assert_eq!(reg.counter("sweep.other").get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wait_hours", &[1.0, 4.0, 12.0]);
+        h.observe(0.5); // bucket 0 (<= 1)
+        h.observe(1.0); // bucket 0 (<= 1, inclusive upper bound)
+        h.observe(2.0); // bucket 1
+        h.observe(100.0); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 0, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 103.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_clamps_pathological_values() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[1.0]);
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.bucket_counts(), vec![3, 0]);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_rebind_with_different_bounds_panics() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h", &[1.0]);
+        reg.histogram("h", &[2.0]);
+    }
+
+    #[test]
+    fn snapshot_is_order_independent() {
+        // Build the same metrics in two different observation orders and
+        // from multiple threads; snapshots must be byte-identical.
+        let build = |reverse: bool| {
+            let reg = Arc::new(MetricsRegistry::new());
+            let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+            let mut handles = Vec::new();
+            for chunk in values.chunks(25) {
+                let reg = Arc::clone(&reg);
+                let mut chunk = chunk.to_vec();
+                if reverse {
+                    chunk.reverse();
+                }
+                handles.push(std::thread::spawn(move || {
+                    let h = reg.histogram("v", &[5.0, 20.0]);
+                    let c = reg.counter("n");
+                    for v in chunk {
+                        h.observe(v);
+                        c.inc();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            reg.snapshot_json()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(7);
+        reg.histogram("b.hist", &[1.0]).observe(0.25);
+        let snap = reg.snapshot_json();
+        assert!(snap.contains("\"a.count\": 7"), "{snap}");
+        assert!(
+            snap.contains("\"b.hist\": {\"count\": 1, \"sum\": 0.25"),
+            "{snap}"
+        );
+        assert!(snap.contains("{\"le\": null, \"count\": 0}"), "{snap}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! [`Sink`] is statically dispatched — the engine is generic over `S:
+//! Sink` — and carries an associated `const ACTIVE`. Instrumentation
+//! sites guard both event construction and emission with
+//! `if S::ACTIVE { ... }`, so for [`NullSink`] (`ACTIVE = false`) the
+//! whole block is a compile-time-dead branch and the traced engine
+//! monomorphizes to the same machine code as an uninstrumented one.
+//! `crates/bench/benches/obs_overhead.rs` holds that claim to ≤2%.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Destination for structured events.
+///
+/// Implementors receive every event an instrumented component emits.
+/// The associated [`Sink::ACTIVE`] constant lets instrumentation sites
+/// skip event *construction* (not just delivery) when tracing is off.
+pub trait Sink {
+    /// Whether instrumentation sites should construct and emit events.
+    /// Leave at the default `true` for every real sink; only
+    /// [`NullSink`] turns it off.
+    const ACTIVE: bool = true;
+
+    /// Deliver one event.
+    fn emit(&mut self, event: &Event);
+}
+
+/// The disabled sink: all instrumentation compiles out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Collects events in memory; for tests and in-process analysis.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events emitted so far, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume the sink, returning the collected events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Sink for VecSink {
+    fn emit(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Counts events per kind without storing them; for overhead benches
+/// and cheap sanity checks.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    total: u64,
+    job_submitted: u64,
+    plan_chosen: u64,
+    segment_started: u64,
+    segment_finished: u64,
+    spot_evicted: u64,
+    job_completed: u64,
+    other: u64,
+}
+
+impl CountingSink {
+    /// New zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one event kind by its stable name; kinds this sink does
+    /// not track individually are pooled under `"other"`.
+    pub fn count(&self, name: &str) -> u64 {
+        match name {
+            "job_submitted" => self.job_submitted,
+            "plan_chosen" => self.plan_chosen,
+            "segment_started" => self.segment_started,
+            "segment_finished" => self.segment_finished,
+            "spot_evicted" => self.spot_evicted,
+            "job_completed" => self.job_completed,
+            "other" => self.other,
+            _ => 0,
+        }
+    }
+}
+
+impl Sink for CountingSink {
+    fn emit(&mut self, event: &Event) {
+        self.total += 1;
+        match event {
+            Event::JobSubmitted { .. } => self.job_submitted += 1,
+            Event::PlanChosen { .. } => self.plan_chosen += 1,
+            Event::SegmentStarted { .. } => self.segment_started += 1,
+            Event::SegmentFinished { .. } => self.segment_finished += 1,
+            Event::SpotEvicted { .. } => self.spot_evicted += 1,
+            Event::JobCompleted { .. } => self.job_completed += 1,
+            _ => self.other += 1,
+        }
+    }
+}
+
+/// Writes one JSON object per line to a [`Write`] destination.
+///
+/// I/O errors are sticky: the first error is stored and later emits are
+/// dropped, so the hot path never panics. Call [`JsonlSink::finish`] to
+/// flush and surface any stored error.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer. For files, pass a `BufWriter` — emits are one
+    /// small write per event.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the inner writer, or the first emit/flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json_line();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+}
+
+/// Object-safe subset of [`Sink`] for dynamic dispatch.
+///
+/// `Sink` itself is not object-safe (it has an associated const), so
+/// shared multi-writer scenarios use this subtrait; every `Sink` is an
+/// `EmitSink` via the blanket impl.
+pub trait EmitSink {
+    /// Deliver one event.
+    fn emit_event(&mut self, event: &Event);
+}
+
+impl<S: Sink> EmitSink for S {
+    fn emit_event(&mut self, event: &Event) {
+        self.emit(event);
+    }
+}
+
+/// A cloneable, thread-safe handle to one shared sink.
+///
+/// Used for coarse-grained streams written from several threads (the
+/// sweep-level `CellStarted`/`CellFinished`/cache events); hot per-cell
+/// simulation streams keep their own private statically-dispatched sink
+/// instead, so this mutex is never on the simulation fast path.
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<dyn EmitSink + Send>>,
+}
+
+impl SharedSink {
+    /// Share a sink between threads.
+    pub fn new<S: Sink + Send + 'static>(sink: S) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+}
+
+impl Sink for SharedSink {
+    fn emit(&mut self, event: &Event) {
+        // A panic while holding the lock only loses buffered telemetry,
+        // so recover the guard instead of propagating the poison.
+        let mut guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.emit_event(event);
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSink").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PoolKind;
+
+    fn sample() -> Event {
+        Event::SegmentStarted {
+            t: 60,
+            job: 1,
+            seg: 0,
+            pool: PoolKind::Spot,
+        }
+    }
+
+    #[test]
+    // Asserting the consts is the point: ACTIVE drives the compile-out.
+    #[allow(clippy::assertions_on_constants)]
+    fn null_sink_is_inactive() {
+        assert!(!NullSink::ACTIVE);
+        assert!(VecSink::ACTIVE);
+        NullSink.emit(&sample());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        sink.emit(&sample());
+        sink.emit(&Event::SpotEvicted { t: 90, job: 1 });
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.events()[1], Event::SpotEvicted { t: 90, job: 1 });
+    }
+
+    #[test]
+    fn counting_sink_counts_by_kind() {
+        let mut sink = CountingSink::new();
+        sink.emit(&sample());
+        sink.emit(&sample());
+        sink.emit(&Event::SpotEvicted { t: 90, job: 1 });
+        sink.emit(&Event::CacheHit {
+            kind: crate::event::CacheKind::Carbon,
+            key: "k".into(),
+        });
+        assert_eq!(sink.total(), 4);
+        assert_eq!(sink.count("segment_started"), 2);
+        assert_eq!(sink.count("spot_evicted"), 1);
+        assert_eq!(sink.count("other"), 1);
+        assert_eq!(sink.count("job_completed"), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines_and_finishes() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample());
+        sink.emit(&Event::SpotEvicted { t: 90, job: 1 });
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.finish().expect("no io errors on Vec");
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(Event::from_json_line(lines[0]).unwrap(), sample());
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        #[derive(Debug)]
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.emit(&sample());
+        sink.emit(&sample()); // dropped after the first error
+        assert_eq!(sink.written(), 0);
+        let err = sink.finish().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn shared_sink_fans_in_from_clones() {
+        let shared = SharedSink::new(CountingSink::new());
+        let mut a = shared.clone();
+        let mut b = shared;
+        let handle = std::thread::spawn(move || {
+            for _ in 0..10 {
+                a.emit(&Event::SpotEvicted { t: 1, job: 0 });
+            }
+        });
+        for _ in 0..5 {
+            b.emit(&Event::SpotEvicted { t: 2, job: 1 });
+        }
+        handle.join().unwrap();
+        // Read back through the trait object.
+        let guard = b.inner.lock().unwrap_or_else(|p| p.into_inner());
+        drop(guard); // count checked via a fresh VecSink-based test below
+    }
+
+    #[test]
+    fn shared_sink_delivers_all_events() {
+        // VecSink behind the shared handle, checked by draining.
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        struct Probe(Arc<Mutex<VecSink>>);
+        impl Sink for Probe {
+            fn emit(&mut self, event: &Event) {
+                self.0.lock().unwrap().emit(event);
+            }
+        }
+        let shared = SharedSink::new(Probe(Arc::clone(&sink)));
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let mut s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    s.emit(&Event::SpotEvicted { t: i, job: worker });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.lock().unwrap().events().len(), 100);
+    }
+}

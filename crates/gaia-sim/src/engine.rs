@@ -22,6 +22,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
 use gaia_carbon::{CarbonForecaster, CarbonTrace, ForecastView, PerfectForecaster};
+use gaia_obs::{Event as ObsEvent, NullSink, PlanMode, PoolKind, Profiler, Sink};
 use gaia_time::{Minutes, SimTime, MINUTES_PER_DAY};
 use gaia_workload::{Job, WorkloadTrace};
 
@@ -63,6 +64,7 @@ pub struct Simulation<'a> {
     config: ClusterConfig,
     carbon: &'a CarbonTrace,
     forecaster: Option<&'a dyn CarbonForecaster>,
+    profiler: Option<&'a Profiler>,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -85,6 +87,7 @@ impl<'a> Simulation<'a> {
             config,
             carbon,
             forecaster: None,
+            profiler: None,
         }
     }
 
@@ -92,6 +95,14 @@ impl<'a> Simulation<'a> {
     /// the true trace).
     pub fn with_forecaster(mut self, forecaster: &'a dyn CarbonForecaster) -> Self {
         self.forecaster = Some(forecaster);
+        self
+    }
+
+    /// Records per-phase wall-clock timings (plan computation, event
+    /// loop) into `profiler` during runs. Profiling output is
+    /// non-deterministic; simulation results are unaffected.
+    pub fn with_profiler(mut self, profiler: &'a Profiler) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -123,6 +134,30 @@ impl<'a> Simulation<'a> {
         trace: &WorkloadTrace,
         scheduler: &mut dyn Scheduler,
     ) -> Result<SimReport, SimError> {
+        self.try_run_traced(trace, scheduler, &mut NullSink)
+    }
+
+    /// Like [`Simulation::try_run`], but emits typed lifecycle events
+    /// ([`gaia_obs::Event`]) into `sink` as the simulation progresses.
+    ///
+    /// The sink is statically dispatched: with [`NullSink`] every
+    /// instrumentation site compiles out (`Sink::ACTIVE == false`) and
+    /// this is exactly [`Simulation::try_run`]. Event timestamps are
+    /// simulated minutes, so the stream is deterministic — a given
+    /// (config, trace, policy) triple serializes byte-identically on
+    /// every run.
+    // One out-of-line copy per sink type: the engine runs for
+    // milliseconds, so caller-side inlining buys nothing, and a single
+    // copy keeps the NullSink path byte-identical between the untraced
+    // entry points and explicit `try_run_traced(.., &mut NullSink)`
+    // callers (which the obs_overhead bench relies on).
+    #[inline(never)]
+    pub fn try_run_traced<S: Sink>(
+        &self,
+        trace: &WorkloadTrace,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut S,
+    ) -> Result<SimReport, SimError> {
         let perfect;
         let forecaster: &dyn CarbonForecaster = match self.forecaster {
             Some(f) => f,
@@ -153,6 +188,8 @@ impl<'a> Simulation<'a> {
             elastic_busy: 0,
             cap_queue: std::collections::VecDeque::new(),
             tick_scheduled: false,
+            sink,
+            profiler: self.profiler,
         };
         engine.run(scheduler)?;
         Ok(engine.into_report(trace))
@@ -248,9 +285,22 @@ struct JobAccum {
     /// Useful work still to be done; shrinks below the job length only
     /// when checkpointing banks partial progress across evictions.
     remaining: Minutes,
+    /// Segment ordinal for trace events: counts every execution start of
+    /// this job (plan segments and post-eviction retries alike). Only
+    /// maintained when the sink is active.
+    starts: u32,
 }
 
-struct Engine<'e> {
+/// Maps the accounting purchase option onto its trace-event pool name.
+fn pool_kind(option: PurchaseOption) -> PoolKind {
+    match option {
+        PurchaseOption::Reserved => PoolKind::Reserved,
+        PurchaseOption::OnDemand => PoolKind::OnDemand,
+        PurchaseOption::Spot => PoolKind::Spot,
+    }
+}
+
+struct Engine<'e, S: Sink> {
     config: &'e ClusterConfig,
     carbon: &'e CarbonTrace,
     forecaster: &'e dyn CarbonForecaster,
@@ -271,6 +321,11 @@ struct Engine<'e> {
     cap_queue: std::collections::VecDeque<CapBlocked>,
     /// Whether a CapTick event is already pending.
     tick_scheduled: bool,
+    /// Destination for lifecycle trace events; instrumentation sites are
+    /// compile-time-dead when `S::ACTIVE` is false.
+    sink: &'e mut S,
+    /// Optional wall-clock phase timings (non-deterministic).
+    profiler: Option<&'e Profiler>,
 }
 
 /// A unit of work blocked by the capacity cap, retried FIFO as capacity
@@ -283,7 +338,7 @@ enum CapBlocked {
     Segment { idx: usize, seg_idx: usize },
 }
 
-impl Engine<'_> {
+impl<S: Sink> Engine<'_, S> {
     fn push(&mut self, time: SimTime, job: u32, kind: EventKind) {
         self.seq += 1;
         self.heap.push(Event {
@@ -299,6 +354,7 @@ impl Engine<'_> {
         for job in self.jobs {
             self.push(job.arrival, job.id.0 as u32, EventKind::Arrival);
         }
+        let _event_loop = self.profiler.map(|p| p.phase("event_loop"));
         while let Some(event) = self.heap.pop() {
             self.dispatch(event, scheduler)?;
         }
@@ -398,13 +454,24 @@ impl Engine<'_> {
         scheduler: &mut dyn Scheduler,
     ) -> Result<(), SimError> {
         let job = self.jobs[idx];
+        if S::ACTIVE {
+            self.sink.emit(&ObsEvent::JobSubmitted {
+                t: now.as_minutes(),
+                job: idx as u64,
+                cpus: u64::from(job.cpus),
+                len: job.length.as_minutes(),
+            });
+        }
         let ctx = SchedulerContext {
             now,
             forecast: ForecastView::new(self.forecaster, now),
             reserved_free: self.pool.free(),
             reserved_capacity: self.pool.capacity(),
         };
-        let decision = scheduler.on_arrival(&job, &ctx);
+        let decision = {
+            let _plan = self.profiler.map(|p| p.phase("plan"));
+            scheduler.on_arrival(&job, &ctx)
+        };
         if decision.planned_start() < job.arrival {
             return Err(PolicyError::StartBeforeArrival {
                 job: job.id,
@@ -422,6 +489,9 @@ impl Engine<'_> {
                 }
                 .into());
             }
+            if S::ACTIVE {
+                self.emit_plan_chosen(idx, now, &decision);
+            }
             for (seg_idx, (start, _)) in plan.segments.iter().enumerate() {
                 self.push(*start, idx as u32, EventKind::SegmentStart(seg_idx));
             }
@@ -429,6 +499,9 @@ impl Engine<'_> {
             // Stash the decision for spot lookups during segment starts.
             self.plan_decisions[idx] = Some(decision);
             return Ok(());
+        }
+        if S::ACTIVE {
+            self.emit_plan_chosen(idx, now, &decision);
         }
         let planned = decision.planned_start();
         let opportunistic = decision.is_opportunistic();
@@ -514,6 +587,16 @@ impl Engine<'_> {
             start: now,
             span,
         };
+        if S::ACTIVE {
+            let seg = self.accum[idx].starts;
+            self.accum[idx].starts += 1;
+            self.sink.emit(&ObsEvent::SegmentStarted {
+                t: now.as_minutes(),
+                job: idx as u64,
+                seg,
+                pool: pool_kind(option),
+            });
+        }
         if option != PurchaseOption::Reserved {
             self.elastic_busy += job.cpus;
         }
@@ -548,9 +631,15 @@ impl Engine<'_> {
         }
         // Elastic instances bill their wind-down after execution ends.
         self.record_segment(idx, start, now + self.teardown_for(option), option, true);
+        if S::ACTIVE {
+            self.emit_segment_finished(idx, now, option, true);
+        }
         self.states[idx] = JobState::Done;
         self.accum[idx].finish = now;
         self.accum[idx].remaining = Minutes::ZERO;
+        if S::ACTIVE {
+            self.emit_job_completed(idx, now);
+        }
         if option == PurchaseOption::Reserved {
             self.pool.release(self.jobs[idx].cpus);
             self.wake_waiters(now);
@@ -575,6 +664,13 @@ impl Engine<'_> {
                     .map(|cp| cp.banked_work(worked, self.accum[idx].remaining))
                     .unwrap_or(Minutes::ZERO);
                 self.record_segment(idx, start, now, option, !banked.is_zero());
+                if S::ACTIVE {
+                    self.emit_segment_finished(idx, now, option, !banked.is_zero());
+                    self.sink.emit(&ObsEvent::SpotEvicted {
+                        t: now.as_minutes(),
+                        job: idx as u64,
+                    });
+                }
                 self.elastic_busy -= self.jobs[idx].cpus;
                 self.accum[idx].remaining -= banked;
                 self.accum[idx].evictions += 1;
@@ -606,16 +702,29 @@ impl Engine<'_> {
                 // only).
                 if let Some((_, option, start, _)) = running {
                     self.record_segment(idx, start, now, option, false);
+                    if S::ACTIVE {
+                        self.emit_segment_finished(idx, now, option, false);
+                    }
                     if option == PurchaseOption::Reserved {
                         self.pool.release(self.jobs[idx].cpus);
                     } else {
                         self.elastic_busy -= self.jobs[idx].cpus;
                     }
                 }
+                // Earlier segments of the abandoned plan were traced with
+                // `useful: true` — a stream cannot be rewritten, so
+                // `SegmentFinished.useful` reflects knowledge at finish
+                // time; the accounting records below stay authoritative.
                 for segment in &mut self.accum[idx].segments {
                     segment.useful = false;
                 }
                 self.accum[idx].evictions += 1;
+                if S::ACTIVE {
+                    self.sink.emit(&ObsEvent::SpotEvicted {
+                        t: now.as_minutes(),
+                        job: idx as u64,
+                    });
+                }
             }
             _ => return Ok(()), // stale
         }
@@ -675,6 +784,16 @@ impl Engine<'_> {
             return Ok(());
         }
         self.accum[idx].first_start.get_or_insert(now);
+        if S::ACTIVE {
+            let seg = self.accum[idx].starts;
+            self.accum[idx].starts += 1;
+            self.sink.emit(&ObsEvent::SegmentStarted {
+                t: now.as_minutes(),
+                job: idx as u64,
+                seg,
+                pool: pool_kind(option),
+            });
+        }
         if option != PurchaseOption::Reserved {
             self.elastic_busy += job.cpus;
         }
@@ -715,6 +834,9 @@ impl Engine<'_> {
             return Ok(()); // stale
         }
         self.record_segment(idx, start, now + self.teardown_for(option), option, true);
+        if S::ACTIVE {
+            self.emit_segment_finished(idx, now, option, true);
+        }
         if option == PurchaseOption::Reserved {
             self.pool.release(self.jobs[idx].cpus);
         } else {
@@ -733,6 +855,9 @@ impl Engine<'_> {
         if seg_idx + 1 == plan_len {
             self.states[idx] = JobState::Done;
             self.accum[idx].finish = now;
+            if S::ACTIVE {
+                self.emit_job_completed(idx, now);
+            }
         } else {
             self.states[idx] = JobState::InPlan { running: None };
         }
@@ -767,6 +892,97 @@ impl Engine<'_> {
                 self.begin_run(idx, now, PurchaseOption::Reserved);
             }
         }
+    }
+
+    /// Emits [`ObsEvent::PlanChosen`] with forecast carbon/cost estimates
+    /// for the planned spans. The cost estimate assumes the elastic
+    /// option the plan targets (spot if the plan uses spot, on-demand
+    /// otherwise); the engine may later place work on reserved capacity
+    /// instead, so this is a planning-time estimate, not billing. Only
+    /// called when `S::ACTIVE`.
+    fn emit_plan_chosen(&mut self, idx: usize, now: SimTime, decision: &Decision) {
+        let job = self.jobs[idx];
+        let option = if decision.uses_spot() {
+            PurchaseOption::Spot
+        } else {
+            PurchaseOption::OnDemand
+        };
+        let mut est_carbon_g = 0.0;
+        let mut est_cost = 0.0;
+        {
+            let mut add_span = |start: SimTime, end: SimTime| {
+                est_carbon_g +=
+                    segment_carbon(self.carbon, &self.config.energy, job.cpus, start, end);
+                est_cost += segment_cost(&self.config.pricing, option, job.cpus, start, end);
+            };
+            match decision.segments() {
+                Some(plan) => {
+                    for &(start, len) in &plan.segments {
+                        add_span(start, start + len);
+                    }
+                }
+                None => {
+                    let start = decision.planned_start().max(now);
+                    add_span(start, start + job.length);
+                }
+            }
+        }
+        let (mode, segs) = match decision.segments() {
+            Some(plan) => (PlanMode::Segments, plan.segments.len() as u32),
+            None => (PlanMode::Once, 1),
+        };
+        self.sink.emit(&ObsEvent::PlanChosen {
+            t: now.as_minutes(),
+            job: idx as u64,
+            mode,
+            start: decision.planned_start().max(now).as_minutes(),
+            segs,
+            opportunistic: decision.is_opportunistic(),
+            spot: decision.uses_spot(),
+            est_carbon_g,
+            est_cost,
+        });
+    }
+
+    /// Emits [`ObsEvent::SegmentFinished`] for the job's most recently
+    /// started segment. Only called when `S::ACTIVE`, and only while the
+    /// job has an open segment (so `starts >= 1`).
+    fn emit_segment_finished(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        option: PurchaseOption,
+        useful: bool,
+    ) {
+        let seg = self.accum[idx].starts.saturating_sub(1);
+        self.sink.emit(&ObsEvent::SegmentFinished {
+            t: now.as_minutes(),
+            job: idx as u64,
+            seg,
+            pool: pool_kind(option),
+            useful,
+        });
+    }
+
+    /// Emits [`ObsEvent::JobCompleted`] using the same waiting-time
+    /// formula as [`Engine::into_report`], so summarized traces agree
+    /// with `SimReport` totals exactly. Only called when `S::ACTIVE`.
+    fn emit_job_completed(&mut self, idx: usize, now: SimTime) {
+        let job = self.jobs[idx];
+        let completion = now.saturating_since(job.arrival);
+        let wait = completion.saturating_sub(job.length);
+        let len = job.length.as_minutes();
+        let stretch = if len == 0 {
+            1.0
+        } else {
+            completion.as_minutes() as f64 / len as f64
+        };
+        self.sink.emit(&ObsEvent::JobCompleted {
+            t: now.as_minutes(),
+            job: idx as u64,
+            wait: wait.as_minutes(),
+            stretch,
+        });
     }
 
     fn record_segment(

@@ -62,7 +62,13 @@ pub use config::{
 };
 pub use engine::{Scheduler, SchedulerContext, Simulation};
 pub use error::{PolicyError, SimError};
+// Observability: re-exported so engine callers can trace and profile
+// runs ([`Simulation::try_run_traced`], [`Simulation::with_profiler`])
+// without naming gaia-obs directly.
 pub use eviction::EvictionModel;
+pub use gaia_obs::{
+    Event as TraceEvent, JsonlSink, NullSink, Profiler, Sink, TraceSummary, VecSink,
+};
 pub use plan::{Decision, PurchaseOption, SegmentPlan};
 pub use pool::ReservedPool;
 pub use report::{AllocationTimeline, SimReport};

@@ -18,19 +18,23 @@ use std::sync::Arc;
 
 use gaia_carbon::synth::synthesize_region;
 use gaia_carbon::{CarbonTrace, Region};
+use gaia_obs::{CacheKind, Event, Profiler, SharedSink, Sink};
 use gaia_workload::synth::TraceFamily;
 use gaia_workload::WorkloadTrace;
 use parking_lot::RwLock;
 
 use crate::grid::ScaleSpec;
 
-/// Cache hit/miss counters, reported in the run manifest.
+/// Cache hit/miss/size counters, reported in the run manifest and the
+/// sweep metrics registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: usize,
     /// Lookups that generated a new trace.
     pub misses: usize,
+    /// Traces currently resident (carbon + workload maps).
+    pub entries: usize,
 }
 
 /// Shared, thread-safe memoization of carbon and workload traces.
@@ -40,6 +44,11 @@ pub struct TraceCache {
     workload: RwLock<HashMap<(TraceFamily, ScaleSpec, u64), Arc<WorkloadTrace>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Optional observability taps: lookup events and generation-phase
+    /// timings. Both are telemetry only — cache behaviour (and thus
+    /// every simulation result) is identical with or without them.
+    sink: Option<SharedSink>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl TraceCache {
@@ -48,22 +57,58 @@ impl TraceCache {
         TraceCache::default()
     }
 
+    /// Emits a [`Event::CacheHit`]/[`Event::CacheMiss`] per lookup into
+    /// `sink`. Lookup *order* across worker threads is scheduling-
+    /// dependent, so this stream is not part of the determinism
+    /// contract (the counters in [`TraceCache::stats`] are).
+    pub fn with_sink(mut self, sink: SharedSink) -> TraceCache {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Records trace-generation time under the `trace_gen` phase.
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> TraceCache {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    fn observe(&self, hit: bool, kind: CacheKind, key: impl FnOnce() -> String) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(sink) = &self.sink {
+            let key = key();
+            let event = if hit {
+                Event::CacheHit { kind, key }
+            } else {
+                Event::CacheMiss { kind, key }
+            };
+            sink.clone().emit(&event);
+        }
+    }
+
     /// The year-long carbon trace for `(region, seed)`, synthesized on
     /// first use.
     pub fn carbon(&self, region: Region, seed: u64) -> Arc<CarbonTrace> {
+        let key = || format!("{}/s{seed}", region.code());
         if let Some(trace) = self.carbon.read().get(&(region, seed)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.observe(true, CacheKind::Carbon, key);
             return Arc::clone(trace);
         }
         let mut map = self.carbon.write();
         // Re-check: another worker may have filled the slot while we
         // waited for the write lock.
         if let Some(trace) = map.get(&(region, seed)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.observe(true, CacheKind::Carbon, key);
             return Arc::clone(trace);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let trace = Arc::new(synthesize_region(region, seed));
+        self.observe(false, CacheKind::Carbon, key);
+        let trace = {
+            let _gen = self.profiler.as_deref().map(|p| p.phase("trace_gen"));
+            Arc::new(synthesize_region(region, seed))
+        };
         map.insert((region, seed), Arc::clone(&trace));
         trace
     }
@@ -71,30 +116,40 @@ impl TraceCache {
     /// The workload trace for `(family, scale, seed)`, synthesized on
     /// first use.
     pub fn workload(&self, family: TraceFamily, scale: ScaleSpec, seed: u64) -> Arc<WorkloadTrace> {
+        let key = || format!("{}/{}/s{seed}", family.name(), scale.token());
         if let Some(trace) = self.workload.read().get(&(family, scale, seed)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.observe(true, CacheKind::Workload, key);
             return Arc::clone(trace);
         }
         let mut map = self.workload.write();
         if let Some(trace) = map.get(&(family, scale, seed)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.observe(true, CacheKind::Workload, key);
             return Arc::clone(trace);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let trace = Arc::new(match scale {
-            ScaleSpec::Week => family.week_long_1k(seed),
-            ScaleSpec::Year { jobs } => family.year_long(jobs, seed),
-        });
+        self.observe(false, CacheKind::Workload, key);
+        let trace = {
+            let _gen = self.profiler.as_deref().map(|p| p.phase("trace_gen"));
+            Arc::new(match scale {
+                ScaleSpec::Week => family.week_long_1k(seed),
+                ScaleSpec::Year { jobs } => family.year_long(jobs, seed),
+            })
+        };
         map.insert((family, scale, seed), Arc::clone(&trace));
         trace
     }
 
-    /// Hit/miss counters accumulated so far.
+    /// Hit/miss/entry counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries(),
         }
+    }
+
+    /// Traces currently resident (carbon + workload).
+    pub fn entries(&self) -> usize {
+        self.carbon.read().len() + self.workload.read().len()
     }
 }
 
@@ -108,7 +163,14 @@ mod tests {
         let a = cache.carbon(Region::SouthAustralia, 1);
         let b = cache.carbon(Region::SouthAustralia, 1);
         assert!(Arc::ptr_eq(&a, &b), "second lookup shares the first trace");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
     }
 
     #[test]
@@ -131,6 +193,41 @@ mod tests {
         assert!(Arc::ptr_eq(&week, &again));
         assert!(!Arc::ptr_eq(&week, &other_seed));
         assert_eq!(week.len(), 1000);
+    }
+
+    #[test]
+    fn sink_observes_lookups_and_entries_track_residency() {
+        use gaia_obs::VecSink;
+        let store = Arc::new(std::sync::Mutex::new(VecSink::new()));
+        struct Probe(Arc<std::sync::Mutex<VecSink>>);
+        impl Sink for Probe {
+            fn emit(&mut self, event: &Event) {
+                self.0.lock().unwrap().emit(event);
+            }
+        }
+        let cache = TraceCache::new().with_sink(SharedSink::new(Probe(Arc::clone(&store))));
+        cache.carbon(Region::SouthAustralia, 1);
+        cache.carbon(Region::SouthAustralia, 1);
+        cache.workload(TraceFamily::AlibabaPai, ScaleSpec::Week, 42);
+        assert_eq!(cache.entries(), 2, "one carbon + one workload trace");
+        let events = store.lock().unwrap().events().to_vec();
+        assert_eq!(
+            events,
+            vec![
+                Event::CacheMiss {
+                    kind: CacheKind::Carbon,
+                    key: "SA-AU/s1".to_owned(),
+                },
+                Event::CacheHit {
+                    kind: CacheKind::Carbon,
+                    key: "SA-AU/s1".to_owned(),
+                },
+                Event::CacheMiss {
+                    kind: CacheKind::Workload,
+                    key: "Alibaba/week/s42".to_owned(),
+                },
+            ]
+        );
     }
 
     #[test]

@@ -170,7 +170,9 @@ impl Progress {
             completed: 0,
             start: Instant::now(),
             last_print: None,
-            enabled,
+            // The meter is info-level chatter: GAIA_LOG=warn (or error)
+            // silences it without touching the Executor configuration.
+            enabled: enabled && gaia_obs::log::enabled(gaia_obs::log::Level::Info),
         }
     }
 

@@ -17,7 +17,11 @@
 //! * [`ResultStore`] — run manifests plus per-scenario and aggregate
 //!   CSV/JSON artifacts under `results/` ([`store`]);
 //! * [`across_seed_groups`] — deterministic across-seed aggregation
-//!   ([`agg`]).
+//!   ([`agg`]);
+//! * [`ObsHooks`] / [`run_grid_observed`] — opt-in observability taps:
+//!   per-cell JSONL event traces, a [`gaia_obs::MetricsRegistry`], phase
+//!   profiling, and a sweep-lifecycle stream, none of which change
+//!   simulation outcomes.
 //!
 //! The determinism contract is load-bearing: per-cell simulation is
 //! single-threaded and fully seed-driven, so parallelism only changes
@@ -52,6 +56,7 @@ pub mod exec;
 pub mod grid;
 pub mod store;
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 pub use agg::{across_seed_groups, group_key, GroupSummary};
@@ -66,7 +71,8 @@ pub use gaia_carbon::Region;
 pub use gaia_core::catalog::PolicySpec;
 pub use gaia_workload::synth::TraceFamily;
 
-use gaia_metrics::{runner, Summary};
+use gaia_metrics::{observe, runner, Summary};
+use gaia_obs::{Event, JsonlSink, MetricsRegistry, NullSink, Profiler, SharedSink, Sink};
 use gaia_sim::AuditReport;
 
 /// How one scenario cell ended.
@@ -218,21 +224,49 @@ pub fn run_scenario(scenario: &Scenario, cache: &TraceCache) -> Summary {
 /// and — when `audit` is set — the invariant-audit report of the run.
 /// Fully deterministic in the scenario's seed.
 pub fn run_cell(scenario: &Scenario, cache: &TraceCache, audit: bool) -> CellOutcome {
+    run_cell_traced(scenario, cache, audit, &mut NullSink, None, None)
+}
+
+/// [`run_cell`] with observability taps: lifecycle events into `sink`,
+/// per-job metrics into `metrics`, and phase timings into `profiler`.
+///
+/// With [`NullSink`] and both options `None` this is exactly
+/// [`run_cell`] — the instrumentation compiles out, and neither metrics
+/// nor profiling can change the outcome, so the determinism contract is
+/// unaffected.
+pub fn run_cell_traced<S: Sink>(
+    scenario: &Scenario,
+    cache: &TraceCache,
+    audit: bool,
+    sink: &mut S,
+    metrics: Option<&MetricsRegistry>,
+    profiler: Option<&Profiler>,
+) -> CellOutcome {
     let carbon = cache.carbon(scenario.region, scenario.seed);
     let workload = cache.workload(scenario.family, scenario.scale, scenario.seed);
     let queues = scenario.queues.build(&workload);
     let config = scenario.cluster.build(scenario.seed);
-    match runner::try_run_spec_report_with_queues(
+    match runner::try_run_spec_report_traced_with_queues(
         scenario.policy,
         &workload,
         &carbon,
         config,
         queues,
+        sink,
+        profiler,
     ) {
-        Ok(report) => CellOutcome::Completed {
-            summary: Summary::of(scenario.policy.name(), &report),
-            audit: audit.then(|| gaia_sim::audit_report(&report, &config, &carbon)),
-        },
+        Ok(report) => {
+            if let Some(registry) = metrics {
+                observe::observe_report(registry, &report);
+            }
+            CellOutcome::Completed {
+                summary: Summary::of(scenario.policy.name(), &report),
+                audit: audit.then(|| {
+                    let _audit = profiler.map(|p| p.phase("audit"));
+                    gaia_sim::audit_report(&report, &config, &carbon)
+                }),
+            }
+        }
         Err(error) => CellOutcome::Failed {
             error: error.to_string(),
         },
@@ -247,14 +281,65 @@ pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
 /// Sweeps `grid` on `executor`, sharing `cache` (useful when several
 /// grids over the same traces run back to back). Audit off.
 pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_inner(grid, executor, cache, false)
+    run_grid_inner(grid, executor, cache, false, None)
 }
 
 /// Sweeps `grid` with the invariant audit enabled: every completed cell
 /// carries an [`AuditReport`] and failed cells are isolated instead of
 /// aborting the process. This is what `gaia sweep` runs by default.
 pub fn run_grid_audited(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_inner(grid, executor, cache, true)
+    run_grid_inner(grid, executor, cache, true, None)
+}
+
+/// Observability taps for [`run_grid_observed`]. All fields default to
+/// off; each can be enabled independently.
+#[derive(Default)]
+pub struct ObsHooks<'o> {
+    /// Per-job counters/histograms recorded per completed cell, plus
+    /// sweep-level cache and cell counters. Atomic and commutative, so
+    /// snapshots are byte-identical for any worker count.
+    pub metrics: Option<&'o MetricsRegistry>,
+    /// Phase timers (`trace_gen` via the cache's own profiler, `plan`,
+    /// `event_loop`, `audit`). Wall-clock; reporting only.
+    pub profiler: Option<&'o Profiler>,
+    /// Write one `<cell key>.jsonl` event stream per cell into this
+    /// directory (created if missing; `/` in keys becomes `_`). Each
+    /// file is deterministic in the cell's scenario.
+    pub trace_dir: Option<&'o Path>,
+    /// Coarse sweep-lifecycle stream (`CellStarted`/`CellFinished`).
+    /// Ordering across workers is scheduling-dependent — a progress
+    /// feed, not a deterministic artifact.
+    pub sweep_sink: Option<SharedSink>,
+}
+
+impl ObsHooks<'_> {
+    /// The per-cell trace file name for `key` (`/` → `_`, plus `.jsonl`).
+    ///
+    /// Unambiguous for grid keys: every [`Scenario::key`] component is
+    /// `/`-separated and `_`-free.
+    pub fn trace_file_name(key: &str) -> String {
+        format!("{}.jsonl", key.replace('/', "_"))
+    }
+}
+
+/// [`run_grid_audited`] with observability taps — per-cell trace files,
+/// a metrics registry, phase profiling, and a sweep-lifecycle stream.
+///
+/// Simulation outcomes are identical to the untraced run; the taps only
+/// add telemetry. Returns an error only for trace-directory creation;
+/// per-cell trace write failures are logged (`GAIA_LOG`) and counted
+/// under the `obs.trace_write_errors` metric instead of failing cells.
+pub fn run_grid_observed(
+    grid: &SweepGrid,
+    executor: &Executor,
+    cache: &TraceCache,
+    audit: bool,
+    hooks: &ObsHooks<'_>,
+) -> std::io::Result<SweepRun> {
+    if let Some(dir) = hooks.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    Ok(run_grid_inner(grid, executor, cache, audit, Some(hooks)))
 }
 
 fn run_grid_inner(
@@ -262,25 +347,85 @@ fn run_grid_inner(
     executor: &Executor,
     cache: &TraceCache,
     audit: bool,
+    hooks: Option<&ObsHooks<'_>>,
 ) -> SweepRun {
     let start_stats = cache.stats();
     let start = Instant::now();
     let cells = grid.scenarios();
-    let results = executor.run("grid", cells, |_, scenario| ScenarioResult {
-        scenario: *scenario,
-        key: scenario.key(),
-        outcome: run_cell(scenario, cache, audit),
+    let results = executor.run("grid", cells, |index, scenario| {
+        let key = scenario.key();
+        let (metrics, profiler) = match hooks {
+            Some(hooks) => (hooks.metrics, hooks.profiler),
+            None => (None, None),
+        };
+        if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
+            sink.clone().emit(&Event::CellStarted {
+                idx: index as u64,
+                key: key.clone(),
+            });
+        }
+        let cell_start = Instant::now();
+        let outcome = match hooks.and_then(|h| h.trace_dir) {
+            Some(dir) => {
+                let mut sink = JsonlSink::new(Vec::new());
+                let outcome = run_cell_traced(scenario, cache, audit, &mut sink, metrics, profiler);
+                // Vec<u8> writes are infallible; finish only flushes.
+                let bytes = sink.finish().unwrap_or_default();
+                let path = dir.join(ObsHooks::trace_file_name(&key));
+                if let Err(error) = std::fs::write(&path, bytes) {
+                    gaia_obs::warn!("failed to write trace {}: {error}", path.display());
+                    if let Some(registry) = metrics {
+                        registry.counter("obs.trace_write_errors").inc();
+                    }
+                }
+                outcome
+            }
+            None => run_cell_traced(scenario, cache, audit, &mut NullSink, metrics, profiler),
+        };
+        if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
+            sink.clone().emit(&Event::CellFinished {
+                idx: index as u64,
+                key: key.clone(),
+                status: match &outcome {
+                    CellOutcome::Completed { .. } => "completed".to_owned(),
+                    CellOutcome::Failed { .. } => "failed".to_owned(),
+                },
+                queue_wait_s: cell_start.duration_since(start).as_secs_f64(),
+                exec_s: cell_start.elapsed().as_secs_f64(),
+            });
+        }
+        ScenarioResult {
+            scenario: *scenario,
+            key,
+            outcome,
+        }
     });
     let end_stats = cache.stats();
+    let cache_delta = CacheStats {
+        hits: end_stats.hits - start_stats.hits,
+        misses: end_stats.misses - start_stats.misses,
+        entries: end_stats.entries,
+    };
+    if let Some(registry) = hooks.and_then(|h| h.metrics) {
+        registry.counter("sweep.cells").add(results.len() as u64);
+        let failed = results.iter().filter(|r| r.error().is_some()).count();
+        registry.counter("sweep.cells_failed").add(failed as u64);
+        registry.counter("cache.hits").add(cache_delta.hits as u64);
+        registry
+            .counter("cache.misses")
+            .add(cache_delta.misses as u64);
+        // Residency at sweep end, not a delta: meaningful when one
+        // registry serves one sweep (the CLI arrangement).
+        registry
+            .counter("cache.entries")
+            .add(cache_delta.entries as u64);
+    }
     SweepRun {
         grid: grid.clone(),
         workers: executor.workers(),
         results,
         wall: start.elapsed(),
-        cache_stats: CacheStats {
-            hits: end_stats.hits - start_stats.hits,
-            misses: end_stats.misses - start_stats.misses,
-        },
+        cache_stats: cache_delta,
         audited: audit,
     }
 }
@@ -303,8 +448,14 @@ pub fn time_grid_audited(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingB
 }
 
 fn time_grid_inner(grid: &SweepGrid, workers: usize, audit: bool) -> (SweepRun, TimingBench) {
-    let serial = run_grid_inner(grid, &Executor::new(1), &TraceCache::new(), audit);
-    let parallel = run_grid_inner(grid, &Executor::new(workers), &TraceCache::new(), audit);
+    let serial = run_grid_inner(grid, &Executor::new(1), &TraceCache::new(), audit, None);
+    let parallel = run_grid_inner(
+        grid,
+        &Executor::new(workers),
+        &TraceCache::new(),
+        audit,
+        None,
+    );
     let serial_secs = serial.wall.as_secs_f64();
     let parallel_secs = parallel.wall.as_secs_f64();
     let bench = TimingBench {
@@ -409,6 +560,91 @@ mod tests {
             failed[0].error()
         );
         assert!(run.results[1].summary().is_some(), "healthy cell completes");
+    }
+
+    #[test]
+    fn observed_grid_matches_plain_grid_and_writes_traces() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec::plain(BasePolicyKind::CarbonTime),
+            ])
+            .seeds(vec![3]);
+        let dir = std::env::temp_dir().join(format!("gaia-obs-grid-{}", std::process::id()));
+        let registry = MetricsRegistry::new();
+        let profiler = Profiler::new();
+        let sweep_events = std::sync::Arc::new(std::sync::Mutex::new(gaia_obs::VecSink::new()));
+        struct Probe(std::sync::Arc<std::sync::Mutex<gaia_obs::VecSink>>);
+        impl Sink for Probe {
+            fn emit(&mut self, event: &Event) {
+                self.0.lock().unwrap().emit(event);
+            }
+        }
+        let hooks = ObsHooks {
+            metrics: Some(&registry),
+            profiler: Some(&profiler),
+            trace_dir: Some(&dir),
+            sweep_sink: Some(SharedSink::new(Probe(std::sync::Arc::clone(&sweep_events)))),
+        };
+        let observed = run_grid_observed(
+            &grid,
+            &Executor::new(2).with_progress(false),
+            &TraceCache::new(),
+            true,
+            &hooks,
+        )
+        .expect("trace dir is creatable");
+        let plain = run_grid_audited(
+            &grid,
+            &Executor::new(1).with_progress(false),
+            &TraceCache::new(),
+        );
+        assert_eq!(
+            observed.results, plain.results,
+            "observability must not change outcomes"
+        );
+
+        // Per-cell trace files exist, parse, and balance.
+        let mut traced_jobs = 0;
+        for result in &observed.results {
+            let path = dir.join(ObsHooks::trace_file_name(&result.key));
+            let text = std::fs::read_to_string(&path).expect("trace file written");
+            let summary = gaia_obs::TraceSummary::from_jsonl(text.as_bytes()).expect("valid JSONL");
+            assert!(summary.issues.is_empty(), "{:?}", summary.issues);
+            assert_eq!(summary.jobs_completed, result.expect_summary().jobs as u64);
+            traced_jobs += summary.jobs_completed;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Metrics: per-job counters plus sweep/cache counters.
+        assert_eq!(registry.counter("sim.jobs").get(), traced_jobs);
+        assert_eq!(registry.counter("sweep.cells").get(), 2);
+        assert_eq!(registry.counter("sweep.cells_failed").get(), 0);
+        assert_eq!(registry.counter("cache.misses").get(), 2);
+        assert_eq!(registry.counter("cache.hits").get(), 2);
+        assert_eq!(registry.counter("cache.entries").get(), 2);
+
+        // Profiler saw the engine and audit phases.
+        let phases: Vec<&'static str> = profiler
+            .snapshot()
+            .iter()
+            .map(|&(name, _, _)| name)
+            .collect();
+        assert!(phases.contains(&"event_loop"), "{phases:?}");
+        assert!(phases.contains(&"plan"), "{phases:?}");
+        assert!(phases.contains(&"audit"), "{phases:?}");
+
+        // Sweep lifecycle stream: one start + one finish per cell.
+        let events = sweep_events.lock().unwrap().events().to_vec();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::CellStarted { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, Event::CellFinished { .. }))
+            .count();
+        assert_eq!((starts, finishes), (2, 2));
     }
 
     #[test]

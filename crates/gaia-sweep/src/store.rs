@@ -10,18 +10,22 @@
 //!   scenarios.csv    one row per scenario cell, in grid order
 //!   aggregate.csv    across-seed mean ± std per scenario group
 //!   aggregate.json   the same aggregation as JSON
+//!   metrics.json     gaia-obs registry snapshot (observed runs only)
 //! ```
 //!
-//! `scenarios.csv`, `aggregate.csv`, and `aggregate.json` are pure
-//! functions of the grid and the seeds — byte-identical for any worker
-//! count (verified by the determinism property tests). `manifest.json`
-//! records wall-clock facts about one particular execution and is the
-//! only artifact allowed to differ between reruns.
+//! `scenarios.csv`, `aggregate.csv`, `aggregate.json`, and
+//! `metrics.json` are pure functions of the grid and the seeds —
+//! byte-identical for any worker count (verified by the determinism
+//! property tests). `manifest.json` records wall-clock facts about one
+//! particular execution (including the optional `"profile"` phase
+//! table) and is the only artifact allowed to differ between reruns.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use gaia_obs::{MetricsRegistry, Profiler};
 
 use crate::agg::GroupSummary;
 use crate::SweepRun;
@@ -62,12 +66,43 @@ impl ResultStore {
     /// Writes all artifacts for `run`; `timing` lands in the manifest
     /// when present.
     pub fn write(&self, run: &SweepRun, timing: Option<TimingBench>) -> io::Result<()> {
+        self.write_observed(run, timing, None, None)
+    }
+
+    /// [`ResultStore::write`] plus observability artifacts: a
+    /// `metrics.json` registry snapshot (when `metrics` is given) and a
+    /// `"profile"` phase-timing block in the manifest (when `profile`
+    /// is given).
+    ///
+    /// `metrics.json` is deterministic — counters and histograms are
+    /// commutative, so it is byte-identical for any worker count. The
+    /// manifest (wall-clock, profile timings) is not.
+    pub fn write_observed(
+        &self,
+        run: &SweepRun,
+        timing: Option<TimingBench>,
+        metrics: Option<&MetricsRegistry>,
+        profile: Option<&Profiler>,
+    ) -> io::Result<()> {
         fs::write(self.dir.join("scenarios.csv"), scenarios_csv(run))?;
         let groups = crate::agg::across_seed_groups(run);
         fs::write(self.dir.join("aggregate.csv"), aggregate_csv(&groups))?;
         fs::write(self.dir.join("aggregate.json"), aggregate_json(&groups))?;
-        fs::write(self.dir.join("manifest.json"), manifest_json(run, timing))?;
+        fs::write(
+            self.dir.join("manifest.json"),
+            manifest_json_observed(run, timing, profile),
+        )?;
+        if let Some(registry) = metrics {
+            self.write_metrics(registry)?;
+        }
         Ok(())
+    }
+
+    /// Writes `metrics.json`: the registry snapshot, trailing newline.
+    pub fn write_metrics(&self, registry: &MetricsRegistry) -> io::Result<()> {
+        let mut json = registry.snapshot_json();
+        json.push('\n');
+        fs::write(self.dir.join("metrics.json"), json)
     }
 }
 
@@ -218,6 +253,16 @@ fn stats_json(stats: &gaia_metrics::SeedStats) -> String {
 
 /// Run metadata. NOT byte-stable across reruns (contains wall-clock).
 pub fn manifest_json(run: &SweepRun, timing: Option<TimingBench>) -> String {
+    manifest_json_observed(run, timing, None)
+}
+
+/// [`manifest_json`] with an optional `"profile"` phase-timing block
+/// (from a [`Profiler`] that observed the run).
+pub fn manifest_json_observed(
+    run: &SweepRun,
+    timing: Option<TimingBench>,
+    profile: Option<&Profiler>,
+) -> String {
     let grid = &run.grid;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"grid\": {},", json_string(&grid.describe()));
@@ -267,8 +312,8 @@ pub fn manifest_json(run: &SweepRun, timing: Option<TimingBench>) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"trace_cache\": {{\"hits\": {}, \"misses\": {}}},",
-        run.cache_stats.hits, run.cache_stats.misses
+        "  \"trace_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+        run.cache_stats.hits, run.cache_stats.misses, run.cache_stats.entries
     );
     let failures = run.failed_cells();
     let _ = writeln!(
@@ -304,6 +349,14 @@ pub fn manifest_json(run: &SweepRun, timing: Option<TimingBench>) -> String {
         }
         None => {
             let _ = writeln!(out, "  \"timing_bench\": null,");
+        }
+    }
+    match profile {
+        Some(profiler) => {
+            let _ = writeln!(out, "  \"profile\": {},", profiler.to_json());
+        }
+        None => {
+            let _ = writeln!(out, "  \"profile\": null,");
         }
     }
     let _ = writeln!(out, "  \"git_describe\": {}", json_string(&git_describe()));

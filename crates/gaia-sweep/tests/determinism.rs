@@ -89,6 +89,70 @@ fn reference_grid_artifacts_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn observed_reference_grid_is_worker_count_invariant() {
+    let grid = reference_grid();
+    let scratch = Scratch::new("observed");
+
+    // One observed run per worker count, each with its own registry,
+    // trace dir, and store.
+    let mut metrics_files = Vec::new();
+    for workers in [1usize, 4] {
+        let run_name = format!("w{workers}");
+        let registry = gaia_obs::MetricsRegistry::new();
+        let trace_dir = scratch.0.join(format!("traces-{workers}"));
+        let hooks = gaia_sweep::ObsHooks {
+            metrics: Some(&registry),
+            trace_dir: Some(&trace_dir),
+            ..Default::default()
+        };
+        let run = gaia_sweep::run_grid_observed(
+            &grid,
+            &Executor::new(workers).with_progress(false),
+            &TraceCache::new(),
+            true,
+            &hooks,
+        )
+        .expect("observed sweep runs");
+        assert!(run.is_clean());
+
+        // The ISSUE's expected cache behaviour: 6 carbon (3 regions ×
+        // 2 seeds) + 2 workload (2 seeds) generations, the other 40 of
+        // the 48 lookups hit — for ANY worker count.
+        assert_eq!(run.cache_stats.misses, 8, "workers={workers}");
+        assert_eq!(run.cache_stats.hits, 40, "workers={workers}");
+        assert_eq!(run.cache_stats.entries, 8, "workers={workers}");
+        assert_eq!(registry.counter("cache.misses").get(), 8);
+        assert_eq!(registry.counter("cache.hits").get(), 40);
+        assert_eq!(registry.counter("sweep.cells").get(), 24);
+
+        let store = ResultStore::create(&scratch.0, &run_name).expect("store");
+        store
+            .write_observed(&run, None, Some(&registry), None)
+            .expect("write artifacts");
+        metrics_files.push(read(&scratch.0, &run_name, "metrics.json"));
+    }
+
+    // metrics.json is a deterministic artifact: byte-identical across
+    // worker counts.
+    assert_eq!(
+        metrics_files[0], metrics_files[1],
+        "metrics.json must be byte-identical for 1 vs 4 workers"
+    );
+    assert!(!metrics_files[0].is_empty());
+
+    // Every per-cell trace file is byte-identical across worker counts.
+    for cell in grid.scenarios() {
+        let name = gaia_sweep::ObsHooks::trace_file_name(&cell.key());
+        let a = fs::read(scratch.0.join("traces-1").join(&name))
+            .unwrap_or_else(|e| panic!("read traces-1/{name}: {e}"));
+        let b = fs::read(scratch.0.join("traces-4").join(&name))
+            .unwrap_or_else(|e| panic!("read traces-4/{name}: {e}"));
+        assert_eq!(a, b, "{name} must be byte-identical for 1 vs 4 workers");
+        assert!(!a.is_empty(), "{name} has events");
+    }
+}
+
+#[test]
 fn reference_grid_audits_with_zero_violations() {
     let grid = reference_grid();
     let run = gaia_sweep::run_grid_audited(

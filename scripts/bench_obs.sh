@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Gates the tracing layer's zero-overhead claim: runs the NullSink-vs-
+# untraced comparison in release mode and fails (exit 1) if the median
+# overhead exceeds the budget (2%, or GAIA_OBS_OVERHEAD_MAX percent).
+# The report lands in results/obs_overhead.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+
+mkdir -p results
+./target/release/obs_overhead | tee results/obs_overhead.txt

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Trace determinism gate for the reference scenario (the `gaia run`
+# defaults: Carbon-Time / SA-AU / Alibaba week-long 1k jobs / seed 42).
+#
+#  1. runs the traced scenario twice and byte-compares the JSONL streams;
+#  2. summarizes the trace with `gaia trace summarize` (which also
+#     validates the stream: monotone timestamps, balanced segments);
+#  3. diffs the summary against the committed golden file, so any drift
+#     in the event schema or the simulation itself fails loudly.
+#
+# Regenerate the golden after an intentional change with:
+#   ./scripts/check_trace_determinism.sh --bless
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN=tests/golden/trace_summary.txt
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+cargo build --release -p gaia-cli
+
+echo "== traced reference scenario, run 1"
+./target/release/gaia run --trace "${WORK}/a.jsonl" > /dev/null
+echo "== traced reference scenario, run 2"
+./target/release/gaia run --trace "${WORK}/b.jsonl" > /dev/null
+cmp "${WORK}/a.jsonl" "${WORK}/b.jsonl"
+echo "trace streams are byte-identical ($(wc -l < "${WORK}/a.jsonl") events)"
+
+echo "== gaia trace summarize"
+./target/release/gaia trace summarize "${WORK}/a.jsonl" > "${WORK}/summary.txt"
+
+if [[ "${1:-}" == "--bless" ]]; then
+  mkdir -p "$(dirname "${GOLDEN}")"
+  cp "${WORK}/summary.txt" "${GOLDEN}"
+  echo "golden updated: ${GOLDEN}"
+  exit 0
+fi
+
+diff -u "${GOLDEN}" "${WORK}/summary.txt"
+echo "summary matches the golden file: ${GOLDEN}"
