@@ -85,7 +85,11 @@ fn main() {
                 GaiaScheduler::new(CarbonTime::new(queues).with_scan_step(Minutes::new(step)));
             Summary::of(
                 "",
-                &Simulation::new(config, &ci).run(&trace, &mut scheduler),
+                &Simulation::new(config, &ci)
+                    .runner(&trace, &mut scheduler)
+                    .execute()
+                    .expect("valid policy decisions")
+                    .into_report(),
             )
         }
         Cell::Knowledge(_, knowledge) => {
@@ -93,7 +97,11 @@ fn main() {
                 GaiaScheduler::new(LowestWindow::new(queues).with_knowledge(knowledge));
             Summary::of(
                 "",
-                &Simulation::new(config, &ci).run(&trace, &mut scheduler),
+                &Simulation::new(config, &ci)
+                    .runner(&trace, &mut scheduler)
+                    .execute()
+                    .expect("valid policy decisions")
+                    .into_report(),
             )
         }
         Cell::WorkConserving(conserving) => {
@@ -109,7 +117,10 @@ fn main() {
             let mut scheduler = GaiaScheduler::new(CarbonTime::new(queues));
             let run = Simulation::new(config, &ci)
                 .with_forecaster(&forecaster)
-                .run(&trace, &mut scheduler);
+                .runner(&trace, &mut scheduler)
+                .execute()
+                .expect("valid policy decisions")
+                .into_report();
             Summary::of("", &run)
         }
     });

@@ -46,7 +46,11 @@ fn main() {
         let mut scheduler = GaiaScheduler::new(
             CarbonTax::new(queues, tax, 0.05).with_knowledge(JobLengthKnowledge::QueueAverage),
         );
-        let report = Simulation::new(config, &ci).run(&trace, &mut scheduler);
+        let report = Simulation::new(config, &ci)
+            .runner(&trace, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report();
         let summary = Summary::of("Carbon-Tax", &report);
         table.row(vec![
             format!("{tax}"),

@@ -37,7 +37,11 @@ fn main() {
     );
     let ladder = QueueLadder::paper_three_tier().with_averages_from(&trace);
     let mut tiered_scheduler = GaiaScheduler::new(TieredCarbonTime::new(ladder));
-    let tiered_report = Simulation::new(config, &ci).run(&trace, &mut tiered_scheduler);
+    let tiered_report = Simulation::new(config, &ci)
+        .runner(&trace, &mut tiered_scheduler)
+        .execute()
+        .expect("valid policy decisions")
+        .into_report();
     let tiered = Summary::of("Tiered-Carbon-Time (3 rungs)", &tiered_report);
 
     let mut table = TextTable::new(vec![

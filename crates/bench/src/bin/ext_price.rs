@@ -51,7 +51,11 @@ fn main() {
     for weight in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut scheduler =
             GaiaScheduler::new(PriceAware::new(queues, price.clone(), weight, ci.mean()));
-        let report = Simulation::new(config, &ci).run(&trace, &mut scheduler);
+        let report = Simulation::new(config, &ci)
+            .runner(&trace, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report();
         let summary = Summary::of("Price-Aware", &report);
         table.row(vec![
             format!("{weight:.2}"),

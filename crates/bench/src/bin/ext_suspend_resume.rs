@@ -36,7 +36,11 @@ fn main() {
         config,
     );
     let mut sr = GaiaScheduler::new(CarbonTimeSuspend::new(queues));
-    let sr_report = Simulation::new(config, &ci).run(&trace, &mut sr);
+    let sr_report = Simulation::new(config, &ci)
+        .runner(&trace, &mut sr)
+        .execute()
+        .expect("valid policy decisions")
+        .into_report();
     rows.insert(2, Summary::of("Carbon-Time-SR", &sr_report));
 
     let nowait_carbon = rows[0].carbon_g;

@@ -1,0 +1,370 @@
+//! Forecast-query kernel microbench: naive slow paths vs the
+//! [`ForecastIndex`] kernels, on the year-scale South Australia trace.
+//!
+//! Each kernel is timed at day scale and week scale (the span of the
+//! paper's queue waits and suspend-resume horizons), as median-of-rounds
+//! over a deterministic batch of query points (xorshift64, fixed seed):
+//!
+//! * `integral_24h` / `integral_168h` — per-slot walk-and-sum vs the
+//!   trace's O(1) prefix-sum window integral the index delegates to;
+//! * `quantile_24h` / `quantile_168h` — collect + full sort (the
+//!   historical `ForecastView::quantile`) vs the wavelet-matrix
+//!   `window_quantile` (bit-equality asserted per query);
+//! * `greenest_28h` / `greenest_168h` — sort-every-slot greedy vs the
+//!   threshold-prefiltered selection kernel (plan equality asserted per
+//!   query);
+//! * `rolling_min_24h` / `rolling_min_168h` — per-window rescan vs the
+//!   monotonic-deque batch kernel (bit-equality asserted element-wise).
+//!
+//! Writes `BENCH_plan_kernels.json` (override with `GAIA_BENCH_OUT`),
+//! re-parses it through `gaia_obs::json` as a schema self-check, and
+//! exits non-zero if any indexed kernel is slower than its naive
+//! counterpart — or, outside quick mode, if the geometric-mean speedup
+//! misses the 5x target. Quick mode (`--quick` or `GAIA_BENCH_QUICK=1`)
+//! shrinks batches and rounds for the CI smoke job.
+
+use std::time::Instant;
+
+use gaia_carbon::{CarbonTrace, ForecastIndex};
+use gaia_time::{HourlySlots, Minutes, SimTime};
+
+/// Deterministic query-point generator (xorshift64; seed fixed so every
+/// run times the same batch).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// One kernel's timing: median ns/query for both paths.
+struct KernelResult {
+    name: &'static str,
+    naive_ns: f64,
+    indexed_ns: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.indexed_ns
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `f` over `rounds` rounds and returns the median ns per query.
+fn time_rounds(rounds: usize, queries: usize, mut f: impl FnMut()) -> f64 {
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        per_round.push(start.elapsed().as_secs_f64() * 1e9 / queries as f64);
+    }
+    median(&mut per_round)
+}
+
+/// The historical sort-based window quantile.
+fn naive_quantile(trace: &CarbonTrace, start: SimTime, horizon: Minutes, q: f64) -> f64 {
+    let mut samples: Vec<f64> = HourlySlots::spanning(start, horizon)
+        .map(|s| trace.intensity_at_hour(s.hour))
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    samples[idx]
+}
+
+/// The historical sort-every-slot greedy plan.
+fn naive_greenest(
+    trace: &CarbonTrace,
+    start: SimTime,
+    horizon: Minutes,
+    need: Minutes,
+) -> Vec<(SimTime, Minutes)> {
+    let mut slots: Vec<(SimTime, Minutes, f64)> = HourlySlots::spanning(start, horizon)
+        .map(|s| (s.start, s.overlap, trace.intensity_at_hour(s.hour)))
+        .collect();
+    slots.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+    let mut remaining = need;
+    let mut chosen: Vec<(SimTime, Minutes)> = Vec::new();
+    for (slot_start, avail, _) in slots {
+        if remaining.is_zero() {
+            break;
+        }
+        let take = avail.min(remaining);
+        chosen.push((slot_start, take));
+        remaining -= take;
+    }
+    assert!(remaining.is_zero());
+    chosen.sort_by_key(|(s, _)| *s);
+    let mut merged: Vec<(SimTime, Minutes)> = Vec::with_capacity(chosen.len());
+    for (s, l) in chosen {
+        match merged.last_mut() {
+            Some((ms, ml)) if *ms + *ml == s => *ml += l,
+            _ => merged.push((s, l)),
+        }
+    }
+    merged
+}
+
+/// The per-slot walk the generic `forecast_integral` default performs.
+fn naive_integral(trace: &CarbonTrace, start: SimTime, len: Minutes) -> f64 {
+    HourlySlots::spanning(start, len)
+        .map(|s| trace.intensity_at_hour(s.hour) * s.fraction())
+        .sum()
+}
+
+fn json_escape_free(name: &str) -> &str {
+    debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() -> std::process::ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("GAIA_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let out_path =
+        std::env::var("GAIA_BENCH_OUT").unwrap_or_else(|_| "BENCH_plan_kernels.json".to_owned());
+    let (rounds, queries) = if quick { (3, 256) } else { (9, 4096) };
+
+    let trace = bench::carbon(gaia_carbon::Region::SouthAustralia);
+    let hours = trace.len_hours();
+    let index = ForecastIndex::new(&trace);
+
+    // Pre-draw the query anchors so generation cost stays out of the
+    // timed region; anchors land anywhere in the year at minute grain.
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let starts: Vec<SimTime> = (0..queries)
+        .map(|_| SimTime::from_minutes(rng.next() % (hours as u64 * 60)))
+        .collect();
+    let qs: Vec<f64> = (0..queries)
+        .map(|_| (rng.next() % 1001) as f64 / 1000.0)
+        .collect();
+
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    // integral_24h / integral_168h ------------------------------------
+    for (name, len) in [
+        ("integral_24h", Minutes::from_hours(24)),
+        ("integral_168h", Minutes::from_hours(168)),
+    ] {
+        let naive_ns = time_rounds(rounds, queries, || {
+            let mut acc = 0.0;
+            for &s in &starts {
+                acc += naive_integral(&trace, s, len);
+            }
+            std::hint::black_box(acc);
+        });
+        let indexed_ns = time_rounds(rounds, queries, || {
+            let mut acc = 0.0;
+            for &s in &starts {
+                acc += index.window_integral(s, len);
+            }
+            std::hint::black_box(acc);
+        });
+        results.push(KernelResult {
+            name,
+            naive_ns,
+            indexed_ns,
+        });
+        for &s in starts.iter().take(64) {
+            let (a, b) = (
+                naive_integral(&trace, s, len),
+                index.window_integral(s, len),
+            );
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "{name} mismatch at {s:?}: {a} vs {b}"
+            );
+        }
+    }
+
+    // quantile_24h / quantile_168h ------------------------------------
+    for (name, horizon) in [
+        ("quantile_24h", Minutes::from_hours(24)),
+        ("quantile_168h", Minutes::from_hours(168)),
+    ] {
+        let naive_ns = time_rounds(rounds, queries, || {
+            let mut acc = 0.0;
+            for (&s, &q) in starts.iter().zip(&qs) {
+                acc += naive_quantile(&trace, s, horizon, q);
+            }
+            std::hint::black_box(acc);
+        });
+        let indexed_ns = time_rounds(rounds, queries, || {
+            let mut acc = 0.0;
+            for (&s, &q) in starts.iter().zip(&qs) {
+                acc += index.window_quantile(s, horizon, q);
+            }
+            std::hint::black_box(acc);
+        });
+        for (&s, &q) in starts.iter().zip(&qs) {
+            let (slow, fast) = (
+                naive_quantile(&trace, s, horizon, q),
+                index.window_quantile(s, horizon, q),
+            );
+            assert_eq!(
+                slow.to_bits(),
+                fast.to_bits(),
+                "{name} mismatch at {s:?} q={q}: {slow} vs {fast}"
+            );
+        }
+        results.push(KernelResult {
+            name,
+            naive_ns,
+            indexed_ns,
+        });
+    }
+
+    // greenest_28h / greenest_168h: plan 8h of work in the horizon ----
+    let need = Minutes::from_hours(8);
+    for (name, horizon) in [
+        ("greenest_28h", Minutes::from_hours(28)),
+        ("greenest_168h", Minutes::from_hours(168)),
+    ] {
+        let naive_ns = time_rounds(rounds, queries, || {
+            for &s in &starts {
+                std::hint::black_box(naive_greenest(&trace, s, horizon, need));
+            }
+        });
+        let indexed_ns = time_rounds(rounds, queries, || {
+            for &s in &starts {
+                std::hint::black_box(index.greenest_slots(s, horizon, need));
+            }
+        });
+        for &s in &starts {
+            assert_eq!(
+                naive_greenest(&trace, s, horizon, need),
+                index.greenest_slots(s, horizon, need),
+                "{name} plan mismatch at {s:?}"
+            );
+        }
+        results.push(KernelResult {
+            name,
+            naive_ns,
+            indexed_ns,
+        });
+    }
+
+    // rolling_min_24h / rolling_min_168h: one value per hour of year --
+    let values = trace.hourly_values();
+    for (name, window) in [("rolling_min_24h", 24usize), ("rolling_min_168h", 168)] {
+        let rescan = || -> Vec<f64> {
+            (0..hours)
+                .map(|i| {
+                    (0..window)
+                        .map(|j| values[(i + j) % hours])
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        };
+        let naive_ns = time_rounds(rounds, hours, || {
+            std::hint::black_box(rescan());
+        });
+        let indexed_ns = time_rounds(rounds, hours, || {
+            std::hint::black_box(index.rolling_min(window));
+        });
+        let (slow, fast) = (rescan(), index.rolling_min(window));
+        assert_eq!(slow.len(), fast.len());
+        for (i, (a, b)) in slow.iter().zip(&fast).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name} mismatch at hour {i}");
+        }
+        results.push(KernelResult {
+            name,
+            naive_ns,
+            indexed_ns,
+        });
+    }
+
+    // Report -----------------------------------------------------------
+    let target = 5.0;
+    let geomean =
+        (results.iter().map(|r| r.speedup().ln()).sum::<f64>() / results.len() as f64).exp();
+    let all_faster = results.iter().all(|r| r.speedup() >= 1.0);
+    let pass = all_faster && (quick || geomean >= target);
+
+    println!(
+        "forecast-query kernels, {hours}h South Australia trace \
+         ({queries} queries/batch, median of {rounds} rounds{})",
+        if quick { ", quick mode" } else { "" }
+    );
+    println!();
+    println!("  kernel            naive ns/q   indexed ns/q    speedup");
+    for r in &results {
+        println!(
+            "  {:<16} {:>11.1} {:>14.1} {:>9.2}x",
+            r.name,
+            r.naive_ns,
+            r.indexed_ns,
+            r.speedup()
+        );
+    }
+    println!();
+    println!(
+        "  geomean speedup: {geomean:.2}x (target {target:.1}x) -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let kernels_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"naive_ns\": {:.2}, \"indexed_ns\": {:.2}, \"speedup\": {:.3}}}",
+                json_escape_free(r.name),
+                r.naive_ns,
+                r.indexed_ns,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"plan_kernels\",\n  \"trace_hours\": {hours},\n  \
+         \"quick\": {quick},\n  \"rounds\": {rounds},\n  \"queries_per_round\": {queries},\n  \
+         \"kernels\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3},\n  \
+         \"target_speedup\": {target:.1},\n  \"pass\": {pass}\n}}\n",
+        kernels_json.join(",\n")
+    );
+
+    // Schema self-check: the report must round-trip through the same
+    // parser CI and downstream tooling use before it hits disk.
+    let parsed = gaia_obs::json::parse(&json).expect("bench JSON must parse");
+    assert_eq!(
+        parsed.get("bench").and_then(|v| v.as_str()),
+        Some("plan_kernels")
+    );
+    match parsed.get("kernels") {
+        Some(gaia_obs::json::Value::Arr(items)) => {
+            assert_eq!(items.len(), results.len(), "one entry per timed kernel");
+            for item in items {
+                assert!(item.get("name").and_then(|v| v.as_str()).is_some());
+                assert!(item.get("naive_ns").and_then(|v| v.as_f64()).is_some());
+                assert!(item.get("indexed_ns").and_then(|v| v.as_f64()).is_some());
+                assert!(item.get("speedup").and_then(|v| v.as_f64()).is_some());
+            }
+        }
+        other => panic!("kernels must be an array, got {other:?}"),
+    }
+    assert!(parsed
+        .get("geomean_speedup")
+        .and_then(|v| v.as_f64())
+        .is_some());
+    assert_eq!(parsed.get("pass").and_then(|v| v.as_bool()), Some(pass));
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("  report: {out_path}");
+
+    if pass {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

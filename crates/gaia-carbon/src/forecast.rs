@@ -10,11 +10,38 @@
 //! [`NoisyForecaster`] is provided as an extension for sensitivity
 //! studies: it perturbs forecasts with horizon-proportional noise while
 //! keeping the *current* intensity exact.
+//!
+//! # Query architecture
+//!
+//! Policies hold a [`ForecastView`] — a thin façade anchored at one
+//! decision instant. Since the indexed-kernel redesign the view is backed
+//! by a [`ForecastQuery`] obtained from
+//! [`CarbonForecaster::query`]:
+//!
+//! * [`PerfectForecaster`] serves queries straight from a lazily built
+//!   [`ForecastIndex`] (O(1) integrals, O(log n) quantiles, O(horizon)
+//!   slot selection).
+//! * [`NoisyForecaster`] and [`PersistenceForecaster`] memoize their
+//!   per-hour samples for the current `now`; the memo is invalidated
+//!   whenever a query is opened at a different instant.
+//! * Custom forecasters fall back to a naive query that re-derives every
+//!   answer from [`CarbonForecaster::forecast`], exactly as the view
+//!   itself used to.
+//!
+//! All three paths return **bit-identical** results: the index reuses the
+//! trace's own integral path, order statistics are exact sample values
+//! under [`f64::total_cmp`], and memoized samples are the very values a
+//! direct [`CarbonForecaster::forecast`] call would produce, summed in
+//! the same order.
 
-use gaia_time::{Minutes, SimTime};
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+
+use gaia_time::{HourlySlots, Minutes, SimTime, SlotSpan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::index::{quantile_rank, select_greenest, ForecastIndex, SlotCand};
 use crate::synth::standard_normal;
 use crate::{CarbonTrace, GramsPerKwh};
 
@@ -41,16 +68,322 @@ pub trait CarbonForecaster {
     /// The default implementation sums hourly forecasts; implementors with
     /// cheaper exact integrals (e.g. the perfect forecaster) override it.
     fn forecast_integral(&self, now: SimTime, start: SimTime, len: Minutes) -> f64 {
-        gaia_time::HourlySlots::spanning(start, len)
+        HourlySlots::spanning(start, len)
             .map(|s| self.forecast(now, s.start) * s.fraction())
             .sum()
+    }
+
+    /// Opens a query session anchored at decision instant `now`.
+    ///
+    /// The default implementation answers every query by re-deriving it
+    /// from [`CarbonForecaster::forecast`] — correct for any implementor.
+    /// Forecasters with precomputed or memoizable structure override this
+    /// to serve the same answers from an index (the results must be
+    /// bit-identical; see the module docs).
+    fn query<'s>(&'s self, now: SimTime) -> Box<dyn ForecastQuery + 's> {
+        Box::new(NaiveQuery::new(self, now))
+    }
+}
+
+/// Horizon queries anchored at one decision instant.
+///
+/// Obtained from [`CarbonForecaster::query`]; [`ForecastView`] wraps one
+/// of these. Implementations are free to precompute or memoize, but must
+/// return bit-identical results to the naive per-call derivation from
+/// [`CarbonForecaster::forecast`].
+pub trait ForecastQuery {
+    /// The decision instant this query session is anchored at.
+    fn now(&self) -> SimTime;
+
+    /// Carbon intensity observed at the decision instant.
+    fn current(&self) -> GramsPerKwh;
+
+    /// Forecast intensity at a future instant.
+    fn at(&self, at: SimTime) -> GramsPerKwh;
+
+    /// Forecast CI integral over `[start, start + len)`, in (g/kWh)·hours.
+    fn integral(&self, start: SimTime, len: Minutes) -> f64;
+
+    /// Forecast time-average CI over `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    fn average(&self, start: SimTime, len: Minutes) -> GramsPerKwh {
+        assert!(!len.is_zero(), "average over empty window");
+        self.integral(start, len) / len.as_hours_f64()
+    }
+
+    /// The `q`-quantile of forecast hourly CI over `[now, now + horizon)`,
+    /// nearest-rank, `q` clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh;
+
+    /// The greenest-slot suspend-resume plan over `[now, now + horizon)`
+    /// covering `need` minutes: cheapest hourly slots first, ties to the
+    /// earliest, returned merged and sorted by start. Returns an empty
+    /// plan when `need` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `need` exceeds `horizon`.
+    fn greenest_slots(&self, horizon: Minutes, need: Minutes) -> Vec<(SimTime, Minutes)>;
+}
+
+/// The fallback [`ForecastQuery`]: every answer re-derived per call from
+/// [`CarbonForecaster::forecast`], exactly as `ForecastView` historically
+/// computed it (modulo the `select_nth_unstable_by` quantile, which picks
+/// the same element a full sort would).
+struct NaiveQuery<'s, F: ?Sized> {
+    f: &'s F,
+    now: SimTime,
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl<'s, F: CarbonForecaster + ?Sized> NaiveQuery<'s, F> {
+    fn new(f: &'s F, now: SimTime) -> Self {
+        NaiveQuery {
+            f,
+            now,
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl<F: CarbonForecaster + ?Sized> ForecastQuery for NaiveQuery<'_, F> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn current(&self) -> GramsPerKwh {
+        self.f.current(self.now)
+    }
+
+    fn at(&self, at: SimTime) -> GramsPerKwh {
+        self.f.forecast(self.now, at)
+    }
+
+    fn integral(&self, start: SimTime, len: Minutes) -> f64 {
+        self.f.forecast_integral(self.now, start, len)
+    }
+
+    fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
+        let mut samples = self.scratch.borrow_mut();
+        samples.clear();
+        samples.extend(HourlySlots::spanning(self.now, horizon).map(|s| self.at(s.start)));
+        let idx = quantile_rank(samples.len() as u64, q) as usize;
+        // NaN forecasts sort above every real value (`total_cmp`), so a
+        // perturbed forecaster degrades the answer instead of panicking.
+        let (_, nth, _) = samples.select_nth_unstable_by(idx, f64::total_cmp);
+        *nth
+    }
+
+    fn greenest_slots(&self, horizon: Minutes, need: Minutes) -> Vec<(SimTime, Minutes)> {
+        assert!(need <= horizon, "cannot fit {need} of work into {horizon}");
+        let slots = HourlySlots::spanning(self.now, horizon)
+            .map(|s| SlotCand {
+                start: s.start,
+                avail: s.overlap,
+                ci: self.at(s.start),
+            })
+            .collect();
+        select_greenest(slots, need)
+    }
+}
+
+/// The [`PerfectForecaster`] query: served from its [`ForecastIndex`].
+struct IndexQuery<'s, 't> {
+    index: &'s ForecastIndex<'t>,
+    now: SimTime,
+}
+
+impl ForecastQuery for IndexQuery<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn current(&self) -> GramsPerKwh {
+        self.index.trace().intensity_at(self.now)
+    }
+
+    fn at(&self, at: SimTime) -> GramsPerKwh {
+        self.index.trace().intensity_at(at)
+    }
+
+    fn integral(&self, start: SimTime, len: Minutes) -> f64 {
+        self.index.window_integral(start, len)
+    }
+
+    fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
+        self.index.window_quantile(self.now, horizon, q)
+    }
+
+    fn greenest_slots(&self, horizon: Minutes, need: Minutes) -> Vec<(SimTime, Minutes)> {
+        if need.is_zero() {
+            return Vec::new();
+        }
+        self.index.greenest_slots(self.now, horizon, need)
+    }
+}
+
+/// Per-`now` memo of hourly forecast samples, owned by the stochastic
+/// forecasters. Invalidated whenever a query is opened at a different
+/// decision instant.
+#[derive(Debug)]
+struct MemoCache {
+    now: SimTime,
+    /// `values[i]` caches the forecast for hour `now_hour + i`, sampled
+    /// at its canonical instant (`now` itself for the first hour, the
+    /// hour boundary afterwards).
+    values: Vec<Option<f64>>,
+}
+
+impl MemoCache {
+    fn empty() -> Self {
+        MemoCache {
+            now: SimTime::ORIGIN,
+            values: Vec::new(),
+        }
+    }
+}
+
+/// The memoizing [`ForecastQuery`] for forecasters whose per-hour samples
+/// are expensive (RNG + `exp` for [`NoisyForecaster`], day-stepping for
+/// [`PersistenceForecaster`]) but deterministic per `(now, at)`.
+///
+/// Samples are cached only at *canonical* instants — `now` for the hour
+/// containing `now`, the hour boundary for later hours — because (for the
+/// noisy forecaster) the error factor depends on the continuous lead
+/// time, not just the target hour. Horizon scans anchored at `now` hit
+/// canonical instants exclusively, so they are fully memoized; any other
+/// instant falls through to a direct [`CarbonForecaster::forecast`] call.
+/// Either way the value returned is bit-identical to the direct call.
+struct MemoQuery<'s, F: ?Sized> {
+    f: &'s F,
+    memo: &'s Mutex<MemoCache>,
+    now: SimTime,
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl<'s, F: CarbonForecaster + ?Sized> MemoQuery<'s, F> {
+    fn open(f: &'s F, memo: &'s Mutex<MemoCache>, now: SimTime) -> Self {
+        let mut cache = memo.lock().expect("memo lock poisoned");
+        if cache.now != now {
+            cache.now = now;
+            cache.values.clear();
+        }
+        drop(cache);
+        MemoQuery {
+            f,
+            memo,
+            now,
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The canonical sampling instant for `hour` (>= the hour of `now`).
+    fn canonical(&self, hour: u64) -> SimTime {
+        if hour == self.now.as_hours_floor() {
+            self.now
+        } else {
+            SimTime::from_hours(hour)
+        }
+    }
+
+    /// The memoized forecast for `hour`, sampled at its canonical instant.
+    fn sample(&self, hour: u64) -> f64 {
+        let at = self.canonical(hour);
+        let idx = (hour - self.now.as_hours_floor()) as usize;
+        let mut cache = self.memo.lock().expect("memo lock poisoned");
+        // A concurrently opened query at a different `now` may have
+        // re-keyed the cache; never mix samples across anchors.
+        if cache.now != self.now {
+            drop(cache);
+            return self.f.forecast(self.now, at);
+        }
+        if cache.values.len() <= idx {
+            cache.values.resize(idx + 1, None);
+        }
+        if let Some(v) = cache.values[idx] {
+            return v;
+        }
+        drop(cache);
+        let v = self.f.forecast(self.now, at);
+        let mut cache = self.memo.lock().expect("memo lock poisoned");
+        if cache.now == self.now && cache.values.len() > idx {
+            cache.values[idx] = Some(v);
+        }
+        v
+    }
+
+    /// The forecast value for one slot of a horizon scan: memoized when
+    /// the slot starts at its hour's canonical instant, direct otherwise.
+    fn slot_value(&self, s: SlotSpan) -> f64 {
+        if s.hour >= self.now.as_hours_floor() && s.start == self.canonical(s.hour) {
+            self.sample(s.hour)
+        } else {
+            self.f.forecast(self.now, s.start)
+        }
+    }
+}
+
+impl<F: CarbonForecaster + ?Sized> ForecastQuery for MemoQuery<'_, F> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn current(&self) -> GramsPerKwh {
+        self.f.current(self.now)
+    }
+
+    fn at(&self, at: SimTime) -> GramsPerKwh {
+        let hour = at.as_hours_floor();
+        if hour >= self.now.as_hours_floor() && at == self.canonical(hour) {
+            self.sample(hour)
+        } else {
+            self.f.forecast(self.now, at)
+        }
+    }
+
+    fn integral(&self, start: SimTime, len: Minutes) -> f64 {
+        // Same slot walk and summation order as the default
+        // `forecast_integral`, with memoized per-slot samples.
+        HourlySlots::spanning(start, len)
+            .map(|s| self.slot_value(s) * s.fraction())
+            .sum()
+    }
+
+    fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
+        let mut samples = self.scratch.borrow_mut();
+        samples.clear();
+        samples.extend(HourlySlots::spanning(self.now, horizon).map(|s| self.slot_value(s)));
+        let idx = quantile_rank(samples.len() as u64, q) as usize;
+        let (_, nth, _) = samples.select_nth_unstable_by(idx, f64::total_cmp);
+        *nth
+    }
+
+    fn greenest_slots(&self, horizon: Minutes, need: Minutes) -> Vec<(SimTime, Minutes)> {
+        assert!(need <= horizon, "cannot fit {need} of work into {horizon}");
+        let slots = HourlySlots::spanning(self.now, horizon)
+            .map(|s| SlotCand {
+                start: s.start,
+                avail: s.overlap,
+                ci: self.slot_value(s),
+            })
+            .collect();
+        select_greenest(slots, need)
     }
 }
 
 /// A read-only view pairing a forecaster with a decision instant.
 ///
 /// Policies receive a `ForecastView` so they cannot accidentally peek at a
-/// different "now" than the scheduler intended.
+/// different "now" than the scheduler intended. Internally the view holds
+/// the [`ForecastQuery`] session opened at construction, so repeated
+/// horizon queries hit the forecaster's index or memo.
 ///
 /// # Examples
 ///
@@ -64,16 +397,15 @@ pub trait CarbonForecaster {
 /// assert_eq!(view.at(SimTime::from_hours(1)), 50.0);
 /// # Ok::<(), gaia_carbon::CarbonError>(())
 /// ```
-#[derive(Clone, Copy)]
 pub struct ForecastView<'a> {
     forecaster: &'a dyn CarbonForecaster,
-    now: SimTime,
+    query: Box<dyn ForecastQuery + 'a>,
 }
 
 impl std::fmt::Debug for ForecastView<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ForecastView")
-            .field("now", &self.now)
+            .field("now", &self.now())
             .finish_non_exhaustive()
     }
 }
@@ -81,27 +413,35 @@ impl std::fmt::Debug for ForecastView<'_> {
 impl<'a> ForecastView<'a> {
     /// Creates a view of `forecaster` anchored at decision instant `now`.
     pub fn new(forecaster: &'a dyn CarbonForecaster, now: SimTime) -> Self {
-        ForecastView { forecaster, now }
+        ForecastView {
+            forecaster,
+            query: forecaster.query(now),
+        }
     }
 
     /// The decision instant this view is anchored at.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.query.now()
+    }
+
+    /// The forecaster backing this view.
+    pub fn forecaster(&self) -> &'a dyn CarbonForecaster {
+        self.forecaster
     }
 
     /// Carbon intensity observed at the decision instant.
     pub fn current(&self) -> GramsPerKwh {
-        self.forecaster.current(self.now)
+        self.query.current()
     }
 
     /// Forecast intensity at a future instant.
     pub fn at(&self, at: SimTime) -> GramsPerKwh {
-        self.forecaster.forecast(self.now, at)
+        self.query.at(at)
     }
 
     /// Forecast CI integral over `[start, start + len)`, in (g/kWh)·hours.
     pub fn integral(&self, start: SimTime, len: Minutes) -> f64 {
-        self.forecaster.forecast_integral(self.now, start, len)
+        self.query.integral(start, len)
     }
 
     /// Forecast time-average CI over `[start, start + len)`.
@@ -110,39 +450,59 @@ impl<'a> ForecastView<'a> {
     ///
     /// Panics if `len` is zero.
     pub fn average(&self, start: SimTime, len: Minutes) -> GramsPerKwh {
-        assert!(!len.is_zero(), "average over empty window");
-        self.integral(start, len) / len.as_hours_f64()
+        self.query.average(start, len)
     }
 
     /// The `q`-quantile of forecast hourly CI over `[now, now + horizon)`.
     ///
     /// NaN forecasts sort above every real value ([`f64::total_cmp`]), so
     /// a perturbed forecaster degrades the answer instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
     pub fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
-        let mut samples: Vec<f64> = gaia_time::HourlySlots::spanning(self.now, horizon)
-            .map(|s| self.at(s.start))
-            .collect();
-        samples.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        samples[idx]
+        self.query.quantile(horizon, q)
+    }
+
+    /// The greenest-slot suspend-resume plan over `[now, now + horizon)`
+    /// covering `need` minutes (see [`ForecastQuery::greenest_slots`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `need` exceeds `horizon`.
+    pub fn greenest_slots(&self, horizon: Minutes, need: Minutes) -> Vec<(SimTime, Minutes)> {
+        self.query.greenest_slots(horizon, need)
     }
 }
 
 /// The paper's perfect-forecast assumption: forecasts equal the trace.
+///
+/// Queries are served from a lazily built [`ForecastIndex`] shared by
+/// every [`ForecastView`] anchored on this forecaster.
 #[derive(Debug, Clone)]
 pub struct PerfectForecaster<'t> {
     trace: &'t CarbonTrace,
+    index: OnceLock<ForecastIndex<'t>>,
 }
 
 impl<'t> PerfectForecaster<'t> {
     /// Creates a perfect forecaster backed by `trace`.
     pub fn new(trace: &'t CarbonTrace) -> Self {
-        PerfectForecaster { trace }
+        PerfectForecaster {
+            trace,
+            index: OnceLock::new(),
+        }
     }
 
     /// The backing trace.
     pub fn trace(&self) -> &'t CarbonTrace {
         self.trace
+    }
+
+    /// The query index over the backing trace, built on first use.
+    pub fn index(&self) -> &ForecastIndex<'t> {
+        self.index.get_or_init(|| ForecastIndex::new(self.trace))
     }
 }
 
@@ -158,6 +518,13 @@ impl CarbonForecaster for PerfectForecaster<'_> {
     fn forecast_integral(&self, _now: SimTime, start: SimTime, len: Minutes) -> f64 {
         self.trace.window_integral(start, len)
     }
+
+    fn query<'s>(&'s self, now: SimTime) -> Box<dyn ForecastQuery + 's> {
+        Box::new(IndexQuery {
+            index: self.index(),
+            now,
+        })
+    }
 }
 
 /// A forecaster with horizon-proportional multiplicative error.
@@ -168,11 +535,28 @@ impl CarbonForecaster for PerfectForecaster<'_> {
 /// *same* future hour always receives the same error regardless of when
 /// it is forecast, and the current hour is always exact. This mimics how
 /// real CI forecasts degrade with lead time while staying reproducible.
-#[derive(Debug, Clone)]
+///
+/// Horizon queries memoize the per-hour samples for the current `now`
+/// (the RNG + `exp` per sample dominates scan cost); the memo is
+/// invalidated when a query is opened at a different instant.
+#[derive(Debug)]
 pub struct NoisyForecaster<'t> {
     trace: &'t CarbonTrace,
     sd_per_day: f64,
     seed: u64,
+    memo: Mutex<MemoCache>,
+}
+
+impl Clone for NoisyForecaster<'_> {
+    fn clone(&self) -> Self {
+        // The memo is a cache of derivable values; a clone starts cold.
+        NoisyForecaster {
+            trace: self.trace,
+            sd_per_day: self.sd_per_day,
+            seed: self.seed,
+            memo: Mutex::new(MemoCache::empty()),
+        }
+    }
 }
 
 impl<'t> NoisyForecaster<'t> {
@@ -183,6 +567,7 @@ impl<'t> NoisyForecaster<'t> {
             trace,
             sd_per_day,
             seed,
+            memo: Mutex::new(MemoCache::empty()),
         }
     }
 
@@ -206,6 +591,10 @@ impl CarbonForecaster for NoisyForecaster<'_> {
     fn forecast(&self, now: SimTime, at: SimTime) -> GramsPerKwh {
         self.trace.intensity_at(at) * self.error_factor(now, at)
     }
+
+    fn query<'s>(&'s self, now: SimTime) -> Box<dyn ForecastQuery + 's> {
+        Box::new(MemoQuery::open(self, &self.memo, now))
+    }
 }
 
 /// The classic diurnal-persistence baseline: the forecast for a future
@@ -216,15 +605,28 @@ impl CarbonForecaster for NoisyForecaster<'_> {
 /// persistence (the paper cites CarbonCast's accuracy to justify the
 /// perfect-forecast assumption); persistence bounds how badly a
 /// *forecast-free* deployment of GAIA would do.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PersistenceForecaster<'t> {
     trace: &'t CarbonTrace,
+    memo: Mutex<MemoCache>,
+}
+
+impl Clone for PersistenceForecaster<'_> {
+    fn clone(&self) -> Self {
+        PersistenceForecaster {
+            trace: self.trace,
+            memo: Mutex::new(MemoCache::empty()),
+        }
+    }
 }
 
 impl<'t> PersistenceForecaster<'t> {
     /// Creates a persistence forecaster backed by `trace`.
     pub fn new(trace: &'t CarbonTrace) -> Self {
-        PersistenceForecaster { trace }
+        PersistenceForecaster {
+            trace,
+            memo: Mutex::new(MemoCache::empty()),
+        }
     }
 }
 
@@ -249,10 +651,18 @@ impl CarbonForecaster for PersistenceForecaster<'_> {
         };
         self.trace.intensity_at(reference)
     }
+
+    fn query<'s>(&'s self, now: SimTime) -> Box<dyn ForecastQuery + 's> {
+        Box::new(MemoQuery::open(self, &self.memo, now))
+    }
 }
 
 /// Mean absolute percentage error of `forecaster` against `truth` for a
 /// fixed lead time, sampled hourly over one trace period.
+///
+/// Each decision instant opens one [`ForecastQuery`] session, so indexed
+/// and memoizing forecasters serve the hourly samples from their fast
+/// paths (the values are bit-identical to direct `forecast` calls).
 ///
 /// # Panics
 ///
@@ -265,8 +675,9 @@ pub fn forecast_mape(forecaster: &dyn CarbonForecaster, truth: &CarbonTrace, lea
     let mut n = 0u64;
     for h in 0..total_hours - lead_hours {
         let now = SimTime::from_hours(h);
+        let query = forecaster.query(now);
         let at = now + lead;
-        let predicted = forecaster.forecast(now, at);
+        let predicted = query.at(at);
         let actual = truth.intensity_at(at);
         if actual > 0.0 {
             acc += ((predicted - actual) / actual).abs();
@@ -310,6 +721,63 @@ mod tests {
         assert_eq!(view.now(), SimTime::ORIGIN);
     }
 
+    /// Pins the quantile outputs of the three query paths against the
+    /// historical allocate-and-sort implementation.
+    #[test]
+    fn quantile_pins_historical_sort_based_outputs() {
+        fn sort_based(view_samples: Vec<f64>, q: f64) -> f64 {
+            let mut samples = view_samples;
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+            samples[idx]
+        }
+        let t = crate::synth::synthesize_region(crate::Region::Netherlands, 9);
+        let horizon = Minutes::from_hours(24);
+        for (forecaster, name) in [
+            (
+                Box::new(PerfectForecaster::new(&t)) as Box<dyn CarbonForecaster>,
+                "perfect",
+            ),
+            (Box::new(NoisyForecaster::new(&t, 0.3, 11)), "noisy"),
+            (Box::new(PersistenceForecaster::new(&t)), "persistence"),
+        ] {
+            for now_min in [0u64, 30, 100 * 60 + 15] {
+                let now = SimTime::from_minutes(now_min);
+                let samples: Vec<f64> = HourlySlots::spanning(now, horizon)
+                    .map(|s| forecaster.forecast(now, s.start))
+                    .collect();
+                let view = ForecastView::new(forecaster.as_ref(), now);
+                for q in [0.0, 0.25, 0.3, 0.5, 0.75, 1.0] {
+                    let expected = sort_based(samples.clone(), q);
+                    let got = view.quantile(horizon, q);
+                    assert_eq!(
+                        got.to_bits(),
+                        expected.to_bits(),
+                        "{name} now={now_min} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_handles_nan_forecasts() {
+        struct NanForecaster;
+        impl CarbonForecaster for NanForecaster {
+            fn current(&self, _t: SimTime) -> f64 {
+                f64::NAN
+            }
+            fn forecast(&self, _now: SimTime, _at: SimTime) -> f64 {
+                f64::NAN
+            }
+        }
+        let view = ForecastView::new(&NanForecaster, SimTime::ORIGIN);
+        // NaN sorts above every real value; q=1 must return it, q=0 too
+        // (all samples NaN) — and neither call may panic.
+        assert!(view.quantile(Minutes::from_hours(4), 0.0).is_nan());
+        assert!(view.quantile(Minutes::from_hours(4), 1.0).is_nan());
+    }
+
     #[test]
     fn default_integral_matches_exact_for_perfect() {
         // Route through the trait's default implementation.
@@ -333,6 +801,58 @@ mod tests {
                 (default_integral - exact).abs() < 1e-9,
                 "start={start} len={len}"
             );
+        }
+    }
+
+    /// The three query paths must answer identically to the raw
+    /// forecaster calls they cache or index.
+    #[test]
+    fn query_paths_are_bit_identical_to_direct_calls() {
+        let t = crate::synth::synthesize_region(crate::Region::Ontario, 3);
+        let perfect = PerfectForecaster::new(&t);
+        let noisy = NoisyForecaster::new(&t, 0.25, 13);
+        let persistence = PersistenceForecaster::new(&t);
+        let forecasters: [(&dyn CarbonForecaster, &str); 3] = [
+            (&perfect, "perfect"),
+            (&noisy, "noisy"),
+            (&persistence, "persistence"),
+        ];
+        for (f, name) in forecasters {
+            for now_min in [0u64, 45, 26 * 60, 26 * 60 + 30] {
+                let now = SimTime::from_minutes(now_min);
+                let query = f.query(now);
+                // Point forecasts at canonical and non-canonical instants.
+                for at_min in [now_min, now_min + 15, now_min + 60, now_min + 607] {
+                    let at = SimTime::from_minutes(at_min);
+                    assert_eq!(
+                        query.at(at).to_bits(),
+                        f.forecast(now, at).to_bits(),
+                        "{name} now={now_min} at={at_min}"
+                    );
+                }
+                // Integrals over aligned and unaligned windows.
+                for (start_min, len) in [(now_min, 240u64), (now_min + 30, 90), (now_min + 61, 600)]
+                {
+                    let start = SimTime::from_minutes(start_min);
+                    let len = Minutes::new(len);
+                    let naive: f64 = HourlySlots::spanning(start, len)
+                        .map(|s| f.forecast(now, s.start) * s.fraction())
+                        .sum();
+                    // The perfect forecaster has always used the exact
+                    // trace integral rather than the slot walk.
+                    let expected = if name == "perfect" {
+                        t.window_integral(start, len)
+                    } else {
+                        naive
+                    };
+                    assert_eq!(
+                        query.integral(start, len).to_bits(),
+                        expected.to_bits(),
+                        "{name} now={now_min} start={start_min}"
+                    );
+                }
+                assert_eq!(query.current().to_bits(), f.current(now).to_bits());
+            }
         }
     }
 
@@ -368,6 +888,39 @@ mod tests {
             let at = SimTime::from_hours(h);
             assert_eq!(f.forecast(SimTime::ORIGIN, at), t.intensity_at(at));
         }
+    }
+
+    /// The noisy memo serves cached samples for one `now` and is
+    /// invalidated when a query is opened at a different instant.
+    #[test]
+    fn noisy_memo_invalidated_when_now_advances() {
+        let t = crate::synth::synthesize_region(crate::Region::California, 21);
+        let f = NoisyForecaster::new(&t, 0.4, 17);
+        let at = SimTime::from_hours(30);
+
+        let early = SimTime::from_hours(2);
+        let q1 = f.query(early);
+        let from_early = q1.at(at);
+        assert_eq!(from_early.to_bits(), f.forecast(early, at).to_bits());
+        // Warm hit: same query session returns the cached bits.
+        assert_eq!(q1.at(at).to_bits(), from_early.to_bits());
+
+        // Advancing `now` shrinks the lead time, so the same target hour
+        // gets a different error factor — a stale memo would return
+        // `from_early` again.
+        let late = SimTime::from_hours(20);
+        let q2 = f.query(late);
+        let from_late = q2.at(at);
+        assert_eq!(from_late.to_bits(), f.forecast(late, at).to_bits());
+        assert_ne!(
+            from_late.to_bits(),
+            from_early.to_bits(),
+            "lead time changed, the sample must too"
+        );
+
+        // Stepping back re-derives the original value, not a stale one.
+        let q3 = f.query(early);
+        assert_eq!(q3.at(at).to_bits(), from_early.to_bits());
     }
 
     #[test]
@@ -410,6 +963,53 @@ mod tests {
             mildly_noisy < persistence,
             "{mildly_noisy} vs {persistence}"
         );
+    }
+
+    /// `forecast_mape` routed through the query layer must agree with the
+    /// direct per-call derivation, including non-hour-aligned leads.
+    #[test]
+    fn mape_matches_direct_forecast_loop() {
+        let t = crate::synth::synthesize_region(crate::Region::Kentucky, 6);
+        for lead_min in [60u64, 90, 720] {
+            let lead = Minutes::new(lead_min);
+            for f in [
+                Box::new(NoisyForecaster::new(&t, 0.2, 7)) as Box<dyn CarbonForecaster>,
+                Box::new(PersistenceForecaster::new(&t)),
+            ] {
+                let via_query = forecast_mape(f.as_ref(), &t, lead);
+                let lead_hours = lead.as_hours_ceil();
+                let total_hours = t.len_hours() as u64;
+                let mut acc = 0.0;
+                let mut n = 0u64;
+                for h in 0..total_hours - lead_hours {
+                    let now = SimTime::from_hours(h);
+                    let at = now + lead;
+                    let predicted = f.forecast(now, at);
+                    let actual = t.intensity_at(at);
+                    if actual > 0.0 {
+                        acc += ((predicted - actual) / actual).abs();
+                        n += 1;
+                    }
+                }
+                let direct = acc / n.max(1) as f64;
+                assert_eq!(via_query.to_bits(), direct.to_bits(), "lead={lead_min}");
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_noisy_forecaster_answers_identically() {
+        let t = trace();
+        let f = NoisyForecaster::new(&t, 0.2, 7);
+        // Warm the memo, then clone (clones start cold).
+        let _ = f.query(SimTime::ORIGIN).at(SimTime::from_hours(3));
+        let g = f.clone();
+        let at = SimTime::from_hours(3);
+        assert_eq!(
+            f.forecast(SimTime::ORIGIN, at).to_bits(),
+            g.forecast(SimTime::ORIGIN, at).to_bits()
+        );
+        let _ = PersistenceForecaster::new(&t).clone();
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 mod error;
 mod forecast;
+mod index;
 pub mod io;
 pub mod price;
 mod region;
@@ -48,8 +49,9 @@ mod trace;
 
 pub use error::CarbonError;
 pub use forecast::{
-    forecast_mape, CarbonForecaster, ForecastView, NoisyForecaster, PerfectForecaster,
-    PersistenceForecaster,
+    forecast_mape, CarbonForecaster, ForecastQuery, ForecastView, NoisyForecaster,
+    PerfectForecaster, PersistenceForecaster,
 };
+pub use index::ForecastIndex;
 pub use region::{IntensityLevel, Region, Variability};
 pub use trace::{CarbonTrace, GramsCo2, GramsPerKwh};

@@ -296,6 +296,11 @@ impl CarbonTrace {
     /// slot so the job finishes as soon as possible among equal-carbon
     /// plans.
     ///
+    /// Selection runs through the incremental kernel shared with
+    /// [`crate::ForecastIndex::greenest_slots`] — O(horizon) plus a sort
+    /// of only the slots the greedy can touch, with output identical to
+    /// the historical sort-everything greedy.
+    ///
     /// # Panics
     ///
     /// Panics if `need` is zero or exceeds `horizon`.
@@ -307,48 +312,15 @@ impl CarbonTrace {
     ) -> Vec<(SimTime, Minutes)> {
         assert!(!need.is_zero(), "need must be positive");
         assert!(need <= horizon, "cannot fit {need} of work into {horizon}");
-        let mut slots: Vec<SlotChoice> = HourlySlots::spanning(start, horizon)
-            .map(|s| SlotChoice {
+        let slots = HourlySlots::spanning(start, horizon)
+            .map(|s| crate::index::SlotCand {
                 start: s.start,
                 avail: s.overlap,
                 ci: self.intensity_at_hour(s.hour),
             })
             .collect();
-        // Cheapest CI first; ties broken by earliest start for fast finish.
-        slots.sort_by(|a, b| {
-            a.ci.partial_cmp(&b.ci)
-                .expect("CI values are finite")
-                .then(a.start.cmp(&b.start))
-        });
-        let mut remaining = need;
-        let mut chosen: Vec<(SimTime, Minutes)> = Vec::new();
-        for slot in slots {
-            if remaining.is_zero() {
-                break;
-            }
-            let take = slot.avail.min(remaining);
-            chosen.push((slot.start, take));
-            remaining -= take;
-        }
-        debug_assert!(remaining.is_zero(), "horizon >= need guarantees coverage");
-        chosen.sort_by_key(|(s, _)| *s);
-        // Merge adjacent segments for a tidy plan.
-        let mut merged: Vec<(SimTime, Minutes)> = Vec::with_capacity(chosen.len());
-        for (s, l) in chosen {
-            match merged.last_mut() {
-                Some((ms, ml)) if *ms + *ml == s => *ml += l,
-                _ => merged.push((s, l)),
-            }
-        }
-        merged
+        crate::index::select_greenest(slots, need)
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct SlotChoice {
-    start: SimTime,
-    avail: Minutes,
-    ci: f64,
 }
 
 impl fmt::Display for CarbonTrace {

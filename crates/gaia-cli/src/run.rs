@@ -12,7 +12,7 @@ use gaia_metrics::table::TextTable;
 use gaia_metrics::{relative_to, Summary};
 use gaia_obs::{JsonlSink, MetricsRegistry, NullSink, Profiler, Sink};
 use gaia_sim::{
-    CheckpointConfig, ClusterConfig, EvictionModel, InstanceOverheads, SimReport, Simulation,
+    CheckpointConfig, ClusterConfig, EvictionModel, InstanceOverheads, SimRun, Simulation,
 };
 use gaia_time::Minutes;
 use gaia_workload::synth::{section3_workload, TraceFamily};
@@ -67,19 +67,28 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
 
     // The event trace covers the primary policy run only; the --baseline
     // comparison run stays untraced (NullSink: instrumentation compiles
-    // out, so traced and untraced runs produce identical reports).
-    let report = match &options.trace_out {
+    // out, so traced and untraced runs produce identical reports). The
+    // invariant audit rides inside the same runner call when --audit is
+    // set, so its phase timing lands next to plan/event_loop.
+    let SimRun { report, audit } = match &options.trace_out {
         Some(path) => {
             let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
             let mut sink = JsonlSink::new(BufWriter::new(file));
-            let report = run_choice(
-                options, &workload, &carbon, config, queues, &mut sink, profiler,
+            let run = run_choice(
+                options,
+                &workload,
+                &carbon,
+                config,
+                queues,
+                &mut sink,
+                profiler,
+                options.audit,
             )?;
             let events = sink.written();
             sink.finish()
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             gaia_obs::info!("trace: {events} events written to {path}");
-            report
+            run
         }
         None => run_choice(
             options,
@@ -89,6 +98,7 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
             queues,
             &mut NullSink,
             profiler,
+            options.audit,
         )?,
     };
     let summary = Summary::of(policy_name(options), &report);
@@ -129,7 +139,9 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
             queues,
             &mut NullSink,
             profiler,
-        )?;
+            false,
+        )?
+        .report;
         let baseline = Summary::of("NoWait", &baseline_report);
         push_summary_row(&mut table, &baseline);
         print_table(options, &table);
@@ -151,11 +163,7 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
         println!("{}", registry.snapshot_json());
     }
 
-    let audit_code = if options.audit {
-        let audit = {
-            let _t = profiler.map(|p| p.phase("audit"));
-            gaia_sim::audit_report(&report, &config, &carbon)
-        };
+    let audit_code = if let Some(audit) = audit {
         if audit.is_clean() {
             gaia_obs::info!("audit: {} checks, no violations", audit.checks_run);
             ExitCode::SUCCESS
@@ -200,6 +208,7 @@ fn push_summary_row(table: &mut TextTable, summary: &Summary) {
     ]);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run<S: Sink>(
     spec: PolicySpec,
     workload: &WorkloadTrace,
@@ -208,14 +217,24 @@ fn run<S: Sink>(
     queues: QueueSet,
     sink: &mut S,
     profiler: Option<&Profiler>,
-) -> Result<SimReport, String> {
+    audit: bool,
+) -> Result<SimRun, String> {
     let mut scheduler = spec.build(queues);
-    simulate(config, carbon, workload, &mut scheduler, sink, profiler)
+    simulate(
+        config,
+        carbon,
+        workload,
+        &mut scheduler,
+        sink,
+        profiler,
+        audit,
+    )
 }
 
 /// Builds and runs the selected policy, including the extension policies
 /// that live outside the paper's Table 1 catalog. Invalid policy
 /// decisions come back as an error (exit 1), not a process abort.
+#[allow(clippy::too_many_arguments)]
 fn run_choice<S: Sink>(
     options: &Options,
     workload: &WorkloadTrace,
@@ -224,7 +243,8 @@ fn run_choice<S: Sink>(
     queues: QueueSet,
     sink: &mut S,
     profiler: Option<&Profiler>,
-) -> Result<SimReport, String> {
+    audit: bool,
+) -> Result<SimRun, String> {
     let base: Box<dyn BatchPolicy> = match options.policy {
         PolicyChoice::Base(kind) => {
             let spec = PolicySpec {
@@ -232,7 +252,9 @@ fn run_choice<S: Sink>(
                 res_first: options.res_first,
                 spot: options.spot_j_max.map(|j_max| SpotConfig { j_max }),
             };
-            return run(spec, workload, carbon, config, queues, sink, profiler);
+            return run(
+                spec, workload, carbon, config, queues, sink, profiler, audit,
+            );
         }
         PolicyChoice::CarbonTimeSr => Box::new(CarbonTimeSuspend::new(queues)),
         PolicyChoice::CarbonTax => Box::new(CarbonTax::new(
@@ -248,7 +270,15 @@ fn run_choice<S: Sink>(
     if let Some(j_max) = options.spot_j_max {
         scheduler = scheduler.spot_first(SpotConfig { j_max });
     }
-    simulate(config, carbon, workload, &mut scheduler, sink, profiler)
+    simulate(
+        config,
+        carbon,
+        workload,
+        &mut scheduler,
+        sink,
+        profiler,
+        audit,
+    )
 }
 
 fn simulate<S: Sink>(
@@ -258,12 +288,16 @@ fn simulate<S: Sink>(
     scheduler: &mut dyn gaia_sim::Scheduler,
     sink: &mut S,
     profiler: Option<&Profiler>,
-) -> Result<SimReport, String> {
+    audit: bool,
+) -> Result<SimRun, String> {
     let mut sim = Simulation::new(config, carbon);
     if let Some(p) = profiler {
         sim = sim.with_profiler(p);
     }
-    sim.try_run_traced(workload, scheduler, sink)
+    sim.runner(workload, scheduler)
+        .sink(sink)
+        .audit(audit)
+        .execute()
         .map_err(|e| e.to_string())
 }
 

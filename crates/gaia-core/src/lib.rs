@@ -43,9 +43,11 @@
 //! // The paper's RES-First-Carbon-Time on 9 reserved instances.
 //! let mut scheduler =
 //!     GaiaScheduler::new(CarbonTime::new(queues)).res_first();
-//! let report = Simulation::new(ClusterConfig::default().with_reserved(9), &carbon)
-//!     .run(&trace, &mut scheduler);
-//! assert!(report.totals.carbon_g > 0.0);
+//! let run = Simulation::new(ClusterConfig::default().with_reserved(9), &carbon)
+//!     .runner(&trace, &mut scheduler)
+//!     .execute()
+//!     .expect("valid policy decisions");
+//! assert!(run.report.totals.carbon_g > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]

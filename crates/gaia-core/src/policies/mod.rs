@@ -102,35 +102,11 @@ pub(crate) fn greenest_slots(
     need: Minutes,
 ) -> Vec<(SimTime, Minutes)> {
     let horizon = horizon.max(need);
-    let mut slots: Vec<(SimTime, Minutes, f64)> =
-        gaia_time::HourlySlots::spanning(ctx.now, horizon)
-            .map(|s| (s.start, s.overlap, ctx.forecast.at(s.start)))
-            .collect();
-    slots.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
-    let mut remaining = need;
-    let mut chosen = Vec::new();
-    for (start, avail, _) in slots {
-        if remaining.is_zero() {
-            break;
-        }
-        let take = avail.min(remaining);
-        chosen.push((start, take));
-        remaining -= take;
-    }
-    // The hourly slots tile [now, now + horizon) exactly and horizon >=
-    // need, so the greedy pass always finds enough minutes. Checked in
-    // all build profiles: a truncated plan here silently corrupts every
-    // downstream carbon/cost figure.
-    assert!(remaining.is_zero(), "horizon >= need guarantees coverage");
-    chosen.sort_by_key(|(s, _)| *s);
-    let mut merged: Vec<(SimTime, Minutes)> = Vec::new();
-    for (s, l) in chosen {
-        match merged.last_mut() {
-            Some((ms, ml)) if *ms + *ml == s => *ml += l,
-            _ => merged.push((s, l)),
-        }
-    }
-    merged
+    // The view routes this through the forecaster's query kernel: the
+    // perfect forecaster answers from its ForecastIndex, stochastic
+    // forecasters from their per-`now` memo, with output identical to
+    // the historical sort-everything greedy over `ctx.forecast.at`.
+    ctx.forecast.greenest_slots(horizon, need)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use gaia_carbon::CarbonTrace;
 use gaia_core::catalog::PolicySpec;
-use gaia_sim::{ClusterConfig, SimError, SimReport, Simulation};
+use gaia_sim::{ClusterConfig, SimError, SimReport, SimRun, Simulation};
 use gaia_workload::{QueueSet, WorkloadTrace};
 
 use crate::Summary;
@@ -31,7 +31,11 @@ pub fn run_spec_report_with_queues(
     queues: QueueSet,
 ) -> SimReport {
     let mut scheduler = spec.build(queues);
-    Simulation::new(config, carbon).run(trace, &mut scheduler)
+    Simulation::new(config, carbon)
+        .runner(trace, &mut scheduler)
+        .execute()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_report()
 }
 
 /// Like [`run_spec_report`] but returns invalid policy decisions as a
@@ -56,7 +60,10 @@ pub fn try_run_spec_report_with_queues(
     queues: QueueSet,
 ) -> Result<SimReport, SimError> {
     let mut scheduler = spec.build(queues);
-    Simulation::new(config, carbon).try_run(trace, &mut scheduler)
+    Simulation::new(config, carbon)
+        .runner(trace, &mut scheduler)
+        .execute()
+        .map(SimRun::into_report)
 }
 
 /// Like [`try_run_spec_report_with_queues`] but emits lifecycle events
@@ -76,7 +83,10 @@ pub fn try_run_spec_report_traced_with_queues<S: gaia_sim::Sink>(
     if let Some(profiler) = profiler {
         sim = sim.with_profiler(profiler);
     }
-    sim.try_run_traced(trace, &mut scheduler, sink)
+    sim.runner(trace, &mut scheduler)
+        .sink(sink)
+        .execute()
+        .map(SimRun::into_report)
 }
 
 /// Runs one policy spec and summarizes it.

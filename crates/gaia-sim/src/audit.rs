@@ -589,7 +589,11 @@ mod tests {
                 crate::Decision::run_at(job.arrival)
             }
         }
-        let report = Simulation::new(config, &carbon).run(&jobs, &mut Asap);
+        let report = Simulation::new(config, &carbon)
+            .runner(&jobs, &mut Asap)
+            .execute()
+            .expect("valid decisions")
+            .into_report();
         (report, config, carbon)
     }
 

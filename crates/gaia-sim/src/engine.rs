@@ -27,6 +27,7 @@ use gaia_time::{Minutes, SimTime, MINUTES_PER_DAY};
 use gaia_workload::{Job, WorkloadTrace};
 
 use crate::account::{segment_carbon, segment_cost, ClusterTotals, JobOutcome, SegmentRecord};
+use crate::audit::{audit_report, AuditReport};
 use crate::config::ClusterConfig;
 use crate::error::{PolicyError, SimError};
 use crate::plan::{Decision, PurchaseOption};
@@ -111,6 +112,48 @@ impl<'a> Simulation<'a> {
         &self.config
     }
 
+    /// Starts building a run of `trace` under `scheduler`.
+    ///
+    /// This is the single entry point for executing a simulation;
+    /// configure the run with [`SimRunner::sink`] / [`SimRunner::audit`]
+    /// and launch it with [`SimRunner::execute`]:
+    ///
+    /// ```
+    /// # use gaia_carbon::CarbonTrace;
+    /// # use gaia_sim::{ClusterConfig, Decision, Scheduler, SchedulerContext, Simulation};
+    /// # use gaia_workload::{Job, JobId, WorkloadTrace};
+    /// # use gaia_time::{Minutes, SimTime};
+    /// # struct RunNow;
+    /// # impl Scheduler for RunNow {
+    /// #     fn on_arrival(&mut self, job: &Job, _ctx: &SchedulerContext<'_>) -> Decision {
+    /// #         Decision::run_at(job.arrival)
+    /// #     }
+    /// # }
+    /// # let trace = WorkloadTrace::from_jobs(vec![
+    /// #     Job::new(JobId(0), SimTime::ORIGIN, Minutes::from_hours(1), 1),
+    /// # ]);
+    /// # let carbon = CarbonTrace::constant(100.0, 24).unwrap();
+    /// let run = Simulation::new(ClusterConfig::default(), &carbon)
+    ///     .runner(&trace, &mut RunNow)
+    ///     .audit(true)
+    ///     .execute()
+    ///     .expect("valid policy decisions");
+    /// assert!(run.audit.expect("audit enabled").violations.is_empty());
+    /// ```
+    pub fn runner<'r>(
+        &'r self,
+        trace: &'r WorkloadTrace,
+        scheduler: &'r mut dyn Scheduler,
+    ) -> SimRunner<'a, 'r, NullSink> {
+        SimRunner {
+            sim: self,
+            trace,
+            scheduler,
+            sink: None,
+            audit: false,
+        }
+    }
+
     /// Replays `trace` under `scheduler` and returns the full report.
     ///
     /// # Panics
@@ -118,10 +161,11 @@ impl<'a> Simulation<'a> {
     /// Panics if the policy returns an invalid decision: a planned start
     /// before the job's arrival, or a segment plan whose total differs
     /// from the job's length. These are policy bugs, not runtime
-    /// conditions. Use [`Simulation::try_run`] to get them as typed
+    /// conditions. Use the [`SimRunner`] builder to get them as typed
     /// errors instead.
+    #[deprecated(note = "use `Simulation::runner(trace, scheduler).execute()` instead")]
     pub fn run(&self, trace: &WorkloadTrace, scheduler: &mut dyn Scheduler) -> SimReport {
-        self.try_run(trace, scheduler)
+        self.run_traced_inner(trace, scheduler, &mut NullSink)
             .unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -129,30 +173,42 @@ impl<'a> Simulation<'a> {
     /// decisions (and any broken engine invariant) as a typed
     /// [`SimError`] instead of panicking — so one bad cell in a sweep
     /// fails alone rather than aborting the whole process.
+    #[deprecated(note = "use `Simulation::runner(trace, scheduler).execute()` instead")]
     pub fn try_run(
         &self,
         trace: &WorkloadTrace,
         scheduler: &mut dyn Scheduler,
     ) -> Result<SimReport, SimError> {
-        self.try_run_traced(trace, scheduler, &mut NullSink)
+        self.run_traced_inner(trace, scheduler, &mut NullSink)
     }
 
     /// Like [`Simulation::try_run`], but emits typed lifecycle events
     /// ([`gaia_obs::Event`]) into `sink` as the simulation progresses.
+    #[deprecated(note = "use `Simulation::runner(trace, scheduler).sink(sink).execute()` instead")]
+    pub fn try_run_traced<S: Sink>(
+        &self,
+        trace: &WorkloadTrace,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut S,
+    ) -> Result<SimReport, SimError> {
+        self.run_traced_inner(trace, scheduler, sink)
+    }
+
+    /// The engine entry point behind [`SimRunner::execute`] and the
+    /// deprecated wrappers.
     ///
     /// The sink is statically dispatched: with [`NullSink`] every
-    /// instrumentation site compiles out (`Sink::ACTIVE == false`) and
-    /// this is exactly [`Simulation::try_run`]. Event timestamps are
-    /// simulated minutes, so the stream is deterministic — a given
-    /// (config, trace, policy) triple serializes byte-identically on
-    /// every run.
+    /// instrumentation site compiles out (`Sink::ACTIVE == false`).
+    /// Event timestamps are simulated minutes, so the stream is
+    /// deterministic — a given (config, trace, policy) triple serializes
+    /// byte-identically on every run.
     // One out-of-line copy per sink type: the engine runs for
     // milliseconds, so caller-side inlining buys nothing, and a single
     // copy keeps the NullSink path byte-identical between the untraced
-    // entry points and explicit `try_run_traced(.., &mut NullSink)`
-    // callers (which the obs_overhead bench relies on).
+    // entry points and explicit `.sink(&mut NullSink)` callers (which
+    // the obs_overhead bench relies on).
     #[inline(never)]
-    pub fn try_run_traced<S: Sink>(
+    fn run_traced_inner<S: Sink>(
         &self,
         trace: &WorkloadTrace,
         scheduler: &mut dyn Scheduler,
@@ -193,6 +249,97 @@ impl<'a> Simulation<'a> {
         };
         engine.run(scheduler)?;
         Ok(engine.into_report(trace))
+    }
+}
+
+/// A configured run of one workload trace, built by
+/// [`Simulation::runner`].
+///
+/// Collapses the historical `run` / `try_run` / `try_run_traced` entry
+/// points into one builder: chain [`SimRunner::sink`] to stream typed
+/// lifecycle events and [`SimRunner::audit`] to verify engine invariants
+/// after the run, then call [`SimRunner::execute`].
+pub struct SimRunner<'a, 'r, S: Sink = NullSink> {
+    sim: &'r Simulation<'a>,
+    trace: &'r WorkloadTrace,
+    scheduler: &'r mut dyn Scheduler,
+    sink: Option<&'r mut S>,
+    audit: bool,
+}
+
+impl std::fmt::Debug for SimRunner<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRunner")
+            .field("audit", &self.audit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, 'r, S: Sink> SimRunner<'a, 'r, S> {
+    /// Enables (or disables) the post-run invariant audit; disabled by
+    /// default. When enabled, [`SimRun::audit`] carries the
+    /// [`AuditReport`] and the audit time is recorded under the
+    /// profiler's `"audit"` phase.
+    pub fn audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// Streams typed lifecycle events ([`gaia_obs::Event`]) into `sink`
+    /// as the simulation progresses.
+    ///
+    /// The sink is statically dispatched: with [`NullSink`] (the
+    /// default) every instrumentation site compiles out
+    /// (`Sink::ACTIVE == false`). Event timestamps are simulated
+    /// minutes, so the stream is deterministic — a given (config, trace,
+    /// policy) triple serializes byte-identically on every run.
+    pub fn sink<T: Sink>(self, sink: &'r mut T) -> SimRunner<'a, 'r, T> {
+        SimRunner {
+            sim: self.sim,
+            trace: self.trace,
+            scheduler: self.scheduler,
+            sink: Some(sink),
+            audit: self.audit,
+        }
+    }
+
+    /// Runs the simulation, surfacing invalid policy decisions (and any
+    /// broken engine invariant) as a typed [`SimError`] — so one bad
+    /// cell in a sweep fails alone rather than aborting the whole
+    /// process.
+    pub fn execute(self) -> Result<SimRun, SimError> {
+        let report = match self.sink {
+            Some(sink) => self
+                .sim
+                .run_traced_inner(self.trace, self.scheduler, sink)?,
+            None => self
+                .sim
+                .run_traced_inner(self.trace, self.scheduler, &mut NullSink)?,
+        };
+        let audit = if self.audit {
+            let _timer = self.sim.profiler.map(|p| p.phase("audit"));
+            Some(audit_report(&report, &self.sim.config, self.sim.carbon))
+        } else {
+            None
+        };
+        Ok(SimRun { report, audit })
+    }
+}
+
+/// The outcome of [`SimRunner::execute`].
+#[derive(Debug)]
+pub struct SimRun {
+    /// The full simulation report.
+    pub report: SimReport,
+    /// The invariant audit of the finished run, when enabled via
+    /// [`SimRunner::audit`].
+    pub audit: Option<AuditReport>,
+}
+
+impl SimRun {
+    /// Discards the audit (if any) and returns the report alone.
+    pub fn into_report(self) -> SimReport {
+        self.report
     }
 }
 

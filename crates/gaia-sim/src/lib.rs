@@ -35,9 +35,11 @@
 //!     Job::new(JobId(0), SimTime::ORIGIN, Minutes::from_hours(2), 1),
 //! ]);
 //! let carbon = CarbonTrace::constant(100.0, 24)?;
-//! let report = Simulation::new(ClusterConfig::default(), &carbon)
-//!     .run(&trace, &mut RunNow);
-//! assert_eq!(report.jobs[0].waiting, Minutes::ZERO);
+//! let run = Simulation::new(ClusterConfig::default(), &carbon)
+//!     .runner(&trace, &mut RunNow)
+//!     .execute()
+//!     .expect("valid policy decisions");
+//! assert_eq!(run.report.jobs[0].waiting, Minutes::ZERO);
 //! # Ok::<(), gaia_carbon::CarbonError>(())
 //! ```
 
@@ -60,11 +62,11 @@ pub use audit::{audit_report, AuditInvariant, AuditReport, AuditViolation};
 pub use config::{
     CapacityCap, CheckpointConfig, ClusterConfig, EnergyModel, InstanceOverheads, Pricing,
 };
-pub use engine::{Scheduler, SchedulerContext, Simulation};
+pub use engine::{Scheduler, SchedulerContext, SimRun, SimRunner, Simulation};
 pub use error::{PolicyError, SimError};
 // Observability: re-exported so engine callers can trace and profile
-// runs ([`Simulation::try_run_traced`], [`Simulation::with_profiler`])
-// without naming gaia-obs directly.
+// runs ([`SimRunner::sink`], [`Simulation::with_profiler`]) without
+// naming gaia-obs directly.
 pub use eviction::EvictionModel;
 pub use gaia_obs::{
     Event as TraceEvent, JsonlSink, NullSink, Profiler, Sink, TraceSummary, VecSink,

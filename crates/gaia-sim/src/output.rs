@@ -129,7 +129,10 @@ mod tests {
             Job::new(JobId(0), SimTime::from_hours(1), Minutes::new(30), 1),
         ]);
         let report = Simulation::new(ClusterConfig::default().with_reserved(1), &carbon)
-            .run(&trace, &mut RunNow);
+            .runner(&trace, &mut RunNow)
+            .execute()
+            .expect("valid decisions")
+            .into_report();
         (report, carbon)
     }
 

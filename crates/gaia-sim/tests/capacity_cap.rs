@@ -1,5 +1,10 @@
 //! Behavioural tests of the capacity-cap mechanism (§8's
 //! demand-regulation alternative to carbon-aware start times).
+//!
+//! Stays on the deprecated `run` wrapper as legacy-surface coverage —
+//! the wrappers must keep working until downstream callers finish
+//! migrating to [`Simulation::runner`].
+#![allow(deprecated)]
 
 use gaia_carbon::CarbonTrace;
 use gaia_sim::{

@@ -1,5 +1,11 @@
 //! Behavioural tests of the simulation engine: starts, work conservation,
 //! spot evictions, segment plans, and accounting identities.
+//!
+//! Deliberately stays on the deprecated `run`/`try_run` wrappers: they
+//! are kept for downstream callers and this suite is what proves they
+//! still behave (including `run`'s Display-formatted panic, which the
+//! `should_panic` tests below pin).
+#![allow(deprecated)]
 
 use gaia_carbon::CarbonTrace;
 use gaia_sim::{

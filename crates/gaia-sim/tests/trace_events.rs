@@ -60,8 +60,11 @@ fn traced_events() -> (Vec<TraceEvent>, gaia_sim::SimReport) {
     let (carbon, trace, config) = scenario();
     let mut sink = VecSink::new();
     let report = Simulation::new(config, &carbon)
-        .try_run_traced(&trace, &mut MixedPolicy, &mut sink)
-        .expect("simulation succeeds");
+        .runner(&trace, &mut MixedPolicy)
+        .sink(&mut sink)
+        .execute()
+        .expect("simulation succeeds")
+        .into_report();
     (sink.into_events(), report)
 }
 
@@ -143,8 +146,10 @@ fn summary_matches_sim_report_totals() {
 fn traced_and_untraced_reports_are_identical() {
     let (carbon, trace, config) = scenario();
     let untraced = Simulation::new(config, &carbon)
-        .try_run(&trace, &mut MixedPolicy)
-        .expect("simulation succeeds");
+        .runner(&trace, &mut MixedPolicy)
+        .execute()
+        .expect("simulation succeeds")
+        .into_report();
     let (_, traced) = traced_events();
     assert_eq!(traced.jobs.len(), untraced.jobs.len());
     for (a, b) in traced.jobs.iter().zip(&untraced.jobs) {

@@ -71,9 +71,9 @@ pub use gaia_carbon::Region;
 pub use gaia_core::catalog::PolicySpec;
 pub use gaia_workload::synth::TraceFamily;
 
-use gaia_metrics::{observe, runner, Summary};
+use gaia_metrics::{observe, Summary};
 use gaia_obs::{Event, JsonlSink, MetricsRegistry, NullSink, Profiler, SharedSink, Sink};
-use gaia_sim::AuditReport;
+use gaia_sim::{AuditReport, Simulation};
 
 /// How one scenario cell ended.
 ///
@@ -246,25 +246,24 @@ pub fn run_cell_traced<S: Sink>(
     let workload = cache.workload(scenario.family, scenario.scale, scenario.seed);
     let queues = scenario.queues.build(&workload);
     let config = scenario.cluster.build(scenario.seed);
-    match runner::try_run_spec_report_traced_with_queues(
-        scenario.policy,
-        &workload,
-        &carbon,
-        config,
-        queues,
-        sink,
-        profiler,
-    ) {
-        Ok(report) => {
+    let mut scheduler = scenario.policy.build(queues);
+    let mut sim = Simulation::new(config, &carbon);
+    if let Some(p) = profiler {
+        sim = sim.with_profiler(p);
+    }
+    match sim
+        .runner(&workload, &mut scheduler)
+        .sink(sink)
+        .audit(audit)
+        .execute()
+    {
+        Ok(run) => {
             if let Some(registry) = metrics {
-                observe::observe_report(registry, &report);
+                observe::observe_report(registry, &run.report);
             }
             CellOutcome::Completed {
-                summary: Summary::of(scenario.policy.name(), &report),
-                audit: audit.then(|| {
-                    let _audit = profiler.map(|p| p.phase("audit"));
-                    gaia_sim::audit_report(&report, &config, &carbon)
-                }),
+                summary: Summary::of(scenario.policy.name(), &run.report),
+                audit: run.audit,
             }
         }
         Err(error) => CellOutcome::Failed {

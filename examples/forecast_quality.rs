@@ -54,7 +54,10 @@ fn main() {
         let mut scheduler = GaiaScheduler::new(CarbonTime::new(queues));
         let report = Simulation::new(config, &carbon)
             .with_forecaster(forecaster)
-            .run(&workload, &mut scheduler);
+            .runner(&workload, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report();
         println!(
             "{:<28} {:>11.1}% {:>11.1}% {:>14.3} {:>10.2}",
             name,

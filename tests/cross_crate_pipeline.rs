@@ -48,7 +48,10 @@ fn noisy_forecasts_degrade_but_do_not_break_savings() {
         let mut scheduler = PolicySpec::plain(BasePolicyKind::CarbonTime).build(queues);
         let report = Simulation::new(config, &carbon)
             .with_forecaster(&forecaster)
-            .run(&trace, &mut scheduler);
+            .runner(&trace, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report();
         report.totals.carbon_g
     };
 

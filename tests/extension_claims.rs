@@ -30,7 +30,11 @@ fn suspend_resume_carbon_time_dominates_ecovisor() {
     let (trace, ci, config) = setup();
     let queues = runner::default_queues(&trace);
     let mut sr = GaiaScheduler::new(CarbonTimeSuspend::new(queues));
-    let sr_report = Simulation::new(config, &ci).run(&trace, &mut sr);
+    let sr_report = Simulation::new(config, &ci)
+        .runner(&trace, &mut sr)
+        .execute()
+        .expect("valid policy decisions")
+        .into_report();
     let sr_summary = Summary::of("Carbon-Time-SR", &sr_report);
     let ct = runner::run_spec(
         PolicySpec::plain(BasePolicyKind::CarbonTime),
@@ -73,7 +77,11 @@ fn carbon_tax_interpolates_monotonically() {
     let mut prev_carbon = f64::INFINITY;
     for tax in [0.0, 0.05, 0.2, 1.0, 10.0] {
         let mut scheduler = GaiaScheduler::new(CarbonTax::new(queues, tax, 0.05));
-        let report = Simulation::new(config, &ci).run(&trace, &mut scheduler);
+        let report = Simulation::new(config, &ci)
+            .runner(&trace, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report();
         let carbon = report.totals.carbon_g;
         assert!(
             carbon <= prev_carbon * 1.005,
@@ -95,7 +103,11 @@ fn carbon_tax_interpolates_monotonically() {
         config,
     );
     let mut zero_tax = GaiaScheduler::new(CarbonTax::new(queues, 0.0, 0.05));
-    let zero = Simulation::new(config, &ci).run(&trace, &mut zero_tax);
+    let zero = Simulation::new(config, &ci)
+        .runner(&trace, &mut zero_tax)
+        .execute()
+        .expect("valid policy decisions")
+        .into_report();
     assert!((zero.totals.carbon_g - nowait.carbon_g).abs() < 1e-6 * nowait.carbon_g);
     assert!(
         prev_carbon < lw.carbon_g * 1.05,
@@ -198,7 +210,11 @@ fn tiered_ladder_improves_wait_efficiency() {
     let mut scheduler = GaiaScheduler::new(TieredCarbonTime::new(ladder));
     let tiered = Summary::of(
         "tiered",
-        &Simulation::new(config, &ci).run(&trace, &mut scheduler),
+        &Simulation::new(config, &ci)
+            .runner(&trace, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report(),
     );
     assert!(
         savings_per_wait_hour(&nowait, &tiered)
@@ -222,7 +238,11 @@ fn price_aware_extremes_conflict() {
     let run = |weight: f64| {
         let mut scheduler =
             GaiaScheduler::new(PriceAware::new(queues, price.clone(), weight, ci.mean()));
-        Simulation::new(config, &ci).run(&trace, &mut scheduler)
+        Simulation::new(config, &ci)
+            .runner(&trace, &mut scheduler)
+            .execute()
+            .expect("valid policy decisions")
+            .into_report()
     };
     let bill = |report: &gaia_sim::SimReport| -> f64 {
         let price = &price;
