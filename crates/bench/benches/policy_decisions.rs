@@ -15,6 +15,7 @@ fn ctx<'a>(forecaster: &'a dyn CarbonForecaster, now: SimTime) -> SchedulerConte
         forecast: ForecastView::new(forecaster, now),
         reserved_free: 0,
         reserved_capacity: 0,
+        degraded: false,
     }
 }
 

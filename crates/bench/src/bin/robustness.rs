@@ -1,0 +1,228 @@
+//! Robustness sweep: graceful degradation vs fault severity.
+//!
+//! Replays one week-long Alibaba-PAI scenario (South Australia,
+//! spot-heavy cluster) under compound fault plans of increasing severity
+//! — an eviction storm, a forecast outage with persistence fallback, a
+//! price spike, and a carbon-trace gap, all scaled together — across
+//! three policies, and reports how far each policy degrades relative to
+//! its own unfaulted baseline.
+//!
+//! Every faulted run is audited with the `Degradation` invariant family;
+//! a violation or a simulation error exits non-zero, so this binary
+//! doubles as the "faults degrade, they must not break" gate. The
+//! table lands in `results/robustness_degradation.txt` and the raw rows
+//! in `results/robustness_severity.csv`; `scripts/reproduce_all.sh`
+//! additionally captures stdout as `results/robustness.txt`.
+
+use std::process::ExitCode;
+
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_metrics::table::TextTable;
+use gaia_sim::{ClusterConfig, EvictionModel, FaultPlan, FaultSpec, NullSink, SimRun};
+use gaia_time::SimTime;
+use gaia_workload::QueueSet;
+
+/// One severity rung: every fault kind scaled together.
+struct Severity {
+    name: &'static str,
+    /// Eviction-rate multiplier over the first three days.
+    storm: f64,
+    /// Forecast-outage length in hours, starting at hour 10.
+    outage_hours: u64,
+    /// Price multiplier over hours 5–29.
+    spike: f64,
+    /// Carbon-trace gap length in hours, starting at hour 48.
+    gap_hours: u64,
+}
+
+const SEVERITIES: [Severity; 3] = [
+    Severity {
+        name: "mild",
+        storm: 5.0,
+        outage_hours: 12,
+        spike: 1.5,
+        gap_hours: 6,
+    },
+    Severity {
+        name: "severe",
+        storm: 20.0,
+        outage_hours: 48,
+        spike: 2.5,
+        gap_hours: 24,
+    },
+    Severity {
+        name: "extreme",
+        storm: 50.0,
+        outage_hours: 96,
+        spike: 4.0,
+        gap_hours: 48,
+    },
+];
+
+impl Severity {
+    fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultSpec::EvictionStorm {
+            start: SimTime::ORIGIN,
+            end: SimTime::from_hours(72),
+            multiplier: self.storm,
+        });
+        plan.push(FaultSpec::ForecastOutage {
+            start: SimTime::from_hours(10),
+            end: SimTime::from_hours(10 + self.outage_hours),
+        });
+        plan.push(FaultSpec::PriceSpike {
+            start: SimTime::from_hours(5),
+            end: SimTime::from_hours(29),
+            multiplier: self.spike,
+        });
+        plan.push(FaultSpec::TraceGap {
+            start_hour: 48,
+            hours: self.gap_hours,
+        });
+        plan
+    }
+}
+
+fn policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::plain(BasePolicyKind::NoWait),
+        PolicySpec::plain(BasePolicyKind::LowestWindow),
+        PolicySpec::plain(BasePolicyKind::CarbonTime),
+    ]
+}
+
+fn run_one(
+    spec: &PolicySpec,
+    trace: &gaia_workload::WorkloadTrace,
+    carbon: &gaia_carbon::CarbonTrace,
+    faults: Option<&gaia_sim::FaultSchedule>,
+) -> Result<SimRun, String> {
+    let config = ClusterConfig::default()
+        .with_billing_horizon(bench::week_billing())
+        .with_eviction(EvictionModel::hourly(0.02));
+    let queues = QueueSet::paper_defaults().with_averages_from(trace.jobs());
+    let mut scheduler = spec.build(queues);
+    let mut sim = gaia_sim::Simulation::new(config, carbon);
+    if let Some(schedule) = faults {
+        sim = sim.with_faults(schedule);
+    }
+    sim.runner(trace, &mut scheduler)
+        .sink(&mut NullSink)
+        .audit(true)
+        .execute()
+        .map_err(|e| format!("{}: {e}", spec.name()))
+}
+
+fn main() -> ExitCode {
+    bench::banner(
+        "Robustness",
+        "Graceful degradation vs fault severity: compound fault plans\n\
+         (eviction storm + forecast outage + price spike + trace gap) at\n\
+         three severities, three policies, week-long Alibaba-PAI trace,\n\
+         South Australia, 2% hourly spot eviction. Deltas are relative to\n\
+         each policy's own unfaulted baseline; every run is audited.",
+    );
+    let carbon = bench::carbon(gaia_carbon::Region::SouthAustralia);
+    let trace = bench::week_trace();
+
+    let mut table = TextTable::new(vec![
+        "severity",
+        "policy",
+        "carbon Δ%",
+        "cost Δ%",
+        "wait Δh",
+        "degraded decisions",
+        "storm evictions",
+        "surcharge ($)",
+        "gap hours",
+        "audit",
+    ]);
+    let mut csv = String::from(
+        "severity,policy,carbon_g,carbon_delta_pct,total_cost,cost_delta_pct,\
+         mean_wait_hours,wait_delta_hours,degraded_decisions,storm_evictions,\
+         capacity_denials,price_surcharge,bridged_gap_hours,audit_violations\n",
+    );
+
+    let mut violations = 0usize;
+    for spec in &policies() {
+        let baseline = match run_one(spec, &trace, &carbon, None) {
+            Ok(run) => run,
+            Err(error) => {
+                eprintln!("baseline {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = &baseline.report;
+        for severity in &SEVERITIES {
+            let schedule = severity.plan().compile().expect("static plan is valid");
+            let run = match run_one(spec, &trace, &carbon, Some(&schedule)) {
+                Ok(run) => run,
+                Err(error) => {
+                    eprintln!("severity {}: {error}", severity.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = &run.report;
+            let audit = run.audit.as_ref().expect("audit requested");
+            violations += audit.violations.len();
+            for violation in &audit.violations {
+                eprintln!("audit: {}/{}: {violation}", severity.name, spec.name());
+            }
+            let deg = &report.degradation;
+            let carbon_delta = (report.carbon_g() / base.carbon_g() - 1.0) * 100.0;
+            let cost_delta = (report.total_cost() / base.total_cost() - 1.0) * 100.0;
+            let wait_delta =
+                report.mean_waiting().as_hours_f64() - base.mean_waiting().as_hours_f64();
+            table.row(vec![
+                severity.name.to_owned(),
+                spec.name(),
+                format!("{carbon_delta:+.1}"),
+                format!("{cost_delta:+.1}"),
+                format!("{wait_delta:+.2}"),
+                deg.degraded_decisions.to_string(),
+                deg.storm_evictions.to_string(),
+                format!("{:.2}", deg.price_surcharge),
+                deg.bridged_gap_hours.to_string(),
+                if audit.is_clean() {
+                    "clean"
+                } else {
+                    "VIOLATED"
+                }
+                .to_owned(),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{},{carbon_delta},{},{cost_delta},{},{wait_delta},{},{},{},{},{},{}\n",
+                severity.name,
+                spec.name(),
+                report.carbon_g(),
+                report.total_cost(),
+                report.mean_waiting().as_hours_f64(),
+                deg.degraded_decisions,
+                deg.storm_evictions,
+                deg.capacity_denials,
+                deg.price_surcharge,
+                deg.bridged_gap_hours,
+                audit.violations.len(),
+            ));
+        }
+    }
+    println!("{table}");
+
+    if let Err(error) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/robustness_degradation.txt", format!("{table}\n")))
+        .and_then(|()| std::fs::write("results/robustness_severity.csv", &csv))
+    {
+        eprintln!("writing results/robustness_* artifacts: {error}");
+        return ExitCode::FAILURE;
+    }
+    println!("table written to results/robustness_degradation.txt");
+    println!("raw rows written to results/robustness_severity.csv");
+
+    if violations > 0 {
+        eprintln!("audit: {violations} violation(s) under fault injection");
+        return ExitCode::from(2);
+    }
+    println!("audit: all faulted runs clean — degradation without breakage");
+    ExitCode::SUCCESS
+}

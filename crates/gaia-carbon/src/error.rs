@@ -23,6 +23,14 @@ pub enum CarbonError {
         /// Description of the problem.
         reason: String,
     },
+    /// A gap range passed to [`CarbonTrace::with_gaps_bridged`] is
+    /// unusable: out of the trace's range, or covering every sample.
+    ///
+    /// [`CarbonTrace::with_gaps_bridged`]: crate::CarbonTrace::with_gaps_bridged
+    InvalidGap {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CarbonError {
@@ -34,6 +42,9 @@ impl fmt::Display for CarbonError {
             }
             CarbonError::Parse { line, reason } => {
                 write!(f, "parse error on line {line}: {reason}")
+            }
+            CarbonError::InvalidGap { reason } => {
+                write!(f, "invalid trace gap: {reason}")
             }
         }
     }

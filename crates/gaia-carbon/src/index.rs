@@ -186,7 +186,7 @@ impl<'t> ForecastIndex<'t> {
     /// and with only O(plan) slots materialized.
     ///
     /// The greedy touches at most `cap = ceil((need + 118) / 60)` slots
-    /// (see [`select_greenest`]), all of them among the `cap` cheapest of
+    /// (see the internal `select_greenest` helper), all of them among the `cap` cheapest of
     /// the window, so every touched slot's CI is at or below the window's
     /// rank-`cap − 1` CI value. That threshold comes from the wavelet
     /// matrix in O(log n); the window scan then keeps only at-or-below-

@@ -103,6 +103,82 @@ impl CarbonTrace {
         CarbonTrace::from_hourly(values).expect("rotation preserves validity")
     }
 
+    /// Returns a copy of the trace with the hourly samples in `gaps`
+    /// treated as missing and bridged by linear interpolation.
+    ///
+    /// Each gap is a `(start_hour, hours)` range of missing samples; ranges
+    /// may overlap. Every maximal missing run is replaced by a straight line
+    /// between the last surviving sample before it and the first surviving
+    /// sample after it; runs touching the trace start (end) hold the nearest
+    /// surviving sample flat instead. This is the explicit gap semantics the
+    /// fault-injection layer relies on: the *policy-visible* forecast runs
+    /// on the bridged trace while accounting keeps the true one.
+    ///
+    /// With an empty `gaps` slice the returned trace is identical to `self`
+    /// (same values, same prefix sums), preserving the forecast index's
+    /// bit-identity contract on gap-free traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::InvalidGap`] if a range reaches past the end
+    /// of the trace or if the union of ranges covers every sample (there is
+    /// nothing left to interpolate from).
+    pub fn with_gaps_bridged(&self, gaps: &[(u64, u64)]) -> Result<CarbonTrace, CarbonError> {
+        let n = self.values.len();
+        let mut missing = vec![false; n];
+        for &(start_hour, hours) in gaps {
+            let end = start_hour
+                .checked_add(hours)
+                .ok_or(CarbonError::InvalidGap {
+                    reason: format!("gap at hour {start_hour} overflows"),
+                })?;
+            if end > n as u64 {
+                return Err(CarbonError::InvalidGap {
+                    reason: format!("gap [{start_hour}, {end}) reaches past the trace's {n} hours"),
+                });
+            }
+            for flag in &mut missing[start_hour as usize..end as usize] {
+                *flag = true;
+            }
+        }
+        if missing.iter().all(|&m| m) && !missing.is_empty() {
+            return Err(CarbonError::InvalidGap {
+                reason: "gaps cover the entire trace".into(),
+            });
+        }
+        let mut values = self.values.clone();
+        let mut h = 0;
+        while h < n {
+            if !missing[h] {
+                h += 1;
+                continue;
+            }
+            let run_start = h;
+            while h < n && missing[h] {
+                h += 1;
+            }
+            let run_end = h; // maximal missing run is [run_start, run_end)
+            let left = run_start.checked_sub(1).map(|i| values[i]);
+            let right = if run_end < n {
+                Some(values[run_end])
+            } else {
+                None
+            };
+            match (left, right) {
+                (Some(a), Some(b)) => {
+                    let steps = (run_end - run_start + 1) as f64;
+                    for (k, value) in values[run_start..run_end].iter_mut().enumerate() {
+                        *value = a + (b - a) * ((k + 1) as f64 / steps);
+                    }
+                }
+                (Some(a), None) => values[run_start..run_end].fill(a),
+                (None, Some(b)) => values[run_start..run_end].fill(b),
+                (None, None) => unreachable!("fully-missing traces are rejected above"),
+            }
+        }
+        CarbonTrace::from_hourly(values)
+    }
+
     /// Total simulated span of one period of the trace.
     pub fn span(&self) -> Minutes {
         Minutes::from_hours(self.values.len() as u64)
@@ -508,5 +584,66 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("2 h"));
         assert!(s.contains("200.0"));
+    }
+
+    #[test]
+    fn bridging_no_gaps_is_identical() {
+        let t = trace(&[100.0, 300.0, 200.0, 50.0]);
+        let bridged = t.with_gaps_bridged(&[]).expect("empty gap list");
+        assert_eq!(bridged, t);
+        assert_eq!(
+            bridged
+                .hourly_values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            t.hourly_values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn bridging_interpolates_interior_gaps() {
+        let t = trace(&[100.0, 1.0, 2.0, 3.0, 500.0]);
+        let bridged = t.with_gaps_bridged(&[(1, 3)]).expect("interior gap");
+        // Straight line from 100 (hour 0) to 500 (hour 4).
+        assert_eq!(
+            bridged.hourly_values(),
+            &[100.0, 200.0, 300.0, 400.0, 500.0]
+        );
+    }
+
+    #[test]
+    fn bridging_holds_flat_at_trace_edges() {
+        let t = trace(&[9.0, 9.0, 70.0, 8.0, 8.0]);
+        let bridged = t.with_gaps_bridged(&[(0, 2), (3, 2)]).expect("edge gaps");
+        assert_eq!(bridged.hourly_values(), &[70.0, 70.0, 70.0, 70.0, 70.0]);
+    }
+
+    #[test]
+    fn bridging_merges_overlapping_gaps() {
+        let t = trace(&[10.0, 0.0, 0.0, 0.0, 50.0]);
+        let a = t.with_gaps_bridged(&[(1, 2), (2, 2)]).expect("overlap");
+        let b = t.with_gaps_bridged(&[(1, 3)]).expect("single");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bridging_rejects_unusable_gaps() {
+        let t = trace(&[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            t.with_gaps_bridged(&[(2, 2)]),
+            Err(CarbonError::InvalidGap { .. })
+        ));
+        assert!(matches!(
+            t.with_gaps_bridged(&[(0, 3)]),
+            Err(CarbonError::InvalidGap { .. })
+        ));
+        assert!(matches!(
+            t.with_gaps_bridged(&[(u64::MAX, 2)]),
+            Err(CarbonError::InvalidGap { .. })
+        ));
     }
 }

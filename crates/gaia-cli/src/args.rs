@@ -58,6 +58,14 @@ OUTPUT:
                            accounting, work conservation, timing)
     --help                 show this message
 
+FAULT INJECTION:
+    --faults <FILE>        JSON fault plan replayed deterministically
+                           inside the run: eviction storms, forecast
+                           outages (persistence fallback), price spikes,
+                           capacity drops, carbon-trace gaps. An empty
+                           plan leaves results byte-identical; chaos_cell
+                           specs only apply to `gaia sweep`.
+
 OBSERVABILITY:
     --trace-out <PATH>     write the primary run's lifecycle events as
                            JSONL (one object per line; deterministic in
@@ -117,6 +125,7 @@ pub struct Options {
     pub audit: bool,
     pub trace_out: Option<String>,
     pub metrics: bool,
+    pub faults: Option<String>,
 }
 
 /// Which workload to synthesize.
@@ -165,6 +174,7 @@ impl Default for Options {
             audit: false,
             trace_out: None,
             metrics: false,
+            faults: None,
         }
     }
 }
@@ -316,6 +326,7 @@ impl Options {
                     options.trace_out = Some(value("--trace")?.to_owned());
                 }
                 "--trace-out" => options.trace_out = Some(value("--trace-out")?.to_owned()),
+                "--faults" => options.faults = Some(value("--faults")?.to_owned()),
                 "--metrics" => options.metrics = true,
                 "--trace" | "--workload" => {
                     options.trace = match value("--trace")?.to_ascii_lowercase().as_str() {
@@ -514,6 +525,15 @@ mod tests {
         assert_eq!(legacy.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(legacy.trace, TraceChoice::Mustang);
         assert!(legacy.metrics);
+    }
+
+    #[test]
+    fn faults_flag_takes_a_path() {
+        assert!(parse(&[]).expect("valid").faults.is_none());
+        let o = parse(&["--faults", "plan.json"]).expect("valid");
+        assert_eq!(o.faults.as_deref(), Some("plan.json"));
+        assert!(parse(&["--faults"]).is_err());
+        assert!(HELP.contains("--faults"));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use gaia_metrics::table::TextTable;
 use gaia_metrics::{relative_to, Summary};
 use gaia_obs::{JsonlSink, MetricsRegistry, NullSink, Profiler, Sink};
 use gaia_sim::{
-    CheckpointConfig, ClusterConfig, EvictionModel, InstanceOverheads, SimRun, Simulation,
+    CheckpointConfig, ClusterConfig, EvictionModel, FaultPlan, FaultSchedule, InstanceOverheads,
+    SimRun, Simulation,
 };
 use gaia_time::Minutes;
 use gaia_workload::synth::{section3_workload, TraceFamily};
@@ -50,6 +51,8 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
     let queues = QueueSet::paper_defaults()
         .with_waits(options.wait_short, options.wait_long)
         .with_averages_from(workload.jobs());
+    let faults = load_faults(options)?;
+    let faults = faults.as_ref();
 
     let billing = billing_horizon(&workload);
     let mut config = ClusterConfig::default()
@@ -80,6 +83,7 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
                 &carbon,
                 config,
                 queues,
+                faults,
                 &mut sink,
                 profiler,
                 options.audit,
@@ -96,6 +100,7 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
             &carbon,
             config,
             queues,
+            faults,
             &mut NullSink,
             profiler,
             options.audit,
@@ -131,12 +136,15 @@ fn try_execute(options: &Options) -> Result<ExitCode, String> {
 
     if options.baseline && summary.name != "NoWait" {
         let baseline_spec = PolicySpec::plain(BasePolicyKind::NoWait);
+        // The baseline runs under the same fault plan so the relative
+        // metrics compare policies, not fault exposure.
         let baseline_report = run(
             baseline_spec,
             &workload,
             &carbon,
             config,
             queues,
+            faults,
             &mut NullSink,
             profiler,
             false,
@@ -215,6 +223,7 @@ fn run<S: Sink>(
     carbon: &CarbonTrace,
     config: ClusterConfig,
     queues: QueueSet,
+    faults: Option<&FaultSchedule>,
     sink: &mut S,
     profiler: Option<&Profiler>,
     audit: bool,
@@ -225,6 +234,7 @@ fn run<S: Sink>(
         carbon,
         workload,
         &mut scheduler,
+        faults,
         sink,
         profiler,
         audit,
@@ -241,6 +251,7 @@ fn run_choice<S: Sink>(
     carbon: &CarbonTrace,
     config: ClusterConfig,
     queues: QueueSet,
+    faults: Option<&FaultSchedule>,
     sink: &mut S,
     profiler: Option<&Profiler>,
     audit: bool,
@@ -253,7 +264,7 @@ fn run_choice<S: Sink>(
                 spot: options.spot_j_max.map(|j_max| SpotConfig { j_max }),
             };
             return run(
-                spec, workload, carbon, config, queues, sink, profiler, audit,
+                spec, workload, carbon, config, queues, faults, sink, profiler, audit,
             );
         }
         PolicyChoice::CarbonTimeSr => Box::new(CarbonTimeSuspend::new(queues)),
@@ -275,22 +286,28 @@ fn run_choice<S: Sink>(
         carbon,
         workload,
         &mut scheduler,
+        faults,
         sink,
         profiler,
         audit,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate<S: Sink>(
     config: ClusterConfig,
     carbon: &CarbonTrace,
     workload: &WorkloadTrace,
     scheduler: &mut dyn gaia_sim::Scheduler,
+    faults: Option<&FaultSchedule>,
     sink: &mut S,
     profiler: Option<&Profiler>,
     audit: bool,
 ) -> Result<SimRun, String> {
     let mut sim = Simulation::new(config, carbon);
+    if let Some(schedule) = faults {
+        sim = sim.with_faults(schedule);
+    }
     if let Some(p) = profiler {
         sim = sim.with_profiler(p);
     }
@@ -299,6 +316,23 @@ fn simulate<S: Sink>(
         .audit(audit)
         .execute()
         .map_err(|e| e.to_string())
+}
+
+/// Loads and compiles `--faults FILE` into an engine-ready schedule.
+fn load_faults(options: &Options) -> Result<Option<FaultSchedule>, String> {
+    let Some(path) = &options.faults else {
+        return Ok(None);
+    };
+    let plan = FaultPlan::load(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load fault plan {path}: {e}"))?;
+    let schedule = plan
+        .compile()
+        .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+    gaia_obs::info!(
+        "fault plan: {} spec(s) loaded from {path}",
+        plan.specs().len()
+    );
+    Ok(Some(schedule))
 }
 
 /// The display name for the selected policy configuration.

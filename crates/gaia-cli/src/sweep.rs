@@ -4,14 +4,15 @@
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_metrics::table::TextTable;
 use gaia_obs::{MetricsRegistry, Profiler};
 use gaia_sweep::{
-    default_workers, ClusterSpec, Executor, ObsHooks, QueueSpec, ResultStore, SweepGrid,
-    TimingBench, TraceCache, TraceFamily,
+    default_workers, ClusterSpec, Executor, FaultOptions, FaultPlan, FaultSchedule, ObsHooks,
+    QueueSpec, ResultStore, RetryPolicy, SweepGrid, TimingBench, TraceCache, TraceFamily,
 };
 
 /// Help text printed for `gaia sweep --help`.
@@ -48,6 +49,23 @@ OUTPUT:
     --out <DIR>            results root directory (default: results)
     --name <NAME>          run directory name (default: sweep)
     --help                 show this message
+
+FAULT INJECTION & RESILIENCE:
+    --faults <FILE>        JSON fault plan (see gaia-fault) replayed
+                           deterministically inside every cell; chaos_cell
+                           specs fail matching cells at the harness level
+                           before the simulation starts
+    --retries <N>          attempts per cell before it is recorded as
+                           failed (default 1: no retries); recovered cells
+                           keep retried:N provenance in scenarios.csv and
+                           the manifest
+    --retry-backoff-ms <MS> base backoff before the first retry, doubled
+                           per attempt and capped at 30s (default 0)
+    --cell-timeout-s <S>   wall-clock budget per attempt; an expired cell
+                           fails (or retries). Timeouts trade determinism
+                           for liveness: a cell near the limit may pass or
+                           fail by machine speed, so leave this off when
+                           byte-identical artifacts matter
 
 OBSERVABILITY:
     --trace-dir <DIR>      write one JSONL event trace per cell into DIR
@@ -95,6 +113,10 @@ pub struct SweepOptions {
     pub name: String,
     pub trace_dir: Option<String>,
     pub metrics: bool,
+    pub faults: Option<String>,
+    pub retries: u32,
+    pub retry_backoff_ms: u64,
+    pub cell_timeout_s: Option<f64>,
 }
 
 impl Default for SweepOptions {
@@ -123,6 +145,10 @@ impl Default for SweepOptions {
             name: "sweep".to_owned(),
             trace_dir: None,
             metrics: false,
+            faults: None,
+            retries: 1,
+            retry_backoff_ms: 0,
+            cell_timeout_s: None,
         }
     }
 }
@@ -223,6 +249,30 @@ impl SweepOptions {
                 "--name" => options.name = value("--name")?.to_owned(),
                 "--trace-dir" => options.trace_dir = Some(value("--trace-dir")?.to_owned()),
                 "--metrics" => options.metrics = true,
+                "--faults" => options.faults = Some(value("--faults")?.to_owned()),
+                "--retries" => {
+                    let n: u32 = value("--retries")?
+                        .parse()
+                        .map_err(|_| "invalid --retries count".to_owned())?;
+                    if n == 0 {
+                        return Err("--retries must be at least 1".into());
+                    }
+                    options.retries = n;
+                }
+                "--retry-backoff-ms" => {
+                    options.retry_backoff_ms = value("--retry-backoff-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --retry-backoff-ms value".to_owned())?;
+                }
+                "--cell-timeout-s" => {
+                    let secs: f64 = value("--cell-timeout-s")?
+                        .parse()
+                        .map_err(|_| "invalid --cell-timeout-s value".to_owned())?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--cell-timeout-s must be a positive number".into());
+                    }
+                    options.cell_timeout_s = Some(secs);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -234,6 +284,33 @@ impl SweepOptions {
             return Err("grid dimensions must not be empty".into());
         }
         Ok(options)
+    }
+
+    /// The per-cell retry policy the flags describe.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        let mut policy = RetryPolicy::attempts(self.retries)
+            .with_backoff(Duration::from_millis(self.retry_backoff_ms));
+        if let Some(secs) = self.cell_timeout_s {
+            policy = policy.with_timeout(Duration::from_secs_f64(secs));
+        }
+        policy
+    }
+
+    /// Loads and compiles `--faults FILE`, if given.
+    pub fn fault_schedule(&self) -> Result<Option<FaultSchedule>, String> {
+        let Some(path) = &self.faults else {
+            return Ok(None);
+        };
+        let plan = FaultPlan::load(Path::new(path))
+            .map_err(|e| format!("cannot load fault plan {path}: {e}"))?;
+        let schedule = plan
+            .compile()
+            .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+        gaia_obs::info!(
+            "fault plan: {} spec(s) loaded from {path}",
+            plan.specs().len()
+        );
+        Ok(Some(schedule))
     }
 
     /// Expands the options into a sweep grid.
@@ -285,7 +362,86 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
     let registry = MetricsRegistry::new();
     let profiler = Arc::new(Profiler::new());
 
-    let (run, timing) = if observed {
+    let schedule = match options.fault_schedule() {
+        Ok(schedule) => schedule,
+        Err(error) => {
+            gaia_obs::error!("{error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retry = options.retry_policy();
+    let faulted = schedule.is_some() || retry != RetryPolicy::default();
+
+    let (run, timing) = if faulted {
+        // Fault injection and retry share one harness path so the
+        // determinism contract (same fault file + seed + grid ⇒ identical
+        // artifacts for any worker count) holds with observability on.
+        let fault_options = FaultOptions {
+            schedule: schedule.as_ref(),
+            retry,
+        };
+        let serial_secs = options.bench.then(|| {
+            // Uninstrumented serial leg (fresh cache, no hooks) so trace
+            // I/O cannot skew the timing comparison.
+            match gaia_sweep::run_grid_faulted(
+                &grid,
+                &Executor::new(1),
+                &TraceCache::new(),
+                options.audit,
+                &fault_options,
+                None,
+            ) {
+                Ok(serial) => Ok(serial.wall.as_secs_f64()),
+                Err(error) => Err(error),
+            }
+        });
+        let serial_secs = match serial_secs.transpose() {
+            Ok(secs) => secs,
+            Err(error) => {
+                gaia_obs::error!("serial bench leg: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cache = TraceCache::new().with_profiler(Arc::clone(&profiler));
+        let hooks = ObsHooks {
+            metrics: options.metrics.then_some(&registry),
+            profiler: options.metrics.then_some(&*profiler),
+            trace_dir: options.trace_dir.as_deref().map(Path::new),
+            sweep_sink: None,
+        };
+        let run = match gaia_sweep::run_grid_faulted(
+            &grid,
+            &executor,
+            &cache,
+            options.audit,
+            &fault_options,
+            Some(&hooks),
+        ) {
+            Ok(run) => run,
+            Err(error) => {
+                gaia_obs::error!("writing cell traces: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for cell in run.retried_cells() {
+            if let Some((attempts, error)) = cell.retry_provenance() {
+                gaia_obs::warn!(
+                    "cell {} recovered after {attempts} attempts (last failure: {error})",
+                    cell.key
+                );
+            }
+        }
+        let timing = serial_secs.map(|serial_secs| {
+            let parallel_secs = run.wall.as_secs_f64();
+            TimingBench {
+                serial_secs,
+                parallel_secs,
+                workers: run.workers,
+                speedup: serial_secs / parallel_secs,
+            }
+        });
+        (run, timing)
+    } else if observed {
         // With --bench, the serial leg stays uninstrumented (fresh cache,
         // one worker) so trace I/O cannot skew the timing comparison;
         // only the parallel leg feeds metrics and per-cell traces.
@@ -504,6 +660,40 @@ mod tests {
         assert!(HELP.contains("--workers"));
         assert!(HELP.contains("--no-audit"));
         assert!(HELP.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn fault_and_retry_flags() {
+        let o = parse(&[
+            "--faults",
+            "plan.json",
+            "--retries",
+            "3",
+            "--retry-backoff-ms",
+            "250",
+            "--cell-timeout-s",
+            "1.5",
+        ])
+        .expect("valid");
+        assert_eq!(o.faults.as_deref(), Some("plan.json"));
+        assert_eq!(
+            o.retry_policy(),
+            RetryPolicy::attempts(3)
+                .with_backoff(Duration::from_millis(250))
+                .with_timeout(Duration::from_secs_f64(1.5))
+        );
+        assert!(parse(&["--retries", "0"]).is_err());
+        assert!(parse(&["--cell-timeout-s", "-2"]).is_err());
+        assert!(parse(&["--cell-timeout-s", "nan"]).is_err());
+        // Defaults: no faults, single attempt, no timeout.
+        let defaults = parse(&[]).expect("valid");
+        assert_eq!(defaults.retry_policy(), RetryPolicy::default());
+        assert!(defaults
+            .fault_schedule()
+            .expect("no file to load")
+            .is_none());
+        assert!(HELP.contains("--faults"));
+        assert!(HELP.contains("--cell-timeout-s"));
     }
 
     #[test]

@@ -81,6 +81,22 @@ pub(crate) fn best_start_by(
 /// resolution.
 pub const DEFAULT_SCAN_STEP: Minutes = Minutes::new(10);
 
+/// The scan step a policy should actually use under `ctx`.
+///
+/// In degraded mode ([`SchedulerContext::degraded`], set during
+/// fault-injected forecast outages) the forecast is a persistence
+/// fallback that merely repeats hourly history, so scanning finer than an
+/// hour can only chase artifacts of the stand-in data. The configured
+/// step is coarsened to at least one hour; outside degraded mode it is
+/// returned unchanged.
+pub(crate) fn effective_scan_step(step: Minutes, ctx: &SchedulerContext<'_>) -> Minutes {
+    if ctx.degraded {
+        step.max(Minutes::from_hours(1))
+    } else {
+        step
+    }
+}
+
 /// Greedily selects the `need` lowest-forecast-CI minutes (at hourly slot
 /// granularity) within `[now, now + horizon)` and returns them merged
 /// into ordered, non-overlapping segments summing to exactly `need`.
@@ -148,6 +164,7 @@ pub(crate) mod testutil {
                 forecast: ForecastView::new(&forecaster as &dyn CarbonForecaster, now),
                 reserved_free,
                 reserved_capacity,
+                degraded: false,
             };
             f(&ctx)
         }
@@ -248,6 +265,35 @@ mod tests {
         });
     }
 
+    #[test]
+    fn degraded_mode_coarsens_scan_to_whole_hours() {
+        use gaia_carbon::{CarbonForecaster, CarbonTrace, ForecastView, PerfectForecaster};
+
+        let trace = CarbonTrace::constant(100.0, 24).expect("valid");
+        let forecaster = PerfectForecaster::new(&trace);
+        let mut ctx = SchedulerContext {
+            now: SimTime::ORIGIN,
+            forecast: ForecastView::new(&forecaster as &dyn CarbonForecaster, SimTime::ORIGIN),
+            reserved_free: 0,
+            reserved_capacity: 0,
+            degraded: false,
+        };
+        assert_eq!(
+            effective_scan_step(DEFAULT_SCAN_STEP, &ctx),
+            DEFAULT_SCAN_STEP
+        );
+        ctx.degraded = true;
+        assert_eq!(
+            effective_scan_step(DEFAULT_SCAN_STEP, &ctx),
+            Minutes::from_hours(1)
+        );
+        // An already-coarser configured step is left alone.
+        assert_eq!(
+            effective_scan_step(Minutes::from_hours(2), &ctx),
+            Minutes::from_hours(2)
+        );
+    }
+
     /// Regression: the slot sort used `partial_cmp(..).expect("finite
     /// CI")`, so one NaN forecast panicked mid-run. With `total_cmp` NaN
     /// slots sort last and a full-length plan still comes out.
@@ -276,6 +322,7 @@ mod tests {
             forecast: ForecastView::new(&forecaster, SimTime::ORIGIN),
             reserved_free: 0,
             reserved_capacity: 0,
+            degraded: false,
         };
         let need = Minutes::from_hours(3);
         let slots = greenest_slots(&ctx, Minutes::from_hours(6), need);

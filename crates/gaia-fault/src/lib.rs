@@ -1,0 +1,69 @@
+//! Deterministic fault injection for GAIA simulations.
+//!
+//! The simulator's default world is the happy path: evictions arrive from a
+//! stationary process, carbon traces are complete, forecasts always answer.
+//! This crate describes *adversity* as data: a [`FaultPlan`] is a typed,
+//! declarative schedule of injectable events —
+//!
+//! * **eviction storms** — burst multipliers on the spot-eviction rate over
+//!   a time window,
+//! * **carbon-trace gaps** — missing hourly samples the forecaster must
+//!   bridge by interpolation,
+//! * **forecast outages** — windows in which forecast queries fail and
+//!   policies fall back to a persistence forecast,
+//! * **price spikes** — elastic-price multipliers, accounted as an explicit
+//!   degradation surcharge,
+//! * **capacity drops** — temporary clamps on elastic capacity, and
+//! * **chaos cells** — deterministic sweep-cell failures that exercise the
+//!   sweep's retry-with-backoff path.
+//!
+//! A plan serializes to a small JSON fault file (round-trips bit-identically;
+//! see [`FaultPlan::to_json`]) and compiles into a [`FaultSchedule`], the
+//! read-only query form consumed by `gaia-sim` and `gaia-sweep`.
+//!
+//! # Determinism contract
+//!
+//! Fault injection never introduces new randomness: every fault is a pure
+//! function of the plan and the simulated clock, and the eviction-storm
+//! multiplier feeds the engine's existing seeded eviction sampler. The same
+//! `(fault file, seed)` pair therefore reproduces the same run bit-for-bit,
+//! and an **empty plan is byte-identical to no plan at all** — every consumer
+//! gates its fault branches on the `has_*` predicates so the unfaulted code
+//! path is untouched.
+//!
+//! # Example
+//!
+//! ```
+//! use gaia_fault::{FaultPlan, FaultSpec};
+//! use gaia_time::{Minutes, SimTime};
+//!
+//! let mut plan = FaultPlan::new();
+//! plan.push(FaultSpec::EvictionStorm {
+//!     start: SimTime::from_hours(24),
+//!     end: SimTime::from_hours(48),
+//!     multiplier: 8.0,
+//! });
+//! plan.push(FaultSpec::ForecastOutage {
+//!     start: SimTime::from_hours(60),
+//!     end: SimTime::from_hours(72),
+//! });
+//!
+//! // The fault-file format round-trips exactly.
+//! let text = plan.to_json();
+//! assert_eq!(FaultPlan::from_json(&text).unwrap(), plan);
+//!
+//! let schedule = plan.compile().unwrap();
+//! assert_eq!(schedule.storm_multiplier_at(SimTime::from_hours(30)), 8.0);
+//! assert_eq!(schedule.storm_multiplier_at(SimTime::from_hours(50)), 1.0);
+//! assert!(schedule.outage_at(SimTime::from_hours(61)));
+//! assert!(!schedule.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod plan;
+mod schedule;
+
+pub use plan::{FaultError, FaultPlan, FaultSpec};
+pub use schedule::FaultSchedule;

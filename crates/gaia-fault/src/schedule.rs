@@ -1,0 +1,329 @@
+//! The compiled, query-oriented form of a fault plan.
+
+use gaia_time::SimTime;
+
+use crate::plan::{FaultPlan, FaultSpec};
+
+/// A [`FaultPlan`] compiled for O(windows) point queries by the engine.
+///
+/// Built via [`FaultPlan::compile`]. All queries are pure functions of the
+/// schedule and the queried instant, so injection is deterministic; the
+/// `has_*` predicates let consumers skip fault branches entirely when a
+/// fault family is absent, keeping unfaulted runs bit-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    specs: Vec<FaultSpec>,
+    storms: Vec<(SimTime, SimTime, f64)>,
+    outages: Vec<(SimTime, SimTime)>,
+    spikes: Vec<(SimTime, SimTime, f64)>,
+    caps: Vec<(SimTime, SimTime, u32)>,
+    gaps: Vec<(u64, u64)>,
+    chaos: Vec<(String, u32)>,
+    gap_hours_total: u64,
+}
+
+impl FaultSchedule {
+    pub(crate) fn build(plan: &FaultPlan) -> FaultSchedule {
+        let mut schedule = FaultSchedule {
+            specs: plan.specs().to_vec(),
+            ..FaultSchedule::default()
+        };
+        for spec in plan.specs() {
+            match *spec {
+                FaultSpec::EvictionStorm {
+                    start,
+                    end,
+                    multiplier,
+                } => schedule.storms.push((start, end, multiplier)),
+                FaultSpec::ForecastOutage { start, end } => {
+                    schedule.outages.push((start, end));
+                }
+                FaultSpec::PriceSpike {
+                    start,
+                    end,
+                    multiplier,
+                } => schedule.spikes.push((start, end, multiplier)),
+                FaultSpec::CapacityDrop { start, end, cap } => {
+                    schedule.caps.push((start, end, cap));
+                }
+                FaultSpec::TraceGap { start_hour, hours } => {
+                    schedule.gaps.push((start_hour, hours));
+                }
+                FaultSpec::ChaosCell {
+                    ref key_substr,
+                    fail_attempts,
+                } => schedule.chaos.push((key_substr.clone(), fail_attempts)),
+            }
+        }
+        schedule.gap_hours_total = union_hours(&schedule.gaps);
+        schedule
+    }
+
+    /// True when the schedule injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The original fault entries, in plan order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True when the plan contains eviction storms.
+    pub fn has_storms(&self) -> bool {
+        !self.storms.is_empty()
+    }
+
+    /// True when the plan contains forecast outages.
+    pub fn has_outages(&self) -> bool {
+        !self.outages.is_empty()
+    }
+
+    /// True when the plan contains price spikes.
+    pub fn has_spikes(&self) -> bool {
+        !self.spikes.is_empty()
+    }
+
+    /// True when the plan contains capacity drops.
+    pub fn has_capacity_drops(&self) -> bool {
+        !self.caps.is_empty()
+    }
+
+    /// True when the plan contains carbon-trace gaps.
+    pub fn has_gaps(&self) -> bool {
+        !self.gaps.is_empty()
+    }
+
+    /// True when the plan contains chaos-cell entries.
+    pub fn has_chaos(&self) -> bool {
+        !self.chaos.is_empty()
+    }
+
+    /// Eviction-rate multiplier in effect at `t` (1.0 outside all storms;
+    /// the largest multiplier wins where storms overlap).
+    pub fn storm_multiplier_at(&self, t: SimTime) -> f64 {
+        self.storms
+            .iter()
+            .filter(|&&(start, end, _)| start <= t && t < end)
+            .map(|&(_, _, m)| m)
+            .fold(1.0, f64::max)
+    }
+
+    /// True when a forecast outage covers `t`.
+    pub fn outage_at(&self, t: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|&(start, end)| start <= t && t < end)
+    }
+
+    /// Latest end among outage windows covering `t`.
+    pub fn outage_until(&self, t: SimTime) -> Option<SimTime> {
+        self.outages
+            .iter()
+            .filter(|&&(start, end)| start <= t && t < end)
+            .map(|&(_, end)| end)
+            .max()
+    }
+
+    /// Elastic-price multiplier in effect at `t` (1.0 outside all spikes;
+    /// the largest multiplier wins where spikes overlap).
+    pub fn price_multiplier_at(&self, t: SimTime) -> f64 {
+        self.spikes
+            .iter()
+            .filter(|&&(start, end, _)| start <= t && t < end)
+            .map(|&(_, _, m)| m)
+            .fold(1.0, f64::max)
+    }
+
+    /// Tightest capacity clamp in effect at `t`, if any.
+    pub fn capacity_cap_at(&self, t: SimTime) -> Option<u32> {
+        self.caps
+            .iter()
+            .filter(|&&(start, end, _)| start <= t && t < end)
+            .map(|&(_, _, cap)| cap)
+            .min()
+    }
+
+    /// Sorted, deduplicated window boundaries of every capacity drop — the
+    /// instants at which the engine must re-drain its capacity queue.
+    pub fn capacity_boundaries(&self) -> Vec<SimTime> {
+        let mut bounds: Vec<SimTime> = self
+            .caps
+            .iter()
+            .flat_map(|&(start, end, _)| [start, end])
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        bounds
+    }
+
+    /// Missing-hour ranges as `(start_hour, hours)` pairs, in plan order.
+    pub fn gaps(&self) -> &[(u64, u64)] {
+        &self.gaps
+    }
+
+    /// Total number of distinct missing hours (union of all gap ranges).
+    pub fn total_gap_hours(&self) -> u64 {
+        self.gap_hours_total
+    }
+
+    /// Number of leading attempts to fail for the sweep cell `key`
+    /// (0 when no chaos entry matches).
+    pub fn chaos_fail_attempts(&self, key: &str) -> u32 {
+        self.chaos
+            .iter()
+            .filter(|(substr, _)| key.contains(substr.as_str()))
+            .map(|&(_, attempts)| attempts)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn union_hours(gaps: &[(u64, u64)]) -> u64 {
+    let mut ranges: Vec<(u64, u64)> = gaps
+        .iter()
+        .map(|&(start, hours)| (start, start + hours))
+        .collect();
+    ranges.sort_unstable();
+    let mut total = 0;
+    let mut covered_to = 0u64;
+    for (start, end) in ranges {
+        let from = start.max(covered_to);
+        if end > from {
+            total += end - from;
+            covered_to = end;
+        }
+        covered_to = covered_to.max(end);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute(m: u64) -> SimTime {
+        SimTime::from_minutes(m)
+    }
+
+    fn schedule(specs: Vec<FaultSpec>) -> FaultSchedule {
+        let mut plan = FaultPlan::new();
+        for spec in specs {
+            plan.push(spec);
+        }
+        plan.compile().expect("valid plan")
+    }
+
+    #[test]
+    fn empty_schedule_answers_neutrally() {
+        let s = FaultPlan::new().compile().expect("empty plan");
+        assert!(s.is_empty());
+        assert_eq!(s.storm_multiplier_at(minute(0)), 1.0);
+        assert_eq!(s.price_multiplier_at(minute(0)), 1.0);
+        assert!(!s.outage_at(minute(0)));
+        assert_eq!(s.capacity_cap_at(minute(0)), None);
+        assert_eq!(s.total_gap_hours(), 0);
+        assert_eq!(s.chaos_fail_attempts("anything"), 0);
+        assert!(s.capacity_boundaries().is_empty());
+    }
+
+    #[test]
+    fn windows_are_half_open_and_overlaps_resolve() {
+        let s = schedule(vec![
+            FaultSpec::EvictionStorm {
+                start: minute(60),
+                end: minute(120),
+                multiplier: 2.0,
+            },
+            FaultSpec::EvictionStorm {
+                start: minute(90),
+                end: minute(180),
+                multiplier: 8.0,
+            },
+        ]);
+        assert_eq!(s.storm_multiplier_at(minute(59)), 1.0);
+        assert_eq!(s.storm_multiplier_at(minute(60)), 2.0);
+        assert_eq!(s.storm_multiplier_at(minute(100)), 8.0); // max wins
+        assert_eq!(s.storm_multiplier_at(minute(120)), 8.0); // first ended
+        assert_eq!(s.storm_multiplier_at(minute(180)), 1.0); // end exclusive
+    }
+
+    #[test]
+    fn outage_until_spans_overlapping_windows() {
+        let s = schedule(vec![
+            FaultSpec::ForecastOutage {
+                start: minute(0),
+                end: minute(100),
+            },
+            FaultSpec::ForecastOutage {
+                start: minute(50),
+                end: minute(200),
+            },
+        ]);
+        assert_eq!(s.outage_until(minute(60)), Some(minute(200)));
+        assert_eq!(s.outage_until(minute(150)), Some(minute(200)));
+        assert_eq!(s.outage_until(minute(200)), None);
+    }
+
+    #[test]
+    fn capacity_queries_take_the_tightest_cap() {
+        let s = schedule(vec![
+            FaultSpec::CapacityDrop {
+                start: minute(0),
+                end: minute(100),
+                cap: 8,
+            },
+            FaultSpec::CapacityDrop {
+                start: minute(50),
+                end: minute(150),
+                cap: 2,
+            },
+        ]);
+        assert_eq!(s.capacity_cap_at(minute(10)), Some(8));
+        assert_eq!(s.capacity_cap_at(minute(60)), Some(2));
+        assert_eq!(s.capacity_cap_at(minute(120)), Some(2));
+        assert_eq!(s.capacity_cap_at(minute(150)), None);
+        assert_eq!(
+            s.capacity_boundaries(),
+            vec![minute(0), minute(50), minute(100), minute(150)]
+        );
+    }
+
+    #[test]
+    fn gap_union_merges_overlaps() {
+        let s = schedule(vec![
+            FaultSpec::TraceGap {
+                start_hour: 10,
+                hours: 5,
+            },
+            FaultSpec::TraceGap {
+                start_hour: 12,
+                hours: 5,
+            },
+            FaultSpec::TraceGap {
+                start_hour: 30,
+                hours: 1,
+            },
+        ]);
+        assert_eq!(s.total_gap_hours(), 8); // [10,17) ∪ [30,31)
+        assert_eq!(s.gaps(), &[(10, 5), (12, 5), (30, 1)]);
+    }
+
+    #[test]
+    fn chaos_matches_by_substring() {
+        let s = schedule(vec![
+            FaultSpec::ChaosCell {
+                key_substr: "s42".into(),
+                fail_attempts: 2,
+            },
+            FaultSpec::ChaosCell {
+                key_substr: "carbon-time".into(),
+                fail_attempts: 1,
+            },
+        ]);
+        assert_eq!(s.chaos_fail_attempts("carbon-time/sa-au/s42"), 2);
+        assert_eq!(s.chaos_fail_attempts("carbon-time/sa-au/s7"), 1);
+        assert_eq!(s.chaos_fail_attempts("nowait/sa-au/s7"), 0);
+        assert!(s.has_chaos());
+    }
+}

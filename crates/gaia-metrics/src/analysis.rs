@@ -147,6 +147,7 @@ mod tests {
             jobs,
             totals,
             timeline: gaia_sim::AllocationTimeline::default(),
+            degradation: gaia_sim::DegradationStats::default(),
         }
     }
 

@@ -17,6 +17,29 @@
 //! [`runner`] executes a [`PolicySpec`](gaia_core::catalog::PolicySpec)
 //! against a workload and carbon trace, and [`table::TextTable`] renders
 //! aligned text tables that the figure binaries print.
+//!
+//! # Example
+//!
+//! Run two policies on a synthetic week and normalize the results the
+//! way paper Figure 8 does:
+//!
+//! ```
+//! use gaia_carbon::{synth::synthesize_region, Region};
+//! use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+//! use gaia_metrics::{normalize_to_max, runner};
+//! use gaia_sim::ClusterConfig;
+//! use gaia_workload::synth::TraceFamily;
+//!
+//! let carbon = synthesize_region(Region::SouthAustralia, 42);
+//! let trace = TraceFamily::AlibabaPai.week_long_1k(42);
+//! let specs = [
+//!     PolicySpec::plain(BasePolicyKind::NoWait),
+//!     PolicySpec::plain(BasePolicyKind::CarbonTime),
+//! ];
+//! let rows = runner::run_specs(&specs, &trace, &carbon, ClusterConfig::default());
+//! let normalized = normalize_to_max(&rows);
+//! assert!(normalized[1].carbon <= normalized[0].carbon, "Carbon-Time emits less");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -222,6 +222,41 @@ pub enum Event {
         /// Seconds the cell spent executing.
         exec_s: f64,
     },
+    /// A fault-plan entry is armed for this run. Emitted once per entry at
+    /// stream start (`t` is always 0) so the declared adversity is part of
+    /// the deterministic trace.
+    FaultInjected {
+        /// Sim time, minutes (always 0: the plan is armed before the run).
+        t: u64,
+        /// Fault kind name (e.g. `"eviction_storm"`).
+        kind: String,
+        /// Fault window start, minutes.
+        start: u64,
+        /// Fault window end, minutes.
+        end: u64,
+        /// Kind-specific severity (multiplier, cap, gap hours, attempts).
+        magnitude: f64,
+    },
+    /// The engine entered degraded mode: a forecast outage is active and
+    /// policy decisions fall back to the persistence forecaster.
+    DegradedModeEntered {
+        /// Sim time, minutes.
+        t: u64,
+        /// When the triggering outage window ends, minutes.
+        until: u64,
+    },
+    /// A sweep cell failed and was retried. **Not deterministic** only in
+    /// emission order across workers; the attempt count itself is.
+    CellRetried {
+        /// Cell index in grid order.
+        idx: u64,
+        /// Stable scenario key.
+        key: String,
+        /// 1-based attempt number that failed.
+        attempt: u64,
+        /// The failure that triggered the retry.
+        error: String,
+    },
     /// A `TraceCache` lookup was served from memory.
     CacheHit {
         /// Which cache.
@@ -248,8 +283,11 @@ impl Event {
             Event::SegmentFinished { .. } => "segment_finished",
             Event::SpotEvicted { .. } => "spot_evicted",
             Event::JobCompleted { .. } => "job_completed",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::DegradedModeEntered { .. } => "degraded_mode_entered",
             Event::CellStarted { .. } => "cell_started",
             Event::CellFinished { .. } => "cell_finished",
+            Event::CellRetried { .. } => "cell_retried",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
         }
@@ -264,9 +302,12 @@ impl Event {
             | Event::SegmentStarted { t, .. }
             | Event::SegmentFinished { t, .. }
             | Event::SpotEvicted { t, .. }
-            | Event::JobCompleted { t, .. } => Some(t),
+            | Event::JobCompleted { t, .. }
+            | Event::FaultInjected { t, .. }
+            | Event::DegradedModeEntered { t, .. } => Some(t),
             Event::CellStarted { .. }
             | Event::CellFinished { .. }
+            | Event::CellRetried { .. }
             | Event::CacheHit { .. }
             | Event::CacheMiss { .. } => None,
         }
@@ -372,6 +413,34 @@ impl Event {
                 push_f64(&mut s, "queue_wait_s", *queue_wait_s);
                 push_f64(&mut s, "exec_s", *exec_s);
             }
+            Event::FaultInjected {
+                t,
+                kind,
+                start,
+                end,
+                magnitude,
+            } => {
+                push_u64(&mut s, "t", *t);
+                push_str(&mut s, "kind", kind);
+                push_u64(&mut s, "start", *start);
+                push_u64(&mut s, "end", *end);
+                push_f64(&mut s, "magnitude", *magnitude);
+            }
+            Event::DegradedModeEntered { t, until } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "until", *until);
+            }
+            Event::CellRetried {
+                idx,
+                key,
+                attempt,
+                error,
+            } => {
+                push_u64(&mut s, "idx", *idx);
+                push_str(&mut s, "key", key);
+                push_u64(&mut s, "attempt", *attempt);
+                push_str(&mut s, "error", error);
+            }
             Event::CacheHit { kind, key } => {
                 push_str(&mut s, "kind", kind.as_str());
                 push_str(&mut s, "key", key);
@@ -447,6 +516,23 @@ impl Event {
                 status: req_str(&value, "status")?,
                 queue_wait_s: req_f64(&value, "queue_wait_s")?,
                 exec_s: req_f64(&value, "exec_s")?,
+            }),
+            "fault_injected" => Ok(Event::FaultInjected {
+                t: req_u64(&value, "t")?,
+                kind: req_str(&value, "kind")?,
+                start: req_u64(&value, "start")?,
+                end: req_u64(&value, "end")?,
+                magnitude: req_f64(&value, "magnitude")?,
+            }),
+            "degraded_mode_entered" => Ok(Event::DegradedModeEntered {
+                t: req_u64(&value, "t")?,
+                until: req_u64(&value, "until")?,
+            }),
+            "cell_retried" => Ok(Event::CellRetried {
+                idx: req_u64(&value, "idx")?,
+                key: req_str(&value, "key")?,
+                attempt: req_u64(&value, "attempt")?,
+                error: req_str(&value, "error")?,
             }),
             "cache_hit" => Ok(Event::CacheHit {
                 kind: CacheKind::parse(&req_str(&value, "kind")?)
@@ -606,6 +692,23 @@ mod tests {
                 queue_wait_s: 0.25,
                 exec_s: 1.5,
             },
+            Event::FaultInjected {
+                t: 0,
+                kind: "eviction_storm".into(),
+                start: 1440,
+                end: 2880,
+                magnitude: 8.0,
+            },
+            Event::DegradedModeEntered {
+                t: 3600,
+                until: 4320,
+            },
+            Event::CellRetried {
+                idx: 7,
+                key: "Carbon-Time/SA-AU/Alibaba/week/s42".into(),
+                attempt: 1,
+                error: "injected fault (attempt 1)".into(),
+            },
             Event::CacheHit {
                 kind: CacheKind::Carbon,
                 key: "SA-AU/h10080".into(),
@@ -687,6 +790,7 @@ mod tests {
             match &ev {
                 Event::CellStarted { .. }
                 | Event::CellFinished { .. }
+                | Event::CellRetried { .. }
                 | Event::CacheHit { .. }
                 | Event::CacheMiss { .. } => assert_eq!(ev.timestamp(), None),
                 _ => assert!(ev.timestamp().is_some(), "{}", ev.name()),

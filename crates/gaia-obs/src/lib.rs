@@ -23,7 +23,7 @@
 //!   timers aggregated into a per-run phase table. Profiling measures
 //!   wall-clock time and is the *only* non-deterministic part of this
 //!   crate; its output never feeds the deterministic artifacts.
-//! * **Leveled logging** ([`log`]) — an `obs::log!` macro family
+//! * **Leveled logging** ([`mod@log`]) — an `obs::log!` macro family
 //!   honoring the `GAIA_LOG={error,warn,info,debug}` environment
 //!   variable, replacing ad-hoc `eprintln!` diagnostics.
 //! * **Trace analysis** ([`trace_summary`], [`json`]) — parses a JSONL

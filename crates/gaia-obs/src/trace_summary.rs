@@ -57,10 +57,20 @@ pub struct TraceSummary {
     pub wait_buckets: Vec<u64>,
     /// Jobs with at least one eviction.
     pub jobs_evicted: u64,
-    /// Sweep cells finished with status `"completed"` / `"failed"`.
+    /// `FaultInjected` count (armed fault-plan entries).
+    pub faults_injected: u64,
+    /// `DegradedModeEntered` count (forecast-outage fallbacks).
+    pub degraded_entries: u64,
+    /// Sweep cells finished with status `"completed"` / `"retried"` /
+    /// `"failed"` — retried cells recovered and count as completed, with
+    /// their retry provenance tallied in
+    /// [`TraceSummary::cells_retried`].
     pub cells_completed: u64,
     /// See [`TraceSummary::cells_completed`].
     pub cells_failed: u64,
+    /// Cells that finished with status `"retried"`, plus `CellRetried`
+    /// attempt events.
+    pub cells_retried: u64,
     /// `CacheHit` / `CacheMiss` counts.
     pub cache_hits: u64,
     /// See [`TraceSummary::cache_hits`].
@@ -163,10 +173,18 @@ impl TraceSummary {
         out.push_str("\nevictions\n");
         out.push_str(&format!("  spot evictions    {}\n", self.evictions));
         out.push_str(&format!("  jobs evicted      {}\n", self.jobs_evicted));
+        if self.faults_injected + self.degraded_entries > 0 {
+            out.push_str("\nfaults\n");
+            out.push_str(&format!("  injected          {}\n", self.faults_injected));
+            out.push_str(&format!("  degraded entries  {}\n", self.degraded_entries));
+        }
         if self.cells_completed + self.cells_failed + self.cache_hits + self.cache_misses > 0 {
             out.push_str("\nsweep\n");
             out.push_str(&format!("  cells completed   {}\n", self.cells_completed));
             out.push_str(&format!("  cells failed      {}\n", self.cells_failed));
+            if self.cells_retried > 0 {
+                out.push_str(&format!("  retry attempts    {}\n", self.cells_retried));
+            }
             out.push_str(&format!("  cache hits        {}\n", self.cache_hits));
             out.push_str(&format!("  cache misses      {}\n", self.cache_misses));
         }
@@ -271,13 +289,17 @@ impl Builder {
                 }
                 state.completed = true;
             }
+            Event::FaultInjected { .. } => s.faults_injected += 1,
+            Event::DegradedModeEntered { .. } => s.degraded_entries += 1,
             Event::CellFinished { status, .. } => {
-                if status == "completed" {
+                // A retried cell recovered on a later attempt: it completed.
+                if status == "completed" || status == "retried" {
                     s.cells_completed += 1;
                 } else {
                     s.cells_failed += 1;
                 }
             }
+            Event::CellRetried { .. } => s.cells_retried += 1,
             Event::CellStarted { .. } => {}
             Event::CacheHit { .. } => s.cache_hits += 1,
             Event::CacheMiss { .. } => s.cache_misses += 1,
@@ -495,5 +517,45 @@ mod tests {
         assert_eq!(summary.cache_misses, 1);
         let text = summary.render();
         assert!(text.contains("cells completed   1"), "{text}");
+        // No fault or retry events -> neither section nor line appears.
+        assert!(!text.contains("faults\n"), "{text}");
+        assert!(!text.contains("retry attempts"), "{text}");
+    }
+
+    #[test]
+    fn fault_events_populate_fault_section_and_retries_count_completed() {
+        let events = vec![
+            Event::FaultInjected {
+                t: 0,
+                kind: "eviction_storm".into(),
+                start: 0,
+                end: 1440,
+                magnitude: 8.0,
+            },
+            Event::DegradedModeEntered { t: 60, until: 120 },
+            Event::CellRetried {
+                idx: 0,
+                key: "k".into(),
+                attempt: 1,
+                error: "injected fault (attempt 1)".into(),
+            },
+            Event::CellFinished {
+                idx: 0,
+                key: "k".into(),
+                status: "retried".into(),
+                queue_wait_s: 0.0,
+                exec_s: 0.1,
+            },
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert!(summary.issues.is_empty(), "{:?}", summary.issues);
+        assert_eq!(summary.faults_injected, 1);
+        assert_eq!(summary.degraded_entries, 1);
+        assert_eq!(summary.cells_retried, 1);
+        assert_eq!(summary.cells_completed, 1, "retried cells recovered");
+        assert_eq!(summary.cells_failed, 0);
+        let text = summary.render();
+        assert!(text.contains("injected          1"), "{text}");
+        assert!(text.contains("retry attempts    1"), "{text}");
     }
 }

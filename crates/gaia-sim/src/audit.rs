@@ -14,6 +14,7 @@
 //! the engine or a policy, never an artifact of the audit itself.
 
 use gaia_carbon::CarbonTrace;
+use gaia_fault::FaultSchedule;
 use gaia_time::SimTime;
 use gaia_workload::JobId;
 
@@ -36,6 +37,9 @@ pub enum AuditInvariant {
     WorkConservation,
     /// Waiting / completion / segment times are consistent.
     Timing,
+    /// Degradation stats in the report are consistent with the fault
+    /// schedule the run was given (and identically zero without one).
+    Degradation,
 }
 
 impl AuditInvariant {
@@ -47,6 +51,7 @@ impl AuditInvariant {
             AuditInvariant::Accounting => "accounting",
             AuditInvariant::WorkConservation => "work-conservation",
             AuditInvariant::Timing => "timing",
+            AuditInvariant::Degradation => "degradation",
         }
     }
 }
@@ -106,6 +111,7 @@ struct Auditor<'a> {
     report: &'a SimReport,
     config: &'a ClusterConfig,
     carbon: &'a CarbonTrace,
+    faults: Option<&'a FaultSchedule>,
     out: AuditReport,
 }
 
@@ -125,7 +131,7 @@ struct Auditor<'a> {
 ///    [`CapacityCap::Static`] cap except for the documented single
 ///    wider-than-cap job escape.
 /// 3. **Accounting** — per-job carbon/cost equal the fold of their
-///    segments through [the same integrals the engine uses], and
+///    segments through the same `account` integrals the engine uses, and
 ///    [`ClusterTotals`] equals the re-aggregated outcomes, all within
 ///    1e-6.
 /// 4. **Work conservation** — every on-demand segment starts at an
@@ -134,17 +140,39 @@ struct Auditor<'a> {
 /// 5. **Timing** — completion = finish − arrival, completion = waiting +
 ///    length, completion ≥ length, and every segment is well-formed and
 ///    starts at or after arrival.
-///
-/// [the same integrals the engine uses]: crate::account
 pub fn audit_report(
     report: &SimReport,
     config: &ClusterConfig,
     carbon: &CarbonTrace,
 ) -> AuditReport {
+    audit_report_faulted(report, config, carbon, None)
+}
+
+/// [`audit_report`] for a run that (possibly) executed under a fault
+/// schedule.
+///
+/// All five base families apply unchanged — fault effects are designed to
+/// never corrupt the accounting identities (price spikes surcharge
+/// separately, trace gaps bridge only the policy-visible trace, storms
+/// and capacity clamps only reshape legal schedules). A sixth family,
+/// [`AuditInvariant::Degradation`], additionally checks that the report's
+/// [`DegradationStats`] are consistent with `faults`: zero without a
+/// schedule, gap hours matching the schedule, the price surcharge equal
+/// to its per-segment recomputation, and no counter touched by a fault
+/// kind the schedule does not contain.
+///
+/// [`DegradationStats`]: crate::DegradationStats
+pub fn audit_report_faulted(
+    report: &SimReport,
+    config: &ClusterConfig,
+    carbon: &CarbonTrace,
+    faults: Option<&FaultSchedule>,
+) -> AuditReport {
     let mut auditor = Auditor {
         report,
         config,
         carbon,
+        faults: faults.filter(|f| !f.is_empty()),
         out: AuditReport::default(),
     };
     auditor.check_segment_coverage();
@@ -152,6 +180,7 @@ pub fn audit_report(
     auditor.check_accounting();
     auditor.check_work_conservation();
     auditor.check_timing();
+    auditor.check_degradation();
     auditor.out
 }
 
@@ -475,6 +504,95 @@ impl Auditor<'_> {
         }
     }
 
+    /// Degradation stats must be zero without a fault schedule, and
+    /// consistent with the schedule when one was injected. Counter checks
+    /// are one-sided (a fault kind absent from the schedule cannot have
+    /// left a mark); the price surcharge is recomputed exactly from the
+    /// segments, so it is checked both ways.
+    fn check_degradation(&mut self) {
+        self.tally();
+        let stats = &self.report.degradation;
+        let Some(faults) = self.faults else {
+            if !stats.is_clean() {
+                self.violation(
+                    AuditInvariant::Degradation,
+                    None,
+                    format!("degradation stats {stats:?} are nonzero without a fault schedule"),
+                );
+            }
+            return;
+        };
+        if stats.bridged_gap_hours != faults.total_gap_hours() {
+            self.violation(
+                AuditInvariant::Degradation,
+                None,
+                format!(
+                    "bridged_gap_hours = {} but the schedule's gap union covers {} hours",
+                    stats.bridged_gap_hours,
+                    faults.total_gap_hours()
+                ),
+            );
+        }
+        let mut gated = vec![];
+        if !faults.has_storms() && stats.storm_evictions != 0 {
+            gated.push(("storm_evictions", stats.storm_evictions));
+        }
+        if !faults.has_outages() && stats.degraded_decisions != 0 {
+            gated.push(("degraded_decisions", stats.degraded_decisions));
+        }
+        if !faults.has_capacity_drops() && stats.capacity_denials != 0 {
+            gated.push(("capacity_denials", stats.capacity_denials));
+        }
+        for (name, value) in gated {
+            self.violation(
+                AuditInvariant::Degradation,
+                None,
+                format!("{name} = {value} but the schedule contains no such fault"),
+            );
+        }
+        if stats.storm_evictions > self.report.totals.evictions {
+            self.violation(
+                AuditInvariant::Degradation,
+                None,
+                format!(
+                    "storm_evictions = {} exceeds total evictions {}",
+                    stats.storm_evictions, self.report.totals.evictions
+                ),
+            );
+        }
+        self.tally();
+        let surcharge: f64 = self
+            .report
+            .jobs
+            .iter()
+            .flat_map(|outcome| outcome.segments.iter().map(move |s| (outcome, s)))
+            .map(|(outcome, s)| {
+                let multiplier = faults.price_multiplier_at(s.start);
+                if multiplier > 1.0 {
+                    segment_cost(
+                        &self.config.pricing,
+                        s.option,
+                        outcome.job.cpus,
+                        s.start,
+                        s.end,
+                    ) * (multiplier - 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if !close(stats.price_surcharge, surcharge) {
+            self.violation(
+                AuditInvariant::Degradation,
+                None,
+                format!(
+                    "price_surcharge = ${} but the per-segment recomputation gives ${surcharge}",
+                    stats.price_surcharge
+                ),
+            );
+        }
+    }
+
     fn check_timing(&mut self) {
         for outcome in &self.report.jobs {
             self.tally();
@@ -698,6 +816,69 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == AuditInvariant::Timing && v.job == Some(JobId(0))));
+    }
+
+    #[test]
+    fn nonzero_degradation_without_schedule_is_flagged() {
+        let (mut report, config, carbon) = run_default();
+        report.degradation.degraded_decisions = 3;
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Degradation));
+    }
+
+    #[test]
+    fn schedule_gated_counters_are_flagged() {
+        use gaia_fault::{FaultPlan, FaultSpec};
+        let (mut report, config, carbon) = run_default();
+        let schedule = {
+            let mut plan = FaultPlan::new();
+            plan.push(FaultSpec::ForecastOutage {
+                start: SimTime::ORIGIN,
+                end: SimTime::from_hours(1),
+            });
+            plan.compile().expect("valid plan")
+        };
+        // Outage-only schedule: degraded decisions are legitimate, storm
+        // evictions are not.
+        report.degradation.degraded_decisions = 2;
+        let audit = audit_report_faulted(&report, &config, &carbon, Some(&schedule));
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        report.degradation.storm_evictions = 1;
+        let audit = audit_report_faulted(&report, &config, &carbon, Some(&schedule));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Degradation
+                && v.detail.contains("storm_evictions")));
+    }
+
+    #[test]
+    fn forged_price_surcharge_is_flagged() {
+        use gaia_fault::{FaultPlan, FaultSpec};
+        let (mut report, config, carbon) = run_default();
+        let schedule = {
+            let mut plan = FaultPlan::new();
+            plan.push(FaultSpec::PriceSpike {
+                start: SimTime::from_hours(100),
+                end: SimTime::from_hours(101),
+                multiplier: 3.0,
+            });
+            plan.compile().expect("valid plan")
+        };
+        // No segment overlaps the spike window, so the true surcharge is
+        // zero; a forged one must be caught.
+        let audit = audit_report_faulted(&report, &config, &carbon, Some(&schedule));
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        report.degradation.price_surcharge = 12.5;
+        let audit = audit_report_faulted(&report, &config, &carbon, Some(&schedule));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Degradation
+                && v.detail.contains("price_surcharge")));
     }
 
     #[test]

@@ -21,18 +21,21 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
-use gaia_carbon::{CarbonForecaster, CarbonTrace, ForecastView, PerfectForecaster};
+use gaia_carbon::{
+    CarbonForecaster, CarbonTrace, ForecastView, PerfectForecaster, PersistenceForecaster,
+};
+use gaia_fault::FaultSchedule;
 use gaia_obs::{Event as ObsEvent, NullSink, PlanMode, PoolKind, Profiler, Sink};
 use gaia_time::{Minutes, SimTime, MINUTES_PER_DAY};
 use gaia_workload::{Job, WorkloadTrace};
 
 use crate::account::{segment_carbon, segment_cost, ClusterTotals, JobOutcome, SegmentRecord};
-use crate::audit::{audit_report, AuditReport};
+use crate::audit::{audit_report_faulted, AuditReport};
 use crate::config::ClusterConfig;
 use crate::error::{PolicyError, SimError};
 use crate::plan::{Decision, PurchaseOption};
 use crate::pool::ReservedPool;
-use crate::report::{AllocationTimeline, SimReport};
+use crate::report::{AllocationTimeline, DegradationStats, SimReport};
 
 /// A scheduling policy, as seen by the engine.
 ///
@@ -56,6 +59,10 @@ pub struct SchedulerContext<'a> {
     pub reserved_free: u32,
     /// Total reserved CPU units in the cluster.
     pub reserved_capacity: u32,
+    /// `true` while a fault-injected forecast outage is active: `forecast`
+    /// is then backed by a persistence fallback rather than the configured
+    /// forecaster, and policies may coarsen their planning accordingly.
+    pub degraded: bool,
 }
 
 /// A configured simulation, ready to replay workload traces.
@@ -66,6 +73,7 @@ pub struct Simulation<'a> {
     carbon: &'a CarbonTrace,
     forecaster: Option<&'a dyn CarbonForecaster>,
     profiler: Option<&'a Profiler>,
+    faults: Option<&'a FaultSchedule>,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -89,6 +97,7 @@ impl<'a> Simulation<'a> {
             carbon,
             forecaster: None,
             profiler: None,
+            faults: None,
         }
     }
 
@@ -104,6 +113,26 @@ impl<'a> Simulation<'a> {
     /// non-deterministic; simulation results are unaffected.
     pub fn with_profiler(mut self, profiler: &'a Profiler) -> Self {
         self.profiler = Some(profiler);
+        self
+    }
+
+    /// Injects a compiled fault schedule ([`gaia_fault::FaultSchedule`])
+    /// into every run of this simulation.
+    ///
+    /// An **empty schedule is byte-identical to no schedule at all**: it
+    /// is discarded here, so no fault branch in the engine ever executes
+    /// and reports, event streams, and eviction sampling are unchanged
+    /// bit for bit. Fault effects never touch base cost/carbon accounting
+    /// — their magnitude is reported in [`SimReport::degradation`]
+    /// instead.
+    ///
+    /// [`SimReport::degradation`]: crate::SimReport::degradation
+    pub fn with_faults(mut self, faults: &'a FaultSchedule) -> Self {
+        self.faults = if faults.is_empty() {
+            None
+        } else {
+            Some(faults)
+        };
         self
     }
 
@@ -214,18 +243,47 @@ impl<'a> Simulation<'a> {
         scheduler: &mut dyn Scheduler,
         sink: &mut S,
     ) -> Result<SimReport, SimError> {
+        // Policies plan against the *policy-visible* trace: when the fault
+        // schedule declares trace gaps, the missing hours are bridged by
+        // interpolation before the default forecaster sees them.
+        // Accounting always uses the true trace. A caller-supplied
+        // forecaster owns its own data and is used as given.
+        let bridged: Option<CarbonTrace> = match self.faults {
+            Some(f) if f.has_gaps() => Some(
+                self.carbon
+                    .with_gaps_bridged(f.gaps())
+                    .map_err(|e| SimError::Fault(e.to_string()))?,
+            ),
+            _ => None,
+        };
+        let policy_trace: &CarbonTrace = bridged.as_ref().unwrap_or(self.carbon);
         let perfect;
         let forecaster: &dyn CarbonForecaster = match self.forecaster {
             Some(f) => f,
             None => {
-                perfect = PerfectForecaster::new(self.carbon);
+                perfect = PerfectForecaster::new(policy_trace);
                 &perfect
             }
+        };
+        // Degraded-mode fallback for forecast-outage windows: yesterday's
+        // intensity repeats (persistence), the weakest forecaster that
+        // needs no service at all.
+        let persistence;
+        let fallback: Option<&dyn CarbonForecaster> = match self.faults {
+            Some(f) if f.has_outages() => {
+                persistence = PersistenceForecaster::new(policy_trace);
+                Some(&persistence)
+            }
+            _ => None,
         };
         let mut engine = Engine {
             config: &self.config,
             carbon: self.carbon,
             forecaster,
+            faults: self.faults,
+            fallback,
+            degrade: DegradationStats::default(),
+            in_degraded: false,
             jobs: trace.jobs(),
             pool: ReservedPool::new(self.config.reserved_cpus),
             heap: BinaryHeap::new(),
@@ -318,7 +376,12 @@ impl<'a, 'r, S: Sink> SimRunner<'a, 'r, S> {
         };
         let audit = if self.audit {
             let _timer = self.sim.profiler.map(|p| p.phase("audit"));
-            Some(audit_report(&report, &self.sim.config, self.sim.carbon))
+            Some(audit_report_faulted(
+                &report,
+                &self.sim.config,
+                self.sim.carbon,
+                self.sim.faults,
+            ))
         } else {
             None
         };
@@ -473,6 +536,17 @@ struct Engine<'e, S: Sink> {
     sink: &'e mut S,
     /// Optional wall-clock phase timings (non-deterministic).
     profiler: Option<&'e Profiler>,
+    /// Compiled fault schedule; `None` means every fault branch below is
+    /// skipped and the run is bit-identical to the pre-fault engine.
+    faults: Option<&'e FaultSchedule>,
+    /// Persistence forecaster substituted during forecast outages; built
+    /// only when the schedule has outage windows.
+    fallback: Option<&'e dyn CarbonForecaster>,
+    /// Graceful-degradation accounting, attached to the report.
+    degrade: DegradationStats,
+    /// Whether the previous decision was taken in degraded mode, for
+    /// edge-triggered `DegradedModeEntered` events.
+    in_degraded: bool,
 }
 
 /// A unit of work blocked by the capacity cap, retried FIFO as capacity
@@ -498,6 +572,30 @@ impl<S: Sink> Engine<'_, S> {
     }
 
     fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<(), SimError> {
+        if let Some(faults) = self.faults {
+            // Announce the schedule at stream start so a trace is
+            // self-describing, and re-evaluate blocked work at every
+            // capacity-window boundary so fault caps cannot strand the
+            // queue when the configured cap never ticks.
+            if S::ACTIVE {
+                for spec in faults.specs() {
+                    let (start, end) = spec.window_minutes();
+                    self.sink.emit(&ObsEvent::FaultInjected {
+                        t: 0,
+                        kind: spec.kind_name().to_string(),
+                        start,
+                        end,
+                        magnitude: spec.magnitude(),
+                    });
+                }
+            }
+            if faults.has_capacity_drops() {
+                for t in faults.capacity_boundaries() {
+                    self.push(t, 0, EventKind::CapTick);
+                }
+            }
+            self.degrade.bridged_gap_hours = faults.total_gap_hours();
+        }
         for job in self.jobs {
             self.push(job.arrival, job.id.0 as u32, EventKind::Arrival);
         }
@@ -526,15 +624,32 @@ impl<S: Sink> Engine<'_, S> {
 
     /// Whether the capacity cap admits `cpus` more elastic CPUs at `now`.
     /// A job wider than the cap is admitted once nothing elastic runs, so
-    /// caps cannot deadlock.
-    fn cap_allows(&self, cpus: u32, now: SimTime) -> bool {
-        match self
+    /// caps cannot deadlock. A fault-injected capacity clamp is checked
+    /// after the configured cap (same idle-admission exception); denials
+    /// attributable to the clamp alone are counted in the degradation
+    /// stats.
+    fn cap_allows(&mut self, cpus: u32, now: SimTime) -> bool {
+        let fits = |cap: u32, busy: u32| busy + cpus <= cap || busy == 0;
+        let config_ok = match self
             .config
             .capacity_cap
             .cap_at(self.carbon.intensity_at(now))
         {
             None => true,
-            Some(cap) => self.elastic_busy + cpus <= cap || self.elastic_busy == 0,
+            Some(cap) => fits(cap, self.elastic_busy),
+        };
+        if !config_ok {
+            return false;
+        }
+        match self.faults.and_then(|f| f.capacity_cap_at(now)) {
+            None => true,
+            Some(cap) => {
+                let ok = fits(cap, self.elastic_busy);
+                if !ok {
+                    self.degrade.capacity_denials += 1;
+                }
+                ok
+            }
         }
     }
 
@@ -609,11 +724,39 @@ impl<S: Sink> Engine<'_, S> {
                 len: job.length.as_minutes(),
             });
         }
+        // Forecast-service outage: swap in the persistence fallback for
+        // decisions inside the window, flagging the context so policies
+        // can coarsen their planning. The transition is traced once per
+        // entry into degraded mode.
+        let degraded = match (self.faults, self.fallback) {
+            (Some(faults), Some(_)) => faults.outage_at(now),
+            _ => false,
+        };
+        if degraded {
+            self.degrade.degraded_decisions += 1;
+            if !self.in_degraded {
+                self.in_degraded = true;
+                if S::ACTIVE {
+                    let until = self.faults.and_then(|f| f.outage_until(now)).unwrap_or(now);
+                    self.sink.emit(&ObsEvent::DegradedModeEntered {
+                        t: now.as_minutes(),
+                        until: until.as_minutes(),
+                    });
+                }
+            }
+        } else {
+            self.in_degraded = false;
+        }
+        let forecaster = match (degraded, self.fallback) {
+            (true, Some(fallback)) => fallback,
+            _ => self.forecaster,
+        };
         let ctx = SchedulerContext {
             now,
-            forecast: ForecastView::new(self.forecaster, now),
+            forecast: ForecastView::new(forecaster, now),
             reserved_free: self.pool.free(),
             reserved_capacity: self.pool.capacity(),
+            degraded,
         };
         let decision = {
             let _plan = self.profiler.map(|p| p.phase("plan"));
@@ -748,14 +891,19 @@ impl<S: Sink> Engine<'_, S> {
             self.elastic_busy += job.cpus;
         }
         if option == PurchaseOption::Spot {
-            if let Some(offset) = self.config.eviction.sample_eviction(
+            let storm = self.storm_multiplier_at(now);
+            if let Some(offset) = self.config.eviction.sample_eviction_scaled(
                 span,
                 self.config.seed,
                 // Distinct stream per attempt so restarts resample.
                 job.id
                     .0
                     .wrapping_add((self.accum[idx].evictions as u64) << 40),
+                storm,
             ) {
+                if storm > 1.0 {
+                    self.degrade.storm_evictions += 1;
+                }
                 self.push(now + offset, idx as u32, EventKind::Eviction);
                 return;
             }
@@ -949,14 +1097,19 @@ impl<S: Sink> Engine<'_, S> {
             running: Some((seg_idx, option, now, exec_end)),
         };
         if option == PurchaseOption::Spot {
-            if let Some(offset) = self.config.eviction.sample_eviction(
+            let storm = self.storm_multiplier_at(now);
+            if let Some(offset) = self.config.eviction.sample_eviction_scaled(
                 exec_end - now,
                 self.config.seed,
                 job.id
                     .0
                     .wrapping_add((self.accum[idx].evictions as u64) << 40)
                     .wrapping_add((seg_idx as u64) << 52),
+                storm,
             ) {
+                if storm > 1.0 {
+                    self.degrade.storm_evictions += 1;
+                }
                 self.push(now + offset, idx as u32, EventKind::Eviction);
                 return Ok(());
             }
@@ -1132,6 +1285,15 @@ impl<S: Sink> Engine<'_, S> {
         });
     }
 
+    /// The eviction-storm rate multiplier active at `now` (1.0 without a
+    /// fault schedule or outside every storm window).
+    fn storm_multiplier_at(&self, now: SimTime) -> f64 {
+        match self.faults {
+            Some(faults) if faults.has_storms() => faults.storm_multiplier_at(now),
+            _ => 1.0,
+        }
+    }
+
     fn record_segment(
         &mut self,
         idx: usize,
@@ -1146,6 +1308,18 @@ impl<S: Sink> Engine<'_, S> {
         let job = self.jobs[idx];
         let carbon = segment_carbon(self.carbon, &self.config.energy, job.cpus, start, end);
         let cost = segment_cost(&self.config.pricing, option, job.cpus, start, end);
+        // Price spikes never mutate base accounting (cluster totals are
+        // recomputed from CPU-hours at flat prices, and the audit relies
+        // on that identity); the extra dollars are tracked separately,
+        // keyed by the multiplier at the segment's start.
+        if let Some(faults) = self.faults {
+            if faults.has_spikes() {
+                let multiplier = faults.price_multiplier_at(start);
+                if multiplier > 1.0 {
+                    self.degrade.price_surcharge += cost * (multiplier - 1.0);
+                }
+            }
+        }
         let accum = &mut self.accum[idx];
         accum.carbon_g += carbon;
         accum.cost += cost;
@@ -1194,6 +1368,7 @@ impl<S: Sink> Engine<'_, S> {
             jobs: outcomes,
             totals,
             timeline,
+            degradation: self.degrade,
         }
     }
 }

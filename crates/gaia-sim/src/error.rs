@@ -76,6 +76,10 @@ pub enum SimError {
     /// simulator bug, reported instead of unwinding so a sweep can
     /// record which cell hit it.
     Internal(String),
+    /// A fault schedule could not be applied to this run — e.g. a trace
+    /// gap that falls outside the carbon trace, or covers it entirely.
+    /// The fault plan itself was valid; it just does not fit this input.
+    Fault(String),
 }
 
 impl SimError {
@@ -90,6 +94,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Policy(error) => write!(f, "invalid policy decision: {error}"),
             SimError::Internal(message) => write!(f, "engine invariant broken: {message}"),
+            SimError::Fault(message) => write!(f, "fault schedule rejected: {message}"),
         }
     }
 }
@@ -98,7 +103,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Policy(error) => Some(error),
-            SimError::Internal(_) => None,
+            SimError::Internal(_) | SimError::Fault(_) => None,
         }
     }
 }

@@ -62,20 +62,43 @@ impl EvictionModel {
     /// survives. Deterministic in `(seed, stream)`; the engine passes the
     /// job id as `stream` so runs are reproducible and independent.
     pub fn sample_eviction(&self, duration: Minutes, seed: u64, stream: u64) -> Option<Minutes> {
-        if self.hourly_rate <= 0.0 {
+        self.sample_eviction_scaled(duration, seed, stream, 1.0)
+    }
+
+    /// [`sample_eviction`] with the hourly rate scaled by `multiplier`
+    /// (product clamped to `1.0`), used by fault-injected eviction storms.
+    ///
+    /// A `multiplier` of exactly `1.0` is bit-identical to the unscaled
+    /// path (`rate * 1.0 == rate` in IEEE 754), and a zero base rate stays
+    /// zero under any multiplier — storms amplify evictions, they cannot
+    /// conjure them for a model that never evicts.
+    ///
+    /// [`sample_eviction`]: EvictionModel::sample_eviction
+    pub fn sample_eviction_scaled(
+        &self,
+        duration: Minutes,
+        seed: u64,
+        stream: u64,
+        multiplier: f64,
+    ) -> Option<Minutes> {
+        debug_assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "storm multiplier must be finite and positive"
+        );
+        let rate = (self.hourly_rate * multiplier).min(1.0);
+        if rate <= 0.0 {
             return None;
         }
         let mut rng =
             StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE71C);
-        if self.hourly_rate >= 1.0 {
+        if rate >= 1.0 {
             // Evicted somewhere within the first hour of execution.
             let offset = Minutes::new(rng.random_range(0..MINUTES_PER_HOUR).max(1));
             return (offset < duration).then_some(offset);
         }
         // Geometric: index of the first failed hourly trial.
         let u: f64 = rng.random();
-        let hours_survived =
-            (u.max(f64::MIN_POSITIVE).ln() / (1.0 - self.hourly_rate).ln()).floor() as u64;
+        let hours_survived = (u.max(f64::MIN_POSITIVE).ln() / (1.0 - rate).ln()).floor() as u64;
         let within = rng.random_range(0..MINUTES_PER_HOUR);
         let offset = Minutes::new(hours_survived * MINUTES_PER_HOUR + within.max(1));
         (offset < duration).then_some(offset)

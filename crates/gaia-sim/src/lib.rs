@@ -58,7 +58,7 @@ mod pool;
 mod report;
 
 pub use account::{ClusterTotals, JobOutcome, SegmentRecord};
-pub use audit::{audit_report, AuditInvariant, AuditReport, AuditViolation};
+pub use audit::{audit_report, audit_report_faulted, AuditInvariant, AuditReport, AuditViolation};
 pub use config::{
     CapacityCap, CheckpointConfig, ClusterConfig, EnergyModel, InstanceOverheads, Pricing,
 };
@@ -68,9 +68,13 @@ pub use error::{PolicyError, SimError};
 // runs ([`SimRunner::sink`], [`Simulation::with_profiler`]) without
 // naming gaia-obs directly.
 pub use eviction::EvictionModel;
+// Fault injection: re-exported so engine callers can build and compile
+// fault plans ([`Simulation::with_faults`]) without naming gaia-fault
+// directly.
+pub use gaia_fault::{FaultError, FaultPlan, FaultSchedule, FaultSpec};
 pub use gaia_obs::{
     Event as TraceEvent, JsonlSink, NullSink, Profiler, Sink, TraceSummary, VecSink,
 };
 pub use plan::{Decision, PurchaseOption, SegmentPlan};
 pub use pool::ReservedPool;
-pub use report::{AllocationTimeline, SimReport};
+pub use report::{AllocationTimeline, DegradationStats, SimReport};

@@ -59,6 +59,39 @@ impl AllocationTimeline {
     }
 }
 
+/// Graceful-degradation accounting for a fault-injected run.
+///
+/// Every counter is zero — and the struct equals `Default::default()` —
+/// when the run had no fault schedule (or an empty one). The engine keeps
+/// fault effects out of the base cost/carbon accounting; this struct is
+/// where their magnitude is reported instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DegradationStats {
+    /// Scheduling decisions taken in degraded mode (forecast outage →
+    /// persistence fallback).
+    pub degraded_decisions: u64,
+    /// Spot evictions sampled while a storm multiplier above 1.0 was
+    /// active for the run's start instant.
+    pub storm_evictions: u64,
+    /// Admission checks denied solely by a fault capacity clamp (the
+    /// configured cap would have admitted the work).
+    pub capacity_denials: u64,
+    /// Extra dollars attributable to price-spike windows, computed as
+    /// `segment cost × (multiplier − 1)` at each segment's start. Base
+    /// cost accounting is untouched; spikes surface only here.
+    pub price_surcharge: f64,
+    /// Hours of carbon-trace data bridged by interpolation (union of all
+    /// trace-gap windows).
+    pub bridged_gap_hours: u64,
+}
+
+impl DegradationStats {
+    /// `true` when no fault left any trace on the run.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationStats::default()
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -68,6 +101,9 @@ pub struct SimReport {
     pub totals: ClusterTotals,
     /// Hourly allocation breakdown.
     pub timeline: AllocationTimeline,
+    /// Fault-injection accounting; `Default::default()` on unfaulted runs.
+    #[serde(default)]
+    pub degradation: DegradationStats,
 }
 
 impl SimReport {

@@ -43,8 +43,32 @@ pub fn group_key(scenario: &Scenario) -> String {
 /// order, so the output is deterministic.
 ///
 /// Failed cells contribute no replicate; a group whose cells all failed
-/// is dropped entirely rather than aggregated over nothing.
+/// is dropped entirely rather than aggregated over nothing. Every
+/// exclusion is reported through a `GAIA_LOG` warning — aggregation
+/// used to drop failed cells *silently*, so an unaudited sweep
+/// (`--no-audit`) could publish an aggregate built from fewer
+/// replicates than the grid promised without any trace of it. The
+/// dropped-cell count also lands in the run manifest's `"aggregation"`
+/// block.
 pub fn across_seed_groups(run: &SweepRun) -> Vec<GroupSummary> {
+    let mut dropped = 0usize;
+    for result in &run.results {
+        if let Some(error) = result.error() {
+            dropped += 1;
+            gaia_obs::warn!("aggregation: dropping failed cell {} ({error})", result.key);
+        }
+    }
+    if dropped > 0 {
+        gaia_obs::warn!(
+            "aggregation: {dropped} of {} cells dropped; statistics cover \
+             fewer replicates than the grid specifies",
+            run.results.len()
+        );
+    }
+    across_seed_groups_inner(run)
+}
+
+fn across_seed_groups_inner(run: &SweepRun) -> Vec<GroupSummary> {
     let mut order: Vec<String> = Vec::new();
     let mut members: std::collections::HashMap<String, Vec<usize>> =
         std::collections::HashMap::new();

@@ -75,6 +75,10 @@ use gaia_metrics::{observe, Summary};
 use gaia_obs::{Event, JsonlSink, MetricsRegistry, NullSink, Profiler, SharedSink, Sink};
 use gaia_sim::{AuditReport, Simulation};
 
+// Re-exported so sweep drivers can load fault plans and name schedule
+// types without depending on gaia-fault directly.
+pub use gaia_fault::{FaultError, FaultPlan, FaultSchedule, FaultSpec};
+
 /// How one scenario cell ended.
 ///
 /// Sweeps isolate failures: a policy returning an invalid decision (a
@@ -90,6 +94,20 @@ pub enum CellOutcome {
         summary: Summary,
         /// Invariant-audit report (`None` when auditing was off).
         audit: Option<AuditReport>,
+    },
+    /// The simulation finished, but only after at least one failed
+    /// attempt was retried under a [`RetryPolicy`]. The recovery
+    /// provenance (attempt count and the last failure) is preserved so
+    /// manifests can distinguish first-try cells from recovered ones.
+    Retried {
+        /// Metrics of the (eventually successful) simulation.
+        summary: Summary,
+        /// Invariant-audit report (`None` when auditing was off).
+        audit: Option<AuditReport>,
+        /// Total attempts including the successful one (always ≥ 2).
+        attempts: u32,
+        /// The error message of the last failed attempt.
+        recovered_error: String,
     },
     /// The simulation was rejected with a typed error.
     Failed {
@@ -110,10 +128,12 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
-    /// The cell's summary, if it completed.
+    /// The cell's summary, if it (eventually) completed.
     pub fn summary(&self) -> Option<&Summary> {
         match &self.outcome {
-            CellOutcome::Completed { summary, .. } => Some(summary),
+            CellOutcome::Completed { summary, .. } | CellOutcome::Retried { summary, .. } => {
+                Some(summary)
+            }
             CellOutcome::Failed { .. } => None,
         }
     }
@@ -121,23 +141,44 @@ impl ScenarioResult {
     /// The cell's audit report, if it completed under auditing.
     pub fn audit(&self) -> Option<&AuditReport> {
         match &self.outcome {
-            CellOutcome::Completed { audit, .. } => audit.as_ref(),
+            CellOutcome::Completed { audit, .. } | CellOutcome::Retried { audit, .. } => {
+                audit.as_ref()
+            }
             CellOutcome::Failed { .. } => None,
         }
     }
 
-    /// The cell's error message, if it failed.
+    /// The cell's error message, if it failed for good. Recovered cells
+    /// ([`CellOutcome::Retried`]) report `None` here; their transient
+    /// failure is available through [`retry_provenance`].
+    ///
+    /// [`retry_provenance`]: ScenarioResult::retry_provenance
     pub fn error(&self) -> Option<&str> {
         match &self.outcome {
-            CellOutcome::Completed { .. } => None,
+            CellOutcome::Completed { .. } | CellOutcome::Retried { .. } => None,
             CellOutcome::Failed { error } => Some(error),
+        }
+    }
+
+    /// `(attempts, last recovered error)` when the cell completed only
+    /// after retries; `None` for first-try completions and failures.
+    pub fn retry_provenance(&self) -> Option<(u32, &str)> {
+        match &self.outcome {
+            CellOutcome::Retried {
+                attempts,
+                recovered_error,
+                ..
+            } => Some((*attempts, recovered_error.as_str())),
+            _ => None,
         }
     }
 
     /// The cell's summary; panics (naming the cell) if it failed.
     pub fn expect_summary(&self) -> &Summary {
         match &self.outcome {
-            CellOutcome::Completed { summary, .. } => summary,
+            CellOutcome::Completed { summary, .. } | CellOutcome::Retried { summary, .. } => {
+                summary
+            }
             CellOutcome::Failed { error } => {
                 panic!("scenario cell {} failed: {error}", self.key)
             }
@@ -199,10 +240,122 @@ impl SweepRun {
             .collect()
     }
 
-    /// `true` when every cell completed and no audit violation was found.
+    /// The cells that completed only after at least one retry.
+    pub fn retried_cells(&self) -> Vec<&ScenarioResult> {
+        self.results
+            .iter()
+            .filter(|r| r.retry_provenance().is_some())
+            .collect()
+    }
+
+    /// `true` when every cell completed and no audit violation was
+    /// found. Cells that recovered through retries count as completed —
+    /// their provenance stays visible via [`retried_cells`], but a
+    /// recovered sweep is a usable sweep.
+    ///
+    /// [`retried_cells`]: SweepRun::retried_cells
     pub fn is_clean(&self) -> bool {
         self.failed_cells().is_empty() && self.audit_violations() == 0
     }
+}
+
+/// How failed cell attempts are retried.
+///
+/// Retries exist for *transient* failures — chaos-injected cell faults
+/// ([`FaultSpec::ChaosCell`]) and, in real deployments, OOM-killed or
+/// preempted workers. A deterministic simulation error (an invalid
+/// policy decision) fails identically on every attempt; retrying it
+/// just wastes `max_attempts − 1` runs, which is why the default is no
+/// retry at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per cell, including the first. `1` disables
+    /// retries entirely (the default).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles on each further attempt
+    /// and is capped at 30 s. Wall-clock only — backoff can never
+    /// change a result, because each attempt is deterministic in the
+    /// scenario's seed.
+    pub backoff: Duration,
+    /// Optional wall-clock budget per attempt. When set, each attempt
+    /// runs on a **detached thread**; an attempt that overruns is
+    /// counted as a failed attempt and its thread is *leaked* (std
+    /// threads cannot be cancelled) — it finishes in the background and
+    /// its result is discarded.
+    ///
+    /// This is the one knob that trades determinism for liveness:
+    /// whether an attempt beats its deadline depends on machine load,
+    /// so timed sweeps are **not** covered by the byte-identity
+    /// contract. It stays `None` (off) by default and is excluded from
+    /// the determinism test matrix.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts (no backoff, no
+    /// timeout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero — a cell always runs at least
+    /// once.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        assert!(max_attempts >= 1, "a cell always runs at least once");
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the base backoff slept before the second attempt.
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the per-attempt wall-clock budget (see [`RetryPolicy::timeout`]).
+    pub fn with_timeout(mut self, timeout: Duration) -> RetryPolicy {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The exponential-backoff pause after failed attempt number
+    /// `attempt` (1-based): `backoff · 2^(attempt−1)`, capped at 30 s.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        const CAP: Duration = Duration::from_secs(30);
+        let doubled = self
+            .backoff
+            .checked_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .unwrap_or(CAP);
+        doubled.min(CAP)
+    }
+}
+
+/// Fault-aware execution options for a sweep: a compiled fault schedule
+/// applied to every cell's simulation, plus the per-cell retry policy.
+///
+/// The default (`no schedule, no retries`) makes every faulted entry
+/// point behave exactly like its unfaulted counterpart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultOptions<'f> {
+    /// Compiled fault schedule handed to each cell's simulation via
+    /// [`Simulation::with_faults`]. Engine-level specs (storms, outages,
+    /// spikes, capacity drops, trace gaps) replay inside every cell;
+    /// [`FaultSpec::ChaosCell`] specs act at the sweep-harness level by
+    /// failing matching cells' first N attempts.
+    pub schedule: Option<&'f FaultSchedule>,
+    /// How failed attempts are retried.
+    pub retry: RetryPolicy,
 }
 
 /// Runs one scenario cell: materializes its traces through `cache`,
@@ -215,7 +368,7 @@ impl SweepRun {
 /// failure-isolating variant the sweep drivers use.
 pub fn run_scenario(scenario: &Scenario, cache: &TraceCache) -> Summary {
     match run_cell(scenario, cache, false) {
-        CellOutcome::Completed { summary, .. } => summary,
+        CellOutcome::Completed { summary, .. } | CellOutcome::Retried { summary, .. } => summary,
         CellOutcome::Failed { error } => panic!("{error}"),
     }
 }
@@ -242,17 +395,59 @@ pub fn run_cell_traced<S: Sink>(
     metrics: Option<&MetricsRegistry>,
     profiler: Option<&Profiler>,
 ) -> CellOutcome {
+    run_cell_faulted(scenario, cache, audit, None, sink, metrics, profiler)
+}
+
+/// [`run_cell_traced`] with an optional compiled fault schedule applied
+/// to the cell's simulation. `faults: None` is exactly
+/// [`run_cell_traced`]; an empty schedule is discarded by
+/// [`Simulation::with_faults`], so it too leaves results byte-identical.
+///
+/// Only the engine-level fault specs act here; [`FaultSpec::ChaosCell`]
+/// is a harness-level fault handled by the grid drivers' retry loop.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_faulted<S: Sink>(
+    scenario: &Scenario,
+    cache: &TraceCache,
+    audit: bool,
+    faults: Option<&FaultSchedule>,
+    sink: &mut S,
+    metrics: Option<&MetricsRegistry>,
+    profiler: Option<&Profiler>,
+) -> CellOutcome {
     let carbon = cache.carbon(scenario.region, scenario.seed);
     let workload = cache.workload(scenario.family, scenario.scale, scenario.seed);
-    let queues = scenario.queues.build(&workload);
+    simulate_cell(
+        scenario, &carbon, &workload, faults, audit, sink, metrics, profiler,
+    )
+}
+
+/// The shared simulation body of the cell runners, operating on already
+/// materialized traces (so the timed-attempt harness can move the trace
+/// lookups off the billed clock and onto the calling thread).
+#[allow(clippy::too_many_arguments)]
+fn simulate_cell<S: Sink>(
+    scenario: &Scenario,
+    carbon: &gaia_carbon::CarbonTrace,
+    workload: &gaia_workload::WorkloadTrace,
+    faults: Option<&FaultSchedule>,
+    audit: bool,
+    sink: &mut S,
+    metrics: Option<&MetricsRegistry>,
+    profiler: Option<&Profiler>,
+) -> CellOutcome {
+    let queues = scenario.queues.build(workload);
     let config = scenario.cluster.build(scenario.seed);
     let mut scheduler = scenario.policy.build(queues);
-    let mut sim = Simulation::new(config, &carbon);
+    let mut sim = Simulation::new(config, carbon);
+    if let Some(schedule) = faults {
+        sim = sim.with_faults(schedule);
+    }
     if let Some(p) = profiler {
         sim = sim.with_profiler(p);
     }
     match sim
-        .runner(&workload, &mut scheduler)
+        .runner(workload, &mut scheduler)
         .sink(sink)
         .audit(audit)
         .execute()
@@ -272,6 +467,85 @@ pub fn run_cell_traced<S: Sink>(
     }
 }
 
+/// Runs one attempt of a cell under a wall-clock budget, on a detached
+/// thread.
+///
+/// The cell's traces are materialized through `cache` *before* the
+/// clock starts, so shared trace synthesis is never billed to an
+/// individual cell. On timeout the worker thread is leaked (std threads
+/// cannot be cancelled); it runs to completion in the background and
+/// its result is discarded. Per-job metrics and phase profiling are
+/// skipped on this path — the registry and profiler borrows cannot
+/// cross into a detached thread — but sweep-level counters still apply.
+fn run_attempt_timed(
+    scenario: &Scenario,
+    cache: &TraceCache,
+    audit: bool,
+    faults: Option<&FaultSchedule>,
+    traced: bool,
+    timeout: Duration,
+) -> (CellOutcome, Option<Vec<u8>>) {
+    let carbon = cache.carbon(scenario.region, scenario.seed);
+    let workload = cache.workload(scenario.family, scenario.scale, scenario.seed);
+    let scenario = *scenario;
+    let faults = faults.cloned();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("gaia-sweep-timed-cell".to_owned())
+        .spawn(move || {
+            let result = if traced {
+                let mut sink = JsonlSink::new(Vec::new());
+                let outcome = simulate_cell(
+                    &scenario,
+                    &carbon,
+                    &workload,
+                    faults.as_ref(),
+                    audit,
+                    &mut sink,
+                    None,
+                    None,
+                );
+                // Vec<u8> writes are infallible; finish only flushes.
+                (outcome, Some(sink.finish().unwrap_or_default()))
+            } else {
+                let outcome = simulate_cell(
+                    &scenario,
+                    &carbon,
+                    &workload,
+                    faults.as_ref(),
+                    audit,
+                    &mut NullSink,
+                    None,
+                    None,
+                );
+                (outcome, None)
+            };
+            // The receiver is gone if we overran the deadline; the
+            // result is intentionally discarded then.
+            let _ = tx.send(result);
+        });
+    match spawned {
+        Ok(_detached) => match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => (
+                CellOutcome::Failed {
+                    error: format!(
+                        "attempt exceeded the {:.3}s cell timeout",
+                        timeout.as_secs_f64()
+                    ),
+                },
+                None,
+            ),
+        },
+        Err(error) => (
+            CellOutcome::Failed {
+                error: format!("could not spawn timed cell attempt: {error}"),
+            },
+            None,
+        ),
+    }
+}
+
 /// Sweeps `grid` on `executor` with a fresh trace cache (audit off).
 pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
     run_grid_with_cache(grid, executor, &TraceCache::new())
@@ -280,14 +554,50 @@ pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
 /// Sweeps `grid` on `executor`, sharing `cache` (useful when several
 /// grids over the same traces run back to back). Audit off.
 pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_inner(grid, executor, cache, false, None)
+    run_grid_inner(grid, executor, cache, false, None, None)
 }
 
 /// Sweeps `grid` with the invariant audit enabled: every completed cell
 /// carries an [`AuditReport`] and failed cells are isolated instead of
 /// aborting the process. This is what `gaia sweep` runs by default.
 pub fn run_grid_audited(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_inner(grid, executor, cache, true, None)
+    run_grid_inner(grid, executor, cache, true, None, None)
+}
+
+/// Sweeps `grid` under a fault schedule and retry policy, with optional
+/// observability taps.
+///
+/// Engine-level fault specs replay deterministically inside every cell;
+/// [`FaultSpec::ChaosCell`] specs fail matching cells' first N attempts
+/// at the harness level, which is what exercises the retry loop in CI.
+/// With the default [`FaultOptions`] this is exactly
+/// [`run_grid_observed`] (or the matching plain runner when `hooks` is
+/// `None`): same cells, same bytes.
+///
+/// Determinism: with `retry.timeout` unset (the default), results and
+/// artifacts remain byte-identical for any worker count, because chaos
+/// failures are a pure function of the cell key and each attempt is
+/// deterministic in the scenario seed. A timed sweep forfeits that
+/// guarantee — see [`RetryPolicy::timeout`].
+pub fn run_grid_faulted(
+    grid: &SweepGrid,
+    executor: &Executor,
+    cache: &TraceCache,
+    audit: bool,
+    faults: &FaultOptions<'_>,
+    hooks: Option<&ObsHooks<'_>>,
+) -> std::io::Result<SweepRun> {
+    if let Some(dir) = hooks.and_then(|h| h.trace_dir) {
+        std::fs::create_dir_all(dir)?;
+    }
+    Ok(run_grid_inner(
+        grid,
+        executor,
+        cache,
+        audit,
+        hooks,
+        Some(faults),
+    ))
 }
 
 /// Observability taps for [`run_grid_observed`]. All fields default to
@@ -338,7 +648,14 @@ pub fn run_grid_observed(
     if let Some(dir) = hooks.trace_dir {
         std::fs::create_dir_all(dir)?;
     }
-    Ok(run_grid_inner(grid, executor, cache, audit, Some(hooks)))
+    Ok(run_grid_inner(
+        grid,
+        executor,
+        cache,
+        audit,
+        Some(hooks),
+        None,
+    ))
 }
 
 fn run_grid_inner(
@@ -347,6 +664,7 @@ fn run_grid_inner(
     cache: &TraceCache,
     audit: bool,
     hooks: Option<&ObsHooks<'_>>,
+    faults: Option<&FaultOptions<'_>>,
 ) -> SweepRun {
     let start_stats = cache.stats();
     let start = Instant::now();
@@ -364,29 +682,102 @@ fn run_grid_inner(
             });
         }
         let cell_start = Instant::now();
-        let outcome = match hooks.and_then(|h| h.trace_dir) {
-            Some(dir) => {
+        let trace_dir = hooks.and_then(|h| h.trace_dir);
+        let schedule = faults.and_then(|f| f.schedule);
+        let retry = faults.map(|f| f.retry).unwrap_or_default();
+        // Chaos faults are keyed to the cell, not the attempt seed: a
+        // matching cell fails its first `chaos` attempts before the
+        // simulation even starts, modelling infrastructure-level losses
+        // (preempted workers, OOM kills) rather than simulation errors.
+        let chaos = schedule.map_or(0, |s| s.chaos_fail_attempts(&key));
+        let mut attempt = 0u32;
+        let mut recovered: Option<String> = None;
+        let (outcome, trace_bytes) = loop {
+            attempt += 1;
+            let (result, bytes) = if attempt <= chaos {
+                let error = format!("injected chaos fault ({attempt} of {chaos} attempts fail)");
+                (CellOutcome::Failed { error }, None)
+            } else if let Some(timeout) = retry.timeout {
+                run_attempt_timed(
+                    scenario,
+                    cache,
+                    audit,
+                    schedule,
+                    trace_dir.is_some(),
+                    timeout,
+                )
+            } else if trace_dir.is_some() {
                 let mut sink = JsonlSink::new(Vec::new());
-                let outcome = run_cell_traced(scenario, cache, audit, &mut sink, metrics, profiler);
+                let outcome = run_cell_faulted(
+                    scenario, cache, audit, schedule, &mut sink, metrics, profiler,
+                );
                 // Vec<u8> writes are infallible; finish only flushes.
-                let bytes = sink.finish().unwrap_or_default();
-                let path = dir.join(ObsHooks::trace_file_name(&key));
-                if let Err(error) = std::fs::write(&path, bytes) {
-                    gaia_obs::warn!("failed to write trace {}: {error}", path.display());
+                (outcome, Some(sink.finish().unwrap_or_default()))
+            } else {
+                let outcome = run_cell_faulted(
+                    scenario,
+                    cache,
+                    audit,
+                    schedule,
+                    &mut NullSink,
+                    metrics,
+                    profiler,
+                );
+                (outcome, None)
+            };
+            match result {
+                CellOutcome::Failed { error } if attempt < retry.max_attempts => {
+                    gaia_obs::warn!(
+                        "cell {key} failed on attempt {attempt}/{}, retrying: {error}",
+                        retry.max_attempts
+                    );
+                    if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
+                        sink.clone().emit(&Event::CellRetried {
+                            idx: index as u64,
+                            key: key.clone(),
+                            attempt: u64::from(attempt),
+                            error: error.clone(),
+                        });
+                    }
                     if let Some(registry) = metrics {
-                        registry.counter("obs.trace_write_errors").inc();
+                        registry.counter("sweep.cells_retried").inc();
+                    }
+                    recovered = Some(error);
+                    let pause = retry.backoff_before(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
                     }
                 }
-                outcome
+                CellOutcome::Completed { summary, audit } if attempt > 1 => {
+                    break (
+                        CellOutcome::Retried {
+                            summary,
+                            audit,
+                            attempts: attempt,
+                            recovered_error: recovered.take().unwrap_or_default(),
+                        },
+                        bytes,
+                    );
+                }
+                final_outcome => break (final_outcome, bytes),
             }
-            None => run_cell_traced(scenario, cache, audit, &mut NullSink, metrics, profiler),
         };
+        if let (Some(dir), Some(bytes)) = (trace_dir, trace_bytes) {
+            let path = dir.join(ObsHooks::trace_file_name(&key));
+            if let Err(error) = std::fs::write(&path, bytes) {
+                gaia_obs::warn!("failed to write trace {}: {error}", path.display());
+                if let Some(registry) = metrics {
+                    registry.counter("obs.trace_write_errors").inc();
+                }
+            }
+        }
         if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
             sink.clone().emit(&Event::CellFinished {
                 idx: index as u64,
                 key: key.clone(),
                 status: match &outcome {
                     CellOutcome::Completed { .. } => "completed".to_owned(),
+                    CellOutcome::Retried { .. } => "retried".to_owned(),
                     CellOutcome::Failed { .. } => "failed".to_owned(),
                 },
                 queue_wait_s: cell_start.duration_since(start).as_secs_f64(),
@@ -447,12 +838,20 @@ pub fn time_grid_audited(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingB
 }
 
 fn time_grid_inner(grid: &SweepGrid, workers: usize, audit: bool) -> (SweepRun, TimingBench) {
-    let serial = run_grid_inner(grid, &Executor::new(1), &TraceCache::new(), audit, None);
+    let serial = run_grid_inner(
+        grid,
+        &Executor::new(1),
+        &TraceCache::new(),
+        audit,
+        None,
+        None,
+    );
     let parallel = run_grid_inner(
         grid,
         &Executor::new(workers),
         &TraceCache::new(),
         audit,
+        None,
         None,
     );
     let serial_secs = serial.wall.as_secs_f64();

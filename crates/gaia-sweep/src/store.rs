@@ -131,8 +131,9 @@ pub fn csv_field(field: &str) -> String {
 ///
 /// Failed cells keep their identity columns, leave the metric columns
 /// empty, and carry the error in the `status` column; completed cells
-/// have `status` = `ok` and, when the sweep was audited, their violation
-/// count in `audit_violations`.
+/// have `status` = `ok` (or `retried:<attempts>` when the cell
+/// recovered through the retry policy) and, when the sweep was audited,
+/// their violation count in `audit_violations`.
 pub fn scenarios_csv(run: &SweepRun) -> String {
     let mut out = String::from(
         "key,policy,region,family,scale,seed,reserved,eviction,billing_days,\
@@ -163,9 +164,13 @@ pub fn scenarios_csv(run: &SweepRun) -> String {
                     Some(report) => report.violations.len().to_string(),
                     None => String::new(),
                 };
+                let status = match result.retry_provenance() {
+                    Some((attempts, _)) => format!("retried:{attempts}"),
+                    None => "ok".to_owned(),
+                };
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{},{},{},ok,{}",
+                    "{},{},{},{},{},{},{},{},{}",
                     m.carbon_g,
                     m.total_cost,
                     m.mean_wait_hours,
@@ -173,6 +178,7 @@ pub fn scenarios_csv(run: &SweepRun) -> String {
                     m.reserved_utilization,
                     m.evictions,
                     m.jobs,
+                    status,
                     audit,
                 );
             }
@@ -330,6 +336,35 @@ pub fn manifest_json_observed(
                     "{{\"key\": {}, \"error\": {}}}",
                     json_string(&cell.key),
                     json_string(cell.error().unwrap_or("failed")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    // Failed cells are excluded from aggregate.csv/aggregate.json; the
+    // manifest records how many replicates the aggregation lost so an
+    // unaudited sweep can't silently publish thinner statistics.
+    let dropped = run
+        .results
+        .iter()
+        .filter(|cell| cell.summary().is_none())
+        .count();
+    let _ = writeln!(out, "  \"aggregation\": {{\"dropped_cells\": {dropped}}},");
+    let retried = run.retried_cells();
+    let _ = writeln!(
+        out,
+        "  \"retries\": {{\"retried_cells\": {}, \"cells\": [{}]}},",
+        retried.len(),
+        retried
+            .iter()
+            .map(|cell| {
+                let (attempts, error) = cell
+                    .retry_provenance()
+                    .expect("retried_cells only returns retried cells");
+                format!(
+                    "{{\"key\": {}, \"attempts\": {attempts}, \"recovered_error\": {}}}",
+                    json_string(&cell.key),
+                    json_string(error),
                 )
             })
             .collect::<Vec<_>>()

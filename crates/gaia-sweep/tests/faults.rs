@@ -1,0 +1,291 @@
+//! Sweep-level fault injection: chaos-cell retries with provenance,
+//! fault-schedule threading into every cell, and the faulted
+//! byte-identity contract (same fault file + seed + grid ⇒ identical
+//! artifacts for any worker count).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_sweep::{
+    store, ClusterSpec, Executor, FaultOptions, FaultPlan, FaultSchedule, FaultSpec, ObsHooks,
+    RetryPolicy, SweepGrid, TraceCache,
+};
+use gaia_time::SimTime;
+
+/// A unique scratch directory under the temp dir; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("gaia-fault-sweep-{}-{tag}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn compile(specs: Vec<FaultSpec>) -> FaultSchedule {
+    let mut plan = FaultPlan::new();
+    for spec in specs {
+        plan.push(spec);
+    }
+    plan.compile().expect("valid fault plan")
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid::week(9)
+        .policies(vec![
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+        ])
+        .seeds(vec![1, 2])
+}
+
+fn quiet(workers: usize) -> Executor {
+    Executor::new(workers).with_progress(false)
+}
+
+#[test]
+fn default_fault_options_match_the_plain_audited_run() {
+    let grid = grid();
+    let faulted = gaia_sweep::run_grid_faulted(
+        &grid,
+        &quiet(2),
+        &TraceCache::new(),
+        true,
+        &FaultOptions::default(),
+        None,
+    )
+    .expect("no trace dir to create");
+    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(1), &TraceCache::new());
+    assert_eq!(faulted.results, plain.results);
+    assert_eq!(
+        store::scenarios_csv(&faulted),
+        store::scenarios_csv(&plain),
+        "empty fault options leave the CSV byte-identical"
+    );
+}
+
+#[test]
+fn chaos_cells_recover_through_retries_with_provenance() {
+    let grid = grid();
+    let schedule = compile(vec![FaultSpec::ChaosCell {
+        key_substr: "NoWait".to_owned(),
+        fail_attempts: 2,
+    }]);
+    let options = FaultOptions {
+        schedule: Some(&schedule),
+        retry: RetryPolicy::attempts(3),
+    };
+    let run =
+        gaia_sweep::run_grid_faulted(&grid, &quiet(2), &TraceCache::new(), true, &options, None)
+            .expect("no trace dir to create");
+
+    assert!(run.is_clean(), "recovered cells count as completed");
+    let retried = run.retried_cells();
+    assert_eq!(retried.len(), 2, "both NoWait seeds recover");
+    for cell in &retried {
+        assert!(
+            cell.key.contains("NoWait"),
+            "chaos matched by key: {}",
+            cell.key
+        );
+        let (attempts, error) = cell.retry_provenance().expect("retried");
+        assert_eq!(attempts, 3, "2 injected failures + 1 success");
+        assert!(
+            error.contains("chaos"),
+            "provenance keeps the fault: {error}"
+        );
+        assert!(cell.audit().expect("audited").is_clean());
+    }
+
+    // Recovery is transparent to the results: summaries match the
+    // unfaulted sweep cell for cell.
+    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(1), &TraceCache::new());
+    for (a, b) in run.results.iter().zip(&plain.results) {
+        assert_eq!(a.summary(), b.summary(), "{}", a.key);
+    }
+
+    // scenarios.csv records the provenance in the status column.
+    let csv = store::scenarios_csv(&run);
+    assert_eq!(csv.matches(",retried:3,").count(), 2, "{csv}");
+}
+
+#[test]
+fn chaos_cells_without_retry_budget_fail_for_good() {
+    let grid = grid();
+    let schedule = compile(vec![FaultSpec::ChaosCell {
+        key_substr: "NoWait".to_owned(),
+        fail_attempts: 1,
+    }]);
+    let options = FaultOptions {
+        schedule: Some(&schedule),
+        retry: RetryPolicy::default(), // one attempt: no retries
+    };
+    let run =
+        gaia_sweep::run_grid_faulted(&grid, &quiet(2), &TraceCache::new(), true, &options, None)
+            .expect("no trace dir to create");
+
+    assert!(!run.is_clean());
+    let failed = run.failed_cells();
+    assert_eq!(failed.len(), 2, "both NoWait seeds fail");
+    for cell in &failed {
+        assert!(cell.error().expect("failed").contains("chaos"));
+    }
+    assert!(run.retried_cells().is_empty());
+    assert!(
+        run.results
+            .iter()
+            .any(|r| r.key.contains("Carbon-Time") && r.summary().is_some()),
+        "unmatched cells are untouched"
+    );
+}
+
+#[test]
+fn faulted_artifacts_are_byte_identical_across_worker_counts() {
+    // Engine-level faults (storm over a spot-heavy cluster, a forecast
+    // outage, a price spike) plus a chaos cell with retries: the full
+    // (fault file, seed, grid) triple must replay byte-identically for
+    // any worker count.
+    let grid = grid().clusters(vec![ClusterSpec::on_demand(9).with_eviction(0.02)]);
+    let schedule = compile(vec![
+        FaultSpec::EvictionStorm {
+            start: SimTime::ORIGIN,
+            end: SimTime::from_hours(72),
+            multiplier: 20.0,
+        },
+        FaultSpec::ForecastOutage {
+            start: SimTime::from_hours(10),
+            end: SimTime::from_hours(40),
+        },
+        FaultSpec::PriceSpike {
+            start: SimTime::from_hours(5),
+            end: SimTime::from_hours(25),
+            multiplier: 3.0,
+        },
+        FaultSpec::ChaosCell {
+            key_substr: "Carbon-Time".to_owned(),
+            fail_attempts: 1,
+        },
+    ]);
+    let options = FaultOptions {
+        schedule: Some(&schedule),
+        retry: RetryPolicy::attempts(2),
+    };
+
+    let scratch = Scratch::new("determinism");
+    let mut runs = Vec::new();
+    for workers in [1usize, 4] {
+        let trace_dir = scratch.0.join(format!("traces-{workers}"));
+        let hooks = ObsHooks {
+            trace_dir: Some(&trace_dir),
+            ..Default::default()
+        };
+        let run = gaia_sweep::run_grid_faulted(
+            &grid,
+            &quiet(workers),
+            &TraceCache::new(),
+            true,
+            &options,
+            Some(&hooks),
+        )
+        .expect("trace dir is creatable");
+        assert!(run.is_clean(), "faults degrade, they must not break");
+        assert_eq!(
+            run.retried_cells().len(),
+            2,
+            "both Carbon-Time seeds retried"
+        );
+        runs.push(run);
+    }
+
+    assert_eq!(runs[0].results, runs[1].results, "merged results identical");
+    assert_eq!(
+        store::scenarios_csv(&runs[0]),
+        store::scenarios_csv(&runs[1]),
+        "scenarios.csv byte-identical for 1 vs 4 workers under faults"
+    );
+    let groups_1 = gaia_sweep::across_seed_groups(&runs[0]);
+    let groups_4 = gaia_sweep::across_seed_groups(&runs[1]);
+    assert_eq!(
+        store::aggregate_csv(&groups_1),
+        store::aggregate_csv(&groups_4)
+    );
+
+    for cell in grid.scenarios() {
+        let name = ObsHooks::trace_file_name(&cell.key());
+        let a = fs::read(scratch.0.join("traces-1").join(&name))
+            .unwrap_or_else(|e| panic!("read traces-1/{name}: {e}"));
+        let b = fs::read(scratch.0.join("traces-4").join(&name))
+            .unwrap_or_else(|e| panic!("read traces-4/{name}: {e}"));
+        assert_eq!(a, b, "{name} byte-identical across worker counts");
+        assert!(!a.is_empty());
+    }
+
+    // The faulted run differs from the unfaulted one (the faults bite),
+    // but stays audit-clean — graceful degradation, not corruption.
+    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(2), &TraceCache::new());
+    assert_ne!(
+        store::scenarios_csv(&runs[0]),
+        store::scenarios_csv(&plain),
+        "the schedule visibly changes outcomes"
+    );
+    assert_eq!(runs[0].audit_violations(), 0);
+}
+
+#[test]
+fn expired_cell_timeout_fails_the_attempt_gracefully() {
+    let grid = SweepGrid::week(9)
+        .policies(vec![PolicySpec::plain(BasePolicyKind::NoWait)])
+        .seeds(vec![1]);
+    let options = FaultOptions {
+        schedule: None,
+        retry: RetryPolicy::attempts(1).with_timeout(Duration::from_nanos(1)),
+    };
+    let run =
+        gaia_sweep::run_grid_faulted(&grid, &quiet(1), &TraceCache::new(), false, &options, None)
+            .expect("no trace dir to create");
+    let failed = run.failed_cells();
+    assert_eq!(failed.len(), 1);
+    assert!(
+        failed[0].error().expect("failed").contains("timeout"),
+        "{:?}",
+        failed[0].error()
+    );
+}
+
+#[test]
+fn generous_cell_timeout_reproduces_the_untimed_results() {
+    let grid = grid();
+    let options = FaultOptions {
+        schedule: None,
+        retry: RetryPolicy::attempts(1).with_timeout(Duration::from_secs(120)),
+    };
+    let timed =
+        gaia_sweep::run_grid_faulted(&grid, &quiet(2), &TraceCache::new(), true, &options, None)
+            .expect("no trace dir to create");
+    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(1), &TraceCache::new());
+    assert_eq!(timed.results, plain.results);
+}
+
+#[test]
+fn retry_backoff_doubles_and_caps() {
+    let policy = RetryPolicy::attempts(8).with_backoff(Duration::from_millis(100));
+    assert_eq!(policy.backoff_before(1), Duration::from_millis(100));
+    assert_eq!(policy.backoff_before(2), Duration::from_millis(200));
+    assert_eq!(policy.backoff_before(3), Duration::from_millis(400));
+    assert_eq!(policy.backoff_before(30), Duration::from_secs(30), "capped");
+    assert_eq!(
+        RetryPolicy::default().backoff_before(1),
+        Duration::ZERO,
+        "no backoff by default"
+    );
+}
