@@ -1,0 +1,135 @@
+//! Serving-path benchmark: sustained submission throughput and
+//! per-request planning latency of a [`gaia_serve::Session`] holding a
+//! deep backlog.
+//!
+//! The bench drives one session exactly the way the daemon's engine
+//! thread does — `apply(submit)` per request, incremental planning on
+//! arrival via the shared [`gaia_carbon::ForecastIndex`] — and keeps every job alive
+//! (week-long jobs, sub-day bench horizon) so the backlog grows to the
+//! full submission count. Latency is measured per `apply` call; the p99
+//! therefore *is* the p99 planning latency at that backlog depth,
+//! including the worst case late in the run when 1M+ jobs are queued.
+//!
+//! Writes `BENCH_serve.json` (override with `GAIA_BENCH_OUT`),
+//! re-parses it through `gaia_obs::json` as a schema self-check, and
+//! exits non-zero if sustained throughput or tail latency regress past
+//! the gates (full mode only). Quick mode (`--quick` or
+//! `GAIA_BENCH_QUICK=1`) shrinks the submission count for the CI smoke
+//! job and skips the gates.
+
+use std::time::Instant;
+
+use gaia_carbon::{PerfectForecaster, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_obs::NullSink;
+use gaia_serve::protocol::{Request, Response};
+use gaia_serve::Session;
+use gaia_sim::{ClusterConfig, OnlineEngine};
+
+/// Full-mode gates: loose enough to absorb machine noise, tight enough
+/// to catch an accidental O(queued) term in the submit path.
+const MIN_SUBMITS_PER_SEC: f64 = 10_000.0;
+const MAX_P99_US: f64 = 1_000.0;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() -> std::process::ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("GAIA_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let out_path =
+        std::env::var("GAIA_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_owned());
+    let submissions: u64 = if quick { 20_000 } else { 1_200_000 };
+    let tenants = ["acme", "blue", "crux", "dawn"];
+
+    let carbon = bench::carbon(Region::SouthAustralia);
+    let forecaster = PerfectForecaster::new(&carbon);
+    forecaster.warm();
+    // reserved = 0: the reserved pool's waiter list is O(n) per release
+    // and irrelevant to the serving path being measured.
+    let config = ClusterConfig::default().with_reserved(0).with_seed(42);
+    let mut sink = NullSink;
+    let engine = OnlineEngine::new(&config, &carbon, &forecaster, &mut sink);
+    let mut session = Session::new(engine, PolicySpec::plain(BasePolicyKind::CarbonTime));
+
+    // 2000 submissions per sim-minute; week-long jobs, so nothing
+    // finishes inside the bench horizon and the backlog only grows.
+    let mut latencies_us = Vec::with_capacity(submissions as usize);
+    let started = Instant::now();
+    for i in 0..submissions {
+        let request = Request::Submit {
+            tenant: tenants[(i % 4) as usize].to_string(),
+            at: i / 2000,
+            len: 10_080,
+            cpus: 1 + (i % 4),
+        };
+        let t0 = Instant::now();
+        let response = session.apply(&request);
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(
+            matches!(response, Response::Submitted { .. }),
+            "submission {i} rejected: {}",
+            response.to_json_line()
+        );
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let queued = session.engine().queued();
+    assert_eq!(queued, submissions, "no job may finish during the bench");
+
+    // One snapshot at full depth, to keep the serialization cost honest.
+    let snap_t0 = Instant::now();
+    let (_, snapshot_bytes) = session.snapshot();
+    let snapshot_ms = snap_t0.elapsed().as_secs_f64() * 1e3;
+
+    latencies_us.sort_by(f64::total_cmp);
+    let per_sec = submissions as f64 / wall_s;
+    let p50 = percentile(&latencies_us, 0.50);
+    let p99 = percentile(&latencies_us, 0.99);
+    let p999 = percentile(&latencies_us, 0.999);
+    let max = *latencies_us.last().expect("non-empty");
+
+    let pass = quick || (per_sec >= MIN_SUBMITS_PER_SEC && p99 <= MAX_P99_US);
+    println!(
+        "serve_bench: {submissions} submissions in {wall_s:.2}s \
+         ({per_sec:.0}/s), p50 {p50:.1}us p99 {p99:.1}us p99.9 {p999:.1}us \
+         max {max:.1}us, snapshot {snapshot_ms:.1}ms / {} bytes{}{}",
+        snapshot_bytes.len(),
+        if quick { ", quick mode" } else { "" },
+        if pass { "" } else { " — GATE FAILED" },
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \
+         \"submissions\": {submissions},\n  \"queued_at_end\": {queued},\n  \
+         \"wall_s\": {wall_s:.3},\n  \"submissions_per_sec\": {per_sec:.1},\n  \
+         \"latency_us\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}, \
+         \"p999\": {p999:.2}, \"max\": {max:.2}}},\n  \
+         \"snapshot_ms\": {snapshot_ms:.2},\n  \
+         \"snapshot_bytes\": {},\n  \"pass\": {pass}\n}}\n",
+        snapshot_bytes.len(),
+    );
+
+    // Schema self-check: the report must round-trip through the same
+    // JSON reader the tooling uses.
+    let parsed = gaia_obs::json::parse(&json).expect("bench JSON must parse");
+    for key in [
+        "submissions",
+        "queued_at_end",
+        "submissions_per_sec",
+        "latency_us",
+        "pass",
+    ] {
+        assert!(parsed.get(key).is_some(), "bench JSON must carry {key:?}");
+    }
+    std::fs::write(&out_path, &json).expect("write bench report");
+
+    if pass {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

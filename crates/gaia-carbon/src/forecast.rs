@@ -504,6 +504,16 @@ impl<'t> PerfectForecaster<'t> {
     pub fn index(&self) -> &ForecastIndex<'t> {
         self.index.get_or_init(|| ForecastIndex::new(self.trace))
     }
+
+    /// Forces the index build now instead of on the first query.
+    ///
+    /// Latency-sensitive callers (the online serving layer) use this to
+    /// pay the O(horizon) index construction once at startup, so the
+    /// first job submission is O(plan) like every later one.
+    pub fn warm(&self) -> &Self {
+        let _ = self.index();
+        self
+    }
 }
 
 impl CarbonForecaster for PerfectForecaster<'_> {

@@ -17,6 +17,7 @@ use std::process::ExitCode;
 
 mod args;
 mod run;
+mod serve;
 mod sweep;
 mod trace;
 
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("serve") => serve::execute(&args[1..]),
         Some("trace") => trace::execute(&args[1..]),
         // `gaia run` and the bare legacy interface share one flag set;
         // only the meaning of `--trace` differs (events path vs family).

@@ -1,0 +1,285 @@
+//! The `gaia serve` subcommand: run the online scheduling daemon, or
+//! connect to one and replay a request log from stdin.
+
+use std::io;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_serve::ServeOptions;
+use gaia_time::Minutes;
+
+/// Help text printed for `gaia serve --help`.
+pub const HELP: &str = "\
+gaia serve — online scheduling service over the GAIA event engine
+
+USAGE:
+    gaia serve [OPTIONS]                 run the daemon
+    gaia serve --connect <ADDR>          replay stdin lines to a daemon
+
+DAEMON OPTIONS:
+    --listen <ADDR>         bind address (default 127.0.0.1:0; port 0
+                            picks a free port — see --addr-file)
+    --addr-file <PATH>      write the bound host:port here once listening
+    --policy <NAME>         base policy (default carbon-time); same names
+                            as `gaia run --policy`
+    --res-first             prefer reserved capacity before on-demand
+    --spot <J_MAX>          add a spot pool with eviction budget J_MAX
+                            minutes
+    --region <CODE>         carbon trace region (default SA-AU)
+    --seed <N>              trace + eviction seed (default 42)
+    --reserved <N>          reserved CPU instances (default 0)
+    --snapshot-every <N>    snapshot after every N-th accepted submission
+    --snapshot-path <PATH>  snapshot target (default gaia-serve.snap)
+    --restore <FILE>        boot from a snapshot instead of empty state
+    --trace <PATH>          stream JSONL trace events to this file
+    --faults <FILE>         inject a JSON fault plan into the live service
+
+PROTOCOL (newline-delimited JSON, one response line per request):
+    {\"op\":\"submit\",\"tenant\":\"acme\",\"at\":120,\"len\":60,\"cpus\":2}
+    {\"op\":\"query\",\"job\":7}
+    {\"op\":\"cancel\",\"job\":7}
+    {\"op\":\"stats\"}            (cluster)   {\"op\":\"stats\",\"tenant\":\"acme\"}
+    {\"op\":\"drain\"}            run the engine until every job finishes
+    {\"op\":\"snapshot\"}         write a snapshot now
+    {\"op\":\"shutdown\"}         stop the daemon
+
+Submissions must arrive in nondecreasing `at` order; the daemon advances
+sim-time to each arrival and replans incrementally. Restoring a snapshot
+and replaying the remaining request log produces responses and trace
+events byte-identical to a daemon that never stopped.
+
+EXIT CODES:
+    0  clean shutdown (daemon) or full replay (client)
+    1  usage, I/O, bind, or restore error
+";
+
+enum Mode {
+    Daemon(Box<ServeOptions>),
+    Connect(String),
+    Help,
+}
+
+fn parse(args: &[String]) -> Result<Mode, String> {
+    let mut options = ServeOptions::default();
+    let mut connect = None;
+    let mut base = BasePolicyKind::CarbonTime;
+    let mut res_first = false;
+    let mut spot = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Mode::Help),
+            "--connect" => connect = Some(value("--connect")?.to_string()),
+            "--listen" => options.listen = value("--listen")?.to_string(),
+            "--addr-file" => options.addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            "--policy" => {
+                let name = value("--policy")?;
+                base = BasePolicyKind::parse(name)
+                    .ok_or_else(|| format!("unknown policy {name:?}"))?;
+            }
+            "--res-first" => res_first = true,
+            "--spot" => {
+                let j_max: u64 = value("--spot")?
+                    .parse()
+                    .map_err(|_| "invalid --spot J_MAX".to_owned())?;
+                spot = Some(Minutes::new(j_max));
+            }
+            "--region" => {
+                let code = value("--region")?;
+                options.region = code
+                    .parse()
+                    .map_err(|_| format!("unknown region {code:?}"))?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_owned())?;
+            }
+            "--reserved" => {
+                options.reserved = value("--reserved")?
+                    .parse()
+                    .map_err(|_| "invalid --reserved".to_owned())?;
+            }
+            "--snapshot-every" => {
+                let every: u64 = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "invalid --snapshot-every".to_owned())?;
+                if every == 0 {
+                    return Err("--snapshot-every must be positive".into());
+                }
+                options.snapshot_every = Some(every);
+            }
+            "--snapshot-path" => {
+                options.snapshot_path = PathBuf::from(value("--snapshot-path")?);
+            }
+            "--restore" => options.restore = Some(PathBuf::from(value("--restore")?)),
+            "--trace" => options.trace_path = Some(PathBuf::from(value("--trace")?)),
+            "--faults" => options.faults = Some(PathBuf::from(value("--faults")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(addr) = connect {
+        return Ok(Mode::Connect(addr));
+    }
+    options.policy = match (res_first, spot) {
+        (false, None) => PolicySpec::plain(base),
+        (true, None) => PolicySpec::res_first(base),
+        (false, Some(j_max)) => {
+            let mut spec = PolicySpec::spot_first(base);
+            if let Some(spot) = &mut spec.spot {
+                spot.j_max = j_max;
+            }
+            spec
+        }
+        (true, Some(j_max)) => {
+            let mut spec = PolicySpec::spot_res(base);
+            if let Some(spot) = &mut spec.spot {
+                spot.j_max = j_max;
+            }
+            spec
+        }
+    };
+    Ok(Mode::Daemon(Box::new(options)))
+}
+
+/// Runs the subcommand on the arguments following `gaia serve`.
+pub fn execute(args: &[String]) -> ExitCode {
+    match parse(args) {
+        Ok(Mode::Help) => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Ok(Mode::Connect(addr)) => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            match gaia_serve::client::replay(&addr, stdin.lock(), stdout.lock()) {
+                Ok(sent) => {
+                    gaia_obs::info!("replayed {sent} request(s) to {addr}");
+                    ExitCode::SUCCESS
+                }
+                Err(message) => {
+                    gaia_obs::error!("{message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Ok(Mode::Daemon(options)) => match gaia_serve::run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                gaia_obs::error!("{message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            gaia_obs::error!("{message}");
+            gaia_obs::error!("run `gaia serve --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_carbon::Region;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_run_a_daemon() {
+        let Ok(Mode::Daemon(options)) = parse(&args(&[])) else {
+            panic!("defaults parse");
+        };
+        assert_eq!(options.listen, "127.0.0.1:0");
+        assert_eq!(
+            options.policy,
+            PolicySpec::plain(BasePolicyKind::CarbonTime)
+        );
+        assert!(options.restore.is_none());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let Ok(Mode::Daemon(options)) = parse(&args(&[
+            "--listen",
+            "127.0.0.1:7777",
+            "--policy",
+            "lowest-window",
+            "--res-first",
+            "--spot",
+            "360",
+            "--region",
+            "ON-CA",
+            "--seed",
+            "9",
+            "--reserved",
+            "12",
+            "--snapshot-every",
+            "500",
+            "--snapshot-path",
+            "/tmp/s.snap",
+            "--restore",
+            "/tmp/old.snap",
+            "--trace",
+            "/tmp/t.jsonl",
+        ])) else {
+            panic!("full flags parse");
+        };
+        assert_eq!(options.listen, "127.0.0.1:7777");
+        assert_eq!(options.policy.base, BasePolicyKind::LowestWindow);
+        assert!(options.policy.res_first);
+        assert_eq!(options.policy.spot.map(|s| s.j_max.as_minutes()), Some(360));
+        assert_eq!(options.region, Region::Ontario);
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.reserved, 12);
+        assert_eq!(options.snapshot_every, Some(500));
+        assert_eq!(options.restore, Some(PathBuf::from("/tmp/old.snap")));
+    }
+
+    #[test]
+    fn connect_mode_wins() {
+        let Ok(Mode::Connect(addr)) = parse(&args(&["--connect", "127.0.0.1:7777"])) else {
+            panic!("connect parses");
+        };
+        assert_eq!(addr, "127.0.0.1:7777");
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse(&args(&["--policy", "magic"])).is_err());
+        assert!(parse(&args(&["--snapshot-every", "0"])).is_err());
+        assert!(parse(&args(&["--region", "atlantis"])).is_err());
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+        assert!(parse(&args(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn help_mentions_every_flag() {
+        for flag in [
+            "--listen",
+            "--addr-file",
+            "--policy",
+            "--res-first",
+            "--spot",
+            "--region",
+            "--seed",
+            "--reserved",
+            "--snapshot-every",
+            "--snapshot-path",
+            "--restore",
+            "--trace",
+            "--faults",
+            "--connect",
+        ] {
+            assert!(HELP.contains(flag), "{flag} missing from help");
+        }
+    }
+}

@@ -66,6 +66,11 @@ FAULT INJECTION & RESILIENCE:
                            for liveness: a cell near the limit may pass or
                            fail by machine speed, so leave this off when
                            byte-identical artifacts matter
+    --cell-timeout-scale <N> multiply the budget by N per retry (capped at
+                           1h) so a timed-out cell can recover under a
+                           bigger budget; such cells keep BOTH provenances
+                           in scenarios.csv (timed_out;retried:N)
+                           (default 1)
 
 OBSERVABILITY:
     --trace-dir <DIR>      write one JSONL event trace per cell into DIR
@@ -117,6 +122,7 @@ pub struct SweepOptions {
     pub retries: u32,
     pub retry_backoff_ms: u64,
     pub cell_timeout_s: Option<f64>,
+    pub cell_timeout_scale: u32,
 }
 
 impl Default for SweepOptions {
@@ -149,6 +155,7 @@ impl Default for SweepOptions {
             retries: 1,
             retry_backoff_ms: 0,
             cell_timeout_s: None,
+            cell_timeout_scale: 1,
         }
     }
 }
@@ -273,6 +280,15 @@ impl SweepOptions {
                     }
                     options.cell_timeout_s = Some(secs);
                 }
+                "--cell-timeout-scale" => {
+                    let scale: u32 = value("--cell-timeout-scale")?
+                        .parse()
+                        .map_err(|_| "invalid --cell-timeout-scale value".to_owned())?;
+                    if scale == 0 {
+                        return Err("--cell-timeout-scale must be at least 1".into());
+                    }
+                    options.cell_timeout_scale = scale;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -292,6 +308,9 @@ impl SweepOptions {
             .with_backoff(Duration::from_millis(self.retry_backoff_ms));
         if let Some(secs) = self.cell_timeout_s {
             policy = policy.with_timeout(Duration::from_secs_f64(secs));
+        }
+        if self.cell_timeout_scale > 1 {
+            policy = policy.with_timeout_scale(self.cell_timeout_scale);
         }
         policy
     }
@@ -424,10 +443,15 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
             }
         };
         for cell in run.retried_cells() {
-            if let Some((attempts, error)) = cell.retry_provenance() {
+            if let Some((attempts, timed_out, error)) = cell.retry_provenance() {
                 gaia_obs::warn!(
-                    "cell {} recovered after {attempts} attempts (last failure: {error})",
-                    cell.key
+                    "cell {} recovered after {attempts} attempts{} (last failure: {error})",
+                    cell.key,
+                    if timed_out {
+                        ", including a timeout"
+                    } else {
+                        ""
+                    },
                 );
             }
         }
@@ -682,9 +706,26 @@ mod tests {
                 .with_backoff(Duration::from_millis(250))
                 .with_timeout(Duration::from_secs_f64(1.5))
         );
+        let scaled = parse(&[
+            "--retries",
+            "2",
+            "--cell-timeout-s",
+            "1.5",
+            "--cell-timeout-scale",
+            "4",
+        ])
+        .expect("valid");
+        assert_eq!(
+            scaled.retry_policy(),
+            RetryPolicy::attempts(2)
+                .with_timeout(Duration::from_secs_f64(1.5))
+                .with_timeout_scale(4)
+        );
         assert!(parse(&["--retries", "0"]).is_err());
         assert!(parse(&["--cell-timeout-s", "-2"]).is_err());
         assert!(parse(&["--cell-timeout-s", "nan"]).is_err());
+        assert!(parse(&["--cell-timeout-scale", "0"]).is_err());
+        assert!(parse(&["--cell-timeout-scale", "x"]).is_err());
         // Defaults: no faults, single attempt, no timeout.
         let defaults = parse(&[]).expect("valid");
         assert_eq!(defaults.retry_policy(), RetryPolicy::default());
@@ -694,6 +735,7 @@ mod tests {
             .is_none());
         assert!(HELP.contains("--faults"));
         assert!(HELP.contains("--cell-timeout-s"));
+        assert!(HELP.contains("--cell-timeout-scale"));
     }
 
     #[test]

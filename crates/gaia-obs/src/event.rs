@@ -271,6 +271,35 @@ pub enum Event {
         /// Human-readable cache key.
         key: String,
     },
+    /// The serving layer accepted a job submission from a tenant.
+    JobAccepted {
+        /// Sim time, minutes (the submission instant on the service
+        /// clock, which is also the job's arrival time).
+        t: u64,
+        /// Job index assigned by the service (dense, submission order).
+        job: u64,
+        /// Tenant that submitted the job.
+        tenant: String,
+    },
+    /// The online planner ran incrementally for a newly accepted job.
+    Replan {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index the plan was computed for.
+        job: u64,
+        /// Jobs queued (accepted but not yet finished) when the planner
+        /// ran, including this one.
+        queued: u64,
+    },
+    /// The serving layer persisted a snapshot of the full engine state.
+    SnapshotWritten {
+        /// Sim time, minutes (the engine clock captured in the snapshot).
+        t: u64,
+        /// 1-based snapshot ordinal within the service's lifetime.
+        seq: u64,
+        /// Encoded snapshot size in bytes.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -290,6 +319,9 @@ impl Event {
             Event::CellRetried { .. } => "cell_retried",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
+            Event::JobAccepted { .. } => "job_accepted",
+            Event::Replan { .. } => "replan",
+            Event::SnapshotWritten { .. } => "snapshot_written",
         }
     }
 
@@ -304,7 +336,10 @@ impl Event {
             | Event::SpotEvicted { t, .. }
             | Event::JobCompleted { t, .. }
             | Event::FaultInjected { t, .. }
-            | Event::DegradedModeEntered { t, .. } => Some(t),
+            | Event::DegradedModeEntered { t, .. }
+            | Event::JobAccepted { t, .. }
+            | Event::Replan { t, .. }
+            | Event::SnapshotWritten { t, .. } => Some(t),
             Event::CellStarted { .. }
             | Event::CellFinished { .. }
             | Event::CellRetried { .. }
@@ -321,7 +356,9 @@ impl Event {
             | Event::SegmentStarted { job, .. }
             | Event::SegmentFinished { job, .. }
             | Event::SpotEvicted { job, .. }
-            | Event::JobCompleted { job, .. } => Some(job),
+            | Event::JobCompleted { job, .. }
+            | Event::JobAccepted { job, .. }
+            | Event::Replan { job, .. } => Some(job),
             _ => None,
         }
     }
@@ -449,6 +486,21 @@ impl Event {
                 push_str(&mut s, "kind", kind.as_str());
                 push_str(&mut s, "key", key);
             }
+            Event::JobAccepted { t, job, tenant } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_str(&mut s, "tenant", tenant);
+            }
+            Event::Replan { t, job, queued } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "queued", *queued);
+            }
+            Event::SnapshotWritten { t, seq, bytes } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "seq", *seq);
+                push_u64(&mut s, "bytes", *bytes);
+            }
         }
         s.push('}');
         s
@@ -543,6 +595,21 @@ impl Event {
                 kind: CacheKind::parse(&req_str(&value, "kind")?)
                     .ok_or_else(|| format!("unknown cache kind in: {line}"))?,
                 key: req_str(&value, "key")?,
+            }),
+            "job_accepted" => Ok(Event::JobAccepted {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                tenant: req_str(&value, "tenant")?,
+            }),
+            "replan" => Ok(Event::Replan {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                queued: req_u64(&value, "queued")?,
+            }),
+            "snapshot_written" => Ok(Event::SnapshotWritten {
+                t: req_u64(&value, "t")?,
+                seq: req_u64(&value, "seq")?,
+                bytes: req_u64(&value, "bytes")?,
             }),
             other => Err(format!("unknown event name {other:?}")),
         }
@@ -716,6 +783,21 @@ mod tests {
             Event::CacheMiss {
                 kind: CacheKind::Workload,
                 key: "Alibaba/s42".into(),
+            },
+            Event::JobAccepted {
+                t: 120,
+                job: 9,
+                tenant: "acme".into(),
+            },
+            Event::Replan {
+                t: 120,
+                job: 9,
+                queued: 3,
+            },
+            Event::SnapshotWritten {
+                t: 1440,
+                seq: 2,
+                bytes: 8192,
             },
         ]
     }

@@ -75,6 +75,12 @@ pub struct TraceSummary {
     pub cache_hits: u64,
     /// See [`TraceSummary::cache_hits`].
     pub cache_misses: u64,
+    /// `JobAccepted` count (serving-layer submissions).
+    pub jobs_accepted: u64,
+    /// `Replan` count (incremental planner runs in the serving layer).
+    pub replans: u64,
+    /// `SnapshotWritten` count.
+    pub snapshots_written: u64,
     /// Stream validation failures (non-monotone timestamps, unbalanced
     /// segments, duplicate lifecycle events). Empty for a well-formed
     /// trace.
@@ -177,6 +183,12 @@ impl TraceSummary {
             out.push_str("\nfaults\n");
             out.push_str(&format!("  injected          {}\n", self.faults_injected));
             out.push_str(&format!("  degraded entries  {}\n", self.degraded_entries));
+        }
+        if self.jobs_accepted + self.replans + self.snapshots_written > 0 {
+            out.push_str("\nserving\n");
+            out.push_str(&format!("  jobs accepted     {}\n", self.jobs_accepted));
+            out.push_str(&format!("  replans           {}\n", self.replans));
+            out.push_str(&format!("  snapshots written {}\n", self.snapshots_written));
         }
         if self.cells_completed + self.cells_failed + self.cache_hits + self.cache_misses > 0 {
             out.push_str("\nsweep\n");
@@ -303,6 +315,9 @@ impl Builder {
             Event::CellStarted { .. } => {}
             Event::CacheHit { .. } => s.cache_hits += 1,
             Event::CacheMiss { .. } => s.cache_misses += 1,
+            Event::JobAccepted { .. } => s.jobs_accepted += 1,
+            Event::Replan { .. } => s.replans += 1,
+            Event::SnapshotWritten { .. } => s.snapshots_written += 1,
         }
     }
 

@@ -1,0 +1,329 @@
+//! The `gaia serve` daemon: a TCP loop around one [`Session`].
+//!
+//! Concurrency model: any number of connection threads parse nothing —
+//! they forward raw request lines over a channel to the single engine
+//! thread, which applies requests in arrival order and sends each
+//! response line back on a per-request reply channel. One engine thread
+//! means the request *sequence* is the only source of ordering, which
+//! is what makes a replayed submission log deterministic.
+//!
+//! Snapshots: `--snapshot-every N` writes the full service state to the
+//! snapshot path after every `N`-th accepted submission (atomically,
+//! via a rename); an explicit `{"op":"snapshot"}` does the same on
+//! demand. `--restore FILE` boots from a snapshot instead of an empty
+//! session; replaying the remaining submission log then produces
+//! responses and trace events byte-identical to an uninterrupted run.
+
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use gaia_carbon::synth::synthesize_region;
+use gaia_carbon::{
+    CarbonForecaster, CarbonTrace, PerfectForecaster, PersistenceForecaster, Region,
+};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_fault::{FaultPlan, FaultSchedule};
+use gaia_obs::{JsonlSink, NullSink, Sink};
+use gaia_sim::{ClusterConfig, OnlineEngine};
+
+use crate::protocol::{Request, Response};
+use crate::session::Session;
+
+/// Configuration for one daemon run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServeOptions::addr_file`]).
+    pub listen: String,
+    /// Scheduling policy for every tenant.
+    pub policy: PolicySpec,
+    /// Region whose synthetic carbon trace backs the service.
+    pub region: Region,
+    /// Seed for the carbon trace and eviction sampling.
+    pub seed: u64,
+    /// Reserved CPU instances.
+    pub reserved: u32,
+    /// Write a snapshot after every `N`-th accepted submission.
+    pub snapshot_every: Option<u64>,
+    /// Where snapshots are written (also the explicit-op target).
+    pub snapshot_path: PathBuf,
+    /// Boot from this snapshot instead of an empty session.
+    pub restore: Option<PathBuf>,
+    /// Stream trace events (JSONL) to this file.
+    pub trace_path: Option<PathBuf>,
+    /// Write the bound address (`host:port` + newline) here once
+    /// listening — how scripts find a port-0 daemon.
+    pub addr_file: Option<PathBuf>,
+    /// JSON fault plan injected into the live service.
+    pub faults: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: "127.0.0.1:0".into(),
+            policy: PolicySpec::plain(BasePolicyKind::CarbonTime),
+            region: Region::SouthAustralia,
+            seed: 42,
+            reserved: 0,
+            snapshot_every: None,
+            snapshot_path: PathBuf::from("gaia-serve.snap"),
+            restore: None,
+            trace_path: None,
+            addr_file: None,
+            faults: None,
+        }
+    }
+}
+
+/// One raw request line in flight from a connection to the engine
+/// thread.
+struct Cmd {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// Runs the daemon until a `{"op":"shutdown"}` request arrives.
+pub fn run(options: &ServeOptions) -> Result<(), String> {
+    let carbon = synthesize_region(options.region, options.seed);
+    let config = ClusterConfig::default()
+        .with_reserved(options.reserved)
+        .with_seed(options.seed);
+    let faults = load_faults(options)?;
+    let faults = faults.as_ref();
+    // Mirror the batch path's forecaster wiring: policies see the
+    // gap-bridged trace, accounting always uses the true trace, and
+    // outage windows fall back to persistence forecasts.
+    let bridged: Option<CarbonTrace> = match faults {
+        Some(f) if f.has_gaps() => Some(
+            carbon
+                .with_gaps_bridged(f.gaps())
+                .map_err(|e| format!("fault plan does not fit the carbon trace: {e}"))?,
+        ),
+        _ => None,
+    };
+    let policy_trace: &CarbonTrace = bridged.as_ref().unwrap_or(&carbon);
+    let forecaster = PerfectForecaster::new(policy_trace);
+    forecaster.warm();
+    let persistence;
+    let fallback: Option<&dyn CarbonForecaster> = match faults {
+        Some(f) if f.has_outages() => {
+            persistence = PersistenceForecaster::new(policy_trace);
+            Some(&persistence)
+        }
+        _ => None,
+    };
+    if let Some(path) = &options.trace_path {
+        let file = fs::File::create(path)
+            .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+        let mut sink = JsonlSink::new(BufWriter::new(file));
+        serve_with_sink(
+            options,
+            &config,
+            &carbon,
+            &forecaster,
+            faults,
+            fallback,
+            &mut sink,
+        )?;
+        sink.finish()
+            .map(|_| ())
+            .map_err(|e| format!("cannot flush trace file {}: {e}", path.display()))
+    } else {
+        let mut sink = NullSink;
+        serve_with_sink(
+            options,
+            &config,
+            &carbon,
+            &forecaster,
+            faults,
+            fallback,
+            &mut sink,
+        )
+    }
+}
+
+fn load_faults(options: &ServeOptions) -> Result<Option<FaultSchedule>, String> {
+    let Some(path) = &options.faults else {
+        return Ok(None);
+    };
+    let plan = FaultPlan::load(path)
+        .map_err(|e| format!("cannot load fault plan {}: {e}", path.display()))?;
+    let schedule = plan
+        .compile()
+        .map_err(|e| format!("invalid fault plan {}: {e}", path.display()))?;
+    gaia_obs::info!(
+        "fault plan: {} spec(s) loaded from {}",
+        plan.specs().len(),
+        path.display()
+    );
+    Ok(Some(schedule))
+}
+
+fn serve_with_sink<S: Sink>(
+    options: &ServeOptions,
+    config: &ClusterConfig,
+    carbon: &CarbonTrace,
+    forecaster: &dyn CarbonForecaster,
+    faults: Option<&FaultSchedule>,
+    fallback: Option<&dyn CarbonForecaster>,
+    sink: &mut S,
+) -> Result<(), String> {
+    let session = match &options.restore {
+        Some(path) => {
+            let bytes = fs::read(path)
+                .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+            let session = crate::snapshot::restore(
+                config, carbon, forecaster, sink, faults, fallback, &bytes,
+            )
+            .map_err(|e| format!("cannot restore {}: {e}", path.display()))?;
+            gaia_obs::info!(
+                "restored {} job(s), {} tenant(s) at t={} from {}",
+                session.engine().submitted(),
+                session.tenants().len(),
+                session.engine().now().as_minutes(),
+                path.display()
+            );
+            session
+        }
+        None => {
+            let mut engine = OnlineEngine::new(config, carbon, forecaster, sink);
+            if let Some(faults) = faults {
+                engine = engine.with_faults(faults, fallback);
+            }
+            Session::new(engine, options.policy)
+        }
+    };
+
+    let listener = TcpListener::bind(&options.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", options.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the bound address: {e}"))?;
+    if let Some(path) = &options.addr_file {
+        fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write addr file {}: {e}", path.display()))?;
+    }
+    gaia_obs::info!("gaia serve listening on {addr} ({})", options.policy.name());
+
+    let (tx, rx) = mpsc::channel::<Cmd>();
+    let shutting_down = AtomicBool::new(false);
+    // The session borrows the (not necessarily `Sync`) forecaster and
+    // sink, so the engine loop stays on this thread; the accept loop
+    // and per-connection forwarders — which only touch sockets and
+    // channels — run on scoped threads.
+    thread::scope(|scope| {
+        let shutting_down = &shutting_down;
+        let listener = &listener;
+        scope.spawn(move || {
+            for stream in listener.incoming() {
+                if shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let tx = tx.clone();
+                scope.spawn(move || connection(stream, tx));
+            }
+        });
+        let mut session = session;
+        for cmd in rx {
+            let (response, stop) = handle(&mut session, &cmd.line, options);
+            let _ = cmd.reply.send(response.to_json_line());
+            if stop {
+                shutting_down.store(true, Ordering::SeqCst);
+                // Wake the blocking accept so the listener exits.
+                let _ = TcpStream::connect(addr);
+                break;
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Applies one raw request line; returns the response and whether the
+/// daemon should stop.
+fn handle<S: Sink>(
+    session: &mut Session<'_, S>,
+    line: &str,
+    options: &ServeOptions,
+) -> (Response, bool) {
+    let request = match Request::from_json_line(line) {
+        Ok(request) => request,
+        Err(error) => return (Response::Error { error }, false),
+    };
+    match request {
+        Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Snapshot => (write_snapshot(session, options), false),
+        Request::Submit { .. } => {
+            let response = session.apply(&request);
+            if let Response::Submitted { .. } = &response {
+                if let Some(every) = options.snapshot_every {
+                    if every > 0 && session.engine().submitted().is_multiple_of(every) {
+                        if let Response::Error { error } = write_snapshot(session, options) {
+                            gaia_obs::error!("periodic snapshot failed: {error}");
+                        }
+                    }
+                }
+            }
+            (response, false)
+        }
+        other => (session.apply(&other), false),
+    }
+}
+
+fn write_snapshot<S: Sink>(session: &mut Session<'_, S>, options: &ServeOptions) -> Response {
+    let (seq, bytes) = session.snapshot();
+    let path = &options.snapshot_path;
+    let tmp = path.with_extension("tmp");
+    let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, path));
+    match result {
+        Ok(()) => Response::SnapshotDone {
+            seq,
+            bytes: bytes.len() as u64,
+        },
+        Err(e) => Response::Error {
+            error: format!("cannot write snapshot {}: {e}", path.display()),
+        },
+    }
+}
+
+/// One connection: forward raw lines to the engine thread, write each
+/// reply back. Lockstep per connection; ordering across connections is
+/// whatever order lines reach the engine channel.
+fn connection(stream: TcpStream, tx: mpsc::Sender<Cmd>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx
+            .send(Cmd {
+                line,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else { break };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! An online, snapshot-restorable scheduling service over the GAIA
+//! event engine.
+//!
+//! `gaia-sim`'s [`OnlineEngine`](gaia_sim::OnlineEngine) accepts job
+//! submissions at arbitrary sim-times and plans them incrementally;
+//! this crate turns it into a *service*:
+//!
+//! * [`protocol`] — the newline-delimited JSON wire format (submit /
+//!   query / cancel / stats / drain / snapshot / shutdown), with
+//!   byte-stable responses.
+//! * [`session`] — the deterministic state machine wrapping one engine:
+//!   multi-tenant accounting, request application, trace events
+//!   (`job_accepted`, `replan`, `snapshot_written`).
+//! * [`snapshot`] — versioned binary snapshots of the full service
+//!   state. Restoring a snapshot and replaying the remaining request
+//!   log yields responses and trace events byte-identical to a run
+//!   that never stopped.
+//! * [`daemon`] / [`client`] — the TCP loop (`gaia serve`) and the
+//!   lockstep line client (`gaia serve --connect`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod session;
+pub mod snapshot;
+
+pub use daemon::{run, ServeOptions};
+pub use protocol::{Request, Response, StatsBody, StatusDetail};
+pub use session::{Session, TenantStats};
+pub use snapshot::{encode, restore, SERVICE_SNAPSHOT_VERSION};

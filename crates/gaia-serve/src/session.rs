@@ -1,0 +1,396 @@
+//! The multi-tenant serving session: one [`OnlineEngine`] plus tenant
+//! accounting, driven by protocol [`Request`]s.
+//!
+//! A session is a deterministic state machine: for a given engine state
+//! and request sequence, the produced [`Response`] stream and the
+//! engine's trace-event stream are byte-identical across runs, machines,
+//! and snapshot/restore boundaries. Everything that can influence a
+//! response — tenant interning order, per-tenant aggregates, the
+//! snapshot ordinal — is therefore part of the snapshot
+//! ([`crate::snapshot`]), and nothing in this module reads wall time.
+//!
+//! Submissions drive the sim clock: a `submit` at sim-minute `t`
+//! advances the engine to `t` (planning the new arrival and executing
+//! everything scheduled before it), so requests must carry
+//! nondecreasing `at` values. The policy plans each arrival
+//! incrementally against the shared
+//! [`ForecastIndex`](gaia_carbon::ForecastIndex), so cost per
+//! submission is proportional to the plan, not the horizon.
+
+use gaia_core::catalog::{DynScheduler, PolicySpec};
+use gaia_obs::{Event as ObsEvent, Sink};
+use gaia_sim::{CancelOutcome, JobStatus, OnlineEngine};
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::{Job, JobId, QueueSet};
+
+use crate::protocol::{Request, Response, StatsBody, StatusDetail};
+
+/// Per-tenant accounting, updated as the tenant's jobs finish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name as first seen on a submit.
+    pub name: String,
+    /// Accounting counters for this tenant's jobs.
+    pub body: StatsBody,
+}
+
+/// A serving session over one online engine.
+///
+/// The engine borrows its static inputs (config, carbon trace,
+/// forecaster, sink), so a session lives inside the scope that owns
+/// them — see [`crate::daemon`] for the ownership pattern.
+pub struct Session<'e, S: Sink> {
+    engine: OnlineEngine<'e, S>,
+    scheduler: DynScheduler,
+    policy: PolicySpec,
+    /// Tenants in order of first appearance; interning order is part of
+    /// the deterministic state.
+    tenants: Vec<TenantStats>,
+    /// Job index → tenant index.
+    job_tenant: Vec<u32>,
+    /// Snapshots written so far (the next snapshot gets ordinal + 1).
+    snapshots: u64,
+}
+
+impl<'e, S: Sink> Session<'e, S> {
+    /// Wraps a fresh engine with the scheduler built from `policy`.
+    ///
+    /// The caller configures the engine first (faults, profiler); the
+    /// session takes over submissions from here. The policy must be
+    /// decision-stateless (every catalog policy is): the scheduler is
+    /// rebuilt, not serialized, on restore.
+    pub fn new(engine: OnlineEngine<'e, S>, policy: PolicySpec) -> Self {
+        Session {
+            engine,
+            scheduler: policy.build(QueueSet::paper_defaults()),
+            policy,
+            tenants: Vec::new(),
+            job_tenant: Vec::new(),
+            snapshots: 0,
+        }
+    }
+
+    /// The policy the session's scheduler was built from.
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
+    }
+
+    /// Borrow the underlying engine.
+    pub fn engine(&self) -> &OnlineEngine<'e, S> {
+        &self.engine
+    }
+
+    /// Tenants in interning order.
+    pub fn tenants(&self) -> &[TenantStats] {
+        &self.tenants
+    }
+
+    /// Snapshots written so far.
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Applies one request and returns its response. Never panics on
+    /// malformed input — rejected requests produce [`Response::Error`]
+    /// and leave the session state untouched.
+    pub fn apply(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Submit {
+                tenant,
+                at,
+                len,
+                cpus,
+            } => self.submit(tenant, *at, *len, *cpus),
+            Request::Query { job } => self.query(*job),
+            Request::Cancel { job } => self.cancel(*job),
+            Request::Stats { tenant } => self.stats(tenant.as_deref()),
+            Request::Drain => self.drain(),
+            // Snapshot/shutdown need the enclosing service (file paths,
+            // connection teardown); [`Session::apply`] only validates.
+            Request::Snapshot | Request::Shutdown => Response::Error {
+                error: "snapshot/shutdown are handled by the daemon".into(),
+            },
+        }
+    }
+
+    fn submit(&mut self, tenant: &str, at: u64, len: u64, cpus: u64) -> Response {
+        if tenant.is_empty() {
+            return Response::Error {
+                error: "tenant name cannot be empty".into(),
+            };
+        }
+        let Ok(cpus) = u32::try_from(cpus) else {
+            return Response::Error {
+                error: format!("cpus {cpus} overflows the cluster's u32 capacity"),
+            };
+        };
+        if len == 0 || cpus == 0 {
+            return Response::Error {
+                error: "job length and cpus must both be positive".into(),
+            };
+        }
+        let arrival = SimTime::from_minutes(at);
+        if arrival < self.engine.now() {
+            return Response::Error {
+                error: format!(
+                    "arrival {at} is in the past; the service clock is at {}",
+                    self.engine.now().as_minutes()
+                ),
+            };
+        }
+        let job = Job::new(
+            JobId(self.engine.submitted()),
+            arrival,
+            Minutes::new(len),
+            cpus,
+        );
+        let idx = match self.engine.submit(job) {
+            Ok(idx) => idx,
+            Err(error) => {
+                return Response::Error {
+                    error: error.to_string(),
+                }
+            }
+        };
+        let tid = self.intern(tenant);
+        self.job_tenant.push(tid);
+        self.tenants[tid as usize].body.submitted += 1;
+        self.engine.emit_frontend(&ObsEvent::JobAccepted {
+            t: at,
+            job: u64::from(idx),
+            tenant: tenant.to_string(),
+        });
+        // Advance to the arrival: the policy plans this job now, and
+        // everything scheduled before `at` executes first.
+        if let Err(error) = self.engine.advance_to(arrival, &mut self.scheduler) {
+            return Response::Error {
+                error: error.to_string(),
+            };
+        }
+        let queued = self.engine.queued();
+        self.engine.emit_frontend(&ObsEvent::Replan {
+            t: at,
+            job: u64::from(idx),
+            queued,
+        });
+        self.settle();
+        Response::Submitted {
+            job: u64::from(idx),
+            tenant: tenant.to_string(),
+            t: at,
+            queued,
+        }
+    }
+
+    fn query(&self, job: u64) -> Response {
+        let Some(status) = u32::try_from(job)
+            .ok()
+            .and_then(|i| self.engine.job_status(i))
+        else {
+            return Response::Error {
+                error: format!("no job {job} was ever submitted"),
+            };
+        };
+        let detail = match status {
+            JobStatus::Pending => StatusDetail::Pending,
+            JobStatus::Queued { planned_start } => StatusDetail::Queued {
+                planned_start: planned_start.as_minutes(),
+            },
+            JobStatus::Running { pool, since } => StatusDetail::Running {
+                pool: pool.to_string(),
+                since: since.as_minutes(),
+            },
+            JobStatus::Suspended => StatusDetail::Suspended,
+            JobStatus::Done {
+                finish,
+                carbon_g,
+                cost,
+                waiting,
+                evictions,
+            } => StatusDetail::Done {
+                finish: finish.as_minutes(),
+                carbon_g,
+                cost,
+                wait: waiting.as_minutes(),
+                evictions: u64::from(evictions),
+            },
+            JobStatus::Cancelled { at, carbon_g, cost } => StatusDetail::Cancelled {
+                at: at.as_minutes(),
+                carbon_g,
+                cost,
+            },
+        };
+        Response::Status { job, detail }
+    }
+
+    fn cancel(&mut self, job: u64) -> Response {
+        let Ok(idx) = u32::try_from(job) else {
+            return Response::CancelResult {
+                job,
+                outcome: "unknown",
+            };
+        };
+        match self.engine.cancel(idx) {
+            Ok(CancelOutcome::Cancelled) => {
+                if let Some(JobStatus::Cancelled { carbon_g, cost, .. }) =
+                    self.engine.job_status(idx)
+                {
+                    let body = &mut self.tenants[self.job_tenant[idx as usize] as usize].body;
+                    body.cancelled += 1;
+                    body.carbon_g += carbon_g;
+                    body.cost += cost;
+                }
+                self.settle();
+                Response::CancelResult {
+                    job,
+                    outcome: "cancelled",
+                }
+            }
+            Ok(CancelOutcome::AlreadyFinished) => Response::CancelResult {
+                job,
+                outcome: "already-finished",
+            },
+            Ok(CancelOutcome::Unknown) => Response::CancelResult {
+                job,
+                outcome: "unknown",
+            },
+            Err(error) => Response::Error {
+                error: error.to_string(),
+            },
+        }
+    }
+
+    fn stats(&self, tenant: Option<&str>) -> Response {
+        let t = self.engine.now().as_minutes();
+        match tenant {
+            Some(name) => match self.tenants.iter().find(|s| s.name == name) {
+                Some(stats) => {
+                    let mut body = stats.body.clone();
+                    body.queued = body.submitted - body.completed - body.cancelled;
+                    Response::Stats {
+                        tenant: Some(name.to_string()),
+                        t,
+                        body,
+                    }
+                }
+                None => Response::Error {
+                    error: format!("tenant {name:?} has never submitted"),
+                },
+            },
+            None => {
+                let mut body = StatsBody {
+                    submitted: self.engine.submitted(),
+                    completed: self.engine.completed(),
+                    cancelled: self.engine.cancelled(),
+                    queued: self.engine.queued(),
+                    ..StatsBody::default()
+                };
+                for tenant in &self.tenants {
+                    body.carbon_g += tenant.body.carbon_g;
+                    body.cost += tenant.body.cost;
+                    body.wait_min += tenant.body.wait_min;
+                }
+                Response::Stats {
+                    tenant: None,
+                    t,
+                    body,
+                }
+            }
+        }
+    }
+
+    fn drain(&mut self) -> Response {
+        if let Err(error) = self.engine.run_until_idle(&mut self.scheduler) {
+            return Response::Error {
+                error: error.to_string(),
+            };
+        }
+        self.settle();
+        Response::Drained {
+            t: self.engine.now().as_minutes(),
+            completed: self.engine.completed(),
+        }
+    }
+
+    /// Encodes a snapshot of the full service state, bumps the snapshot
+    /// ordinal, and emits the `snapshot_written` trace event. The caller
+    /// persists the bytes; a restore that replays the remaining request
+    /// log is byte-identical to never having stopped.
+    pub fn snapshot(&mut self) -> (u64, Vec<u8>) {
+        self.snapshots += 1;
+        let bytes = crate::snapshot::encode(self);
+        self.engine.emit_frontend(&ObsEvent::SnapshotWritten {
+            t: self.engine.now().as_minutes(),
+            seq: self.snapshots,
+            bytes: bytes.len() as u64,
+        });
+        (self.snapshots, bytes)
+    }
+
+    fn intern(&mut self, tenant: &str) -> u32 {
+        if let Some(tid) = self.tenants.iter().position(|s| s.name == tenant) {
+            return tid as u32;
+        }
+        self.tenants.push(TenantStats {
+            name: tenant.to_string(),
+            body: StatsBody::default(),
+        });
+        (self.tenants.len() - 1) as u32
+    }
+
+    /// Attributes newly completed jobs to their tenants.
+    fn settle(&mut self) {
+        for idx in self.engine.take_completions() {
+            let Some(JobStatus::Done {
+                carbon_g,
+                cost,
+                waiting,
+                ..
+            }) = self.engine.job_status(idx)
+            else {
+                continue;
+            };
+            let body = &mut self.tenants[self.job_tenant[idx as usize] as usize].body;
+            body.completed += 1;
+            body.carbon_g += carbon_g;
+            body.cost += cost;
+            body.wait_min += waiting.as_minutes();
+        }
+    }
+
+    pub(crate) fn parts(&self) -> (&OnlineEngine<'e, S>, &[TenantStats], &[u32], u64) {
+        (
+            &self.engine,
+            &self.tenants,
+            &self.job_tenant,
+            self.snapshots,
+        )
+    }
+
+    pub(crate) fn from_parts(
+        engine: OnlineEngine<'e, S>,
+        policy: PolicySpec,
+        tenants: Vec<TenantStats>,
+        job_tenant: Vec<u32>,
+        snapshots: u64,
+    ) -> Self {
+        Session {
+            engine,
+            scheduler: policy.build(QueueSet::paper_defaults()),
+            policy,
+            tenants,
+            job_tenant,
+            snapshots,
+        }
+    }
+}
+
+impl<S: Sink> std::fmt::Debug for Session<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("engine", &self.engine)
+            .field("tenants", &self.tenants.len())
+            .field("snapshots", &self.snapshots)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,171 @@
+//! TCP smoke tests: a real daemon on a loopback socket, driven through
+//! [`gaia_serve::client::replay`], including snapshot + restore across
+//! two daemon lifetimes.
+
+use std::fs;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+use gaia_serve::{run, ServeOptions};
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("gaia-serve-test-{}-{name}", std::process::id()));
+    path
+}
+
+/// Waits for the daemon to publish its bound address.
+fn wait_for_addr(path: &PathBuf) -> String {
+    for _ in 0..500 {
+        if let Ok(text) = fs::read_to_string(path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never wrote {}", path.display());
+}
+
+fn replay_str(addr: &str, input: &str) -> (u64, String) {
+    let mut out = Vec::new();
+    let sent = gaia_serve::client::replay(addr, Cursor::new(input.as_bytes()), &mut out)
+        .expect("replay succeeds");
+    (sent, String::from_utf8(out).expect("responses are UTF-8"))
+}
+
+#[test]
+fn daemon_serves_submissions_and_restores_from_snapshot() {
+    let addr_file = temp_path("addr");
+    let snapshot_path = temp_path("snap");
+    let _ = fs::remove_file(&addr_file);
+    let _ = fs::remove_file(&snapshot_path);
+
+    // A 20-submission log from two tenants, split in half: the first
+    // daemon takes the first half and snapshots at submission 10; a
+    // second daemon restores and takes the second half. The combined
+    // response stream must equal one uninterrupted daemon's.
+    let mut all = Vec::new();
+    for i in 0..20u64 {
+        let tenant = if i % 2 == 0 { "acme" } else { "blue" };
+        all.push(format!(
+            r#"{{"op":"submit","tenant":"{tenant}","at":{},"len":{},"cpus":1}}"#,
+            i * 9,
+            20 + i * 7,
+        ));
+    }
+    let tail_probe = [
+        r#"{"op":"stats"}"#.to_string(),
+        r#"{"op":"stats","tenant":"acme"}"#.to_string(),
+        r#"{"op":"query","job":3}"#.to_string(),
+    ];
+    let first_half = all[..10].join("\n");
+    let second_half = format!("{}\n{}", all[10..].join("\n"), tail_probe.join("\n"));
+    let full_log = format!("{}\n{}", all.join("\n"), tail_probe.join("\n"));
+
+    let options = ServeOptions {
+        addr_file: Some(addr_file.clone()),
+        snapshot_path: snapshot_path.clone(),
+        snapshot_every: Some(10),
+        ..ServeOptions::default()
+    };
+
+    // Uninterrupted reference daemon.
+    let reference = {
+        let options = options.clone();
+        let handle = thread::spawn(move || run(&options));
+        let addr = wait_for_addr(&addr_file);
+        let (_, responses) = replay_str(&addr, &full_log);
+        let (_, bye) = replay_str(&addr, r#"{"op":"shutdown"}"#);
+        assert_eq!(bye.trim(), r#"{"ok":true,"op":"shutdown"}"#);
+        handle.join().expect("daemon thread").expect("daemon run");
+        responses
+    };
+    let _ = fs::remove_file(&addr_file);
+    let _ = fs::remove_file(&snapshot_path);
+
+    // Interrupted pair: first half (snapshot lands at submission 10)…
+    let first_responses = {
+        let options = options.clone();
+        let handle = thread::spawn(move || run(&options));
+        let addr = wait_for_addr(&addr_file);
+        let (sent, responses) = replay_str(&addr, &first_half);
+        assert_eq!(sent, 10);
+        let (_, _) = replay_str(&addr, r#"{"op":"shutdown"}"#);
+        handle.join().expect("daemon thread").expect("daemon run");
+        responses
+    };
+    assert!(snapshot_path.exists(), "periodic snapshot was written");
+    let _ = fs::remove_file(&addr_file);
+
+    // …then a fresh daemon restored from that snapshot.
+    let second_responses = {
+        let options = ServeOptions {
+            restore: Some(snapshot_path.clone()),
+            ..options.clone()
+        };
+        let handle = thread::spawn(move || run(&options));
+        let addr = wait_for_addr(&addr_file);
+        let (_, responses) = replay_str(&addr, &second_half);
+        let (_, _) = replay_str(&addr, r#"{"op":"shutdown"}"#);
+        handle.join().expect("daemon thread").expect("daemon run");
+        responses
+    };
+
+    let stitched = format!("{first_responses}{second_responses}");
+    assert_eq!(stitched, reference);
+
+    let _ = fs::remove_file(&addr_file);
+    let _ = fs::remove_file(&snapshot_path);
+}
+
+#[test]
+fn daemon_handles_concurrent_tenants_and_bad_input() {
+    let addr_file = temp_path("addr2");
+    let _ = fs::remove_file(&addr_file);
+    let options = ServeOptions {
+        addr_file: Some(addr_file.clone()),
+        snapshot_path: temp_path("snap2"),
+        ..ServeOptions::default()
+    };
+    let handle = thread::spawn(move || run(&options));
+    let addr = wait_for_addr(&addr_file);
+
+    // Two tenants on two concurrent connections.
+    let addr_a = addr.clone();
+    let t_a = thread::spawn(move || {
+        replay_str(
+            &addr_a,
+            r#"{"op":"submit","tenant":"acme","at":0,"len":30,"cpus":1}"#,
+        )
+    });
+    let addr_b = addr.clone();
+    let t_b = thread::spawn(move || {
+        replay_str(
+            &addr_b,
+            r#"{"op":"submit","tenant":"blue","at":0,"len":30,"cpus":1}"#,
+        )
+    });
+    let (_, a) = t_a.join().expect("tenant a");
+    let (_, b) = t_b.join().expect("tenant b");
+    assert!(a.contains("\"ok\":true"), "{a}");
+    assert!(b.contains("\"ok\":true"), "{b}");
+
+    // Malformed input gets an error response, not a dropped connection.
+    let (_, bad) = replay_str(&addr, "{\"op\":\"frobnicate\"}\nnot json at all");
+    let lines: Vec<&str> = bad.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("{\"ok\":false"), "{bad}");
+    assert!(lines[1].starts_with("{\"ok\":false"), "{bad}");
+
+    // Cluster stats saw both tenants' submissions.
+    let (_, stats) = replay_str(&addr, r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"submitted\":2,"), "{stats}");
+
+    let (_, _) = replay_str(&addr, r#"{"op":"shutdown"}"#);
+    handle.join().expect("daemon thread").expect("daemon run");
+    let _ = fs::remove_file(&addr_file);
+}

@@ -1,0 +1,168 @@
+//! Property tests: for *any* submission log and *any* snapshot point,
+//! restoring the snapshot and replaying the rest of the log yields
+//! responses, trace events, and final state byte-identical to the run
+//! that never stopped.
+
+use gaia_carbon::synth::synthesize_region;
+use gaia_carbon::PerfectForecaster;
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_obs::{Event, VecSink};
+use gaia_serve::protocol::Request;
+use gaia_serve::Session;
+use gaia_sim::{ClusterConfig, OnlineEngine};
+use proptest::prelude::*;
+
+const TENANTS: [&str; 3] = ["acme", "blue", "crux"];
+
+/// One randomly generated request, with arrival expressed as a gap so
+/// the log is nondecreasing in time by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit {
+        tenant: usize,
+        gap: u64,
+        len: u64,
+        cpus: u64,
+    },
+    Query {
+        job: u64,
+    },
+    Cancel {
+        job: u64,
+    },
+    Stats {
+        tenant: Option<usize>,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // kind 0..=4 → submit (biased: most ops should be submissions),
+    // 5 → query, 6 → cancel, 7 → stats (tenant 3 means cluster scope).
+    (0u8..8, 0usize..4, 0u64..90, 1u64..300, 1u64..4, 0u64..40).prop_map(
+        |(kind, tenant, gap, len, cpus, job)| match kind {
+            0..=4 => Op::Submit {
+                tenant: tenant % 3,
+                gap,
+                len,
+                cpus,
+            },
+            5 => Op::Query { job },
+            6 => Op::Cancel { job },
+            _ => Op::Stats {
+                tenant: (tenant < 3).then_some(tenant),
+            },
+        },
+    )
+}
+
+/// Lowers the gap-encoded ops into concrete wire requests.
+fn lower(ops: &[Op]) -> Vec<Request> {
+    let mut now = 0u64;
+    ops.iter()
+        .map(|op| match op {
+            Op::Submit {
+                tenant,
+                gap,
+                len,
+                cpus,
+            } => {
+                now += gap;
+                Request::Submit {
+                    tenant: TENANTS[*tenant].to_string(),
+                    at: now,
+                    len: *len,
+                    cpus: *cpus,
+                }
+            }
+            Op::Query { job } => Request::Query { job: *job },
+            Op::Cancel { job } => Request::Cancel { job: *job },
+            Op::Stats { tenant } => Request::Stats {
+                tenant: tenant.map(|t| TENANTS[t].to_string()),
+            },
+        })
+        .collect()
+}
+
+/// Applies `log`, snapshotting after `snap_at` requests. Returns
+/// (responses, events, snapshot bytes, final encode).
+fn run(log: &[Request], snap_at: usize) -> (Vec<String>, Vec<Event>, Option<Vec<u8>>, Vec<u8>) {
+    let config = ClusterConfig::default().with_reserved(1).with_seed(11);
+    let carbon = synthesize_region(Region::Ontario, 11);
+    let forecaster = PerfectForecaster::new(&carbon);
+    let mut sink = VecSink::new();
+    let mut responses = Vec::new();
+    let mut snapshot = None;
+    let final_state;
+    {
+        let engine = OnlineEngine::new(&config, &carbon, &forecaster, &mut sink);
+        let mut session = Session::new(engine, PolicySpec::plain(BasePolicyKind::LowestWindow));
+        for (i, request) in log.iter().enumerate() {
+            responses.push(session.apply(request).to_json_line());
+            if i + 1 == snap_at {
+                snapshot = Some(session.snapshot().1);
+            }
+        }
+        final_state = gaia_serve::encode(&session);
+    }
+    (responses, sink.into_events(), snapshot, final_state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn restored_runs_are_byte_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        point in 0usize..40,
+    ) {
+        let log = lower(&ops);
+        let snap_at = 1 + point % log.len();
+        let (full_responses, full_events, snapshot, full_final) = run(&log, snap_at);
+        let snapshot = snapshot.expect("snapshot point is within the log");
+        // The uninterrupted run's event stream up to the snapshot is
+        // exactly what a run that stopped there would have emitted.
+        let (_, prefix_events, _, _) = run(&log[..snap_at], snap_at);
+        let n0 = prefix_events.len();
+        prop_assert_eq!(&full_events[..n0], &prefix_events[..]);
+
+        let config = ClusterConfig::default().with_reserved(1).with_seed(11);
+        let carbon = synthesize_region(Region::Ontario, 11);
+        let forecaster = PerfectForecaster::new(&carbon);
+        let mut sink = VecSink::new();
+        let restored_final;
+        let mut tail = Vec::new();
+        {
+            let mut session = gaia_serve::restore(
+                &config, &carbon, &forecaster, &mut sink, None, None, &snapshot,
+            )
+            .expect("snapshot restores");
+            for request in &log[snap_at..] {
+                tail.push(session.apply(request).to_json_line());
+            }
+            restored_final = gaia_serve::encode(&session);
+        }
+        prop_assert_eq!(tail, full_responses[snap_at..].to_vec());
+        prop_assert_eq!(sink.events(), &full_events[n0..]);
+        prop_assert_eq!(restored_final, full_final);
+    }
+
+    #[test]
+    fn random_logs_never_panic_and_reports_balance(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let log = lower(&ops);
+        let (responses, _, _, _) = run(&log, usize::MAX);
+        prop_assert_eq!(responses.len(), log.len());
+        // Submissions with valid shape are always accepted.
+        let accepted = responses
+            .iter()
+            .filter(|line| line.contains("\"op\":\"submit\""))
+            .count();
+        let submitted = log
+            .iter()
+            .filter(|r| matches!(r, Request::Submit { .. }))
+            .count();
+        prop_assert_eq!(accepted, submitted);
+    }
+}

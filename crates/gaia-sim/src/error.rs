@@ -3,12 +3,10 @@
 //! The engine used to enforce its input contract with `assert!`s and
 //! `expect()`s, which abort the whole process — unacceptable inside a
 //! multi-thousand-cell sweep where one malformed policy decision should
-//! fail one cell, not the run. [`Simulation::try_run`] surfaces those
-//! conditions as [`SimError`] instead; [`Simulation::run`] keeps the
-//! panicking contract for callers that treat a bad decision as a bug.
+//! fail one cell, not the run. [`SimRunner::execute`] surfaces those
+//! conditions as [`SimError`] instead.
 //!
-//! [`Simulation::try_run`]: crate::Simulation::try_run
-//! [`Simulation::run`]: crate::Simulation::run
+//! [`SimRunner::execute`]: crate::SimRunner::execute
 
 use std::fmt;
 

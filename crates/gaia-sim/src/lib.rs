@@ -52,10 +52,12 @@ mod config;
 mod engine;
 mod error;
 mod eviction;
+mod online;
 pub mod output;
 mod plan;
 mod pool;
 mod report;
+mod snapshot;
 
 pub use account::{ClusterTotals, JobOutcome, SegmentRecord};
 pub use audit::{audit_report, audit_report_faulted, AuditInvariant, AuditReport, AuditViolation};
@@ -75,6 +77,8 @@ pub use gaia_fault::{FaultError, FaultPlan, FaultSchedule, FaultSpec};
 pub use gaia_obs::{
     Event as TraceEvent, JsonlSink, NullSink, Profiler, Sink, TraceSummary, VecSink,
 };
+pub use online::{CancelOutcome, JobStatus, OnlineEngine};
 pub use plan::{Decision, PurchaseOption, SegmentPlan};
 pub use pool::ReservedPool;
 pub use report::{AllocationTimeline, DegradationStats, SimReport};
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};

@@ -90,11 +90,11 @@ impl SegmentPlan {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
-    kind: DecisionKind,
+    pub(crate) kind: DecisionKind,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum DecisionKind {
+pub(crate) enum DecisionKind {
     Once {
         planned_start: SimTime,
         opportunistic_reserved: bool,

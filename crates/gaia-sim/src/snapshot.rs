@@ -1,0 +1,878 @@
+//! Versioned binary snapshot/restore of [`OnlineEngine`] state.
+//!
+//! A snapshot captures the engine's entire *dynamic* state — clock,
+//! event queue, per-job states and accounting, capacity bookkeeping,
+//! degradation counters — but none of its *static* inputs (cluster
+//! config, carbon trace, forecaster, fault schedule). Restore is handed
+//! those inputs again by the caller and validates fingerprints so a
+//! snapshot cannot silently resume against a different cluster or
+//! carbon trace.
+//!
+//! # Format
+//!
+//! Hand-rolled little-endian binary (the vendored `serde` is a no-op
+//! stub, and a fixed byte layout is exactly what the determinism
+//! contract needs):
+//!
+//! ```text
+//! magic    8 bytes  b"GAIASNAP"
+//! version  u32      currently 1
+//! config   u64      FNV-1a fingerprint of the ClusterConfig debug repr
+//! carbon   u64      FNV-1a fingerprint of the carbon trace values
+//! ...               engine state (see the field writers below)
+//! ```
+//!
+//! # Versioning contract
+//!
+//! The version is bumped on **any** layout change; there are no silent
+//! in-place extensions. Readers accept exactly the versions they know
+//! and reject everything else with [`SnapshotError::Incompatible`] —
+//! an old binary refuses a new snapshot rather than misreading it.
+//! Fingerprint mismatches (same layout, different world) are also
+//! [`SnapshotError::Incompatible`]; truncated or malformed payloads are
+//! [`SnapshotError::Corrupt`].
+//!
+//! The guarantee gated by `serve_props.rs` and `scripts/check_serve.sh`:
+//! snapshot, restore, and replay of the same submissions is
+//! **byte-identical** — reports and obs event streams — to never having
+//! snapshotted at all.
+
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::fmt;
+
+use gaia_carbon::{CarbonForecaster, CarbonTrace};
+use gaia_obs::Sink;
+use gaia_time::{Minutes, SimTime};
+use gaia_workload::{Job, JobId};
+
+use crate::account::SegmentRecord;
+use crate::config::ClusterConfig;
+use crate::online::{CapBlocked, Event, EventKind, JobAccum, JobState, OnlineEngine};
+use crate::plan::{Decision, DecisionKind, PurchaseOption, SegmentPlan};
+use crate::pool::ReservedPool;
+use crate::report::DegradationStats;
+
+const MAGIC: &[u8; 8] = b"GAIASNAP";
+/// Current snapshot layout version. Bump on any layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The payload is truncated or structurally malformed.
+    Corrupt(String),
+    /// The payload is well-formed but from a different world: unknown
+    /// layout version, or a config/carbon fingerprint mismatch.
+    Incompatible(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::Incompatible(msg) => write!(f, "incompatible snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a over arbitrary bytes; stable, dependency-free fingerprinting.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of the cluster configuration, via its debug repr (every
+/// behaviour-relevant field derives `Debug`).
+pub(crate) fn config_fingerprint(config: &ClusterConfig) -> u64 {
+    fnv1a(format!("{config:?}").as_bytes())
+}
+
+/// Fingerprint of the accounting carbon trace: length plus the exact
+/// bit pattern of every hourly value.
+pub(crate) fn carbon_fingerprint(carbon: &CarbonTrace) -> u64 {
+    let values = carbon.hourly_values();
+    let mut bytes = Vec::with_capacity(8 + values.len() * 8);
+    bytes.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn time(&mut self, t: SimTime) {
+        self.u64(t.as_minutes());
+    }
+
+    fn minutes(&mut self, m: Minutes) {
+        self.u64(m.as_minutes());
+    }
+
+    fn option_time(&mut self, t: Option<SimTime>) {
+        match t {
+            None => self.u8(0),
+            Some(t) => {
+                self.u8(1);
+                self.time(t);
+            }
+        }
+    }
+
+    fn purchase(&mut self, option: PurchaseOption) {
+        self.u8(match option {
+            PurchaseOption::Reserved => 0,
+            PurchaseOption::OnDemand => 1,
+            PurchaseOption::Spot => 2,
+        });
+    }
+
+    fn decision(&mut self, decision: &Decision) {
+        match &decision.kind {
+            DecisionKind::Once {
+                planned_start,
+                opportunistic_reserved,
+                use_spot,
+            } => {
+                self.u8(0);
+                self.time(*planned_start);
+                self.bool(*opportunistic_reserved);
+                self.bool(*use_spot);
+            }
+            DecisionKind::Segments { plan, use_spot } => {
+                self.u8(1);
+                self.bool(*use_spot);
+                self.u64(plan.segments.len() as u64);
+                for &(start, len) in &plan.segments {
+                    self.time(start);
+                    self.minutes(len);
+                }
+            }
+        }
+    }
+
+    fn event_kind(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Arrival => self.u8(0),
+            EventKind::PlannedStart => self.u8(1),
+            EventKind::SegmentStart(seg) => {
+                self.u8(2);
+                self.u64(seg as u64);
+            }
+            EventKind::FinishOnce => self.u8(3),
+            EventKind::FinishSegment(seg) => {
+                self.u8(4);
+                self.u64(seg as u64);
+            }
+            EventKind::Eviction => self.u8(5),
+            EventKind::CapTick => self.u8(6),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    fn new(buf: &'b [u8]) -> Reader<'b> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                SnapshotError::Corrupt(format!(
+                    "truncated at offset {} (wanted {n} more bytes of {})",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A count that must be plausible for the payload size, so corrupt
+    /// lengths fail cleanly instead of attempting a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n.saturating_mul(min_elem_bytes.max(1) as u64) > remaining {
+            return Err(SnapshotError::Corrupt(format!(
+                "count {n} exceeds the remaining {remaining} payload bytes"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn time(&mut self) -> Result<SimTime, SnapshotError> {
+        Ok(SimTime::from_minutes(self.u64()?))
+    }
+
+    fn minutes(&mut self) -> Result<Minutes, SnapshotError> {
+        Ok(Minutes::new(self.u64()?))
+    }
+
+    fn option_time(&mut self) -> Result<Option<SimTime>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.time()?)),
+            other => Err(SnapshotError::Corrupt(format!(
+                "invalid option tag {other}"
+            ))),
+        }
+    }
+
+    fn purchase(&mut self) -> Result<PurchaseOption, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(PurchaseOption::Reserved),
+            1 => Ok(PurchaseOption::OnDemand),
+            2 => Ok(PurchaseOption::Spot),
+            other => Err(SnapshotError::Corrupt(format!(
+                "invalid purchase option {other}"
+            ))),
+        }
+    }
+
+    fn decision(&mut self) -> Result<Decision, SnapshotError> {
+        match self.u8()? {
+            0 => {
+                let planned_start = self.time()?;
+                let opportunistic_reserved = self.bool()?;
+                let use_spot = self.bool()?;
+                Ok(Decision {
+                    kind: DecisionKind::Once {
+                        planned_start,
+                        opportunistic_reserved,
+                        use_spot,
+                    },
+                })
+            }
+            1 => {
+                let use_spot = self.bool()?;
+                let n = self.count(16)?;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let start = self.time()?;
+                    let len = self.minutes()?;
+                    segments.push((start, len));
+                }
+                if segments.is_empty() {
+                    return Err(SnapshotError::Corrupt("empty segment plan".to_owned()));
+                }
+                Ok(Decision {
+                    kind: DecisionKind::Segments {
+                        plan: SegmentPlan { segments },
+                        use_spot,
+                    },
+                })
+            }
+            other => Err(SnapshotError::Corrupt(format!(
+                "invalid decision tag {other}"
+            ))),
+        }
+    }
+
+    fn event_kind(&mut self) -> Result<EventKind, SnapshotError> {
+        Ok(match self.u8()? {
+            0 => EventKind::Arrival,
+            1 => EventKind::PlannedStart,
+            2 => EventKind::SegmentStart(self.u64()? as usize),
+            3 => EventKind::FinishOnce,
+            4 => EventKind::FinishSegment(self.u64()? as usize),
+            5 => EventKind::Eviction,
+            6 => EventKind::CapTick,
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "invalid event kind {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl<'e, S: Sink> OnlineEngine<'e, S> {
+    /// Serializes the engine's full dynamic state into the versioned
+    /// binary snapshot format.
+    ///
+    /// Deterministic: the same engine state always produces the same
+    /// bytes (the event queue is written in its canonical pop order, not
+    /// heap-internal layout).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(config_fingerprint(self.config));
+        w.u64(carbon_fingerprint(self.carbon));
+
+        w.time(self.now);
+        w.u64(self.seq);
+        w.u32(self.elastic_busy);
+        w.bool(self.tick_scheduled);
+        w.bool(self.in_degraded);
+        w.u64(self.completed);
+        w.u64(self.cancelled);
+        w.time(self.nominal_makespan);
+        w.u32(self.pool.in_use());
+
+        w.u64(self.degrade.degraded_decisions);
+        w.u64(self.degrade.storm_evictions);
+        w.u64(self.degrade.capacity_denials);
+        w.f64(self.degrade.price_surcharge);
+        w.u64(self.degrade.bridged_gap_hours);
+
+        w.u64(self.jobs.len() as u64);
+        for job in &self.jobs {
+            w.u64(job.id.0);
+            w.time(job.arrival);
+            w.minutes(job.length);
+            w.u32(job.cpus);
+        }
+        for state in &self.states {
+            match state {
+                JobState::Unarrived => w.u8(0),
+                JobState::Waiting { decision } => {
+                    w.u8(1);
+                    w.decision(decision);
+                }
+                JobState::RunningOnce {
+                    option,
+                    start,
+                    span,
+                } => {
+                    w.u8(2);
+                    w.purchase(*option);
+                    w.time(*start);
+                    w.minutes(*span);
+                }
+                JobState::InPlan { running } => {
+                    w.u8(3);
+                    match running {
+                        None => w.u8(0),
+                        Some((seg_idx, option, start, exec_end)) => {
+                            w.u8(1);
+                            w.u64(*seg_idx as u64);
+                            w.purchase(*option);
+                            w.time(*start);
+                            w.time(*exec_end);
+                        }
+                    }
+                }
+                JobState::Done => w.u8(4),
+                JobState::Cancelled => w.u8(5),
+            }
+        }
+        for accum in &self.accum {
+            w.option_time(accum.first_start);
+            w.time(accum.finish);
+            w.f64(accum.carbon_g);
+            w.f64(accum.cost);
+            w.u32(accum.evictions);
+            w.minutes(accum.remaining);
+            w.u32(accum.starts);
+            w.u64(accum.segments.len() as u64);
+            for segment in &accum.segments {
+                w.time(segment.start);
+                w.time(segment.end);
+                w.purchase(segment.option);
+                w.bool(segment.useful);
+            }
+        }
+        for decision in &self.plan_decisions {
+            match decision {
+                None => w.u8(0),
+                Some(decision) => {
+                    w.u8(1);
+                    w.decision(decision);
+                }
+            }
+        }
+
+        // Canonical event order = pop order, so identical engine states
+        // snapshot to identical bytes regardless of heap history.
+        let mut events: Vec<Event> = self.heap.iter().copied().collect();
+        events.sort_by_key(|e| (e.time, e.prio, e.seq));
+        w.u64(events.len() as u64);
+        for event in events {
+            w.time(event.time);
+            w.u8(event.prio);
+            w.u64(event.seq);
+            w.u32(event.job);
+            w.event_kind(event.kind);
+        }
+
+        w.u64(self.waiters.len() as u64);
+        for &(t, job) in &self.waiters {
+            w.time(t);
+            w.u32(job);
+        }
+        w.u64(self.cap_queue.len() as u64);
+        for blocked in &self.cap_queue {
+            match blocked {
+                CapBlocked::Once { idx, allow_spot } => {
+                    w.u8(0);
+                    w.u64(*idx as u64);
+                    w.bool(*allow_spot);
+                }
+                CapBlocked::Segment { idx, seg_idx } => {
+                    w.u8(1);
+                    w.u64(*idx as u64);
+                    w.u64(*seg_idx as u64);
+                }
+            }
+        }
+        w.u64(self.completions.len() as u64);
+        for &idx in &self.completions {
+            w.u32(idx);
+        }
+        w.buf
+    }
+
+    /// Restores an engine from `bytes`, re-anchoring it on the same
+    /// static inputs the snapshotted engine ran with. The config and
+    /// carbon trace are fingerprint-checked; a fault schedule (if any)
+    /// must be re-attached by the caller via
+    /// [`OnlineEngine::attach_faults`] — the snapshot already contains
+    /// the armed state (pending ticks, degradation counters), so
+    /// [`OnlineEngine::with_faults`] would double-announce.
+    pub fn restore(
+        config: &'e ClusterConfig,
+        carbon: &'e CarbonTrace,
+        forecaster: &'e dyn CarbonForecaster,
+        sink: &'e mut S,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes);
+        if r.take(8)? != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic".to_owned()));
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+            )));
+        }
+        let config_fp = r.u64()?;
+        if config_fp != config_fingerprint(config) {
+            return Err(SnapshotError::Incompatible(
+                "cluster config differs from the snapshotted one".to_owned(),
+            ));
+        }
+        let carbon_fp = r.u64()?;
+        if carbon_fp != carbon_fingerprint(carbon) {
+            return Err(SnapshotError::Incompatible(
+                "carbon trace differs from the snapshotted one".to_owned(),
+            ));
+        }
+
+        let now = r.time()?;
+        let seq = r.u64()?;
+        let elastic_busy = r.u32()?;
+        let tick_scheduled = r.bool()?;
+        let in_degraded = r.bool()?;
+        let completed = r.u64()?;
+        let cancelled = r.u64()?;
+        let nominal_makespan = r.time()?;
+        let pool_in_use = r.u32()?;
+
+        let degrade = DegradationStats {
+            degraded_decisions: r.u64()?,
+            storm_evictions: r.u64()?,
+            capacity_denials: r.u64()?,
+            price_surcharge: r.f64()?,
+            bridged_gap_hours: r.u64()?,
+        };
+
+        let n_jobs = r.count(28)?;
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            let id = JobId(r.u64()?);
+            let arrival = r.time()?;
+            let length = r.minutes()?;
+            let cpus = r.u32()?;
+            if length.is_zero() || cpus == 0 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{id} has zero length or cpus"
+                )));
+            }
+            jobs.push(Job::new(id, arrival, length, cpus));
+        }
+        let mut states = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            states.push(match r.u8()? {
+                0 => JobState::Unarrived,
+                1 => JobState::Waiting {
+                    decision: r.decision()?,
+                },
+                2 => JobState::RunningOnce {
+                    option: r.purchase()?,
+                    start: r.time()?,
+                    span: r.minutes()?,
+                },
+                3 => JobState::InPlan {
+                    running: match r.u8()? {
+                        0 => None,
+                        1 => Some((r.u64()? as usize, r.purchase()?, r.time()?, r.time()?)),
+                        other => {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "invalid running tag {other}"
+                            )))
+                        }
+                    },
+                },
+                4 => JobState::Done,
+                5 => JobState::Cancelled,
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "invalid job state tag {other}"
+                    )))
+                }
+            });
+        }
+        let mut accum = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            let first_start = r.option_time()?;
+            let finish = r.time()?;
+            let carbon_g = r.f64()?;
+            let cost = r.f64()?;
+            let evictions = r.u32()?;
+            let remaining = r.minutes()?;
+            let starts = r.u32()?;
+            let n_segments = r.count(18)?;
+            let mut segments = Vec::with_capacity(n_segments);
+            for _ in 0..n_segments {
+                segments.push(SegmentRecord {
+                    start: r.time()?,
+                    end: r.time()?,
+                    option: r.purchase()?,
+                    useful: r.bool()?,
+                });
+            }
+            accum.push(JobAccum {
+                first_start,
+                finish,
+                segments,
+                carbon_g,
+                cost,
+                evictions,
+                remaining,
+                starts,
+            });
+        }
+        let mut plan_decisions = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            plan_decisions.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.decision()?),
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "invalid plan-decision tag {other}"
+                    )))
+                }
+            });
+        }
+
+        let n_events = r.count(22)?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(Event {
+                time: r.time()?,
+                prio: r.u8()?,
+                seq: r.u64()?,
+                job: r.u32()?,
+                kind: r.event_kind()?,
+            });
+        }
+        let n_waiters = r.count(12)?;
+        let mut waiters = BTreeSet::new();
+        for _ in 0..n_waiters {
+            let t = r.time()?;
+            let job = r.u32()?;
+            waiters.insert((t, job));
+        }
+        let n_blocked = r.count(9)?;
+        let mut cap_queue = VecDeque::with_capacity(n_blocked);
+        for _ in 0..n_blocked {
+            cap_queue.push_back(match r.u8()? {
+                0 => CapBlocked::Once {
+                    idx: r.u64()? as usize,
+                    allow_spot: r.bool()?,
+                },
+                1 => CapBlocked::Segment {
+                    idx: r.u64()? as usize,
+                    seg_idx: r.u64()? as usize,
+                },
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "invalid cap-blocked tag {other}"
+                    )))
+                }
+            });
+        }
+        let n_completions = r.count(4)?;
+        let mut completions = Vec::with_capacity(n_completions);
+        for _ in 0..n_completions {
+            completions.push(r.u32()?);
+        }
+        r.done()?;
+
+        // Validate cross-references so a corrupt payload cannot panic
+        // the engine later.
+        for (i, job) in jobs.iter().enumerate() {
+            if job.id.0 != i as u64 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{} at position {i}: ids must be dense and ordered",
+                    job.id
+                )));
+            }
+        }
+        let in_range = |idx: usize| idx < n_jobs;
+        for event in &events {
+            if !in_range(event.job as usize) && !matches!(event.kind, EventKind::CapTick) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "event references unknown job {}",
+                    event.job
+                )));
+            }
+        }
+        for &(_, job) in &waiters {
+            if !in_range(job as usize) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "waiter references unknown job {job}"
+                )));
+            }
+        }
+        for blocked in &cap_queue {
+            let idx = match blocked {
+                CapBlocked::Once { idx, .. } | CapBlocked::Segment { idx, .. } => *idx,
+            };
+            if !in_range(idx) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "cap queue references unknown job {idx}"
+                )));
+            }
+        }
+        for &idx in &completions {
+            if !in_range(idx as usize) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "completion buffer references unknown job {idx}"
+                )));
+            }
+        }
+
+        let mut pool = ReservedPool::new(config.reserved_cpus);
+        if pool_in_use > 0 && !pool.try_acquire(pool_in_use) {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot holds {pool_in_use} reserved CPUs but the pool capacity is {}",
+                config.reserved_cpus
+            )));
+        }
+
+        Ok(OnlineEngine {
+            config,
+            carbon,
+            forecaster,
+            faults: None,
+            fallback: None,
+            sink,
+            profiler: None,
+            jobs,
+            pool,
+            heap: BinaryHeap::from(events),
+            seq,
+            now,
+            states,
+            accum,
+            waiters,
+            plan_decisions,
+            elastic_busy,
+            cap_queue,
+            tick_scheduled,
+            degrade,
+            in_degraded,
+            completed,
+            cancelled,
+            nominal_makespan,
+            completions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_carbon::PerfectForecaster;
+    use gaia_obs::NullSink;
+
+    fn carbon() -> CarbonTrace {
+        CarbonTrace::constant(100.0, 48).unwrap()
+    }
+
+    #[test]
+    fn empty_engine_round_trips() {
+        let config = ClusterConfig::default();
+        let trace = carbon();
+        let forecaster = PerfectForecaster::new(&trace);
+        let mut sink = NullSink;
+        let engine = OnlineEngine::new(&config, &trace, &forecaster, &mut sink);
+        let bytes = engine.snapshot();
+
+        let mut sink2 = NullSink;
+        let restored =
+            OnlineEngine::restore(&config, &trace, &forecaster, &mut sink2, &bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let config = ClusterConfig::default();
+        let trace = carbon();
+        let forecaster = PerfectForecaster::new(&trace);
+        let mut sink = NullSink;
+        let err = OnlineEngine::<NullSink>::restore(
+            &config,
+            &trace,
+            &forecaster,
+            &mut sink,
+            b"NOTASNAP0000",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)));
+    }
+
+    #[test]
+    fn unknown_version_is_incompatible() {
+        let config = ClusterConfig::default();
+        let trace = carbon();
+        let forecaster = PerfectForecaster::new(&trace);
+        let mut sink = NullSink;
+        let engine = OnlineEngine::new(&config, &trace, &forecaster, &mut sink);
+        let mut bytes = engine.snapshot();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let mut sink2 = NullSink;
+        let err =
+            OnlineEngine::<NullSink>::restore(&config, &trace, &forecaster, &mut sink2, &bytes)
+                .unwrap_err();
+        assert!(matches!(err, SnapshotError::Incompatible(_)));
+    }
+
+    #[test]
+    fn config_mismatch_is_incompatible() {
+        let config = ClusterConfig::default();
+        let trace = carbon();
+        let forecaster = PerfectForecaster::new(&trace);
+        let mut sink = NullSink;
+        let engine = OnlineEngine::new(&config, &trace, &forecaster, &mut sink);
+        let bytes = engine.snapshot();
+
+        let other = ClusterConfig::default().with_reserved(config.reserved_cpus + 7);
+        let mut sink2 = NullSink;
+        let err =
+            OnlineEngine::<NullSink>::restore(&other, &trace, &forecaster, &mut sink2, &bytes)
+                .unwrap_err();
+        assert!(matches!(err, SnapshotError::Incompatible(_)));
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let config = ClusterConfig::default();
+        let trace = carbon();
+        let forecaster = PerfectForecaster::new(&trace);
+        let mut sink = NullSink;
+        let engine = OnlineEngine::new(&config, &trace, &forecaster, &mut sink);
+        let bytes = engine.snapshot();
+        for cut in [0, 4, 11, bytes.len() - 1] {
+            let mut sink2 = NullSink;
+            let err = OnlineEngine::<NullSink>::restore(
+                &config,
+                &trace,
+                &forecaster,
+                &mut sink2,
+                &bytes[..cut],
+            )
+            .unwrap_err();
+            assert!(matches!(err, SnapshotError::Corrupt(_)), "cut at {cut}");
+        }
+    }
+}

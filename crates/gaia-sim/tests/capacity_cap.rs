@@ -1,10 +1,5 @@
 //! Behavioural tests of the capacity-cap mechanism (§8's
 //! demand-regulation alternative to carbon-aware start times).
-//!
-//! Stays on the deprecated `run` wrapper as legacy-surface coverage —
-//! the wrappers must keep working until downstream callers finish
-//! migrating to [`Simulation::runner`].
-#![allow(deprecated)]
 
 use gaia_carbon::CarbonTrace;
 use gaia_sim::{
@@ -37,7 +32,11 @@ fn static_cap_serializes_elastic_work() {
     let trace =
         WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 0, 60, 1), job(2, 0, 60, 1)]);
     let config = ClusterConfig::default().with_capacity_cap(CapacityCap::Static(1));
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let starts: Vec<u64> = report
         .jobs
         .iter()
@@ -56,7 +55,11 @@ fn reserved_capacity_is_never_capped() {
     let config = ClusterConfig::default()
         .with_reserved(2)
         .with_capacity_cap(CapacityCap::Static(0));
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report.jobs[0].segments[0].option, PurchaseOption::Reserved);
     assert_eq!(report.jobs[0].waiting, Minutes::ZERO);
     // Job 1 runs alone under the oversize escape (cap 0 < 1 cpu).
@@ -68,7 +71,11 @@ fn oversize_jobs_run_alone_rather_than_deadlock() {
     let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 5), job(1, 0, 60, 5)]);
     let config = ClusterConfig::default().with_capacity_cap(CapacityCap::Static(2));
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     // Each 5-cpu job exceeds the cap; they serialize instead of hanging.
     assert_eq!(report.jobs[0].first_start, SimTime::ORIGIN);
     assert_eq!(report.jobs[1].first_start, SimTime::from_hours(1));
@@ -88,7 +95,11 @@ fn carbon_responsive_cap_releases_when_carbon_falls() {
         high_carbon_cap: 1,
         ci_threshold: 300.0,
     });
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     // Job 0 takes the single high-carbon slot; job 1 is throttled. The
     // slot frees at hour 1 (still high carbon, cap 1): job 1 runs then.
     assert_eq!(report.jobs[0].first_start, SimTime::ORIGIN);
@@ -97,7 +108,11 @@ fn carbon_responsive_cap_releases_when_carbon_falls() {
     // Now make job 0 long enough to hold the slot past the carbon drop:
     // job 1 should start exactly when the cap relaxes at hour 4.
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 600, 1), job(1, 0, 60, 1)]);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report.jobs[1].first_start, SimTime::from_hours(4));
     assert_eq!(report.jobs[1].waiting, Minutes::from_hours(4));
 }
@@ -112,7 +127,11 @@ fn cap_throttling_reduces_high_carbon_execution() {
     // Steady stream of overlapping 2-hour jobs (concurrency ~4).
     let jobs: Vec<Job> = (0..60).map(|i| job(i, i * 30, 120, 1)).collect();
     let trace = WorkloadTrace::from_jobs(jobs);
-    let uncapped = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut RunNow);
+    let uncapped = Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let capped = Simulation::new(
         ClusterConfig::default().with_capacity_cap(CapacityCap::CarbonResponsive {
             normal_cap: 100,
@@ -121,7 +140,10 @@ fn cap_throttling_reduces_high_carbon_execution() {
         }),
         &carbon,
     )
-    .run(&trace, &mut RunNow);
+    .runner(&trace, &mut RunNow)
+    .execute()
+    .expect("valid policy decisions")
+    .report;
     assert!(
         capped.totals.carbon_g < uncapped.totals.carbon_g * 0.95,
         "throttling must shift work to cheap hours: {} vs {}",
@@ -139,11 +161,18 @@ fn cap_throttling_reduces_high_carbon_execution() {
 fn uncapped_config_is_unchanged_behaviour() {
     let carbon = CarbonTrace::constant(100.0, 48).expect("valid");
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 3), job(1, 10, 120, 2)]);
-    let a = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut RunNow);
+    let a = Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let b = Simulation::new(
         ClusterConfig::default().with_capacity_cap(CapacityCap::None),
         &carbon,
     )
-    .run(&trace, &mut RunNow);
+    .runner(&trace, &mut RunNow)
+    .execute()
+    .expect("valid policy decisions")
+    .report;
     assert_eq!(a, b);
 }

@@ -1,11 +1,5 @@
 //! Behavioural tests of the simulation engine: starts, work conservation,
 //! spot evictions, segment plans, and accounting identities.
-//!
-//! Deliberately stays on the deprecated `run`/`try_run` wrappers: they
-//! are kept for downstream callers and this suite is what proves they
-//! still behave (including `run`'s Display-formatted panic, which the
-//! `should_panic` tests below pin).
-#![allow(deprecated)]
 
 use gaia_carbon::CarbonTrace;
 use gaia_sim::{
@@ -64,7 +58,11 @@ impl Scheduler for SpotNow {
 fn run_now_has_zero_waiting_and_exact_carbon() {
     let carbon = CarbonTrace::from_hourly(vec![100.0, 300.0, 50.0]).expect("valid");
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 120, 1)]);
-    let report = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.waiting, Minutes::ZERO);
     assert_eq!(outcome.completion, Minutes::new(120));
@@ -80,13 +78,21 @@ fn reserved_preferred_over_on_demand() {
     let carbon = flat_carbon(24);
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 0, 60, 1)]);
     let config = ClusterConfig::default().with_reserved(1);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let options: Vec<PurchaseOption> = report.jobs.iter().map(|j| j.segments[0].option).collect();
     assert_eq!(options[0], PurchaseOption::Reserved);
     assert_eq!(options[1], PurchaseOption::OnDemand);
     // Reserved frees at 60; a later job reuses it.
     let trace2 = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 90, 60, 1)]);
-    let report2 = Simulation::new(config, &carbon).run(&trace2, &mut RunNow);
+    let report2 = Simulation::new(config, &carbon)
+        .runner(&trace2, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report2.jobs[1].segments[0].option, PurchaseOption::Reserved);
 }
 
@@ -95,7 +101,10 @@ fn planned_start_is_honored() {
     let carbon = flat_carbon(24);
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1)]);
     let report = Simulation::new(ClusterConfig::default(), &carbon)
-        .run(&trace, &mut DelayBy(Minutes::from_hours(3)));
+        .runner(&trace, &mut DelayBy(Minutes::from_hours(3)))
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.first_start, SimTime::from_hours(3));
     assert_eq!(outcome.waiting, Minutes::from_hours(3));
@@ -113,7 +122,10 @@ fn opportunistic_waiter_starts_when_reserved_frees() {
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 200, 30, 1)]);
     let config = ClusterConfig::default().with_reserved(1);
     let report = Simulation::new(config, &carbon)
-        .run(&trace, &mut DelayOpportunistic(Minutes::from_hours(10)));
+        .runner(&trace, &mut DelayOpportunistic(Minutes::from_hours(10)))
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let j0 = &report.jobs[0];
     let j1 = &report.jobs[1];
     assert_eq!(j0.first_start, SimTime::from_hours(10));
@@ -147,7 +159,11 @@ fn opportunistic_start_prefers_earliest_planned() {
         SimTime::from_hours(20),
         SimTime::from_hours(6),
     ]);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut policy);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut policy)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     // Reserved frees at hour 2: job 2 (earliest planned start) wins it.
     assert_eq!(report.jobs[2].first_start, SimTime::from_hours(2));
     assert_eq!(report.jobs[2].segments[0].option, PurchaseOption::Reserved);
@@ -177,7 +193,11 @@ fn wide_waiter_does_not_block_narrow_one() {
         SimTime::from_hours(5),
         SimTime::from_hours(6),
     ]);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut policy);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut policy)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report.jobs[1].first_start, SimTime::from_hours(1));
     // Job 1 runs 10 h on both reserved cpus; job 2's planned start (hour
     // 6) fires first and it falls back to on-demand.
@@ -190,7 +210,11 @@ fn spot_run_without_eviction_is_cheap() {
     let carbon = flat_carbon(24);
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 120, 1)]);
     let config = ClusterConfig::default(); // eviction: never
-    let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.segments[0].option, PurchaseOption::Spot);
     assert_eq!(outcome.evictions, 0);
@@ -207,7 +231,11 @@ fn spot_eviction_restarts_and_accounts_lost_work() {
     let config = ClusterConfig::default()
         .with_eviction(EvictionModel::hourly(1.0))
         .with_seed(3);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.evictions, 1);
     assert_eq!(outcome.segments.len(), 2);
@@ -236,7 +264,11 @@ fn evicted_job_restarts_on_reserved_if_free() {
         .with_eviction(EvictionModel::hourly(1.0))
         .with_reserved(1)
         .with_seed(3);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report.jobs[0].segments[1].option, PurchaseOption::Reserved);
 }
 
@@ -256,7 +288,11 @@ fn segment_plan_executes_each_segment() {
         }
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 180, 1)]);
-    let report = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut Suspender);
+    let report = Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut Suspender)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.segments.len(), 3);
     assert!((outcome.carbon_g - 175.0).abs() < 1e-9);
@@ -286,7 +322,11 @@ fn segment_plan_uses_reserved_per_segment() {
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1), job(1, 0, 120, 1)]);
     let config = ClusterConfig::default().with_reserved(1);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut TwoPhase);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut TwoPhase)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let seg_options: Vec<PurchaseOption> =
         report.jobs[1].segments.iter().map(|s| s.option).collect();
     assert_eq!(
@@ -300,7 +340,10 @@ fn billing_horizon_defaults_to_whole_days() {
     let carbon = flat_carbon(24 * 3);
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 90, 1)]);
     let report = Simulation::new(ClusterConfig::default().with_reserved(2), &carbon)
-        .run(&trace, &mut RunNow);
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report.totals.billing_horizon, Minutes::from_days(1));
     // Explicit override wins.
     let report2 = Simulation::new(
@@ -309,7 +352,10 @@ fn billing_horizon_defaults_to_whole_days() {
             .with_billing_horizon(Minutes::from_days(7)),
         &carbon,
     )
-    .run(&trace, &mut RunNow);
+    .runner(&trace, &mut RunNow)
+    .execute()
+    .expect("valid policy decisions")
+    .report;
     assert_eq!(report2.totals.billing_horizon, Minutes::from_days(7));
     assert!(report2.totals.cost_reserved_prepaid > report.totals.cost_reserved_prepaid);
 }
@@ -323,7 +369,11 @@ fn totals_are_consistent_with_jobs() {
         job(2, 100, 45, 3),
     ]);
     let config = ClusterConfig::default().with_reserved(2);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let carbon_sum: f64 = report.jobs.iter().map(|j| j.carbon_g).sum();
     assert!((report.totals.carbon_g - carbon_sum).abs() < 1e-9);
     let waiting_sum: Minutes = report.jobs.iter().map(|j| j.waiting).sum();
@@ -339,7 +389,11 @@ fn totals_are_consistent_with_jobs() {
 fn empty_trace_runs() {
     let carbon = flat_carbon(24);
     let trace = WorkloadTrace::from_jobs(vec![]);
-    let report = Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert!(report.jobs.is_empty());
     assert_eq!(report.totals.jobs, 0);
     assert_eq!(report.makespan(), SimTime::ORIGIN);
@@ -362,7 +416,10 @@ fn context_reports_reserved_state() {
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 600, 2), job(1, 60, 30, 1)]);
     let mut checker = Checker { seen: vec![] };
     let config = ClusterConfig::default().with_reserved(3);
-    Simulation::new(config, &carbon).run(&trace, &mut checker);
+    Simulation::new(config, &carbon)
+        .runner(&trace, &mut checker)
+        .execute()
+        .expect("valid policy decisions");
     assert_eq!(checker.seen, vec![(3, 3), (1, 3)]);
 }
 
@@ -377,7 +434,10 @@ fn rejects_start_before_arrival() {
         }
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 60, 30, 1)]);
-    Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut Bad);
+    Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut Bad)
+        .execute()
+        .unwrap_or_else(|error| panic!("{error}"));
 }
 
 #[test]
@@ -394,11 +454,14 @@ fn rejects_incomplete_segment_plan() {
         }
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1)]);
-    Simulation::new(ClusterConfig::default(), &carbon).run(&trace, &mut Bad);
+    Simulation::new(ClusterConfig::default(), &carbon)
+        .runner(&trace, &mut Bad)
+        .execute()
+        .unwrap_or_else(|error| panic!("{error}"));
 }
 
 #[test]
-fn try_run_reports_bad_decisions_as_typed_errors() {
+fn execute_reports_bad_decisions_as_typed_errors() {
     use gaia_sim::{PolicyError, SimError};
     let carbon = flat_carbon(24);
 
@@ -410,7 +473,8 @@ fn try_run_reports_bad_decisions_as_typed_errors() {
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 60, 30, 1)]);
     let err = Simulation::new(ClusterConfig::default(), &carbon)
-        .try_run(&trace, &mut Early)
+        .runner(&trace, &mut Early)
+        .execute()
         .expect_err("start before arrival must fail");
     assert!(matches!(
         err,
@@ -428,7 +492,8 @@ fn try_run_reports_bad_decisions_as_typed_errors() {
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 60, 1)]);
     let err = Simulation::new(ClusterConfig::default(), &carbon)
-        .try_run(&trace, &mut Short)
+        .runner(&trace, &mut Short)
+        .execute()
         .expect_err("short plan must fail");
     match err {
         SimError::Policy(PolicyError::PlanLengthMismatch {
@@ -442,7 +507,7 @@ fn try_run_reports_bad_decisions_as_typed_errors() {
 }
 
 #[test]
-fn try_run_matches_run_on_valid_policies() {
+fn separate_simulations_agree_on_valid_policies() {
     let carbon = flat_carbon(48);
     struct Asap;
     impl Scheduler for Asap {
@@ -452,10 +517,16 @@ fn try_run_matches_run_on_valid_policies() {
     }
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 600, 2), job(1, 60, 30, 1)]);
     let config = ClusterConfig::default().with_reserved(2);
-    let via_run = Simulation::new(config, &carbon).run(&trace, &mut Asap);
+    let via_run = Simulation::new(config, &carbon)
+        .runner(&trace, &mut Asap)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let via_try = Simulation::new(config, &carbon)
-        .try_run(&trace, &mut Asap)
-        .expect("valid policy");
+        .runner(&trace, &mut Asap)
+        .execute()
+        .expect("valid policy")
+        .into_report();
     assert_eq!(via_run, via_try);
 }
 
@@ -478,7 +549,11 @@ fn checkpointing_banks_progress_across_evictions() {
         // (13 under the vendored StdRng): the banked-progress path must
         // actually be exercised, not skipped by a lucky survival.
         .with_seed(4);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     // Evicted many times, but progress accumulates: the job finishes on
     // spot instead of falling back to on-demand.
@@ -506,7 +581,11 @@ fn checkpointing_falls_back_after_retry_budget() {
             max_retries: 3,
         })
         .with_seed(3);
-    let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.evictions, 3);
     let last = outcome.segments.last().expect("finished");
@@ -520,14 +599,22 @@ fn checkpoint_overhead_extends_span_without_evictions() {
     let carbon = flat_carbon(48);
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 240, 1)]);
     let config = ClusterConfig::default().with_checkpointing(CheckpointConfig::every_hours(1, 6));
-    let report = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.evictions, 0);
     // 4 h of work with checkpoints after hours 1, 2, 3: +18 minutes.
     assert_eq!(outcome.completion, Minutes::new(240 + 18));
     assert_eq!(outcome.waiting, Minutes::new(18));
     // Non-spot jobs are unaffected by the checkpoint config.
-    let report2 = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report2 = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(report2.jobs[0].completion, Minutes::new(240));
 }
 
@@ -544,7 +631,11 @@ fn startup_overhead_delays_elastic_execution_only() {
             startup: Minutes::new(5),
             teardown: Minutes::new(3),
         });
-    let report = Simulation::new(config, &carbon).run(&trace, &mut RunNow);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut RunNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let reserved_job = &report.jobs[0];
     let od_job = &report.jobs[1];
     assert_eq!(reserved_job.segments[0].option, PurchaseOption::Reserved);
@@ -578,8 +669,16 @@ fn overheads_penalize_fragmented_plans() {
     let trace = WorkloadTrace::from_jobs(vec![job(0, 0, 120, 1)]);
     let base = ClusterConfig::default();
     let with_oh = base.with_overheads(InstanceOverheads::symmetric(10));
-    let clean = Simulation::new(base, &carbon).run(&trace, &mut TwoSegments);
-    let taxed = Simulation::new(with_oh, &carbon).run(&trace, &mut TwoSegments);
+    let clean = Simulation::new(base, &carbon)
+        .runner(&trace, &mut TwoSegments)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
+    let taxed = Simulation::new(with_oh, &carbon)
+        .runner(&trace, &mut TwoSegments)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     // Two acquisitions, each paying 20 minutes of overhead.
     let extra_cost = taxed.totals.cost_on_demand - clean.totals.cost_on_demand;
     assert!((extra_cost - 2.0 * (20.0 / 60.0) * 0.0624).abs() < 1e-9);
@@ -612,7 +711,11 @@ fn deferred_segment_waits_for_boot_shifted_predecessor() {
         startup: Minutes::new(30),
         teardown: Minutes::ZERO,
     });
-    let report = Simulation::new(config, &carbon).run(&trace, &mut BackToBack);
+    let report = Simulation::new(config, &carbon)
+        .runner(&trace, &mut BackToBack)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     let outcome = &report.jobs[0];
     assert_eq!(outcome.segments.len(), 2);
     // Segment 1 executes [1:30, 2:30]; segment 2 defers to 2:30, boots,
@@ -633,7 +736,15 @@ fn deterministic_across_runs() {
         .with_reserved(4)
         .with_eviction(EvictionModel::hourly(0.2))
         .with_seed(11);
-    let a = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
-    let b = Simulation::new(config, &carbon).run(&trace, &mut SpotNow);
+    let a = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
+    let b = Simulation::new(config, &carbon)
+        .runner(&trace, &mut SpotNow)
+        .execute()
+        .expect("valid policy decisions")
+        .report;
     assert_eq!(a, b);
 }

@@ -106,6 +106,11 @@ pub enum CellOutcome {
         audit: Option<AuditReport>,
         /// Total attempts including the successful one (always ≥ 2).
         attempts: u32,
+        /// `true` when at least one failed attempt overran its
+        /// [`RetryPolicy::timeout`]. Preserved separately from
+        /// `recovered_error` so a cell that timed out early and then
+        /// failed differently still carries its timeout provenance.
+        timed_out: bool,
         /// The error message of the last failed attempt.
         recovered_error: String,
     },
@@ -160,15 +165,20 @@ impl ScenarioResult {
         }
     }
 
-    /// `(attempts, last recovered error)` when the cell completed only
-    /// after retries; `None` for first-try completions and failures.
-    pub fn retry_provenance(&self) -> Option<(u32, &str)> {
+    /// `(attempts, timed out, last recovered error)` when the cell
+    /// completed only after retries; `None` for first-try completions
+    /// and failures. The `timed out` flag is `true` when any failed
+    /// attempt overran its per-attempt wall-clock budget — a cell can
+    /// therefore carry **both** timeout and retry provenance, and
+    /// `scenarios.csv` renders such cells as `timed_out;retried:N`.
+    pub fn retry_provenance(&self) -> Option<(u32, bool, &str)> {
         match &self.outcome {
             CellOutcome::Retried {
                 attempts,
+                timed_out,
                 recovered_error,
                 ..
-            } => Some((*attempts, recovered_error.as_str())),
+            } => Some((*attempts, *timed_out, recovered_error.as_str())),
             _ => None,
         }
     }
@@ -289,6 +299,13 @@ pub struct RetryPolicy {
     /// contract. It stays `None` (off) by default and is excluded from
     /// the determinism test matrix.
     pub timeout: Option<Duration>,
+    /// Per-retry multiplier on [`RetryPolicy::timeout`]: attempt `n`
+    /// gets a budget of `timeout · timeout_scale^(n−1)`, capped at one
+    /// hour. `1` (the default) keeps every attempt's budget equal; a
+    /// larger scale lets a cell that timed out under a too-tight budget
+    /// actually recover on retry instead of timing out identically
+    /// `max_attempts` times.
+    pub timeout_scale: u32,
 }
 
 impl Default for RetryPolicy {
@@ -297,6 +314,7 @@ impl Default for RetryPolicy {
             max_attempts: 1,
             backoff: Duration::ZERO,
             timeout: None,
+            timeout_scale: 1,
         }
     }
 }
@@ -327,6 +345,31 @@ impl RetryPolicy {
     pub fn with_timeout(mut self, timeout: Duration) -> RetryPolicy {
         self.timeout = Some(timeout);
         self
+    }
+
+    /// Sets the per-retry budget multiplier (see
+    /// [`RetryPolicy::timeout_scale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero — a zero budget would fail every retry
+    /// before it starts.
+    pub fn with_timeout_scale(mut self, scale: u32) -> RetryPolicy {
+        assert!(scale >= 1, "the timeout scale must be at least 1");
+        self.timeout_scale = scale;
+        self
+    }
+
+    /// The wall-clock budget for attempt number `attempt` (1-based):
+    /// `timeout · timeout_scale^(attempt−1)`, capped at one hour.
+    /// `None` when no timeout is configured.
+    pub fn timeout_for(&self, attempt: u32) -> Option<Duration> {
+        const CAP: Duration = Duration::from_secs(3600);
+        let timeout = self.timeout?;
+        let factor = self
+            .timeout_scale
+            .saturating_pow(attempt.saturating_sub(1).min(16));
+        Some(timeout.checked_mul(factor).unwrap_or(CAP).min(CAP))
     }
 
     /// The exponential-backoff pause after failed attempt number
@@ -467,6 +510,18 @@ fn simulate_cell<S: Sink>(
     }
 }
 
+/// Shared shape of the timeout failure message, so the retry loop can
+/// classify a recovered attempt's failure as a timeout without keeping
+/// two copies of the text in sync.
+const TIMEOUT_ERROR_PREFIX: &str = "attempt exceeded the ";
+const TIMEOUT_ERROR_SUFFIX: &str = "s cell timeout";
+
+/// `true` when `error` is a per-attempt timeout produced by
+/// [`run_attempt_timed`].
+fn is_timeout_error(error: &str) -> bool {
+    error.starts_with(TIMEOUT_ERROR_PREFIX) && error.ends_with(TIMEOUT_ERROR_SUFFIX)
+}
+
 /// Runs one attempt of a cell under a wall-clock budget, on a detached
 /// thread.
 ///
@@ -530,7 +585,7 @@ fn run_attempt_timed(
             Err(_) => (
                 CellOutcome::Failed {
                     error: format!(
-                        "attempt exceeded the {:.3}s cell timeout",
+                        "{TIMEOUT_ERROR_PREFIX}{:.3}{TIMEOUT_ERROR_SUFFIX}",
                         timeout.as_secs_f64()
                     ),
                 },
@@ -692,12 +747,13 @@ fn run_grid_inner(
         let chaos = schedule.map_or(0, |s| s.chaos_fail_attempts(&key));
         let mut attempt = 0u32;
         let mut recovered: Option<String> = None;
+        let mut timed_out = false;
         let (outcome, trace_bytes) = loop {
             attempt += 1;
             let (result, bytes) = if attempt <= chaos {
                 let error = format!("injected chaos fault ({attempt} of {chaos} attempts fail)");
                 (CellOutcome::Failed { error }, None)
-            } else if let Some(timeout) = retry.timeout {
+            } else if let Some(timeout) = retry.timeout_for(attempt) {
                 run_attempt_timed(
                     scenario,
                     cache,
@@ -727,6 +783,7 @@ fn run_grid_inner(
             };
             match result {
                 CellOutcome::Failed { error } if attempt < retry.max_attempts => {
+                    timed_out |= is_timeout_error(&error);
                     gaia_obs::warn!(
                         "cell {key} failed on attempt {attempt}/{}, retrying: {error}",
                         retry.max_attempts
@@ -754,6 +811,7 @@ fn run_grid_inner(
                             summary,
                             audit,
                             attempts: attempt,
+                            timed_out,
                             recovered_error: recovered.take().unwrap_or_default(),
                         },
                         bytes,

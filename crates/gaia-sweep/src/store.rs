@@ -165,7 +165,8 @@ pub fn scenarios_csv(run: &SweepRun) -> String {
                     None => String::new(),
                 };
                 let status = match result.retry_provenance() {
-                    Some((attempts, _)) => format!("retried:{attempts}"),
+                    Some((attempts, true, _)) => format!("timed_out;retried:{attempts}"),
+                    Some((attempts, false, _)) => format!("retried:{attempts}"),
                     None => "ok".to_owned(),
                 };
                 let _ = writeln!(
@@ -358,11 +359,12 @@ pub fn manifest_json_observed(
         retried
             .iter()
             .map(|cell| {
-                let (attempts, error) = cell
+                let (attempts, timed_out, error) = cell
                     .retry_provenance()
                     .expect("retried_cells only returns retried cells");
                 format!(
-                    "{{\"key\": {}, \"attempts\": {attempts}, \"recovered_error\": {}}}",
+                    "{{\"key\": {}, \"attempts\": {attempts}, \
+                     \"timed_out\": {timed_out}, \"recovered_error\": {}}}",
                     json_string(&cell.key),
                     json_string(error),
                 )

@@ -98,8 +98,9 @@ fn chaos_cells_recover_through_retries_with_provenance() {
             "chaos matched by key: {}",
             cell.key
         );
-        let (attempts, error) = cell.retry_provenance().expect("retried");
+        let (attempts, timed_out, error) = cell.retry_provenance().expect("retried");
         assert_eq!(attempts, 3, "2 injected failures + 1 success");
+        assert!(!timed_out, "chaos failures are not timeouts");
         assert!(
             error.contains("chaos"),
             "provenance keeps the fault: {error}"
@@ -260,6 +261,57 @@ fn expired_cell_timeout_fails_the_attempt_gracefully() {
         "{:?}",
         failed[0].error()
     );
+}
+
+#[test]
+fn timed_out_cells_that_recover_keep_both_provenances() {
+    let grid = SweepGrid::week(9)
+        .policies(vec![PolicySpec::plain(BasePolicyKind::NoWait)])
+        .seeds(vec![1]);
+    // Attempt 1 gets a 1µs budget (a cell cannot even spawn its worker
+    // thread that fast) and times out; the scaled attempt 2 gets 10s
+    // and recovers. The recovered cell must carry BOTH provenances.
+    let options = FaultOptions {
+        schedule: None,
+        retry: RetryPolicy::attempts(2)
+            .with_timeout(Duration::from_micros(1))
+            .with_timeout_scale(10_000_000),
+    };
+    let run =
+        gaia_sweep::run_grid_faulted(&grid, &quiet(1), &TraceCache::new(), false, &options, None)
+            .expect("no trace dir to create");
+    assert!(run.is_clean(), "the scaled retry recovers the cell");
+    let retried = run.retried_cells();
+    assert_eq!(retried.len(), 1);
+    let (attempts, timed_out, error) = retried[0].retry_provenance().expect("retried");
+    assert_eq!(attempts, 2);
+    assert!(timed_out, "the timeout provenance survives recovery");
+    assert!(error.contains("cell timeout"), "{error}");
+
+    // scenarios.csv renders both provenances in the status column, and
+    // the manifest carries the structured flag.
+    let csv = store::scenarios_csv(&run);
+    assert_eq!(csv.matches(",timed_out;retried:2,").count(), 1, "{csv}");
+    let manifest = store::manifest_json(&run, None);
+    assert!(manifest.contains("\"timed_out\": true"), "{manifest}");
+}
+
+#[test]
+fn escalating_timeout_budgets_are_scaled_and_capped() {
+    let policy = RetryPolicy::attempts(4)
+        .with_timeout(Duration::from_secs(2))
+        .with_timeout_scale(10);
+    assert_eq!(policy.timeout_for(1), Some(Duration::from_secs(2)));
+    assert_eq!(policy.timeout_for(2), Some(Duration::from_secs(20)));
+    assert_eq!(policy.timeout_for(3), Some(Duration::from_secs(200)));
+    assert_eq!(
+        policy.timeout_for(9),
+        Some(Duration::from_secs(3600)),
+        "capped at one hour"
+    );
+    assert_eq!(RetryPolicy::attempts(2).timeout_for(2), None, "no timeout");
+    let flat = RetryPolicy::attempts(3).with_timeout(Duration::from_secs(5));
+    assert_eq!(flat.timeout_for(3), Some(Duration::from_secs(5)), "scale 1");
 }
 
 #[test]

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Serve smoke + snapshot/restore byte-identity gate.
+#
+#  1. starts a `gaia serve` daemon and replays a 1000-submission
+#     two-tenant log through the socket in one uninterrupted run;
+#  2. replays the same log against a second daemon that snapshots at
+#     submission 500, is shut down, and is restored from the snapshot
+#     by a third daemon that takes submissions 501-1000;
+#  3. byte-compares the stitched interrupted response stream against
+#     the uninterrupted one — restore must be invisible on the wire.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+cargo build --release -p gaia-cli
+
+GAIA=./target/release/gaia
+
+# The submission log: 1000 jobs from two tenants at increasing arrival
+# times, plus a stats probe per tenant at the end of each half.
+for i in $(seq 0 999); do
+  if (( i % 2 == 0 )); then tenant=acme; else tenant=blue; fi
+  echo "{\"op\":\"submit\",\"tenant\":\"${tenant}\",\"at\":$(( i * 3 )),\"len\":$(( 30 + i % 240 )),\"cpus\":$(( 1 + i % 4 ))}"
+done > "${WORK}/log.jsonl"
+head -n 500 "${WORK}/log.jsonl" > "${WORK}/first.jsonl"
+tail -n 500 "${WORK}/log.jsonl" > "${WORK}/second.jsonl"
+PROBE='{"op":"stats"}
+{"op":"stats","tenant":"acme"}
+{"op":"stats","tenant":"blue"}'
+echo "${PROBE}" >> "${WORK}/log.jsonl"
+echo "${PROBE}" >> "${WORK}/second.jsonl"
+
+# Starts a daemon with the given extra flags; sets DAEMON_PID and ADDR.
+start_daemon() {
+  rm -f "${WORK}/addr"
+  "${GAIA}" serve --addr-file "${WORK}/addr" \
+    --snapshot-path "${WORK}/serve.snap" "$@" &
+  DAEMON_PID=$!
+  for _ in $(seq 1 500); do
+    [[ -s "${WORK}/addr" ]] && break
+    sleep 0.01
+  done
+  ADDR="$(cat "${WORK}/addr")"
+}
+
+shutdown_daemon() {
+  echo '{"op":"shutdown"}' | "${GAIA}" serve --connect "${ADDR}" > /dev/null
+  wait "${DAEMON_PID}"
+}
+
+echo "== uninterrupted run: 1000 submissions"
+start_daemon --snapshot-every 500
+"${GAIA}" serve --connect "${ADDR}" < "${WORK}/log.jsonl" > "${WORK}/reference.out"
+shutdown_daemon
+rm -f "${WORK}/serve.snap"
+
+echo "== interrupted run: 500 submissions, snapshot, kill"
+start_daemon --snapshot-every 500
+"${GAIA}" serve --connect "${ADDR}" < "${WORK}/first.jsonl" > "${WORK}/first.out"
+shutdown_daemon
+[[ -f "${WORK}/serve.snap" ]] || { echo "snapshot was not written" >&2; exit 1; }
+
+echo "== restored run: submissions 501-1000"
+start_daemon --snapshot-every 500 --restore "${WORK}/serve.snap"
+"${GAIA}" serve --connect "${ADDR}" < "${WORK}/second.jsonl" > "${WORK}/second.out"
+shutdown_daemon
+
+cat "${WORK}/first.out" "${WORK}/second.out" > "${WORK}/stitched.out"
+cmp "${WORK}/reference.out" "${WORK}/stitched.out"
+echo "restored response stream is byte-identical ($(wc -l < "${WORK}/reference.out") responses)"
