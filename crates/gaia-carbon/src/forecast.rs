@@ -83,6 +83,21 @@ pub trait CarbonForecaster {
     fn query<'s>(&'s self, now: SimTime) -> Box<dyn ForecastQuery + 's> {
         Box::new(NaiveQuery::new(self, now))
     }
+
+    /// The prebuilt [`ForecastIndex`] this forecaster serves queries
+    /// from, if it answers *every* query straight from one.
+    ///
+    /// Returning `Some` lets [`ForecastView::new`] skip the boxed
+    /// [`CarbonForecaster::query`] session entirely and statically
+    /// dispatch into the index — the hot path for engines that open a
+    /// fresh view on every job arrival. Implementors must only return
+    /// `Some` when the indexed answers are bit-identical to their
+    /// [`CarbonForecaster::query`] session (true for
+    /// [`PerfectForecaster`]; stochastic forecasters memoize per-`now`
+    /// state and must return `None`, the default).
+    fn forecast_index(&self) -> Option<&ForecastIndex<'_>> {
+        None
+    }
 }
 
 /// Horizon queries anchored at one decision instant.
@@ -399,7 +414,20 @@ impl<F: CarbonForecaster + ?Sized> ForecastQuery for MemoQuery<'_, F> {
 /// ```
 pub struct ForecastView<'a> {
     forecaster: &'a dyn CarbonForecaster,
-    query: Box<dyn ForecastQuery + 'a>,
+    backend: ViewBackend<'a>,
+}
+
+/// How a [`ForecastView`] answers queries.
+///
+/// The indexed arm exists so the per-arrival hot path pays neither a
+/// `Box` allocation nor virtual dispatch: when the forecaster exposes a
+/// [`ForecastIndex`] ([`CarbonForecaster::forecast_index`]), every view
+/// method below statically dispatches into the index. Both arms compute
+/// bit-identical answers (the indexed arm is the same [`IndexQuery`] the
+/// boxed session would wrap).
+enum ViewBackend<'a> {
+    Indexed(IndexQuery<'a, 'a>),
+    Dyn(Box<dyn ForecastQuery + 'a>),
 }
 
 impl std::fmt::Debug for ForecastView<'_> {
@@ -413,15 +441,22 @@ impl std::fmt::Debug for ForecastView<'_> {
 impl<'a> ForecastView<'a> {
     /// Creates a view of `forecaster` anchored at decision instant `now`.
     pub fn new(forecaster: &'a dyn CarbonForecaster, now: SimTime) -> Self {
+        let backend = match forecaster.forecast_index() {
+            Some(index) => ViewBackend::Indexed(IndexQuery { index, now }),
+            None => ViewBackend::Dyn(forecaster.query(now)),
+        };
         ForecastView {
             forecaster,
-            query: forecaster.query(now),
+            backend,
         }
     }
 
     /// The decision instant this view is anchored at.
     pub fn now(&self) -> SimTime {
-        self.query.now()
+        match &self.backend {
+            ViewBackend::Indexed(q) => q.now,
+            ViewBackend::Dyn(q) => q.now(),
+        }
     }
 
     /// The forecaster backing this view.
@@ -431,17 +466,26 @@ impl<'a> ForecastView<'a> {
 
     /// Carbon intensity observed at the decision instant.
     pub fn current(&self) -> GramsPerKwh {
-        self.query.current()
+        match &self.backend {
+            ViewBackend::Indexed(q) => q.current(),
+            ViewBackend::Dyn(q) => q.current(),
+        }
     }
 
     /// Forecast intensity at a future instant.
     pub fn at(&self, at: SimTime) -> GramsPerKwh {
-        self.query.at(at)
+        match &self.backend {
+            ViewBackend::Indexed(q) => q.at(at),
+            ViewBackend::Dyn(q) => q.at(at),
+        }
     }
 
     /// Forecast CI integral over `[start, start + len)`, in (g/kWh)·hours.
     pub fn integral(&self, start: SimTime, len: Minutes) -> f64 {
-        self.query.integral(start, len)
+        match &self.backend {
+            ViewBackend::Indexed(q) => q.integral(start, len),
+            ViewBackend::Dyn(q) => q.integral(start, len),
+        }
     }
 
     /// Forecast time-average CI over `[start, start + len)`.
@@ -450,7 +494,10 @@ impl<'a> ForecastView<'a> {
     ///
     /// Panics if `len` is zero.
     pub fn average(&self, start: SimTime, len: Minutes) -> GramsPerKwh {
-        self.query.average(start, len)
+        match &self.backend {
+            ViewBackend::Indexed(q) => q.average(start, len),
+            ViewBackend::Dyn(q) => q.average(start, len),
+        }
     }
 
     /// The `q`-quantile of forecast hourly CI over `[now, now + horizon)`.
@@ -462,7 +509,10 @@ impl<'a> ForecastView<'a> {
     ///
     /// Panics if `horizon` is zero.
     pub fn quantile(&self, horizon: Minutes, q: f64) -> GramsPerKwh {
-        self.query.quantile(horizon, q)
+        match &self.backend {
+            ViewBackend::Indexed(s) => s.quantile(horizon, q),
+            ViewBackend::Dyn(s) => s.quantile(horizon, q),
+        }
     }
 
     /// The greenest-slot suspend-resume plan over `[now, now + horizon)`
@@ -472,7 +522,10 @@ impl<'a> ForecastView<'a> {
     ///
     /// Panics if `need` exceeds `horizon`.
     pub fn greenest_slots(&self, horizon: Minutes, need: Minutes) -> Vec<(SimTime, Minutes)> {
-        self.query.greenest_slots(horizon, need)
+        match &self.backend {
+            ViewBackend::Indexed(q) => q.greenest_slots(horizon, need),
+            ViewBackend::Dyn(q) => q.greenest_slots(horizon, need),
+        }
     }
 }
 
@@ -534,6 +587,10 @@ impl CarbonForecaster for PerfectForecaster<'_> {
             index: self.index(),
             now,
         })
+    }
+
+    fn forecast_index(&self) -> Option<&ForecastIndex<'_>> {
+        Some(self.index())
     }
 }
 

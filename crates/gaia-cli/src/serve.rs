@@ -29,6 +29,7 @@ DAEMON OPTIONS:
     --region <CODE>         carbon trace region (default SA-AU)
     --seed <N>              trace + eviction seed (default 42)
     --reserved <N>          reserved CPU instances (default 0)
+    --expect-jobs <N>       pre-reserve state for N submissions at boot
     --snapshot-every <N>    snapshot after every N-th accepted submission
     --snapshot-path <PATH>  snapshot target (default gaia-serve.snap)
     --restore <FILE>        boot from a snapshot instead of empty state
@@ -105,6 +106,13 @@ fn parse(args: &[String]) -> Result<Mode, String> {
                 options.reserved = value("--reserved")?
                     .parse()
                     .map_err(|_| "invalid --reserved".to_owned())?;
+            }
+            "--expect-jobs" => {
+                options.expect_jobs = Some(
+                    value("--expect-jobs")?
+                        .parse()
+                        .map_err(|_| "invalid --expect-jobs".to_owned())?,
+                );
             }
             "--snapshot-every" => {
                 let every: u64 = value("--snapshot-every")?
@@ -222,6 +230,8 @@ mod tests {
             "9",
             "--reserved",
             "12",
+            "--expect-jobs",
+            "250000",
             "--snapshot-every",
             "500",
             "--snapshot-path",
@@ -240,6 +250,7 @@ mod tests {
         assert_eq!(options.region, Region::Ontario);
         assert_eq!(options.seed, 9);
         assert_eq!(options.reserved, 12);
+        assert_eq!(options.expect_jobs, Some(250_000));
         assert_eq!(options.snapshot_every, Some(500));
         assert_eq!(options.restore, Some(PathBuf::from("/tmp/old.snap")));
     }

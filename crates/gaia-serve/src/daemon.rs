@@ -15,9 +15,9 @@
 //! responses and trace events byte-identical to an uninterrupted run.
 
 use std::fs;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -61,6 +61,12 @@ pub struct ServeOptions {
     pub addr_file: Option<PathBuf>,
     /// JSON fault plan injected into the live service.
     pub faults: Option<PathBuf>,
+    /// Pre-reserve per-job state for this many submissions at boot.
+    ///
+    /// A provisioned deployment sets this to its expected job volume so
+    /// no submission inside the reservation ever pays a column
+    /// reallocation; growth beyond it stays amortized-doubling.
+    pub expect_jobs: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -77,6 +83,7 @@ impl Default for ServeOptions {
             trace_path: None,
             addr_file: None,
             faults: None,
+            expect_jobs: None,
         }
     }
 }
@@ -199,6 +206,10 @@ fn serve_with_sink<S: Sink>(
             Session::new(engine, options.policy)
         }
     };
+    let mut session = session;
+    if let Some(expected) = options.expect_jobs {
+        session.reserve_jobs(expected.saturating_sub(session.engine().submitted() as usize));
+    }
 
     let listener = TcpListener::bind(&options.listen)
         .map_err(|e| format!("cannot bind {}: {e}", options.listen))?;
@@ -230,7 +241,6 @@ fn serve_with_sink<S: Sink>(
                 scope.spawn(move || connection(stream, tx));
             }
         });
-        let mut session = session;
         for cmd in rx {
             let (response, stop) = handle(&mut session, &cmd.line, options);
             let _ = cmd.reply.send(response.to_json_line());
@@ -279,9 +289,7 @@ fn handle<S: Sink>(
 fn write_snapshot<S: Sink>(session: &mut Session<'_, S>, options: &ServeOptions) -> Response {
     let (seq, bytes) = session.snapshot();
     let path = &options.snapshot_path;
-    let tmp = path.with_extension("tmp");
-    let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, path));
-    match result {
+    match persist_snapshot(path, &bytes) {
         Ok(()) => Response::SnapshotDone {
             seq,
             bytes: bytes.len() as u64,
@@ -290,6 +298,37 @@ fn write_snapshot<S: Sink>(session: &mut Session<'_, S>, options: &ServeOptions)
             error: format!("cannot write snapshot {}: {e}", path.display()),
         },
     }
+}
+
+/// Durably replaces `path` with `bytes` so that a crash at any instant
+/// — including mid-call — leaves either the previous snapshot or the
+/// complete new one at `path`, never partial bytes.
+///
+/// The write goes to a `.tmp` sibling which is `sync_all`ed *before*
+/// the rename (otherwise the rename can hit disk ahead of the data and
+/// a crash exposes a truncated file under the final name), and the
+/// parent directory is fsynced *after* it (otherwise the rename itself
+/// may not survive the crash). A failed rename removes the `.tmp` so
+/// retries never pick up stale bytes.
+pub fn persist_snapshot(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let written = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if let Err(e) = written {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // A bare filename has an empty parent; the directory entry then
+    // lives in the current directory.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    fs::File::open(parent)?.sync_all()
 }
 
 /// One connection: forward raw lines to the engine thread, write each

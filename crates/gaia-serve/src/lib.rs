@@ -27,7 +27,7 @@ pub mod protocol;
 pub mod session;
 pub mod snapshot;
 
-pub use daemon::{run, ServeOptions};
+pub use daemon::{persist_snapshot, run, ServeOptions};
 pub use protocol::{Request, Response, StatsBody, StatusDetail};
 pub use session::{Session, TenantStats};
 pub use snapshot::{encode, restore, SERVICE_SNAPSHOT_VERSION};

@@ -75,6 +75,18 @@ impl<'e, S: Sink> Session<'e, S> {
         self.policy
     }
 
+    /// Pre-sizes the per-job state for `additional` more submissions.
+    ///
+    /// A provisioned service calls this once at boot with its expected
+    /// job volume: growth past the reservation stays amortized-doubling
+    /// (the engine keeps column capacities pairwise distinct), but
+    /// nothing inside the reservation ever pays a reallocation inside
+    /// a submit — the tail-latency bound `serve_bench` gates on.
+    pub fn reserve_jobs(&mut self, additional: usize) {
+        self.engine.reserve_jobs(additional);
+        self.job_tenant.reserve(additional);
+    }
+
     /// Borrow the underlying engine.
     pub fn engine(&self) -> &OnlineEngine<'e, S> {
         &self.engine

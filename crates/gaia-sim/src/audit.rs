@@ -594,6 +594,7 @@ impl Auditor<'_> {
     }
 
     fn check_timing(&mut self) {
+        let strict = self.strict_segments();
         for outcome in &self.report.jobs {
             self.tally();
             let job = &outcome.job;
@@ -647,6 +648,40 @@ impl Auditor<'_> {
                         outcome.finish, outcome.first_start
                     ),
                 );
+            }
+            // The scalar timing columns (`first_start`, `finish`,
+            // `waiting`) and the segment records live in different parts
+            // of the engine state; corruption that shifts both scalars
+            // consistently (the failure the old `saturating_sub` clamp
+            // used to swallow) passes every check above. Tie the columns
+            // to the segment ground truth. Outside the paper's default
+            // mode boot/teardown stretch segments past the useful span,
+            // so the exact-equality form only holds in strict mode.
+            if strict {
+                if let Some(earliest) = outcome.segments.iter().map(|s| s.start).min() {
+                    if earliest != outcome.first_start {
+                        self.violation(
+                            AuditInvariant::Timing,
+                            Some(job.id),
+                            format!(
+                                "first start {} but the earliest segment starts {earliest}",
+                                outcome.first_start
+                            ),
+                        );
+                    }
+                }
+                if let Some(latest) = outcome.segments.iter().map(|s| s.end).max() {
+                    if latest != outcome.finish {
+                        self.violation(
+                            AuditInvariant::Timing,
+                            Some(job.id),
+                            format!(
+                                "finish {} but the last segment ends {latest}",
+                                outcome.finish
+                            ),
+                        );
+                    }
+                }
             }
             for segment in &outcome.segments {
                 if segment.is_empty() {
@@ -816,6 +851,40 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == AuditInvariant::Timing && v.job == Some(JobId(0))));
+    }
+
+    /// Regression for the silent-saturation bug: shift `finish`,
+    /// `completion`, and `waiting` *consistently*, so every pre-existing
+    /// timing check still passes (the clamp used to make exactly this
+    /// class of corruption self-consistent). Only the column-vs-segment
+    /// cross-check can see it.
+    #[test]
+    fn consistent_column_shift_is_flagged_against_segments() {
+        let (mut report, config, carbon) = run_default();
+        let outcome = &mut report.jobs[0];
+        outcome.finish += Minutes::new(11);
+        outcome.completion += Minutes::new(11);
+        outcome.waiting += Minutes::new(11);
+        let audit = audit_report(&report, &config, &carbon);
+        let timing: Vec<_> = audit
+            .violations
+            .iter()
+            .filter(|v| v.invariant == AuditInvariant::Timing)
+            .collect();
+        assert_eq!(timing.len(), 1, "{timing:?}");
+        assert!(timing[0].detail.contains("the last segment ends"));
+    }
+
+    #[test]
+    fn shifted_first_start_is_flagged_against_segments() {
+        let (mut report, config, carbon) = run_default();
+        report.jobs[0].first_start += Minutes::new(5);
+        let audit = audit_report(&report, &config, &carbon);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.invariant == AuditInvariant::Timing
+                && v.detail.contains("the earliest segment starts")));
     }
 
     #[test]

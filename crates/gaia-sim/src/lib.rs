@@ -51,8 +51,11 @@ mod audit;
 mod config;
 mod engine;
 mod error;
+mod eventq;
 mod eviction;
 mod online;
+#[doc(hidden)]
+pub mod oracle;
 pub mod output;
 mod plan;
 mod pool;

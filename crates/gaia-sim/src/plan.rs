@@ -199,9 +199,135 @@ impl Decision {
     }
 }
 
+/// Decision kind tags for [`PackedDecision`].
+pub(crate) const DK_NONE: u8 = 0;
+pub(crate) const DK_ONCE: u8 = 1;
+pub(crate) const DK_SEGMENTS: u8 = 2;
+
+/// Decision flag bits for [`PackedDecision`].
+pub(crate) const DF_OPPORTUNISTIC: u8 = 1;
+pub(crate) const DF_SPOT: u8 = 2;
+
+/// A [`Decision`] flattened to fixed width for columnar storage.
+///
+/// Segment spans live in a shared [`PlanArena`]; the packed form carries
+/// only the arena range. `planned` is always the decision's
+/// [`Decision::planned_start`] (the first segment start for plans), so
+/// status queries never chase the arena. `kind == DK_NONE` means "no
+/// decision stored" — the columnar replacement for `Option<Decision>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedDecision {
+    pub(crate) kind: u8,
+    pub(crate) flags: u8,
+    pub(crate) planned: SimTime,
+    pub(crate) seg_start: u32,
+    pub(crate) seg_len: u32,
+}
+
+impl Default for PackedDecision {
+    fn default() -> Self {
+        PackedDecision {
+            kind: DK_NONE,
+            flags: 0,
+            planned: SimTime::ORIGIN,
+            seg_start: 0,
+            seg_len: 0,
+        }
+    }
+}
+
+impl PackedDecision {
+    pub(crate) fn is_some(self) -> bool {
+        self.kind != DK_NONE
+    }
+
+    pub(crate) fn is_opportunistic(self) -> bool {
+        self.kind == DK_ONCE && self.flags & DF_OPPORTUNISTIC != 0
+    }
+
+    pub(crate) fn uses_spot(self) -> bool {
+        self.flags & DF_SPOT != 0
+    }
+}
+
+/// Arena of segment spans shared by every stored decision.
+///
+/// Plans are interned append-only: the arena never shrinks or reorders,
+/// so a `(seg_start, seg_len)` range stays valid for the lifetime of the
+/// engine — exactly the lifetime of the stored decisions that point into
+/// it. Jobs without segment plans (the overwhelming majority) intern
+/// nothing.
+#[derive(Debug, Default)]
+pub(crate) struct PlanArena {
+    pub(crate) spans: Vec<(SimTime, Minutes)>,
+}
+
+impl PlanArena {
+    /// Flattens `decision` into the arena, returning its packed form.
+    pub(crate) fn intern(&mut self, decision: &Decision) -> PackedDecision {
+        match &decision.kind {
+            DecisionKind::Once {
+                planned_start,
+                opportunistic_reserved,
+                use_spot,
+            } => PackedDecision {
+                kind: DK_ONCE,
+                flags: u8::from(*opportunistic_reserved) * DF_OPPORTUNISTIC
+                    + u8::from(*use_spot) * DF_SPOT,
+                planned: *planned_start,
+                seg_start: 0,
+                seg_len: 0,
+            },
+            DecisionKind::Segments { plan, use_spot } => {
+                let seg_start = self.spans.len() as u32;
+                self.spans.extend_from_slice(&plan.segments);
+                PackedDecision {
+                    kind: DK_SEGMENTS,
+                    flags: u8::from(*use_spot) * DF_SPOT,
+                    planned: plan.first_start(),
+                    seg_start,
+                    seg_len: plan.segments.len() as u32,
+                }
+            }
+        }
+    }
+
+    /// The segment spans of a packed plan decision (empty for `Once`).
+    pub(crate) fn spans_of(&self, packed: PackedDecision) -> &[(SimTime, Minutes)] {
+        if packed.kind != DK_SEGMENTS {
+            return &[];
+        }
+        &self.spans[packed.seg_start as usize..(packed.seg_start + packed.seg_len) as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn packed_round_trip_preserves_decision_shape() {
+        let mut arena = PlanArena::default();
+        let once = Decision::run_at(SimTime::from_hours(2)).opportunistic();
+        let p = arena.intern(&once);
+        assert!(p.is_some() && p.is_opportunistic() && !p.uses_spot());
+        assert_eq!(p.planned, SimTime::from_hours(2));
+        assert!(arena.spans_of(p).is_empty());
+
+        let plan = SegmentPlan::new(vec![
+            (SimTime::from_hours(1), Minutes::new(30)),
+            (SimTime::from_hours(3), Minutes::new(60)),
+        ]);
+        let seg = Decision::run_segments(plan.clone()).on_spot();
+        let p = arena.intern(&seg);
+        assert!(p.is_some() && !p.is_opportunistic() && p.uses_spot());
+        assert_eq!(p.planned, SimTime::from_hours(1));
+        assert_eq!(arena.spans_of(p), plan.segments.as_slice());
+        // A second intern lands after the first without disturbing it.
+        let p2 = arena.intern(&seg);
+        assert_eq!(arena.spans_of(p2), plan.segments.as_slice());
+        assert_eq!(p2.seg_start, 2);
+    }
 
     #[test]
     fn once_decision_accessors() {

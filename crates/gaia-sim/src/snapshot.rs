@@ -37,7 +37,7 @@
 //! **byte-identical** — reports and obs event streams — to never having
 //! snapshotted at all.
 
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use gaia_carbon::{CarbonForecaster, CarbonTrace};
@@ -47,8 +47,12 @@ use gaia_workload::{Job, JobId};
 
 use crate::account::SegmentRecord;
 use crate::config::ClusterConfig;
-use crate::online::{CapBlocked, Event, EventKind, JobAccum, JobState, OnlineEngine};
-use crate::plan::{Decision, DecisionKind, PurchaseOption, SegmentPlan};
+use crate::eventq::EventQueue;
+use crate::online::{CapBlocked, Event, EventKind, OnlineEngine, SegNode, Tag, NO_TIME, SEG_NIL};
+use crate::plan::{
+    Decision, DecisionKind, PackedDecision, PlanArena, PurchaseOption, SegmentPlan,
+    DF_OPPORTUNISTIC, DF_SPOT, DK_ONCE,
+};
 use crate::pool::ReservedPool;
 use crate::report::DegradationStats;
 
@@ -164,26 +168,23 @@ impl Writer {
         });
     }
 
-    fn decision(&mut self, decision: &Decision) {
-        match &decision.kind {
-            DecisionKind::Once {
-                planned_start,
-                opportunistic_reserved,
-                use_spot,
-            } => {
-                self.u8(0);
-                self.time(*planned_start);
-                self.bool(*opportunistic_reserved);
-                self.bool(*use_spot);
-            }
-            DecisionKind::Segments { plan, use_spot } => {
-                self.u8(1);
-                self.bool(*use_spot);
-                self.u64(plan.segments.len() as u64);
-                for &(start, len) in &plan.segments {
-                    self.time(start);
-                    self.minutes(len);
-                }
+    /// Encodes a packed decision, resolving segment spans through the
+    /// arena. The byte layout matches [`Reader::decision`] exactly.
+    fn packed_decision(&mut self, p: PackedDecision, arena: &PlanArena) {
+        debug_assert!(p.is_some(), "cannot encode an absent decision");
+        if p.kind == DK_ONCE {
+            self.u8(0);
+            self.time(p.planned);
+            self.bool(p.flags & DF_OPPORTUNISTIC != 0);
+            self.bool(p.flags & DF_SPOT != 0);
+        } else {
+            self.u8(1);
+            self.bool(p.flags & DF_SPOT != 0);
+            let spans = arena.spans_of(p);
+            self.u64(spans.len() as u64);
+            for &(start, len) in spans {
+                self.time(start);
+                self.minutes(len);
             }
         }
     }
@@ -409,69 +410,73 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             w.minutes(job.length);
             w.u32(job.cpus);
         }
-        for state in &self.states {
-            match state {
-                JobState::Unarrived => w.u8(0),
-                JobState::Waiting { decision } => {
+        // Per-job state: the wire layout predates the columnar engine
+        // (tagged unions, not columns), so each tag selects which
+        // companion columns are serialized — the bytes are identical to
+        // the enum era.
+        for i in 0..self.jobs.len() {
+            match self.tag[i] {
+                Tag::Unarrived => w.u8(0),
+                Tag::Waiting => {
                     w.u8(1);
-                    w.decision(decision);
+                    w.packed_decision(self.wait[i], &self.arena);
                 }
-                JobState::RunningOnce {
-                    option,
-                    start,
-                    span,
-                } => {
+                Tag::RunningOnce => {
                     w.u8(2);
-                    w.purchase(*option);
-                    w.time(*start);
-                    w.minutes(*span);
+                    w.purchase(self.run_option[i]);
+                    w.time(self.run_start[i]);
+                    w.u64(self.run_aux[i]); // span minutes
                 }
-                JobState::InPlan { running } => {
+                Tag::PlanIdle => {
                     w.u8(3);
-                    match running {
-                        None => w.u8(0),
-                        Some((seg_idx, option, start, exec_end)) => {
-                            w.u8(1);
-                            w.u64(*seg_idx as u64);
-                            w.purchase(*option);
-                            w.time(*start);
-                            w.time(*exec_end);
-                        }
-                    }
+                    w.u8(0);
                 }
-                JobState::Done => w.u8(4),
-                JobState::Cancelled => w.u8(5),
-            }
-        }
-        for accum in &self.accum {
-            w.option_time(accum.first_start);
-            w.time(accum.finish);
-            w.f64(accum.carbon_g);
-            w.f64(accum.cost);
-            w.u32(accum.evictions);
-            w.minutes(accum.remaining);
-            w.u32(accum.starts);
-            w.u64(accum.segments.len() as u64);
-            for segment in &accum.segments {
-                w.time(segment.start);
-                w.time(segment.end);
-                w.purchase(segment.option);
-                w.bool(segment.useful);
-            }
-        }
-        for decision in &self.plan_decisions {
-            match decision {
-                None => w.u8(0),
-                Some(decision) => {
+                Tag::PlanRunning => {
+                    w.u8(3);
                     w.u8(1);
-                    w.decision(decision);
+                    w.u64(u64::from(self.run_seg[i]));
+                    w.purchase(self.run_option[i]);
+                    w.time(self.run_start[i]);
+                    w.u64(self.run_aux[i]); // execution-end minutes
                 }
+                Tag::Done => w.u8(4),
+                Tag::Cancelled => w.u8(5),
+            }
+        }
+        for i in 0..self.jobs.len() {
+            w.option_time(match self.first_start[i] {
+                NO_TIME => None,
+                m => Some(SimTime::from_minutes(m)),
+            });
+            w.time(self.finish[i]);
+            w.f64(self.carbon_g[i]);
+            w.f64(self.cost[i]);
+            w.u32(self.evictions[i]);
+            w.minutes(self.remaining[i]);
+            w.u32(self.starts[i]);
+            w.u64(u64::from(self.seg_count[i]));
+            let mut node = self.seg_head[i];
+            while node != SEG_NIL {
+                let n = &self.seg_nodes[node as usize];
+                w.time(n.rec.start);
+                w.time(n.rec.end);
+                w.purchase(n.rec.option);
+                w.bool(n.rec.useful);
+                node = n.next;
+            }
+        }
+        for i in 0..self.jobs.len() {
+            if self.plan[i].is_some() {
+                w.u8(1);
+                w.packed_decision(self.plan[i], &self.arena);
+            } else {
+                w.u8(0);
             }
         }
 
         // Canonical event order = pop order, so identical engine states
-        // snapshot to identical bytes regardless of heap history.
-        let mut events: Vec<Event> = self.heap.iter().copied().collect();
+        // snapshot to identical bytes regardless of queue history.
+        let mut events: Vec<Event> = self.queue.unprocessed().copied().collect();
         events.sort_by_key(|e| (e.time, e.prio, e.seq));
         w.u64(events.len() as u64);
         for event in events {
@@ -578,73 +583,116 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             }
             jobs.push(Job::new(id, arrival, length, cpus));
         }
-        let mut states = Vec::with_capacity(n_jobs);
+        // Per-job state, decoded straight into the engine's columns.
+        let mut arena = PlanArena::default();
+        let mut tag = Vec::with_capacity(n_jobs);
+        let mut wait = Vec::with_capacity(n_jobs);
+        let mut run_option = Vec::with_capacity(n_jobs);
+        let mut run_start = Vec::with_capacity(n_jobs);
+        let mut run_aux = Vec::with_capacity(n_jobs);
+        let mut run_seg = Vec::with_capacity(n_jobs);
         for _ in 0..n_jobs {
-            states.push(match r.u8()? {
-                0 => JobState::Unarrived,
-                1 => JobState::Waiting {
-                    decision: r.decision()?,
+            let mut waiting = PackedDecision::default();
+            let mut option = PurchaseOption::Reserved;
+            let mut start = SimTime::ORIGIN;
+            let mut aux = 0u64;
+            let mut seg = 0u32;
+            let t = match r.u8()? {
+                0 => Tag::Unarrived,
+                1 => {
+                    let decision = r.decision()?;
+                    waiting = arena.intern(&decision);
+                    Tag::Waiting
+                }
+                2 => {
+                    option = r.purchase()?;
+                    start = r.time()?;
+                    aux = r.minutes()?.as_minutes();
+                    Tag::RunningOnce
+                }
+                3 => match r.u8()? {
+                    0 => Tag::PlanIdle,
+                    1 => {
+                        seg = r.u64()? as u32;
+                        option = r.purchase()?;
+                        start = r.time()?;
+                        aux = r.time()?.as_minutes();
+                        Tag::PlanRunning
+                    }
+                    other => {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "invalid running tag {other}"
+                        )))
+                    }
                 },
-                2 => JobState::RunningOnce {
-                    option: r.purchase()?,
-                    start: r.time()?,
-                    span: r.minutes()?,
-                },
-                3 => JobState::InPlan {
-                    running: match r.u8()? {
-                        0 => None,
-                        1 => Some((r.u64()? as usize, r.purchase()?, r.time()?, r.time()?)),
-                        other => {
-                            return Err(SnapshotError::Corrupt(format!(
-                                "invalid running tag {other}"
-                            )))
-                        }
-                    },
-                },
-                4 => JobState::Done,
-                5 => JobState::Cancelled,
+                4 => Tag::Done,
+                5 => Tag::Cancelled,
                 other => {
                     return Err(SnapshotError::Corrupt(format!(
                         "invalid job state tag {other}"
                     )))
                 }
-            });
+            };
+            tag.push(t);
+            wait.push(waiting);
+            run_option.push(option);
+            run_start.push(start);
+            run_aux.push(aux);
+            run_seg.push(seg);
         }
-        let mut accum = Vec::with_capacity(n_jobs);
+        let mut first_start = Vec::with_capacity(n_jobs);
+        let mut finish = Vec::with_capacity(n_jobs);
+        let mut carbon_col = Vec::with_capacity(n_jobs);
+        let mut cost = Vec::with_capacity(n_jobs);
+        let mut evictions = Vec::with_capacity(n_jobs);
+        let mut remaining = Vec::with_capacity(n_jobs);
+        let mut starts = Vec::with_capacity(n_jobs);
+        let mut seg_nodes: Vec<SegNode> = Vec::new();
+        let mut seg_head = Vec::with_capacity(n_jobs);
+        let mut seg_tail = Vec::with_capacity(n_jobs);
+        let mut seg_count = Vec::with_capacity(n_jobs);
         for _ in 0..n_jobs {
-            let first_start = r.option_time()?;
-            let finish = r.time()?;
-            let carbon_g = r.f64()?;
-            let cost = r.f64()?;
-            let evictions = r.u32()?;
-            let remaining = r.minutes()?;
-            let starts = r.u32()?;
+            first_start.push(match r.option_time()? {
+                None => NO_TIME,
+                Some(t) => t.as_minutes(),
+            });
+            finish.push(r.time()?);
+            carbon_col.push(r.f64()?);
+            cost.push(r.f64()?);
+            evictions.push(r.u32()?);
+            remaining.push(r.minutes()?);
+            starts.push(r.u32()?);
             let n_segments = r.count(18)?;
-            let mut segments = Vec::with_capacity(n_segments);
+            let mut head = SEG_NIL;
+            let mut tail = SEG_NIL;
             for _ in 0..n_segments {
-                segments.push(SegmentRecord {
+                let rec = SegmentRecord {
                     start: r.time()?,
                     end: r.time()?,
                     option: r.purchase()?,
                     useful: r.bool()?,
-                });
+                };
+                let node = seg_nodes.len() as u32;
+                seg_nodes.push(SegNode { rec, next: SEG_NIL });
+                if tail == SEG_NIL {
+                    head = node;
+                } else {
+                    seg_nodes[tail as usize].next = node;
+                }
+                tail = node;
             }
-            accum.push(JobAccum {
-                first_start,
-                finish,
-                segments,
-                carbon_g,
-                cost,
-                evictions,
-                remaining,
-                starts,
-            });
+            seg_head.push(head);
+            seg_tail.push(tail);
+            seg_count.push(n_segments as u32);
         }
-        let mut plan_decisions = Vec::with_capacity(n_jobs);
+        let mut plan = Vec::with_capacity(n_jobs);
         for _ in 0..n_jobs {
-            plan_decisions.push(match r.u8()? {
-                0 => None,
-                1 => Some(r.decision()?),
+            plan.push(match r.u8()? {
+                0 => PackedDecision::default(),
+                1 => {
+                    let decision = r.decision()?;
+                    arena.intern(&decision)
+                }
                 other => {
                     return Err(SnapshotError::Corrupt(format!(
                         "invalid plan-decision tag {other}"
@@ -749,6 +797,18 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             )));
         }
 
+        let mut queue = EventQueue::new();
+        queue.reserve(events.len());
+        for event in events {
+            queue.insert(event);
+        }
+        // The width histogram mirrors the waiter set; rebuild it rather
+        // than serializing redundant (and possibly inconsistent) state.
+        let mut waiter_widths = BTreeMap::new();
+        for &(_, job) in &waiters {
+            *waiter_widths.entry(jobs[job as usize].cpus).or_insert(0u32) += 1;
+        }
+
         Ok(OnlineEngine {
             config,
             carbon,
@@ -759,13 +819,30 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             profiler: None,
             jobs,
             pool,
-            heap: BinaryHeap::from(events),
+            queue,
             seq,
             now,
-            states,
-            accum,
+            tag,
+            wait,
+            plan,
+            arena,
+            run_option,
+            run_start,
+            run_aux,
+            run_seg,
+            first_start,
+            finish,
+            carbon_g: carbon_col,
+            cost,
+            evictions,
+            remaining,
+            starts,
+            seg_nodes,
+            seg_head,
+            seg_tail,
+            seg_count,
             waiters,
-            plan_decisions,
+            waiter_widths,
             elastic_busy,
             cap_queue,
             tick_scheduled,

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Engine benchmark: columnar OnlineEngine vs the pre-refactor per-event
+# oracle replaying identical decision streams on the year-scale grid.
+# Every timed replay doubles as a differential correctness check (the
+# two engines must produce equal SimReports). Writes BENCH_engine.json
+# at the repo root (release + debug sections merge across runs) and
+# fails (exit 1) outside quick mode if the geometric-mean speedup drops
+# below the committed regression floor. Pass --quick (or set
+# GAIA_BENCH_QUICK=1) for the CI smoke variant with a shrunken trace;
+# quick mode writes target/BENCH_engine.quick.json and skips the gates
+# but keeps the differential checks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin engine_bench
+
+./target/release/engine_bench "$@"

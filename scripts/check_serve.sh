@@ -7,7 +7,12 @@
 #     submission 500, is shut down, and is restored from the snapshot
 #     by a third daemon that takes submissions 501-1000;
 #  3. byte-compares the stitched interrupted response stream against
-#     the uninterrupted one — restore must be invisible on the wire.
+#     the uninterrupted one — restore must be invisible on the wire;
+#  4. kills (SIGKILL) a daemon that is snapshotting on every submission
+#     mid-stream and asserts the snapshot left on disk is complete: a
+#     fourth daemon must restore from it without error. Snapshots are
+#     fsynced and renamed into place, so no kill instant may expose
+#     partial bytes under the snapshot name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,3 +75,29 @@ shutdown_daemon
 cat "${WORK}/first.out" "${WORK}/second.out" > "${WORK}/stitched.out"
 cmp "${WORK}/reference.out" "${WORK}/stitched.out"
 echo "restored response stream is byte-identical ($(wc -l < "${WORK}/reference.out") responses)"
+
+echo "== crash run: SIGKILL mid-snapshot-storm, snapshot must stay whole"
+rm -f "${WORK}/serve.snap"
+start_daemon --snapshot-every 1
+# Stream submissions from a slow producer so the kill lands while the
+# daemon is busy persisting one snapshot per accepted submission.
+(
+  while IFS= read -r line; do printf '%s\n' "${line}"; done < "${WORK}/first.jsonl"
+) | "${GAIA}" serve --connect "${ADDR}" > /dev/null &
+CLIENT_PID=$!
+for _ in $(seq 1 500); do
+  [[ -f "${WORK}/serve.snap" ]] && break
+  sleep 0.01
+done
+[[ -f "${WORK}/serve.snap" ]] || { echo "no snapshot before the kill" >&2; exit 1; }
+kill -9 "${DAEMON_PID}"
+wait "${DAEMON_PID}" 2> /dev/null || true
+wait "${CLIENT_PID}" 2> /dev/null || true
+
+echo "== restore from the crash-interrupted snapshot"
+start_daemon --restore "${WORK}/serve.snap"
+echo '{"op":"stats"}' | "${GAIA}" serve --connect "${ADDR}" > "${WORK}/crash-stats.out"
+shutdown_daemon
+grep -q '"ok":true' "${WORK}/crash-stats.out" \
+  || { echo "restore after SIGKILL failed:" >&2; cat "${WORK}/crash-stats.out" >&2; exit 1; }
+echo "snapshot survived SIGKILL mid-storm and restored cleanly"
