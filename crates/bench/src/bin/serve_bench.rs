@@ -10,20 +10,28 @@
 //! therefore *is* the p99 planning latency at that backlog depth,
 //! including the worst case late in the run when 1M+ jobs are queued.
 //!
+//! Every round runs with the live telemetry hub attached — the daemon
+//! always serves in that shape — which doubles as a cross-check of the
+//! self-reported latency: the external per-`apply` stopwatch and the
+//! daemon's in-process log2 histogram must agree on p50/p99 to within
+//! one histogram bucket, or the telemetry is lying about the latency it
+//! exposes over `{"op":"metrics"}`.
+//!
 //! Writes `BENCH_serve.json` (override with `GAIA_BENCH_OUT`),
 //! re-parses it through `gaia_obs::json` as a schema self-check, and
 //! exits non-zero if sustained throughput or tail latency regress past
-//! the gates (full mode only). Quick mode (`--quick` or
-//! `GAIA_BENCH_QUICK=1`) shrinks the submission count for the CI smoke
-//! job and skips the gates.
+//! the gates (full mode only; the self-report cross-check gates in both
+//! modes). Quick mode (`--quick` or `GAIA_BENCH_QUICK=1`) shrinks the
+//! submission count for the CI smoke job and skips the perf gates.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use gaia_carbon::{PerfectForecaster, Region};
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_obs::NullSink;
 use gaia_serve::protocol::{Request, Response};
-use gaia_serve::Session;
+use gaia_serve::{ServeTelemetry, Session};
 use gaia_sim::{ClusterConfig, OnlineEngine};
 
 /// Full-mode gates: loose enough to absorb machine noise, tight enough
@@ -71,6 +79,24 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+/// Log2 bucket index of a latency in µs, mirroring the telemetry
+/// histogram's bucketing (bucket 0 is ≤ 1µs; bucket `i` covers
+/// `(2^(i-1), 2^i]`). Truncates to whole µs first — exactly what the
+/// daemon's `Instant::elapsed().as_micros()` hot path records — so the
+/// external sample is bucketed the way the histogram would have
+/// bucketed it. The cross-check compares bucket indexes, not raw
+/// values: the histogram's stated resolution is one bucket, so the
+/// external sample and the self-reported bound must land within one
+/// bucket of each other.
+fn log2_bucket(us: f64) -> i64 {
+    let v = us.max(0.0) as u64;
+    if v <= 1 {
+        0
+    } else {
+        i64::from(64 - (v - 1).leading_zeros())
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("GAIA_BENCH_QUICK")
@@ -100,6 +126,7 @@ fn main() -> std::process::ExitCode {
     let mut queued = 0;
     let mut snapshot_ms = 0.0;
     let mut snapshot_len = 0usize;
+    let mut best_hub: Option<Arc<ServeTelemetry>> = None;
     for round in 0..rounds {
         let mut sink = NullSink;
         let engine = OnlineEngine::new(&config, &carbon, &forecaster, &mut sink);
@@ -108,6 +135,11 @@ fn main() -> std::process::ExitCode {
         // (`gaia serve --expect-jobs`); the bench measures that
         // deployment shape, so no submission pays a column realloc.
         session.reserve_jobs(submissions as usize);
+        // The daemon always serves with the telemetry hub attached;
+        // measure that shape, and keep the hub for the self-report
+        // cross-check below.
+        let hub = Arc::new(ServeTelemetry::new());
+        session.attach_telemetry(Arc::clone(&hub));
 
         // 2000 submissions per sim-minute; week-long jobs, so nothing
         // finishes inside the bench horizon and the backlog only grows.
@@ -148,6 +180,7 @@ fn main() -> std::process::ExitCode {
         println!("serve_bench round {round}: {round_wall:.2}s, max {round_max:.1}us");
         if latencies_us.is_empty() || round_max < *latencies_us.last().expect("non-empty") {
             latencies_us = round_latencies;
+            best_hub = Some(Arc::clone(&hub));
         }
         wall_s = wall_s.min(round_wall);
 
@@ -169,8 +202,27 @@ fn main() -> std::process::ExitCode {
     let noise_floor_us = if quick { 0.0 } else { host_noise_floor_us() };
     let max_allowed_us = MAX_TAIL_SPIKE * p999 + 1.5 * noise_floor_us;
 
-    let pass =
-        quick || (per_sec >= MIN_SUBMITS_PER_SEC && p99 <= MAX_P99_US && max <= max_allowed_us);
+    // Self-report cross-check: the daemon's in-process histogram (what
+    // `{"op":"metrics"}` and `gaia top` show) must agree with the
+    // external stopwatch. The histogram answers quantiles as the
+    // covering bucket's upper bound, so agreement means "same log2
+    // bucket, ±1 bucket" — anything further apart is a real telemetry
+    // bug, not resolution.
+    let hub = best_hub.expect("at least one round ran");
+    let self_count = hub.submit_latency.count();
+    assert_eq!(
+        self_count, submissions,
+        "the in-process histogram must time every submission"
+    );
+    let self_p50 = hub.submit_latency.quantile_micros(0.50);
+    let self_p99 = hub.submit_latency.quantile_micros(0.99);
+    let p50_drift = (log2_bucket(self_p50 as f64) - log2_bucket(p50)).abs();
+    let p99_drift = (log2_bucket(self_p99 as f64) - log2_bucket(p99)).abs();
+    let self_check = p50_drift <= 1 && p99_drift <= 1;
+
+    let pass = self_check
+        && (quick
+            || (per_sec >= MIN_SUBMITS_PER_SEC && p99 <= MAX_P99_US && max <= max_allowed_us));
     println!(
         "serve_bench: {submissions} submissions in {wall_s:.2}s \
          ({per_sec:.0}/s), p50 {p50:.1}us p99 {p99:.1}us p99.9 {p999:.1}us \
@@ -181,6 +233,12 @@ fn main() -> std::process::ExitCode {
         if quick { ", quick mode" } else { "" },
         if pass { "" } else { " — GATE FAILED" },
     );
+    println!(
+        "serve_bench self-report: histogram p50 <= {self_p50}us p99 <= {self_p99}us \
+         vs external p50 {p50:.1}us p99 {p99:.1}us \
+         (bucket drift {p50_drift}/{p99_drift}, tolerance 1) — {}",
+        if self_check { "consistent" } else { "DIVERGED" },
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \
@@ -189,6 +247,9 @@ fn main() -> std::process::ExitCode {
          \"latency_us\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}, \
          \"p999\": {p999:.2}, \"max\": {max:.2}, \
          \"tail_spike\": {tail_spike:.2}}},\n  \
+         \"self_reported_us\": {{\"p50\": {self_p50}, \"p99\": {self_p99}, \
+         \"count\": {self_count}}},\n  \
+         \"self_check_pass\": {self_check},\n  \
          \"host_noise_floor_us\": {noise_floor_us:.1},\n  \
          \"max_allowed_us\": {max_allowed_us:.1},\n  \
          \"snapshot_ms\": {snapshot_ms:.2},\n  \
@@ -203,6 +264,8 @@ fn main() -> std::process::ExitCode {
         "queued_at_end",
         "submissions_per_sec",
         "latency_us",
+        "self_reported_us",
+        "self_check_pass",
         "pass",
     ] {
         assert!(parsed.get(key).is_some(), "bench JSON must carry {key:?}");

@@ -19,6 +19,7 @@ mod args;
 mod run;
 mod serve;
 mod sweep;
+mod top;
 mod trace;
 
 fn main() -> ExitCode {
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
             }
         },
         Some("serve") => serve::execute(&args[1..]),
+        Some("top") => top::execute(&args[1..]),
         Some("trace") => trace::execute(&args[1..]),
         // `gaia run` and the bare legacy interface share one flag set;
         // only the meaning of `--trace` differs (events path vs family).

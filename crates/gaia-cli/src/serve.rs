@@ -36,6 +36,17 @@ DAEMON OPTIONS:
     --trace <PATH>          stream JSONL trace events to this file
     --faults <FILE>         inject a JSON fault plan into the live service
 
+TELEMETRY OPTIONS:
+    --metrics-addr <ADDR>   serve the Prometheus text exposition over
+                            HTTP here (port 0 picks a free port)
+    --metrics-addr-file <PATH>
+                            write the bound metrics host:port here
+    --flight-capacity <N>   flight recorder ring size in frames
+                            (default 4096; 0 disables it)
+    --flight-dump <PATH>    where flight dumps land — the flight verb,
+                            SIGTERM, and panics all write here
+                            (default gaia-flight.jsonl)
+
 PROTOCOL (newline-delimited JSON, one response line per request):
     {\"op\":\"submit\",\"tenant\":\"acme\",\"at\":120,\"len\":60,\"cpus\":2}
     {\"op\":\"query\",\"job\":7}
@@ -43,7 +54,14 @@ PROTOCOL (newline-delimited JSON, one response line per request):
     {\"op\":\"stats\"}            (cluster)   {\"op\":\"stats\",\"tenant\":\"acme\"}
     {\"op\":\"drain\"}            run the engine until every job finishes
     {\"op\":\"snapshot\"}         write a snapshot now
+    {\"op\":\"metrics\"}          live telemetry JSON (what gaia top polls)
+    {\"op\":\"flight\"}           dump the flight recorder to --flight-dump
     {\"op\":\"shutdown\"}         stop the daemon
+
+On SIGTERM the daemon finishes the in-flight request, dumps the flight
+recorder, and exits cleanly. `metrics` and `flight` responses carry
+wall-clock data and are the only responses outside the byte-identity
+determinism contract.
 
 Submissions must arrive in nondecreasing `at` order; the daemon advances
 sim-time to each arrival and replans incrementally. Restoring a snapshot
@@ -129,6 +147,20 @@ fn parse(args: &[String]) -> Result<Mode, String> {
             "--restore" => options.restore = Some(PathBuf::from(value("--restore")?)),
             "--trace" => options.trace_path = Some(PathBuf::from(value("--trace")?)),
             "--faults" => options.faults = Some(PathBuf::from(value("--faults")?)),
+            "--metrics-addr" => {
+                options.metrics_addr = Some(value("--metrics-addr")?.to_string());
+            }
+            "--metrics-addr-file" => {
+                options.metrics_addr_file = Some(PathBuf::from(value("--metrics-addr-file")?));
+            }
+            "--flight-capacity" => {
+                options.flight_capacity = value("--flight-capacity")?
+                    .parse()
+                    .map_err(|_| "invalid --flight-capacity".to_owned())?;
+            }
+            "--flight-dump" => {
+                options.flight_dump = PathBuf::from(value("--flight-dump")?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -177,13 +209,16 @@ pub fn execute(args: &[String]) -> ExitCode {
                 }
             }
         }
-        Ok(Mode::Daemon(options)) => match gaia_serve::run(&options) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                gaia_obs::error!("{message}");
-                ExitCode::FAILURE
+        Ok(Mode::Daemon(options)) => {
+            install_sigterm_handler();
+            match gaia_serve::run(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    gaia_obs::error!("{message}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(message) => {
             gaia_obs::error!("{message}");
             gaia_obs::error!("run `gaia serve --help` for usage");
@@ -191,6 +226,30 @@ pub fn execute(args: &[String]) -> ExitCode {
         }
     }
 }
+
+/// Route SIGTERM to [`gaia_serve::request_termination`] so a daemon
+/// killed by its supervisor flushes telemetry and dumps the flight
+/// recorder instead of dying mid-request. The handler body only stores
+/// one atomic, which is async-signal-safe; the engine loop polls the
+/// flag between requests.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_sigterm(_signum: i32) {
+        gaia_serve::request_termination();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `signal` is the libc prototype; the handler is a plain
+    // `extern "C"` fn that touches nothing but an `AtomicBool`.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 #[cfg(test)]
 mod tests {
@@ -240,6 +299,14 @@ mod tests {
             "/tmp/old.snap",
             "--trace",
             "/tmp/t.jsonl",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-addr-file",
+            "/tmp/m.addr",
+            "--flight-capacity",
+            "1024",
+            "--flight-dump",
+            "/tmp/f.jsonl",
         ])) else {
             panic!("full flags parse");
         };
@@ -253,6 +320,22 @@ mod tests {
         assert_eq!(options.expect_jobs, Some(250_000));
         assert_eq!(options.snapshot_every, Some(500));
         assert_eq!(options.restore, Some(PathBuf::from("/tmp/old.snap")));
+        assert_eq!(options.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            options.metrics_addr_file,
+            Some(PathBuf::from("/tmp/m.addr"))
+        );
+        assert_eq!(options.flight_capacity, 1024);
+        assert_eq!(options.flight_dump, PathBuf::from("/tmp/f.jsonl"));
+    }
+
+    #[test]
+    fn telemetry_defaults_are_on() {
+        let Ok(Mode::Daemon(options)) = parse(&args(&[])) else {
+            panic!("defaults parse");
+        };
+        assert_eq!(options.flight_capacity, 4096, "flight recorder defaults on");
+        assert!(options.metrics_addr.is_none(), "HTTP exposition is opt-in");
     }
 
     #[test]
@@ -289,6 +372,10 @@ mod tests {
             "--trace",
             "--faults",
             "--connect",
+            "--metrics-addr",
+            "--metrics-addr-file",
+            "--flight-capacity",
+            "--flight-dump",
         ] {
             assert!(HELP.contains(flag), "{flag} missing from help");
         }

@@ -1,0 +1,401 @@
+//! The `gaia top` subcommand: a live terminal dashboard for a running
+//! `gaia serve` daemon.
+//!
+//! Polls the daemon's `metrics` protocol verb (the JSON body rendered
+//! by `gaia-serve`'s telemetry hub) over one persistent connection and
+//! redraws a compact dashboard in place: engine gauges, request
+//! counters, latency quantiles with a bucket sparkline, snapshot and
+//! flight-recorder state, and a per-tenant SLO table (carbon saved vs.
+//! cost premium against the carbon-agnostic baseline — the paper's core
+//! trade-off, live).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gaia_obs::json::{self, Value};
+
+/// Help text printed for `gaia top --help`.
+pub const HELP: &str = "\
+gaia top — live dashboard for a running gaia serve daemon
+
+USAGE:
+    gaia top --connect <ADDR> [OPTIONS]
+
+OPTIONS:
+    --connect <ADDR>      daemon address (host:port), e.g. from the
+                          daemon's --addr-file
+    --interval-ms <N>     poll interval in milliseconds (default 1000)
+    --iterations <N>      exit after N refreshes (default: run until
+                          interrupted or the daemon goes away)
+    --plain               print one frame per poll instead of redrawing
+                          the terminal in place (for logs and scripts)
+
+Each refresh sends {\"op\":\"metrics\"} and renders the reply: sim clock
+and job gauges, per-verb request counts, submit/request latency
+quantiles with a log2-bucket sparkline, snapshot and flight-recorder
+state, and per-tenant carbon-saved / cost-premium fractions relative to
+the run-immediately on-demand baseline.
+
+EXIT CODES:
+    0  completed the requested iterations (or clean interrupt)
+    1  usage error, connection failure, or a malformed daemon reply
+";
+
+struct TopOptions {
+    connect: String,
+    interval: Duration,
+    iterations: Option<u64>,
+    plain: bool,
+}
+
+fn parse(args: &[String]) -> Result<Option<TopOptions>, String> {
+    let mut connect = None;
+    let mut interval_ms = 1000u64;
+    let mut iterations = None;
+    let mut plain = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--connect" => connect = Some(value("--connect")?.to_string()),
+            "--interval-ms" => {
+                interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --interval-ms".to_owned())?;
+            }
+            "--iterations" => {
+                let n: u64 = value("--iterations")?
+                    .parse()
+                    .map_err(|_| "invalid --iterations".to_owned())?;
+                if n == 0 {
+                    return Err("--iterations must be positive".into());
+                }
+                iterations = Some(n);
+            }
+            "--plain" => plain = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let connect = connect.ok_or("gaia top needs --connect <ADDR>")?;
+    Ok(Some(TopOptions {
+        connect,
+        interval: Duration::from_millis(interval_ms),
+        iterations,
+        plain,
+    }))
+}
+
+/// Runs the subcommand on the arguments following `gaia top`.
+pub fn execute(args: &[String]) -> ExitCode {
+    let options = match parse(args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            gaia_obs::error!("{message}");
+            gaia_obs::error!("run `gaia top --help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            gaia_obs::error!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(options: &TopOptions) -> Result<(), String> {
+    let addr = &options.connect;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone the connection: {e}"))?;
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut shown = 0u64;
+    loop {
+        writer
+            .write_all(b"{\"op\":\"metrics\"}\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot poll {addr}: {e}"))?;
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read from {addr}: {e}"))?;
+        if n == 0 {
+            return Err(format!("the daemon at {addr} closed the connection"));
+        }
+        let reply =
+            json::parse(line.trim_end()).map_err(|e| format!("malformed metrics reply: {e}"))?;
+        let body = reply
+            .get("data")
+            .ok_or("metrics reply carries no data (is the daemon telemetry-enabled?)")?;
+        let frame = render(addr, body);
+        if options.plain {
+            println!("{frame}");
+        } else {
+            // Clear + home; the frame repaints the whole screen area it
+            // uses, so stale rows never linger.
+            print!("\x1b[2J\x1b[H{frame}");
+        }
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if options.iterations.is_some_and(|total| shown >= total) {
+            if !options.plain {
+                println!();
+            }
+            return Ok(());
+        }
+        std::thread::sleep(options.interval);
+    }
+}
+
+fn u(value: &Value, key: &str) -> u64 {
+    value.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn f(value: &Value, key: &str) -> f64 {
+    value.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}\u{b5}s")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+fn fmt_pct(value: Option<&Value>) -> String {
+    match value.and_then(Value::as_f64) {
+        Some(frac) => format!("{:+.1}%", frac * 100.0),
+        None => "—".into(),
+    }
+}
+
+/// Unicode sparkline over the non-empty log2 latency buckets
+/// (`[[le_us, count], ...]`), tallest bucket normalized to a full
+/// block.
+fn sparkline(buckets: &Value) -> String {
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let Value::Arr(entries) = buckets else {
+        return String::new();
+    };
+    let counts: Vec<u64> = entries
+        .iter()
+        .filter_map(|pair| match pair {
+            Value::Arr(kv) if kv.len() == 2 => kv[1].as_u64(),
+            _ => None,
+        })
+        .collect();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return String::new();
+    }
+    counts
+        .iter()
+        .map(|&n| BARS[((n * (BARS.len() as u64 - 1)).div_ceil(max)) as usize])
+        .collect()
+}
+
+fn render(addr: &str, body: &Value) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "gaia top \u{2014} {addr}   uptime {:.1}s\n\n",
+        f(body, "uptime_s")
+    ));
+    if let Some(engine) = body.get("engine") {
+        out.push_str(&format!(
+            "engine    t={} min   submitted {}  completed {}  queued {}  cancelled {}\n",
+            u(engine, "t"),
+            u(engine, "submitted"),
+            u(engine, "completed"),
+            u(engine, "queued"),
+            u(engine, "cancelled"),
+        ));
+        out.push_str(&format!(
+            "          pending events {}   degraded {}\n",
+            u(engine, "pending_events"),
+            if u(engine, "degraded") == 1 {
+                "YES"
+            } else {
+                "no"
+            },
+        ));
+    }
+    if let Some(requests) = body.get("requests") {
+        out.push_str(&format!(
+            "requests  submit {}  query {}  cancel {}  stats {}  drain {}  errors {}\n",
+            u(requests, "submit"),
+            u(requests, "query"),
+            u(requests, "cancel"),
+            u(requests, "stats"),
+            u(requests, "drain"),
+            u(requests, "errors"),
+        ));
+    }
+    if let Some(latency) = body.get("latency_us") {
+        for (label, key) in [("submit", "submit"), ("request", "request")] {
+            if let Some(hist) = latency.get(key) {
+                out.push_str(&format!(
+                    "{label:<9} p50 {:>7}  p90 {:>7}  p99 {:>7}  (n={})\n",
+                    fmt_us(u(hist, "p50")),
+                    fmt_us(u(hist, "p90")),
+                    fmt_us(u(hist, "p99")),
+                    u(hist, "count"),
+                ));
+            }
+        }
+    }
+    if let Some(buckets) = body.get("submit_latency_buckets") {
+        let line = sparkline(buckets);
+        if !line.is_empty() {
+            out.push_str(&format!("submit latency buckets  {line}\n"));
+        }
+    }
+    if let Some(snapshot) = body.get("snapshot") {
+        out.push_str(&format!(
+            "snapshot  seq {}  bytes {}\n",
+            u(snapshot, "seq"),
+            u(snapshot, "bytes"),
+        ));
+    }
+    if let Some(flight) = body.get("flight") {
+        out.push_str(&format!(
+            "flight    {}/{} frame(s) retained, {} recorded\n",
+            u(flight, "len"),
+            u(flight, "capacity"),
+            u(flight, "recorded"),
+        ));
+    }
+    if let Some(Value::Arr(tenants)) = body.get("tenants") {
+        if !tenants.is_empty() {
+            out.push_str(&format!(
+                "\n{:<12} {:>6} {:>10} {:>10} {:>8} {:>9} {:>8} {:>9} {:>8}\n",
+                "TENANT",
+                "DONE",
+                "CARBON g",
+                "BASE g",
+                "SAVED",
+                "COST $",
+                "BASE $",
+                "PREMIUM",
+                "WAITp50"
+            ));
+            for tenant in tenants {
+                out.push_str(&format!(
+                    "{:<12} {:>6} {:>10.1} {:>10.1} {:>8} {:>9.3} {:>8.3} {:>9} {:>7.1}h\n",
+                    tenant.get("name").and_then(Value::as_str).unwrap_or("?"),
+                    u(tenant, "completed"),
+                    f(tenant, "carbon_g"),
+                    f(tenant, "baseline_carbon_g"),
+                    fmt_pct(tenant.get("carbon_saved_frac")),
+                    f(tenant, "cost_usd"),
+                    f(tenant, "baseline_cost_usd"),
+                    fmt_pct(tenant.get("cost_premium_frac")),
+                    f(tenant, "wait_p50_h"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_requires_connect() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["--iterations", "0"])).is_err());
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+        let parsed = parse(&args(&[
+            "--connect",
+            "127.0.0.1:1",
+            "--interval-ms",
+            "50",
+            "--iterations",
+            "2",
+            "--plain",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.connect, "127.0.0.1:1");
+        assert_eq!(parsed.interval, Duration::from_millis(50));
+        assert_eq!(parsed.iterations, Some(2));
+        assert!(parsed.plain);
+    }
+
+    #[test]
+    fn render_shows_engine_requests_and_tenants() {
+        let body = json::parse(
+            r#"{"uptime_s":1.5,
+                "requests":{"submit":10,"query":2,"cancel":0,"stats":1,"drain":0,"snapshot":0,"metrics":3,"flight":0,"shutdown":0,"errors":1},
+                "latency_us":{"submit":{"count":10,"sum_us":1000,"p50":64,"p90":128,"p99":2048},
+                              "request":{"count":16,"sum_us":1200,"p50":32,"p90":128,"p99":1024}},
+                "submit_latency_buckets":[[64,6],[128,3],[2048,1]],
+                "engine":{"t":240,"submitted":10,"completed":7,"cancelled":0,"queued":3,"pending_events":2,"degraded":0},
+                "snapshot":{"seq":2,"bytes":4096},
+                "flight":{"len":40,"capacity":4096,"recorded":40},
+                "tenants":[{"name":"acme","completed":7,"carbon_g":70.0,"baseline_carbon_g":100.0,
+                            "carbon_saved_frac":0.3,"cost_usd":1.1,"baseline_cost_usd":1.0,
+                            "cost_premium_frac":0.1,"wait_p50_h":1.5,"stretch_p50":1.2}]}"#,
+        )
+        .unwrap();
+        let frame = render("127.0.0.1:9", &body);
+        assert!(frame.contains("t=240 min"), "{frame}");
+        assert!(frame.contains("submit 10"), "{frame}");
+        assert!(frame.contains("p50    64\u{b5}s"), "{frame}");
+        assert!(frame.contains("acme"), "{frame}");
+        assert!(frame.contains("+30.0%"), "{frame}");
+        assert!(frame.contains("+10.0%"), "{frame}");
+        assert!(frame.contains("seq 2"), "{frame}");
+        assert!(frame.contains("40/4096"), "{frame}");
+        // Sparkline: three occupied buckets, tallest normalized to █.
+        assert!(frame.contains('\u{2588}'), "{frame}");
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_tallest_bucket() {
+        let buckets = json::parse("[[64,8],[128,4],[256,1]]").unwrap();
+        let line = sparkline(&buckets);
+        assert_eq!(line.chars().count(), 3);
+        assert_eq!(line.chars().next(), Some('\u{2588}'));
+    }
+
+    #[test]
+    fn formats_are_humane() {
+        assert_eq!(fmt_us(12), "12\u{b5}s");
+        assert_eq!(fmt_us(1_500), "1.5ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+        assert_eq!(fmt_pct(None), "\u{2014}");
+    }
+
+    #[test]
+    fn help_mentions_every_flag() {
+        for flag in ["--connect", "--interval-ms", "--iterations", "--plain"] {
+            assert!(HELP.contains(flag), "{flag} missing from help");
+        }
+    }
+}

@@ -1,10 +1,13 @@
 //! The `gaia trace` subcommand: offline analysis of JSONL event traces
-//! written by `gaia run --trace` or `gaia sweep --trace-dir`.
+//! written by `gaia run --trace` or `gaia sweep --trace-dir`, live
+//! tailing of a growing trace, and flight-recorder dump validation.
 
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{self, BufRead, BufReader};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use gaia_obs::SummaryStream;
 use gaia_sim::TraceSummary;
 
 /// Help text printed for `gaia trace --help`.
@@ -12,7 +15,13 @@ pub const HELP: &str = "\
 gaia trace — analyze JSONL event traces
 
 USAGE:
-    gaia trace summarize <events.jsonl>
+    gaia trace summarize <events.jsonl>      one-shot summary
+    gaia trace summarize -                   summarize stdin
+    gaia trace summarize --follow <PATH|->   tail a growing trace,
+                                             re-rendering the summary as
+                                             lines arrive
+    gaia trace flight <dump.jsonl>           validate a flight-recorder
+                                             dump (gaia serve --flight-*)
 
 Reads a trace written by `gaia run --trace <PATH>` (or one per-cell file
 from `gaia sweep --trace-dir <DIR>`), validates the stream (monotone
@@ -21,10 +30,27 @@ lifecycle events), and prints deterministic aggregate statistics: job,
 plan, segment, and eviction counts, waiting-time totals and breakdown,
 and per-pool segment usage.
 
+With --follow on a file, the summary is re-rendered whenever appended
+lines are observed (polled; partial tail lines are held until their
+newline arrives) and the command runs until interrupted. With --follow
+on stdin (-), a final summary is rendered at EOF and the command exits.
+Mid-stream renders report open segments as issues — they disappear once
+the matching finish events arrive.
+
+`gaia trace flight` checks a flight-recorder dump line by line: every
+frame must carry the fixed fields (wall_us, ev, t, job, aux), and
+wall-clock stamps must be nondecreasing (frames are dumped oldest
+first).
+
 EXIT CODES:
     0  trace parsed and every stream check passed
     1  usage or I/O error, a malformed line, or a failed stream check
 ";
+
+/// How often `--follow` polls a file for appended bytes.
+const FOLLOW_POLL: Duration = Duration::from_millis(200);
+/// Follow mode renders at most this often while lines keep arriving.
+const FOLLOW_RENDER_EVERY: Duration = Duration::from_millis(500);
 
 /// Runs the subcommand on the arguments following `gaia trace`.
 pub fn execute(args: &[String]) -> ExitCode {
@@ -38,6 +64,7 @@ pub fn execute(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("summarize") => summarize(&args[1..]),
+        Some("flight") => flight(&args[1..]),
         Some(other) => {
             gaia_obs::error!("unknown trace subcommand {other:?}");
             gaia_obs::error!("run `gaia trace --help` for usage");
@@ -47,8 +74,132 @@ pub fn execute(args: &[String]) -> ExitCode {
 }
 
 fn summarize(args: &[String]) -> ExitCode {
+    let mut follow = false;
+    let mut path: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--follow" | "-f" => follow = true,
+            other if (other == "-" || !other.starts_with('-')) && path.is_none() => {
+                path = Some(other);
+            }
+            other => {
+                gaia_obs::error!("unexpected argument {other:?}");
+                gaia_obs::error!("usage: gaia trace summarize [--follow] <events.jsonl | ->");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        gaia_obs::error!("usage: gaia trace summarize [--follow] <events.jsonl | ->");
+        return ExitCode::FAILURE;
+    };
+    match (follow, path) {
+        (false, "-") => {
+            let stdin = io::stdin();
+            finish_summary(TraceSummary::from_jsonl(stdin.lock()), "stdin")
+        }
+        (false, path) => match File::open(path) {
+            Ok(file) => finish_summary(TraceSummary::from_jsonl(BufReader::new(file)), path),
+            Err(error) => {
+                gaia_obs::error!("cannot open {path}: {error}");
+                ExitCode::FAILURE
+            }
+        },
+        (true, "-") => {
+            let stdin = io::stdin();
+            follow_stream(stdin.lock(), true, "stdin")
+        }
+        (true, path) => match File::open(path) {
+            Ok(file) => follow_stream(BufReader::new(file), false, path),
+            Err(error) => {
+                gaia_obs::error!("cannot open {path}: {error}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn finish_summary(summary: Result<TraceSummary, String>, source: &str) -> ExitCode {
+    match summary {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            if summary.issues.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(error) => {
+            gaia_obs::error!("cannot parse {source}: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tail a trace stream. On a file (`ends_at_eof == false`) EOF means
+/// "no new data yet": render whatever is pending and poll again. On
+/// stdin EOF is final: render and return. A line flushed halfway by the
+/// writer is held in `partial` until its newline arrives.
+fn follow_stream<R: BufRead>(mut reader: R, ends_at_eof: bool, source: &str) -> ExitCode {
+    let mut stream = SummaryStream::new();
+    let mut partial = String::new();
+    let mut chunk = String::new();
+    let mut pending = true; // render once even for an empty stream
+    let mut last_render: Option<Instant> = None;
+    loop {
+        chunk.clear();
+        match reader.read_line(&mut chunk) {
+            Ok(0) => {
+                if pending {
+                    render_follow(&stream);
+                    last_render = Some(Instant::now());
+                    pending = false;
+                }
+                if ends_at_eof {
+                    return if stream.summary().issues.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    };
+                }
+                std::thread::sleep(FOLLOW_POLL);
+            }
+            Ok(_) => {
+                partial.push_str(&chunk);
+                if !partial.ends_with('\n') {
+                    continue;
+                }
+                if let Err(error) = stream.push_line(partial.trim_end()) {
+                    gaia_obs::error!("cannot parse {source}: {error}");
+                    return ExitCode::FAILURE;
+                }
+                partial.clear();
+                pending = true;
+                if last_render.is_none_or(|at| at.elapsed() >= FOLLOW_RENDER_EVERY) {
+                    render_follow(&stream);
+                    last_render = Some(Instant::now());
+                    pending = false;
+                }
+            }
+            Err(error) => {
+                gaia_obs::error!("read error on {source}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+fn render_follow(stream: &SummaryStream) {
+    println!("=== {} line(s) ===", stream.lines());
+    print!("{}", stream.summary().render());
+    println!();
+}
+
+/// Validate a flight-recorder dump: JSONL, fixed frame fields, and
+/// nondecreasing wall-clock stamps (dumps are oldest-first).
+fn flight(args: &[String]) -> ExitCode {
     let [path] = args else {
-        gaia_obs::error!("usage: gaia trace summarize <events.jsonl>");
+        gaia_obs::error!("usage: gaia trace flight <dump.jsonl>");
         return ExitCode::FAILURE;
     };
     let file = match File::open(path) {
@@ -58,15 +209,72 @@ fn summarize(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let summary = match TraceSummary::from_jsonl(BufReader::new(file)) {
-        Ok(summary) => summary,
-        Err(error) => {
-            gaia_obs::error!("cannot parse {path}: {error}");
-            return ExitCode::FAILURE;
+    let mut frames = 0u64;
+    let mut issues = 0u64;
+    let mut first_us = None;
+    let mut last_us: Option<u64> = None;
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                gaia_obs::error!("read error on line {}: {error}", idx + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
         }
+        let value = match gaia_obs::json::parse(&line) {
+            Ok(value) => value,
+            Err(error) => {
+                gaia_obs::error!("line {}: not JSON: {error}", idx + 1);
+                issues += 1;
+                continue;
+            }
+        };
+        frames += 1;
+        let wall_us = value.get("wall_us").and_then(|v| v.as_u64());
+        if wall_us.is_none() {
+            gaia_obs::error!("line {}: missing or non-integer wall_us", idx + 1);
+            issues += 1;
+        }
+        if value
+            .get("ev")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .is_empty()
+        {
+            gaia_obs::error!("line {}: missing event name (ev)", idx + 1);
+            issues += 1;
+        }
+        for key in ["t", "job", "aux"] {
+            if value.get(key).and_then(|v| v.as_u64()).is_none() {
+                gaia_obs::error!("line {}: missing or non-integer {key}", idx + 1);
+                issues += 1;
+            }
+        }
+        if let Some(us) = wall_us {
+            if first_us.is_none() {
+                first_us = Some(us);
+            }
+            if let Some(last) = last_us {
+                if us < last {
+                    gaia_obs::error!(
+                        "line {}: wall_us {us} decreases after {last} (dumps are oldest-first)",
+                        idx + 1
+                    );
+                    issues += 1;
+                }
+            }
+            last_us = Some(us);
+        }
+    }
+    let span_ms = match (first_us, last_us) {
+        (Some(first), Some(last)) => (last.saturating_sub(first)) as f64 / 1e3,
+        _ => 0.0,
     };
-    print!("{}", summary.render());
-    if summary.issues.is_empty() {
+    println!("flight dump: {frames} frame(s), {span_ms:.1} ms wall span, {issues} issue(s)");
+    if issues == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

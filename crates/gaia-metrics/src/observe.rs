@@ -1,26 +1,18 @@
 //! Feeds simulation reports into the [`gaia_obs`] metrics registry.
 //!
-//! One call per completed run records the counters and fixed-bucket
-//! histograms the sweep pipeline snapshots into `metrics.json`. All
-//! bucket bounds are compile-time constants, so the snapshot layout is
-//! stable across runs and worker counts.
+//! One call per completed run records the counters and log2-bucketed
+//! histograms the sweep pipeline snapshots into `metrics.json`. The
+//! bucket scheme is fixed (see [`gaia_obs::metrics`]), so the snapshot
+//! layout is stable across runs and worker counts.
 
 use gaia_obs::MetricsRegistry;
 use gaia_sim::SimReport;
 
-/// Wait-time histogram bounds, hours.
-pub const WAIT_HOURS_BOUNDS: [f64; 5] = [1.0, 4.0, 12.0, 24.0, 48.0];
-
-/// Job-length histogram bounds, hours.
-pub const JOB_LENGTH_HOURS_BOUNDS: [f64; 5] = [0.5, 1.0, 2.0, 6.0, 24.0];
-
-/// Carbon-per-job histogram bounds, grams CO₂eq.
-pub const CARBON_PER_JOB_G_BOUNDS: [f64; 5] = [100.0, 500.0, 2000.0, 10000.0, 50000.0];
-
 /// Records one run's outcomes into `registry`.
 ///
 /// Counters (`sim.jobs`, `sim.evictions`, `sim.segments`) accumulate
-/// across calls; the histograms observe one sample per job.
+/// across calls; the histograms observe one sample per job — waits and
+/// lengths in hours, carbon in grams CO₂eq.
 pub fn observe_report(registry: &MetricsRegistry, report: &SimReport) {
     registry.counter("sim.jobs").add(report.totals.jobs as u64);
     registry
@@ -29,9 +21,9 @@ pub fn observe_report(registry: &MetricsRegistry, report: &SimReport) {
     let segments: u64 = report.jobs.iter().map(|j| j.segments.len() as u64).sum();
     registry.counter("sim.segments").add(segments);
 
-    let wait = registry.histogram("sim.wait_hours", &WAIT_HOURS_BOUNDS);
-    let length = registry.histogram("sim.job_length_hours", &JOB_LENGTH_HOURS_BOUNDS);
-    let carbon = registry.histogram("sim.carbon_per_job_g", &CARBON_PER_JOB_G_BOUNDS);
+    let wait = registry.histogram("sim.wait_hours");
+    let length = registry.histogram("sim.job_length_hours");
+    let carbon = registry.histogram("sim.carbon_per_job_g");
     for job in &report.jobs {
         wait.observe(job.waiting.as_hours_f64());
         length.observe(job.job.length.as_hours_f64());
@@ -61,14 +53,14 @@ mod tests {
             registry.counter("sim.jobs").get(),
             report.totals.jobs as u64
         );
-        let wait = registry.histogram("sim.wait_hours", &WAIT_HOURS_BOUNDS);
+        let wait = registry.histogram("sim.wait_hours");
         assert_eq!(wait.count(), report.jobs.len() as u64);
         let report_wait_hours: f64 = report.jobs.iter().map(|j| j.waiting.as_hours_f64()).sum();
-        // The histogram stores milli-unit fixed point; match to that
+        // The histogram stores micro-unit fixed point; match to that
         // resolution (per-observation rounding, so tolerance scales
         // with the number of jobs).
         assert!(
-            (wait.sum() - report_wait_hours).abs() < 0.001 * report.jobs.len() as f64,
+            (wait.sum() - report_wait_hours).abs() < 1e-6 * report.jobs.len() as f64,
             "{} vs {report_wait_hours}",
             wait.sum()
         );
@@ -91,7 +83,7 @@ mod tests {
             registry.counter("sim.jobs").get(),
             2 * report.totals.jobs as u64
         );
-        let length = registry.histogram("sim.job_length_hours", &JOB_LENGTH_HOURS_BOUNDS);
+        let length = registry.histogram("sim.job_length_hours");
         assert_eq!(length.count(), 2 * report.jobs.len() as u64);
     }
 }

@@ -14,9 +14,17 @@
 //!   tracing costs nothing. [`JsonlSink`] serializes one JSON object
 //!   per line; [`CountingSink`] and [`VecSink`] support tests and
 //!   overhead benches.
+//! * **Flight recorder** ([`flight`]) — a fixed-capacity ring
+//!   ([`FlightRecorder`]) retaining the last N events with wall-clock
+//!   capture stamps, fed by wrapping any sink in a [`FlightSink`]
+//!   (writer-local buffering, one amortized clock read and one ring
+//!   push per request). The serving daemon dumps it to JSONL on
+//!   demand, on SIGTERM, and from a panic hook — a post-mortem trace
+//!   without paying for full tracing.
 //! * **Metrics** ([`metrics`]) — a registry of named monotonic counters
-//!   and fixed-bucket histograms. Sums are accumulated in fixed-point
-//!   so totals are independent of observation order, which makes the
+//!   and log2-bucketed, mergeable, quantile-queryable histograms
+//!   ([`Histogram`]). Sums are accumulated in fixed-point so totals
+//!   are independent of observation order, which makes the
 //!   [`MetricsRegistry::snapshot_json`] output byte-identical for any
 //!   sweep worker count.
 //! * **Self-profiling** ([`profile`]) — scoped [`TimerGuard`] phase
@@ -56,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -64,7 +73,8 @@ pub mod sink;
 pub mod trace_summary;
 
 pub use event::{CacheKind, Event, PlanMode, PoolKind};
+pub use flight::{FlightFrame, FlightRecorder, FlightSink};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use profile::{Profiler, TimerGuard};
 pub use sink::{CountingSink, EmitSink, JsonlSink, NullSink, SharedSink, Sink, VecSink};
-pub use trace_summary::TraceSummary;
+pub use trace_summary::{SummaryStream, TraceSummary};

@@ -26,6 +26,12 @@ pub trait Sink {
 
     /// Deliver one event.
     fn emit(&mut self, event: &Event);
+
+    /// A request/batch boundary: a good moment to flush writer-local
+    /// buffers to shared or durable destinations. The serving layer
+    /// calls this once per applied request; sinks without buffers keep
+    /// the default no-op. Must be cheap when there is nothing to flush.
+    fn sync(&mut self) {}
 }
 
 /// The disabled sink: all instrumentation compiles out.
@@ -174,6 +180,18 @@ impl<W: Write> Sink for JsonlSink<W> {
             Err(err) => self.error = Some(err),
         }
     }
+
+    /// Flush buffered lines so `tail`-style consumers (`gaia trace
+    /// summarize --follow`) see complete events at request boundaries.
+    /// Errors stay sticky, surfaced by [`JsonlSink::finish`].
+    fn sync(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(err) = self.writer.flush() {
+            self.error = Some(err);
+        }
+    }
 }
 
 /// Object-safe subset of [`Sink`] for dynamic dispatch.
@@ -184,11 +202,18 @@ impl<W: Write> Sink for JsonlSink<W> {
 pub trait EmitSink {
     /// Deliver one event.
     fn emit_event(&mut self, event: &Event);
+
+    /// Forward of [`Sink::sync`] for trait objects.
+    fn sync_events(&mut self);
 }
 
 impl<S: Sink> EmitSink for S {
     fn emit_event(&mut self, event: &Event) {
         self.emit(event);
+    }
+
+    fn sync_events(&mut self) {
+        self.sync();
     }
 }
 
@@ -221,6 +246,14 @@ impl Sink for SharedSink {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         guard.emit_event(event);
+    }
+
+    fn sync(&mut self) {
+        let mut guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.sync_events();
     }
 }
 

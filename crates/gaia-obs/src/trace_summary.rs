@@ -215,7 +215,59 @@ impl TraceSummary {
     }
 }
 
-#[derive(Debug, Default)]
+/// Incremental summarizer for live tailing (`gaia trace summarize
+/// --follow`): feed lines (or events) as they are appended and render
+/// an up-to-date [`TraceSummary`] at any point, without re-reading the
+/// stream from the start.
+///
+/// [`SummaryStream::summary`] finalizes a *copy* of the running state,
+/// so end-of-stream checks (unmatched segment starts, completions
+/// without submissions) reflect "if the stream ended here" — on a live
+/// trace an open segment is expected mid-run and disappears from the
+/// next render once its finish event arrives.
+#[derive(Debug, Default, Clone)]
+pub struct SummaryStream {
+    builder: Builder,
+    lines: u64,
+}
+
+impl SummaryStream {
+    /// Empty stream; equivalent to `SummaryStream::default()`.
+    pub fn new() -> Self {
+        SummaryStream::default()
+    }
+
+    /// Parse and absorb one JSONL line. Blank lines are skipped (and
+    /// not counted); a malformed line is an error and absorbs nothing.
+    pub fn push_line(&mut self, line: &str) -> Result<(), String> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let event = Event::from_json_line(line)?;
+        self.lines += 1;
+        self.builder.push(&event);
+        Ok(())
+    }
+
+    /// Absorb one already-parsed event.
+    pub fn push_event(&mut self, event: &Event) {
+        self.lines += 1;
+        self.builder.push(event);
+    }
+
+    /// Non-blank lines (or events) absorbed so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Summary of everything absorbed so far, with end-of-stream checks
+    /// applied as if the stream ended here.
+    pub fn summary(&self) -> TraceSummary {
+        self.builder.clone().finish()
+    }
+}
+
+#[derive(Debug, Default, Clone)]
 struct Builder {
     summary: TraceSummary,
     jobs: BTreeMap<u64, JobState>,
@@ -422,6 +474,45 @@ mod tests {
         assert_eq!(summary.wait_buckets, vec![1, 0, 0, 0, 0, 0]);
         assert_eq!(summary.first_t, Some(0));
         assert_eq!(summary.last_t, Some(110));
+    }
+
+    #[test]
+    fn summary_stream_matches_batch_and_is_resumable() {
+        let events = well_formed();
+        let mut stream = SummaryStream::new();
+        // Mid-stream render: the open segment shows up as an issue now…
+        for ev in &events[..3] {
+            stream.push_event(ev);
+        }
+        let midway = stream.summary();
+        assert!(
+            midway
+                .issues
+                .iter()
+                .any(|i| i.contains("unmatched segment")),
+            "{:?}",
+            midway.issues
+        );
+        // …and is gone once the rest of the stream arrives.
+        for ev in &events[3..] {
+            stream.push_event(ev);
+        }
+        assert_eq!(stream.lines(), events.len() as u64);
+        let done = stream.summary();
+        assert!(done.issues.is_empty(), "{:?}", done.issues);
+        assert_eq!(done.render(), TraceSummary::from_events(&events).render());
+    }
+
+    #[test]
+    fn summary_stream_accepts_lines_and_skips_blanks() {
+        let mut stream = SummaryStream::new();
+        stream
+            .push_line(&Event::SpotEvicted { t: 5, job: 1 }.to_json_line())
+            .unwrap();
+        stream.push_line("   ").unwrap();
+        assert!(stream.push_line("{not json").is_err());
+        assert_eq!(stream.lines(), 1);
+        assert_eq!(stream.summary().evictions, 1);
     }
 
     #[test]

@@ -13,14 +13,24 @@
 //! demand. `--restore FILE` boots from a snapshot instead of an empty
 //! session; replaying the remaining submission log then produces
 //! responses and trace events byte-identical to an uninterrupted run.
+//!
+//! Telemetry: every daemon carries a [`ServeTelemetry`] hub and (unless
+//! `--flight-capacity 0`) a [`FlightRecorder`] ring wrapped around the
+//! trace sink. The `metrics` verb returns the hub's JSON body, the
+//! `flight` verb dumps the ring, `--metrics-addr` serves the Prometheus
+//! text exposition over HTTP, and SIGTERM (via
+//! [`request_termination`]) or a panic dumps the ring before the
+//! process exits. All of it is out-of-band: responses, trace events,
+//! and snapshots are byte-identical with telemetry on or off.
 
 use std::fs;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex, Once};
 use std::thread;
+use std::time::Duration;
 
 use gaia_carbon::synth::synthesize_region;
 use gaia_carbon::{
@@ -28,11 +38,13 @@ use gaia_carbon::{
 };
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_fault::{FaultPlan, FaultSchedule};
-use gaia_obs::{JsonlSink, NullSink, Sink};
+use gaia_obs::flight::wall_micros;
+use gaia_obs::{FlightRecorder, FlightSink, JsonlSink, NullSink, Sink};
 use gaia_sim::{ClusterConfig, OnlineEngine};
 
 use crate::protocol::{Request, Response};
 use crate::session::Session;
+use crate::telemetry::ServeTelemetry;
 
 /// Configuration for one daemon run.
 #[derive(Debug, Clone)]
@@ -67,6 +79,18 @@ pub struct ServeOptions {
     /// no submission inside the reservation ever pays a column
     /// reallocation; growth beyond it stays amortized-doubling.
     pub expect_jobs: Option<usize>,
+    /// Serve the Prometheus text exposition over HTTP here (port 0
+    /// picks a free port; see [`ServeOptions::metrics_addr_file`]).
+    pub metrics_addr: Option<String>,
+    /// Write the bound metrics address (`host:port` + newline) here
+    /// once the exposition endpoint is listening.
+    pub metrics_addr_file: Option<PathBuf>,
+    /// Flight recorder ring capacity, frames; 0 disables recording
+    /// (the sink is then not wrapped at all).
+    pub flight_capacity: usize,
+    /// Where flight dumps land — the `flight` verb, SIGTERM, and the
+    /// panic hook all write here.
+    pub flight_dump: PathBuf,
 }
 
 impl Default for ServeOptions {
@@ -84,8 +108,81 @@ impl Default for ServeOptions {
             addr_file: None,
             faults: None,
             expect_jobs: None,
+            metrics_addr: None,
+            metrics_addr_file: None,
+            flight_capacity: 4096,
+            flight_dump: PathBuf::from("gaia-flight.jsonl"),
         }
     }
+}
+
+/// Set when the process wants the daemon to stop (e.g. from a SIGTERM
+/// handler); polled by the engine loop between requests.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Ask the running daemon to shut down gracefully: finish the in-flight
+/// request, dump the flight recorder, and stop accepting.
+///
+/// Only touches one atomic, so it is safe to call from a signal
+/// handler. [`run`] clears the flag on entry, so a request left over
+/// from an earlier run never kills a new one.
+pub fn request_termination() {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+fn termination_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// What the process-wide panic hook dumps: armed by [`run`], disarmed
+/// when it returns, `take`n by the first panic so a cascade of panics
+/// dumps once.
+#[allow(clippy::type_complexity)]
+static PANIC_DUMP: Mutex<Option<(Arc<FlightRecorder>, PathBuf)>> = Mutex::new(None);
+static PANIC_HOOK: Once = Once::new();
+
+fn arm_panic_dump(recorder: &Arc<FlightRecorder>, path: &Path) {
+    *PANIC_DUMP
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) =
+        Some((Arc::clone(recorder), path.to_path_buf()));
+    // The hook itself is installed once per process and chains the
+    // previous hook; which recorder (if any) it dumps is re-armed per
+    // `run`.
+    PANIC_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let armed = PANIC_DUMP
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take();
+            if let Some((recorder, path)) = armed {
+                match recorder.dump_to_path(&path) {
+                    Ok(frames) => eprintln!(
+                        "flight recorder: dumped {frames} frame(s) to {} on panic",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("flight recorder: panic dump failed: {e}"),
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+fn disarm_panic_dump() {
+    PANIC_DUMP
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .take();
+}
+
+/// Telemetry plumbing threaded through the serve/handle call chain.
+#[derive(Clone, Copy)]
+struct ServeCtx<'a> {
+    options: &'a ServeOptions,
+    recorder: &'a Arc<FlightRecorder>,
+    telemetry: &'a Arc<ServeTelemetry>,
 }
 
 /// One raw request line in flight from a connection to the engine
@@ -95,8 +192,10 @@ struct Cmd {
     reply: mpsc::Sender<String>,
 }
 
-/// Runs the daemon until a `{"op":"shutdown"}` request arrives.
+/// Runs the daemon until a `{"op":"shutdown"}` request arrives or
+/// [`request_termination`] is called.
 pub fn run(options: &ServeOptions) -> Result<(), String> {
+    TERM.store(false, Ordering::SeqCst);
     let carbon = synthesize_region(options.region, options.seed);
     let config = ClusterConfig::default()
         .with_reserved(options.reserved)
@@ -125,26 +224,51 @@ pub fn run(options: &ServeOptions) -> Result<(), String> {
         }
         _ => None,
     };
-    if let Some(path) = &options.trace_path {
+    let recorder = FlightRecorder::new(options.flight_capacity);
+    let telemetry = Arc::new(ServeTelemetry::new());
+    if options.flight_capacity > 0 {
+        arm_panic_dump(&recorder, &options.flight_dump);
+    }
+    let ctx = ServeCtx {
+        options,
+        recorder: &recorder,
+        telemetry: &telemetry,
+    };
+    let flight = options.flight_capacity > 0;
+    let result = if let Some(path) = &options.trace_path {
         let file = fs::File::create(path)
             .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
-        let mut sink = JsonlSink::new(BufWriter::new(file));
+        let inner = JsonlSink::new(BufWriter::new(file));
+        let flush_err = |e| format!("cannot flush trace file {}: {e}", path.display());
+        if flight {
+            let mut sink = FlightSink::new(Arc::clone(&recorder), inner);
+            let served = serve_with_sink(
+                ctx,
+                &config,
+                &carbon,
+                &forecaster,
+                faults,
+                fallback,
+                &mut sink,
+            );
+            served.and(sink.into_inner().finish().map(|_| ()).map_err(flush_err))
+        } else {
+            let mut sink = inner;
+            let served = serve_with_sink(
+                ctx,
+                &config,
+                &carbon,
+                &forecaster,
+                faults,
+                fallback,
+                &mut sink,
+            );
+            served.and(sink.finish().map(|_| ()).map_err(flush_err))
+        }
+    } else if flight {
+        let mut sink = FlightSink::new(Arc::clone(&recorder), NullSink);
         serve_with_sink(
-            options,
-            &config,
-            &carbon,
-            &forecaster,
-            faults,
-            fallback,
-            &mut sink,
-        )?;
-        sink.finish()
-            .map(|_| ())
-            .map_err(|e| format!("cannot flush trace file {}: {e}", path.display()))
-    } else {
-        let mut sink = NullSink;
-        serve_with_sink(
-            options,
+            ctx,
             &config,
             &carbon,
             &forecaster,
@@ -152,7 +276,20 @@ pub fn run(options: &ServeOptions) -> Result<(), String> {
             fallback,
             &mut sink,
         )
-    }
+    } else {
+        let mut sink = NullSink;
+        serve_with_sink(
+            ctx,
+            &config,
+            &carbon,
+            &forecaster,
+            faults,
+            fallback,
+            &mut sink,
+        )
+    };
+    disarm_panic_dump();
+    result
 }
 
 fn load_faults(options: &ServeOptions) -> Result<Option<FaultSchedule>, String> {
@@ -173,7 +310,7 @@ fn load_faults(options: &ServeOptions) -> Result<Option<FaultSchedule>, String> 
 }
 
 fn serve_with_sink<S: Sink>(
-    options: &ServeOptions,
+    ctx: ServeCtx<'_>,
     config: &ClusterConfig,
     carbon: &CarbonTrace,
     forecaster: &dyn CarbonForecaster,
@@ -181,6 +318,7 @@ fn serve_with_sink<S: Sink>(
     fallback: Option<&dyn CarbonForecaster>,
     sink: &mut S,
 ) -> Result<(), String> {
+    let options = ctx.options;
     let session = match &options.restore {
         Some(path) => {
             let bytes = fs::read(path)
@@ -210,6 +348,8 @@ fn serve_with_sink<S: Sink>(
     if let Some(expected) = options.expect_jobs {
         session.reserve_jobs(expected.saturating_sub(session.engine().submitted() as usize));
     }
+    session.attach_telemetry(Arc::clone(ctx.telemetry));
+    publish_gauges(ctx.telemetry, &session);
 
     let listener = TcpListener::bind(&options.listen)
         .map_err(|e| format!("cannot bind {}: {e}", options.listen))?;
@@ -221,13 +361,31 @@ fn serve_with_sink<S: Sink>(
             .map_err(|e| format!("cannot write addr file {}: {e}", path.display()))?;
     }
     gaia_obs::info!("gaia serve listening on {addr} ({})", options.policy.name());
+    let metrics_listener = match &options.metrics_addr {
+        Some(spec) => {
+            let l = TcpListener::bind(spec)
+                .map_err(|e| format!("cannot bind metrics address {spec}: {e}"))?;
+            let bound = l
+                .local_addr()
+                .map_err(|e| format!("cannot resolve the metrics address: {e}"))?;
+            if let Some(path) = &options.metrics_addr_file {
+                fs::write(path, format!("{bound}\n")).map_err(|e| {
+                    format!("cannot write metrics addr file {}: {e}", path.display())
+                })?;
+            }
+            gaia_obs::info!("metrics exposition on http://{bound}/metrics");
+            Some(l)
+        }
+        None => None,
+    };
 
     let (tx, rx) = mpsc::channel::<Cmd>();
     let shutting_down = AtomicBool::new(false);
     // The session borrows the (not necessarily `Sync`) forecaster and
-    // sink, so the engine loop stays on this thread; the accept loop
-    // and per-connection forwarders — which only touch sockets and
-    // channels — run on scoped threads.
+    // sink, so the engine loop stays on this thread; the accept loop,
+    // per-connection forwarders, and the metrics exposition — which
+    // only touch sockets, channels, and the atomic telemetry hub — run
+    // on scoped threads.
     thread::scope(|scope| {
         let shutting_down = &shutting_down;
         let listener = &listener;
@@ -241,13 +399,46 @@ fn serve_with_sink<S: Sink>(
                 scope.spawn(move || connection(stream, tx));
             }
         });
-        for cmd in rx {
-            let (response, stop) = handle(&mut session, &cmd.line, options);
+        if let Some(metrics_listener) = metrics_listener {
+            let telemetry = ctx.telemetry;
+            let recorder = ctx.recorder;
+            scope.spawn(move || metrics_http(metrics_listener, telemetry, recorder, shutting_down));
+        }
+        let stop_listening = || {
+            shutting_down.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so the listener exits.
+            let _ = TcpStream::connect(addr);
+        };
+        loop {
+            // Poll the termination flag between requests: a SIGTERM
+            // handler can only set an atomic, and the engine thread is
+            // the only one allowed to touch the session.
+            if termination_requested() {
+                session.sync_sink();
+                match ctx.recorder.dump_to_path(&options.flight_dump) {
+                    Ok(frames) => gaia_obs::info!(
+                        "termination requested: dumped {frames} flight frame(s) to {}",
+                        options.flight_dump.display()
+                    ),
+                    Err(e) => gaia_obs::error!("termination flight dump failed: {e}"),
+                }
+                stop_listening();
+                break;
+            }
+            let cmd = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(cmd) => cmd,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            let (response, stop) = handle(&mut session, &cmd.line, ctx);
             let _ = cmd.reply.send(response.to_json_line());
+            publish_gauges(ctx.telemetry, &session);
+            // One sync per request flushes the flight-recorder batch
+            // (and any traced JSONL) — the amortization the ≤2%
+            // overhead budget rests on.
+            session.sync_sink();
             if stop {
-                shutting_down.store(true, Ordering::SeqCst);
-                // Wake the blocking accept so the listener exits.
-                let _ = TcpStream::connect(addr);
+                stop_listening();
                 break;
             }
         }
@@ -255,20 +446,134 @@ fn serve_with_sink<S: Sink>(
     Ok(())
 }
 
+/// Publish the engine gauges after a request; relaxed stores, readers
+/// tolerate tearing between fields.
+fn publish_gauges<S: Sink>(telemetry: &ServeTelemetry, session: &Session<'_, S>) {
+    let engine = session.engine();
+    let g = &telemetry.gauges;
+    g.sim_minutes
+        .store(engine.now().as_minutes(), Ordering::Relaxed);
+    g.submitted.store(engine.submitted(), Ordering::Relaxed);
+    g.completed.store(engine.completed(), Ordering::Relaxed);
+    g.cancelled.store(engine.cancelled(), Ordering::Relaxed);
+    g.queued.store(engine.queued(), Ordering::Relaxed);
+    g.pending_events
+        .store(engine.pending_events() as u64, Ordering::Relaxed);
+    g.degraded
+        .store(u64::from(engine.in_degraded_mode()), Ordering::Relaxed);
+}
+
+/// The exposition endpoint: a minimal HTTP/1.1 responder that answers
+/// every request with the current Prometheus text body. Non-blocking
+/// accept so shutdown is noticed within one poll interval.
+fn metrics_http(
+    listener: TcpListener,
+    telemetry: &ServeTelemetry,
+    recorder: &FlightRecorder,
+    shutting_down: &AtomicBool,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_scrape(stream, telemetry, recorder);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn serve_scrape(
+    stream: TcpStream,
+    telemetry: &ServeTelemetry,
+    recorder: &FlightRecorder,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Drain the request head; the path is irrelevant — every scrape
+    // gets the full exposition.
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let body = telemetry.render_prometheus(Some(recorder));
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
 /// Applies one raw request line; returns the response and whether the
 /// daemon should stop.
 fn handle<S: Sink>(
     session: &mut Session<'_, S>,
     line: &str,
-    options: &ServeOptions,
+    ctx: ServeCtx<'_>,
 ) -> (Response, bool) {
+    let options = ctx.options;
     let request = match Request::from_json_line(line) {
         Ok(request) => request,
-        Err(error) => return (Response::Error { error }, false),
+        Err(error) => {
+            ctx.telemetry.count_error();
+            return (Response::Error { error }, false);
+        }
     };
     match request {
-        Request::Shutdown => (Response::ShuttingDown, true),
-        Request::Snapshot => (write_snapshot(session, options), false),
+        Request::Shutdown => {
+            ctx.telemetry.count_op("shutdown");
+            (Response::ShuttingDown, true)
+        }
+        Request::Snapshot => {
+            ctx.telemetry.count_op("snapshot");
+            (write_snapshot(session, options), false)
+        }
+        Request::Metrics => {
+            ctx.telemetry.count_op("metrics");
+            // Flush sink-local flight frames first so the body's
+            // `flight` section reflects this very request sequence.
+            session.sync_sink();
+            let data = ctx.telemetry.render_json(Some(ctx.recorder));
+            (Response::Metrics { data }, false)
+        }
+        Request::Flight => {
+            ctx.telemetry.count_op("flight");
+            session.sync_sink();
+            let path = &options.flight_dump;
+            match ctx.recorder.dump_to_path(path) {
+                Ok(frames) => (
+                    Response::FlightDumped {
+                        frames,
+                        path: path.display().to_string(),
+                    },
+                    false,
+                ),
+                Err(e) => {
+                    ctx.telemetry.count_error();
+                    (
+                        Response::Error {
+                            error: format!(
+                                "cannot dump the flight recorder to {}: {e}",
+                                path.display()
+                            ),
+                        },
+                        false,
+                    )
+                }
+            }
+        }
         Request::Submit { .. } => {
             let response = session.apply(&request);
             if let Response::Submitted { .. } = &response {
@@ -290,10 +595,19 @@ fn write_snapshot<S: Sink>(session: &mut Session<'_, S>, options: &ServeOptions)
     let (seq, bytes) = session.snapshot();
     let path = &options.snapshot_path;
     match persist_snapshot(path, &bytes) {
-        Ok(()) => Response::SnapshotDone {
-            seq,
-            bytes: bytes.len() as u64,
-        },
+        Ok(()) => {
+            if let Some(telemetry) = session.telemetry() {
+                let g = &telemetry.gauges;
+                g.snapshot_seq.store(seq, Ordering::Relaxed);
+                g.snapshot_bytes
+                    .store(bytes.len() as u64, Ordering::Relaxed);
+                g.snapshot_wall_us.store(wall_micros(), Ordering::Relaxed);
+            }
+            Response::SnapshotDone {
+                seq,
+                bytes: bytes.len() as u64,
+            }
+        }
         Err(e) => Response::Error {
             error: format!("cannot write snapshot {}: {e}", path.display()),
         },

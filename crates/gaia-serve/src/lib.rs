@@ -17,6 +17,11 @@
 //!   that never stopped.
 //! * [`daemon`] / [`client`] — the TCP loop (`gaia serve`) and the
 //!   lockstep line client (`gaia serve --connect`).
+//! * [`telemetry`] — always-on live telemetry: wall-clock latency and
+//!   per-tenant SLO histograms, engine gauges, and the Prometheus/JSON
+//!   expositions behind the `metrics` verb and `--metrics-addr`.
+//!   Strictly out-of-band: responses and snapshots are byte-identical
+//!   with telemetry on or off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +31,10 @@ pub mod daemon;
 pub mod protocol;
 pub mod session;
 pub mod snapshot;
+pub mod telemetry;
 
-pub use daemon::{persist_snapshot, run, ServeOptions};
+pub use daemon::{persist_snapshot, request_termination, run, ServeOptions};
 pub use protocol::{Request, Response, StatsBody, StatusDetail};
 pub use session::{Session, TenantStats};
 pub use snapshot::{encode, restore, SERVICE_SNAPSHOT_VERSION};
+pub use telemetry::{ServeTelemetry, TenantTelemetry};

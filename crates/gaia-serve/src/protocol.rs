@@ -47,11 +47,33 @@ pub enum Request {
     Drain,
     /// Write a snapshot of the full service state now.
     Snapshot,
+    /// Live telemetry as one JSON object. **Not deterministic**: the
+    /// body carries wall-clock data and is excluded from the
+    /// byte-identity contract every other response honors.
+    Metrics,
+    /// Dump the flight recorder to the daemon's configured dump path.
+    Flight,
     /// Stop the daemon after responding.
     Shutdown,
 }
 
 impl Request {
+    /// Stable verb name — the `"op"` discriminant, also used as the
+    /// telemetry label.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Submit { .. } => "submit",
+            Request::Query { .. } => "query",
+            Request::Cancel { .. } => "cancel",
+            Request::Stats { .. } => "stats",
+            Request::Drain => "drain",
+            Request::Snapshot => "snapshot",
+            Request::Metrics => "metrics",
+            Request::Flight => "flight",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
     /// Parse one request line.
     pub fn from_json_line(line: &str) -> Result<Request, String> {
         let value = json::parse(line)?;
@@ -81,6 +103,8 @@ impl Request {
             }),
             "drain" => Ok(Request::Drain),
             "snapshot" => Ok(Request::Snapshot),
+            "metrics" => Ok(Request::Metrics),
+            "flight" => Ok(Request::Flight),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -120,6 +144,8 @@ impl Request {
             }
             Request::Drain => s.push_str("drain\""),
             Request::Snapshot => s.push_str("snapshot\""),
+            Request::Metrics => s.push_str("metrics\""),
+            Request::Flight => s.push_str("flight\""),
             Request::Shutdown => s.push_str("shutdown\""),
         }
         s.push('}');
@@ -254,6 +280,20 @@ pub enum Response {
         /// Encoded size, bytes.
         bytes: u64,
     },
+    /// Live telemetry body. The `data` string must already be a valid
+    /// single-line JSON object ([`crate::telemetry`] renders it); it is
+    /// embedded verbatim. **Not deterministic.**
+    Metrics {
+        /// Pre-rendered JSON object with the telemetry sections.
+        data: String,
+    },
+    /// The flight recorder was dumped.
+    FlightDumped {
+        /// Frames written to the dump file.
+        frames: u64,
+        /// Path the JSONL dump was written to.
+        path: String,
+    },
     /// The daemon acknowledges shutdown.
     ShuttingDown,
     /// The request was rejected.
@@ -353,6 +393,15 @@ impl Response {
                         push_u64(&mut s, "seq", *seq);
                         push_u64(&mut s, "bytes", *bytes);
                     }
+                    Response::Metrics { data } => {
+                        s.push_str("metrics\",\"data\":");
+                        s.push_str(data);
+                    }
+                    Response::FlightDumped { frames, path } => {
+                        s.push_str("flight\"");
+                        push_u64(&mut s, "frames", *frames);
+                        push_str(&mut s, "path", path);
+                    }
                     Response::ShuttingDown => s.push_str("shutdown\""),
                     Response::Error { .. } => unreachable!("handled above"),
                 }
@@ -444,6 +493,8 @@ mod tests {
             },
             Request::Drain,
             Request::Snapshot,
+            Request::Metrics,
+            Request::Flight,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -503,6 +554,25 @@ mod tests {
             error: "no such job".into(),
         };
         assert_eq!(r.to_json_line(), r#"{"ok":false,"error":"no such job"}"#);
+    }
+
+    #[test]
+    fn telemetry_responses_serialize() {
+        let r = Response::Metrics {
+            data: r#"{"uptime_s":1.5}"#.into(),
+        };
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"ok":true,"op":"metrics","data":{"uptime_s":1.5}}"#
+        );
+        let r = Response::FlightDumped {
+            frames: 3,
+            path: "flight.jsonl".into(),
+        };
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"ok":true,"op":"flight","frames":3,"path":"flight.jsonl"}"#
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! [`ForecastIndex`](gaia_carbon::ForecastIndex), so cost per
 //! submission is proportional to the plan, not the horizon.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use gaia_core::catalog::{DynScheduler, PolicySpec};
 use gaia_obs::{Event as ObsEvent, Sink};
 use gaia_sim::{CancelOutcome, JobStatus, OnlineEngine};
@@ -24,6 +27,7 @@ use gaia_time::{Minutes, SimTime};
 use gaia_workload::{Job, JobId, QueueSet};
 
 use crate::protocol::{Request, Response, StatsBody, StatusDetail};
+use crate::telemetry::{ServeTelemetry, TenantTelemetry};
 
 /// Per-tenant accounting, updated as the tenant's jobs finish.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +36,29 @@ pub struct TenantStats {
     pub name: String,
     /// Accounting counters for this tenant's jobs.
     pub body: StatsBody,
+}
+
+/// Submit-time facts telemetry needs at completion time: the job's
+/// length (for stretch) and the carbon-agnostic baseline the policy's
+/// actual outcome is compared against. Never serialized — telemetry
+/// state stays out of snapshots by construction.
+#[derive(Debug, Clone, Copy)]
+struct JobBase {
+    /// Requested run length, minutes; 0 marks an unknown job (submitted
+    /// before telemetry was attached, e.g. restored from a snapshot).
+    len_min: u64,
+    /// Carbon the run-immediately on-demand baseline would emit, grams.
+    carbon_g: f64,
+    /// Cost that baseline would pay, dollars.
+    cost_usd: f64,
+}
+
+impl JobBase {
+    const UNKNOWN: JobBase = JobBase {
+        len_min: 0,
+        carbon_g: 0.0,
+        cost_usd: 0.0,
+    };
 }
 
 /// A serving session over one online engine.
@@ -50,6 +77,15 @@ pub struct Session<'e, S: Sink> {
     job_tenant: Vec<u32>,
     /// Snapshots written so far (the next snapshot gets ordinal + 1).
     snapshots: u64,
+    /// Live telemetry hub, if attached. Everything below this line is
+    /// wall-clock-fed, excluded from snapshots, and must never
+    /// influence a response — see [`crate::telemetry`].
+    telemetry: Option<Arc<ServeTelemetry>>,
+    /// Cached per-tenant telemetry handles, parallel to `tenants`, so
+    /// completions don't take the hub's tenant-list lock.
+    tenant_tel: Vec<Arc<TenantTelemetry>>,
+    /// Job index → submit-time baseline (telemetry only).
+    job_base: Vec<JobBase>,
 }
 
 impl<'e, S: Sink> Session<'e, S> {
@@ -67,7 +103,37 @@ impl<'e, S: Sink> Session<'e, S> {
             tenants: Vec::new(),
             job_tenant: Vec::new(),
             snapshots: 0,
+            telemetry: None,
+            tenant_tel: Vec::new(),
+            job_base: Vec::new(),
         }
+    }
+
+    /// Attach the live telemetry hub. Latency is recorded per
+    /// [`Session::apply`] call and per-tenant SLO metrics per
+    /// completion from here on. Jobs submitted before attachment
+    /// (e.g. restored from a snapshot) have no recorded baseline and
+    /// are skipped by the SLO accounting.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<ServeTelemetry>) {
+        self.tenant_tel = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| telemetry.tenant(i, &t.name))
+            .collect();
+        self.job_base = vec![JobBase::UNKNOWN; self.engine.submitted() as usize];
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Flushes writer-local sink buffers (flight-recorder frames,
+    /// traced JSONL lines); the daemon calls this once per request.
+    pub fn sync_sink(&mut self) {
+        self.engine.sync_sink();
     }
 
     /// The policy the session's scheduler was built from.
@@ -105,7 +171,28 @@ impl<'e, S: Sink> Session<'e, S> {
     /// Applies one request and returns its response. Never panics on
     /// malformed input — rejected requests produce [`Response::Error`]
     /// and leave the session state untouched.
+    ///
+    /// With telemetry attached, the call is wall-clock timed into the
+    /// latency histograms; the timing never influences the response.
     pub fn apply(&mut self, request: &Request) -> Response {
+        let Some(telemetry) = self.telemetry.clone() else {
+            return self.dispatch(request);
+        };
+        telemetry.count_op(request.op_name());
+        let started = Instant::now();
+        let response = self.dispatch(request);
+        let micros = started.elapsed().as_micros() as u64;
+        telemetry.request_latency.observe_micros(micros);
+        if matches!(request, Request::Submit { .. }) {
+            telemetry.submit_latency.observe_micros(micros);
+        }
+        if matches!(response, Response::Error { .. }) {
+            telemetry.count_error();
+        }
+        response
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Response {
         match request {
             Request::Submit {
                 tenant,
@@ -117,11 +204,14 @@ impl<'e, S: Sink> Session<'e, S> {
             Request::Cancel { job } => self.cancel(*job),
             Request::Stats { tenant } => self.stats(tenant.as_deref()),
             Request::Drain => self.drain(),
-            // Snapshot/shutdown need the enclosing service (file paths,
-            // connection teardown); [`Session::apply`] only validates.
-            Request::Snapshot | Request::Shutdown => Response::Error {
-                error: "snapshot/shutdown are handled by the daemon".into(),
-            },
+            // Snapshot/shutdown/metrics/flight need the enclosing
+            // service (file paths, telemetry hub, connection teardown);
+            // [`Session::apply`] only validates.
+            Request::Snapshot | Request::Shutdown | Request::Metrics | Request::Flight => {
+                Response::Error {
+                    error: "snapshot/shutdown/metrics/flight are handled by the daemon".into(),
+                }
+            }
         }
     }
 
@@ -164,6 +254,14 @@ impl<'e, S: Sink> Session<'e, S> {
                 }
             }
         };
+        if self.telemetry.is_some() {
+            let (carbon_g, cost_usd) = self.engine.naive_baseline(arrival, Minutes::new(len), cpus);
+            self.job_base.push(JobBase {
+                len_min: len,
+                carbon_g,
+                cost_usd,
+            });
+        }
         let tid = self.intern(tenant);
         self.job_tenant.push(tid);
         self.tenants[tid as usize].body.submitted += 1;
@@ -347,6 +445,10 @@ impl<'e, S: Sink> Session<'e, S> {
             name: tenant.to_string(),
             body: StatsBody::default(),
         });
+        if let Some(telemetry) = &self.telemetry {
+            self.tenant_tel
+                .push(telemetry.tenant(self.tenants.len() - 1, tenant));
+        }
         (self.tenants.len() - 1) as u32
     }
 
@@ -362,11 +464,32 @@ impl<'e, S: Sink> Session<'e, S> {
             else {
                 continue;
             };
-            let body = &mut self.tenants[self.job_tenant[idx as usize] as usize].body;
+            let tid = self.job_tenant[idx as usize] as usize;
+            let body = &mut self.tenants[tid].body;
             body.completed += 1;
             body.carbon_g += carbon_g;
             body.cost += cost;
             body.wait_min += waiting.as_minutes();
+            if self.telemetry.is_some() {
+                // Jobs from before telemetry attachment carry the
+                // UNKNOWN sentinel (len 0) and are skipped.
+                let base = self
+                    .job_base
+                    .get(idx as usize)
+                    .copied()
+                    .unwrap_or(JobBase::UNKNOWN);
+                if base.len_min > 0 {
+                    let wait_min = waiting.as_minutes();
+                    self.tenant_tel[tid].record_completion(
+                        wait_min as f64 / 60.0,
+                        (wait_min + base.len_min) as f64 / base.len_min as f64,
+                        carbon_g,
+                        cost,
+                        base.carbon_g,
+                        base.cost_usd,
+                    );
+                }
+            }
         }
     }
 
@@ -393,6 +516,9 @@ impl<'e, S: Sink> Session<'e, S> {
             tenants,
             job_tenant,
             snapshots,
+            telemetry: None,
+            tenant_tel: Vec::new(),
+            job_base: Vec::new(),
         }
     }
 }

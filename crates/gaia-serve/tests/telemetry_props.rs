@@ -1,0 +1,206 @@
+//! Property tests pinning the telemetry determinism contract: for *any*
+//! submission log, a session with live telemetry attached (latency
+//! histograms, SLO accounting, flight recorder wrapped around the
+//! sink) produces wire responses, trace events, and snapshot bytes
+//! byte-identical to a session with no telemetry at all. Telemetry is
+//! strictly out-of-band — it observes, it never perturbs.
+
+use std::sync::Arc;
+
+use gaia_carbon::synth::synthesize_region;
+use gaia_carbon::PerfectForecaster;
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_obs::{FlightRecorder, FlightSink, VecSink};
+use gaia_serve::protocol::Request;
+use gaia_serve::{ServeTelemetry, Session};
+use gaia_sim::{ClusterConfig, OnlineEngine};
+use proptest::prelude::*;
+
+const TENANTS: [&str; 3] = ["acme", "blue", "crux"];
+
+/// One randomly generated request; arrivals are gap-encoded so the log
+/// is nondecreasing in time by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit {
+        tenant: usize,
+        gap: u64,
+        len: u64,
+        cpus: u64,
+    },
+    Query {
+        job: u64,
+    },
+    Cancel {
+        job: u64,
+    },
+    Stats {
+        tenant: Option<usize>,
+    },
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..10, 0usize..4, 0u64..90, 1u64..300, 1u64..4, 0u64..40).prop_map(
+        |(kind, tenant, gap, len, cpus, job)| match kind {
+            0..=4 => Op::Submit {
+                tenant: tenant % 3,
+                gap,
+                len,
+                cpus,
+            },
+            5 => Op::Query { job },
+            6 => Op::Cancel { job },
+            7 => Op::Stats {
+                tenant: (tenant < 3).then_some(tenant),
+            },
+            // Drains force completions, exercising the SLO recording
+            // path (settle → record_completion) mid-log.
+            _ => Op::Drain,
+        },
+    )
+}
+
+fn lower(ops: &[Op]) -> Vec<Request> {
+    let mut now = 0u64;
+    ops.iter()
+        .map(|op| match op {
+            Op::Submit {
+                tenant,
+                gap,
+                len,
+                cpus,
+            } => {
+                now += gap;
+                Request::Submit {
+                    tenant: TENANTS[*tenant].to_string(),
+                    at: now,
+                    len: *len,
+                    cpus: *cpus,
+                }
+            }
+            Op::Query { job } => Request::Query { job: *job },
+            Op::Cancel { job } => Request::Cancel { job: *job },
+            Op::Stats { tenant } => Request::Stats {
+                tenant: tenant.map(|t| TENANTS[t].to_string()),
+            },
+            Op::Drain => Request::Drain,
+        })
+        .collect()
+}
+
+struct RunOutput {
+    responses: Vec<String>,
+    events: Vec<gaia_obs::Event>,
+    snapshot: Option<Vec<u8>>,
+    final_state: Vec<u8>,
+    /// Requests the telemetry hub timed (0 for the bare run).
+    timed_requests: u64,
+    /// Completions the SLO accounting recorded (0 for the bare run).
+    slo_completions: u64,
+}
+
+/// Applies `log`, snapshotting after `snap_at` requests, with or
+/// without the full telemetry stack (hub + flight-recorder sink).
+fn run(log: &[Request], snap_at: usize, telemetry: bool) -> RunOutput {
+    let config = ClusterConfig::default().with_reserved(1).with_seed(11);
+    let carbon = synthesize_region(Region::Ontario, 11);
+    let forecaster = PerfectForecaster::new(&carbon);
+    let policy = PolicySpec::plain(BasePolicyKind::LowestWindow);
+    let mut responses = Vec::new();
+    let mut snapshot = None;
+
+    if telemetry {
+        let recorder = FlightRecorder::new(128);
+        let hub = Arc::new(ServeTelemetry::new());
+        let mut sink = FlightSink::new(Arc::clone(&recorder), VecSink::new());
+        let final_state;
+        {
+            let engine = OnlineEngine::new(&config, &carbon, &forecaster, &mut sink);
+            let mut session = Session::new(engine, policy);
+            session.attach_telemetry(Arc::clone(&hub));
+            for (i, request) in log.iter().enumerate() {
+                responses.push(session.apply(request).to_json_line());
+                // The daemon syncs once per request; mirror it.
+                session.sync_sink();
+                if i + 1 == snap_at {
+                    snapshot = Some(session.snapshot().1);
+                }
+            }
+            final_state = gaia_serve::encode(&session);
+        }
+        let timed = hub.request_latency.count();
+        let slo: u64 = hub.tenants().iter().map(|t| t.carbon_g.count()).sum();
+        RunOutput {
+            responses,
+            events: sink.into_inner().into_events(),
+            snapshot,
+            final_state,
+            timed_requests: timed,
+            slo_completions: slo,
+        }
+    } else {
+        let mut sink = VecSink::new();
+        let final_state;
+        {
+            let engine = OnlineEngine::new(&config, &carbon, &forecaster, &mut sink);
+            let mut session = Session::new(engine, policy);
+            for (i, request) in log.iter().enumerate() {
+                responses.push(session.apply(request).to_json_line());
+                if i + 1 == snap_at {
+                    snapshot = Some(session.snapshot().1);
+                }
+            }
+            final_state = gaia_serve::encode(&session);
+        }
+        RunOutput {
+            responses,
+            events: sink.into_events(),
+            snapshot,
+            final_state,
+            timed_requests: 0,
+            slo_completions: 0,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn telemetry_never_perturbs_responses_events_or_snapshots(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        point in 0usize..40,
+    ) {
+        let log = lower(&ops);
+        let snap_at = 1 + point % log.len();
+        let bare = run(&log, snap_at, false);
+        let live = run(&log, snap_at, true);
+        prop_assert_eq!(&live.responses, &bare.responses, "wire responses diverge");
+        prop_assert_eq!(&live.events, &bare.events, "trace events diverge");
+        prop_assert_eq!(&live.snapshot, &bare.snapshot, "snapshot bytes diverge");
+        prop_assert_eq!(&live.final_state, &bare.final_state, "final state diverges");
+        // Identity must not be vacuous: the telemetry run really was
+        // measuring while producing identical bytes.
+        prop_assert_eq!(live.timed_requests, log.len() as u64);
+    }
+
+    #[test]
+    fn slo_accounting_counts_every_completion(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut log = lower(&ops);
+        log.push(Request::Drain);
+        let live = run(&log, usize::MAX, true);
+        let completed: u64 = live
+            .events
+            .iter()
+            .filter(|e| matches!(e, gaia_obs::Event::JobCompleted { .. }))
+            .count() as u64;
+        // Every completion of a telemetry-era job lands in exactly one
+        // tenant histogram (all jobs are telemetry-era here: the hub is
+        // attached before the first submit).
+        prop_assert_eq!(live.slo_completions, completed);
+    }
+}

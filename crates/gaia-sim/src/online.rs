@@ -769,6 +769,45 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         }
     }
 
+    /// Flushes writer-local sink buffers — flight-recorder frames,
+    /// traced JSONL lines — at a request boundary (see [`Sink::sync`]).
+    /// The serving layer calls this once per applied request; with an
+    /// inactive sink the call is compile-time dead.
+    pub fn sync_sink(&mut self) {
+        if S::ACTIVE {
+            self.sink.sync();
+        }
+    }
+
+    /// Whether the engine is currently in degraded mode: a forecast
+    /// outage is active and planning falls back to the persistence
+    /// forecaster. Exposed for live telemetry.
+    pub fn in_degraded_mode(&self) -> bool {
+        self.in_degraded
+    }
+
+    /// What a carbon-agnostic baseline would emit and pay for this job:
+    /// run immediately at arrival on on-demand capacity, no temporal
+    /// shifting. Returns `(carbon_g, cost_dollars)` using the same
+    /// accounting kernels as real execution, so the delta against a
+    /// job's actual outcome isolates the scheduling policy's effect.
+    ///
+    /// Telemetry-only: a pure function of the submitted parameters and
+    /// the static carbon/pricing inputs, never fed back into planning
+    /// or deterministic state.
+    pub fn naive_baseline(&self, at: SimTime, len: Minutes, cpus: u32) -> (f64, f64) {
+        let end = at + len;
+        let carbon_g = segment_carbon(self.carbon, &self.config.energy, cpus, at, end);
+        let cost = segment_cost(
+            &self.config.pricing,
+            PurchaseOption::OnDemand,
+            cpus,
+            at,
+            end,
+        );
+        (carbon_g, cost)
+    }
+
     pub(crate) fn push(&mut self, time: SimTime, job: u32, kind: EventKind) {
         self.seq += 1;
         self.queue.insert(Event {

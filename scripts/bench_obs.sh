@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Gates the tracing layer's zero-overhead claim: runs the NullSink-vs-
-# untraced comparison in release mode and fails (exit 1) if the median
-# overhead exceeds the budget (2%, or GAIA_OBS_OVERHEAD_MAX percent).
-# The report lands in results/obs_overhead.txt.
+# Gates the observability overhead claims, in release mode:
+#
+#   1. obs_overhead — the tracing layer's zero-overhead claim: NullSink
+#      vs untraced simulation, median overhead within the budget.
+#   2. telemetry_overhead — the serving telemetry's always-on claim:
+#      histograms + SLO accounting + flight recorder may consume at
+#      most the budgeted share of the engine thread's per-request
+#      budget at the contracted serving rate.
+#
+# Both budgets default to 2% and honor GAIA_OBS_OVERHEAD_MAX percent.
+# Reports land in results/obs_overhead.txt and
+# results/telemetry_overhead.txt; either gate failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +18,4 @@ cargo build --release -p bench
 
 mkdir -p results
 ./target/release/obs_overhead | tee results/obs_overhead.txt
+./target/release/telemetry_overhead | tee results/telemetry_overhead.txt

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Live-telemetry gate: the always-on observability of a serving daemon.
+#
+#  1. starts a `gaia serve` daemon with the metrics endpoint and the
+#     flight recorder enabled, and drives a 300-submission three-tenant
+#     load (with a drain, so completions feed the SLO metrics);
+#  2. checks the `metrics` verb returns the in-process JSON body with
+#     request counts, latency quantiles, engine gauges, and per-tenant
+#     SLO rows;
+#  3. scrapes the Prometheus text exposition over HTTP and validates
+#     the required families, histogram well-formedness (`+Inf` bucket,
+#     bucket/count agreement), and that the request counter saw the
+#     replayed load;
+#  4. renders two frames of `gaia top --plain` against the live daemon;
+#  5. dumps the flight recorder via the `flight` verb and validates the
+#     dump with `gaia trace flight`;
+#  6. SIGTERMs the daemon and asserts it exits cleanly, leaving a fresh
+#     flight dump behind (the post-mortem contract).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+cargo build --release -p gaia-cli
+GAIA=./target/release/gaia
+
+# Load: 300 short jobs from three tenants, then a drain (forces every
+# job to completion, exercising the per-tenant SLO recording), then
+# stats probes.
+for i in $(seq 0 299); do
+  case $(( i % 3 )) in
+    0) tenant=acme ;;
+    1) tenant=blue ;;
+    2) tenant=crux ;;
+  esac
+  echo "{\"op\":\"submit\",\"tenant\":\"${tenant}\",\"at\":$(( i * 2 )),\"len\":$(( 20 + i % 60 )),\"cpus\":$(( 1 + i % 3 ))}"
+done > "${WORK}/log.jsonl"
+{
+  echo '{"op":"drain"}'
+  echo '{"op":"stats"}'
+} >> "${WORK}/log.jsonl"
+
+echo "== start daemon (metrics endpoint + flight recorder)"
+"${GAIA}" serve --addr-file "${WORK}/addr" \
+  --metrics-addr 127.0.0.1:0 --metrics-addr-file "${WORK}/metrics-addr" \
+  --flight-capacity 512 --flight-dump "${WORK}/flight.jsonl" \
+  --snapshot-path "${WORK}/serve.snap" &
+DAEMON_PID=$!
+for _ in $(seq 1 500); do
+  [[ -s "${WORK}/addr" && -s "${WORK}/metrics-addr" ]] && break
+  sleep 0.01
+done
+ADDR="$(cat "${WORK}/addr")"
+METRICS_ADDR="$(cat "${WORK}/metrics-addr")"
+
+echo "== drive load (${ADDR})"
+"${GAIA}" serve --connect "${ADDR}" < "${WORK}/log.jsonl" > "${WORK}/responses.out"
+OK_COUNT=$(grep -c '"ok":true' "${WORK}/responses.out")
+[[ "${OK_COUNT}" -eq 302 ]] \
+  || { echo "expected 302 ok responses, got ${OK_COUNT}" >&2; exit 1; }
+
+echo "== metrics verb"
+echo '{"op":"metrics"}' | "${GAIA}" serve --connect "${ADDR}" > "${WORK}/metrics.out"
+for key in '"op":"metrics"' '"requests"' '"latency_us"' '"engine"' '"tenants"' '"flight"' '"p99"'; do
+  grep -q -- "${key}" "${WORK}/metrics.out" \
+    || { echo "metrics body lacks ${key}:" >&2; cat "${WORK}/metrics.out" >&2; exit 1; }
+done
+# The daemon's own submit counter must have seen the replayed load.
+grep -q '"submit":300' "${WORK}/metrics.out" \
+  || { echo "metrics body did not count 300 submits:" >&2; cat "${WORK}/metrics.out" >&2; exit 1; }
+
+echo "== prometheus exposition (${METRICS_ADDR})"
+curl -sf "http://${METRICS_ADDR}/metrics" > "${WORK}/prom.txt"
+for family in \
+  gaia_requests_total \
+  gaia_request_errors_total \
+  gaia_submit_latency_seconds_bucket \
+  gaia_submit_latency_seconds_count \
+  gaia_request_latency_seconds_sum \
+  gaia_engine_sim_minutes \
+  gaia_engine_queued_jobs \
+  gaia_engine_pending_events \
+  gaia_engine_degraded \
+  gaia_snapshot_age_seconds \
+  gaia_flight_frames \
+  gaia_flight_capacity \
+  gaia_tenant_jobs_completed_total \
+  gaia_tenant_carbon_g_total \
+  gaia_tenant_baseline_cost_usd_total \
+  gaia_tenant_wait_hours_total; do
+  grep -q "^${family}" "${WORK}/prom.txt" \
+    || { echo "exposition lacks family ${family}" >&2; exit 1; }
+done
+grep -q 'le="+Inf"' "${WORK}/prom.txt" \
+  || { echo "histogram exposition lacks the +Inf bucket" >&2; exit 1; }
+grep -q 'gaia_requests_total{op="submit"} 300' "${WORK}/prom.txt" \
+  || { echo "exposition did not count 300 submits" >&2; exit 1; }
+# Cumulative-histogram well-formedness: the +Inf bucket equals _count.
+INF=$(grep -o 'gaia_submit_latency_seconds_bucket{le="+Inf"} [0-9]*' "${WORK}/prom.txt" | awk '{print $2}')
+COUNT=$(grep -o 'gaia_submit_latency_seconds_count [0-9]*' "${WORK}/prom.txt" | awk '{print $2}')
+[[ "${INF}" == "${COUNT}" && "${COUNT}" == "300" ]] \
+  || { echo "+Inf bucket ${INF} != count ${COUNT} (expected 300)" >&2; exit 1; }
+
+echo "== gaia top (two plain frames)"
+"${GAIA}" top --connect "${ADDR}" --iterations 2 --interval-ms 50 --plain > "${WORK}/top.out"
+for needle in TENANT p99 queued acme blue crux; do
+  grep -q -- "${needle}" "${WORK}/top.out" \
+    || { echo "gaia top output lacks ${needle}:" >&2; cat "${WORK}/top.out" >&2; exit 1; }
+done
+
+echo "== flight verb + dump validation"
+echo '{"op":"flight"}' | "${GAIA}" serve --connect "${ADDR}" > "${WORK}/flight-resp.out"
+grep -q '"ok":true,"op":"flight"' "${WORK}/flight-resp.out" \
+  || { echo "flight verb failed:" >&2; cat "${WORK}/flight-resp.out" >&2; exit 1; }
+[[ -s "${WORK}/flight.jsonl" ]] || { echo "flight dump missing" >&2; exit 1; }
+"${GAIA}" trace flight "${WORK}/flight.jsonl"
+
+echo "== SIGTERM: graceful exit must leave a fresh dump"
+rm -f "${WORK}/flight.jsonl"
+kill -TERM "${DAEMON_PID}"
+wait "${DAEMON_PID}" \
+  || { echo "daemon did not exit cleanly on SIGTERM" >&2; exit 1; }
+[[ -s "${WORK}/flight.jsonl" ]] \
+  || { echo "SIGTERM left no flight dump behind" >&2; exit 1; }
+"${GAIA}" trace flight "${WORK}/flight.jsonl"
+
+echo "telemetry gate passed: metrics verb, exposition, top, flight dumps"
