@@ -11,7 +11,7 @@ use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_metrics::normalize_to_max;
 use gaia_metrics::table::TextTable;
-use gaia_sweep::{Executor, SweepGrid, TraceFamily};
+use gaia_sweep::{SweepGrid, TraceFamily};
 
 fn main() {
     banner(
@@ -35,7 +35,7 @@ fn main() {
         .regions(vec![Region::California])
         .families(TraceFamily::ALL.to_vec())
         .seeds(vec![CARBON_SEED]);
-    let run = gaia_sweep::run_grid(&grid, &Executor::available());
+    let run = grid.runner().execute().expect("in-memory sweep");
 
     // Grid order is families-outer, policies-inner: one contiguous
     // chunk of summaries per family, NoWait first.

@@ -9,7 +9,7 @@ use bench::{banner, year_jobs, CARBON_SEED};
 use gaia_carbon::Region;
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_metrics::table::TextTable;
-use gaia_sweep::{Executor, SweepGrid, TraceFamily};
+use gaia_sweep::{SweepGrid, TraceFamily};
 
 fn main() {
     banner(
@@ -34,7 +34,7 @@ fn main() {
         .regions(regions.to_vec())
         .families(TraceFamily::ALL.to_vec())
         .seeds(vec![CARBON_SEED]);
-    let run = gaia_sweep::run_grid(&grid, &Executor::available());
+    let run = grid.runner().execute().expect("in-memory sweep");
 
     // Grid order: regions outer, families next, the (NoWait,
     // Carbon-Time) pair inner — two summaries per (region, family).

@@ -13,7 +13,7 @@ use gaia_carbon::Region;
 use gaia_core::catalog::{figure10_policies, PolicySpec};
 use gaia_metrics::table::TextTable;
 use gaia_metrics::{pareto_front, TradeOffPoint};
-use gaia_sweep::{ClusterSpec, Executor, SweepGrid};
+use gaia_sweep::{ClusterSpec, SweepGrid};
 
 fn main() {
     banner(
@@ -28,7 +28,7 @@ fn main() {
         .regions(vec![Region::SouthAustralia])
         .seeds(vec![11, 22, 33, 44, 55])
         .clusters(vec![ClusterSpec::on_demand(9).with_reserved(9)]);
-    let run = gaia_sweep::run_grid(&grid, &Executor::available());
+    let run = grid.runner().execute().expect("in-memory sweep");
     let groups = gaia_sweep::across_seed_groups(&run);
 
     let mut table = TextTable::new(vec![

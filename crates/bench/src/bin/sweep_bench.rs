@@ -1,0 +1,193 @@
+//! Sweep-orchestration benchmark: cold vs warm vs sharded execution of
+//! a year-scale grid through the [`gaia_sweep::SweepRunner`] engine.
+//!
+//! Three timed legs over the same grid:
+//!
+//! * **cold** — a fresh content-addressed result cache: every cell
+//!   simulates and persists its entry (compute + cache-write cost);
+//! * **warm** — the same cache again: every cell replays from disk, the
+//!   leg measures pure cache-read + decode cost and is the resume
+//!   fast-path a re-run of an interrupted sweep takes;
+//! * **sharded** — the grid split 3 ways by stable cell key, each shard
+//!   run to a slice directory and merged back (shard + merge overhead).
+//!
+//! Every leg doubles as a differential correctness check: warm results
+//! and the merged sharded run must serialize to byte-identical
+//! `scenarios.csv` against the cold run.
+//!
+//! Writes `BENCH_sweep.json` (override with `GAIA_BENCH_OUT`),
+//! re-parses it through `gaia_obs::json` as a schema self-check, and
+//! exits non-zero if the warm-cache speedup drops below the committed
+//! 5× floor — in quick mode too: the CI smoke job exists to prove the
+//! cache actually skips completed cells. Quick mode (`--quick` or
+//! `GAIA_BENCH_QUICK=1`) shrinks the job count, not the contract.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_sweep::{shard, store, Executor, SweepGrid, SweepRun};
+
+/// Warm-cache gate: replaying a year-scale cell from its cache entry
+/// must be at least this much faster than simulating it.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+/// Shards in the sharded leg, mirroring the CI shard check.
+const SHARDS: usize = 3;
+
+/// A unique scratch directory under the temp dir; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        let dir = std::env::temp_dir().join(format!("gaia-sweep-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn timed_run(build: impl FnOnce() -> std::io::Result<SweepRun>) -> (SweepRun, f64) {
+    let started = Instant::now();
+    let run = build().expect("sweep leg");
+    (run, started.elapsed().as_secs_f64())
+}
+
+fn main() -> std::process::ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("GAIA_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let out_path =
+        std::env::var("GAIA_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_owned());
+    let jobs = if quick { 3_000 } else { bench::year_jobs() };
+    let policies = if quick {
+        vec![
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+        ]
+    } else {
+        vec![
+            PolicySpec::plain(BasePolicyKind::NoWait),
+            PolicySpec::plain(BasePolicyKind::LowestWindow),
+            PolicySpec::plain(BasePolicyKind::CarbonTime),
+            PolicySpec::plain(BasePolicyKind::WaitAwhile),
+        ]
+    };
+    // Year-scale cells: the paper's 368-day billing horizon.
+    let grid = SweepGrid::year(jobs, 368)
+        .policies(policies)
+        .seeds(vec![42, 43]);
+    let cells = grid.len();
+    let executor = Executor::available().with_progress(false);
+    let scratch = Scratch::new();
+
+    // Leg 1: cold — simulate everything, persist every entry.
+    let cache_dir = scratch.0.join("cache");
+    let (cold, cold_s) = timed_run(|| {
+        grid.runner()
+            .executor(&executor)
+            .audit(true)
+            .resume(&cache_dir)
+            .execute()
+    });
+    let cold_stats = cold.disk_cache.expect("cache attached");
+    assert_eq!(cold_stats.misses as usize, cells, "cold cache misses all");
+    assert_eq!(cold_stats.persists as usize, cells);
+    println!("sweep_bench cold: {cells} cells x {jobs} jobs in {cold_s:.2}s");
+
+    // Leg 2: warm — every cell replays from its cache entry.
+    let (warm, warm_s) = timed_run(|| {
+        grid.runner()
+            .executor(&executor)
+            .audit(true)
+            .resume(&cache_dir)
+            .execute()
+    });
+    let warm_stats = warm.disk_cache.expect("cache attached");
+    assert_eq!(warm_stats.hits as usize, cells, "warm cache hits all");
+    assert_eq!(warm_stats.misses, 0);
+    let warm_speedup = cold_s / warm_s;
+    let warm_identical = store::scenarios_csv(&warm) == store::scenarios_csv(&cold);
+    println!("sweep_bench warm: {warm_s:.2}s — {warm_speedup:.1}x over cold");
+
+    // Leg 3: sharded — 3 slices (fresh shared cache) plus the merge.
+    let shard_cache = scratch.0.join("shard-cache");
+    let mut shard_s = Vec::new();
+    let mut shard_dirs = Vec::new();
+    for index in 0..SHARDS {
+        let (run, secs) = timed_run(|| {
+            grid.runner()
+                .executor(&executor)
+                .audit(true)
+                .shard(index, SHARDS)
+                .resume(&shard_cache)
+                .execute()
+        });
+        let dir = scratch.0.join(format!("shards/{index}-of-{SHARDS}"));
+        shard::write_shard(&dir, &run, None).expect("write shard slice");
+        shard_dirs.push(dir);
+        shard_s.push(secs);
+    }
+    let shard_total_s: f64 = shard_s.iter().sum();
+    let merge_t0 = Instant::now();
+    let merged = shard::merge_shards(&shard_dirs).expect("merge shards");
+    let merge_s = merge_t0.elapsed().as_secs_f64();
+    let merged_identical = store::scenarios_csv(&merged.run) == store::scenarios_csv(&cold);
+    println!(
+        "sweep_bench sharded: {SHARDS} shards in {shard_total_s:.2}s total \
+         + merge {merge_s:.3}s"
+    );
+
+    let pass = warm_identical && merged_identical && warm_speedup >= MIN_WARM_SPEEDUP;
+    println!(
+        "sweep_bench: warm speedup {warm_speedup:.1}x (gate >= {MIN_WARM_SPEEDUP}x), \
+         warm identical: {warm_identical}, merged identical: {merged_identical}{}{}",
+        if quick { ", quick mode" } else { "" },
+        if pass { "" } else { " — GATE FAILED" },
+    );
+
+    let shard_list = shard_s
+        .iter()
+        .map(|s| format!("{s:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"quick\": {quick},\n  \
+         \"cells\": {cells},\n  \"jobs\": {jobs},\n  \
+         \"cold_s\": {cold_s:.3},\n  \"warm_s\": {warm_s:.3},\n  \
+         \"warm_speedup\": {warm_speedup:.1},\n  \
+         \"warm_identical\": {warm_identical},\n  \
+         \"sharded\": {{\"shards\": {SHARDS}, \"shard_s\": [{shard_list}], \
+         \"total_s\": {shard_total_s:.3}, \"merge_s\": {merge_s:.3}}},\n  \
+         \"merged_identical\": {merged_identical},\n  \
+         \"min_warm_speedup\": {MIN_WARM_SPEEDUP},\n  \"pass\": {pass}\n}}\n",
+    );
+
+    // Schema self-check: the report must round-trip through the same
+    // JSON reader the tooling uses.
+    let parsed = gaia_obs::json::parse(&json).expect("bench JSON must parse");
+    for key in [
+        "cells",
+        "cold_s",
+        "warm_s",
+        "warm_speedup",
+        "sharded",
+        "merged_identical",
+        "pass",
+    ] {
+        assert!(parsed.get(key).is_some(), "bench JSON must carry {key:?}");
+    }
+    std::fs::write(&out_path, &json).expect("write bench report");
+
+    if pass {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

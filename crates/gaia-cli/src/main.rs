@@ -25,6 +25,25 @@ mod trace;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        // `gaia sweep merge` recombines completed shard runs; plain
+        // `gaia sweep` executes a grid (optionally one shard of it).
+        Some("sweep") if args.get(1).map(String::as_str) == Some("merge") => {
+            match sweep::MergeOptions::parse(&args[2..]) {
+                Ok(options) => {
+                    if options.help {
+                        print!("{}", sweep::MERGE_HELP);
+                        ExitCode::SUCCESS
+                    } else {
+                        sweep::execute_merge(&options)
+                    }
+                }
+                Err(message) => {
+                    gaia_obs::error!("{message}");
+                    gaia_obs::error!("run `gaia sweep merge --help` for usage");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("sweep") => match sweep::SweepOptions::parse(&args[1..]) {
             Ok(options) => {
                 if options.help {

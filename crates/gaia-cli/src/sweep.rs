@@ -1,7 +1,12 @@
 //! The `gaia sweep` subcommand: cartesian experiment grids on the
 //! gaia-sweep worker pool, with artifacts written to a result store.
+//!
+//! `gaia sweep --shard I/N` runs one deterministic slice of the grid
+//! and persists it under `<out>/<name>/shards/`; `gaia sweep merge`
+//! recombines completed slices into the standard single-process
+//! artifacts, byte-identical to a one-process run of the same grid.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -11,8 +16,8 @@ use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_metrics::table::TextTable;
 use gaia_obs::{MetricsRegistry, Profiler};
 use gaia_sweep::{
-    default_workers, ClusterSpec, Executor, FaultOptions, FaultPlan, FaultSchedule, ObsHooks,
-    QueueSpec, ResultStore, RetryPolicy, SweepGrid, TimingBench, TraceCache, TraceFamily,
+    default_workers, shard, ClusterSpec, Executor, FaultPlan, FaultSchedule, ObsHooks, QueueSpec,
+    ResultStore, RetryPolicy, SweepGrid, SweepRun, TimingBench, TraceCache, TraceFamily,
 };
 
 /// Help text printed for `gaia sweep --help`.
@@ -21,6 +26,7 @@ gaia sweep — run a cartesian experiment grid on the parallel sweep engine
 
 USAGE:
     gaia sweep [OPTIONS]
+    gaia sweep merge [OPTIONS] [SHARD_DIR ...]   (see gaia sweep merge --help)
 
 GRID (comma-separated lists; each defaults to one paper-default entry):
     --policies <A,B,..>    policy names (default: nowait,lowest-slot,
@@ -44,6 +50,23 @@ EXECUTION:
     --audit                validate every completed cell against the
                            engine's invariant audit (default: on)
     --no-audit             skip the invariant audit
+
+SHARDING & RESUMABILITY:
+    --shard I/N            run only the cells a stable hash of each cell
+                           key assigns to shard I of N (0-based); the
+                           slice is written to <out>/<name>/shards/I-of-N/
+                           instead of the run artifacts, and completed
+                           shards are recombined with `gaia sweep merge`.
+                           Incompatible with --bench (timing needs the
+                           whole grid in one process)
+    --cache-dir <DIR>      content-addressed on-disk result cache: every
+                           completed cell is persisted under DIR keyed by
+                           a fingerprint of its full inputs, and cells
+                           already present are replayed instead of
+                           recomputed — so re-running an interrupted
+                           sweep with the same cache dir resumes where it
+                           stopped, to byte-identical artifacts. Sharded
+                           runs default to <out>/cache
 
 OUTPUT:
     --out <DIR>            results root directory (default: results)
@@ -116,6 +139,8 @@ pub struct SweepOptions {
     pub audit: bool,
     pub out: String,
     pub name: String,
+    pub shard: Option<(usize, usize)>,
+    pub cache_dir: Option<String>,
     pub trace_dir: Option<String>,
     pub metrics: bool,
     pub faults: Option<String>,
@@ -149,6 +174,8 @@ impl Default for SweepOptions {
             audit: true,
             out: "results".to_owned(),
             name: "sweep".to_owned(),
+            shard: None,
+            cache_dir: None,
             trace_dir: None,
             metrics: false,
             faults: None,
@@ -254,6 +281,30 @@ impl SweepOptions {
                 "--no-audit" => options.audit = false,
                 "--out" => options.out = value("--out")?.to_owned(),
                 "--name" => options.name = value("--name")?.to_owned(),
+                "--shard" => {
+                    let spec = value("--shard")?;
+                    let (index, of) = spec
+                        .split_once('/')
+                        .ok_or_else(|| format!("--shard expects I/N, got {spec:?}"))?;
+                    let index: usize = index
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid shard index {index:?}"))?;
+                    let of: usize = of
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid shard count {of:?}"))?;
+                    if of == 0 {
+                        return Err("--shard count must be at least 1".into());
+                    }
+                    if index >= of {
+                        return Err(format!(
+                            "--shard index {index} out of range for {of} shard(s)"
+                        ));
+                    }
+                    options.shard = Some((index, of));
+                }
+                "--cache-dir" => options.cache_dir = Some(value("--cache-dir")?.to_owned()),
                 "--trace-dir" => options.trace_dir = Some(value("--trace-dir")?.to_owned()),
                 "--metrics" => options.metrics = true,
                 "--faults" => options.faults = Some(value("--faults")?.to_owned()),
@@ -299,7 +350,33 @@ impl SweepOptions {
         {
             return Err("grid dimensions must not be empty".into());
         }
+        if options.bench && options.shard.is_some() {
+            return Err(
+                "--bench is incompatible with --shard: timing compares the whole \
+                 grid in one process"
+                    .into(),
+            );
+        }
         Ok(options)
+    }
+
+    /// The on-disk result cache to resume from, if any: an explicit
+    /// `--cache-dir`, or the sharded-run default `<out>/cache` (shared
+    /// by every shard of the sweep so a merge-then-rerun stays warm).
+    pub fn resolved_cache_dir(&self) -> Option<PathBuf> {
+        match (&self.cache_dir, self.shard) {
+            (Some(dir), _) => Some(PathBuf::from(dir)),
+            (None, Some(_)) => Some(Path::new(&self.out).join("cache")),
+            (None, None) => None,
+        }
+    }
+
+    /// Where shard `index` of `of` persists its slice.
+    pub fn shard_dir(&self, index: usize, of: usize) -> PathBuf {
+        Path::new(&self.out)
+            .join(&self.name)
+            .join("shards")
+            .join(format!("{index}-of-{of}"))
     }
 
     /// The per-cell retry policy the flags describe.
@@ -389,134 +466,93 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
         }
     };
     let retry = options.retry_policy();
-    let faulted = schedule.is_some() || retry != RetryPolicy::default();
 
-    let (run, timing) = if faulted {
-        // Fault injection and retry share one harness path so the
-        // determinism contract (same fault file + seed + grid ⇒ identical
-        // artifacts for any worker count) holds with observability on.
-        let fault_options = FaultOptions {
-            schedule: schedule.as_ref(),
-            retry,
-        };
-        let serial_secs = options.bench.then(|| {
-            // Uninstrumented serial leg (fresh cache, no hooks) so trace
-            // I/O cannot skew the timing comparison.
-            match gaia_sweep::run_grid_faulted(
-                &grid,
-                &Executor::new(1),
-                &TraceCache::new(),
-                options.audit,
-                &fault_options,
-                None,
-            ) {
-                Ok(serial) => Ok(serial.wall.as_secs_f64()),
-                Err(error) => Err(error),
-            }
-        });
-        let serial_secs = match serial_secs.transpose() {
-            Ok(secs) => secs,
+    // The serial bench leg stays uninstrumented (fresh trace cache, no
+    // hooks, no result cache) so trace I/O and warm cache entries cannot
+    // skew the timing comparison.
+    let serial_secs = if options.bench {
+        let mut serial = grid
+            .runner()
+            .executor(&Executor::new(1))
+            .audit(options.audit)
+            .retry(retry);
+        if let Some(schedule) = schedule.as_ref() {
+            serial = serial.faults(schedule);
+        }
+        match serial.execute() {
+            Ok(run) => Some(run.wall.as_secs_f64()),
             Err(error) => {
                 gaia_obs::error!("serial bench leg: {error}");
                 return ExitCode::FAILURE;
             }
-        };
-        let cache = TraceCache::new().with_profiler(Arc::clone(&profiler));
-        let hooks = ObsHooks {
-            metrics: options.metrics.then_some(&registry),
-            profiler: options.metrics.then_some(&*profiler),
-            trace_dir: options.trace_dir.as_deref().map(Path::new),
-            sweep_sink: None,
-        };
-        let run = match gaia_sweep::run_grid_faulted(
-            &grid,
-            &executor,
-            &cache,
-            options.audit,
-            &fault_options,
-            Some(&hooks),
-        ) {
-            Ok(run) => run,
-            Err(error) => {
-                gaia_obs::error!("writing cell traces: {error}");
-                return ExitCode::FAILURE;
-            }
-        };
-        for cell in run.retried_cells() {
-            if let Some((attempts, timed_out, error)) = cell.retry_provenance() {
-                gaia_obs::warn!(
-                    "cell {} recovered after {attempts} attempts{} (last failure: {error})",
-                    cell.key,
-                    if timed_out {
-                        ", including a timeout"
-                    } else {
-                        ""
-                    },
-                );
-            }
         }
-        let timing = serial_secs.map(|serial_secs| {
-            let parallel_secs = run.wall.as_secs_f64();
-            TimingBench {
-                serial_secs,
-                parallel_secs,
-                workers: run.workers,
-                speedup: serial_secs / parallel_secs,
-            }
-        });
-        (run, timing)
-    } else if observed {
-        // With --bench, the serial leg stays uninstrumented (fresh cache,
-        // one worker) so trace I/O cannot skew the timing comparison;
-        // only the parallel leg feeds metrics and per-cell traces.
-        let serial_secs = options.bench.then(|| {
-            let serial = if options.audit {
-                gaia_sweep::run_grid_audited(&grid, &Executor::new(1), &TraceCache::new())
-            } else {
-                gaia_sweep::run_grid(&grid, &Executor::new(1))
-            };
-            serial.wall.as_secs_f64()
-        });
-        let cache = TraceCache::new().with_profiler(Arc::clone(&profiler));
-        let hooks = ObsHooks {
-            metrics: options.metrics.then_some(&registry),
-            profiler: options.metrics.then_some(&*profiler),
-            trace_dir: options.trace_dir.as_deref().map(Path::new),
-            sweep_sink: None,
-        };
-        let run =
-            match gaia_sweep::run_grid_observed(&grid, &executor, &cache, options.audit, &hooks) {
-                Ok(run) => run,
-                Err(error) => {
-                    gaia_obs::error!("writing cell traces: {error}");
-                    return ExitCode::FAILURE;
-                }
-            };
-        let timing = serial_secs.map(|serial_secs| {
-            let parallel_secs = run.wall.as_secs_f64();
-            TimingBench {
-                serial_secs,
-                parallel_secs,
-                workers: run.workers,
-                speedup: serial_secs / parallel_secs,
-            }
-        });
-        (run, timing)
-    } else if options.bench {
-        let (run, bench) = if options.audit {
-            gaia_sweep::time_grid_audited(&grid, options.workers)
-        } else {
-            gaia_sweep::time_grid(&grid, options.workers)
-        };
-        (run, Some(bench))
-    } else if options.audit {
-        (
-            gaia_sweep::run_grid_audited(&grid, &executor, &TraceCache::new()),
-            None,
-        )
     } else {
-        (gaia_sweep::run_grid(&grid, &executor), None)
+        None
     };
+
+    let cache = TraceCache::new().with_profiler(Arc::clone(&profiler));
+    let hooks = ObsHooks {
+        metrics: options.metrics.then_some(&registry),
+        profiler: options.metrics.then_some(&*profiler),
+        trace_dir: options.trace_dir.as_deref().map(Path::new),
+        sweep_sink: None,
+    };
+    let mut runner = grid
+        .runner()
+        .executor(&executor)
+        .cache(&cache)
+        .audit(options.audit)
+        .retry(retry);
+    if let Some(schedule) = schedule.as_ref() {
+        runner = runner.faults(schedule);
+    }
+    if observed {
+        runner = runner.obs(&hooks);
+    }
+    if let Some((index, of)) = options.shard {
+        runner = runner.shard(index, of);
+    }
+    if let Some(dir) = options.resolved_cache_dir() {
+        runner = runner.resume(dir);
+    }
+    let run = match runner.execute() {
+        Ok(run) => run,
+        Err(error) => {
+            gaia_obs::error!("sweep: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for cell in run.retried_cells() {
+        if let Some((attempts, timed_out, error)) = cell.retry_provenance() {
+            gaia_obs::warn!(
+                "cell {} recovered after {attempts} attempts{} (last failure: {error})",
+                cell.key,
+                if timed_out {
+                    ", including a timeout"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+    if let Some(stats) = run.disk_cache {
+        gaia_obs::info!(
+            "result cache: {} hit(s), {} miss(es), {} cell(s) persisted",
+            stats.hits,
+            stats.misses,
+            stats.persists
+        );
+    }
+    let timing = serial_secs.map(|serial_secs| {
+        let parallel_secs = run.wall.as_secs_f64();
+        TimingBench {
+            serial_secs,
+            parallel_secs,
+            workers: run.workers,
+            speedup: serial_secs / parallel_secs,
+        }
+    });
     if let Some(bench) = &timing {
         gaia_obs::info!(
             "bench: serial {:.2}s vs {} workers {:.2}s — speedup {:.2}x",
@@ -527,20 +563,27 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
         );
     }
 
-    let mut table = TextTable::new(vec!["scenario", "carbon (kg)", "cost ($)", "wait (h)"]);
-    for group in gaia_sweep::across_seed_groups(&run) {
-        table.row(vec![
-            group.key.clone(),
-            format!(
-                "{:.1} ± {:.1}",
-                group.stats.carbon_g.mean / 1000.0,
-                group.stats.carbon_g.std_dev / 1000.0
-            ),
-            group.stats.total_cost.display(2),
-            group.stats.mean_wait_hours.display(2),
-        ]);
+    // A shard persists its slice for a later merge instead of writing
+    // the (necessarily partial) run artifacts or aggregate table.
+    if let Some((index, of)) = options.shard {
+        let dir = options.shard_dir(index, of);
+        return match shard::write_shard(&dir, &run, options.metrics.then_some(&registry)) {
+            Ok(()) => {
+                gaia_obs::info!(
+                    "shard {index}/{of}: {} cell(s) written to {}",
+                    run.results.len(),
+                    dir.display()
+                );
+                audit_exit_code(&run)
+            }
+            Err(error) => {
+                gaia_obs::error!("writing shard slice: {error}");
+                ExitCode::FAILURE
+            }
+        };
     }
-    println!("{table}");
+
+    print_group_table(&run);
 
     match ResultStore::create(&options.out, &options.name).and_then(|store| {
         store
@@ -555,6 +598,154 @@ pub fn execute(options: &SweepOptions) -> ExitCode {
         Ok(store) => {
             gaia_obs::info!("artifacts written to {}", store.dir().display());
             audit_exit_code(&run)
+        }
+        Err(error) => {
+            gaia_obs::error!("writing results: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints the across-seed aggregate table shown after a full sweep or a
+/// merge.
+fn print_group_table(run: &SweepRun) {
+    let mut table = TextTable::new(vec!["scenario", "carbon (kg)", "cost ($)", "wait (h)"]);
+    for group in gaia_sweep::across_seed_groups(run) {
+        table.row(vec![
+            group.key.clone(),
+            format!(
+                "{:.1} ± {:.1}",
+                group.stats.carbon_g.mean / 1000.0,
+                group.stats.carbon_g.std_dev / 1000.0
+            ),
+            group.stats.total_cost.display(2),
+            group.stats.mean_wait_hours.display(2),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Help text printed for `gaia sweep merge --help`.
+pub const MERGE_HELP: &str = "\
+gaia sweep merge — recombine completed shard runs into one result set
+
+USAGE:
+    gaia sweep merge [OPTIONS] [SHARD_DIR ...]
+
+With no SHARD_DIR arguments, every directory under <out>/<name>/shards/
+is merged. The merge validates that the slices came from the same grid,
+agree on the shard count, and cover every cell exactly once; it then
+writes the standard run artifacts (manifest.json, scenarios.csv,
+aggregate.csv, aggregate.json, plus metrics.json when every shard was
+run with --metrics) to <out>/<name>/ — byte-identical to a
+single-process `gaia sweep` of the same grid, except for wall-clock
+facts that live only in manifest.json.
+
+OPTIONS:
+    --out <DIR>            results root directory (default: results)
+    --name <NAME>          run directory name (default: sweep)
+    --help                 show this message
+
+EXIT CODES:
+    0  every merged cell completed and the audit found no violations
+    1  usage or I/O error, or an incomplete/inconsistent shard set
+    2  the merged run records failed cells or audit violations
+";
+
+/// Parsed `gaia sweep merge` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOptions {
+    pub help: bool,
+    pub out: String,
+    pub name: String,
+    /// Explicit shard directories; when empty, `<out>/<name>/shards/*`
+    /// is discovered instead.
+    pub dirs: Vec<String>,
+}
+
+impl MergeOptions {
+    /// Parses the arguments following `gaia sweep merge`.
+    pub fn parse(args: &[String]) -> Result<MergeOptions, String> {
+        let mut options = MergeOptions {
+            help: false,
+            out: "results".to_owned(),
+            name: "sweep".to_owned(),
+            dirs: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => options.help = true,
+                "--out" => options.out = value("--out")?.to_owned(),
+                "--name" => options.name = value("--name")?.to_owned(),
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other:?}"));
+                }
+                dir => options.dirs.push(dir.to_owned()),
+            }
+        }
+        Ok(options)
+    }
+
+    /// The shard directories to merge: the explicit arguments, or every
+    /// directory under `<out>/<name>/shards/` in name order.
+    pub fn shard_dirs(&self) -> Result<Vec<PathBuf>, String> {
+        if !self.dirs.is_empty() {
+            return Ok(self.dirs.iter().map(PathBuf::from).collect());
+        }
+        let root = Path::new(&self.out).join(&self.name).join("shards");
+        let entries = std::fs::read_dir(&root)
+            .map_err(|e| format!("cannot list shard root {}: {e}", root.display()))?;
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.is_dir())
+            .collect();
+        dirs.sort();
+        if dirs.is_empty() {
+            return Err(format!("no shard directories under {}", root.display()));
+        }
+        Ok(dirs)
+    }
+}
+
+/// Runs `gaia sweep merge`: validates and combines completed shard
+/// slices, then writes the standard run artifacts.
+pub fn execute_merge(options: &MergeOptions) -> ExitCode {
+    let dirs = match options.shard_dirs() {
+        Ok(dirs) => dirs,
+        Err(error) => {
+            gaia_obs::error!("{error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let merged = match shard::merge_shards(&dirs) {
+        Ok(merged) => merged,
+        Err(error) => {
+            gaia_obs::error!("merge: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    gaia_obs::info!(
+        "merged {} shard(s): {} cell(s)",
+        dirs.len(),
+        merged.run.results.len()
+    );
+
+    print_group_table(&merged.run);
+
+    match ResultStore::create(&options.out, &options.name).and_then(|store| {
+        store
+            .write_observed(&merged.run, None, merged.metrics.as_ref(), None)
+            .map(|()| store)
+    }) {
+        Ok(store) => {
+            gaia_obs::info!("artifacts written to {}", store.dir().display());
+            audit_exit_code(&merged.run)
         }
         Err(error) => {
             gaia_obs::error!("writing results: {error}");
@@ -743,5 +934,62 @@ mod tests {
         assert!(parse(&[]).expect("valid").audit);
         assert!(!parse(&["--no-audit"]).expect("valid").audit);
         assert!(parse(&["--no-audit", "--audit"]).expect("valid").audit);
+    }
+
+    #[test]
+    fn shard_and_cache_flags() {
+        let o = parse(&["--shard", "1/3", "--out", "/tmp/x", "--name", "demo"]).expect("valid");
+        assert_eq!(o.shard, Some((1, 3)));
+        // Sharded runs share a result cache under the results root by
+        // default, and persist their slice under the run directory.
+        assert_eq!(o.resolved_cache_dir(), Some(PathBuf::from("/tmp/x/cache")));
+        assert_eq!(
+            o.shard_dir(1, 3),
+            PathBuf::from("/tmp/x/demo/shards/1-of-3")
+        );
+
+        let explicit = parse(&["--cache-dir", "/tmp/warm"]).expect("valid");
+        assert_eq!(explicit.shard, None);
+        assert_eq!(
+            explicit.resolved_cache_dir(),
+            Some(PathBuf::from("/tmp/warm"))
+        );
+        // No shard and no --cache-dir: no disk cache at all.
+        assert_eq!(parse(&[]).expect("valid").resolved_cache_dir(), None);
+
+        assert!(parse(&["--shard", "3"]).is_err(), "missing the /N part");
+        assert!(parse(&["--shard", "3/3"]).is_err(), "index out of range");
+        assert!(parse(&["--shard", "0/0"]).is_err(), "zero shards");
+        assert!(parse(&["--shard", "x/2"]).is_err(), "non-numeric index");
+        assert!(
+            parse(&["--shard", "0/2", "--bench"]).is_err(),
+            "bench needs the whole grid in one process"
+        );
+        assert!(HELP.contains("--shard"));
+        assert!(HELP.contains("--cache-dir"));
+    }
+
+    #[test]
+    fn merge_options_parse() {
+        let merge_parse = |args: &[&str]| {
+            MergeOptions::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        let defaults = merge_parse(&[]).expect("valid");
+        assert_eq!(defaults.out, "results");
+        assert_eq!(defaults.name, "sweep");
+        assert!(defaults.dirs.is_empty());
+
+        let explicit = merge_parse(&["--out", "/tmp/x", "--name", "demo", "a/0-of-2", "a/1-of-2"])
+            .expect("valid");
+        assert_eq!(explicit.out, "/tmp/x");
+        assert_eq!(explicit.dirs, vec!["a/0-of-2", "a/1-of-2"]);
+        assert_eq!(
+            explicit.shard_dirs().expect("explicit dirs"),
+            vec![PathBuf::from("a/0-of-2"), PathBuf::from("a/1-of-2")]
+        );
+
+        assert!(merge_parse(&["--frobnicate"]).is_err());
+        assert!(merge_parse(&["--help"]).expect("valid").help);
+        assert!(MERGE_HELP.contains("byte-identical"));
     }
 }

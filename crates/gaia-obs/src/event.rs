@@ -94,6 +94,9 @@ pub enum CacheKind {
     Carbon,
     /// A synthetic workload keyed by family and seed.
     Workload,
+    /// A persisted per-cell sweep result in the content-addressed
+    /// on-disk result cache.
+    Result,
 }
 
 impl CacheKind {
@@ -102,6 +105,7 @@ impl CacheKind {
         match self {
             CacheKind::Carbon => "carbon",
             CacheKind::Workload => "workload",
+            CacheKind::Result => "result",
         }
     }
 
@@ -110,6 +114,7 @@ impl CacheKind {
         match s {
             "carbon" => Some(CacheKind::Carbon),
             "workload" => Some(CacheKind::Workload),
+            "result" => Some(CacheKind::Result),
             _ => None,
         }
     }
@@ -271,6 +276,36 @@ pub enum Event {
         /// Human-readable cache key.
         key: String,
     },
+    /// A freshly computed artifact was persisted to a durable cache
+    /// (today: per-cell sweep results, [`CacheKind::Result`]).
+    CachePersist {
+        /// Which cache.
+        kind: CacheKind,
+        /// Human-readable cache key.
+        key: String,
+    },
+    /// A sweep shard began executing its slice of the grid.
+    /// **Not deterministic** (orchestration-level, wall-clock ordering).
+    ShardStarted {
+        /// 0-based shard index.
+        shard: u64,
+        /// Total shard count.
+        of: u64,
+        /// Cells assigned to this shard.
+        cells: u64,
+    },
+    /// A sweep shard finished its slice of the grid.
+    /// **Not deterministic** (orchestration-level, wall-clock ordering).
+    ShardFinished {
+        /// 0-based shard index.
+        shard: u64,
+        /// Total shard count.
+        of: u64,
+        /// Cells that produced a summary (including recovered retries).
+        completed: u64,
+        /// Cells that exhausted their retry budget.
+        failed: u64,
+    },
     /// The serving layer accepted a job submission from a tenant.
     JobAccepted {
         /// Sim time, minutes (the submission instant on the service
@@ -319,6 +354,9 @@ impl Event {
             Event::CellRetried { .. } => "cell_retried",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
+            Event::CachePersist { .. } => "cache_persist",
+            Event::ShardStarted { .. } => "shard_started",
+            Event::ShardFinished { .. } => "shard_finished",
             Event::JobAccepted { .. } => "job_accepted",
             Event::Replan { .. } => "replan",
             Event::SnapshotWritten { .. } => "snapshot_written",
@@ -344,7 +382,10 @@ impl Event {
             | Event::CellFinished { .. }
             | Event::CellRetried { .. }
             | Event::CacheHit { .. }
-            | Event::CacheMiss { .. } => None,
+            | Event::CacheMiss { .. }
+            | Event::CachePersist { .. }
+            | Event::ShardStarted { .. }
+            | Event::ShardFinished { .. } => None,
         }
     }
 
@@ -486,6 +527,26 @@ impl Event {
                 push_str(&mut s, "kind", kind.as_str());
                 push_str(&mut s, "key", key);
             }
+            Event::CachePersist { kind, key } => {
+                push_str(&mut s, "kind", kind.as_str());
+                push_str(&mut s, "key", key);
+            }
+            Event::ShardStarted { shard, of, cells } => {
+                push_u64(&mut s, "shard", *shard);
+                push_u64(&mut s, "of", *of);
+                push_u64(&mut s, "cells", *cells);
+            }
+            Event::ShardFinished {
+                shard,
+                of,
+                completed,
+                failed,
+            } => {
+                push_u64(&mut s, "shard", *shard);
+                push_u64(&mut s, "of", *of);
+                push_u64(&mut s, "completed", *completed);
+                push_u64(&mut s, "failed", *failed);
+            }
             Event::JobAccepted { t, job, tenant } => {
                 push_u64(&mut s, "t", *t);
                 push_u64(&mut s, "job", *job);
@@ -595,6 +656,22 @@ impl Event {
                 kind: CacheKind::parse(&req_str(&value, "kind")?)
                     .ok_or_else(|| format!("unknown cache kind in: {line}"))?,
                 key: req_str(&value, "key")?,
+            }),
+            "cache_persist" => Ok(Event::CachePersist {
+                kind: CacheKind::parse(&req_str(&value, "kind")?)
+                    .ok_or_else(|| format!("unknown cache kind in: {line}"))?,
+                key: req_str(&value, "key")?,
+            }),
+            "shard_started" => Ok(Event::ShardStarted {
+                shard: req_u64(&value, "shard")?,
+                of: req_u64(&value, "of")?,
+                cells: req_u64(&value, "cells")?,
+            }),
+            "shard_finished" => Ok(Event::ShardFinished {
+                shard: req_u64(&value, "shard")?,
+                of: req_u64(&value, "of")?,
+                completed: req_u64(&value, "completed")?,
+                failed: req_u64(&value, "failed")?,
             }),
             "job_accepted" => Ok(Event::JobAccepted {
                 t: req_u64(&value, "t")?,
@@ -784,6 +861,21 @@ mod tests {
                 kind: CacheKind::Workload,
                 key: "Alibaba/s42".into(),
             },
+            Event::CachePersist {
+                kind: CacheKind::Result,
+                key: "Carbon-Time/SA-AU/Alibaba/week/s42".into(),
+            },
+            Event::ShardStarted {
+                shard: 1,
+                of: 3,
+                cells: 8,
+            },
+            Event::ShardFinished {
+                shard: 1,
+                of: 3,
+                completed: 8,
+                failed: 0,
+            },
             Event::JobAccepted {
                 t: 120,
                 job: 9,
@@ -874,7 +966,10 @@ mod tests {
                 | Event::CellFinished { .. }
                 | Event::CellRetried { .. }
                 | Event::CacheHit { .. }
-                | Event::CacheMiss { .. } => assert_eq!(ev.timestamp(), None),
+                | Event::CacheMiss { .. }
+                | Event::CachePersist { .. }
+                | Event::ShardStarted { .. }
+                | Event::ShardFinished { .. } => assert_eq!(ev.timestamp(), None),
                 _ => assert!(ev.timestamp().is_some(), "{}", ev.name()),
             }
         }

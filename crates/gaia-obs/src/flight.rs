@@ -94,7 +94,9 @@ impl FlightFrame {
             Event::CellStarted { idx, .. } => (*idx, 0),
             Event::CellFinished { idx, .. } => (*idx, 0),
             Event::CellRetried { idx, attempt, .. } => (*idx, *attempt),
-            Event::CacheHit { .. } | Event::CacheMiss { .. } => (0, 0),
+            Event::CacheHit { .. } | Event::CacheMiss { .. } | Event::CachePersist { .. } => (0, 0),
+            Event::ShardStarted { shard, of, .. } => (*shard, *of),
+            Event::ShardFinished { shard, of, .. } => (*shard, *of),
             Event::FaultInjected { start, end, .. } => (*start, *end),
             Event::DegradedModeEntered { until, .. } => (0, *until),
             Event::JobAccepted { job, .. } => (*job, 0),

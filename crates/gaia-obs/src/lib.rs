@@ -74,7 +74,7 @@ pub mod trace_summary;
 
 pub use event::{CacheKind, Event, PlanMode, PoolKind};
 pub use flight::{FlightFrame, FlightRecorder, FlightSink};
-pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use profile::{Profiler, TimerGuard};
 pub use sink::{CountingSink, EmitSink, JsonlSink, NullSink, SharedSink, Sink, VecSink};
 pub use trace_summary::{SummaryStream, TraceSummary};

@@ -190,6 +190,22 @@ impl Histogram {
             .fetch_add(other.sum_micro.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Fold raw histogram state into this one: per-bucket counts plus
+    /// the total count and fixed-point sum. This is the deserialization
+    /// half of [`Histogram::merge_from`] — a shard or result-cache entry
+    /// stores `(bucket_counts, count, sum_micros)` and replays it here,
+    /// producing the same state as having observed the original stream.
+    /// `buckets` beyond [`HISTOGRAM_BUCKETS`] entries are ignored.
+    pub fn merge_raw(&self, buckets: &[u64], count: u64, sum_micro: u64) {
+        for (mine, &n) in self.buckets.iter().zip(buckets.iter()) {
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum_micro.fetch_add(sum_micro, Ordering::Relaxed);
+    }
+
     /// Append this histogram's state to a JSON string: count, sum (in
     /// units), and the non-empty buckets as `{"le": <units>, "count"}`
     /// pairs. Sparse on purpose — 64 mostly-empty buckets would bloat
@@ -289,6 +305,45 @@ impl MetricsRegistry {
         drop(histograms);
         out.push_str("\n  }\n}\n");
         out
+    }
+
+    /// Every counter as `(name, value)`, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let counters = self.counters.lock().expect("metrics registry lock");
+        counters
+            .iter()
+            .map(|(name, value)| (name.clone(), value.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Every histogram handle as `(name, histogram)`, sorted by name.
+    pub fn histogram_values(&self) -> Vec<(String, Arc<Histogram>)> {
+        let histograms = self.histograms.lock().expect("metrics registry lock");
+        histograms
+            .iter()
+            .map(|(name, hist)| (name.clone(), Arc::clone(hist)))
+            .collect()
+    }
+
+    /// Fold another registry into this one: counters add, histograms
+    /// merge bucket-wise. Metrics accumulation is commutative, so
+    /// merging per-cell or per-shard registries in any order yields the
+    /// same state as observing everything into one registry — the
+    /// property that keeps `metrics.json` byte-identical across worker
+    /// and shard counts.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        for (name, value) in other.counter_values() {
+            if value > 0 {
+                self.counter(&name).add(value);
+            } else {
+                // Still materialize the name so snapshots list the same
+                // metric set regardless of observed values.
+                self.counter(&name);
+            }
+        }
+        for (name, hist) in other.histogram_values() {
+            self.histogram(&name).merge_from(&hist);
+        }
     }
 }
 
@@ -395,6 +450,47 @@ mod tests {
         assert_eq!(a.count(), merged.count());
         assert_eq!(a.sum_micros(), merged.sum_micros());
         assert_eq!(a.bucket_counts(), merged.bucket_counts());
+    }
+
+    #[test]
+    fn registry_merge_equals_single_registry() {
+        let direct = MetricsRegistry::new();
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for i in 0..50u64 {
+            let (part, whole) = if i % 3 == 0 {
+                (&a, &direct)
+            } else {
+                (&b, &direct)
+            };
+            part.counter("n").inc();
+            whole.counter("n").inc();
+            part.histogram("v").observe_micros(i * 97);
+            whole.histogram("v").observe_micros(i * 97);
+        }
+        a.counter("only_zero"); // name without increments still merges
+        direct.counter("only_zero");
+        let merged = MetricsRegistry::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.snapshot_json(), direct.snapshot_json());
+    }
+
+    #[test]
+    fn merge_raw_replays_serialized_state() {
+        let src = Histogram::new();
+        for micro in [3u64, 700, 15_000, 2_000_000] {
+            src.observe_micros(micro);
+        }
+        let dst = Histogram::new();
+        dst.observe_micros(42);
+        let replay = Histogram::new();
+        replay.observe_micros(42);
+        replay.merge_from(&src);
+        dst.merge_raw(&src.bucket_counts(), src.count(), src.sum_micros());
+        assert_eq!(dst.bucket_counts(), replay.bucket_counts());
+        assert_eq!(dst.count(), replay.count());
+        assert_eq!(dst.sum_micros(), replay.sum_micros());
     }
 
     #[test]

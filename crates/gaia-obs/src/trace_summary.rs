@@ -75,6 +75,10 @@ pub struct TraceSummary {
     pub cache_hits: u64,
     /// See [`TraceSummary::cache_hits`].
     pub cache_misses: u64,
+    /// `CachePersist` count (durable result-cache writes).
+    pub cache_persists: u64,
+    /// `ShardFinished` count (sweep shards observed in the stream).
+    pub shards_finished: u64,
     /// `JobAccepted` count (serving-layer submissions).
     pub jobs_accepted: u64,
     /// `Replan` count (incremental planner runs in the serving layer).
@@ -199,6 +203,12 @@ impl TraceSummary {
             }
             out.push_str(&format!("  cache hits        {}\n", self.cache_hits));
             out.push_str(&format!("  cache misses      {}\n", self.cache_misses));
+            if self.cache_persists > 0 {
+                out.push_str(&format!("  cache persists    {}\n", self.cache_persists));
+            }
+            if self.shards_finished > 0 {
+                out.push_str(&format!("  shards finished   {}\n", self.shards_finished));
+            }
         }
         if self.issues.is_empty() {
             out.push_str("\nstream checks: ok\n");
@@ -364,9 +374,11 @@ impl Builder {
                 }
             }
             Event::CellRetried { .. } => s.cells_retried += 1,
-            Event::CellStarted { .. } => {}
+            Event::CellStarted { .. } | Event::ShardStarted { .. } => {}
+            Event::ShardFinished { .. } => s.shards_finished += 1,
             Event::CacheHit { .. } => s.cache_hits += 1,
             Event::CacheMiss { .. } => s.cache_misses += 1,
+            Event::CachePersist { .. } => s.cache_persists += 1,
             Event::JobAccepted { .. } => s.jobs_accepted += 1,
             Event::Replan { .. } => s.replans += 1,
             Event::SnapshotWritten { .. } => s.snapshots_written += 1,

@@ -84,4 +84,4 @@ pub use online::{CancelOutcome, JobStatus, OnlineEngine};
 pub use plan::{Decision, PurchaseOption, SegmentPlan};
 pub use pool::ReservedPool;
 pub use report::{AllocationTimeline, DegradationStats, SimReport};
-pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{fnv1a, SnapshotError, SNAPSHOT_VERSION};

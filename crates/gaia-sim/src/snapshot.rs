@@ -82,7 +82,11 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// FNV-1a over arbitrary bytes; stable, dependency-free fingerprinting.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+///
+/// Public because the sweep layer content-addresses its on-disk result
+/// cache with the same machinery (`gaia-sweep`'s cell fingerprints),
+/// keeping every fingerprint in the workspace on one algorithm.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -117,7 +117,12 @@ mod tests {
             ])
             .seeds(vec![1, 2, 3]);
         let cache = TraceCache::new();
-        let run = crate::run_grid_with_cache(&grid, &Executor::new(1).with_progress(false), &cache);
+        let run = grid
+            .runner()
+            .executor(&Executor::new(1).with_progress(false))
+            .cache(&cache)
+            .execute()
+            .unwrap();
         let groups = across_seed_groups(&run);
         assert_eq!(groups.len(), 2, "two policies, seeds folded");
         assert_eq!(groups[0].stats.name, "NoWait");
@@ -138,7 +143,13 @@ mod tests {
             ])
             .seeds(vec![1, 2]);
         let cache = TraceCache::new();
-        let run = crate::run_grid_audited(&grid, &Executor::new(1).with_progress(false), &cache);
+        let run = grid
+            .runner()
+            .executor(&Executor::new(1).with_progress(false))
+            .cache(&cache)
+            .audit(true)
+            .execute()
+            .unwrap();
         let groups = across_seed_groups(&run);
         assert_eq!(groups.len(), 1, "the all-failed Bad-Plan group is dropped");
         assert_eq!(groups[0].stats.name, "NoWait");

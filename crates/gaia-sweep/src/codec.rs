@@ -1,0 +1,758 @@
+//! Hand-rolled little-endian binary codec for sweep persistence.
+//!
+//! The vendored serde derives are no-ops, so everything the sweep layer
+//! persists — content-addressed result-cache entries and shard cell
+//! manifests — is encoded here by hand, mirroring the discipline of
+//! `gaia-sim/src/snapshot.rs`: integers little-endian, floats as raw
+//! `f64::to_bits`, strings length-prefixed UTF-8, options as a 0/1 tag.
+//! Readers bounds-check every take, validate enum tags, and reject
+//! trailing bytes, so a truncated or bit-flipped file decodes to an
+//! error instead of a wrong result.
+//!
+//! Determinism matters more than compactness: the same value always
+//! encodes to the same bytes (f64 via `to_bits`, no varints, no maps
+//! with unstable order), which is what lets cell fingerprints and shard
+//! manifests participate in the byte-identity contract.
+
+use gaia_carbon::Region;
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::SpotConfig;
+use gaia_metrics::Summary;
+use gaia_obs::{MetricsRegistry, HISTOGRAM_BUCKETS};
+use gaia_sim::{AuditInvariant, AuditReport, AuditViolation};
+use gaia_time::Minutes;
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::JobId;
+
+use crate::grid::{ClusterSpec, QueueSpec, ScaleSpec, Scenario, SweepGrid};
+use crate::CellOutcome;
+
+/// Decode failures are strings; callers wrap them into their own error
+/// types (cache: treat as miss; merge: report as corrupt shard).
+pub(crate) type Result<T> = std::result::Result<T, String>;
+
+// ---------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw IEEE-754 bits: NaN payloads and signed zeros round-trip.
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    pub(crate) fn opt<T: ?Sized>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(inner) => {
+                self.u8(1);
+                f(self, inner);
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian byte source.
+pub(crate) struct Reader<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    pub(crate) fn new(bytes: &'b [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'b [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len().saturating_sub(self.pos)
+                )
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Rejects trailing bytes so appended garbage is detected.
+    pub(crate) fn done(&self) -> Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after decoded value",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("invalid bool tag {other}")),
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Element count, guarded so a corrupt length cannot trigger a huge
+    /// allocation: the remaining input must plausibly hold `count`
+    /// elements of at least `min_elem_bytes` each.
+    pub(crate) fn count(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let count = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        let need = count.checked_mul(min_elem_bytes.max(1) as u64);
+        match need {
+            Some(need) if need <= remaining => Ok(count as usize),
+            _ => Err(format!(
+                "implausible element count {count} ({} bytes remain)",
+                remaining
+            )),
+        }
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.count(1)?;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid UTF-8 string: {e}"))
+    }
+
+    pub(crate) fn opt<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T>,
+    ) -> Result<Option<T>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            other => Err(format!("invalid option tag {other}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain encodings
+// ---------------------------------------------------------------------
+
+fn base_policy_tag(base: BasePolicyKind) -> u8 {
+    match base {
+        BasePolicyKind::NoWait => 0,
+        BasePolicyKind::AllWaitThreshold => 1,
+        BasePolicyKind::WaitAwhile => 2,
+        BasePolicyKind::Ecovisor => 3,
+        BasePolicyKind::LowestSlot => 4,
+        BasePolicyKind::LowestWindow => 5,
+        BasePolicyKind::CarbonTime => 6,
+        BasePolicyKind::BadPlan => 7,
+    }
+}
+
+fn base_policy_from_tag(tag: u8) -> Result<BasePolicyKind> {
+    Ok(match tag {
+        0 => BasePolicyKind::NoWait,
+        1 => BasePolicyKind::AllWaitThreshold,
+        2 => BasePolicyKind::WaitAwhile,
+        3 => BasePolicyKind::Ecovisor,
+        4 => BasePolicyKind::LowestSlot,
+        5 => BasePolicyKind::LowestWindow,
+        6 => BasePolicyKind::CarbonTime,
+        7 => BasePolicyKind::BadPlan,
+        other => return Err(format!("invalid base policy tag {other}")),
+    })
+}
+
+fn region_tag(region: Region) -> u8 {
+    match region {
+        Region::Sweden => 0,
+        Region::Ontario => 1,
+        Region::SouthAustralia => 2,
+        Region::California => 3,
+        Region::Netherlands => 4,
+        Region::Kentucky => 5,
+    }
+}
+
+fn region_from_tag(tag: u8) -> Result<Region> {
+    Ok(match tag {
+        0 => Region::Sweden,
+        1 => Region::Ontario,
+        2 => Region::SouthAustralia,
+        3 => Region::California,
+        4 => Region::Netherlands,
+        5 => Region::Kentucky,
+        other => return Err(format!("invalid region tag {other}")),
+    })
+}
+
+fn family_tag(family: TraceFamily) -> u8 {
+    match family {
+        TraceFamily::AlibabaPai => 0,
+        TraceFamily::AzureVm => 1,
+        TraceFamily::MustangHpc => 2,
+    }
+}
+
+fn family_from_tag(tag: u8) -> Result<TraceFamily> {
+    Ok(match tag {
+        0 => TraceFamily::AlibabaPai,
+        1 => TraceFamily::AzureVm,
+        2 => TraceFamily::MustangHpc,
+        other => return Err(format!("invalid trace family tag {other}")),
+    })
+}
+
+fn invariant_tag(invariant: AuditInvariant) -> u8 {
+    match invariant {
+        AuditInvariant::SegmentCoverage => 0,
+        AuditInvariant::Occupancy => 1,
+        AuditInvariant::Accounting => 2,
+        AuditInvariant::WorkConservation => 3,
+        AuditInvariant::Timing => 4,
+        AuditInvariant::Degradation => 5,
+    }
+}
+
+fn invariant_from_tag(tag: u8) -> Result<AuditInvariant> {
+    Ok(match tag {
+        0 => AuditInvariant::SegmentCoverage,
+        1 => AuditInvariant::Occupancy,
+        2 => AuditInvariant::Accounting,
+        3 => AuditInvariant::WorkConservation,
+        4 => AuditInvariant::Timing,
+        5 => AuditInvariant::Degradation,
+        other => return Err(format!("invalid audit invariant tag {other}")),
+    })
+}
+
+pub(crate) fn write_policy(w: &mut Writer, policy: &PolicySpec) {
+    w.u8(base_policy_tag(policy.base));
+    w.bool(policy.res_first);
+    w.opt(policy.spot.as_ref(), |w, spot: &SpotConfig| {
+        w.u64(spot.j_max.as_minutes());
+    });
+}
+
+pub(crate) fn read_policy(r: &mut Reader<'_>) -> Result<PolicySpec> {
+    let base = base_policy_from_tag(r.u8()?)?;
+    let res_first = r.bool()?;
+    let spot = r.opt(|r| {
+        Ok(SpotConfig {
+            j_max: Minutes::new(r.u64()?),
+        })
+    })?;
+    Ok(PolicySpec {
+        base,
+        res_first,
+        spot,
+    })
+}
+
+pub(crate) fn write_scale(w: &mut Writer, scale: ScaleSpec) {
+    match scale {
+        ScaleSpec::Week => w.u8(0),
+        ScaleSpec::Year { jobs } => {
+            w.u8(1);
+            w.u64(jobs as u64);
+        }
+    }
+}
+
+pub(crate) fn read_scale(r: &mut Reader<'_>) -> Result<ScaleSpec> {
+    Ok(match r.u8()? {
+        0 => ScaleSpec::Week,
+        1 => ScaleSpec::Year {
+            jobs: r.u64()? as usize,
+        },
+        other => return Err(format!("invalid scale tag {other}")),
+    })
+}
+
+pub(crate) fn write_cluster(w: &mut Writer, cluster: &ClusterSpec) {
+    w.u32(cluster.reserved);
+    w.f64(cluster.eviction);
+    w.u64(cluster.billing_days);
+}
+
+pub(crate) fn read_cluster(r: &mut Reader<'_>) -> Result<ClusterSpec> {
+    Ok(ClusterSpec {
+        reserved: r.u32()?,
+        eviction: r.f64()?,
+        billing_days: r.u64()?,
+    })
+}
+
+pub(crate) fn write_queues(w: &mut Writer, queues: &QueueSpec) {
+    w.u64(queues.short_hours);
+    w.u64(queues.long_hours);
+}
+
+pub(crate) fn read_queues(r: &mut Reader<'_>) -> Result<QueueSpec> {
+    Ok(QueueSpec {
+        short_hours: r.u64()?,
+        long_hours: r.u64()?,
+    })
+}
+
+pub(crate) fn write_scenario(w: &mut Writer, scenario: &Scenario) {
+    write_policy(w, &scenario.policy);
+    w.u8(region_tag(scenario.region));
+    w.u8(family_tag(scenario.family));
+    write_scale(w, scenario.scale);
+    w.u64(scenario.seed);
+    write_cluster(w, &scenario.cluster);
+    write_queues(w, &scenario.queues);
+}
+
+pub(crate) fn read_scenario(r: &mut Reader<'_>) -> Result<Scenario> {
+    Ok(Scenario {
+        policy: read_policy(r)?,
+        region: region_from_tag(r.u8()?)?,
+        family: family_from_tag(r.u8()?)?,
+        scale: read_scale(r)?,
+        seed: r.u64()?,
+        cluster: read_cluster(r)?,
+        queues: read_queues(r)?,
+    })
+}
+
+pub(crate) fn write_grid(w: &mut Writer, grid: &SweepGrid) {
+    w.u64(grid.policies.len() as u64);
+    for policy in &grid.policies {
+        write_policy(w, policy);
+    }
+    w.u64(grid.regions.len() as u64);
+    for &region in &grid.regions {
+        w.u8(region_tag(region));
+    }
+    w.u64(grid.families.len() as u64);
+    for &family in &grid.families {
+        w.u8(family_tag(family));
+    }
+    write_scale(w, grid.scale);
+    w.u64(grid.seeds.len() as u64);
+    for &seed in &grid.seeds {
+        w.u64(seed);
+    }
+    w.u64(grid.clusters.len() as u64);
+    for cluster in &grid.clusters {
+        write_cluster(w, cluster);
+    }
+    w.u64(grid.queues.len() as u64);
+    for queues in &grid.queues {
+        write_queues(w, queues);
+    }
+}
+
+pub(crate) fn read_grid(r: &mut Reader<'_>) -> Result<SweepGrid> {
+    let n = r.count(3)?;
+    let mut policies = Vec::with_capacity(n);
+    for _ in 0..n {
+        policies.push(read_policy(r)?);
+    }
+    let n = r.count(1)?;
+    let mut regions = Vec::with_capacity(n);
+    for _ in 0..n {
+        regions.push(region_from_tag(r.u8()?)?);
+    }
+    let n = r.count(1)?;
+    let mut families = Vec::with_capacity(n);
+    for _ in 0..n {
+        families.push(family_from_tag(r.u8()?)?);
+    }
+    let scale = read_scale(r)?;
+    let n = r.count(8)?;
+    let mut seeds = Vec::with_capacity(n);
+    for _ in 0..n {
+        seeds.push(r.u64()?);
+    }
+    let n = r.count(20)?;
+    let mut clusters = Vec::with_capacity(n);
+    for _ in 0..n {
+        clusters.push(read_cluster(r)?);
+    }
+    let n = r.count(16)?;
+    let mut queues = Vec::with_capacity(n);
+    for _ in 0..n {
+        queues.push(read_queues(r)?);
+    }
+    if policies.is_empty()
+        || regions.is_empty()
+        || families.is_empty()
+        || seeds.is_empty()
+        || clusters.is_empty()
+        || queues.is_empty()
+    {
+        return Err("grid with an empty axis".to_owned());
+    }
+    Ok(SweepGrid {
+        policies,
+        regions,
+        families,
+        scale,
+        seeds,
+        clusters,
+        queues,
+    })
+}
+
+pub(crate) fn write_summary(w: &mut Writer, summary: &Summary) {
+    w.str(&summary.name);
+    w.f64(summary.carbon_g);
+    w.f64(summary.total_cost);
+    w.f64(summary.mean_wait_hours);
+    w.f64(summary.mean_completion_hours);
+    w.f64(summary.reserved_utilization);
+    w.u64(summary.evictions);
+    w.u64(summary.jobs as u64);
+}
+
+pub(crate) fn read_summary(r: &mut Reader<'_>) -> Result<Summary> {
+    Ok(Summary {
+        name: r.str()?,
+        carbon_g: r.f64()?,
+        total_cost: r.f64()?,
+        mean_wait_hours: r.f64()?,
+        mean_completion_hours: r.f64()?,
+        reserved_utilization: r.f64()?,
+        evictions: r.u64()?,
+        jobs: r.u64()? as usize,
+    })
+}
+
+pub(crate) fn write_audit(w: &mut Writer, audit: &AuditReport) {
+    w.u64(audit.checks_run as u64);
+    w.u64(audit.violations.len() as u64);
+    for violation in &audit.violations {
+        w.u8(invariant_tag(violation.invariant));
+        w.opt(violation.job.as_ref(), |w, job: &JobId| w.u64(job.0));
+        w.str(&violation.detail);
+    }
+}
+
+pub(crate) fn read_audit(r: &mut Reader<'_>) -> Result<AuditReport> {
+    let checks_run = r.u64()? as usize;
+    let n = r.count(10)?;
+    let mut violations = Vec::with_capacity(n);
+    for _ in 0..n {
+        violations.push(AuditViolation {
+            invariant: invariant_from_tag(r.u8()?)?,
+            job: r.opt(|r| Ok(JobId(r.u64()?)))?,
+            detail: r.str()?,
+        });
+    }
+    Ok(AuditReport {
+        violations,
+        checks_run,
+    })
+}
+
+pub(crate) fn write_outcome(w: &mut Writer, outcome: &CellOutcome) {
+    match outcome {
+        CellOutcome::Completed { summary, audit } => {
+            w.u8(0);
+            write_summary(w, summary);
+            w.opt(audit.as_ref(), write_audit);
+        }
+        CellOutcome::Retried {
+            summary,
+            audit,
+            attempts,
+            timed_out,
+            recovered_error,
+        } => {
+            w.u8(1);
+            write_summary(w, summary);
+            w.opt(audit.as_ref(), write_audit);
+            w.u32(*attempts);
+            w.bool(*timed_out);
+            w.str(recovered_error);
+        }
+        CellOutcome::Failed { error } => {
+            w.u8(2);
+            w.str(error);
+        }
+    }
+}
+
+pub(crate) fn read_outcome(r: &mut Reader<'_>) -> Result<CellOutcome> {
+    Ok(match r.u8()? {
+        0 => CellOutcome::Completed {
+            summary: read_summary(r)?,
+            audit: r.opt(read_audit)?,
+        },
+        1 => CellOutcome::Retried {
+            summary: read_summary(r)?,
+            audit: r.opt(read_audit)?,
+            attempts: r.u32()?,
+            timed_out: r.bool()?,
+            recovered_error: r.str()?,
+        },
+        2 => CellOutcome::Failed { error: r.str()? },
+        other => return Err(format!("invalid cell outcome tag {other}")),
+    })
+}
+
+/// Serialize a registry's full state (counters and histograms) so a
+/// cached or shard-local registry can be replayed into another registry
+/// with [`read_metrics_into`]. Iteration order is the registry's own
+/// sorted order, so equal states encode to equal bytes.
+pub(crate) fn write_metrics(w: &mut Writer, registry: &MetricsRegistry) {
+    let counters = registry.counter_values();
+    w.u64(counters.len() as u64);
+    for (name, value) in counters {
+        w.str(&name);
+        w.u64(value);
+    }
+    let histograms = registry.histogram_values();
+    w.u64(histograms.len() as u64);
+    for (name, hist) in histograms {
+        w.str(&name);
+        let buckets = hist.bucket_counts();
+        debug_assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        for count in &buckets {
+            w.u64(*count);
+        }
+        w.u64(hist.count());
+        w.u64(hist.sum_micros());
+    }
+}
+
+/// Replay a [`write_metrics`] payload into `target` (additive merge).
+pub(crate) fn read_metrics_into(r: &mut Reader<'_>, target: &MetricsRegistry) -> Result<()> {
+    let n = r.count(16)?;
+    for _ in 0..n {
+        let name = r.str()?;
+        let value = r.u64()?;
+        if value > 0 {
+            target.counter(&name).add(value);
+        } else {
+            target.counter(&name);
+        }
+    }
+    let n = r.count(8 * (HISTOGRAM_BUCKETS + 2))?;
+    for _ in 0..n {
+        let name = r.str()?;
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for bucket in buckets.iter_mut() {
+            *bucket = r.u64()?;
+        }
+        let count = r.u64()?;
+        let sum_micro = r.u64()?;
+        target
+            .histogram(&name)
+            .merge_raw(&buckets, count, sum_micro);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scenarios() -> Vec<Scenario> {
+        let mut grid = SweepGrid::week(9)
+            .policies(vec![
+                PolicySpec::plain(BasePolicyKind::NoWait),
+                PolicySpec {
+                    base: BasePolicyKind::CarbonTime,
+                    res_first: true,
+                    spot: Some(SpotConfig {
+                        j_max: Minutes::from_hours(2),
+                    }),
+                },
+            ])
+            .regions(vec![Region::SouthAustralia, Region::Kentucky])
+            .seeds(vec![42, 43]);
+        grid.scale = ScaleSpec::Year { jobs: 1234 };
+        grid.scenarios()
+    }
+
+    #[test]
+    fn scenario_round_trips() {
+        for scenario in sample_scenarios() {
+            let mut w = Writer::new();
+            write_scenario(&mut w, &scenario);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = read_scenario(&mut r).expect("decode");
+            r.done().expect("no trailing bytes");
+            assert_eq!(back.key(), scenario.key());
+            // Re-encoding is byte-stable (the fingerprint contract).
+            let mut w2 = Writer::new();
+            write_scenario(&mut w2, &back);
+            assert_eq!(w2.into_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn grid_round_trips() {
+        let grid = SweepGrid::week(9)
+            .regions(vec![Region::California, Region::Ontario])
+            .seeds(vec![1, 2, 3]);
+        let mut w = Writer::new();
+        write_grid(&mut w, &grid);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = read_grid(&mut r).expect("decode");
+        r.done().expect("no trailing bytes");
+        assert_eq!(back.describe(), grid.describe());
+        assert_eq!(back.len(), grid.len());
+    }
+
+    #[test]
+    fn outcome_round_trips() {
+        let summary = Summary {
+            name: "Carbon-Time".to_owned(),
+            carbon_g: 1234.5,
+            total_cost: 67.89,
+            mean_wait_hours: 0.5,
+            mean_completion_hours: 3.25,
+            reserved_utilization: 0.91,
+            evictions: 3,
+            jobs: 1000,
+        };
+        let audit = AuditReport {
+            violations: vec![AuditViolation {
+                invariant: AuditInvariant::Timing,
+                job: Some(JobId(7)),
+                detail: "late by 3 min".to_owned(),
+            }],
+            checks_run: 512,
+        };
+        let outcomes = vec![
+            CellOutcome::Completed {
+                summary: summary.clone(),
+                audit: Some(audit.clone()),
+            },
+            CellOutcome::Completed {
+                summary: summary.clone(),
+                audit: None,
+            },
+            CellOutcome::Retried {
+                summary,
+                audit: Some(audit),
+                attempts: 3,
+                timed_out: false,
+                recovered_error: "injected fault (attempt 2)".to_owned(),
+            },
+            CellOutcome::Failed {
+                error: "invalid policy decision".to_owned(),
+            },
+        ];
+        for outcome in outcomes {
+            let mut w = Writer::new();
+            write_outcome(&mut w, &outcome);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = read_outcome(&mut r).expect("decode");
+            r.done().expect("no trailing bytes");
+            assert_eq!(back, outcome);
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let mut w = Writer::new();
+        write_scenario(&mut w, &sample_scenarios()[0]);
+        let bytes = w.into_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = Reader::new(&bytes[..cut]);
+            let err = read_scenario(&mut r)
+                .err()
+                .unwrap_or_else(|| "decoded from truncated input".to_owned());
+            assert!(!err.is_empty());
+        }
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(0xFF);
+        let mut r = Reader::new(&extended);
+        read_scenario(&mut r).expect("prefix decodes");
+        assert!(r.done().is_err());
+    }
+
+    #[test]
+    fn metrics_round_trip_merges_additively() {
+        let src = MetricsRegistry::new();
+        src.counter("sweep.cells").add(7);
+        src.counter("zeroed");
+        src.histogram("sweep.cell_wait_hours").observe(1.5);
+        src.histogram("sweep.cell_wait_hours").observe(0.01);
+        let mut w = Writer::new();
+        write_metrics(&mut w, &src);
+        let bytes = w.into_bytes();
+
+        let dst = MetricsRegistry::new();
+        dst.counter("sweep.cells").add(1);
+        let mut r = Reader::new(&bytes);
+        read_metrics_into(&mut r, &dst).expect("decode");
+        r.done().expect("no trailing bytes");
+
+        let expect = MetricsRegistry::new();
+        expect.counter("sweep.cells").add(8);
+        expect.counter("zeroed");
+        expect.histogram("sweep.cell_wait_hours").observe(1.5);
+        expect.histogram("sweep.cell_wait_hours").observe(0.01);
+        assert_eq!(dst.snapshot_json(), expect.snapshot_json());
+    }
+}

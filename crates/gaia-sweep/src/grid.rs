@@ -323,6 +323,13 @@ impl SweepGrid {
         cells
     }
 
+    /// A [`crate::SweepRunner`] over this grid — the single entry point
+    /// for executing it. Every option (audit, faults, retries,
+    /// observability, sharding, result cache) defaults to off.
+    pub fn runner(&self) -> crate::SweepRunner<'_> {
+        crate::SweepRunner::new(self)
+    }
+
     /// One-line human description for manifests and progress output.
     pub fn describe(&self) -> String {
         format!(

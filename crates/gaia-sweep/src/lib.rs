@@ -18,16 +18,23 @@
 //!   CSV/JSON artifacts under `results/` ([`store`]);
 //! * [`across_seed_groups`] — deterministic across-seed aggregation
 //!   ([`agg`]);
-//! * [`ObsHooks`] / [`run_grid_observed`] — opt-in observability taps:
-//!   per-cell JSONL event traces, a [`gaia_obs::MetricsRegistry`], phase
-//!   profiling, and a sweep-lifecycle stream, none of which change
-//!   simulation outcomes.
+//! * [`ObsHooks`] — opt-in observability taps: per-cell JSONL event
+//!   traces, a [`gaia_obs::MetricsRegistry`], phase profiling, and a
+//!   sweep-lifecycle stream, none of which change simulation outcomes;
+//! * [`SweepRunner`] — the one entry point for executing a grid
+//!   ([`SweepGrid::runner`]), with builder options for auditing, fault
+//!   schedules, retry policies, observability, **sharding** (run cell
+//!   subset `i` of `n` as an independent OS process, [`shard`]), and a
+//!   **content-addressed on-disk result cache** that makes interrupted
+//!   or repeated sweeps resumable ([`SweepRunner::resume`]).
 //!
 //! The determinism contract is load-bearing: per-cell simulation is
 //! single-threaded and fully seed-driven, so parallelism only changes
 //! wall-clock time, never results. `tests/determinism.rs` verifies this
 //! by byte-comparing the artifacts of 1-worker and multi-worker runs of
-//! the same grid.
+//! the same grid, and `tests/sharding.rs` extends the same contract to
+//! shard counts: `n` sharded processes plus [`shard::merge_shards`]
+//! reproduce a single-process run byte-for-byte.
 //!
 //! # Example
 //!
@@ -41,7 +48,11 @@
 //!         PolicySpec::plain(BasePolicyKind::CarbonTime),
 //!     ])
 //!     .seeds(vec![1, 2]);
-//! let run = gaia_sweep::run_grid(&grid, &Executor::new(2).with_progress(false));
+//! let run = grid
+//!     .runner()
+//!     .executor(&Executor::new(2).with_progress(false))
+//!     .execute()
+//!     .expect("no cache/trace dirs configured, so no I/O can fail");
 //! assert_eq!(run.results.len(), 4);
 //! let (nowait, ct) = (run.results[0].expect_summary(), run.results[1].expect_summary());
 //! assert!(ct.carbon_g <= nowait.carbon_g * 1.02);
@@ -52,18 +63,24 @@
 
 pub mod agg;
 pub mod cache;
+mod codec;
+mod diskcache;
 pub mod exec;
 pub mod grid;
+pub mod shard;
 pub mod store;
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 pub use agg::{across_seed_groups, group_key, GroupSummary};
 pub use cache::{CacheStats, TraceCache};
+pub use diskcache::{DiskCacheStats, RESULT_CACHE_VERSION};
 pub use exec::{default_workers, Executor};
 pub use grid::{ClusterSpec, QueueSpec, ScaleSpec, Scenario, SweepGrid};
-pub use store::{ResultStore, TimingBench};
+pub use store::{atomic_write, ResultStore, TimingBench};
+
+use diskcache::{CellEntry, DiskCache, EntryNeeds};
 
 // Re-exported so downstream sweep code can name every grid-dimension
 // type through one crate.
@@ -72,7 +89,9 @@ pub use gaia_core::catalog::PolicySpec;
 pub use gaia_workload::synth::TraceFamily;
 
 use gaia_metrics::{observe, Summary};
-use gaia_obs::{Event, JsonlSink, MetricsRegistry, NullSink, Profiler, SharedSink, Sink};
+use gaia_obs::{
+    CacheKind, Event, JsonlSink, MetricsRegistry, NullSink, Profiler, SharedSink, Sink,
+};
 use gaia_sim::{AuditReport, Simulation};
 
 // Re-exported so sweep drivers can load fault plans and name schedule
@@ -217,6 +236,13 @@ pub struct SweepRun {
     pub cache_stats: CacheStats,
     /// Whether the invariant audit ran on each completed cell.
     pub audited: bool,
+    /// `Some((i, n))` when this run executed only shard `i` of `n`
+    /// ([`SweepRunner::shard`]); `results` then holds only that shard's
+    /// cells, still in grid order.
+    pub shard: Option<(usize, usize)>,
+    /// Result-cache counters when the run used an on-disk result cache
+    /// ([`SweepRunner::resume`]); `None` otherwise.
+    pub disk_cache: Option<DiskCacheStats>,
 }
 
 impl SweepRun {
@@ -601,39 +627,238 @@ fn run_attempt_timed(
     }
 }
 
+/// Builder for executing a [`SweepGrid`] — the single entry point for
+/// sweeps, replacing the old `run_grid*` function family.
+///
+/// Obtained from [`SweepGrid::runner`]. Every option defaults to off,
+/// so `grid.runner().execute()` is a plain unaudited sweep on an
+/// auto-sized executor; options compose freely instead of multiplying
+/// entry points:
+///
+/// ```
+/// use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+/// use gaia_sweep::{Executor, SweepGrid};
+///
+/// let grid = SweepGrid::week(9)
+///     .policies(vec![PolicySpec::plain(BasePolicyKind::NoWait)])
+///     .seeds(vec![1]);
+/// let run = grid
+///     .runner()
+///     .executor(&Executor::new(1).with_progress(false))
+///     .audit(true)
+///     .execute()
+///     .expect("no I/O configured");
+/// assert!(run.is_clean());
+/// ```
+///
+/// Sharding and resumability are builder options, not further entry
+/// points: [`shard`](SweepRunner::shard) deterministically restricts
+/// execution to cell subset `i` of `n` (see [`shard::shard_of`]), and
+/// [`resume`](SweepRunner::resume) attaches a content-addressed on-disk
+/// result cache ([`diskcache`](RESULT_CACHE_VERSION)) so already
+/// completed cells are replayed from disk instead of recomputed.
+///
+/// # Determinism
+///
+/// With [`RetryPolicy::timeout`] unset (the default), the produced
+/// [`SweepRun`] and every derived artifact are byte-identical for any
+/// worker count, any shard count (after [`shard::merge_shards`]), and
+/// any warm/cold cache state. A timed sweep forfeits that guarantee —
+/// see [`RetryPolicy::timeout`].
+#[must_use = "a runner does nothing until `.execute()` is called"]
+pub struct SweepRunner<'r> {
+    grid: &'r SweepGrid,
+    executor: Option<Executor>,
+    cache: Option<&'r TraceCache>,
+    audit: bool,
+    schedule: Option<&'r FaultSchedule>,
+    retry: RetryPolicy,
+    hooks: Option<&'r ObsHooks<'r>>,
+    shard: Option<(usize, usize)>,
+    resume: Option<PathBuf>,
+}
+
+impl<'r> SweepRunner<'r> {
+    /// A runner over `grid` with every option off (equivalent to
+    /// [`SweepGrid::runner`]).
+    pub fn new(grid: &'r SweepGrid) -> SweepRunner<'r> {
+        SweepRunner {
+            grid,
+            executor: None,
+            cache: None,
+            audit: false,
+            schedule: None,
+            retry: RetryPolicy::default(),
+            hooks: None,
+            shard: None,
+            resume: None,
+        }
+    }
+
+    /// Runs on a copy of `executor` instead of the default
+    /// [`Executor::available`].
+    pub fn executor(mut self, executor: &Executor) -> SweepRunner<'r> {
+        self.executor = Some(*executor);
+        self
+    }
+
+    /// Shorthand for [`executor`](SweepRunner::executor) with
+    /// `Executor::new(workers)`.
+    pub fn workers(mut self, workers: usize) -> SweepRunner<'r> {
+        self.executor = Some(Executor::new(workers));
+        self
+    }
+
+    /// Shares `cache` across runs (useful when several grids over the
+    /// same traces run back to back). A fresh [`TraceCache`] is used
+    /// when unset.
+    pub fn cache(mut self, cache: &'r TraceCache) -> SweepRunner<'r> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables the invariant audit: every completed cell carries an
+    /// [`AuditReport`] and failed cells are isolated instead of
+    /// aborting the process. This is what `gaia sweep` runs by default.
+    pub fn audit(mut self, audit: bool) -> SweepRunner<'r> {
+        self.audit = audit;
+        self
+    }
+
+    /// Applies a compiled fault schedule to every cell. Engine-level
+    /// specs replay deterministically inside each cell's simulation;
+    /// [`FaultSpec::ChaosCell`] specs fail matching cells' first N
+    /// attempts at the harness level, which is what exercises the
+    /// retry loop in CI.
+    pub fn faults(mut self, schedule: &'r FaultSchedule) -> SweepRunner<'r> {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets how failed cell attempts are retried.
+    pub fn retry(mut self, retry: RetryPolicy) -> SweepRunner<'r> {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches observability taps (none of which change outcomes).
+    pub fn obs(mut self, hooks: &'r ObsHooks<'r>) -> SweepRunner<'r> {
+        self.hooks = Some(hooks);
+        self
+    }
+
+    /// Restricts execution to shard `index` of `of`: the deterministic
+    /// cell subset with `shard::shard_of(key, of) == index`. The
+    /// returned [`SweepRun`] holds only that shard's cells (in grid
+    /// order); [`shard::write_shard`] persists it for
+    /// [`shard::merge_shards`] to recombine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is zero or `index >= of`.
+    pub fn shard(mut self, index: usize, of: usize) -> SweepRunner<'r> {
+        assert!(of >= 1, "a sweep has at least one shard");
+        assert!(index < of, "shard index {index} out of range (of {of})");
+        self.shard = Some((index, of));
+        self
+    }
+
+    /// Attaches the content-addressed on-disk result cache rooted at
+    /// `dir` (created if missing). Cells whose full inputs fingerprint
+    /// to an existing usable entry are replayed from disk; freshly
+    /// computed cells are persisted atomically. Pointing a re-run of an
+    /// interrupted sweep at the same directory is all resumption takes.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> SweepRunner<'r> {
+        self.resume = Some(dir.into());
+        self
+    }
+
+    /// Executes the sweep. Fails only on observability / cache-dir I/O
+    /// errors (trace-dir or cache-dir creation); simulation failures
+    /// are isolated per cell and reported in the [`SweepRun`].
+    pub fn execute(self) -> std::io::Result<SweepRun> {
+        if let Some(dir) = self.hooks.and_then(|h| h.trace_dir) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let disk = match &self.resume {
+            Some(dir) => Some(DiskCache::open(dir)?),
+            None => None,
+        };
+        let executor = self.executor.unwrap_or_else(Executor::available);
+        let fresh;
+        let cache = match self.cache {
+            Some(cache) => cache,
+            None => {
+                fresh = TraceCache::new();
+                &fresh
+            }
+        };
+        Ok(run_grid_engine(
+            self.grid,
+            &executor,
+            cache,
+            self.audit,
+            self.hooks,
+            self.schedule,
+            self.retry,
+            self.shard,
+            disk.as_ref(),
+        ))
+    }
+}
+
 /// Sweeps `grid` on `executor` with a fresh trace cache (audit off).
+#[deprecated(note = "use `grid.runner().executor(executor).execute()`")]
 pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
-    run_grid_with_cache(grid, executor, &TraceCache::new())
+    run_grid_engine(
+        grid,
+        executor,
+        &TraceCache::new(),
+        false,
+        None,
+        None,
+        RetryPolicy::default(),
+        None,
+        None,
+    )
 }
 
 /// Sweeps `grid` on `executor`, sharing `cache` (useful when several
 /// grids over the same traces run back to back). Audit off.
+#[deprecated(note = "use `grid.runner().executor(executor).cache(cache).execute()`")]
 pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_inner(grid, executor, cache, false, None, None)
+    run_grid_engine(
+        grid,
+        executor,
+        cache,
+        false,
+        None,
+        None,
+        RetryPolicy::default(),
+        None,
+        None,
+    )
 }
 
-/// Sweeps `grid` with the invariant audit enabled: every completed cell
-/// carries an [`AuditReport`] and failed cells are isolated instead of
-/// aborting the process. This is what `gaia sweep` runs by default.
+/// Sweeps `grid` with the invariant audit enabled.
+#[deprecated(note = "use `grid.runner().executor(executor).cache(cache).audit(true).execute()`")]
 pub fn run_grid_audited(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_inner(grid, executor, cache, true, None, None)
+    run_grid_engine(
+        grid,
+        executor,
+        cache,
+        true,
+        None,
+        None,
+        RetryPolicy::default(),
+        None,
+        None,
+    )
 }
 
 /// Sweeps `grid` under a fault schedule and retry policy, with optional
 /// observability taps.
-///
-/// Engine-level fault specs replay deterministically inside every cell;
-/// [`FaultSpec::ChaosCell`] specs fail matching cells' first N attempts
-/// at the harness level, which is what exercises the retry loop in CI.
-/// With the default [`FaultOptions`] this is exactly
-/// [`run_grid_observed`] (or the matching plain runner when `hooks` is
-/// `None`): same cells, same bytes.
-///
-/// Determinism: with `retry.timeout` unset (the default), results and
-/// artifacts remain byte-identical for any worker count, because chaos
-/// failures are a pure function of the cell key and each attempt is
-/// deterministic in the scenario seed. A timed sweep forfeits that
-/// guarantee — see [`RetryPolicy::timeout`].
+#[deprecated(note = "use `grid.runner().faults(schedule).retry(policy).obs(hooks).execute()`")]
 pub fn run_grid_faulted(
     grid: &SweepGrid,
     executor: &Executor,
@@ -645,13 +870,16 @@ pub fn run_grid_faulted(
     if let Some(dir) = hooks.and_then(|h| h.trace_dir) {
         std::fs::create_dir_all(dir)?;
     }
-    Ok(run_grid_inner(
+    Ok(run_grid_engine(
         grid,
         executor,
         cache,
         audit,
         hooks,
-        Some(faults),
+        faults.schedule,
+        faults.retry,
+        None,
+        None,
     ))
 }
 
@@ -686,13 +914,9 @@ impl ObsHooks<'_> {
     }
 }
 
-/// [`run_grid_audited`] with observability taps — per-cell trace files,
-/// a metrics registry, phase profiling, and a sweep-lifecycle stream.
-///
-/// Simulation outcomes are identical to the untraced run; the taps only
-/// add telemetry. Returns an error only for trace-directory creation;
-/// per-cell trace write failures are logged (`GAIA_LOG`) and counted
-/// under the `obs.trace_write_errors` metric instead of failing cells.
+/// Sweeps `grid` with observability taps — per-cell trace files, a
+/// metrics registry, phase profiling, and a sweep-lifecycle stream.
+#[deprecated(note = "use `grid.runner().audit(audit).obs(hooks).execute()`")]
 pub fn run_grid_observed(
     grid: &SweepGrid,
     executor: &Executor,
@@ -703,28 +927,57 @@ pub fn run_grid_observed(
     if let Some(dir) = hooks.trace_dir {
         std::fs::create_dir_all(dir)?;
     }
-    Ok(run_grid_inner(
+    Ok(run_grid_engine(
         grid,
         executor,
         cache,
         audit,
         Some(hooks),
         None,
+        RetryPolicy::default(),
+        None,
+        None,
     ))
 }
 
-fn run_grid_inner(
+/// The sweep engine behind [`SweepRunner::execute`] and the deprecated
+/// `run_grid*` wrappers. One code path serves every option combination;
+/// sharding and the result cache are parameters here, not variants.
+#[allow(clippy::too_many_arguments)]
+fn run_grid_engine(
     grid: &SweepGrid,
     executor: &Executor,
     cache: &TraceCache,
     audit: bool,
     hooks: Option<&ObsHooks<'_>>,
-    faults: Option<&FaultOptions<'_>>,
+    schedule: Option<&FaultSchedule>,
+    retry: RetryPolicy,
+    shard_spec: Option<(usize, usize)>,
+    disk: Option<&DiskCache>,
 ) -> SweepRun {
     let start_stats = cache.stats();
     let start = Instant::now();
-    let cells = grid.scenarios();
-    let results = executor.run("grid", cells, |index, scenario| {
+    // Cells carry their original grid index so shard runs emit events
+    // and manifests in global grid coordinates, not shard-local ones.
+    let cells: Vec<(usize, Scenario)> = grid
+        .scenarios()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, scenario)| match shard_spec {
+            Some((index, of)) => shard::shard_of(&scenario.key(), of) == index,
+            None => true,
+        })
+        .collect();
+    if let (Some((index, of)), Some(sink)) = (shard_spec, hooks.and_then(|h| h.sweep_sink.as_ref()))
+    {
+        sink.clone().emit(&Event::ShardStarted {
+            shard: index as u64,
+            of: of as u64,
+            cells: cells.len() as u64,
+        });
+    }
+    let results = executor.run("grid", cells, |_, cell| {
+        let (index, scenario) = (cell.0, &cell.1);
         let key = scenario.key();
         let (metrics, profiler) = match hooks {
             Some(hooks) => (hooks.metrics, hooks.profiler),
@@ -738,87 +991,192 @@ fn run_grid_inner(
         }
         let cell_start = Instant::now();
         let trace_dir = hooks.and_then(|h| h.trace_dir);
-        let schedule = faults.and_then(|f| f.schedule);
-        let retry = faults.map(|f| f.retry).unwrap_or_default();
-        // Chaos faults are keyed to the cell, not the attempt seed: a
-        // matching cell fails its first `chaos` attempts before the
-        // simulation even starts, modelling infrastructure-level losses
-        // (preempted workers, OOM kills) rather than simulation errors.
-        let chaos = schedule.map_or(0, |s| s.chaos_fail_attempts(&key));
-        let mut attempt = 0u32;
-        let mut recovered: Option<String> = None;
-        let mut timed_out = false;
-        let (outcome, trace_bytes) = loop {
-            attempt += 1;
-            let (result, bytes) = if attempt <= chaos {
-                let error = format!("injected chaos fault ({attempt} of {chaos} attempts fail)");
-                (CellOutcome::Failed { error }, None)
-            } else if let Some(timeout) = retry.timeout_for(attempt) {
-                run_attempt_timed(
-                    scenario,
-                    cache,
+        let fingerprint =
+            disk.map(|_| diskcache::cell_fingerprint(scenario, schedule, retry.max_attempts));
+        let cached = match (disk, fingerprint) {
+            (Some(disk), Some(fingerprint)) => {
+                let needs = EntryNeeds {
                     audit,
-                    schedule,
-                    trace_dir.is_some(),
-                    timeout,
-                )
-            } else if trace_dir.is_some() {
-                let mut sink = JsonlSink::new(Vec::new());
-                let outcome = run_cell_faulted(
-                    scenario, cache, audit, schedule, &mut sink, metrics, profiler,
-                );
-                // Vec<u8> writes are infallible; finish only flushes.
-                (outcome, Some(sink.finish().unwrap_or_default()))
-            } else {
-                let outcome = run_cell_faulted(
-                    scenario,
-                    cache,
-                    audit,
-                    schedule,
-                    &mut NullSink,
-                    metrics,
-                    profiler,
-                );
-                (outcome, None)
-            };
-            match result {
-                CellOutcome::Failed { error } if attempt < retry.max_attempts => {
-                    timed_out |= is_timeout_error(&error);
-                    gaia_obs::warn!(
-                        "cell {key} failed on attempt {attempt}/{}, retrying: {error}",
-                        retry.max_attempts
-                    );
-                    if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
-                        sink.clone().emit(&Event::CellRetried {
-                            idx: index as u64,
+                    trace: trace_dir.is_some(),
+                    metrics: metrics.is_some(),
+                };
+                let entry = disk.lookup(scenario, fingerprint, needs);
+                if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
+                    sink.clone().emit(&if entry.is_some() {
+                        Event::CacheHit {
+                            kind: CacheKind::Result,
                             key: key.clone(),
-                            attempt: u64::from(attempt),
-                            error: error.clone(),
-                        });
-                    }
-                    if let Some(registry) = metrics {
-                        registry.counter("sweep.cells_retried").inc();
-                    }
-                    recovered = Some(error);
-                    let pause = retry.backoff_before(attempt);
-                    if !pause.is_zero() {
-                        std::thread::sleep(pause);
-                    }
+                        }
+                    } else {
+                        Event::CacheMiss {
+                            kind: CacheKind::Result,
+                            key: key.clone(),
+                        }
+                    });
                 }
-                CellOutcome::Completed { summary, audit } if attempt > 1 => {
-                    break (
-                        CellOutcome::Retried {
-                            summary,
-                            audit,
-                            attempts: attempt,
-                            timed_out,
-                            recovered_error: recovered.take().unwrap_or_default(),
-                        },
-                        bytes,
-                    );
-                }
-                final_outcome => break (final_outcome, bytes),
+                entry
             }
+            _ => None,
+        };
+        let (outcome, trace_bytes) = if let Some(entry) = cached {
+            // Replay the stored cell: metric contributions back into
+            // the live registry, audit stripped when this run did not
+            // ask for it (so warm and cold artifacts stay identical).
+            if let (Some(registry), Some(bytes)) = (metrics, &entry.metrics) {
+                let mut reader = codec::Reader::new(bytes);
+                if let Err(reason) = codec::read_metrics_into(&mut reader, registry) {
+                    gaia_obs::warn!("cached metrics for {key} were undecodable: {reason}");
+                }
+            }
+            let mut outcome = entry.outcome;
+            if !audit {
+                if let CellOutcome::Completed { audit, .. } | CellOutcome::Retried { audit, .. } =
+                    &mut outcome
+                {
+                    *audit = None;
+                }
+            }
+            (outcome, entry.trace)
+        } else {
+            // Fresh cells observe into a per-cell scratch registry so
+            // their metric contributions can be both merged into the
+            // live registry and persisted for replay. The timed path
+            // cannot capture per-job metrics (the registry borrow
+            // cannot cross a detached thread), so it observes straight
+            // into the live registry and caches entries metrics-less.
+            let timed = retry.timeout.is_some();
+            let scratch =
+                (!timed && (metrics.is_some() || disk.is_some())).then(MetricsRegistry::new);
+            let cell_metrics = scratch.as_ref();
+            // Chaos faults are keyed to the cell, not the attempt seed:
+            // a matching cell fails its first `chaos` attempts before
+            // the simulation even starts, modelling infrastructure-level
+            // losses (preempted workers, OOM kills) rather than
+            // simulation errors.
+            let chaos = schedule.map_or(0, |s| s.chaos_fail_attempts(&key));
+            let mut attempt = 0u32;
+            let mut recovered: Option<String> = None;
+            let mut timed_out = false;
+            let (outcome, trace_bytes) = loop {
+                attempt += 1;
+                let (result, bytes) = if attempt <= chaos {
+                    let error =
+                        format!("injected chaos fault ({attempt} of {chaos} attempts fail)");
+                    (CellOutcome::Failed { error }, None)
+                } else if let Some(timeout) = retry.timeout_for(attempt) {
+                    run_attempt_timed(
+                        scenario,
+                        cache,
+                        audit,
+                        schedule,
+                        trace_dir.is_some(),
+                        timeout,
+                    )
+                } else if trace_dir.is_some() {
+                    let mut sink = JsonlSink::new(Vec::new());
+                    let outcome = run_cell_faulted(
+                        scenario,
+                        cache,
+                        audit,
+                        schedule,
+                        &mut sink,
+                        cell_metrics,
+                        profiler,
+                    );
+                    // Vec<u8> writes are infallible; finish only flushes.
+                    (outcome, Some(sink.finish().unwrap_or_default()))
+                } else {
+                    let outcome = run_cell_faulted(
+                        scenario,
+                        cache,
+                        audit,
+                        schedule,
+                        &mut NullSink,
+                        cell_metrics,
+                        profiler,
+                    );
+                    (outcome, None)
+                };
+                match result {
+                    CellOutcome::Failed { error } if attempt < retry.max_attempts => {
+                        timed_out |= is_timeout_error(&error);
+                        gaia_obs::warn!(
+                            "cell {key} failed on attempt {attempt}/{}, retrying: {error}",
+                            retry.max_attempts
+                        );
+                        if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
+                            sink.clone().emit(&Event::CellRetried {
+                                idx: index as u64,
+                                key: key.clone(),
+                                attempt: u64::from(attempt),
+                                error: error.clone(),
+                            });
+                        }
+                        match (cell_metrics, metrics) {
+                            (Some(registry), _) | (None, Some(registry)) => {
+                                registry.counter("sweep.cells_retried").inc();
+                            }
+                            _ => {}
+                        }
+                        recovered = Some(error);
+                        let pause = retry.backoff_before(attempt);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                    }
+                    CellOutcome::Completed { summary, audit } if attempt > 1 => {
+                        break (
+                            CellOutcome::Retried {
+                                summary,
+                                audit,
+                                attempts: attempt,
+                                timed_out,
+                                recovered_error: recovered.take().unwrap_or_default(),
+                            },
+                            bytes,
+                        );
+                    }
+                    final_outcome => break (final_outcome, bytes),
+                }
+            };
+            if let (Some(live), Some(cell)) = (metrics, scratch.as_ref()) {
+                live.merge_from(cell);
+            }
+            if let (Some(disk), Some(fingerprint)) = (disk, fingerprint) {
+                // Failed cells are never cached (the next run should
+                // retry them), and neither is anything that timed out —
+                // a timeout is machine load, not a result.
+                let cacheable = match &outcome {
+                    CellOutcome::Completed { .. } => true,
+                    CellOutcome::Retried { timed_out, .. } => !timed_out,
+                    CellOutcome::Failed { .. } => false,
+                };
+                if cacheable {
+                    let entry = CellEntry {
+                        outcome: outcome.clone(),
+                        trace: trace_bytes.clone(),
+                        metrics: scratch.as_ref().map(|cell| {
+                            let mut w = codec::Writer::new();
+                            codec::write_metrics(&mut w, cell);
+                            w.into_bytes()
+                        }),
+                    };
+                    match disk.store(scenario, fingerprint, &entry) {
+                        Ok(()) => {
+                            if let Some(sink) = hooks.and_then(|h| h.sweep_sink.as_ref()) {
+                                sink.clone().emit(&Event::CachePersist {
+                                    kind: CacheKind::Result,
+                                    key: key.clone(),
+                                });
+                            }
+                        }
+                        Err(error) => {
+                            gaia_obs::warn!("could not cache result for {key}: {error}");
+                        }
+                    }
+                }
+            }
+            (outcome, trace_bytes)
         };
         if let (Some(dir), Some(bytes)) = (trace_dir, trace_bytes) {
             let path = dir.join(ObsHooks::trace_file_name(&key));
@@ -848,6 +1206,16 @@ fn run_grid_inner(
             outcome,
         }
     });
+    if let (Some((index, of)), Some(sink)) = (shard_spec, hooks.and_then(|h| h.sweep_sink.as_ref()))
+    {
+        let failed = results.iter().filter(|r| r.error().is_some()).count();
+        sink.clone().emit(&Event::ShardFinished {
+            shard: index as u64,
+            of: of as u64,
+            completed: (results.len() - failed) as u64,
+            failed: failed as u64,
+        });
+    }
     let end_stats = cache.stats();
     let cache_delta = CacheStats {
         hits: end_stats.hits - start_stats.hits,
@@ -867,6 +1235,14 @@ fn run_grid_inner(
         registry
             .counter("cache.entries")
             .add(cache_delta.entries as u64);
+        if let Some(disk) = disk {
+            let stats = disk.stats();
+            registry.counter("cache.result_hits").add(stats.hits);
+            registry.counter("cache.result_misses").add(stats.misses);
+            registry
+                .counter("cache.result_persists")
+                .add(stats.persists);
+        }
     }
     SweepRun {
         grid: grid.clone(),
@@ -875,6 +1251,8 @@ fn run_grid_inner(
         wall: start.elapsed(),
         cache_stats: cache_delta,
         audited: audit,
+        shard: shard_spec,
+        disk_cache: disk.map(DiskCache::stats),
     }
 }
 
@@ -885,30 +1263,53 @@ fn run_grid_inner(
 /// (both pay their own synthesis cost). The results of the two runs are
 /// identical by the determinism contract, so only the parallel run is
 /// returned.
+#[deprecated(note = "use `gaia_sweep::time_runner(grid.runner(), workers)`")]
 pub fn time_grid(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
     time_grid_inner(grid, workers, false)
 }
 
 /// [`time_grid`] with the invariant audit enabled on both runs (so the
 /// serial and parallel timings stay comparable).
+#[deprecated(note = "use `gaia_sweep::time_runner(grid.runner().audit(true), workers)`")]
 pub fn time_grid_audited(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
     time_grid_inner(grid, workers, true)
 }
 
+/// Runs the configured sweep twice — serially, then with `workers`
+/// threads — and reports the wall-clock comparison alongside the
+/// parallel run (the [`SweepRunner`]-native replacement for the
+/// deprecated `time_grid*` pair).
+///
+/// Each leg runs on a **fresh, plain** configuration derived from
+/// `runner` — its own trace cache, no result cache, no shard filter —
+/// so the serial and parallel timings both pay full synthesis and
+/// simulation cost and stay comparable (a warm result cache would
+/// reduce the bench to disk-read timing).
+pub fn time_runner(runner: SweepRunner<'_>, workers: usize) -> (SweepRun, TimingBench) {
+    let (grid, audit) = (runner.grid, runner.audit);
+    time_grid_inner(grid, workers, audit)
+}
+
 fn time_grid_inner(grid: &SweepGrid, workers: usize, audit: bool) -> (SweepRun, TimingBench) {
-    let serial = run_grid_inner(
+    let serial = run_grid_engine(
         grid,
         &Executor::new(1),
         &TraceCache::new(),
         audit,
         None,
         None,
+        RetryPolicy::default(),
+        None,
+        None,
     );
-    let parallel = run_grid_inner(
+    let parallel = run_grid_engine(
         grid,
         &Executor::new(workers),
         &TraceCache::new(),
         audit,
+        None,
+        None,
+        RetryPolicy::default(),
         None,
         None,
     );
@@ -957,15 +1358,38 @@ mod tests {
                 PolicySpec::plain(BasePolicyKind::CarbonTime),
             ])
             .seeds(vec![5, 6]);
-        let run = run_grid(&grid, &Executor::new(2).with_progress(false));
+        let run = grid
+            .runner()
+            .executor(&Executor::new(2).with_progress(false))
+            .execute()
+            .unwrap();
         let cells = grid.scenarios();
         assert_eq!(run.results.len(), cells.len());
         for (result, cell) in run.results.iter().zip(&cells) {
             assert_eq!(result.key, cell.key());
             assert_eq!(result.expect_summary().name, cell.policy.name());
         }
-        assert!(!run.audited, "plain run_grid leaves the audit off");
+        assert!(!run.audited, "a plain runner leaves the audit off");
+        assert!(run.shard.is_none() && run.disk_cache.is_none());
         assert!(run.is_clean());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_runner() {
+        let grid = SweepGrid::week(9)
+            .policies(vec![PolicySpec::plain(BasePolicyKind::NoWait)])
+            .seeds(vec![11]);
+        let executor = Executor::new(1).with_progress(false);
+        let via_runner = grid
+            .runner()
+            .executor(&executor)
+            .audit(true)
+            .execute()
+            .unwrap();
+        let via_wrapper = run_grid_audited(&grid, &executor, &TraceCache::new());
+        assert_eq!(via_runner.results, via_wrapper.results);
+        assert_eq!(via_runner.audited, via_wrapper.audited);
     }
 
     #[test]
@@ -976,11 +1400,12 @@ mod tests {
                 PolicySpec::plain(BasePolicyKind::CarbonTime),
             ])
             .seeds(vec![7]);
-        let run = run_grid_audited(
-            &grid,
-            &Executor::new(2).with_progress(false),
-            &TraceCache::new(),
-        );
+        let run = grid
+            .runner()
+            .executor(&Executor::new(2).with_progress(false))
+            .audit(true)
+            .execute()
+            .unwrap();
         assert!(run.audited);
         assert!(run.is_clean(), "reference policies must audit clean");
         for result in &run.results {
@@ -998,11 +1423,12 @@ mod tests {
                 PolicySpec::plain(BasePolicyKind::NoWait),
             ])
             .seeds(vec![1]);
-        let run = run_grid_audited(
-            &grid,
-            &Executor::new(2).with_progress(false),
-            &TraceCache::new(),
-        );
+        let run = grid
+            .runner()
+            .executor(&Executor::new(2).with_progress(false))
+            .audit(true)
+            .execute()
+            .unwrap();
         assert!(!run.is_clean());
         let failed = run.failed_cells();
         assert_eq!(failed.len(), 1, "only the injected cell fails");
@@ -1042,19 +1468,19 @@ mod tests {
             trace_dir: Some(&dir),
             sweep_sink: Some(SharedSink::new(Probe(std::sync::Arc::clone(&sweep_events)))),
         };
-        let observed = run_grid_observed(
-            &grid,
-            &Executor::new(2).with_progress(false),
-            &TraceCache::new(),
-            true,
-            &hooks,
-        )
-        .expect("trace dir is creatable");
-        let plain = run_grid_audited(
-            &grid,
-            &Executor::new(1).with_progress(false),
-            &TraceCache::new(),
-        );
+        let observed = grid
+            .runner()
+            .executor(&Executor::new(2).with_progress(false))
+            .audit(true)
+            .obs(&hooks)
+            .execute()
+            .expect("trace dir is creatable");
+        let plain = grid
+            .runner()
+            .executor(&Executor::new(1).with_progress(false))
+            .audit(true)
+            .execute()
+            .unwrap();
         assert_eq!(
             observed.results, plain.results,
             "observability must not change outcomes"
@@ -1112,7 +1538,11 @@ mod tests {
                 PolicySpec::plain(BasePolicyKind::LowestWindow),
             ])
             .seeds(vec![1]);
-        let run = run_grid(&grid, &Executor::new(1).with_progress(false));
+        let run = grid
+            .runner()
+            .executor(&Executor::new(1).with_progress(false))
+            .execute()
+            .unwrap();
         // One carbon + one workload generation; the other 2×2 lookups hit.
         assert_eq!(run.cache_stats.misses, 2);
         assert_eq!(run.cache_stats.hits, 4);

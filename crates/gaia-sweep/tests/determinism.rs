@@ -60,8 +60,16 @@ fn reference_grid_artifacts_are_byte_identical_across_worker_counts() {
     let grid = reference_grid();
     assert_eq!(grid.len(), 24, "4 policies x 3 regions x 2 seeds");
 
-    let serial = gaia_sweep::run_grid(&grid, &Executor::new(1).with_progress(false));
-    let parallel = gaia_sweep::run_grid(&grid, &Executor::new(4).with_progress(false));
+    let serial = grid
+        .runner()
+        .executor(&Executor::new(1).with_progress(false))
+        .execute()
+        .expect("in-memory sweep");
+    let parallel = grid
+        .runner()
+        .executor(&Executor::new(4).with_progress(false))
+        .execute()
+        .expect("in-memory sweep");
     assert_eq!(serial.results, parallel.results, "merged results identical");
 
     let scratch = Scratch::new("reference");
@@ -105,14 +113,13 @@ fn observed_reference_grid_is_worker_count_invariant() {
             trace_dir: Some(&trace_dir),
             ..Default::default()
         };
-        let run = gaia_sweep::run_grid_observed(
-            &grid,
-            &Executor::new(workers).with_progress(false),
-            &TraceCache::new(),
-            true,
-            &hooks,
-        )
-        .expect("observed sweep runs");
+        let run = grid
+            .runner()
+            .executor(&Executor::new(workers).with_progress(false))
+            .audit(true)
+            .obs(&hooks)
+            .execute()
+            .expect("observed sweep runs");
         assert!(run.is_clean());
 
         // The ISSUE's expected cache behaviour: 6 carbon (3 regions ×
@@ -155,11 +162,12 @@ fn observed_reference_grid_is_worker_count_invariant() {
 #[test]
 fn reference_grid_audits_with_zero_violations() {
     let grid = reference_grid();
-    let run = gaia_sweep::run_grid_audited(
-        &grid,
-        &Executor::new(4).with_progress(false),
-        &TraceCache::new(),
-    );
+    let run = grid
+        .runner()
+        .executor(&Executor::new(4).with_progress(false))
+        .audit(true)
+        .execute()
+        .expect("in-memory sweep");
     assert!(run.audited);
     assert!(run.failed_cells().is_empty(), "every cell completes");
     assert_eq!(
@@ -185,7 +193,11 @@ fn reference_grid_audits_with_zero_violations() {
 #[test]
 fn scenarios_csv_has_one_row_per_cell_in_grid_order() {
     let grid = reference_grid();
-    let run = gaia_sweep::run_grid(&grid, &Executor::new(2).with_progress(false));
+    let run = grid
+        .runner()
+        .executor(&Executor::new(2).with_progress(false))
+        .execute()
+        .expect("in-memory sweep");
     let csv = store::scenarios_csv(&run);
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + 24, "header + 24 rows");
@@ -232,9 +244,16 @@ proptest! {
             .regions(vec![region_pool()[region_idx]])
             .seeds(seeds);
 
-        let serial = gaia_sweep::run_grid(&grid, &Executor::new(1).with_progress(false));
-        let parallel =
-            gaia_sweep::run_grid(&grid, &Executor::new(extra_workers).with_progress(false));
+        let serial = grid
+            .runner()
+            .executor(&Executor::new(1).with_progress(false))
+            .execute()
+            .expect("in-memory sweep");
+        let parallel = grid
+            .runner()
+            .executor(&Executor::new(extra_workers).with_progress(false))
+            .execute()
+            .expect("in-memory sweep");
 
         // Merged summaries identical cell by cell...
         prop_assert_eq!(&serial.results, &parallel.results);
@@ -267,18 +286,24 @@ proptest! {
                 PolicySpec::plain(BasePolicyKind::CarbonTime),
             ])
             .seeds(vec![seed]);
-        let fresh = gaia_sweep::run_grid(&grid, &Executor::new(workers).with_progress(false));
+        let fresh = grid
+            .runner()
+            .executor(&Executor::new(workers).with_progress(false))
+            .execute()
+            .expect("in-memory sweep");
         let shared_cache = TraceCache::new();
-        let first = gaia_sweep::run_grid_with_cache(
-            &grid,
-            &Executor::new(workers).with_progress(false),
-            &shared_cache,
-        );
-        let second = gaia_sweep::run_grid_with_cache(
-            &grid,
-            &Executor::new(1).with_progress(false),
-            &shared_cache,
-        );
+        let first = grid
+            .runner()
+            .executor(&Executor::new(workers).with_progress(false))
+            .cache(&shared_cache)
+            .execute()
+            .expect("in-memory sweep");
+        let second = grid
+            .runner()
+            .executor(&Executor::new(1).with_progress(false))
+            .cache(&shared_cache)
+            .execute()
+            .expect("in-memory sweep");
         prop_assert_eq!(&fresh.results, &first.results);
         prop_assert_eq!(&first.results, &second.results);
         // The second pass over a warm cache generates nothing.

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use gaia_core::catalog::{BasePolicyKind, PolicySpec};
 use gaia_sweep::{
-    store, ClusterSpec, Executor, FaultOptions, FaultPlan, FaultSchedule, FaultSpec, ObsHooks,
-    RetryPolicy, SweepGrid, TraceCache,
+    store, ClusterSpec, Executor, FaultPlan, FaultSchedule, FaultSpec, ObsHooks, RetryPolicy,
+    SweepGrid,
 };
 use gaia_time::SimTime;
 
@@ -56,16 +56,19 @@ fn quiet(workers: usize) -> Executor {
 #[test]
 fn default_fault_options_match_the_plain_audited_run() {
     let grid = grid();
-    let faulted = gaia_sweep::run_grid_faulted(
-        &grid,
-        &quiet(2),
-        &TraceCache::new(),
-        true,
-        &FaultOptions::default(),
-        None,
-    )
-    .expect("no trace dir to create");
-    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(1), &TraceCache::new());
+    let faulted = grid
+        .runner()
+        .executor(&quiet(2))
+        .audit(true)
+        .retry(RetryPolicy::default())
+        .execute()
+        .expect("in-memory sweep");
+    let plain = grid
+        .runner()
+        .executor(&quiet(1))
+        .audit(true)
+        .execute()
+        .expect("in-memory sweep");
     assert_eq!(faulted.results, plain.results);
     assert_eq!(
         store::scenarios_csv(&faulted),
@@ -81,13 +84,14 @@ fn chaos_cells_recover_through_retries_with_provenance() {
         key_substr: "NoWait".to_owned(),
         fail_attempts: 2,
     }]);
-    let options = FaultOptions {
-        schedule: Some(&schedule),
-        retry: RetryPolicy::attempts(3),
-    };
-    let run =
-        gaia_sweep::run_grid_faulted(&grid, &quiet(2), &TraceCache::new(), true, &options, None)
-            .expect("no trace dir to create");
+    let run = grid
+        .runner()
+        .executor(&quiet(2))
+        .audit(true)
+        .faults(&schedule)
+        .retry(RetryPolicy::attempts(3))
+        .execute()
+        .expect("in-memory sweep");
 
     assert!(run.is_clean(), "recovered cells count as completed");
     let retried = run.retried_cells();
@@ -110,7 +114,12 @@ fn chaos_cells_recover_through_retries_with_provenance() {
 
     // Recovery is transparent to the results: summaries match the
     // unfaulted sweep cell for cell.
-    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(1), &TraceCache::new());
+    let plain = grid
+        .runner()
+        .executor(&quiet(1))
+        .audit(true)
+        .execute()
+        .expect("in-memory sweep");
     for (a, b) in run.results.iter().zip(&plain.results) {
         assert_eq!(a.summary(), b.summary(), "{}", a.key);
     }
@@ -127,13 +136,14 @@ fn chaos_cells_without_retry_budget_fail_for_good() {
         key_substr: "NoWait".to_owned(),
         fail_attempts: 1,
     }]);
-    let options = FaultOptions {
-        schedule: Some(&schedule),
-        retry: RetryPolicy::default(), // one attempt: no retries
-    };
-    let run =
-        gaia_sweep::run_grid_faulted(&grid, &quiet(2), &TraceCache::new(), true, &options, None)
-            .expect("no trace dir to create");
+    let run = grid
+        .runner()
+        .executor(&quiet(2))
+        .audit(true)
+        .faults(&schedule)
+        // Default retry policy: one attempt, no retries.
+        .execute()
+        .expect("in-memory sweep");
 
     assert!(!run.is_clean());
     let failed = run.failed_cells();
@@ -177,10 +187,7 @@ fn faulted_artifacts_are_byte_identical_across_worker_counts() {
             fail_attempts: 1,
         },
     ]);
-    let options = FaultOptions {
-        schedule: Some(&schedule),
-        retry: RetryPolicy::attempts(2),
-    };
+    let retry = RetryPolicy::attempts(2);
 
     let scratch = Scratch::new("determinism");
     let mut runs = Vec::new();
@@ -190,15 +197,15 @@ fn faulted_artifacts_are_byte_identical_across_worker_counts() {
             trace_dir: Some(&trace_dir),
             ..Default::default()
         };
-        let run = gaia_sweep::run_grid_faulted(
-            &grid,
-            &quiet(workers),
-            &TraceCache::new(),
-            true,
-            &options,
-            Some(&hooks),
-        )
-        .expect("trace dir is creatable");
+        let run = grid
+            .runner()
+            .executor(&quiet(workers))
+            .audit(true)
+            .faults(&schedule)
+            .retry(retry)
+            .obs(&hooks)
+            .execute()
+            .expect("trace dir is creatable");
         assert!(run.is_clean(), "faults degrade, they must not break");
         assert_eq!(
             run.retried_cells().len(),
@@ -233,7 +240,12 @@ fn faulted_artifacts_are_byte_identical_across_worker_counts() {
 
     // The faulted run differs from the unfaulted one (the faults bite),
     // but stays audit-clean — graceful degradation, not corruption.
-    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(2), &TraceCache::new());
+    let plain = grid
+        .runner()
+        .executor(&quiet(2))
+        .audit(true)
+        .execute()
+        .expect("in-memory sweep");
     assert_ne!(
         store::scenarios_csv(&runs[0]),
         store::scenarios_csv(&plain),
@@ -247,13 +259,12 @@ fn expired_cell_timeout_fails_the_attempt_gracefully() {
     let grid = SweepGrid::week(9)
         .policies(vec![PolicySpec::plain(BasePolicyKind::NoWait)])
         .seeds(vec![1]);
-    let options = FaultOptions {
-        schedule: None,
-        retry: RetryPolicy::attempts(1).with_timeout(Duration::from_nanos(1)),
-    };
-    let run =
-        gaia_sweep::run_grid_faulted(&grid, &quiet(1), &TraceCache::new(), false, &options, None)
-            .expect("no trace dir to create");
+    let run = grid
+        .runner()
+        .executor(&quiet(1))
+        .retry(RetryPolicy::attempts(1).with_timeout(Duration::from_nanos(1)))
+        .execute()
+        .expect("in-memory sweep");
     let failed = run.failed_cells();
     assert_eq!(failed.len(), 1);
     assert!(
@@ -271,15 +282,16 @@ fn timed_out_cells_that_recover_keep_both_provenances() {
     // Attempt 1 gets a 1µs budget (a cell cannot even spawn its worker
     // thread that fast) and times out; the scaled attempt 2 gets 10s
     // and recovers. The recovered cell must carry BOTH provenances.
-    let options = FaultOptions {
-        schedule: None,
-        retry: RetryPolicy::attempts(2)
-            .with_timeout(Duration::from_micros(1))
-            .with_timeout_scale(10_000_000),
-    };
-    let run =
-        gaia_sweep::run_grid_faulted(&grid, &quiet(1), &TraceCache::new(), false, &options, None)
-            .expect("no trace dir to create");
+    let run = grid
+        .runner()
+        .executor(&quiet(1))
+        .retry(
+            RetryPolicy::attempts(2)
+                .with_timeout(Duration::from_micros(1))
+                .with_timeout_scale(10_000_000),
+        )
+        .execute()
+        .expect("in-memory sweep");
     assert!(run.is_clean(), "the scaled retry recovers the cell");
     let retried = run.retried_cells();
     assert_eq!(retried.len(), 1);
@@ -317,14 +329,19 @@ fn escalating_timeout_budgets_are_scaled_and_capped() {
 #[test]
 fn generous_cell_timeout_reproduces_the_untimed_results() {
     let grid = grid();
-    let options = FaultOptions {
-        schedule: None,
-        retry: RetryPolicy::attempts(1).with_timeout(Duration::from_secs(120)),
-    };
-    let timed =
-        gaia_sweep::run_grid_faulted(&grid, &quiet(2), &TraceCache::new(), true, &options, None)
-            .expect("no trace dir to create");
-    let plain = gaia_sweep::run_grid_audited(&grid, &quiet(1), &TraceCache::new());
+    let timed = grid
+        .runner()
+        .executor(&quiet(2))
+        .audit(true)
+        .retry(RetryPolicy::attempts(1).with_timeout(Duration::from_secs(120)))
+        .execute()
+        .expect("in-memory sweep");
+    let plain = grid
+        .runner()
+        .executor(&quiet(1))
+        .audit(true)
+        .execute()
+        .expect("in-memory sweep");
     assert_eq!(timed.results, plain.results);
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sweep-orchestration benchmark: cold vs warm result cache vs 3-way
+# sharded execution of a year-scale grid through SweepRunner. Every leg
+# differentially checks its results against the cold run. Writes
+# BENCH_sweep.json at the repo root and fails (exit 1) if the warm-cache
+# speedup drops below the committed 5x floor — the cache must actually
+# skip completed cells. Pass --quick (or set GAIA_BENCH_QUICK=1) for the
+# CI smoke variant with a shrunken grid; quick mode writes
+# target/BENCH_sweep.quick.json and keeps the same gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin sweep_bench
+
+if [[ "${1:-}" == "--quick" || "${GAIA_BENCH_QUICK:-0}" == "1" ]]; then
+  GAIA_BENCH_OUT=target/BENCH_sweep.quick.json ./target/release/sweep_bench --quick
+else
+  ./target/release/sweep_bench "$@"
+fi

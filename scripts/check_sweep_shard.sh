@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Shard-determinism and resume gate for the reference grid (4 policies ×
+# 3 regions × 2 seeds = 24 cells).
+#
+#  1. runs the grid single-process with --metrics and per-cell traces;
+#  2. runs the same grid as three independent `gaia sweep --shard i/3`
+#     processes sharing one result cache, merges the slices with
+#     `gaia sweep merge`, and byte-compares every deterministic artifact
+#     (scenarios.csv, aggregate.csv, aggregate.json, metrics.json, and
+#     every per-cell trace) against the single-process run;
+#  3. SIGKILLs a fresh single-worker sweep mid-run, re-runs it over the
+#     same result cache, and byte-compares the resumed artifacts against
+#     the uninterrupted reference — an interrupted sweep must recompute
+#     only the cells it never persisted and still produce identical
+#     bytes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+cargo build --release -p gaia-cli
+GAIA="./target/release/gaia"
+GRID=(--regions sa-au,ca-us,on-ca --seeds 42,43 --metrics --no-progress)
+export GAIA_LOG=warn
+
+echo "== single-process reference run"
+"${GAIA}" sweep "${GRID[@]}" --out "${WORK}/single" --name ref \
+  --trace-dir "${WORK}/traces-single"
+
+echo "== three independent shard processes + merge"
+for i in 0 1 2; do
+  "${GAIA}" sweep "${GRID[@]}" --out "${WORK}/sharded" --name ref \
+    --shard "${i}/3" --trace-dir "${WORK}/traces-sharded"
+done
+"${GAIA}" sweep merge --out "${WORK}/sharded" --name ref
+
+for f in scenarios.csv aggregate.csv aggregate.json metrics.json; do
+  cmp "${WORK}/single/ref/${f}" "${WORK}/sharded/ref/${f}"
+  echo "   ${f} byte-identical"
+done
+for t in "${WORK}/traces-single"/*.jsonl; do
+  cmp "${t}" "${WORK}/traces-sharded/$(basename "${t}")"
+done
+echo "   $(ls "${WORK}/traces-single" | wc -l) per-cell traces byte-identical"
+
+echo "== SIGKILL mid-run, then resume over the same cache"
+# One worker so cells persist one at a time; the kill lands while some
+# cells are cached and some are not.
+set +e
+GAIA_WORKERS=1 "${GAIA}" sweep "${GRID[@]}" --out "${WORK}/resume" --name ref \
+  --cache-dir "${WORK}/resume-cache" &
+VICTIM=$!
+# Wait for the first cache entries to land, then kill mid-flight.
+for _ in $(seq 1 200); do
+  count=$(find "${WORK}/resume-cache" -name '*.cell' 2>/dev/null | wc -l)
+  [ "${count}" -ge 3 ] && break
+  sleep 0.05
+done
+kill -9 "${VICTIM}" 2>/dev/null
+wait "${VICTIM}" 2>/dev/null
+set -e
+
+SURVIVORS=$(find "${WORK}/resume-cache" -name '*.cell' | wc -l)
+if [ "${SURVIVORS}" -ge 24 ]; then
+  echo "kill landed too late (${SURVIVORS}/24 cells cached); resume still exercises the warm path"
+else
+  echo "   killed with ${SURVIVORS}/24 cells cached"
+fi
+
+"${GAIA}" sweep "${GRID[@]}" --out "${WORK}/resume" --name ref \
+  --cache-dir "${WORK}/resume-cache"
+
+for f in scenarios.csv aggregate.csv aggregate.json; do
+  cmp "${WORK}/single/ref/${f}" "${WORK}/resume/ref/${f}"
+  echo "   ${f} byte-identical after resume"
+done
+
+echo "sweep shard + resume gates passed"
