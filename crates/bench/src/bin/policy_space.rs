@@ -1,0 +1,219 @@
+//! The end-to-end policy space: temporal × elastic × spatial.
+//!
+//! The paper's policies shift work in *time*; this study adds the two
+//! axes the repo grew on top of them — *elasticity* (Carbon-Scale
+//! reshapes each job's width against the forecast) and *space*
+//! (multi-region placement with data-transfer penalties) — and crosses
+//! them:
+//!
+//! * **temporal** — Carbon-Time in the home region;
+//! * **elastic** — Carbon-Scale in the home region;
+//! * **spatial** — Carbon-Time over a three-region federation;
+//! * **combined** — Carbon-Scale over the same federation.
+//!
+//! Every placed run is audited (all five invariant families per region
+//! plus transfer-bill consistency), and the study proves its own
+//! differential baseline: a single-region placement under Carbon-Time
+//! must reproduce the plain Carbon-Time report *exactly*, so switching
+//! both extensions off recovers today's behaviour byte for byte.
+
+use bench::{banner, carbon, reserved_at_mean_demand, week_billing, WORKLOAD_SEED};
+use gaia_carbon::{CarbonTrace, Region};
+use gaia_core::catalog::{BasePolicyKind, PolicySpec};
+use gaia_core::placement::PlacementSpec;
+use gaia_metrics::placed::{audit_placed, run_placed, PlacedReport};
+use gaia_metrics::runner;
+use gaia_metrics::table::TextTable;
+use gaia_sim::{audit_report, ClusterConfig, SimReport};
+use gaia_workload::synth::TraceFamily;
+use gaia_workload::WorkloadTrace;
+
+/// Home region for the federation (the paper's default study region).
+const HOME: Region = Region::SouthAustralia;
+
+/// Workload seeds: the harness default plus one perturbation.
+const SEEDS: [u64; 2] = [WORKLOAD_SEED, WORKLOAD_SEED + 1];
+
+fn workload(seed: u64) -> WorkloadTrace {
+    TraceFamily::AlibabaPai.week_long_1k(seed)
+}
+
+/// The federation's carbon traces on the home (SA-local) clock:
+/// California's solar day is ~18 hours out of phase, Ontario's ~15.
+fn federation() -> Vec<(Region, CarbonTrace)> {
+    vec![
+        (HOME, carbon(HOME)),
+        (Region::California, carbon(Region::California).rotate(18)),
+        (Region::Ontario, carbon(Region::Ontario).rotate(15)),
+    ]
+}
+
+fn spec_for(kind: BasePolicyKind) -> PolicySpec {
+    PolicySpec::plain(kind)
+}
+
+struct Strategy {
+    name: &'static str,
+    kind: BasePolicyKind,
+    federated: bool,
+}
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy {
+        name: "baseline (NoWait)",
+        kind: BasePolicyKind::NoWait,
+        federated: false,
+    },
+    Strategy {
+        name: "temporal (Carbon-Time)",
+        kind: BasePolicyKind::CarbonTime,
+        federated: false,
+    },
+    Strategy {
+        name: "elastic (Carbon-Scale)",
+        kind: BasePolicyKind::CarbonScale,
+        federated: false,
+    },
+    Strategy {
+        name: "spatial (Carbon-Time + placement)",
+        kind: BasePolicyKind::CarbonTime,
+        federated: true,
+    },
+    Strategy {
+        name: "combined (Carbon-Scale + placement)",
+        kind: BasePolicyKind::CarbonScale,
+        federated: true,
+    },
+];
+
+fn main() {
+    banner(
+        "Policy space: temporal x elastic x spatial",
+        "Crossing the temporal policies with the elastic Carbon-Scale family\n\
+         and multi-region placement over {SA-AU, CA-US, ON-CA} (California\n\
+         and Ontario rotated onto the home clock so their solar valleys are\n\
+         out of phase). Transfer carbon/dollars are billed separately from\n\
+         execution carbon and shown in their own columns. Every placed run\n\
+         is audit-clean; the single-region differential proves that turning\n\
+         both extensions off reproduces the plain run exactly.\n\
+         (Week-long Alibaba-PAI, reserved at mean demand.)",
+    );
+
+    let traces = federation();
+    let trace_refs: Vec<(Region, &CarbonTrace)> = traces.iter().map(|(r, t)| (*r, t)).collect();
+    let candidates: Vec<Region> = traces.iter().map(|(r, _)| *r).collect();
+    let placement = PlacementSpec::federated(HOME).with_candidates(&candidates);
+
+    for seed in SEEDS {
+        let trace = workload(seed);
+        let config = ClusterConfig::default()
+            .with_reserved(reserved_at_mean_demand(&trace))
+            .with_billing_horizon(week_billing());
+
+        let mut table = TextTable::new(vec![
+            "strategy",
+            "carbon (kg)",
+            "transfer (kg)",
+            "cost ($)",
+            "transfer ($)",
+            "wait (h)",
+            "moved",
+            "vs baseline",
+        ]);
+        let mut baseline_carbon = None;
+        let mut audits = 0usize;
+
+        for strategy in &STRATEGIES {
+            let spec = spec_for(strategy.kind);
+            let (report, moved) = if strategy.federated {
+                let placed = run_placed(spec, &trace, &trace_refs, &placement, config);
+                audits += assert_placed_clean(&placed, &trace, &trace_refs, &placement, &config);
+                (placed.report, placed.placement.moved())
+            } else {
+                let report = runner::run_spec_report(spec, &trace, &traces[0].1, config);
+                audits += assert_plain_clean(&report, &traces[0].1, &config);
+                (report, 0)
+            };
+            let total_carbon = report.totals.carbon_g + report.transfer.carbon_g;
+            let baseline = *baseline_carbon.get_or_insert(total_carbon);
+            table.row(vec![
+                strategy.name.to_string(),
+                format!("{:.1}", total_carbon / 1000.0),
+                format!("{:.2}", report.transfer.carbon_g / 1000.0),
+                format!("{:.2}", report.totals.total_cost() + report.transfer.cost),
+                format!("{:.2}", report.transfer.cost),
+                format!(
+                    "{:.2}",
+                    report.totals.total_waiting.as_hours_f64() / report.jobs.len() as f64
+                ),
+                format!("{moved}"),
+                format!("{:.1}%", 100.0 * total_carbon / baseline),
+            ]);
+        }
+
+        println!("seed {seed}:");
+        println!("{table}");
+        println!("audits: {audits} checks, all clean");
+        println!();
+    }
+
+    differential(&traces[0].1);
+}
+
+/// Audits a placed run and aborts loudly on any violation.
+fn assert_placed_clean(
+    placed: &PlacedReport,
+    trace: &WorkloadTrace,
+    traces: &[(Region, &CarbonTrace)],
+    placement: &PlacementSpec,
+    config: &ClusterConfig,
+) -> usize {
+    let audit = audit_placed(placed, trace, traces, placement, config);
+    assert!(
+        audit.is_clean(),
+        "placed run must audit clean: {:?}",
+        audit.violations
+    );
+    audit.checks_run
+}
+
+/// Audits a plain run and aborts loudly on any violation.
+fn assert_plain_clean(report: &SimReport, carbon: &CarbonTrace, config: &ClusterConfig) -> usize {
+    let audit = audit_report(report, config, carbon);
+    assert!(
+        audit.is_clean(),
+        "plain run must audit clean: {:?}",
+        audit.violations
+    );
+    audit.checks_run
+}
+
+/// Proves the extensions-off differential: a single-region placement
+/// under the non-elastic Carbon-Time reproduces the plain run exactly
+/// (same outcomes, totals, and timeline — full structural equality).
+fn differential(home_trace: &CarbonTrace) {
+    println!("differential: extensions off == today's behaviour");
+    for seed in SEEDS {
+        let trace = workload(seed);
+        let config = ClusterConfig::default()
+            .with_reserved(reserved_at_mean_demand(&trace))
+            .with_billing_horizon(week_billing());
+        let spec = spec_for(BasePolicyKind::CarbonTime);
+        let plain = runner::run_spec_report(spec, &trace, home_trace, config);
+        let placed = run_placed(
+            spec,
+            &trace,
+            &[(HOME, home_trace)],
+            &PlacementSpec::single(HOME),
+            config,
+        );
+        assert_eq!(
+            placed.report, plain,
+            "single-region placement must equal the plain run exactly"
+        );
+        assert!(placed.report.transfer.is_zero());
+        println!(
+            "  seed {seed}: single-region placed Carbon-Time == plain Carbon-Time (identical)"
+        );
+    }
+}

@@ -113,6 +113,56 @@ impl Region {
             }
         }
     }
+
+    /// Approximate `(latitude, longitude)` of the region's data-center
+    /// hub in degrees, used by the spatial placement layer to derive
+    /// inter-region transfer distances.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gaia_carbon::Region;
+    ///
+    /// let (lat, _lon) = Region::Sweden.coords();
+    /// assert!(lat > 55.0, "Stockholm is well north");
+    /// ```
+    pub fn coords(self) -> (f64, f64) {
+        match self {
+            Region::Sweden => (59.33, 18.07),           // Stockholm
+            Region::Ontario => (43.65, -79.38),         // Toronto
+            Region::SouthAustralia => (-34.93, 138.60), // Adelaide
+            Region::California => (37.39, -122.08),     // Bay Area
+            Region::Netherlands => (52.37, 4.90),       // Amsterdam
+            Region::Kentucky => (38.25, -85.76),        // Louisville
+        }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine over a
+    /// 6371 km mean-radius sphere). Symmetric; zero for `self == other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gaia_carbon::Region;
+    ///
+    /// let d = Region::California.distance_km(Region::SouthAustralia);
+    /// assert!((12_000.0..14_500.0).contains(&d), "trans-Pacific: {d}");
+    /// assert_eq!(Region::Sweden.distance_km(Region::Sweden), 0.0);
+    /// ```
+    pub fn distance_km(self, other: Region) -> f64 {
+        if self == other {
+            return 0.0;
+        }
+        const EARTH_RADIUS_KM: f64 = 6371.0;
+        let (lat1, lon1) = self.coords();
+        let (lat2, lon2) = other.coords();
+        let (lat1, lon1) = (lat1.to_radians(), lon1.to_radians());
+        let (lat2, lon2) = (lat2.to_radians(), lon2.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
 }
 
 impl fmt::Display for Region {
@@ -183,6 +233,26 @@ mod tests {
         );
         assert_eq!("CA_US".parse::<Region>().unwrap(), Region::California);
         assert!("atlantis".parse::<Region>().is_err());
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_sane() {
+        for a in Region::ALL {
+            assert_eq!(a.distance_km(a), 0.0);
+            for b in Region::ALL {
+                let ab = a.distance_km(b);
+                let ba = b.distance_km(a);
+                assert!((ab - ba).abs() < 1e-9, "{a}->{b} {ab} vs {ba}");
+                if a != b {
+                    assert!(ab > 100.0, "{a}->{b} suspiciously close: {ab}");
+                    assert!(ab < 20_100.0, "{a}->{b} beyond half the planet: {ab}");
+                }
+            }
+        }
+        // Sweden and the Netherlands are continental neighbours; both are
+        // far from Adelaide.
+        assert!(Region::Sweden.distance_km(Region::Netherlands) < 1_500.0);
+        assert!(Region::Sweden.distance_km(Region::SouthAustralia) > 14_000.0);
     }
 
     #[test]

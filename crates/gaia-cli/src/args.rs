@@ -20,7 +20,7 @@ USAGE:
 POLICY:
     --policy <NAME>        nowait | allwait | waitawhile | ecovisor |
                            lowest-slot | lowest-window | carbon-time |
-                           carbon-time-sr | carbon-tax
+                           carbon-scale | carbon-time-sr | carbon-tax
                            (default: carbon-time)
     --res-first            work-conserving use of reserved instances
     --spot [JMAX_HOURS]    run jobs up to JMAX_HOURS (default 2) on spot

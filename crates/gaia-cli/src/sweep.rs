@@ -30,7 +30,8 @@ USAGE:
 
 GRID (comma-separated lists; each defaults to one paper-default entry):
     --policies <A,B,..>    policy names (default: nowait,lowest-slot,
-                           lowest-window,carbon-time)
+                           lowest-window,carbon-time; the elastic
+                           carbon-scale policy is accepted but opt-in)
     --regions <A,B,..>     region codes (default: SA-AU)
     --traces <A,B,..>      workload families: alibaba | azure | mustang
                            (default: alibaba)

@@ -55,12 +55,13 @@
 
 pub mod catalog;
 mod knowledge;
+pub mod placement;
 mod policies;
 mod scheduler;
 
 pub use knowledge::JobLengthKnowledge;
 pub use policies::{
-    AllWaitThreshold, BatchPolicy, CarbonTax, CarbonTime, CarbonTimeSuspend, Ecovisor, LowestSlot,
-    LowestWindow, NoWait, PriceAware, TieredCarbonTime, WaitAwhile,
+    AllWaitThreshold, BatchPolicy, CarbonScale, CarbonTax, CarbonTime, CarbonTimeSuspend, Ecovisor,
+    LowestSlot, LowestWindow, NoWait, PriceAware, TieredCarbonTime, WaitAwhile,
 };
 pub use scheduler::{GaiaScheduler, SpotConfig};

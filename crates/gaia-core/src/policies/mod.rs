@@ -2,6 +2,7 @@
 
 mod allwait;
 mod badplan;
+mod carbon_scale;
 mod carbon_tax;
 mod carbon_time;
 mod carbon_time_sr;
@@ -15,6 +16,7 @@ mod waitawhile;
 
 pub use allwait::AllWaitThreshold;
 pub use badplan::BadPlan;
+pub use carbon_scale::CarbonScale;
 pub use carbon_tax::CarbonTax;
 pub use carbon_time::CarbonTime;
 pub use carbon_time_sr::CarbonTimeSuspend;

@@ -148,6 +148,7 @@ mod tests {
             totals,
             timeline: gaia_sim::AllocationTimeline::default(),
             degradation: gaia_sim::DegradationStats::default(),
+            transfer: Default::default(),
         }
     }
 

@@ -48,6 +48,7 @@ mod analysis;
 mod frontier;
 mod multiseed;
 pub mod observe;
+pub mod placed;
 pub mod runner;
 mod summary;
 pub mod table;

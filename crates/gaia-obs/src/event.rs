@@ -66,6 +66,8 @@ pub enum PlanMode {
     Once,
     /// The job is split into suspend/resume segments.
     Segments,
+    /// The job is split into variable-width (elastic) slices.
+    Elastic,
 }
 
 impl PlanMode {
@@ -74,6 +76,7 @@ impl PlanMode {
         match self {
             PlanMode::Once => "once",
             PlanMode::Segments => "segments",
+            PlanMode::Elastic => "elastic",
         }
     }
 
@@ -82,6 +85,7 @@ impl PlanMode {
         match s {
             "once" => Some(PlanMode::Once),
             "segments" => Some(PlanMode::Segments),
+            "elastic" => Some(PlanMode::Elastic),
             _ => None,
         }
     }
@@ -188,6 +192,26 @@ pub enum Event {
         /// marks the aborted segment not useful, but cannot retract
         /// already-emitted events for earlier segments).
         useful: bool,
+    },
+    /// An elastic job's worker width changed at a slice boundary.
+    ///
+    /// Emitted only for [`PlanMode::Elastic`] plans, immediately before
+    /// the [`Event::SegmentStarted`] it applies to (same `t`, same
+    /// `seg`), and only when the width actually differs from the
+    /// previous slice's (`prev` is 0 before the first slice). Streams
+    /// from non-elastic runs never contain this event.
+    WidthChanged {
+        /// Sim time, minutes.
+        t: u64,
+        /// Job index.
+        job: u64,
+        /// Segment ordinal matching the upcoming
+        /// [`Event::SegmentStarted`].
+        seg: u32,
+        /// New worker width (multiplier on the job's base CPUs).
+        width: u64,
+        /// Previous worker width (0 when this is the first slice).
+        prev: u64,
     },
     /// A job running on spot capacity was evicted.
     SpotEvicted {
@@ -345,6 +369,7 @@ impl Event {
             Event::PlanChosen { .. } => "plan_chosen",
             Event::SegmentStarted { .. } => "segment_started",
             Event::SegmentFinished { .. } => "segment_finished",
+            Event::WidthChanged { .. } => "width_changed",
             Event::SpotEvicted { .. } => "spot_evicted",
             Event::JobCompleted { .. } => "job_completed",
             Event::FaultInjected { .. } => "fault_injected",
@@ -371,6 +396,7 @@ impl Event {
             | Event::PlanChosen { t, .. }
             | Event::SegmentStarted { t, .. }
             | Event::SegmentFinished { t, .. }
+            | Event::WidthChanged { t, .. }
             | Event::SpotEvicted { t, .. }
             | Event::JobCompleted { t, .. }
             | Event::FaultInjected { t, .. }
@@ -396,6 +422,7 @@ impl Event {
             | Event::PlanChosen { job, .. }
             | Event::SegmentStarted { job, .. }
             | Event::SegmentFinished { job, .. }
+            | Event::WidthChanged { job, .. }
             | Event::SpotEvicted { job, .. }
             | Event::JobCompleted { job, .. }
             | Event::JobAccepted { job, .. }
@@ -458,6 +485,19 @@ impl Event {
                 push_u64(&mut s, "seg", u64::from(*seg));
                 push_str(&mut s, "pool", pool.as_str());
                 push_bool(&mut s, "useful", *useful);
+            }
+            Event::WidthChanged {
+                t,
+                job,
+                seg,
+                width,
+                prev,
+            } => {
+                push_u64(&mut s, "t", *t);
+                push_u64(&mut s, "job", *job);
+                push_u64(&mut s, "seg", u64::from(*seg));
+                push_u64(&mut s, "width", *width);
+                push_u64(&mut s, "prev", *prev);
             }
             Event::SpotEvicted { t, job } => {
                 push_u64(&mut s, "t", *t);
@@ -608,6 +648,13 @@ impl Event {
                 pool: PoolKind::parse(&req_str(&value, "pool")?)
                     .ok_or_else(|| format!("unknown pool in: {line}"))?,
                 useful: req_bool(&value, "useful")?,
+            }),
+            "width_changed" => Ok(Event::WidthChanged {
+                t: req_u64(&value, "t")?,
+                job: req_u64(&value, "job")?,
+                seg: req_u32(&value, "seg")?,
+                width: req_u64(&value, "width")?,
+                prev: req_u64(&value, "prev")?,
             }),
             "spot_evicted" => Ok(Event::SpotEvicted {
                 t: req_u64(&value, "t")?,

@@ -88,6 +88,7 @@ impl FlightFrame {
             Event::JobSubmitted { job, len, .. } => (*job, *len),
             Event::PlanChosen { job, start, .. } => (*job, *start),
             Event::SegmentStarted { job, seg, .. } => (*job, u64::from(*seg)),
+            Event::WidthChanged { job, width, .. } => (*job, *width),
             Event::SegmentFinished { job, seg, .. } => (*job, u64::from(*seg)),
             Event::SpotEvicted { job, .. } => (*job, 0),
             Event::JobCompleted { job, wait, .. } => (*job, *wait),

@@ -46,6 +46,9 @@ pub struct TraceSummary {
     pub segments_finished: u64,
     /// Segments finished with `useful == false`.
     pub segments_wasted: u64,
+    /// `WidthChanged` count (elastic plans only; 0 for every
+    /// non-elastic stream, which keeps their rendering byte-stable).
+    pub width_changes: u64,
     /// `SegmentStarted` counts by pool.
     pub segments_by_pool: BTreeMap<&'static str, u64>,
     /// Sum of `JobCompleted.wait`, minutes.
@@ -172,6 +175,9 @@ impl TraceSummary {
         out.push_str(&format!("  started           {}\n", self.segments_started));
         out.push_str(&format!("  finished          {}\n", self.segments_finished));
         out.push_str(&format!("  wasted            {}\n", self.segments_wasted));
+        if self.width_changes > 0 {
+            out.push_str(&format!("  width changes     {}\n", self.width_changes));
+        }
         for pool in [PoolKind::Reserved, PoolKind::OnDemand, PoolKind::Spot] {
             let count = self
                 .segments_by_pool
@@ -339,6 +345,7 @@ impl Builder {
                         .push(format!("job {job} segment {seg} finished without a start")),
                 }
             }
+            Event::WidthChanged { .. } => s.width_changes += 1,
             Event::SpotEvicted { job, .. } => {
                 s.evictions += 1;
                 *self.evicted_jobs.entry(*job).or_insert(0) += 1;

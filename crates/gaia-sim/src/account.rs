@@ -18,6 +18,13 @@ pub struct SegmentRecord {
     pub option: PurchaseOption,
     /// `false` if the work was lost to an eviction and recomputed.
     pub useful: bool,
+    /// Elastic worker width the span ran at: the job occupied
+    /// `width × job.cpus` CPUs. Always 1 for non-elastic execution.
+    pub width: u32,
+    /// Serial-equivalent work completed, in milli-minutes. 0 for
+    /// non-elastic spans (their work *is* their wall length) and for
+    /// spans whose work was lost.
+    pub work_milli: u64,
 }
 
 impl SegmentRecord {
@@ -29,6 +36,17 @@ impl SegmentRecord {
     /// Whether the segment is empty (never true for engine output).
     pub fn is_empty(&self) -> bool {
         self.end <= self.start
+    }
+
+    /// CPUs the span occupied for a job with `base_cpus` base demand.
+    pub fn cpus_used(&self, base_cpus: u32) -> u32 {
+        base_cpus * self.width
+    }
+
+    /// Whether this span carries elastic execution semantics (ran wide,
+    /// or completed work decoupled from its wall length).
+    pub fn is_elastic(&self) -> bool {
+        self.width > 1 || self.work_milli > 0
     }
 }
 
@@ -60,18 +78,41 @@ pub struct JobOutcome {
 
 impl JobOutcome {
     /// CPU-hours executed on the given purchase option (including lost
-    /// work).
+    /// work). Elastic spans count `width × job.cpus` CPUs.
     pub fn cpu_hours_on(&self, option: PurchaseOption) -> f64 {
         self.segments
             .iter()
             .filter(|s| s.option == option)
-            .map(|s| s.len().as_hours_f64() * self.job.cpus as f64)
+            .map(|s| s.len().as_hours_f64() * s.cpus_used(self.job.cpus) as f64)
             .sum()
     }
 
     /// Total executed time including lost work.
     pub fn executed(&self) -> Minutes {
         self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether this job executed elastically (any span ran wide or
+    /// carries a work annotation).
+    pub fn is_elastic(&self) -> bool {
+        self.segments.iter().any(SegmentRecord::is_elastic)
+    }
+
+    /// Serial-equivalent work completed by useful spans, in
+    /// milli-minutes. Spans without a work annotation contribute their
+    /// wall length (plain execution does serial work at wall speed).
+    pub fn useful_work_milli(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.useful)
+            .map(|s| {
+                if s.work_milli > 0 {
+                    s.work_milli
+                } else {
+                    s.len().as_minutes() * 1000
+                }
+            })
+            .sum()
     }
 }
 
@@ -244,6 +285,8 @@ mod tests {
                 end,
                 option,
                 useful: true,
+                width: 1,
+                work_milli: 0,
             }],
             evictions: 0,
         }

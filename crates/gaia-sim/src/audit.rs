@@ -208,7 +208,36 @@ impl Auditor<'_> {
         let strict = self.strict_segments();
         for outcome in &self.report.jobs {
             self.tally();
-            if strict {
+            // Elastic jobs are covered by *work*, not wall time: each
+            // slice completes `work_milli` milli-minutes of serial work,
+            // and the plan contract is that the useful total reaches the
+            // job's serial length.
+            if outcome.is_elastic() {
+                let work = outcome.useful_work_milli();
+                let needed = outcome.job.length.as_minutes() * 1000;
+                if work < needed {
+                    self.violation(
+                        AuditInvariant::SegmentCoverage,
+                        Some(outcome.job.id),
+                        format!("useful elastic work {work} milli-minutes, job needs {needed}"),
+                    );
+                }
+                let mut spans: Vec<(SimTime, SimTime)> =
+                    outcome.segments.iter().map(|s| (s.start, s.end)).collect();
+                spans.sort();
+                for pair in spans.windows(2) {
+                    if pair[1].0 < pair[0].1 {
+                        self.violation(
+                            AuditInvariant::SegmentCoverage,
+                            Some(outcome.job.id),
+                            format!(
+                                "segment starting {} overlaps segment ending {}",
+                                pair[1].0, pair[0].1
+                            ),
+                        );
+                    }
+                }
+            } else if strict {
                 let useful: gaia_time::Minutes = outcome
                     .segments
                     .iter()
@@ -276,8 +305,9 @@ impl Auditor<'_> {
         for outcome in &self.report.jobs {
             for segment in &outcome.segments {
                 if segment.option == PurchaseOption::Reserved {
-                    events.push((segment.start, outcome.job.cpus as i64));
-                    events.push((segment.end, -(outcome.job.cpus as i64)));
+                    let cpus = segment.cpus_used(outcome.job.cpus) as i64;
+                    events.push((segment.start, cpus));
+                    events.push((segment.end, -cpus));
                 }
             }
         }
@@ -301,25 +331,27 @@ impl Auditor<'_> {
     }
 
     fn sweep_elastic(&mut self, cap: u32) {
-        // (time, is_start, job index) — ends sort before starts at ties.
-        let mut events: Vec<(SimTime, bool, usize)> = Vec::new();
+        // (time, is_start, job index, cpus) — ends sort before starts
+        // at ties. Elastic slices occupy `width × cpus`, so the CPU
+        // count travels with the event instead of being a per-job fact.
+        let mut events: Vec<(SimTime, bool, usize, u32)> = Vec::new();
         for (idx, outcome) in self.report.jobs.iter().enumerate() {
             for segment in &outcome.segments {
                 if segment.option != PurchaseOption::Reserved {
-                    events.push((segment.start, true, idx));
-                    events.push((segment.end, false, idx));
+                    let cpus = segment.cpus_used(outcome.job.cpus);
+                    events.push((segment.start, true, idx, cpus));
+                    events.push((segment.end, false, idx, cpus));
                 }
             }
         }
-        events.sort_by_key(|&(t, is_start, idx)| (t, is_start, idx));
+        events.sort_by_key(|&(t, is_start, idx, cpus)| (t, is_start, idx, cpus));
         let mut active: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
         let mut busy = 0u64;
         let mut i = 0;
         while i < events.len() {
             let t = events[i].0;
             while i < events.len() && events[i].0 == t {
-                let (_, is_start, idx) = events[i];
-                let cpus = self.report.jobs[idx].job.cpus;
+                let (_, is_start, idx, cpus) = events[i];
                 if is_start {
                     *active.entry(idx).or_insert(0) += 1;
                     busy += cpus as u64;
@@ -358,7 +390,7 @@ impl Auditor<'_> {
                     segment_carbon(
                         self.carbon,
                         &self.config.energy,
-                        outcome.job.cpus,
+                        s.cpus_used(outcome.job.cpus),
                         s.start,
                         s.end,
                     )
@@ -381,7 +413,7 @@ impl Auditor<'_> {
                     segment_cost(
                         &self.config.pricing,
                         s.option,
-                        outcome.job.cpus,
+                        s.cpus_used(outcome.job.cpus),
                         s.start,
                         s.end,
                     )
@@ -474,7 +506,11 @@ impl Auditor<'_> {
         for outcome in &self.report.jobs {
             for segment in &outcome.segments {
                 if segment.option == PurchaseOption::Reserved {
-                    reserved.push((segment.start, segment.end, outcome.job.cpus));
+                    reserved.push((
+                        segment.start,
+                        segment.end,
+                        segment.cpus_used(outcome.job.cpus),
+                    ));
                 }
             }
         }
@@ -490,7 +526,7 @@ impl Auditor<'_> {
                     .filter(|&&(start, end, _)| start <= t && t <= end)
                     .map(|&(_, _, cpus)| cpus as u64)
                     .sum();
-                if busy + outcome.job.cpus as u64 <= capacity {
+                if busy + segment.cpus_used(outcome.job.cpus) as u64 <= capacity {
                     self.violation(
                         AuditInvariant::WorkConservation,
                         Some(outcome.job.id),
@@ -609,25 +645,53 @@ impl Auditor<'_> {
                     ),
                 );
             }
-            if outcome.completion < job.length {
-                self.violation(
-                    AuditInvariant::Timing,
-                    Some(job.id),
-                    format!(
-                        "completion {} is shorter than the job length {}",
-                        outcome.completion, job.length
-                    ),
-                );
-            }
-            if outcome.waiting + job.length != outcome.completion {
-                self.violation(
-                    AuditInvariant::Timing,
-                    Some(job.id),
-                    format!(
-                        "waiting {} + length {} != completion {}",
-                        outcome.waiting, job.length, outcome.completion
-                    ),
-                );
+            if outcome.is_elastic() {
+                // An elastic job finishes its serial work in less wall
+                // time than `length`, so the plain identities above do
+                // not apply. Instead: waiting is completion minus the
+                // useful execution wall (exact in the paper's default
+                // mode; boot/teardown make it approximate otherwise).
+                if strict {
+                    let exec: gaia_time::Minutes = outcome
+                        .segments
+                        .iter()
+                        .filter(|s| s.useful)
+                        .map(|s| s.len())
+                        .sum();
+                    let expected = outcome.completion.saturating_sub(exec);
+                    if outcome.waiting != expected {
+                        self.violation(
+                            AuditInvariant::Timing,
+                            Some(job.id),
+                            format!(
+                                "elastic waiting {} but completion {} - useful \
+                                 execution {exec} gives {expected}",
+                                outcome.waiting, outcome.completion
+                            ),
+                        );
+                    }
+                }
+            } else {
+                if outcome.completion < job.length {
+                    self.violation(
+                        AuditInvariant::Timing,
+                        Some(job.id),
+                        format!(
+                            "completion {} is shorter than the job length {}",
+                            outcome.completion, job.length
+                        ),
+                    );
+                }
+                if outcome.waiting + job.length != outcome.completion {
+                    self.violation(
+                        AuditInvariant::Timing,
+                        Some(job.id),
+                        format!(
+                            "waiting {} + length {} != completion {}",
+                            outcome.waiting, job.length, outcome.completion
+                        ),
+                    );
+                }
             }
             if outcome.first_start < job.arrival {
                 self.violation(
@@ -800,6 +864,8 @@ mod tests {
             end: seg.start + Minutes::new(5),
             option: seg.option,
             useful: false,
+            width: 1,
+            work_milli: 0,
         });
         let audit = audit_report(&report, &config, &carbon);
         assert!(audit.violations.iter().any(
@@ -816,6 +882,8 @@ mod tests {
             end: SimTime::from_hours(1),
             option: PurchaseOption::Reserved,
             useful: false,
+            width: 1,
+            work_milli: 0,
         };
         report.jobs[2].segments.insert(0, forged);
         let audit = audit_report(&report, &config, &carbon);

@@ -38,6 +38,17 @@ pub enum PolicyError {
         /// The job's actual length.
         length: Minutes,
     },
+    /// An elastic plan's serial-equivalent work does not cover the
+    /// job's length (`Σ len × speedup(width) < length`): the job would
+    /// end with work left undone.
+    ElasticPlanShortfall {
+        /// The job the plan was for.
+        job: JobId,
+        /// Total planned serial-equivalent work, in milli-minutes.
+        work_milli: u64,
+        /// Required serial-equivalent work (`length × 1000`).
+        needed_milli: u64,
+    },
 }
 
 impl fmt::Display for PolicyError {
@@ -58,6 +69,15 @@ impl fmt::Display for PolicyError {
             } => write!(
                 f,
                 "segment plan for {job} covers {planned} but the job is {length} long"
+            ),
+            PolicyError::ElasticPlanShortfall {
+                job,
+                work_milli,
+                needed_milli,
+            } => write!(
+                f,
+                "elastic plan for {job} completes {work_milli} milli-minutes \
+                 of work but the job needs {needed_milli}"
             ),
         }
     }

@@ -81,7 +81,7 @@ pub use gaia_obs::{
     Event as TraceEvent, JsonlSink, NullSink, Profiler, Sink, TraceSummary, VecSink,
 };
 pub use online::{CancelOutcome, JobStatus, OnlineEngine};
-pub use plan::{Decision, PurchaseOption, SegmentPlan};
+pub use plan::{Decision, ElasticPlan, ElasticSegment, PurchaseOption, SegmentPlan};
 pub use pool::ReservedPool;
-pub use report::{AllocationTimeline, DegradationStats, SimReport};
+pub use report::{AllocationTimeline, DegradationStats, SimReport, TransferStats};
 pub use snapshot::{fnv1a, SnapshotError, SNAPSHOT_VERSION};

@@ -53,7 +53,7 @@ use crate::engine::{Scheduler, SchedulerContext};
 use crate::error::{PolicyError, SimError};
 use crate::eventq::EventQueue;
 use crate::plan::PurchaseOption;
-use crate::plan::{Decision, PackedDecision, PlanArena, DF_SPOT, DK_ONCE, DK_SEGMENTS};
+use crate::plan::{Decision, PackedDecision, PlanArena, DF_SPOT, DK_ELASTIC, DK_ONCE};
 use crate::pool::ReservedPool;
 use crate::report::{AllocationTimeline, DegradationStats, SimReport};
 
@@ -649,12 +649,14 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             Tag::RunningOnce | Tag::PlanRunning => {
                 let option = self.run_option[i];
                 let start = self.run_start[i];
-                self.record_segment(i, start, now, option, false);
+                let width = self.running_width(i);
+                self.record_segment(i, start, now, option, false, width, 0);
                 if S::ACTIVE {
                     self.emit_segment_finished(i, now, option, false);
                 }
                 self.finish_cancel(i, now);
-                self.release_after_stop(i, option, now)?;
+                let held = self.jobs[i].cpus * width;
+                self.release_after_stop(option, now, held)?;
                 Ok(CancelOutcome::Cancelled)
             }
         }
@@ -666,21 +668,33 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         self.cancelled += 1;
     }
 
-    /// Releases the capacity a stopped job held and lets blocked or
-    /// opportunistic work claim it.
+    /// Releases the capacity a stopped job held (`cpus` already includes
+    /// any elastic width multiplier) and lets blocked or opportunistic
+    /// work claim it.
     fn release_after_stop(
         &mut self,
-        idx: usize,
         option: PurchaseOption,
         now: SimTime,
+        cpus: u32,
     ) -> Result<(), SimError> {
         if option == PurchaseOption::Reserved {
-            self.pool.release(self.jobs[idx].cpus);
+            self.pool.release(cpus);
             self.wake_waiters(now);
             Ok(())
         } else {
-            self.elastic_busy -= self.jobs[idx].cpus;
+            self.elastic_busy -= cpus;
             self.drain_cap_queue(now)
+        }
+    }
+
+    /// The worker width of job `idx`'s currently running plan segment
+    /// (1 for uninterruptible runs and plain suspend-resume segments).
+    fn running_width(&self, idx: usize) -> u32 {
+        if self.tag[idx] == Tag::PlanRunning {
+            self.arena
+                .width_of(self.plan[idx], self.run_seg[idx] as usize)
+        } else {
+            1
         }
     }
 
@@ -736,11 +750,16 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             Tag::PlanIdle => JobStatus::Suspended,
             Tag::Done => {
                 let completion = self.finish[i].saturating_since(self.jobs[i].arrival);
+                let waiting = if self.plan[i].kind == DK_ELASTIC {
+                    self.elastic_waiting(i, completion)
+                } else {
+                    waiting_minutes(completion, self.jobs[i].length, true)
+                };
                 JobStatus::Done {
                     finish: self.finish[i],
                     carbon_g: self.carbon_g[i],
                     cost: self.cost[i],
-                    waiting: waiting_minutes(completion, self.jobs[i].length, true),
+                    waiting,
                     evictions: self.evictions[i],
                 }
             }
@@ -900,8 +919,11 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
     fn drain_cap_queue(&mut self, now: SimTime) -> Result<(), SimError> {
         while let Some(&head) = self.cap_queue.front() {
             let cpus = match head {
-                CapBlocked::Once { idx, .. } | CapBlocked::Segment { idx, .. } => {
-                    self.jobs[idx].cpus
+                CapBlocked::Once { idx, .. } => self.jobs[idx].cpus,
+                // Elastic plan segments occupy width × base CPUs; the
+                // arena reports width 1 for everything else.
+                CapBlocked::Segment { idx, seg_idx } => {
+                    self.jobs[idx].cpus * self.arena.width_of(self.plan[idx], seg_idx)
                 }
             };
             if !self.cap_allows(cpus, now) {
@@ -1004,6 +1026,29 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             }
             self.tag[idx] = Tag::PlanIdle;
             // Stash the decision for spot lookups during segment starts.
+            self.plan[idx] = self.arena.intern(&decision);
+            return Ok(());
+        }
+        if let Some(plan) = decision.elastic() {
+            // Elastic plans are validated by serial-equivalent *work*,
+            // not wall time: the summed work must cover the job's
+            // length (over-provisioning is legal; the tail is slack).
+            let needed_milli = job.length.as_minutes() * 1000;
+            if plan.total_work_milli() < needed_milli {
+                return Err(PolicyError::ElasticPlanShortfall {
+                    job: job.id,
+                    work_milli: plan.total_work_milli(),
+                    needed_milli,
+                }
+                .into());
+            }
+            if S::ACTIVE {
+                self.emit_plan_chosen(idx, now, &decision);
+            }
+            for (seg_idx, seg) in plan.segments().iter().enumerate() {
+                self.push(seg.start, idx as u32, EventKind::SegmentStart(seg_idx));
+            }
+            self.tag[idx] = Tag::PlanIdle;
             self.plan[idx] = self.arena.intern(&decision);
             return Ok(());
         }
@@ -1136,7 +1181,15 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             return Ok(()); // stale event from a pre-eviction schedule
         }
         // Elastic instances bill their wind-down after execution ends.
-        self.record_segment(idx, start, now + self.teardown_for(option), option, true);
+        self.record_segment(
+            idx,
+            start,
+            now + self.teardown_for(option),
+            option,
+            true,
+            1,
+            0,
+        );
         if S::ACTIVE {
             self.emit_segment_finished(idx, now, option, true);
         }
@@ -1173,7 +1226,7 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
                     .checkpoint
                     .map(|cp| cp.banked_work(worked, self.remaining[idx]))
                     .unwrap_or(Minutes::ZERO);
-                self.record_segment(idx, start, now, option, !banked.is_zero());
+                self.record_segment(idx, start, now, option, !banked.is_zero(), 1, 0);
                 if S::ACTIVE {
                     self.emit_segment_finished(idx, now, option, !banked.is_zero());
                     self.sink.emit(&ObsEvent::SpotEvicted {
@@ -1218,14 +1271,16 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
                 if self.tag[idx] == Tag::PlanRunning {
                     let option = self.run_option[idx];
                     let start = self.run_start[idx];
-                    self.record_segment(idx, start, now, option, false);
+                    let width = self.running_width(idx);
+                    self.record_segment(idx, start, now, option, false, width, 0);
                     if S::ACTIVE {
                         self.emit_segment_finished(idx, now, option, false);
                     }
+                    let cpus = self.jobs[idx].cpus * width;
                     if option == PurchaseOption::Reserved {
-                        self.pool.release(self.jobs[idx].cpus);
+                        self.pool.release(cpus);
                     } else {
-                        self.elastic_busy -= self.jobs[idx].cpus;
+                        self.elastic_busy -= cpus;
                     }
                 }
                 // Earlier segments of the abandoned plan were traced with
@@ -1289,7 +1344,7 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
                 job.id
             )));
         }
-        if packed.kind != DK_SEGMENTS {
+        if !packed.is_plan() {
             return Err(SimError::internal(format!(
                 "InPlan state for {} without a segment plan",
                 job.id
@@ -1303,15 +1358,18 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
                 spans.len()
             )));
         };
+        // Elastic slices occupy width × base CPUs for their whole span.
+        let width = self.arena.width_of(packed, seg_idx);
+        let cpus = job.cpus * width;
         let use_spot = packed.uses_spot();
         let option = if use_spot {
             PurchaseOption::Spot
-        } else if self.pool.try_acquire(job.cpus) {
+        } else if self.pool.try_acquire(cpus) {
             PurchaseOption::Reserved
         } else {
             PurchaseOption::OnDemand
         };
-        if option != PurchaseOption::Reserved && !self.cap_allows(job.cpus, now) {
+        if option != PurchaseOption::Reserved && !self.cap_allows(cpus, now) {
             self.block_on_cap(CapBlocked::Segment { idx, seg_idx }, now);
             return Ok(());
         }
@@ -1321,6 +1379,26 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         if S::ACTIVE {
             let seg = self.starts[idx];
             self.starts[idx] += 1;
+            // Width changes are announced before the slice starts: a
+            // `WidthChanged` at time t orders before the `SegmentStarted`
+            // it applies to (same t, same seg). The previous width is the
+            // preceding slice's (0 when this is the first slice).
+            if packed.kind == DK_ELASTIC {
+                let prev = if seg_idx == 0 {
+                    0
+                } else {
+                    self.arena.width_of(packed, seg_idx - 1)
+                };
+                if width != prev {
+                    self.sink.emit(&ObsEvent::WidthChanged {
+                        t: now.as_minutes(),
+                        job: idx as u64,
+                        seg,
+                        width: u64::from(width),
+                        prev: u64::from(prev),
+                    });
+                }
+            }
             self.sink.emit(&ObsEvent::SegmentStarted {
                 t: now.as_minutes(),
                 job: idx as u64,
@@ -1329,7 +1407,7 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             });
         }
         if option != PurchaseOption::Reserved {
-            self.elastic_busy += job.cpus;
+            self.elastic_busy += cpus;
         }
         let exec_end = now + self.boot_for(option) + seg_len;
         self.tag[idx] = Tag::PlanRunning;
@@ -1375,16 +1453,27 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         if running_idx != seg_idx || now != exec_end {
             return Ok(()); // stale
         }
-        self.record_segment(idx, start, now + self.teardown_for(option), option, true);
+        let width = self.arena.width_of(self.plan[idx], seg_idx);
+        let work = self.arena.work_of(self.plan[idx], seg_idx);
+        self.record_segment(
+            idx,
+            start,
+            now + self.teardown_for(option),
+            option,
+            true,
+            width,
+            work,
+        );
         if S::ACTIVE {
             self.emit_segment_finished(idx, now, option, true);
         }
+        let cpus = self.jobs[idx].cpus * width;
         if option == PurchaseOption::Reserved {
-            self.pool.release(self.jobs[idx].cpus);
+            self.pool.release(cpus);
         } else {
-            self.elastic_busy -= self.jobs[idx].cpus;
+            self.elastic_busy -= cpus;
         }
-        if self.plan[idx].kind != DK_SEGMENTS {
+        if !self.plan[idx].is_plan() {
             return Err(SimError::internal(format!(
                 "no stored plan decision for {} at segment finish",
                 self.jobs[idx].id
@@ -1496,26 +1585,29 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         let mut est_carbon_g = 0.0;
         let mut est_cost = 0.0;
         {
-            let mut add_span = |start: SimTime, end: SimTime| {
-                est_carbon_g +=
-                    segment_carbon(self.carbon, &self.config.energy, job.cpus, start, end);
-                est_cost += segment_cost(&self.config.pricing, option, job.cpus, start, end);
+            let mut add_span = |start: SimTime, end: SimTime, cpus: u32| {
+                est_carbon_g += segment_carbon(self.carbon, &self.config.energy, cpus, start, end);
+                est_cost += segment_cost(&self.config.pricing, option, cpus, start, end);
             };
-            match decision.segments() {
-                Some(plan) => {
-                    for &(start, len) in &plan.segments {
-                        add_span(start, start + len);
-                    }
+            if let Some(plan) = decision.segments() {
+                for &(start, len) in &plan.segments {
+                    add_span(start, start + len, job.cpus);
                 }
-                None => {
-                    let start = decision.planned_start().max(now);
-                    add_span(start, start + job.length);
+            } else if let Some(plan) = decision.elastic() {
+                for seg in plan.segments() {
+                    add_span(seg.start, seg.end(), job.cpus * seg.width);
                 }
+            } else {
+                let start = decision.planned_start().max(now);
+                add_span(start, start + job.length, job.cpus);
             }
         }
-        let (mode, segs) = match decision.segments() {
-            Some(plan) => (PlanMode::Segments, plan.segments.len() as u32),
-            None => (PlanMode::Once, 1),
+        let (mode, segs) = if let Some(plan) = decision.segments() {
+            (PlanMode::Segments, plan.segments.len() as u32)
+        } else if let Some(plan) = decision.elastic() {
+            (PlanMode::Elastic, plan.segments().len() as u32)
+        } else {
+            (PlanMode::Once, 1)
         };
         self.sink.emit(&ObsEvent::PlanChosen {
             t: now.as_minutes(),
@@ -1557,7 +1649,11 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
     fn emit_job_completed(&mut self, idx: usize, now: SimTime) {
         let job = self.jobs[idx];
         let completion = now.saturating_since(job.arrival);
-        let wait = waiting_minutes(completion, job.length, true);
+        let wait = if self.plan[idx].kind == DK_ELASTIC {
+            self.elastic_waiting(idx, completion)
+        } else {
+            waiting_minutes(completion, job.length, true)
+        };
         let len = job.length.as_minutes();
         let stretch = if len == 0 {
             1.0
@@ -1572,6 +1668,29 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         });
     }
 
+    /// Waiting time for an elastic job: completion minus the wall time
+    /// spent usefully executing. Running wide finishes the work in less
+    /// wall time, so waiting can be *negative slack relative to the
+    /// serial length*; the subtraction saturates at zero. Boot and
+    /// teardown overheads count as waiting, exactly as they do for
+    /// uninterruptible runs (`waiting = completion - length` charges
+    /// them too). After a spot eviction abandons the plan the job
+    /// restarts serially, and this formula coincides with the plain one.
+    fn elastic_waiting(&self, idx: usize, completion: Minutes) -> Minutes {
+        let mut useful_wall = Minutes::ZERO;
+        let mut node = self.seg_head[idx];
+        while node != SEG_NIL {
+            let n = &self.seg_nodes[node as usize];
+            if n.rec.useful {
+                let span = n.rec.end.saturating_since(n.rec.start);
+                let overhead = self.boot_for(n.rec.option) + self.teardown_for(n.rec.option);
+                useful_wall += span.saturating_sub(overhead);
+            }
+            node = n.next;
+        }
+        completion.saturating_sub(useful_wall)
+    }
+
     /// The eviction-storm rate multiplier active at `now` (1.0 without a
     /// fault schedule or outside every storm window).
     fn storm_multiplier_at(&self, now: SimTime) -> f64 {
@@ -1581,6 +1700,12 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         }
     }
 
+    /// Appends one accounting record. `width` is the elastic worker
+    /// width the span ran at (1 for non-elastic execution) and scales
+    /// the CPUs billed and the carbon emitted; `work_milli` is the
+    /// serial-equivalent work a *useful elastic* span completed (0
+    /// otherwise — for plain spans the work is the wall length).
+    #[allow(clippy::too_many_arguments)]
     fn record_segment(
         &mut self,
         idx: usize,
@@ -1588,13 +1713,16 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
         end: SimTime,
         option: PurchaseOption,
         useful: bool,
+        width: u32,
+        work_milli: u64,
     ) {
         if end <= start {
             return;
         }
         let job = self.jobs[idx];
-        let carbon = segment_carbon(self.carbon, &self.config.energy, job.cpus, start, end);
-        let cost = segment_cost(&self.config.pricing, option, job.cpus, start, end);
+        let cpus = job.cpus * width;
+        let carbon = segment_carbon(self.carbon, &self.config.energy, cpus, start, end);
+        let cost = segment_cost(&self.config.pricing, option, cpus, start, end);
         // Price spikes never mutate base accounting (cluster totals are
         // recomputed from CPU-hours at flat prices, and the audit relies
         // on that identity); the extra dollars are tracked separately,
@@ -1616,6 +1744,8 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
                 end,
                 option,
                 useful,
+                width,
+                work_milli,
             },
             next: SEG_NIL,
         });
@@ -1656,11 +1786,16 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
                 };
                 let finish = self.finish[i];
                 let completion = finish.saturating_since(job.arrival);
+                let waiting = if self.plan[i].kind == DK_ELASTIC && self.tag[i] == Tag::Done {
+                    self.elastic_waiting(i, completion)
+                } else {
+                    waiting_minutes(completion, job.length, self.tag[i] == Tag::Done)
+                };
                 JobOutcome {
                     job,
                     first_start,
                     finish,
-                    waiting: waiting_minutes(completion, job.length, self.tag[i] == Tag::Done),
+                    waiting,
                     completion,
                     carbon_g: self.carbon_g[i],
                     cost: self.cost[i],
@@ -1686,6 +1821,7 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             totals,
             timeline,
             degradation: self.degrade,
+            transfer: Default::default(),
         }
     }
 }

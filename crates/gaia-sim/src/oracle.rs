@@ -1307,6 +1307,8 @@ impl<'e, S: Sink> OracleEngine<'e, S> {
             end,
             option,
             useful,
+            width: 1,
+            work_milli: 0,
         });
     }
 
@@ -1352,6 +1354,7 @@ impl<'e, S: Sink> OracleEngine<'e, S> {
             totals,
             timeline,
             degradation: self.degrade,
+            transfer: Default::default(),
         }
     }
 }

@@ -75,6 +75,106 @@ impl SegmentPlan {
     }
 }
 
+/// One slice of an elastic execution plan: a time window, the worker
+/// width to run at, and the serial-equivalent work it completes.
+///
+/// `work_milli` is in **milli-minutes of serial work** — the planner
+/// computes it as `len × speedup_milli(width)` from the job's
+/// [`gaia_workload::elastic::SpeedupLadder`], and the engine validates
+/// that a plan's total work covers the job's serial length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElasticSegment {
+    /// Wall-clock start of the slice.
+    pub start: SimTime,
+    /// Wall-clock length of the slice.
+    pub len: Minutes,
+    /// Worker width (parallelism multiplier on the job's base CPUs).
+    pub width: u32,
+    /// Serial-equivalent work completed, in milli-minutes.
+    pub work_milli: u64,
+}
+
+impl ElasticSegment {
+    /// Wall-clock end of the slice.
+    pub fn end(&self) -> SimTime {
+        self.start + self.len
+    }
+}
+
+/// An elastic execution plan: ordered, non-overlapping slices that each
+/// run the job at a chosen width, produced by the `CarbonScale` policy
+/// family (scale up in green hours, down or pause in dirty ones).
+///
+/// Unlike a [`SegmentPlan`] — whose segment lengths must sum to the
+/// job's length exactly — an elastic plan is validated by *work*: the
+/// engine accepts it if the summed `work_milli` covers the job's serial
+/// length (`Σ work_milli ≥ length × 1000`).
+///
+/// # Examples
+///
+/// ```
+/// use gaia_sim::{Decision, ElasticPlan, ElasticSegment};
+/// use gaia_time::{Minutes, SimTime};
+///
+/// // One green hour at width 4 (speedup 3.478×), then a width-1 hour.
+/// let plan = ElasticPlan::new(vec![
+///     ElasticSegment { start: SimTime::from_hours(2), len: Minutes::new(60), width: 4, work_milli: 60 * 3478 },
+///     ElasticSegment { start: SimTime::from_hours(7), len: Minutes::new(60), width: 1, work_milli: 60 * 1000 },
+/// ]);
+/// assert_eq!(plan.total_work_milli(), 60 * 3478 + 60 * 1000);
+/// let d = Decision::run_elastic(plan);
+/// assert_eq!(d.planned_start(), SimTime::from_hours(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElasticPlan {
+    segments: Vec<ElasticSegment>,
+}
+
+impl ElasticPlan {
+    /// Creates a plan from ordered slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, contains a zero-length or
+    /// zero-width or zero-work slice, is unordered, or overlaps.
+    pub fn new(segments: Vec<ElasticSegment>) -> Self {
+        assert!(!segments.is_empty(), "elastic plan cannot be empty");
+        for seg in &segments {
+            assert!(!seg.len.is_zero(), "zero-length slice at {}", seg.start);
+            assert!(seg.width >= 1, "zero-width slice at {}", seg.start);
+            assert!(seg.work_milli > 0, "zero-work slice at {}", seg.start);
+        }
+        for pair in segments.windows(2) {
+            assert!(
+                pair[0].end() <= pair[1].start,
+                "slices overlap or are unordered at {}",
+                pair[1].start
+            );
+        }
+        ElasticPlan { segments }
+    }
+
+    /// The plan's slices, in start order.
+    pub fn segments(&self) -> &[ElasticSegment] {
+        &self.segments
+    }
+
+    /// Total serial-equivalent work, in milli-minutes.
+    pub fn total_work_milli(&self) -> u64 {
+        self.segments.iter().map(|s| s.work_milli).sum()
+    }
+
+    /// Start of the first slice.
+    pub fn first_start(&self) -> SimTime {
+        self.segments[0].start
+    }
+
+    /// End of the last slice.
+    pub fn finish(&self) -> SimTime {
+        self.segments.last().expect("non-empty").end()
+    }
+}
+
 /// A policy's scheduling decision for one job.
 ///
 /// # Examples
@@ -102,6 +202,10 @@ pub(crate) enum DecisionKind {
     },
     Segments {
         plan: SegmentPlan,
+        use_spot: bool,
+    },
+    Elastic {
+        plan: ElasticPlan,
         use_spot: bool,
     },
 }
@@ -132,6 +236,19 @@ impl Decision {
         }
     }
 
+    /// Run the job according to an elastic (variable-width) plan. Each
+    /// slice runs at its own worker width, occupying
+    /// `width × job.cpus` CPUs; slices independently prefer reserved
+    /// capacity and fall back to on-demand.
+    pub fn run_elastic(plan: ElasticPlan) -> Decision {
+        Decision {
+            kind: DecisionKind::Elastic {
+                plan,
+                use_spot: false,
+            },
+        }
+    }
+
     /// Enable work conservation: if reserved capacity frees up before the
     /// planned start, begin immediately on it (RES-First, §4.2.3).
     ///
@@ -151,12 +268,14 @@ impl Decision {
     /// Execute on a spot instance (Spot-First, §4.2.4). For
     /// uninterruptible decisions the initial run uses spot; if evicted,
     /// the job restarts from scratch preferring reserved, then on-demand.
-    /// For segment plans each segment runs on spot, and an eviction
-    /// abandons the plan and restarts the whole job uninterruptibly.
+    /// For segment and elastic plans each slice runs on spot, and an
+    /// eviction abandons the plan and restarts the whole job
+    /// uninterruptibly.
     pub fn on_spot(mut self) -> Decision {
         match &mut self.kind {
             DecisionKind::Once { use_spot, .. } => *use_spot = true,
             DecisionKind::Segments { use_spot, .. } => *use_spot = true,
+            DecisionKind::Elastic { use_spot, .. } => *use_spot = true,
         }
         self
     }
@@ -167,6 +286,7 @@ impl Decision {
         match &self.kind {
             DecisionKind::Once { planned_start, .. } => *planned_start,
             DecisionKind::Segments { plan, .. } => plan.first_start(),
+            DecisionKind::Elastic { plan, .. } => plan.first_start(),
         }
     }
 
@@ -187,14 +307,23 @@ impl Decision {
         match &self.kind {
             DecisionKind::Once { use_spot, .. } => *use_spot,
             DecisionKind::Segments { use_spot, .. } => *use_spot,
+            DecisionKind::Elastic { use_spot, .. } => *use_spot,
         }
     }
 
     /// The segment plan, if this is a suspend-resume decision.
     pub fn segments(&self) -> Option<&SegmentPlan> {
         match &self.kind {
-            DecisionKind::Once { .. } => None,
             DecisionKind::Segments { plan, .. } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The elastic plan, if this is a variable-width decision.
+    pub fn elastic(&self) -> Option<&ElasticPlan> {
+        match &self.kind {
+            DecisionKind::Elastic { plan, .. } => Some(plan),
+            _ => None,
         }
     }
 }
@@ -203,6 +332,7 @@ impl Decision {
 pub(crate) const DK_NONE: u8 = 0;
 pub(crate) const DK_ONCE: u8 = 1;
 pub(crate) const DK_SEGMENTS: u8 = 2;
+pub(crate) const DK_ELASTIC: u8 = 3;
 
 /// Decision flag bits for [`PackedDecision`].
 pub(crate) const DF_OPPORTUNISTIC: u8 = 1;
@@ -241,6 +371,11 @@ impl PackedDecision {
         self.kind != DK_NONE
     }
 
+    /// Whether this decision carries arena spans (segment or elastic).
+    pub(crate) fn is_plan(self) -> bool {
+        self.kind == DK_SEGMENTS || self.kind == DK_ELASTIC
+    }
+
     pub(crate) fn is_opportunistic(self) -> bool {
         self.kind == DK_ONCE && self.flags & DF_OPPORTUNISTIC != 0
     }
@@ -260,6 +395,12 @@ impl PackedDecision {
 #[derive(Debug, Default)]
 pub(crate) struct PlanArena {
     pub(crate) spans: Vec<(SimTime, Minutes)>,
+    /// Per-span worker width, aligned with `spans` (1 for plain
+    /// suspend-resume segments).
+    pub(crate) widths: Vec<u32>,
+    /// Per-span serial-equivalent work in milli-minutes, aligned with
+    /// `spans` (0 for plain segments: their work IS their wall length).
+    pub(crate) works: Vec<u64>,
 }
 
 impl PlanArena {
@@ -281,6 +422,8 @@ impl PlanArena {
             DecisionKind::Segments { plan, use_spot } => {
                 let seg_start = self.spans.len() as u32;
                 self.spans.extend_from_slice(&plan.segments);
+                self.widths.resize(self.spans.len(), 1);
+                self.works.resize(self.spans.len(), 0);
                 PackedDecision {
                     kind: DK_SEGMENTS,
                     flags: u8::from(*use_spot) * DF_SPOT,
@@ -289,15 +432,48 @@ impl PlanArena {
                     seg_len: plan.segments.len() as u32,
                 }
             }
+            DecisionKind::Elastic { plan, use_spot } => {
+                let seg_start = self.spans.len() as u32;
+                for seg in plan.segments() {
+                    self.spans.push((seg.start, seg.len));
+                    self.widths.push(seg.width);
+                    self.works.push(seg.work_milli);
+                }
+                PackedDecision {
+                    kind: DK_ELASTIC,
+                    flags: u8::from(*use_spot) * DF_SPOT,
+                    planned: plan.first_start(),
+                    seg_start,
+                    seg_len: plan.segments().len() as u32,
+                }
+            }
         }
     }
 
     /// The segment spans of a packed plan decision (empty for `Once`).
     pub(crate) fn spans_of(&self, packed: PackedDecision) -> &[(SimTime, Minutes)] {
-        if packed.kind != DK_SEGMENTS {
+        if !packed.is_plan() {
             return &[];
         }
         &self.spans[packed.seg_start as usize..(packed.seg_start + packed.seg_len) as usize]
+    }
+
+    /// The worker width of span `seg_idx` of a packed decision (1 for
+    /// anything that is not an elastic plan).
+    pub(crate) fn width_of(&self, packed: PackedDecision, seg_idx: usize) -> u32 {
+        if packed.kind != DK_ELASTIC {
+            return 1;
+        }
+        self.widths[packed.seg_start as usize + seg_idx]
+    }
+
+    /// The serial-equivalent work (milli-minutes) of span `seg_idx` of a
+    /// packed decision (0 for plain segments: work equals wall length).
+    pub(crate) fn work_of(&self, packed: PackedDecision, seg_idx: usize) -> u64 {
+        if packed.kind != DK_ELASTIC {
+            return 0;
+        }
+        self.works[packed.seg_start as usize + seg_idx]
     }
 }
 

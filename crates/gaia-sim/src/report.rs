@@ -35,10 +35,11 @@ impl AllocationTimeline {
                     PurchaseOption::OnDemand => &mut timeline.on_demand,
                     PurchaseOption::Spot => &mut timeline.spot,
                 };
+                let cpus = segment.cpus_used(outcome.job.cpus) as f64;
                 for span in HourlySlots::new(segment.start, segment.end) {
                     let h = span.hour as usize;
                     if h < lane.len() {
-                        lane[h] += span.fraction() * outcome.job.cpus as f64;
+                        lane[h] += span.fraction() * cpus;
                     }
                 }
             }
@@ -92,6 +93,37 @@ impl DegradationStats {
     }
 }
 
+/// Inter-region data-transfer accounting for a multi-region (placed)
+/// run.
+///
+/// Every field is zero — and the struct equals `Default::default()` —
+/// for single-region runs, which is why adding it to [`SimReport`]
+/// changes nothing about existing outputs. The placement layer in
+/// `gaia-metrics` fills it in when jobs are shipped away from their home
+/// region; transfer carbon and dollars are kept **out** of the per-job
+/// and cluster accounting (which audit against segment records) and
+/// surface only here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TransferStats {
+    /// Jobs placed outside their home region.
+    pub jobs_moved: u64,
+    /// Total input data shipped, in gigabytes.
+    pub gigabytes: f64,
+    /// Egress dollars for the shipped data.
+    pub cost: f64,
+    /// Network carbon for the shipped data, in grams CO₂.
+    pub carbon_g: f64,
+    /// Total added start latency across moved jobs, in minutes.
+    pub latency_minutes: u64,
+}
+
+impl TransferStats {
+    /// `true` when no job left its home region.
+    pub fn is_zero(&self) -> bool {
+        *self == TransferStats::default()
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -104,6 +136,10 @@ pub struct SimReport {
     /// Fault-injection accounting; `Default::default()` on unfaulted runs.
     #[serde(default)]
     pub degradation: DegradationStats,
+    /// Inter-region transfer accounting; `Default::default()` on
+    /// single-region runs.
+    #[serde(default)]
+    pub transfer: TransferStats,
 }
 
 impl SimReport {
@@ -165,6 +201,8 @@ mod tests {
                     end: SimTime::from_minutes(90),
                     option: PurchaseOption::Reserved,
                     useful: true,
+                    width: 1,
+                    work_milli: 0,
                 }],
             ),
             outcome_with_segments(
@@ -174,6 +212,8 @@ mod tests {
                     end: SimTime::from_minutes(60),
                     option: PurchaseOption::OnDemand,
                     useful: true,
+                    width: 1,
+                    work_milli: 0,
                 }],
             ),
         ];
@@ -195,6 +235,8 @@ mod tests {
                 end: SimTime::from_hours(6),
                 option: PurchaseOption::Spot,
                 useful: true,
+                width: 1,
+                work_milli: 0,
             }],
         )];
         let t = AllocationTimeline::from_outcomes(&outcomes, Minutes::from_hours(2));

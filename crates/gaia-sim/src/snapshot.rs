@@ -24,10 +24,19 @@
 //!
 //! # Versioning contract
 //!
-//! The version is bumped on **any** layout change; there are no silent
-//! in-place extensions. Readers accept exactly the versions they know
-//! and reject everything else with [`SnapshotError::Incompatible`] —
-//! an old binary refuses a new snapshot rather than misreading it.
+//! The version is bumped on **any** change to the layout of existing
+//! state. Readers accept exactly the versions they know and reject
+//! everything else with [`SnapshotError::Incompatible`] — an old binary
+//! refuses a new snapshot rather than misreading it.
+//!
+//! One carve-out keeps version 1 readable both ways across the elastic
+//! extension: state that only elastic runs produce is encoded through
+//! previously-invalid tag values (decision tag `2`, flag bit
+//! [`SEG_EXTENDED`] on the segment-record purchase byte). A snapshot of
+//! a non-elastic run is **byte-identical** to the pre-elastic encoder's
+//! output, and an old reader handed an elastic snapshot fails cleanly
+//! with [`SnapshotError::Corrupt`] on the unknown tag instead of
+//! misreading it.
 //! Fingerprint mismatches (same layout, different world) are also
 //! [`SnapshotError::Incompatible`]; truncated or malformed payloads are
 //! [`SnapshotError::Corrupt`].
@@ -50,8 +59,8 @@ use crate::config::ClusterConfig;
 use crate::eventq::EventQueue;
 use crate::online::{CapBlocked, Event, EventKind, OnlineEngine, SegNode, Tag, NO_TIME, SEG_NIL};
 use crate::plan::{
-    Decision, DecisionKind, PackedDecision, PlanArena, PurchaseOption, SegmentPlan,
-    DF_OPPORTUNISTIC, DF_SPOT, DK_ONCE,
+    Decision, DecisionKind, ElasticPlan, ElasticSegment, PackedDecision, PlanArena, PurchaseOption,
+    SegmentPlan, DF_OPPORTUNISTIC, DF_SPOT, DK_ELASTIC, DK_ONCE,
 };
 use crate::pool::ReservedPool;
 use crate::report::DegradationStats;
@@ -59,6 +68,11 @@ use crate::report::DegradationStats;
 const MAGIC: &[u8; 8] = b"GAIASNAP";
 /// Current snapshot layout version. Bump on any layout change.
 pub const SNAPSHOT_VERSION: u32 = 1;
+/// Flag bit on the segment-record purchase byte marking an extended
+/// (elastic) record that carries width and work fields. Plain records
+/// never set it, keeping non-elastic snapshots byte-identical to the
+/// pre-elastic format.
+const SEG_EXTENDED: u8 = 16;
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +127,16 @@ pub(crate) fn carbon_fingerprint(carbon: &CarbonTrace) -> u64 {
     fnv1a(&bytes)
 }
 
+/// The wire tag for a purchase option (low bits of the segment-record
+/// purchase byte; [`SEG_EXTENDED`] may be OR-ed on top).
+fn purchase_tag(option: PurchaseOption) -> u8 {
+    match option {
+        PurchaseOption::Reserved => 0,
+        PurchaseOption::OnDemand => 1,
+        PurchaseOption::Spot => 2,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------
@@ -165,11 +189,25 @@ impl Writer {
     }
 
     fn purchase(&mut self, option: PurchaseOption) {
-        self.u8(match option {
-            PurchaseOption::Reserved => 0,
-            PurchaseOption::OnDemand => 1,
-            PurchaseOption::Spot => 2,
-        });
+        self.u8(purchase_tag(option));
+    }
+
+    /// Encodes one segment record. Plain records (`width == 1`,
+    /// `work_milli == 0`) use the exact pre-elastic byte layout;
+    /// extended records set [`SEG_EXTENDED`] on the purchase byte and
+    /// append the width and work fields.
+    fn segment_record(&mut self, rec: &SegmentRecord) {
+        self.time(rec.start);
+        self.time(rec.end);
+        if rec.width == 1 && rec.work_milli == 0 {
+            self.purchase(rec.option);
+            self.bool(rec.useful);
+        } else {
+            self.u8(purchase_tag(rec.option) | SEG_EXTENDED);
+            self.bool(rec.useful);
+            self.u32(rec.width);
+            self.u64(rec.work_milli);
+        }
     }
 
     /// Encodes a packed decision, resolving segment spans through the
@@ -181,6 +219,17 @@ impl Writer {
             self.time(p.planned);
             self.bool(p.flags & DF_OPPORTUNISTIC != 0);
             self.bool(p.flags & DF_SPOT != 0);
+        } else if p.kind == DK_ELASTIC {
+            self.u8(2);
+            self.bool(p.flags & DF_SPOT != 0);
+            let spans = arena.spans_of(p);
+            self.u64(spans.len() as u64);
+            for (seg_idx, &(start, len)) in spans.iter().enumerate() {
+                self.time(start);
+                self.minutes(len);
+                self.u32(arena.width_of(p, seg_idx));
+                self.u64(arena.work_of(p, seg_idx));
+            }
         } else {
             self.u8(1);
             self.bool(p.flags & DF_SPOT != 0);
@@ -320,6 +369,43 @@ impl<'b> Reader<'b> {
         }
     }
 
+    /// Decodes one segment record; the inverse of
+    /// [`Writer::segment_record`].
+    fn segment_record(&mut self) -> Result<SegmentRecord, SnapshotError> {
+        let start = self.time()?;
+        let end = self.time()?;
+        let tag = self.u8()?;
+        let option = match tag & !SEG_EXTENDED {
+            0 => PurchaseOption::Reserved,
+            1 => PurchaseOption::OnDemand,
+            2 => PurchaseOption::Spot,
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "invalid purchase option {other}"
+                )))
+            }
+        };
+        let useful = self.bool()?;
+        let (width, work_milli) = if tag & SEG_EXTENDED != 0 {
+            (self.u32()?, self.u64()?)
+        } else {
+            (1, 0)
+        };
+        if width == 0 {
+            return Err(SnapshotError::Corrupt(
+                "segment record with zero width".to_owned(),
+            ));
+        }
+        Ok(SegmentRecord {
+            start,
+            end,
+            option,
+            useful,
+            width,
+            work_milli,
+        })
+    }
+
     fn decision(&mut self) -> Result<Decision, SnapshotError> {
         match self.u8()? {
             0 => {
@@ -349,6 +435,50 @@ impl<'b> Reader<'b> {
                 Ok(Decision {
                     kind: DecisionKind::Segments {
                         plan: SegmentPlan { segments },
+                        use_spot,
+                    },
+                })
+            }
+            2 => {
+                let use_spot = self.bool()?;
+                let n = self.count(28)?;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let start = self.time()?;
+                    let len = self.minutes()?;
+                    let width = self.u32()?;
+                    let work_milli = self.u64()?;
+                    segments.push(ElasticSegment {
+                        start,
+                        len,
+                        width,
+                        work_milli,
+                    });
+                }
+                if segments.is_empty() {
+                    return Err(SnapshotError::Corrupt("empty elastic plan".to_owned()));
+                }
+                // Validate before `ElasticPlan::new`, whose contract
+                // checks panic — a corrupt payload must fail cleanly.
+                for seg in &segments {
+                    if seg.len.is_zero() || seg.width == 0 || seg.work_milli == 0 {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "degenerate elastic slice at {}",
+                            seg.start
+                        )));
+                    }
+                }
+                for pair in segments.windows(2) {
+                    if pair[1].start < pair[0].end() {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "elastic slices overlap at {}",
+                            pair[1].start
+                        )));
+                    }
+                }
+                Ok(Decision {
+                    kind: DecisionKind::Elastic {
+                        plan: ElasticPlan::new(segments),
                         use_spot,
                     },
                 })
@@ -462,10 +592,7 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             let mut node = self.seg_head[i];
             while node != SEG_NIL {
                 let n = &self.seg_nodes[node as usize];
-                w.time(n.rec.start);
-                w.time(n.rec.end);
-                w.purchase(n.rec.option);
-                w.bool(n.rec.useful);
+                w.segment_record(&n.rec);
                 node = n.next;
             }
         }
@@ -670,12 +797,7 @@ impl<'e, S: Sink> OnlineEngine<'e, S> {
             let mut head = SEG_NIL;
             let mut tail = SEG_NIL;
             for _ in 0..n_segments {
-                let rec = SegmentRecord {
-                    start: r.time()?,
-                    end: r.time()?,
-                    option: r.purchase()?,
-                    useful: r.bool()?,
-                };
+                let rec = r.segment_record()?;
                 let node = seg_nodes.len() as u32;
                 seg_nodes.push(SegNode { rec, next: SEG_NIL });
                 if tail == SEG_NIL {

@@ -205,6 +205,7 @@ fn base_policy_tag(base: BasePolicyKind) -> u8 {
         BasePolicyKind::LowestWindow => 5,
         BasePolicyKind::CarbonTime => 6,
         BasePolicyKind::BadPlan => 7,
+        BasePolicyKind::CarbonScale => 8,
     }
 }
 
@@ -218,6 +219,7 @@ fn base_policy_from_tag(tag: u8) -> Result<BasePolicyKind> {
         5 => BasePolicyKind::LowestWindow,
         6 => BasePolicyKind::CarbonTime,
         7 => BasePolicyKind::BadPlan,
+        8 => BasePolicyKind::CarbonScale,
         other => return Err(format!("invalid base policy tag {other}")),
     })
 }

@@ -807,83 +807,7 @@ impl<'r> SweepRunner<'r> {
     }
 }
 
-/// Sweeps `grid` on `executor` with a fresh trace cache (audit off).
-#[deprecated(note = "use `grid.runner().executor(executor).execute()`")]
-pub fn run_grid(grid: &SweepGrid, executor: &Executor) -> SweepRun {
-    run_grid_engine(
-        grid,
-        executor,
-        &TraceCache::new(),
-        false,
-        None,
-        None,
-        RetryPolicy::default(),
-        None,
-        None,
-    )
-}
-
-/// Sweeps `grid` on `executor`, sharing `cache` (useful when several
-/// grids over the same traces run back to back). Audit off.
-#[deprecated(note = "use `grid.runner().executor(executor).cache(cache).execute()`")]
-pub fn run_grid_with_cache(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_engine(
-        grid,
-        executor,
-        cache,
-        false,
-        None,
-        None,
-        RetryPolicy::default(),
-        None,
-        None,
-    )
-}
-
-/// Sweeps `grid` with the invariant audit enabled.
-#[deprecated(note = "use `grid.runner().executor(executor).cache(cache).audit(true).execute()`")]
-pub fn run_grid_audited(grid: &SweepGrid, executor: &Executor, cache: &TraceCache) -> SweepRun {
-    run_grid_engine(
-        grid,
-        executor,
-        cache,
-        true,
-        None,
-        None,
-        RetryPolicy::default(),
-        None,
-        None,
-    )
-}
-
-/// Sweeps `grid` under a fault schedule and retry policy, with optional
-/// observability taps.
-#[deprecated(note = "use `grid.runner().faults(schedule).retry(policy).obs(hooks).execute()`")]
-pub fn run_grid_faulted(
-    grid: &SweepGrid,
-    executor: &Executor,
-    cache: &TraceCache,
-    audit: bool,
-    faults: &FaultOptions<'_>,
-    hooks: Option<&ObsHooks<'_>>,
-) -> std::io::Result<SweepRun> {
-    if let Some(dir) = hooks.and_then(|h| h.trace_dir) {
-        std::fs::create_dir_all(dir)?;
-    }
-    Ok(run_grid_engine(
-        grid,
-        executor,
-        cache,
-        audit,
-        hooks,
-        faults.schedule,
-        faults.retry,
-        None,
-        None,
-    ))
-}
-
-/// Observability taps for [`run_grid_observed`]. All fields default to
+/// Observability taps for [`SweepRunner::obs`]. All fields default to
 /// off; each can be enabled independently.
 #[derive(Default)]
 pub struct ObsHooks<'o> {
@@ -914,35 +838,9 @@ impl ObsHooks<'_> {
     }
 }
 
-/// Sweeps `grid` with observability taps — per-cell trace files, a
-/// metrics registry, phase profiling, and a sweep-lifecycle stream.
-#[deprecated(note = "use `grid.runner().audit(audit).obs(hooks).execute()`")]
-pub fn run_grid_observed(
-    grid: &SweepGrid,
-    executor: &Executor,
-    cache: &TraceCache,
-    audit: bool,
-    hooks: &ObsHooks<'_>,
-) -> std::io::Result<SweepRun> {
-    if let Some(dir) = hooks.trace_dir {
-        std::fs::create_dir_all(dir)?;
-    }
-    Ok(run_grid_engine(
-        grid,
-        executor,
-        cache,
-        audit,
-        Some(hooks),
-        None,
-        RetryPolicy::default(),
-        None,
-        None,
-    ))
-}
-
-/// The sweep engine behind [`SweepRunner::execute`] and the deprecated
-/// `run_grid*` wrappers. One code path serves every option combination;
-/// sharding and the result cache are parameters here, not variants.
+/// The sweep engine behind [`SweepRunner::execute`]. One code path
+/// serves every option combination; sharding and the result cache are
+/// parameters here, not variants.
 #[allow(clippy::too_many_arguments)]
 fn run_grid_engine(
     grid: &SweepGrid,
@@ -1256,29 +1154,10 @@ fn run_grid_engine(
     }
 }
 
-/// Runs `grid` twice — serially, then with `workers` threads — and
-/// reports the wall-clock comparison alongside the parallel run.
-///
-/// Each run gets a fresh trace cache so the timings are comparable
-/// (both pay their own synthesis cost). The results of the two runs are
-/// identical by the determinism contract, so only the parallel run is
-/// returned.
-#[deprecated(note = "use `gaia_sweep::time_runner(grid.runner(), workers)`")]
-pub fn time_grid(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
-    time_grid_inner(grid, workers, false)
-}
-
-/// [`time_grid`] with the invariant audit enabled on both runs (so the
-/// serial and parallel timings stay comparable).
-#[deprecated(note = "use `gaia_sweep::time_runner(grid.runner().audit(true), workers)`")]
-pub fn time_grid_audited(grid: &SweepGrid, workers: usize) -> (SweepRun, TimingBench) {
-    time_grid_inner(grid, workers, true)
-}
-
 /// Runs the configured sweep twice — serially, then with `workers`
 /// threads — and reports the wall-clock comparison alongside the
-/// parallel run (the [`SweepRunner`]-native replacement for the
-/// deprecated `time_grid*` pair).
+/// parallel run. The results of the two runs are identical by the
+/// determinism contract, so only the parallel run is returned.
 ///
 /// Each leg runs on a **fresh, plain** configuration derived from
 /// `runner` — its own trace cache, no result cache, no shard filter —
@@ -1372,24 +1251,6 @@ mod tests {
         assert!(!run.audited, "a plain runner leaves the audit off");
         assert!(run.shard.is_none() && run.disk_cache.is_none());
         assert!(run.is_clean());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_runner() {
-        let grid = SweepGrid::week(9)
-            .policies(vec![PolicySpec::plain(BasePolicyKind::NoWait)])
-            .seeds(vec![11]);
-        let executor = Executor::new(1).with_progress(false);
-        let via_runner = grid
-            .runner()
-            .executor(&executor)
-            .audit(true)
-            .execute()
-            .unwrap();
-        let via_wrapper = run_grid_audited(&grid, &executor, &TraceCache::new());
-        assert_eq!(via_runner.results, via_wrapper.results);
-        assert_eq!(via_runner.audited, via_wrapper.audited);
     }
 
     #[test]

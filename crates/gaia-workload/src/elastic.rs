@@ -1,0 +1,340 @@
+//! Elasticity model: per-job scaling curves with diminishing returns.
+//!
+//! CarbonScaler (Hanafy et al., SoCC '23) varies a job's *parallelism*
+//! with carbon intensity instead of (or in addition to) shifting it in
+//! time: run wide when the grid is green, narrow or paused when it is
+//! dirty. The key modelling input is the job's **scaling curve** — the
+//! speedup `s(k)` obtained from `k` workers — which for real workloads
+//! exhibits diminishing marginal throughput: `s(k) - s(k-1)` shrinks as
+//! `k` grows, so each extra worker buys less work per carbon gram.
+//!
+//! This module provides that input in two layers, mirroring how
+//! [`crate::ladder`] generalizes the two-queue model:
+//!
+//! * [`ScalingCurve`] — an analytic or tabulated speedup profile.
+//! * [`SpeedupLadder`] — the curve sampled at integer widths
+//!   `1..=max_width` into milli-speedup fixed point, the form policies
+//!   consume (no floats on the planning hot path, so plans stay
+//!   bit-deterministic across platforms).
+//!
+//! All speedups are stored as **milli-speedups** (`1000 ×` the
+//! dimensionless value): a worker-hour at width `k` completes
+//! `speedup_milli(k)` milli-minutes of serial work per wall minute.
+//!
+//! # Examples
+//!
+//! ```
+//! use gaia_workload::elastic::{ElasticProfile, ScalingCurve, SpeedupLadder};
+//!
+//! // A 5%-serial-fraction Amdahl job scaled up to 8 workers.
+//! let ladder = SpeedupLadder::sample(&ScalingCurve::amdahl(0.05), 8);
+//! assert_eq!(ladder.speedup_milli(1), 1000); // width 1 is the serial baseline
+//! assert!(ladder.speedup_milli(8) > ladder.speedup_milli(4));
+//! // Diminishing marginal throughput: the 8th worker adds less than the 2nd.
+//! assert!(ladder.marginal_milli(8) < ladder.marginal_milli(2));
+//!
+//! // The default profile used by the CarbonScale policy family.
+//! let profile = ElasticProfile::default();
+//! assert_eq!(profile.max_width(), 8);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// An analytic or tabulated speedup profile `s(k)`.
+///
+/// The curve is a *model* of the job: policies never evaluate it
+/// directly but sample it into a [`SpeedupLadder`] once. Curves must be
+/// well-formed — `s(1) = 1`, nondecreasing, with nonincreasing marginal
+/// gains — which the constructors and [`SpeedupLadder::sample`] enforce.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::elastic::ScalingCurve;
+///
+/// let amdahl = ScalingCurve::amdahl(0.10);
+/// assert!((amdahl.speedup(2) - 1.818).abs() < 1e-3);
+///
+/// // An explicitly measured profile (milli-speedups at widths 1, 2, 3).
+/// let table = ScalingCurve::table(vec![1000, 1900, 2500]);
+/// assert_eq!(table.speedup(3), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalingCurve {
+    /// Amdahl's law with the given serial fraction `f` stored in
+    /// milli-units: `s(k) = 1 / (f + (1 - f) / k)`.
+    Amdahl {
+        /// Serial fraction in milli-units (`0..=1000`).
+        serial_milli: u32,
+    },
+    /// A measured profile: milli-speedups at widths `1, 2, …`.
+    Table {
+        /// `milli[k-1]` is the milli-speedup at width `k`; `milli[0]`
+        /// must be `1000`.
+        milli: Vec<u32>,
+    },
+}
+
+impl ScalingCurve {
+    /// An Amdahl's-law curve with serial fraction `f` (clamped to
+    /// `[0, 1]`): `s(k) = 1 / (f + (1 - f) / k)`.
+    ///
+    /// `f = 0` is perfectly parallel (`s(k) = k`); `f = 1` does not
+    /// scale at all (`s(k) = 1`).
+    pub fn amdahl(serial_fraction: f64) -> ScalingCurve {
+        let clamped = serial_fraction.clamp(0.0, 1.0);
+        ScalingCurve::Amdahl {
+            serial_milli: (clamped * 1000.0).round() as u32,
+        }
+    }
+
+    /// A tabulated curve from measured milli-speedups at widths
+    /// `1, 2, …, milli.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, does not start at `1000` (serial
+    /// baseline), decreases anywhere, or has increasing marginal gains
+    /// (super-linear segments would let a planner manufacture work).
+    pub fn table(milli: Vec<u32>) -> ScalingCurve {
+        assert!(!milli.is_empty(), "a scaling table needs at least width 1");
+        assert_eq!(milli[0], 1000, "width 1 must have milli-speedup 1000");
+        let mut prev_gain = u32::MAX;
+        for pair in milli.windows(2) {
+            assert!(pair[1] >= pair[0], "speedup must be nondecreasing");
+            let gain = pair[1] - pair[0];
+            assert!(gain <= prev_gain, "marginal throughput must not increase");
+            prev_gain = gain;
+        }
+        ScalingCurve::Table { milli }
+    }
+
+    /// The dimensionless speedup `s(width)`; `width` is clamped to at
+    /// least 1 (and, for tables, to the last measured width).
+    pub fn speedup(&self, width: u32) -> f64 {
+        f64::from(self.speedup_milli(width)) / 1000.0
+    }
+
+    /// The milli-speedup at `width` (fixed point; see module docs).
+    pub fn speedup_milli(&self, width: u32) -> u32 {
+        let k = width.max(1);
+        match self {
+            ScalingCurve::Amdahl { serial_milli } => {
+                // s(k) = 1 / (f + (1-f)/k)   with f in milli-units:
+                // milli(k) = 1000 * 1000 * k / (f*k + (1000-f))
+                let f = u64::from(*serial_milli);
+                let k = u64::from(k);
+                (1_000_000 * k / (f * k + (1000 - f))) as u32
+            }
+            ScalingCurve::Table { milli } => {
+                let idx = (k as usize - 1).min(milli.len() - 1);
+                milli[idx]
+            }
+        }
+    }
+}
+
+/// A [`ScalingCurve`] sampled at integer widths `1..=max_width`.
+///
+/// This is the form the planner consumes: integer milli-speedups, so
+/// marginal-allocation comparisons are exact and identical on every
+/// platform. Construction re-checks the curve invariants, which hold by
+/// construction for both [`ScalingCurve`] variants but guard future
+/// ones.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::elastic::{ScalingCurve, SpeedupLadder};
+///
+/// let ladder = SpeedupLadder::sample(&ScalingCurve::amdahl(0.0), 4);
+/// // Perfectly parallel: each worker contributes a full serial stream.
+/// assert_eq!(ladder.speedup_milli(4), 4000);
+/// assert_eq!(ladder.marginal_milli(3), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeedupLadder {
+    milli: Vec<u32>,
+}
+
+impl SpeedupLadder {
+    /// Samples `curve` at widths `1..=max_width` (`max_width` is
+    /// clamped to at least 1).
+    pub fn sample(curve: &ScalingCurve, max_width: u32) -> SpeedupLadder {
+        let max_width = max_width.max(1);
+        let milli = (1..=max_width).map(|k| curve.speedup_milli(k)).collect();
+        let ladder = SpeedupLadder { milli };
+        debug_assert!(ladder.is_well_formed());
+        ladder
+    }
+
+    fn is_well_formed(&self) -> bool {
+        if self.milli.first() != Some(&1000) {
+            return false;
+        }
+        let mut prev_gain = u32::MAX;
+        for pair in self.milli.windows(2) {
+            if pair[1] < pair[0] || pair[1] - pair[0] > prev_gain {
+                return false;
+            }
+            prev_gain = pair[1] - pair[0];
+        }
+        true
+    }
+
+    /// The widest sampled width.
+    pub fn max_width(&self) -> u32 {
+        self.milli.len() as u32
+    }
+
+    /// Milli-speedup at `width`, clamped into the sampled range.
+    pub fn speedup_milli(&self, width: u32) -> u32 {
+        let idx = (width.max(1) as usize - 1).min(self.milli.len() - 1);
+        self.milli[idx]
+    }
+
+    /// Marginal milli-throughput of the `width`-th worker:
+    /// `s(width) - s(width - 1)` (with `s(0) = 0`, so
+    /// `marginal_milli(1) = 1000`).
+    pub fn marginal_milli(&self, width: u32) -> u32 {
+        let w = width.max(1);
+        if w == 1 {
+            self.speedup_milli(1)
+        } else {
+            self.speedup_milli(w)
+                .saturating_sub(self.speedup_milli(w - 1))
+        }
+    }
+}
+
+/// A job-class elasticity profile: the sampled ladder plus its width
+/// bound, the unit the `CarbonScale` policy family plans against.
+///
+/// # Examples
+///
+/// ```
+/// use gaia_workload::elastic::{ElasticProfile, ScalingCurve};
+///
+/// let profile = ElasticProfile::new(ScalingCurve::amdahl(0.02), 16);
+/// assert_eq!(profile.max_width(), 16);
+/// assert!(profile.ladder().speedup_milli(16) > 10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticProfile {
+    curve: ScalingCurve,
+    ladder: SpeedupLadder,
+}
+
+impl ElasticProfile {
+    /// Samples `curve` up to `max_width` into a profile.
+    pub fn new(curve: ScalingCurve, max_width: u32) -> ElasticProfile {
+        let ladder = SpeedupLadder::sample(&curve, max_width);
+        ElasticProfile { curve, ladder }
+    }
+
+    /// The curve this profile was sampled from.
+    pub fn curve(&self) -> &ScalingCurve {
+        &self.curve
+    }
+
+    /// The sampled ladder.
+    pub fn ladder(&self) -> &SpeedupLadder {
+        &self.ladder
+    }
+
+    /// The widest parallelism this profile permits.
+    pub fn max_width(&self) -> u32 {
+        self.ladder.max_width()
+    }
+}
+
+impl Default for ElasticProfile {
+    /// The CarbonScaler evaluation default: a 5 % serial fraction
+    /// Amdahl curve scaled up to 8 workers.
+    fn default() -> ElasticProfile {
+        ElasticProfile::new(ScalingCurve::amdahl(0.05), 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_matches_closed_form() {
+        let curve = ScalingCurve::amdahl(0.05);
+        for k in 1..=32u32 {
+            let expected = 1.0 / (0.05 + 0.95 / f64::from(k));
+            let got = curve.speedup(k);
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "s({k}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn amdahl_extremes() {
+        assert_eq!(ScalingCurve::amdahl(0.0).speedup_milli(7), 7000);
+        assert_eq!(ScalingCurve::amdahl(1.0).speedup_milli(7), 1000);
+        // Out-of-range fractions clamp instead of wrapping.
+        assert_eq!(ScalingCurve::amdahl(3.0).speedup_milli(2), 1000);
+        assert_eq!(ScalingCurve::amdahl(-1.0).speedup_milli(2), 2000);
+    }
+
+    #[test]
+    fn table_clamps_beyond_last_width() {
+        let curve = ScalingCurve::table(vec![1000, 1800, 2400]);
+        assert_eq!(curve.speedup_milli(3), 2400);
+        assert_eq!(curve.speedup_milli(9), 2400);
+    }
+
+    #[test]
+    #[should_panic(expected = "marginal throughput must not increase")]
+    fn table_rejects_superlinear_scaling() {
+        ScalingCurve::table(vec![1000, 1500, 2500]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 1 must have milli-speedup 1000")]
+    fn table_rejects_bad_baseline() {
+        ScalingCurve::table(vec![900]);
+    }
+
+    #[test]
+    fn ladder_marginals_diminish() {
+        let ladder = SpeedupLadder::sample(&ScalingCurve::amdahl(0.08), 12);
+        for k in 2..=12 {
+            assert!(ladder.marginal_milli(k) <= ladder.marginal_milli(k - 1));
+        }
+        assert_eq!(ladder.marginal_milli(1), 1000);
+    }
+
+    #[test]
+    fn ladder_clamps_width_queries() {
+        let ladder = SpeedupLadder::sample(&ScalingCurve::amdahl(0.0), 4);
+        assert_eq!(ladder.speedup_milli(0), 1000);
+        assert_eq!(ladder.speedup_milli(99), 4000);
+        assert_eq!(ladder.max_width(), 4);
+    }
+
+    #[test]
+    fn default_profile_is_the_carbonscaler_eval_setting() {
+        let profile = ElasticProfile::default();
+        assert_eq!(profile.max_width(), 8);
+        assert_eq!(profile.ladder().speedup_milli(1), 1000);
+        assert_eq!(profile.curve(), &ScalingCurve::Amdahl { serial_milli: 50 });
+    }
+
+    #[test]
+    fn profile_equality_follows_curve_and_width() {
+        let profile = ElasticProfile::new(ScalingCurve::table(vec![1000, 1700]), 2);
+        let same = ElasticProfile::new(ScalingCurve::table(vec![1000, 1700]), 2);
+        assert_eq!(profile, same);
+        assert_ne!(
+            profile,
+            ElasticProfile::new(ScalingCurve::table(vec![1000, 1700]), 3)
+        );
+        assert_ne!(profile, ElasticProfile::default());
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod elastic;
 pub mod io;
 mod job;
 pub mod ladder;

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Shard-determinism and resume gate for the reference grid (4 policies ×
-# 3 regions × 2 seeds = 24 cells).
+# 3 regions × 2 seeds = 24 cells). The policy axis includes the elastic
+# carbon-scale family so sharding, merging, and the result cache are
+# exercised over elastic plans too.
 #
 #  1. runs the grid single-process with --metrics and per-cell traces;
 #  2. runs the same grid as three independent `gaia sweep --shard i/3`
@@ -21,7 +23,8 @@ trap 'rm -rf "${WORK}"' EXIT
 
 cargo build --release -p gaia-cli
 GAIA="./target/release/gaia"
-GRID=(--regions sa-au,ca-us,on-ca --seeds 42,43 --metrics --no-progress)
+GRID=(--policies nowait,lowest-window,carbon-time,carbon-scale
+  --regions sa-au,ca-us,on-ca --seeds 42,43 --metrics --no-progress)
 export GAIA_LOG=warn
 
 echo "== single-process reference run"
